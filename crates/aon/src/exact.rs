@@ -1,0 +1,251 @@
+//! Exact minimum all-or-nothing subsidies by branch-and-bound.
+//!
+//! Key structural fact driving the search: subsidies anywhere can only
+//! *lower* the right-hand side of a Lemma 2 constraint, so a constraint
+//! violated under the current set stays violated unless some edge of the
+//! deviator's root path `T_u` gets subsidized. Each B&B node therefore
+//! picks one violated constraint and branches over the unsubsidized edges
+//! of `T_u`, with the classic forbidden-set discipline (branch `i` forbids
+//! the edges tried by branches `< i`) so each subset is explored at most
+//! once. Cost-bound pruning uses the best incumbent (seeded with the full
+//! tree, which always enforces).
+
+use crate::{AonError, AonSolution};
+use ndg_core::{lemma2_violation, NetworkDesignGame, SubsidyAssignment};
+use ndg_graph::{EdgeId, RootedTree};
+
+/// Exact minimum all-or-nothing enforcement of `tree` in the broadcast
+/// game, exploring at most `node_limit` B&B nodes.
+pub fn min_aon_subsidy(
+    game: &NetworkDesignGame,
+    tree: &[EdgeId],
+    node_limit: usize,
+) -> Result<AonSolution, AonError> {
+    let root = game.root().ok_or(AonError::NotBroadcast)?;
+    let g = game.graph();
+    let rt = RootedTree::new(g, tree, root).map_err(|_| AonError::NotASpanningTree)?;
+
+    let tree_edges: Vec<EdgeId> = rt.edges().to_vec();
+    // Incumbent: the full tree (always enforces — every player cost is 0).
+    let mut best_cost: f64 = g.weight_of(&tree_edges);
+    let mut best_set: Vec<EdgeId> = tree_edges.clone();
+
+    let mut nodes = 0usize;
+    let mut chosen: Vec<EdgeId> = Vec::new();
+    let mut forbidden = vec![false; g.edge_count()];
+    search(
+        game,
+        &rt,
+        &mut chosen,
+        0.0,
+        &mut forbidden,
+        &mut best_cost,
+        &mut best_set,
+        &mut nodes,
+        node_limit,
+    )?;
+
+    best_set.sort();
+    Ok(AonSolution {
+        cost: best_cost,
+        edges: best_set,
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn search(
+    game: &NetworkDesignGame,
+    rt: &RootedTree,
+    chosen: &mut Vec<EdgeId>,
+    cost: f64,
+    forbidden: &mut Vec<bool>,
+    best_cost: &mut f64,
+    best_set: &mut Vec<EdgeId>,
+    nodes: &mut usize,
+    node_limit: usize,
+) -> Result<(), AonError> {
+    *nodes += 1;
+    if *nodes > node_limit {
+        return Err(AonError::NodeLimit(node_limit));
+    }
+    if cost >= *best_cost - 1e-12 {
+        return Ok(()); // cannot improve
+    }
+    let g = game.graph();
+    let b = SubsidyAssignment::all_or_nothing(g, chosen);
+    let Some(violation) = lemma2_violation(game, rt, &b) else {
+        // Feasible and cheaper than the incumbent.
+        *best_cost = cost;
+        *best_set = chosen.clone();
+        return Ok(());
+    };
+    // Must subsidize some unsubsidized, non-forbidden edge of T_u.
+    // Try cheaper edges first for better pruning.
+    let mut candidates: Vec<EdgeId> = rt
+        .root_path(violation.node)
+        .into_iter()
+        .filter(|&e| !chosen.contains(&e) && !forbidden[e.index()])
+        .collect();
+    candidates.sort_by(|&a, &b| g.weight(a).total_cmp(&g.weight(b)));
+
+    let mut newly_forbidden: Vec<EdgeId> = Vec::new();
+    for &e in &candidates {
+        let w = g.weight(e);
+        if cost + w < *best_cost - 1e-12 {
+            chosen.push(e);
+            search(
+                game,
+                rt,
+                chosen,
+                cost + w,
+                forbidden,
+                best_cost,
+                best_set,
+                nodes,
+                node_limit,
+            )?;
+            chosen.pop();
+        }
+        // Forbidden-set discipline: later branches must not re-add `e`.
+        forbidden[e.index()] = true;
+        newly_forbidden.push(e);
+    }
+    for e in newly_forbidden {
+        forbidden[e.index()] = false;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ndg_core::is_tree_equilibrium;
+    use ndg_graph::{generators, kruskal, NodeId};
+
+    #[test]
+    fn stable_tree_needs_nothing() {
+        let g = generators::star_graph(5, 1.0);
+        let game = NetworkDesignGame::broadcast(g, NodeId(0)).unwrap();
+        let tree: Vec<EdgeId> = game.graph().edge_ids().collect();
+        let sol = min_aon_subsidy(&game, &tree, 10_000).unwrap();
+        assert_eq!(sol.cost, 0.0);
+        assert!(sol.edges.is_empty());
+    }
+
+    #[test]
+    fn triangle_path_tree_needs_one_full_edge() {
+        // Unit triangle, path tree {e0, e1}: fractional optimum is 0.5 but
+        // all-or-nothing must fully buy one edge ⇒ cost 1.
+        let g = generators::cycle_graph(3, 1.0);
+        let game = NetworkDesignGame::broadcast(g, NodeId(0)).unwrap();
+        let sol = min_aon_subsidy(&game, &[EdgeId(0), EdgeId(1)], 10_000).unwrap();
+        assert!((sol.cost - 1.0).abs() < 1e-9, "got {}", sol.cost);
+        assert_eq!(sol.edges.len(), 1);
+    }
+
+    #[test]
+    fn result_is_feasible_and_all_or_nothing() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(101);
+        for _ in 0..12 {
+            let n = rng.random_range(3..9usize);
+            let g = generators::random_connected(n, 0.5, &mut rng, 0.3..3.0);
+            let game = NetworkDesignGame::broadcast(g, NodeId(0)).unwrap();
+            let tree = kruskal(game.graph()).unwrap();
+            let sol = min_aon_subsidy(&game, &tree, 2_000_000).unwrap();
+            let b = SubsidyAssignment::all_or_nothing(game.graph(), &sol.edges);
+            assert!(b.is_all_or_nothing(game.graph()));
+            let rt = RootedTree::new(game.graph(), &tree, NodeId(0)).unwrap();
+            assert!(is_tree_equilibrium(&game, &rt, &b));
+            assert!((b.cost() - sol.cost).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_on_small_instances() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(103);
+        for _ in 0..10 {
+            let n = rng.random_range(3..7usize);
+            let g = generators::random_connected(n, 0.6, &mut rng, 0.3..3.0);
+            let game = NetworkDesignGame::broadcast(g, NodeId(0)).unwrap();
+            let tree = kruskal(game.graph()).unwrap();
+            let rt = RootedTree::new(game.graph(), &tree, NodeId(0)).unwrap();
+            // Brute force over all 2^(n−1) subsets of tree edges.
+            let k = tree.len();
+            let mut brute = f64::INFINITY;
+            for mask in 0u32..(1 << k) {
+                let subset: Vec<EdgeId> = (0..k)
+                    .filter(|i| mask >> i & 1 == 1)
+                    .map(|i| tree[i])
+                    .collect();
+                let b = SubsidyAssignment::all_or_nothing(game.graph(), &subset);
+                if is_tree_equilibrium(&game, &rt, &b) {
+                    brute = brute.min(b.cost());
+                }
+            }
+            let sol = min_aon_subsidy(&game, &tree, 2_000_000).unwrap();
+            assert!(
+                (sol.cost - brute).abs() < 1e-9,
+                "b&b {} vs brute {brute}",
+                sol.cost
+            );
+        }
+    }
+
+    #[test]
+    fn aon_cost_at_least_fractional_optimum() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(107);
+        for _ in 0..8 {
+            let n = rng.random_range(3..8usize);
+            let g = generators::random_connected(n, 0.5, &mut rng, 0.3..3.0);
+            let game = NetworkDesignGame::broadcast(g, NodeId(0)).unwrap();
+            let tree = kruskal(game.graph()).unwrap();
+            let aon = min_aon_subsidy(&game, &tree, 2_000_000).unwrap();
+            let frac = ndg_sne::lp_broadcast::enforce_tree_lp(&game, &tree).unwrap();
+            assert!(
+                aon.cost >= frac.cost - 1e-7,
+                "AoN {} below fractional optimum {}",
+                aon.cost,
+                frac.cost
+            );
+        }
+    }
+
+    #[test]
+    fn node_limit_error() {
+        // A large cycle forces a deep search; node limit 1 must trip
+        // immediately (root call counts as the first node, the first
+        // branch as the second).
+        let g = generators::cycle_graph(10, 1.0);
+        let game = NetworkDesignGame::broadcast(g, NodeId(0)).unwrap();
+        let tree: Vec<EdgeId> = (0..9).map(EdgeId).collect();
+        assert_eq!(
+            min_aon_subsidy(&game, &tree, 1).unwrap_err(),
+            AonError::NodeLimit(1)
+        );
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let g = generators::cycle_graph(4, 1.0);
+        let game = NetworkDesignGame::broadcast(g.clone(), NodeId(0)).unwrap();
+        assert_eq!(
+            min_aon_subsidy(&game, &[EdgeId(0)], 100).unwrap_err(),
+            AonError::NotASpanningTree
+        );
+        let general = NetworkDesignGame::new(
+            g,
+            vec![ndg_core::Player {
+                source: NodeId(0),
+                terminal: NodeId(2),
+            }],
+        )
+        .unwrap();
+        assert_eq!(
+            min_aon_subsidy(&general, &[EdgeId(0), EdgeId(1), EdgeId(2)], 100).unwrap_err(),
+            AonError::NotBroadcast
+        );
+    }
+}

@@ -1,0 +1,138 @@
+//! Heuristic all-or-nothing enforcement baselines.
+//!
+//! Theorem 12 rules out any approximation factor, so these heuristics are
+//! *feasibility* baselines only: they always return a valid all-or-nothing
+//! enforcement but may overpay. Two strategies:
+//!
+//! * greedy repair — repeatedly fix the currently violated constraint by
+//!   fully subsidizing the cheapest unsubsidized edge of the deviator's
+//!   root path;
+//! * LP rounding — solve the fractional LP (3) optimum, then fully
+//!   subsidize edges in decreasing order of `b_a / w_a` until the tree is
+//!   an equilibrium.
+
+use crate::{AonError, AonSolution};
+use ndg_core::{lemma2_violation, NetworkDesignGame, SubsidyAssignment};
+use ndg_graph::{EdgeId, RootedTree};
+
+/// Greedy repair: always feasible, not optimal.
+pub fn greedy_repair(
+    game: &NetworkDesignGame,
+    tree: &[EdgeId],
+) -> Result<AonSolution, AonError> {
+    let root = game.root().ok_or(AonError::NotBroadcast)?;
+    let g = game.graph();
+    let rt = RootedTree::new(g, tree, root).map_err(|_| AonError::NotASpanningTree)?;
+    let mut chosen: Vec<EdgeId> = Vec::new();
+    loop {
+        let b = SubsidyAssignment::all_or_nothing(g, &chosen);
+        let Some(violation) = lemma2_violation(game, &rt, &b) else {
+            chosen.sort();
+            let cost = g.weight_of(&chosen);
+            return Ok(AonSolution { edges: chosen, cost });
+        };
+        // Cheapest unsubsidized edge on the deviator's root path; prefer
+        // positive-weight edges (zero-weight subsidies change nothing).
+        let candidate = rt
+            .root_path(violation.node)
+            .into_iter()
+            .filter(|e| !chosen.contains(e) && g.weight(*e) > 0.0)
+            .min_by(|&a, &b| g.weight(a).total_cmp(&g.weight(b)));
+        match candidate {
+            Some(e) => chosen.push(e),
+            // Safety net: all path edges already subsidized yet still
+            // violated would contradict Lemma 2; treat as unreachable.
+            None => unreachable!("fully subsidized path cannot be a violated constraint"),
+        }
+    }
+}
+
+/// LP-rounding: fractional LP (3) optimum, then round up greedily by
+/// `b_a / w_a` until feasible.
+pub fn lp_rounding(game: &NetworkDesignGame, tree: &[EdgeId]) -> Result<AonSolution, AonError> {
+    let root = game.root().ok_or(AonError::NotBroadcast)?;
+    let g = game.graph();
+    let rt = RootedTree::new(g, tree, root).map_err(|_| AonError::NotASpanningTree)?;
+    let frac = ndg_sne::lp_broadcast::enforce_tree_lp(game, tree)
+        .map_err(|_| AonError::NotASpanningTree)?;
+    // Order tree edges by fractional fill ratio, descending.
+    let mut order: Vec<EdgeId> = tree
+        .iter()
+        .copied()
+        .filter(|&e| g.weight(e) > 0.0)
+        .collect();
+    order.sort_by(|&a, &b| {
+        let ra = frac.subsidies.get(a) / g.weight(a);
+        let rb = frac.subsidies.get(b) / g.weight(b);
+        rb.total_cmp(&ra).then_with(|| a.cmp(&b))
+    });
+    let mut chosen: Vec<EdgeId> = Vec::new();
+    for &e in &order {
+        let b = SubsidyAssignment::all_or_nothing(g, &chosen);
+        if lemma2_violation(game, &rt, &b).is_none() {
+            break;
+        }
+        chosen.push(e);
+    }
+    // Final feasibility pass (chosen may now be feasible or need the whole
+    // order; the loop above always terminates with a feasible set because
+    // the fully subsidized tree is an equilibrium).
+    let b = SubsidyAssignment::all_or_nothing(g, &chosen);
+    debug_assert!(lemma2_violation(game, &rt, &b).is_none());
+    chosen.sort();
+    let cost = g.weight_of(&chosen);
+    Ok(AonSolution { edges: chosen, cost })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::min_aon_subsidy;
+    use ndg_core::is_tree_equilibrium;
+    use ndg_graph::{generators, kruskal, NodeId};
+
+    #[test]
+    fn both_heuristics_feasible_and_dominated_by_exact() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(211);
+        for _ in 0..12 {
+            let n = rng.random_range(3..9usize);
+            let g = generators::random_connected(n, 0.5, &mut rng, 0.3..3.0);
+            let game = NetworkDesignGame::broadcast(g, NodeId(0)).unwrap();
+            let tree = kruskal(game.graph()).unwrap();
+            let rt = RootedTree::new(game.graph(), &tree, NodeId(0)).unwrap();
+            let exact = min_aon_subsidy(&game, &tree, 2_000_000).unwrap();
+            for sol in [greedy_repair(&game, &tree).unwrap(), lp_rounding(&game, &tree).unwrap()]
+            {
+                let b = SubsidyAssignment::all_or_nothing(game.graph(), &sol.edges);
+                assert!(is_tree_equilibrium(&game, &rt, &b), "heuristic infeasible");
+                assert!(
+                    sol.cost >= exact.cost - 1e-9,
+                    "heuristic {} beat exact {}",
+                    sol.cost,
+                    exact.cost
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stable_input_returns_empty() {
+        let g = generators::star_graph(5, 1.0);
+        let game = NetworkDesignGame::broadcast(g, NodeId(0)).unwrap();
+        let tree: Vec<EdgeId> = game.graph().edge_ids().collect();
+        assert_eq!(greedy_repair(&game, &tree).unwrap().cost, 0.0);
+        assert_eq!(lp_rounding(&game, &tree).unwrap().cost, 0.0);
+    }
+
+    #[test]
+    fn triangle_both_find_single_edge() {
+        let g = generators::cycle_graph(3, 1.0);
+        let game = NetworkDesignGame::broadcast(g, NodeId(0)).unwrap();
+        let tree = vec![EdgeId(0), EdgeId(1)];
+        let gr = greedy_repair(&game, &tree).unwrap();
+        let lr = lp_rounding(&game, &tree).unwrap();
+        assert!((gr.cost - 1.0).abs() < 1e-9);
+        assert!((lr.cost - 1.0).abs() < 1e-9);
+    }
+}

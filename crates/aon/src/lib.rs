@@ -1,0 +1,51 @@
+//! `ndg-aon` — all-or-nothing subsidies (Section 5 of the paper).
+//!
+//! In the integral version of SNE each edge is either fully subsidized or
+//! not at all. The optimization version is NP-hard to approximate within
+//! *any* factor (Theorem 12, built in `ndg-reductions`), so this crate
+//! provides:
+//!
+//! * [`exact`] — exact minimum all-or-nothing subsidies by branch-and-bound
+//!   over violated Lemma 2 constraints (complete for small/medium trees);
+//! * [`greedy`] — feasible-but-heuristic repair and LP-rounding baselines;
+//! * [`lower_bound`] — the Theorem 21 family showing `e/(2e−1) ≈ 0.6127`
+//!   of `wgt(T)` may be required (vs `1/e ≈ 0.3679` fractionally).
+
+pub mod exact;
+pub mod greedy;
+pub mod lower_bound;
+
+use ndg_graph::EdgeId;
+use std::fmt;
+
+/// An all-or-nothing enforcement: the set of fully subsidized tree edges.
+#[derive(Clone, Debug)]
+pub struct AonSolution {
+    /// Fully subsidized edges, sorted by id.
+    pub edges: Vec<EdgeId>,
+    /// Total subsidy cost = total weight of `edges`.
+    pub cost: f64,
+}
+
+/// Errors across the all-or-nothing solvers.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AonError {
+    /// Solvers here require broadcast games.
+    NotBroadcast,
+    /// The target is not a spanning tree.
+    NotASpanningTree,
+    /// The branch-and-bound node budget was exhausted.
+    NodeLimit(usize),
+}
+
+impl fmt::Display for AonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AonError::NotBroadcast => write!(f, "solver requires a broadcast game"),
+            AonError::NotASpanningTree => write!(f, "target is not a spanning tree"),
+            AonError::NodeLimit(n) => write!(f, "branch-and-bound node limit {n} exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for AonError {}

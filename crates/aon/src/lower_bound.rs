@@ -1,0 +1,173 @@
+//! The Theorem 21 lower-bound family: all-or-nothing enforcement may need
+//! `(e/(2e−1) − ε) · wgt(T)` in subsidies.
+//!
+//! Instance on `n + 1` nodes with `x = 1/(n − n/e + 1)`:
+//! a path `r, v₁, …, vₙ` whose edges all weigh `x` except the last
+//! `(v_{n−1}, v_n)` which weighs 1, plus chords `(r, v_{n−1})` of weight
+//! `x` and `(r, v_n)` of weight 1. The target is the path. Either the
+//! heavy edge stays unsubsidized — then *every* other path edge must be
+//! bought (`(n−1)x`) — or it is bought and ≈ `n/e` of the `x`-edges are
+//! still needed to placate `v_{n−1}` (`1 + (n/e − 2)x`). Both cases cost
+//! at least `(n−1)/(n − n/e + 1)` against `wgt(T) = (2n − n/e)/(n − n/e + 1)`,
+//! giving the `e/(2e−1)` ratio in the limit.
+
+use crate::{AonError, AonSolution};
+use ndg_core::NetworkDesignGame;
+use ndg_graph::{EdgeId, Graph, NodeId};
+
+/// `x = 1/(n − n/e + 1)` from the construction.
+pub fn x_of(n: usize) -> f64 {
+    let nf = n as f64;
+    1.0 / (nf - nf / std::f64::consts::E + 1.0)
+}
+
+/// Build the Theorem 21 instance `(game, target tree)` for `n ≥ 3`.
+///
+/// Edge ids: `0..n−1` are the path edges (id `i` connects `v_i` to
+/// `v_{i+1}`, with `v_0 = r`; id `n−1` is the heavy unit edge), `n` is the
+/// chord `(r, v_{n−1})` of weight `x` and `n+1` is the chord `(r, v_n)` of
+/// weight 1.
+pub fn theorem21_instance(n: usize) -> (NetworkDesignGame, Vec<EdgeId>) {
+    assert!(n >= 3);
+    let x = x_of(n);
+    let mut g = Graph::new(n + 1);
+    let mut tree = Vec::with_capacity(n);
+    for i in 0..n {
+        let w = if i == n - 1 { 1.0 } else { x };
+        tree.push(
+            g.add_edge(NodeId(i as u32), NodeId((i + 1) as u32), w)
+                .expect("path edge"),
+        );
+    }
+    g.add_edge(NodeId(0), NodeId((n - 1) as u32), x)
+        .expect("light chord");
+    g.add_edge(NodeId(0), NodeId(n as u32), 1.0)
+        .expect("heavy chord");
+    let game = NetworkDesignGame::broadcast(g, NodeId(0)).expect("connected");
+    (game, tree)
+}
+
+/// `wgt(T) = (n−1)x + 1` for the instance.
+pub fn tree_weight(n: usize) -> f64 {
+    (n as f64 - 1.0) * x_of(n) + 1.0
+}
+
+/// The paper's asymptotic ratio `e/(2e−1) ≈ 0.6127`.
+pub fn asymptotic_ratio() -> f64 {
+    let e = std::f64::consts::E;
+    e / (2.0 * e - 1.0)
+}
+
+/// Exact minimum all-or-nothing subsidy for the instance (branch-and-bound).
+pub fn exact_min_aon(n: usize, node_limit: usize) -> Result<AonSolution, AonError> {
+    let (game, tree) = theorem21_instance(n);
+    crate::exact::min_aon_subsidy(&game, &tree, node_limit)
+}
+
+/// Measured ratio `min-AoN-subsidy / wgt(T)`.
+pub fn measured_ratio(n: usize, node_limit: usize) -> Result<f64, AonError> {
+    Ok(exact_min_aon(n, node_limit)?.cost / tree_weight(n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ndg_core::{is_tree_equilibrium, SubsidyAssignment};
+    use ndg_graph::RootedTree;
+
+    #[test]
+    fn instance_shape() {
+        let n = 8;
+        let (game, tree) = theorem21_instance(n);
+        assert_eq!(game.graph().node_count(), n + 1);
+        assert_eq!(game.graph().edge_count(), n + 2);
+        assert_eq!(tree.len(), n);
+        assert!(game.graph().is_spanning_tree(&tree));
+        // Tree weight matches the closed form.
+        assert!((game.graph().weight_of(&tree) - tree_weight(n)).abs() < 1e-12);
+        // The path is an MST: chord (r, v_{n−1}) has weight x = weight of
+        // path edges (tie), chord (r, v_n) weight 1 = heavy edge (tie).
+        let mst = ndg_graph::mst_weight(game.graph()).unwrap();
+        assert!((mst - tree_weight(n)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unsubsidized_tree_is_unstable() {
+        let (game, tree) = theorem21_instance(8);
+        let rt = RootedTree::new(game.graph(), &tree, NodeId(0)).unwrap();
+        let b = SubsidyAssignment::zero(game.graph());
+        assert!(!is_tree_equilibrium(&game, &rt, &b));
+    }
+
+    #[test]
+    fn exact_cost_matches_case_analysis() {
+        // The optimum is (essentially) min of the two proof cases:
+        //   case 1: all n−1 light path edges  → (n−1)x
+        //   case 2: heavy edge + k cheapest-to-buy light edges where k is
+        //           minimal with H_{n−1} − H_k ≤ deviation threshold of
+        //           v_{n−1}. We don't hard-code k; instead check the B&B
+        //           result is ≤ case 1 and ≥ the paper's lower bound.
+        for n in [6usize, 9, 12] {
+            let sol = exact_min_aon(n, 20_000_000).unwrap();
+            let x = x_of(n);
+            let case1 = (n as f64 - 1.0) * x;
+            assert!(
+                sol.cost <= case1 + 1e-9,
+                "n={n}: cost {} worse than case 1 = {case1}",
+                sol.cost
+            );
+            // Paper's bound: ≥ (n−1)/(n−n/e+1) − o(1); allow slack for
+            // small n by checking against the min of the two exact cases
+            // computed by brute force below (small n ⇒ 2^n subsets).
+            if n <= 12 {
+                let (game, tree) = theorem21_instance(n);
+                let rt = RootedTree::new(game.graph(), &tree, NodeId(0)).unwrap();
+                let mut brute = f64::INFINITY;
+                for mask in 0u32..(1 << n) {
+                    let subset: Vec<EdgeId> = (0..n)
+                        .filter(|i| mask >> i & 1 == 1)
+                        .map(|i| tree[i])
+                        .collect();
+                    let b = SubsidyAssignment::all_or_nothing(game.graph(), &subset);
+                    if is_tree_equilibrium(&game, &rt, &b) {
+                        brute = brute.min(b.cost());
+                    }
+                }
+                assert!(
+                    (sol.cost - brute).abs() < 1e-9,
+                    "n={n}: b&b {} vs brute {brute}",
+                    sol.cost
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ratio_approaches_e_over_2e_minus_1() {
+        // The convergence is O(1/n); at n = 16 the ratio should already be
+        // within 0.1 of e/(2e−1) ≈ 0.6127 and closer than at n = 6.
+        let r6 = measured_ratio(6, 20_000_000).unwrap();
+        let r16 = measured_ratio(16, 50_000_000).unwrap();
+        let target = asymptotic_ratio();
+        assert!(
+            (r16 - target).abs() <= (r6 - target).abs() + 1e-9,
+            "r6={r6}, r16={r16}, target={target}"
+        );
+        assert!((r16 - target).abs() < 0.1, "r16={r16} vs {target}");
+    }
+
+    #[test]
+    fn aon_needs_strictly_more_than_fractional() {
+        // The headline of Section 5: integrality costs real money.
+        let n = 10;
+        let (game, tree) = theorem21_instance(n);
+        let aon = exact_min_aon(n, 20_000_000).unwrap();
+        let frac = ndg_sne::lp_broadcast::enforce_tree_lp(&game, &tree).unwrap();
+        assert!(
+            aon.cost > frac.cost + 0.05,
+            "AoN {} should clearly exceed fractional {}",
+            aon.cost,
+            frac.cost
+        );
+    }
+}

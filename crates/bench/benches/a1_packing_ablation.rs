@@ -1,0 +1,39 @@
+//! A1 bench: the three packing strategies on the Theorem 11 path-cost
+//! structure.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ndg_sne::theorem6::{min_subsidy_to_cap_cost, PackingStrategy};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("a1_packing_ablation");
+    for n in [1000usize, 10_000] {
+        let usages: Vec<u32> = (1..=n as u32).rev().collect();
+        let weights = vec![1.0f64; n];
+        for (name, strat) in [
+            ("least", PackingStrategy::LeastCrowded),
+            ("most", PackingStrategy::MostCrowded),
+            ("uniform", PackingStrategy::Uniform),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(name, n),
+                &n,
+                |b, _| {
+                    b.iter(|| {
+                        min_subsidy_to_cap_cost(
+                            black_box(&usages),
+                            black_box(&weights),
+                            1.0,
+                            strat,
+                        )
+                        .unwrap()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

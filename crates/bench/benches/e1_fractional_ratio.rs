@@ -1,0 +1,32 @@
+//! E1 bench: timing of the exact LP (3) solve and the Theorem 6 algorithm
+//! on the Theorem 11 cycle family.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ndg_sne::lower_bound::cycle_instance;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_fractional_ratio");
+    group.sample_size(10);
+    for n in [16usize, 32, 64] {
+        let (game, tree) = cycle_instance(n);
+        group.bench_with_input(BenchmarkId::new("lp3_cycle", n), &n, |b, _| {
+            b.iter(|| {
+                ndg_sne::lp_broadcast::enforce_tree_lp(black_box(&game), black_box(&tree))
+                    .unwrap()
+                    .cost
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("theorem6_cycle", n), &n, |b, _| {
+            b.iter(|| {
+                ndg_sne::theorem6::enforce(black_box(&game), black_box(&tree))
+                    .unwrap()
+                    .cost
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! E2 bench: Theorem 6 end-to-end (decompose + pack + certify) on general
+//! broadcast instances.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ndg_bench::{grid_broadcast, random_broadcast};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_theorem6_general");
+    group.sample_size(10);
+    for n in [25usize, 50, 100] {
+        let (game, tree) = random_broadcast(n, 0.3, 42);
+        group.bench_with_input(BenchmarkId::new("random", n), &n, |b, _| {
+            b.iter(|| ndg_sne::theorem6::enforce(black_box(&game), black_box(&tree)).unwrap().cost)
+        });
+    }
+    let (game, tree) = grid_broadcast(6, 6);
+    group.bench_function("grid-6x6", |b| {
+        b.iter(|| ndg_sne::theorem6::enforce(black_box(&game), black_box(&tree)).unwrap().cost)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

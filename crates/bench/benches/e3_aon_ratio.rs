@@ -1,0 +1,20 @@
+//! E3 bench: exact all-or-nothing branch-and-bound on the Theorem 21
+//! family.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ndg_aon::lower_bound::exact_min_aon;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_aon_ratio");
+    group.sample_size(10);
+    for n in [8usize, 10, 12] {
+        group.bench_with_input(BenchmarkId::new("exact_aon_thm21", n), &n, |b, &n| {
+            b.iter(|| exact_min_aon(black_box(n), 100_000_000).unwrap().cost)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

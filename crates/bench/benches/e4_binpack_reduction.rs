@@ -1,0 +1,27 @@
+//! E4 bench: building the Theorem 3 reduction graph and deciding
+//! equilibrium-MST existence by exhaustive assignment search.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ndg_reductions::binpack_reduction::build;
+use ndg_reductions::binpacking::BinPacking;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_binpack_reduction");
+    group.sample_size(10);
+    let inst = BinPacking { sizes: vec![2, 2, 4], bins: 2, capacity: 4 };
+    group.bench_function("build", |b| b.iter(|| build(black_box(&inst)).game.graph().node_count()));
+    let red = build(&inst);
+    group.bench_function("equilibrium_search", |b| {
+        b.iter(|| black_box(&red).equilibrium_assignment().is_some())
+    });
+    let hard = BinPacking { sizes: vec![10, 10, 4], bins: 2, capacity: 12 };
+    let red_hard = build(&hard);
+    group.bench_function("equilibrium_search_infeasible", |b| {
+        b.iter(|| black_box(&red_hard).equilibrium_assignment().is_none())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

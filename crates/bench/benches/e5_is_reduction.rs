@@ -1,0 +1,28 @@
+//! E5 bench: the Theorem 5 construction, max-IS solve and equilibrium
+//! certification on the Petersen graph.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ndg_reductions::independent_set::{build, max_independent_set, petersen};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_is_reduction");
+    group.sample_size(10);
+    let h = petersen();
+    group.bench_function("max_is_petersen", |b| {
+        b.iter(|| max_independent_set(black_box(&h)).len())
+    });
+    group.bench_function("build_reduction", |b| {
+        b.iter(|| build(black_box(&h), 1.0 / 12.0).game.graph().node_count())
+    });
+    let red = build(&h, 1.0 / 12.0);
+    let is = max_independent_set(&h);
+    let tree = red.tree_for_independent_set(&is);
+    group.bench_function("certify_is_tree", |b| {
+        b.iter(|| black_box(&red).tree_is_equilibrium(black_box(&tree)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! E6 bench: Theorem 12 gadget construction (≈150k nodes) and the
+//! tight-tolerance equilibrium check.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ndg_reductions::sat::{Clause, Cnf, Literal};
+use ndg_reductions::sat_reduction::{build, DEFAULT_K};
+use std::hint::black_box;
+
+fn single_clause() -> Cnf {
+    Cnf {
+        num_vars: 3,
+        clauses: vec![Clause([
+            Literal::pos(0),
+            Literal::pos(1),
+            Literal::pos(2),
+        ])],
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_sat_reduction");
+    group.sample_size(10);
+    let cnf = single_clause();
+    group.bench_function("build_single_clause", |b| {
+        b.iter(|| build(black_box(&cnf), DEFAULT_K).unwrap().game.graph().node_count())
+    });
+    let red = build(&cnf, DEFAULT_K).unwrap();
+    let rt = red.rooted_tree();
+    let light = red.light_assignment_for(&[true, false, true]);
+    group.bench_function("enforce_check", |b| {
+        b.iter(|| black_box(&red).enforces(black_box(&rt), black_box(&light)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! E9 bench: best-response dynamics to convergence and a single
+//! equilibrium verification pass.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ndg_bench::random_broadcast;
+use ndg_core::{dynamics_from_tree, MoveOrder, State, SubsidyAssignment};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9_dynamics");
+    group.sample_size(10);
+    for n in [10usize, 20, 40] {
+        let (game, tree) = random_broadcast(n, 0.4, 3000 + n as u64);
+        let b0 = SubsidyAssignment::zero(game.graph());
+        group.bench_with_input(BenchmarkId::new("dynamics_from_mst", n), &n, |b, _| {
+            b.iter(|| {
+                dynamics_from_tree(
+                    black_box(&game),
+                    black_box(&tree),
+                    black_box(&b0),
+                    MoveOrder::RoundRobin,
+                    100_000,
+                )
+                .unwrap()
+                .moves
+            })
+        });
+        let (state, _) = State::from_tree(&game, &tree).unwrap();
+        group.bench_with_input(BenchmarkId::new("is_equilibrium", n), &n, |b, _| {
+            b.iter(|| ndg_core::is_equilibrium(black_box(&game), black_box(&state), black_box(&b0)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! A1 — Ablation: packing strategies (the Figure 4 intuition).
+//!
+//! On the Theorem 11 path-cost structure (usages n, n−1, …, 1; cap 1),
+//! compares the subsidy needed when packing on the least crowded edges
+//! (the paper's choice) vs most-crowded packing vs uniform spreading.
+//! Least-crowded converges to `n/e`; most-crowded needs ≈ all of the
+//! weight; uniform sits at `1 − 1/H_n` of the weight.
+
+use ndg_bench::{header, row};
+use ndg_graph::harmonic;
+use ndg_sne::theorem6::{min_subsidy_to_cap_cost, PackingStrategy};
+
+fn main() {
+    let widths = [8, 12, 12, 12, 10];
+    println!("A1: subsidy/wgt needed to cap the far player's cost at 1");
+    println!(
+        "{}",
+        header(
+            &["n", "least/n", "most/n", "uniform/n", "1/e"],
+            &widths
+        )
+    );
+    let inv_e = 1.0 / std::f64::consts::E;
+    for n in [10usize, 100, 1000, 10_000, 100_000] {
+        let usages: Vec<u32> = (1..=n as u32).rev().collect();
+        let weights = vec![1.0f64; n];
+        let least =
+            min_subsidy_to_cap_cost(&usages, &weights, 1.0, PackingStrategy::LeastCrowded)
+                .expect("feasible");
+        let most =
+            min_subsidy_to_cap_cost(&usages, &weights, 1.0, PackingStrategy::MostCrowded)
+                .expect("feasible");
+        let unif = min_subsidy_to_cap_cost(&usages, &weights, 1.0, PackingStrategy::Uniform)
+            .expect("feasible");
+        println!(
+            "{}",
+            row(
+                &[
+                    n.to_string(),
+                    format!("{:.5}", least / n as f64),
+                    format!("{:.5}", most / n as f64),
+                    format!("{:.5}", unif / n as f64),
+                    format!("{inv_e:.5}"),
+                ],
+                &widths
+            )
+        );
+        assert!(least <= most && least <= unif);
+        // Uniform's closed form: λ = 1 − 1/H_n.
+        let lambda = 1.0 - 1.0 / harmonic(n as u64);
+        assert!((unif / n as f64 - lambda).abs() < 1e-9);
+    }
+    println!("\nleast-crowded → 1/e; uniform → 1 − 1/H_n → 1; most-crowded ≈ 1");
+}

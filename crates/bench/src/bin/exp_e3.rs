@@ -1,0 +1,65 @@
+//! E3 — The all-or-nothing `e/(2e−1)` constant (Theorem 21).
+//!
+//! On the Theorem 21 family, prints the exact minimum all-or-nothing
+//! subsidy (branch-and-bound), the two proof cases, and the fractional
+//! LP optimum. The AoN ratio converges to `e/(2e−1) ≈ 0.61270` while the
+//! fractional one stays near `1/e`, exhibiting the integrality gap of
+//! Section 5.
+
+use ndg_aon::lower_bound::{
+    asymptotic_ratio, exact_min_aon, theorem21_instance, tree_weight, x_of,
+};
+use ndg_bench::{header, row};
+
+fn main() {
+    let widths = [5, 10, 10, 10, 10, 10, 10];
+    println!("E3: minimum all-or-nothing subsidies on the Theorem 21 family");
+    println!(
+        "{}",
+        header(
+            &["n", "aon", "case1", "case2", "aon/wgt", "frac/wgt", "e/(2e-1)"],
+            &widths
+        )
+    );
+    for n in [6usize, 8, 10, 12, 14, 16] {
+        let sol = exact_min_aon(n, 100_000_000).expect("B&B within budget");
+        let x = x_of(n);
+        let case1 = (n as f64 - 1.0) * x;
+        // Case 2: heavy edge + enough light edges for v_{n−1}; report the
+        // B&B's own cost when the heavy edge is in the solution, else ∞.
+        let heavy_id = ndg_graph::EdgeId((n - 1) as u32);
+        let case2 = if sol.edges.contains(&heavy_id) {
+            sol.cost
+        } else {
+            f64::NAN
+        };
+        let (game, tree) = theorem21_instance(n);
+        let frac = ndg_sne::lp_broadcast::enforce_tree_lp(&game, &tree).expect("lp3");
+        let wgt = tree_weight(n);
+        println!(
+            "{}",
+            row(
+                &[
+                    n.to_string(),
+                    format!("{:.4}", sol.cost),
+                    format!("{case1:.4}"),
+                    if case2.is_nan() {
+                        "-".into()
+                    } else {
+                        format!("{case2:.4}")
+                    },
+                    format!("{:.5}", sol.cost / wgt),
+                    format!("{:.5}", frac.cost / wgt),
+                    format!("{:.5}", asymptotic_ratio()),
+                ],
+                &widths
+            )
+        );
+        assert!(sol.cost <= case1 + 1e-9, "optimum never beats case 1");
+        assert!(frac.cost <= sol.cost + 1e-7, "fractional ≤ integral");
+    }
+    println!(
+        "\naon/wgt → e/(2e−1) ≈ 0.6127 (O(1/n) convergence); the fractional optimum\n\
+         stays far below — the integrality gap of Section 5"
+    );
+}

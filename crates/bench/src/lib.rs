@@ -1,0 +1,63 @@
+//! `ndg-bench` — shared workload builders for the experiment harness.
+//!
+//! One Criterion bench and one deterministic experiment binary exist per
+//! paper artifact (see DESIGN.md §3); both pull their instances from here
+//! so timings and printed tables describe the same workloads.
+
+use ndg_core::NetworkDesignGame;
+use ndg_graph::{generators, kruskal, EdgeId, NodeId};
+use rand::prelude::*;
+
+/// A deterministic random broadcast game with its MST.
+pub fn random_broadcast(n: usize, extra_p: f64, seed: u64) -> (NetworkDesignGame, Vec<EdgeId>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let g = generators::random_connected(n, extra_p, &mut rng, 0.2..4.0);
+    let game = NetworkDesignGame::broadcast(g, NodeId(0)).expect("connected");
+    let tree = kruskal(game.graph()).expect("connected");
+    (game, tree)
+}
+
+/// A grid broadcast game (root = corner 0) with its MST.
+pub fn grid_broadcast(rows: usize, cols: usize) -> (NetworkDesignGame, Vec<EdgeId>) {
+    let g = generators::grid_graph(rows, cols, 1.0);
+    let game = NetworkDesignGame::broadcast(g, NodeId(0)).expect("connected");
+    let tree = kruskal(game.graph()).expect("connected");
+    (game, tree)
+}
+
+/// An Erdős–Rényi broadcast game (retry until connected) with its MST.
+pub fn er_broadcast(n: usize, p: f64, seed: u64) -> (NetworkDesignGame, Vec<EdgeId>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    loop {
+        let g = generators::erdos_renyi(n, p, &mut rng, 0.2..4.0);
+        if g.is_connected() {
+            let game = NetworkDesignGame::broadcast(g, NodeId(0)).expect("connected");
+            let tree = kruskal(game.graph()).expect("connected");
+            return (game, tree);
+        }
+    }
+}
+
+/// Pretty-print a table row with fixed column widths.
+pub fn row(cells: &[String], widths: &[usize]) -> String {
+    cells
+        .iter()
+        .zip(widths)
+        .map(|(c, w)| format!("{c:>w$}", w = w))
+        .collect::<Vec<_>>()
+        .join("  ")
+}
+
+/// Header + separator lines for a table.
+pub fn header(names: &[&str], widths: &[usize]) -> String {
+    let head = row(
+        &names.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+        widths,
+    );
+    let sep = widths
+        .iter()
+        .map(|w| "-".repeat(*w))
+        .collect::<Vec<_>>()
+        .join("  ");
+    format!("{head}\n{sep}")
+}

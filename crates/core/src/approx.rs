@@ -1,0 +1,124 @@
+//! Approximate equilibria (related work \[2\], Albers–Lenzner).
+//!
+//! A state is an *α-approximate* Nash equilibrium (`α ≥ 1`) if no player
+//! can reduce her cost by more than a factor `α`:
+//! `cost_i(T; b) ≤ α · cost_i(T₋ᵢ, Tᵢ'; b)` for every deviation. The
+//! stability threshold `α*(T)` of a state is the smallest such `α` —
+//! equivalently the largest ratio `current / best-response` over players.
+//! Subsidies lower `α*`; the E-series experiments use it to quantify "how
+//! far from stable" a design is before the budget kicks in.
+
+use crate::cost::player_cost;
+use crate::equilibrium::best_response;
+use crate::game::NetworkDesignGame;
+use crate::num::EPS;
+use crate::state::State;
+use crate::subsidy::SubsidyAssignment;
+use rayon::prelude::*;
+
+/// The stability threshold `α*(T; b) = max_i cost_i / best_response_i`
+/// (1.0 means exact equilibrium; players with zero best-response cost and
+/// zero current cost contribute 1).
+pub fn stability_threshold(
+    game: &NetworkDesignGame,
+    state: &State,
+    b: &SubsidyAssignment,
+) -> f64 {
+    (0..game.num_players())
+        .into_par_iter()
+        .map(|i| {
+            let current = player_cost(game, state, b, i);
+            let (_, best) = best_response(game, state, b, i);
+            if best <= EPS {
+                if current <= EPS {
+                    1.0
+                } else {
+                    f64::INFINITY
+                }
+            } else {
+                (current / best).max(1.0)
+            }
+        })
+        .reduce(|| 1.0, f64::max)
+}
+
+/// Whether `state` is an α-approximate equilibrium.
+pub fn is_alpha_equilibrium(
+    game: &NetworkDesignGame,
+    state: &State,
+    b: &SubsidyAssignment,
+    alpha: f64,
+) -> bool {
+    assert!(alpha >= 1.0, "α must be ≥ 1");
+    stability_threshold(game, state, b) <= alpha * (1.0 + 1e-9)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::game::NetworkDesignGame;
+    use ndg_graph::{generators, harmonic, EdgeId, NodeId};
+
+    #[test]
+    fn exact_equilibrium_has_threshold_one() {
+        let g = generators::star_graph(5, 1.0);
+        let game = NetworkDesignGame::broadcast(g, NodeId(0)).unwrap();
+        let tree: Vec<EdgeId> = game.graph().edge_ids().collect();
+        let (state, _) = State::from_tree(&game, &tree).unwrap();
+        let b = SubsidyAssignment::zero(game.graph());
+        assert!((stability_threshold(&game, &state, &b) - 1.0).abs() < 1e-9);
+        assert!(is_alpha_equilibrium(&game, &state, &b, 1.0));
+    }
+
+    #[test]
+    fn cycle_threshold_is_h_n() {
+        // Theorem 11 cycle: the far player pays H_n and can get 1, so
+        // α* = H_n exactly.
+        for n in [3usize, 5, 8] {
+            let g = generators::cycle_graph(n + 1, 1.0);
+            let game = NetworkDesignGame::broadcast(g, NodeId(0)).unwrap();
+            let tree: Vec<EdgeId> = (0..n as u32).map(EdgeId).collect();
+            let (state, _) = State::from_tree(&game, &tree).unwrap();
+            let b = SubsidyAssignment::zero(game.graph());
+            let alpha = stability_threshold(&game, &state, &b);
+            let hn = harmonic(n as u64);
+            assert!((alpha - hn).abs() < 1e-9, "n={n}: α*={alpha} vs H_n={hn}");
+            assert!(is_alpha_equilibrium(&game, &state, &b, hn));
+            assert!(!is_alpha_equilibrium(&game, &state, &b, hn - 0.01));
+        }
+    }
+
+    #[test]
+    fn subsidies_lower_the_threshold_monotonically() {
+        let n = 6;
+        let g = generators::cycle_graph(n + 1, 1.0);
+        let game = NetworkDesignGame::broadcast(g, NodeId(0)).unwrap();
+        let tree: Vec<EdgeId> = (0..n as u32).map(EdgeId).collect();
+        let (state, _) = State::from_tree(&game, &tree).unwrap();
+        let mut prev = f64::INFINITY;
+        for k in 0..=n {
+            // Fully subsidize the k farthest (least crowded) edges.
+            let subsidized: Vec<EdgeId> =
+                (0..k).map(|i| EdgeId((n - 1 - i) as u32)).collect();
+            let b = SubsidyAssignment::all_or_nothing(game.graph(), &subsidized);
+            let alpha = stability_threshold(&game, &state, &b);
+            assert!(
+                alpha <= prev + 1e-9,
+                "threshold must fall as subsidies grow: {alpha} after {prev}"
+            );
+            prev = alpha;
+        }
+        assert!((prev - 1.0).abs() < 1e-9, "full path subsidy gives α* = 1");
+    }
+
+    #[test]
+    #[should_panic]
+    fn alpha_below_one_rejected() {
+        let g = generators::star_graph(3, 1.0);
+        let game = NetworkDesignGame::broadcast(g, NodeId(0)).unwrap();
+        let tree: Vec<EdgeId> = game.graph().edge_ids().collect();
+        let (state, _) = State::from_tree(&game, &tree).unwrap();
+        let b = SubsidyAssignment::zero(game.graph());
+        is_alpha_equilibrium(&game, &state, &b, 0.5);
+    }
+}

@@ -1,0 +1,290 @@
+//! Coalitional deviations (Section 6's closing open problem).
+//!
+//! The paper's equilibria are resilient to *unilateral* deviations only;
+//! its final section asks about coalitions. This module implements the
+//! strong-equilibrium check for bounded coalition sizes on small games: a
+//! coalition `S` deviates profitably if there is a joint re-routing of all
+//! members that makes *every* member strictly better off (costs evaluated
+//! in the post-deviation state, where the members share edges with each
+//! other and with the non-members). Exhaustive over simple paths — small
+//! instances only.
+
+use crate::cost::player_cost;
+use crate::game::NetworkDesignGame;
+use crate::num::strictly_lt;
+use crate::state::State;
+use crate::subsidy::SubsidyAssignment;
+use ndg_graph::{EdgeId, Graph, NodeId};
+
+/// A profitable coalitional deviation: the coalition members with their
+/// new paths and new costs.
+#[derive(Clone, Debug)]
+pub struct CoalitionDeviation {
+    /// The deviating players.
+    pub members: Vec<usize>,
+    /// New path per member (same order as `members`).
+    pub paths: Vec<Vec<EdgeId>>,
+    /// Old and new cost per member.
+    pub costs: Vec<(f64, f64)>,
+}
+
+/// Enumerate all simple `s → t` paths of `g` (test-sized graphs only).
+pub fn all_simple_paths(g: &Graph, s: NodeId, t: NodeId) -> Vec<Vec<EdgeId>> {
+    let mut out = Vec::new();
+    let mut visited = vec![false; g.node_count()];
+    let mut path = Vec::new();
+    dfs(g, s, t, &mut visited, &mut path, &mut out);
+    return out;
+
+    fn dfs(
+        g: &Graph,
+        cur: NodeId,
+        t: NodeId,
+        visited: &mut Vec<bool>,
+        path: &mut Vec<EdgeId>,
+        out: &mut Vec<Vec<EdgeId>>,
+    ) {
+        if cur == t {
+            out.push(path.clone());
+            return;
+        }
+        visited[cur.index()] = true;
+        for &(nb, e) in g.neighbors(cur) {
+            if !visited[nb.index()] {
+                path.push(e);
+                dfs(g, nb, t, visited, path, out);
+                path.pop();
+            }
+        }
+        visited[cur.index()] = false;
+    }
+}
+
+/// Find a profitable deviation by some coalition of size ≤ `max_size`
+/// (sizes are tried in increasing order; `max_size = 1` reproduces the
+/// unilateral check). Exhaustive and exponential — small games only.
+pub fn find_coalition_deviation(
+    game: &NetworkDesignGame,
+    state: &State,
+    b: &SubsidyAssignment,
+    max_size: usize,
+) -> Option<CoalitionDeviation> {
+    let n = game.num_players();
+    let g = game.graph();
+    // Pre-enumerate each player's strategy set.
+    let strategies: Vec<Vec<Vec<EdgeId>>> = game
+        .players()
+        .iter()
+        .map(|p| all_simple_paths(g, p.source, p.terminal))
+        .collect();
+    let old_costs: Vec<f64> = (0..n).map(|i| player_cost(game, state, b, i)).collect();
+
+    for size in 1..=max_size.min(n) {
+        let mut members = Vec::with_capacity(size);
+        if let Some(dev) = combos(
+            game, state, b, &strategies, &old_costs, 0, size, &mut members,
+        ) {
+            return Some(dev);
+        }
+    }
+    return None;
+
+    /// Recursively enumerate all size-`size` subsets of `{start..n}`.
+    #[allow(clippy::too_many_arguments)]
+    fn combos(
+        game: &NetworkDesignGame,
+        state: &State,
+        b: &SubsidyAssignment,
+        strategies: &[Vec<Vec<EdgeId>>],
+        old_costs: &[f64],
+        start: usize,
+        size: usize,
+        members: &mut Vec<usize>,
+    ) -> Option<CoalitionDeviation> {
+        if members.len() == size {
+            return try_coalition(game, state, b, members, strategies, old_costs);
+        }
+        for i in start..old_costs.len() {
+            members.push(i);
+            let found = combos(game, state, b, strategies, old_costs, i + 1, size, members);
+            members.pop();
+            if found.is_some() {
+                return found;
+            }
+        }
+        None
+    }
+}
+
+fn try_coalition(
+    game: &NetworkDesignGame,
+    state: &State,
+    b: &SubsidyAssignment,
+    members: &[usize],
+    strategies: &[Vec<Vec<EdgeId>>],
+    old_costs: &[f64],
+) -> Option<CoalitionDeviation> {
+    // Iterate the cartesian product of the members' strategy sets.
+    let sizes: Vec<usize> = members.iter().map(|&i| strategies[i].len()).collect();
+    let mut choice = vec![0usize; members.len()];
+    loop {
+        // Build the joint state and evaluate.
+        let mut trial = state.clone();
+        for (k, &i) in members.iter().enumerate() {
+            trial.replace_path(i, strategies[i][choice[k]].clone());
+        }
+        let all_better = members
+            .iter()
+            .all(|&i| strictly_lt(player_cost(game, &trial, b, i), old_costs[i]));
+        if all_better {
+            return Some(CoalitionDeviation {
+                members: members.to_vec(),
+                paths: members
+                    .iter()
+                    .enumerate()
+                    .map(|(k, &i)| strategies[i][choice[k]].clone())
+                    .collect(),
+                costs: members
+                    .iter()
+                    .map(|&i| (old_costs[i], player_cost(game, &trial, b, i)))
+                    .collect(),
+            });
+        }
+        // Advance the product counter.
+        let mut k = 0;
+        loop {
+            if k == members.len() {
+                return None;
+            }
+            choice[k] += 1;
+            if choice[k] == sizes[k] {
+                choice[k] = 0;
+                k += 1;
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+/// Whether `state` is a `k`-strong equilibrium: no coalition of size ≤ `k`
+/// has a deviation strictly improving every member.
+pub fn is_strong_equilibrium(
+    game: &NetworkDesignGame,
+    state: &State,
+    b: &SubsidyAssignment,
+    k: usize,
+) -> bool {
+    find_coalition_deviation(game, state, b, k).is_none()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::equilibrium::is_equilibrium;
+    use ndg_graph::generators;
+
+    #[test]
+    fn size_one_matches_unilateral_check() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(606);
+        for _ in 0..10 {
+            let n = rng.random_range(3..6usize);
+            let g = generators::random_connected(n, 0.5, &mut rng, 0.3..3.0);
+            let game = NetworkDesignGame::broadcast(g, NodeId(0)).unwrap();
+            let tree = ndg_graph::kruskal(game.graph()).unwrap();
+            let (state, _) = State::from_tree(&game, &tree).unwrap();
+            let b = SubsidyAssignment::zero(game.graph());
+            assert_eq!(
+                is_strong_equilibrium(&game, &state, &b, 1),
+                is_equilibrium(&game, &state, &b)
+            );
+        }
+    }
+
+    #[test]
+    fn nash_but_not_strong() {
+        // Two players, two parallel two-edge routes between their common
+        // source region and the root: a classic coordination failure.
+        // Root r = 0; both players at node 3. Wait — broadcast games need
+        // distinct sources, so use a general game: players (3 → 0) twice
+        // is disallowed; instead players at 3 and 4 joined to a common
+        // hub 2:
+        //   cheap route: 2-1-0 (two edges of weight 1 each)
+        //   expensive route: 2-0 direct (weight 2.5)
+        // If both route via the direct edge they pay 1.25 each; jointly
+        // switching to 2-1-0 costs 1 each — a profitable 2-coalition, but
+        // no unilateral move helps (alone on 2-1-0 costs 2).
+        let mut g = ndg_graph::Graph::new(5);
+        let e_direct = g.add_edge(NodeId(2), NodeId(0), 2.5).unwrap();
+        let e21 = g.add_edge(NodeId(2), NodeId(1), 1.0).unwrap();
+        let e10 = g.add_edge(NodeId(1), NodeId(0), 1.0).unwrap();
+        let e32 = g.add_edge(NodeId(3), NodeId(2), 0.0).unwrap();
+        let e42 = g.add_edge(NodeId(4), NodeId(2), 0.0).unwrap();
+        let game = NetworkDesignGame::new(
+            g,
+            vec![
+                crate::game::Player { source: NodeId(3), terminal: NodeId(0) },
+                crate::game::Player { source: NodeId(4), terminal: NodeId(0) },
+            ],
+        )
+        .unwrap();
+        let state = State::new(
+            &game,
+            vec![vec![e32, e_direct], vec![e42, e_direct]],
+        )
+        .unwrap();
+        let b = SubsidyAssignment::zero(game.graph());
+        // Unilaterally stable: alone on the cheap route costs 2 > 1.25.
+        assert!(is_equilibrium(&game, &state, &b));
+        assert!(is_strong_equilibrium(&game, &state, &b, 1));
+        // But the pair deviates together.
+        let dev = find_coalition_deviation(&game, &state, &b, 2).expect("pair deviation");
+        assert_eq!(dev.members, vec![0, 1]);
+        for &(old, new) in &dev.costs {
+            assert!(new < old);
+        }
+        assert!(!is_strong_equilibrium(&game, &state, &b, 2));
+        // The cheap-route profile is 2-strong.
+        let good = State::new(&game, vec![vec![e32, e21, e10], vec![e42, e21, e10]]).unwrap();
+        assert!(is_strong_equilibrium(&game, &good, &b, 2));
+    }
+
+    #[test]
+    fn subsidies_restore_strong_stability() {
+        // Same instance: subsidizing the direct edge down to 2.0 makes the
+        // direct profile cost 1 each — no pair deviation remains... the
+        // cheap route would still give 1 each (not strictly better), so
+        // the direct profile becomes 2-strong.
+        let mut g = ndg_graph::Graph::new(5);
+        let e_direct = g.add_edge(NodeId(2), NodeId(0), 2.5).unwrap();
+        let _e21 = g.add_edge(NodeId(2), NodeId(1), 1.0).unwrap();
+        let _e10 = g.add_edge(NodeId(1), NodeId(0), 1.0).unwrap();
+        let e32 = g.add_edge(NodeId(3), NodeId(2), 0.0).unwrap();
+        let e42 = g.add_edge(NodeId(4), NodeId(2), 0.0).unwrap();
+        let game = NetworkDesignGame::new(
+            g,
+            vec![
+                crate::game::Player { source: NodeId(3), terminal: NodeId(0) },
+                crate::game::Player { source: NodeId(4), terminal: NodeId(0) },
+            ],
+        )
+        .unwrap();
+        let state =
+            State::new(&game, vec![vec![e32, e_direct], vec![e42, e_direct]]).unwrap();
+        let mut b = SubsidyAssignment::zero(game.graph());
+        b.set(game.graph(), e_direct, 0.5);
+        assert!(is_strong_equilibrium(&game, &state, &b, 2));
+    }
+
+    #[test]
+    fn all_simple_paths_counts() {
+        let g = generators::cycle_graph(5, 1.0);
+        // Exactly 2 simple paths between any two cycle nodes.
+        assert_eq!(all_simple_paths(&g, NodeId(0), NodeId(2)).len(), 2);
+        let k4 = generators::complete_graph(4, 1.0);
+        // K4: paths 0→1: direct(1), via one intermediate (2), via two (2)
+        // = 5.
+        assert_eq!(all_simple_paths(&k4, NodeId(0), NodeId(1)).len(), 5);
+    }
+}

@@ -1,0 +1,136 @@
+//! Fair (Shapley) cost sharing.
+//!
+//! In state `T` with subsidies `b`, player `i` pays
+//! `costᵢ(T; b) = Σ_{a∈Tᵢ} (w_a − b_a)/n_a(T)`; when she deviates to a path
+//! `Tᵢ'` the denominator becomes `n_a(T) + 1 − n_a^i(T)` — the number of
+//! users of `a` in the state `(T₋ᵢ, Tᵢ')` (Section 2 and LP (1)).
+
+use crate::game::NetworkDesignGame;
+use crate::state::State;
+use crate::subsidy::SubsidyAssignment;
+use ndg_graph::EdgeId;
+
+/// Cost of player `i` in state `state` of the extension with subsidies `b`.
+pub fn player_cost(
+    game: &NetworkDesignGame,
+    state: &State,
+    b: &SubsidyAssignment,
+    i: usize,
+) -> f64 {
+    let g = game.graph();
+    state
+        .path(i)
+        .iter()
+        .map(|&e| b.residual(g, e) / state.usage(e) as f64)
+        .sum()
+}
+
+/// Cost player `i` would pay after unilaterally deviating to `alt_path`
+/// (denominators `n_a(T) + 1 − n_a^i(T)`).
+pub fn deviation_cost(
+    game: &NetworkDesignGame,
+    state: &State,
+    b: &SubsidyAssignment,
+    i: usize,
+    alt_path: &[EdgeId],
+) -> f64 {
+    let g = game.graph();
+    alt_path
+        .iter()
+        .map(|&e| {
+            let denom = state.usage(e) + 1 - u32::from(state.uses(i, e));
+            b.residual(g, e) / denom as f64
+        })
+        .sum()
+}
+
+/// Social cost of the extension: total residual weight of established edges
+/// (equals `Σᵢ costᵢ(T; b)`).
+pub fn social_cost_subsidized(
+    game: &NetworkDesignGame,
+    state: &State,
+    b: &SubsidyAssignment,
+) -> f64 {
+    let g = game.graph();
+    state
+        .established_edges()
+        .iter()
+        .map(|&e| b.residual(g, e))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::game::NetworkDesignGame;
+    use ndg_graph::{generators, NodeId};
+
+    fn path_game(n: usize, w: f64) -> NetworkDesignGame {
+        NetworkDesignGame::broadcast(generators::path_graph(n, w), NodeId(0)).unwrap()
+    }
+
+    #[test]
+    fn shared_costs_on_a_path() {
+        // Path 0-1-2-3, root 0: edge usage 3,2,1; unit weights.
+        let game = path_game(4, 1.0);
+        let tree: Vec<EdgeId> = game.graph().edge_ids().collect();
+        let (state, _) = State::from_tree(&game, &tree).unwrap();
+        let b = SubsidyAssignment::zero(game.graph());
+        // Player of node 1 pays 1/3; node 2 pays 1/3 + 1/2; node 3 pays
+        // 1/3 + 1/2 + 1.
+        let c0 = player_cost(&game, &state, &b, 0);
+        let c1 = player_cost(&game, &state, &b, 1);
+        let c2 = player_cost(&game, &state, &b, 2);
+        assert!((c0 - 1.0 / 3.0).abs() < 1e-12);
+        assert!((c1 - (1.0 / 3.0 + 0.5)).abs() < 1e-12);
+        assert!((c2 - (1.0 / 3.0 + 0.5 + 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn subsidies_reduce_cost() {
+        let game = path_game(3, 2.0);
+        let tree: Vec<EdgeId> = game.graph().edge_ids().collect();
+        let (state, _) = State::from_tree(&game, &tree).unwrap();
+        let mut b = SubsidyAssignment::zero(game.graph());
+        b.set(game.graph(), EdgeId(0), 1.0); // halve the first edge
+        // Player of node 1: (2−1)/2 = 0.5 instead of 1.
+        assert!((player_cost(&game, &state, &b, 0) - 0.5).abs() < 1e-12);
+        // Social cost under subsidies: (2−1) + 2 = 3.
+        assert!((social_cost_subsidized(&game, &state, &b) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deviation_denominators() {
+        // Cycle of 4 nodes, root 0, tree = path 0-1-2-3.
+        let g = generators::cycle_graph(4, 1.0);
+        let game = NetworkDesignGame::broadcast(g, NodeId(0)).unwrap();
+        let tree: Vec<EdgeId> = (0..3).map(EdgeId).collect();
+        let (state, _) = State::from_tree(&game, &tree).unwrap();
+        let b = SubsidyAssignment::zero(game.graph());
+        // Player of node 3 (index 2) deviates to the closing edge e3:
+        // unused edge, denominator 1 ⇒ cost 1.
+        let dev = deviation_cost(&game, &state, &b, 2, &[EdgeId(3)]);
+        assert!((dev - 1.0).abs() < 1e-12);
+        // Player of node 1 (index 0) deviates to [e3, e2, e1]:
+        // e3 unused → 1; e2 used by player 2 (not by her) → 1/2;
+        // e1 used by players 1,2 (not her) → 1/3.
+        let dev0 = deviation_cost(&game, &state, &b, 0, &[EdgeId(1), EdgeId(2), EdgeId(3)]);
+        assert!((dev0 - (1.0 / 3.0 + 0.5 + 1.0)).abs() < 1e-12);
+        // Deviating to her own current path must reproduce her cost
+        // (n + 1 − 1 = n on every edge she already uses).
+        let stay = deviation_cost(&game, &state, &b, 0, &[EdgeId(0)]);
+        assert!((stay - player_cost(&game, &state, &b, 0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fully_subsidized_edges_cost_nothing() {
+        let game = path_game(3, 5.0);
+        let tree: Vec<EdgeId> = game.graph().edge_ids().collect();
+        let (state, _) = State::from_tree(&game, &tree).unwrap();
+        let b = SubsidyAssignment::all_or_nothing(game.graph(), &tree);
+        for i in 0..game.num_players() {
+            assert_eq!(player_cost(&game, &state, &b, i), 0.0);
+        }
+        assert_eq!(social_cost_subsidized(&game, &state, &b), 0.0);
+    }
+}

@@ -1,0 +1,216 @@
+//! Best-response dynamics.
+//!
+//! Because the game admits Rosenthal's exact potential, best-response
+//! dynamics strictly decreases `Φ` with every improving move and therefore
+//! converges to a pure Nash equilibrium. This module drives those dynamics
+//! under several move orders; E7/E9 use it to estimate equilibrium quality
+//! reached from the social optimum (the Anshelevich et al. price-of-
+//! stability argument) and to cross-check the enumerator's equilibria.
+
+use crate::equilibrium::best_response;
+use crate::game::NetworkDesignGame;
+use crate::num::strictly_lt;
+use crate::potential::rosenthal_potential;
+use crate::state::State;
+use crate::subsidy::SubsidyAssignment;
+use crate::cost::player_cost;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// Which player moves next.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MoveOrder {
+    /// Players move in index order, round after round.
+    RoundRobin,
+    /// A uniformly random player order is drawn for each round.
+    RandomOrder(u64),
+    /// In every step, the player with the largest cost improvement moves.
+    MaxGain,
+}
+
+/// Outcome of a dynamics run.
+#[derive(Clone, Debug)]
+pub struct DynamicsResult {
+    /// Final state.
+    pub state: State,
+    /// Number of improving moves performed.
+    pub moves: usize,
+    /// Number of full rounds elapsed.
+    pub rounds: usize,
+    /// Whether a Nash equilibrium was certified (no player can improve).
+    pub converged: bool,
+    /// Potential after every improving move (starting value first).
+    pub potential_trace: Vec<f64>,
+}
+
+/// Run best-response dynamics from `initial` until convergence or
+/// `max_rounds` full rounds.
+pub fn best_response_dynamics(
+    game: &NetworkDesignGame,
+    initial: State,
+    b: &SubsidyAssignment,
+    order: MoveOrder,
+    max_rounds: usize,
+) -> DynamicsResult {
+    let mut state = initial;
+    let n = game.num_players();
+    let mut moves = 0usize;
+    let mut rounds = 0usize;
+    let mut trace = vec![rosenthal_potential(game, &state, b)];
+    let mut rng = match order {
+        MoveOrder::RandomOrder(seed) => Some(StdRng::seed_from_u64(seed)),
+        _ => None,
+    };
+
+    while rounds < max_rounds {
+        rounds += 1;
+        let mut improved_this_round = false;
+        match order {
+            MoveOrder::RoundRobin | MoveOrder::RandomOrder(_) => {
+                let mut players: Vec<usize> = (0..n).collect();
+                if let Some(rng) = rng.as_mut() {
+                    players.shuffle(rng);
+                }
+                for i in players {
+                    let current = player_cost(game, &state, b, i);
+                    let (path, cost) = best_response(game, &state, b, i);
+                    if strictly_lt(cost, current) {
+                        state.replace_path(i, path);
+                        moves += 1;
+                        improved_this_round = true;
+                        let phi = rosenthal_potential(game, &state, b);
+                        debug_assert!(
+                            phi < trace.last().unwrap() + 1e-9,
+                            "potential must not increase"
+                        );
+                        trace.push(phi);
+                    }
+                }
+            }
+            MoveOrder::MaxGain => {
+                // One move per "round": the single best improvement.
+                let mut best: Option<(usize, Vec<ndg_graph::EdgeId>, f64)> = None;
+                for i in 0..n {
+                    let current = player_cost(game, &state, b, i);
+                    let (path, cost) = best_response(game, &state, b, i);
+                    if strictly_lt(cost, current) {
+                        let gain = current - cost;
+                        if best.as_ref().is_none_or(|(_, _, g)| gain > *g) {
+                            best = Some((i, path, gain));
+                        }
+                    }
+                }
+                if let Some((i, path, _)) = best {
+                    state.replace_path(i, path);
+                    moves += 1;
+                    improved_this_round = true;
+                    trace.push(rosenthal_potential(game, &state, b));
+                }
+            }
+        }
+        if !improved_this_round {
+            return DynamicsResult {
+                state,
+                moves,
+                rounds,
+                converged: true,
+                potential_trace: trace,
+            };
+        }
+    }
+    // Round budget exhausted; check whether we happen to be at equilibrium.
+    let converged = crate::equilibrium::is_equilibrium(game, &state, b);
+    DynamicsResult {
+        state,
+        moves,
+        rounds,
+        converged,
+        potential_trace: trace,
+    }
+}
+
+/// Convenience: run dynamics starting from the state induced by a spanning
+/// tree (e.g. an MST, as in the price-of-stability argument).
+pub fn dynamics_from_tree(
+    game: &NetworkDesignGame,
+    tree_edges: &[ndg_graph::EdgeId],
+    b: &SubsidyAssignment,
+    order: MoveOrder,
+    max_rounds: usize,
+) -> Result<DynamicsResult, crate::state::StateError> {
+    let (state, _) = State::from_tree(game, tree_edges)?;
+    Ok(best_response_dynamics(game, state, b, order, max_rounds))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::equilibrium::is_equilibrium;
+    use ndg_graph::{generators, kruskal, EdgeId, NodeId};
+
+    #[test]
+    fn converges_on_cycle_and_improves_far_player() {
+        let n = 6;
+        let g = generators::cycle_graph(n + 1, 1.0);
+        let game = NetworkDesignGame::broadcast(g, NodeId(0)).unwrap();
+        let tree: Vec<EdgeId> = (0..n as u32).map(EdgeId).collect();
+        let b = SubsidyAssignment::zero(game.graph());
+        let res = dynamics_from_tree(&game, &tree, &b, MoveOrder::RoundRobin, 100).unwrap();
+        assert!(res.converged);
+        assert!(res.moves >= 1);
+        assert!(is_equilibrium(&game, &res.state, &b));
+        // Potential strictly decreases along the trace.
+        for w in res.potential_trace.windows(2) {
+            assert!(w[1] < w[0] + 1e-9);
+        }
+    }
+
+    #[test]
+    fn all_orders_converge_randomized() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(7);
+        for case in 0..12 {
+            let n = rng.random_range(3..9usize);
+            let g = generators::random_connected(n, 0.5, &mut rng, 0.2..3.0);
+            let game = NetworkDesignGame::broadcast(g, NodeId(0)).unwrap();
+            let tree = kruskal(game.graph()).unwrap();
+            let b = SubsidyAssignment::zero(game.graph());
+            for order in [
+                MoveOrder::RoundRobin,
+                MoveOrder::RandomOrder(case),
+                MoveOrder::MaxGain,
+            ] {
+                let res =
+                    dynamics_from_tree(&game, &tree, &b, order, 10_000).unwrap();
+                assert!(res.converged, "order {order:?} failed to converge");
+                assert!(is_equilibrium(&game, &res.state, &b));
+            }
+        }
+    }
+
+    #[test]
+    fn equilibrium_start_needs_no_moves() {
+        let g = generators::star_graph(5, 1.0);
+        let game = NetworkDesignGame::broadcast(g, NodeId(0)).unwrap();
+        let tree: Vec<EdgeId> = game.graph().edge_ids().collect();
+        let b = SubsidyAssignment::zero(game.graph());
+        let res = dynamics_from_tree(&game, &tree, &b, MoveOrder::RoundRobin, 10).unwrap();
+        assert!(res.converged);
+        assert_eq!(res.moves, 0);
+        assert_eq!(res.rounds, 1);
+    }
+
+    #[test]
+    fn subsidized_dynamics_respects_extension_costs() {
+        // With the Theorem 11 cycle and the closing edge made free to the
+        // deviator, subsidizing the whole tree keeps everyone in place.
+        let n = 5;
+        let g = generators::cycle_graph(n + 1, 1.0);
+        let game = NetworkDesignGame::broadcast(g, NodeId(0)).unwrap();
+        let tree: Vec<EdgeId> = (0..n as u32).map(EdgeId).collect();
+        let b = SubsidyAssignment::all_or_nothing(game.graph(), &tree);
+        let res = dynamics_from_tree(&game, &tree, &b, MoveOrder::RoundRobin, 10).unwrap();
+        assert!(res.converged);
+        assert_eq!(res.moves, 0);
+    }
+}

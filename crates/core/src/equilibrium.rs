@@ -1,0 +1,236 @@
+//! Exact Nash-equilibrium verification for arbitrary network design games.
+//!
+//! A state `T` is a pure Nash equilibrium of the extension with subsidies
+//! `b` iff no player's best response improves on her current cost. Best
+//! responses are shortest paths in the paper's separation-oracle graph
+//! `H_i` with weights `w'_a = (w_a − b_a)/(n_a(T) + 1 − n_a^i(T))`
+//! (Theorem 1). The per-player checks are independent, so they fan out
+//! across threads with rayon.
+
+use crate::cost::{deviation_cost, player_cost};
+use crate::game::NetworkDesignGame;
+use crate::num::strictly_lt;
+use crate::state::State;
+use crate::subsidy::SubsidyAssignment;
+use ndg_graph::paths::dijkstra_with;
+use ndg_graph::EdgeId;
+use rayon::prelude::*;
+
+/// A profitable unilateral deviation, as a counterexample witness.
+#[derive(Clone, Debug)]
+pub struct Deviation {
+    /// Deviating player.
+    pub player: usize,
+    /// Her cost in the current state.
+    pub current_cost: f64,
+    /// Cost of the improving path.
+    pub new_cost: f64,
+    /// The improving path.
+    pub path: Vec<EdgeId>,
+}
+
+/// Best response of player `i` against `state` in the extension with `b`:
+/// the minimum-cost `sᵢ → tᵢ` path under deviation weights, with its cost.
+pub fn best_response(
+    game: &NetworkDesignGame,
+    state: &State,
+    b: &SubsidyAssignment,
+    i: usize,
+) -> (Vec<EdgeId>, f64) {
+    let g = game.graph();
+    let player = game.players()[i];
+    let sp = dijkstra_with(g, player.source, |e| {
+        let denom = state.usage(e) + 1 - u32::from(state.uses(i, e));
+        b.residual(g, e) / denom as f64
+    });
+    let path = sp
+        .path_to(g, player.terminal)
+        .expect("game validation guarantees a connecting path");
+    let cost = deviation_cost(game, state, b, i, &path);
+    (path, cost)
+}
+
+/// The best profitable deviation of any player (minimum player index among
+/// those with a strict improvement), or `None` if `state` is an equilibrium.
+pub fn find_deviation(
+    game: &NetworkDesignGame,
+    state: &State,
+    b: &SubsidyAssignment,
+) -> Option<Deviation> {
+    (0..game.num_players())
+        .into_par_iter()
+        .filter_map(|i| {
+            let current = player_cost(game, state, b, i);
+            let (path, new_cost) = best_response(game, state, b, i);
+            if strictly_lt(new_cost, current) {
+                Some(Deviation {
+                    player: i,
+                    current_cost: current,
+                    new_cost,
+                    path,
+                })
+            } else {
+                None
+            }
+        })
+        .min_by_key(|d| d.player)
+}
+
+/// Whether `state` is a pure Nash equilibrium of the extension with `b`.
+pub fn is_equilibrium(game: &NetworkDesignGame, state: &State, b: &SubsidyAssignment) -> bool {
+    find_deviation(game, state, b).is_none()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::State;
+    use ndg_graph::{generators, NodeId};
+
+    /// Theorem 11's cycle instance: unit cycle, tree = the path; the player
+    /// across the missing edge deviates iff her path cost H_n > 1.
+    #[test]
+    fn cycle_instance_unstable_without_subsidies() {
+        let n = 6; // H_6 ≈ 2.45 > 1
+        let g = generators::cycle_graph(n + 1, 1.0);
+        let game = NetworkDesignGame::broadcast(g, NodeId(0)).unwrap();
+        let tree: Vec<EdgeId> = (0..n as u32).map(EdgeId).collect();
+        let (state, _) = State::from_tree(&game, &tree).unwrap();
+        let b = SubsidyAssignment::zero(game.graph());
+        let dev = find_deviation(&game, &state, &b).expect("must be unstable");
+        // The deviator is the far-end player (node n), jumping to the
+        // closing edge at cost 1.
+        assert_eq!(dev.player, game.player_of_node(NodeId(n as u32)).unwrap());
+        assert!((dev.new_cost - 1.0).abs() < 1e-9);
+        assert!(dev.current_cost > 2.0);
+        assert!(!is_equilibrium(&game, &state, &b));
+    }
+
+    #[test]
+    fn full_subsidies_stabilize_anything() {
+        let n = 6;
+        let g = generators::cycle_graph(n + 1, 1.0);
+        let game = NetworkDesignGame::broadcast(g, NodeId(0)).unwrap();
+        let tree: Vec<EdgeId> = (0..n as u32).map(EdgeId).collect();
+        let (state, _) = State::from_tree(&game, &tree).unwrap();
+        let b = SubsidyAssignment::all_or_nothing(game.graph(), &tree);
+        assert!(is_equilibrium(&game, &state, &b));
+    }
+
+    #[test]
+    fn triangle_path_tree_unstable_star_tree_stable() {
+        // Unit triangle with root 0. Tree {(0,1),(1,2)}: node 2 pays
+        // 1 + 1/2 and can defect to the direct edge for 1 ⇒ unstable.
+        // Tree {(0,1),(2,0)}: both players pay 1, any detour costs 1.5
+        // ⇒ equilibrium.
+        let g = generators::cycle_graph(3, 1.0);
+        let game = NetworkDesignGame::broadcast(g, NodeId(0)).unwrap();
+        let b = SubsidyAssignment::zero(game.graph());
+
+        let path_tree = vec![EdgeId(0), EdgeId(1)];
+        let (state, _) = State::from_tree(&game, &path_tree).unwrap();
+        let dev = find_deviation(&game, &state, &b).expect("node 2 defects");
+        assert_eq!(dev.player, game.player_of_node(NodeId(2)).unwrap());
+        assert!((dev.new_cost - 1.0).abs() < 1e-9);
+
+        let star_tree = vec![EdgeId(0), EdgeId(2)];
+        let (state, _) = State::from_tree(&game, &star_tree).unwrap();
+        assert!(is_equilibrium(&game, &state, &b));
+    }
+
+    #[test]
+    fn star_tree_always_equilibrium() {
+        // Uniform star from the root: each player uses her own spoke and
+        // any deviation costs at least as much.
+        let g = generators::star_graph(6, 2.0);
+        let game = NetworkDesignGame::broadcast(g, NodeId(0)).unwrap();
+        let tree: Vec<EdgeId> = game.graph().edge_ids().collect();
+        let (state, _) = State::from_tree(&game, &tree).unwrap();
+        let b = SubsidyAssignment::zero(game.graph());
+        assert!(is_equilibrium(&game, &state, &b));
+    }
+
+    #[test]
+    fn best_response_is_optimal_against_brute_force() {
+        // On small random games, the Dijkstra best response must match the
+        // cheapest among all simple paths (enumerated by DFS).
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(21);
+        for _ in 0..10 {
+            let n = rng.random_range(3..7usize);
+            let g = generators::random_connected(n, 0.5, &mut rng, 0.2..3.0);
+            let game = NetworkDesignGame::broadcast(g, NodeId(0)).unwrap();
+            let tree = ndg_graph::kruskal(game.graph()).unwrap();
+            let (state, _) = State::from_tree(&game, &tree).unwrap();
+            let b = SubsidyAssignment::zero(game.graph());
+            for i in 0..game.num_players() {
+                let (_, br_cost) = best_response(&game, &state, &b, i);
+                let brute = cheapest_simple_path_cost(&game, &state, &b, i);
+                assert!(
+                    (br_cost - brute).abs() < 1e-9,
+                    "player {i}: dijkstra {br_cost} vs brute {brute}"
+                );
+            }
+        }
+    }
+
+    /// Enumerate all simple s→t paths by DFS and return the min deviation
+    /// cost (test helper; exponential).
+    fn cheapest_simple_path_cost(
+        game: &NetworkDesignGame,
+        state: &State,
+        b: &SubsidyAssignment,
+        i: usize,
+    ) -> f64 {
+        let g = game.graph();
+        let p = game.players()[i];
+        let mut best = f64::INFINITY;
+        let mut visited = vec![false; g.node_count()];
+        let mut stack_path: Vec<EdgeId> = Vec::new();
+        #[allow(clippy::too_many_arguments)]
+        fn dfs(
+            g: &ndg_graph::Graph,
+            game: &NetworkDesignGame,
+            state: &State,
+            b: &SubsidyAssignment,
+            i: usize,
+            cur: NodeId,
+            target: NodeId,
+            visited: &mut Vec<bool>,
+            path: &mut Vec<EdgeId>,
+            best: &mut f64,
+        ) {
+            if cur == target {
+                let c = deviation_cost(game, state, b, i, path);
+                if c < *best {
+                    *best = c;
+                }
+                return;
+            }
+            visited[cur.index()] = true;
+            for &(nb, e) in g.neighbors(cur) {
+                if !visited[nb.index()] {
+                    path.push(e);
+                    dfs(g, game, state, b, i, nb, target, visited, path, best);
+                    path.pop();
+                }
+            }
+            visited[cur.index()] = false;
+        }
+        dfs(
+            g,
+            game,
+            state,
+            b,
+            i,
+            p.source,
+            p.terminal,
+            &mut visited,
+            &mut stack_path,
+            &mut best,
+        );
+        best
+    }
+
+    use crate::cost::deviation_cost;
+}

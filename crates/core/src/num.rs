@@ -1,0 +1,71 @@
+//! Tolerant floating-point comparisons.
+//!
+//! Every equilibrium inequality in this workspace is tested through these
+//! helpers so that LP-solver noise (≈1e-9 relative) can never flip a Nash
+//! check. The paper's arguments are exact; we reproduce them in `f64` with
+//! an explicit absolute tolerance.
+
+/// Absolute tolerance used across all equilibrium and cost comparisons.
+pub const EPS: f64 = 1e-7;
+
+/// `a ≤ b` up to tolerance.
+#[inline]
+pub fn approx_le(a: f64, b: f64) -> bool {
+    a <= b + EPS
+}
+
+/// `a ≥ b` up to tolerance.
+#[inline]
+pub fn approx_ge(a: f64, b: f64) -> bool {
+    a + EPS >= b
+}
+
+/// `a = b` up to tolerance.
+#[inline]
+pub fn approx_eq(a: f64, b: f64) -> bool {
+    (a - b).abs() <= EPS
+}
+
+/// `a < b` by more than the tolerance (a *strict*, noise-proof improvement).
+#[inline]
+pub fn strictly_lt(a: f64, b: f64) -> bool {
+    a < b - EPS
+}
+
+/// `a > b` by more than the tolerance.
+#[inline]
+pub fn strictly_gt(a: f64, b: f64) -> bool {
+    a > b + EPS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comparisons_respect_tolerance() {
+        assert!(approx_le(1.0, 1.0));
+        assert!(approx_le(1.0 + EPS / 2.0, 1.0));
+        assert!(!approx_le(1.0 + 2.0 * EPS, 1.0));
+        assert!(approx_ge(1.0, 1.0 + EPS / 2.0));
+        assert!(approx_eq(1.0, 1.0 + EPS / 2.0));
+        assert!(!approx_eq(1.0, 1.0 + 2.0 * EPS));
+    }
+
+    #[test]
+    fn strict_comparisons_need_margin() {
+        assert!(!strictly_lt(1.0, 1.0));
+        assert!(!strictly_lt(1.0 - EPS / 2.0, 1.0));
+        assert!(strictly_lt(1.0 - 2.0 * EPS, 1.0));
+        assert!(strictly_gt(1.0 + 2.0 * EPS, 1.0));
+        assert!(!strictly_gt(1.0 + EPS / 2.0, 1.0));
+    }
+
+    #[test]
+    fn strict_and_approx_are_complements() {
+        for &(a, b) in &[(0.0, 1.0), (1.0, 0.0), (1.0, 1.0), (2.5, 2.5 + EPS)] {
+            assert_eq!(strictly_lt(a, b), !approx_ge(a, b));
+            assert_eq!(strictly_gt(a, b), !approx_le(a, b));
+        }
+    }
+}

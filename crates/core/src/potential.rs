@@ -1,0 +1,123 @@
+//! Rosenthal's potential function.
+//!
+//! `Φ(T; b) = Σ_a (w_a − b_a) · H_{n_a(T)}` is an exact potential for the
+//! extension game: a unilateral deviation changes `Φ` by exactly the
+//! change in the deviator's cost, so best-response dynamics strictly
+//! descends `Φ` and every local minimum is a Nash equilibrium
+//! (Anshelevich et al.; Section 1 of the paper). Moreover
+//! `C(T; b) ≤ Φ(T; b) ≤ H_n · C(T; b)` where `C` is the subsidized social
+//! cost — the inequality behind the `H_n` price-of-stability bound.
+
+use crate::game::NetworkDesignGame;
+use crate::state::State;
+use crate::subsidy::SubsidyAssignment;
+use ndg_graph::harmonic;
+
+/// `Φ(T; b) = Σ_a (w_a − b_a) H_{n_a(T)}`.
+pub fn rosenthal_potential(
+    game: &NetworkDesignGame,
+    state: &State,
+    b: &SubsidyAssignment,
+) -> f64 {
+    let g = game.graph();
+    g.edge_ids()
+        .map(|e| {
+            let n_a = state.usage(e);
+            if n_a == 0 {
+                0.0
+            } else {
+                b.residual(g, e) * harmonic(n_a as u64)
+            }
+        })
+        .sum()
+}
+
+/// The sandwich `C ≤ Φ ≤ H_n · C` (with `C` the subsidized social cost);
+/// returns `(C, Φ, H_n·C)` for inspection.
+pub fn potential_sandwich(
+    game: &NetworkDesignGame,
+    state: &State,
+    b: &SubsidyAssignment,
+) -> (f64, f64, f64) {
+    let c = crate::cost::social_cost_subsidized(game, state, b);
+    let phi = rosenthal_potential(game, state, b);
+    let hn = harmonic(game.num_players() as u64);
+    (c, phi, hn * c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::player_cost;
+    use crate::equilibrium::best_response;
+    use crate::state::State;
+    use ndg_graph::{generators, kruskal, NodeId};
+    use rand::prelude::*;
+
+    /// The defining property: Φ(T') − Φ(T) = cost_i(T') − cost_i(T) when
+    /// only player i's strategy changes.
+    #[test]
+    fn exact_potential_property_randomized() {
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..40 {
+            let n = rng.random_range(3..9usize);
+            let g = generators::random_connected(n, 0.5, &mut rng, 0.2..3.0);
+            let game = NetworkDesignGame::broadcast(g, NodeId(0)).unwrap();
+            let tree = kruskal(game.graph()).unwrap();
+            let (mut state, _) = State::from_tree(&game, &tree).unwrap();
+            let mut b = SubsidyAssignment::zero(game.graph());
+            // Random fractional subsidies to stress the subsidized variant.
+            for e in game.graph().edge_ids() {
+                if rng.random_bool(0.3) {
+                    let w = game.graph().weight(e);
+                    b.set(game.graph(), e, rng.random_range(0.0..=w));
+                }
+            }
+            let i = rng.random_range(0..game.num_players());
+            let phi_before = rosenthal_potential(&game, &state, &b);
+            let cost_before = player_cost(&game, &state, &b, i);
+            let (new_path, predicted_cost) = best_response(&game, &state, &b, i);
+            state.replace_path(i, new_path);
+            let phi_after = rosenthal_potential(&game, &state, &b);
+            let cost_after = player_cost(&game, &state, &b, i);
+            assert!(
+                (cost_after - predicted_cost).abs() < 1e-9,
+                "deviation-cost prediction"
+            );
+            assert!(
+                ((phi_after - phi_before) - (cost_after - cost_before)).abs() < 1e-9,
+                "Δφ {} != Δcost {}",
+                phi_after - phi_before,
+                cost_after - cost_before
+            );
+        }
+    }
+
+    #[test]
+    fn sandwich_bounds_hold() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..20 {
+            let n = rng.random_range(3..10usize);
+            let g = generators::random_connected(n, 0.4, &mut rng, 0.2..3.0);
+            let game = NetworkDesignGame::broadcast(g, NodeId(0)).unwrap();
+            let tree = kruskal(game.graph()).unwrap();
+            let (state, _) = State::from_tree(&game, &tree).unwrap();
+            let b = SubsidyAssignment::zero(game.graph());
+            let (c, phi, hn_c) = potential_sandwich(&game, &state, &b);
+            assert!(c <= phi + 1e-9, "C={c} > Φ={phi}");
+            assert!(phi <= hn_c + 1e-9, "Φ={phi} > H_n·C={hn_c}");
+        }
+    }
+
+    #[test]
+    fn potential_of_empty_usage_edges_is_zero() {
+        let g = generators::cycle_graph(4, 1.0);
+        let game = NetworkDesignGame::broadcast(g, NodeId(0)).unwrap();
+        let tree: Vec<_> = (0..3).map(ndg_graph::EdgeId).collect();
+        let (state, _) = State::from_tree(&game, &tree).unwrap();
+        let b = SubsidyAssignment::zero(game.graph());
+        // Φ = Σ over the 3 path edges with usages 3,2,1 → H_3 + H_2 + H_1.
+        let want = harmonic(3) + harmonic(2) + harmonic(1);
+        assert!((rosenthal_potential(&game, &state, &b) - want).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,220 @@
+//! Subsidy assignments (Section 2).
+//!
+//! A subsidy assignment `b` gives each edge `a` an amount `b_a ∈ [0, w_a]`;
+//! its cost is `Σ_a b_a`. In the *all-or-nothing* (integral) variant of
+//! Section 5, `b_a ∈ {0, w_a}`. The extension of a game with subsidies `b`
+//! shares the *residual* weight `w_a − b_a` among an edge's users.
+
+use crate::num::EPS;
+use ndg_graph::{EdgeId, Graph};
+use std::fmt;
+
+/// Errors when building a subsidy assignment.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SubsidyError {
+    /// Vector length does not match the graph's edge count.
+    LengthMismatch { got: usize, want: usize },
+    /// `b_a` outside `[0, w_a]` (beyond tolerance) or not finite.
+    OutOfRange { edge: EdgeId, b: f64, w: f64 },
+}
+
+impl fmt::Display for SubsidyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubsidyError::LengthMismatch { got, want } => {
+                write!(f, "subsidy vector length {got}, expected {want}")
+            }
+            SubsidyError::OutOfRange { edge, b, w } => {
+                write!(f, "subsidy {b} on edge {edge:?} outside [0, {w}]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SubsidyError {}
+
+/// A subsidy assignment `b: E → [0, w]`, stored densely per edge.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SubsidyAssignment {
+    b: Vec<f64>,
+}
+
+impl SubsidyAssignment {
+    /// The all-zero assignment (the original, unsubsidized game).
+    pub fn zero(g: &Graph) -> Self {
+        SubsidyAssignment {
+            b: vec![0.0; g.edge_count()],
+        }
+    }
+
+    /// Build from an explicit per-edge vector, validating bounds.
+    /// Values within `EPS` of the bounds are clamped.
+    pub fn new(g: &Graph, b: Vec<f64>) -> Result<Self, SubsidyError> {
+        if b.len() != g.edge_count() {
+            return Err(SubsidyError::LengthMismatch {
+                got: b.len(),
+                want: g.edge_count(),
+            });
+        }
+        let mut clamped = b;
+        for (i, v) in clamped.iter_mut().enumerate() {
+            let e = EdgeId(i as u32);
+            let w = g.weight(e);
+            if !v.is_finite() || *v < -EPS || *v > w + EPS {
+                return Err(SubsidyError::OutOfRange { edge: e, b: *v, w });
+            }
+            *v = v.clamp(0.0, w);
+        }
+        Ok(SubsidyAssignment { b: clamped })
+    }
+
+    /// All-or-nothing assignment fully subsidizing exactly the edges in
+    /// `fully`.
+    pub fn all_or_nothing(g: &Graph, fully: &[EdgeId]) -> Self {
+        let mut b = vec![0.0; g.edge_count()];
+        for &e in fully {
+            b[e.index()] = g.weight(e);
+        }
+        SubsidyAssignment { b }
+    }
+
+    /// Subsidy on edge `e`.
+    #[inline]
+    pub fn get(&self, e: EdgeId) -> f64 {
+        self.b[e.index()]
+    }
+
+    /// Set the subsidy on `e`, clamping into `[0, w_e]`.
+    pub fn set(&mut self, g: &Graph, e: EdgeId, v: f64) {
+        self.b[e.index()] = v.clamp(0.0, g.weight(e));
+    }
+
+    /// Residual weight `w_e − b_e` shared by the players of `e`.
+    #[inline]
+    pub fn residual(&self, g: &Graph, e: EdgeId) -> f64 {
+        (g.weight(e) - self.b[e.index()]).max(0.0)
+    }
+
+    /// Total cost `b(E) = Σ_a b_a`.
+    pub fn cost(&self) -> f64 {
+        self.b.iter().sum()
+    }
+
+    /// `b(A)`: total subsidies on a given edge set.
+    pub fn cost_on(&self, edges: &[EdgeId]) -> f64 {
+        edges.iter().map(|&e| self.b[e.index()]).sum()
+    }
+
+    /// Whether every subsidy is 0 or the full edge weight (within `EPS`).
+    pub fn is_all_or_nothing(&self, g: &Graph) -> bool {
+        self.b.iter().enumerate().all(|(i, &v)| {
+            let w = g.weight(EdgeId(i as u32));
+            v.abs() <= EPS || (v - w).abs() <= EPS
+        })
+    }
+
+    /// The edges with any positive subsidy.
+    pub fn support(&self) -> Vec<EdgeId> {
+        self.b
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| v > EPS)
+            .map(|(i, _)| EdgeId(i as u32))
+            .collect()
+    }
+
+    /// Pointwise sum of two assignments on the same graph, clamped into
+    /// bounds (used by Theorem 6 to combine per-layer subsidies).
+    pub fn add(&self, g: &Graph, other: &SubsidyAssignment) -> SubsidyAssignment {
+        let b = self
+            .b
+            .iter()
+            .zip(&other.b)
+            .enumerate()
+            .map(|(i, (x, y))| (x + y).clamp(0.0, g.weight(EdgeId(i as u32))))
+            .collect();
+        SubsidyAssignment { b }
+    }
+
+    /// The raw per-edge vector.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ndg_graph::generators;
+    use ndg_graph::NodeId;
+
+    #[test]
+    fn zero_assignment() {
+        let g = generators::cycle_graph(4, 2.0);
+        let b = SubsidyAssignment::zero(&g);
+        assert_eq!(b.cost(), 0.0);
+        assert_eq!(b.residual(&g, EdgeId(0)), 2.0);
+        assert!(b.is_all_or_nothing(&g));
+        assert!(b.support().is_empty());
+    }
+
+    #[test]
+    fn validation() {
+        let g = generators::path_graph(3, 1.0);
+        assert!(matches!(
+            SubsidyAssignment::new(&g, vec![0.5]),
+            Err(SubsidyError::LengthMismatch { .. })
+        ));
+        assert!(matches!(
+            SubsidyAssignment::new(&g, vec![0.5, 1.5]),
+            Err(SubsidyError::OutOfRange { .. })
+        ));
+        assert!(matches!(
+            SubsidyAssignment::new(&g, vec![-0.5, 0.0]),
+            Err(SubsidyError::OutOfRange { .. })
+        ));
+        let ok = SubsidyAssignment::new(&g, vec![0.5, 1.0]).unwrap();
+        assert_eq!(ok.cost(), 1.5);
+        assert!(!ok.is_all_or_nothing(&g));
+    }
+
+    #[test]
+    fn near_bound_values_clamped() {
+        let g = generators::path_graph(2, 1.0);
+        let b = SubsidyAssignment::new(&g, vec![1.0 + EPS / 2.0]).unwrap();
+        assert_eq!(b.get(EdgeId(0)), 1.0);
+        let b2 = SubsidyAssignment::new(&g, vec![-EPS / 2.0]).unwrap();
+        assert_eq!(b2.get(EdgeId(0)), 0.0);
+    }
+
+    #[test]
+    fn all_or_nothing_constructor() {
+        let g = generators::cycle_graph(4, 3.0);
+        let b = SubsidyAssignment::all_or_nothing(&g, &[EdgeId(1), EdgeId(3)]);
+        assert!(b.is_all_or_nothing(&g));
+        assert_eq!(b.cost(), 6.0);
+        assert_eq!(b.get(EdgeId(0)), 0.0);
+        assert_eq!(b.get(EdgeId(1)), 3.0);
+        assert_eq!(b.support(), vec![EdgeId(1), EdgeId(3)]);
+        assert_eq!(b.cost_on(&[EdgeId(0), EdgeId(1)]), 3.0);
+    }
+
+    #[test]
+    fn set_clamps_and_add_combines() {
+        let mut g = ndg_graph::Graph::new(2);
+        g.add_edge(NodeId(0), NodeId(1), 2.0).unwrap();
+        let mut b = SubsidyAssignment::zero(&g);
+        b.set(&g, EdgeId(0), 5.0);
+        assert_eq!(b.get(EdgeId(0)), 2.0);
+        b.set(&g, EdgeId(0), -1.0);
+        assert_eq!(b.get(EdgeId(0)), 0.0);
+
+        let mut x = SubsidyAssignment::zero(&g);
+        let mut y = SubsidyAssignment::zero(&g);
+        x.set(&g, EdgeId(0), 1.5);
+        y.set(&g, EdgeId(0), 1.0);
+        let sum = x.add(&g, &y);
+        assert_eq!(sum.get(EdgeId(0)), 2.0); // clamped at the weight
+        assert_eq!(sum.residual(&g, EdgeId(0)), 0.0);
+    }
+}

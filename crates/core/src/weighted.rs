@@ -1,0 +1,285 @@
+//! Weighted players (Section 6; Chen–Roughgarden \[14\]).
+//!
+//! Each player `i` has a demand `dᵢ > 0` and pays a *proportional* share
+//! of each edge she uses: `cost_i(T; b) = Σ_{a∈Tᵢ} (w_a − b_a)·dᵢ/D_a(T)`
+//! where `D_a(T)` is the total demand on `a`. Unweighted games are the
+//! `dᵢ ≡ 1` special case. Unlike the unweighted game, proportional-share
+//! weighted games need not admit an exact potential, so this module
+//! provides only what remains sound: exact cost evaluation, best responses
+//! (Dijkstra on proportional deviation weights) and Nash verification.
+//! Enforcement stays an LP — see `ndg-sne::lp_weighted`.
+
+use crate::game::NetworkDesignGame;
+use crate::num::strictly_lt;
+use crate::state::State;
+use crate::subsidy::SubsidyAssignment;
+use ndg_graph::paths::dijkstra_with;
+use ndg_graph::EdgeId;
+
+/// A weighted view over a game: per-player demands.
+#[derive(Clone, Debug)]
+pub struct Demands {
+    d: Vec<f64>,
+}
+
+impl Demands {
+    /// Validate demands: one per player, each positive and finite.
+    pub fn new(game: &NetworkDesignGame, d: Vec<f64>) -> Option<Self> {
+        if d.len() != game.num_players() || d.iter().any(|&x| x <= 0.0 || x.is_nan() || !x.is_finite()) {
+            return None;
+        }
+        Some(Demands { d })
+    }
+
+    /// Uniform demands (the unweighted game).
+    pub fn uniform(game: &NetworkDesignGame) -> Self {
+        Demands {
+            d: vec![1.0; game.num_players()],
+        }
+    }
+
+    /// Demand of player `i`.
+    #[inline]
+    pub fn of(&self, i: usize) -> f64 {
+        self.d[i]
+    }
+
+    /// Total demand `D_a(T)` on edge `e` in `state`.
+    pub fn load(&self, state: &State, e: EdgeId) -> f64 {
+        (0..state.num_players())
+            .filter(|&i| state.uses(i, e))
+            .map(|i| self.d[i])
+            .sum()
+    }
+}
+
+/// `cost_i(T; b)` under proportional sharing.
+pub fn weighted_player_cost(
+    game: &NetworkDesignGame,
+    state: &State,
+    demands: &Demands,
+    b: &SubsidyAssignment,
+    i: usize,
+) -> f64 {
+    let g = game.graph();
+    state
+        .path(i)
+        .iter()
+        .map(|&e| b.residual(g, e) * demands.of(i) / demands.load(state, e))
+        .sum()
+}
+
+/// Deviation cost of player `i` moving to `alt_path`: on each edge the
+/// load becomes `D_a(T) + dᵢ·(1 − n_a^i(T))`.
+pub fn weighted_deviation_cost(
+    game: &NetworkDesignGame,
+    state: &State,
+    demands: &Demands,
+    b: &SubsidyAssignment,
+    i: usize,
+    alt_path: &[EdgeId],
+) -> f64 {
+    let g = game.graph();
+    let d_i = demands.of(i);
+    alt_path
+        .iter()
+        .map(|&e| {
+            let load = demands.load(state, e) + if state.uses(i, e) { 0.0 } else { d_i };
+            b.residual(g, e) * d_i / load
+        })
+        .sum()
+}
+
+/// Best response of player `i` under proportional sharing.
+pub fn weighted_best_response(
+    game: &NetworkDesignGame,
+    state: &State,
+    demands: &Demands,
+    b: &SubsidyAssignment,
+    i: usize,
+) -> (Vec<EdgeId>, f64) {
+    let g = game.graph();
+    let player = game.players()[i];
+    let d_i = demands.of(i);
+    let sp = dijkstra_with(g, player.source, |e| {
+        let load = demands.load(state, e) + if state.uses(i, e) { 0.0 } else { d_i };
+        b.residual(g, e) * d_i / load
+    });
+    let path = sp
+        .path_to(g, player.terminal)
+        .expect("game validation guarantees a connecting path");
+    let cost = weighted_deviation_cost(game, state, demands, b, i, &path);
+    (path, cost)
+}
+
+/// Whether `state` is a Nash equilibrium of the weighted extension.
+pub fn weighted_is_equilibrium(
+    game: &NetworkDesignGame,
+    state: &State,
+    demands: &Demands,
+    b: &SubsidyAssignment,
+) -> bool {
+    (0..game.num_players()).all(|i| {
+        let current = weighted_player_cost(game, state, demands, b, i);
+        let (_, best) = weighted_best_response(game, state, demands, b, i);
+        !strictly_lt(best, current)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::player_cost;
+    use crate::equilibrium;
+    use crate::game::NetworkDesignGame;
+    use ndg_graph::{generators, kruskal, NodeId};
+
+    #[test]
+    fn demands_validation() {
+        let g = generators::cycle_graph(4, 1.0);
+        let game = NetworkDesignGame::broadcast(g, NodeId(0)).unwrap();
+        assert!(Demands::new(&game, vec![1.0, 2.0, 3.0]).is_some());
+        assert!(Demands::new(&game, vec![1.0, 2.0]).is_none());
+        assert!(Demands::new(&game, vec![1.0, 0.0, 3.0]).is_none());
+        assert!(Demands::new(&game, vec![1.0, -2.0, 3.0]).is_none());
+        assert!(Demands::new(&game, vec![1.0, f64::NAN, 3.0]).is_none());
+    }
+
+    #[test]
+    fn uniform_demands_reduce_to_unweighted() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(404);
+        for _ in 0..10 {
+            let n = rng.random_range(3..9usize);
+            let g = generators::random_connected(n, 0.5, &mut rng, 0.3..3.0);
+            let game = NetworkDesignGame::broadcast(g, NodeId(0)).unwrap();
+            let tree = kruskal(game.graph()).unwrap();
+            let (state, _) = State::from_tree(&game, &tree).unwrap();
+            let d = Demands::uniform(&game);
+            let b = SubsidyAssignment::zero(game.graph());
+            for i in 0..game.num_players() {
+                let wc = weighted_player_cost(&game, &state, &d, &b, i);
+                let uc = player_cost(&game, &state, &b, i);
+                assert!((wc - uc).abs() < 1e-9, "player {i}: {wc} vs {uc}");
+            }
+            assert_eq!(
+                weighted_is_equilibrium(&game, &state, &d, &b),
+                equilibrium::is_equilibrium(&game, &state, &b)
+            );
+        }
+    }
+
+    #[test]
+    fn costs_sum_to_social_cost_under_any_demands() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(405);
+        let g = generators::random_connected(7, 0.5, &mut rng, 0.3..3.0);
+        let game = NetworkDesignGame::broadcast(g, NodeId(0)).unwrap();
+        let tree = kruskal(game.graph()).unwrap();
+        let (state, _) = State::from_tree(&game, &tree).unwrap();
+        let d = Demands::new(
+            &game,
+            (0..game.num_players())
+                .map(|_| rng.random_range(0.1..5.0))
+                .collect(),
+        )
+        .unwrap();
+        let b = SubsidyAssignment::zero(game.graph());
+        let total: f64 = (0..game.num_players())
+            .map(|i| weighted_player_cost(&game, &state, &d, &b, i))
+            .sum();
+        assert!((total - state.weight(game.graph())).abs() < 1e-9);
+    }
+
+    #[test]
+    fn heavy_player_changes_the_equilibrium() {
+        // Four-cycle, root 0, tree {(0,1), (1,2), (3,0)}. Unweighted,
+        // node 2 pays 1.2 + 1/2 on her path but only 0.9 + 1/2 on the
+        // detour 2-3-0 ⇒ she deviates. Give node 1 a huge demand: node 2's
+        // share of (0,1) collapses to ~0 (1.201 total), below the detour's
+        // 1.4 ⇒ the same tree becomes a weighted equilibrium.
+        let mut g = ndg_graph::Graph::new(4);
+        let e0 = g.add_edge(NodeId(0), NodeId(1), 1.0).unwrap();
+        let e1 = g.add_edge(NodeId(1), NodeId(2), 1.2).unwrap();
+        let _e2 = g.add_edge(NodeId(2), NodeId(3), 0.9).unwrap();
+        let e3 = g.add_edge(NodeId(3), NodeId(0), 1.0).unwrap();
+        let game = NetworkDesignGame::broadcast(g, NodeId(0)).unwrap();
+        let tree = vec![e0, e1, e3];
+        let (state, _) = State::from_tree(&game, &tree).unwrap();
+        let b = SubsidyAssignment::zero(game.graph());
+        let unweighted = Demands::uniform(&game);
+        assert!(!weighted_is_equilibrium(&game, &state, &unweighted, &b));
+        let skewed = Demands::new(&game, vec![1000.0, 1.0, 1.0]).unwrap();
+        assert!(weighted_is_equilibrium(&game, &state, &skewed, &b));
+    }
+
+    #[test]
+    fn weighted_best_response_optimal_against_dfs() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(406);
+        let g = generators::random_connected(6, 0.6, &mut rng, 0.2..3.0);
+        let game = NetworkDesignGame::broadcast(g, NodeId(0)).unwrap();
+        let tree = kruskal(game.graph()).unwrap();
+        let (state, _) = State::from_tree(&game, &tree).unwrap();
+        let d = Demands::new(
+            &game,
+            (0..game.num_players())
+                .map(|_| rng.random_range(0.5..4.0))
+                .collect(),
+        )
+        .unwrap();
+        let b = SubsidyAssignment::zero(game.graph());
+        for i in 0..game.num_players() {
+            let (_, br) = weighted_best_response(&game, &state, &d, &b, i);
+            // DFS over all simple paths.
+            let brute = brute_best(&game, &state, &d, &b, i);
+            assert!((br - brute).abs() < 1e-9, "player {i}: {br} vs {brute}");
+        }
+    }
+
+    fn brute_best(
+        game: &NetworkDesignGame,
+        state: &State,
+        d: &Demands,
+        b: &SubsidyAssignment,
+        i: usize,
+    ) -> f64 {
+        let g = game.graph();
+        let p = game.players()[i];
+        let mut best = f64::INFINITY;
+        let mut visited = vec![false; g.node_count()];
+        let mut path = Vec::new();
+        dfs(g, game, state, d, b, i, p.source, p.terminal, &mut visited, &mut path, &mut best);
+        return best;
+
+        #[allow(clippy::too_many_arguments)]
+        fn dfs(
+            g: &ndg_graph::Graph,
+            game: &NetworkDesignGame,
+            state: &State,
+            d: &Demands,
+            b: &SubsidyAssignment,
+            i: usize,
+            cur: NodeId,
+            target: NodeId,
+            visited: &mut Vec<bool>,
+            path: &mut Vec<EdgeId>,
+            best: &mut f64,
+        ) {
+            if cur == target {
+                let c = weighted_deviation_cost(game, state, d, b, i, path);
+                *best = best.min(c);
+                return;
+            }
+            visited[cur.index()] = true;
+            for &(nb, e) in g.neighbors(cur) {
+                if !visited[nb.index()] {
+                    path.push(e);
+                    dfs(g, game, state, d, b, i, nb, target, visited, path, best);
+                    path.pop();
+                }
+            }
+            visited[cur.index()] = false;
+        }
+    }
+}

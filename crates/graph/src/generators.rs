@@ -1,0 +1,304 @@
+//! Instance generators: the deterministic families used by the paper's
+//! constructions plus random families for the experiments.
+
+use crate::graph::{Graph, NodeId};
+use crate::unionfind::UnionFind;
+use rand::prelude::*;
+use rand::Rng;
+use std::ops::Range;
+
+/// Path `0 − 1 − … − (n−1)` with uniform weight `w`. `n ≥ 1`.
+pub fn path_graph(n: usize, w: f64) -> Graph {
+    let mut g = Graph::new(n);
+    for i in 1..n {
+        g.add_edge(NodeId((i - 1) as u32), NodeId(i as u32), w)
+            .expect("path edge");
+    }
+    g
+}
+
+/// Cycle on `n ≥ 3` nodes with uniform weight `w`
+/// (node `0` is conventionally the root in Theorem 11 instances).
+pub fn cycle_graph(n: usize, w: f64) -> Graph {
+    assert!(n >= 3, "cycle needs at least 3 nodes");
+    let mut g = path_graph(n, w);
+    g.add_edge(NodeId((n - 1) as u32), NodeId(0), w)
+        .expect("closing edge");
+    g
+}
+
+/// Star with center `0` and `n − 1` leaves, uniform weight `w`.
+pub fn star_graph(n: usize, w: f64) -> Graph {
+    assert!(n >= 1);
+    let mut g = Graph::new(n);
+    for i in 1..n {
+        g.add_edge(NodeId(0), NodeId(i as u32), w).expect("spoke");
+    }
+    g
+}
+
+/// Complete graph `K_n` with weights drawn from `weight_of(i, j)`.
+pub fn complete_graph_with(n: usize, mut weight_of: impl FnMut(usize, usize) -> f64) -> Graph {
+    let mut g = Graph::new(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            g.add_edge(NodeId(i as u32), NodeId(j as u32), weight_of(i, j))
+                .expect("complete edge");
+        }
+    }
+    g
+}
+
+/// Complete graph with uniform weight `w`.
+pub fn complete_graph(n: usize, w: f64) -> Graph {
+    complete_graph_with(n, |_, _| w)
+}
+
+/// `rows × cols` grid with uniform weight `w`. Node `(r, c)` has index
+/// `r * cols + c`.
+pub fn grid_graph(rows: usize, cols: usize, w: f64) -> Graph {
+    let mut g = Graph::new(rows * cols);
+    let id = |r: usize, c: usize| NodeId((r * cols + c) as u32);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                g.add_edge(id(r, c), id(r, c + 1), w).expect("grid edge");
+            }
+            if r + 1 < rows {
+                g.add_edge(id(r, c), id(r + 1, c), w).expect("grid edge");
+            }
+        }
+    }
+    g
+}
+
+/// Wheel: cycle on nodes `1..n` plus hub `0` joined to every rim node.
+pub fn wheel_graph(n: usize, hub_w: f64, rim_w: f64) -> Graph {
+    assert!(n >= 4, "wheel needs at least 4 nodes (hub + 3 rim)");
+    let mut g = Graph::new(n);
+    let rim = n - 1;
+    for i in 0..rim {
+        let a = NodeId((1 + i) as u32);
+        let b = NodeId((1 + (i + 1) % rim) as u32);
+        g.add_edge(a, b, rim_w).expect("rim edge");
+        g.add_edge(NodeId(0), a, hub_w).expect("spoke");
+    }
+    g
+}
+
+/// Erdős–Rényi `G(n, p)` with i.i.d. weights from `weights`; may be
+/// disconnected.
+pub fn erdos_renyi<R: Rng>(n: usize, p: f64, rng: &mut R, weights: Range<f64>) -> Graph {
+    let mut g = Graph::new(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if rng.random_bool(p.clamp(0.0, 1.0)) {
+                let w = sample_weight(rng, &weights);
+                g.add_edge(NodeId(i as u32), NodeId(j as u32), w)
+                    .expect("er edge");
+            }
+        }
+    }
+    g
+}
+
+/// Random connected graph: a uniform random spanning tree backbone
+/// (random Prüfer-style attachment) plus each non-tree pair independently
+/// with probability `extra_p`. Weights i.i.d. from `weights`.
+pub fn random_connected<R: Rng>(
+    n: usize,
+    extra_p: f64,
+    rng: &mut R,
+    weights: Range<f64>,
+) -> Graph {
+    assert!(n >= 1);
+    let mut g = Graph::new(n);
+    // Random attachment tree: node i attaches to a uniform earlier node.
+    let mut has_edge = vec![false; n * n];
+    let mark = |a: usize, b: usize, he: &mut Vec<bool>| {
+        he[a * n + b] = true;
+        he[b * n + a] = true;
+    };
+    for i in 1..n {
+        let j = rng.random_range(0..i);
+        let w = sample_weight(rng, &weights);
+        g.add_edge(NodeId(i as u32), NodeId(j as u32), w)
+            .expect("tree edge");
+        mark(i, j, &mut has_edge);
+    }
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if !has_edge[i * n + j] && rng.random_bool(extra_p.clamp(0.0, 1.0)) {
+                let w = sample_weight(rng, &weights);
+                g.add_edge(NodeId(i as u32), NodeId(j as u32), w)
+                    .expect("extra edge");
+                mark(i, j, &mut has_edge);
+            }
+        }
+    }
+    g
+}
+
+/// Random simple 3-regular graph on `n` nodes (`n` even, `n ≥ 4`) by the
+/// pairing/configuration model with rejection of loops and parallels.
+///
+/// All edges get weight `w`. Theorem 5's reduction consumes these.
+pub fn random_3_regular<R: Rng>(n: usize, rng: &mut R, w: f64) -> Graph {
+    assert!(n >= 4 && n.is_multiple_of(2), "3-regular needs even n ≥ 4");
+    'attempt: loop {
+        // 3 stubs per node.
+        let mut stubs: Vec<u32> = (0..n as u32).flat_map(|v| [v, v, v]).collect();
+        stubs.shuffle(rng);
+        let mut g = Graph::new(n);
+        let mut seen = std::collections::HashSet::new();
+        for pair in stubs.chunks(2) {
+            let (a, b) = (pair[0], pair[1]);
+            if a == b {
+                continue 'attempt; // self-loop
+            }
+            let key = (a.min(b), a.max(b));
+            if !seen.insert(key) {
+                continue 'attempt; // parallel edge
+            }
+            g.add_edge(NodeId(a), NodeId(b), w).expect("pairing edge");
+        }
+        if g.is_connected() {
+            return g;
+        }
+    }
+}
+
+/// Caterpillar: a spine path of `spine` nodes, each spine node carrying
+/// `legs` leaves; spine edges weigh `spine_w`, leg edges `leg_w`.
+pub fn caterpillar_graph(spine: usize, legs: usize, spine_w: f64, leg_w: f64) -> Graph {
+    assert!(spine >= 1);
+    let mut g = Graph::new(spine);
+    for i in 1..spine {
+        g.add_edge(NodeId((i - 1) as u32), NodeId(i as u32), spine_w)
+            .expect("spine edge");
+    }
+    for s in 0..spine {
+        for _ in 0..legs {
+            let leaf = g.add_node();
+            g.add_edge(NodeId(s as u32), leaf, leg_w).expect("leg");
+        }
+    }
+    g
+}
+
+fn sample_weight<R: Rng>(rng: &mut R, range: &Range<f64>) -> f64 {
+    if range.start >= range.end {
+        range.start
+    } else {
+        rng.random_range(range.start..range.end)
+    }
+}
+
+/// Whether every node has degree exactly `d`.
+pub fn is_regular(g: &Graph, d: usize) -> bool {
+    g.nodes().all(|v| g.degree(v) == d)
+}
+
+/// Connected-component count (used to sanity-check generators).
+pub fn component_count(g: &Graph) -> usize {
+    let mut uf = UnionFind::new(g.node_count());
+    for (_, e) in g.edges() {
+        uf.union(e.u.index(), e.v.index());
+    }
+    uf.set_count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_and_cycle() {
+        let p = path_graph(5, 2.0);
+        assert_eq!(p.edge_count(), 4);
+        assert!(p.is_connected());
+        let c = cycle_graph(5, 2.0);
+        assert_eq!(c.edge_count(), 5);
+        assert!(c.nodes().all(|v| c.degree(v) == 2));
+    }
+
+    #[test]
+    fn star_and_complete() {
+        let s = star_graph(6, 1.0);
+        assert_eq!(s.degree(NodeId(0)), 5);
+        assert!(s.nodes().skip(1).all(|v| s.degree(v) == 1));
+        let k = complete_graph(5, 1.0);
+        assert_eq!(k.edge_count(), 10);
+        assert!(is_regular(&k, 4));
+    }
+
+    #[test]
+    fn grid_shape() {
+        let g = grid_graph(3, 4, 1.0);
+        assert_eq!(g.node_count(), 12);
+        assert_eq!(g.edge_count(), 3 * 3 + 2 * 4);
+        assert!(g.is_connected());
+        // Corner degree 2, interior degree 4.
+        assert_eq!(g.degree(NodeId(0)), 2);
+        assert_eq!(g.degree(NodeId(5)), 4);
+    }
+
+    #[test]
+    fn wheel_shape() {
+        let g = wheel_graph(6, 2.0, 1.0);
+        assert_eq!(g.degree(NodeId(0)), 5);
+        assert!(g.nodes().skip(1).all(|v| g.degree(v) == 3));
+    }
+
+    #[test]
+    fn random_connected_is_connected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..20 {
+            let n = rng.random_range(1..40);
+            let g = random_connected(n, 0.2, &mut rng, 0.5..3.0);
+            assert!(g.is_connected(), "n={n}");
+            assert_eq!(component_count(&g), 1);
+        }
+    }
+
+    #[test]
+    fn er_edge_probability_roughly_respected() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 60;
+        let g = erdos_renyi(n, 0.5, &mut rng, 1.0..2.0);
+        let max_edges = n * (n - 1) / 2;
+        let frac = g.edge_count() as f64 / max_edges as f64;
+        assert!((frac - 0.5).abs() < 0.08, "edge fraction {frac}");
+    }
+
+    #[test]
+    fn three_regular_is_three_regular_simple_connected() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for &n in &[4usize, 6, 8, 10, 20] {
+            let g = random_3_regular(n, &mut rng, 1.0);
+            assert!(is_regular(&g, 3), "n={n}");
+            assert!(g.is_connected());
+            // Simplicity: no duplicated pair.
+            let mut pairs = std::collections::HashSet::new();
+            for (_, e) in g.edges() {
+                let key = (e.u.0.min(e.v.0), e.u.0.max(e.v.0));
+                assert!(pairs.insert(key), "parallel edge in n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn caterpillar_counts() {
+        let g = caterpillar_graph(3, 2, 1.0, 0.5);
+        assert_eq!(g.node_count(), 3 + 6);
+        assert_eq!(g.edge_count(), 2 + 6);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn degenerate_weight_range() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let g = random_connected(5, 0.5, &mut rng, 2.0..2.0);
+        assert!(g.edges().all(|(_, e)| e.w == 2.0));
+    }
+}

@@ -1,0 +1,140 @@
+//! Harmonic numbers `H_n = Σ_{i=1..n} 1/i` and exact differences.
+//!
+//! The paper's constructions lean on *exact* harmonic differences:
+//! the Bypass gadget of Theorem 3 needs the minimum `ℓ` with
+//! `H_{κ+ℓ} − H_κ > 1`, and the Theorem 11 lower bound compares
+//! `H_n − H_k` against 1. Differences are computed by direct partial
+//! summation `Σ_{i=a+1..b} 1/i` (never as a difference of two large sums,
+//! and never via the `ln` approximation) so cancellation error stays at
+//! machine precision even for large indices.
+
+/// `H_n` by direct summation (summed small-to-large for accuracy).
+/// `H_0 = 0`.
+pub fn harmonic(n: u64) -> f64 {
+    let mut acc = 0.0f64;
+    // Summing from the smallest terms (largest i) upward loses less
+    // precision than the natural order.
+    for i in (1..=n).rev() {
+        acc += 1.0 / i as f64;
+    }
+    acc
+}
+
+/// `H_b − H_a = Σ_{i=a+1..b} 1/i` for `a ≤ b`, by direct partial summation.
+///
+/// # Panics
+/// Panics if `a > b`.
+pub fn harmonic_diff(a: u64, b: u64) -> f64 {
+    assert!(a <= b, "harmonic_diff requires a <= b, got a={a}, b={b}");
+    let mut acc = 0.0f64;
+    for i in ((a + 1)..=b).rev() {
+        acc += 1.0 / i as f64;
+    }
+    acc
+}
+
+/// The minimum positive integer `ℓ` such that `H_{κ+ℓ} − H_κ > 1`
+/// (the basic-path length of the Bypass gadget with capacity `κ`,
+/// Figure 1 / Theorem 3). Linear in `κ` since `ℓ ≈ κ(e−1)`.
+pub fn bypass_path_length(kappa: u64) -> u64 {
+    let mut acc = 0.0f64;
+    let mut ell = 0u64;
+    while acc <= 1.0 {
+        ell += 1;
+        acc += 1.0 / (kappa + ell) as f64;
+    }
+    ell
+}
+
+/// Euler–Mascheroni constant, for asymptotic sanity checks.
+pub const EULER_MASCHERONI: f64 = 0.577_215_664_901_532_9;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values() {
+        assert_eq!(harmonic(0), 0.0);
+        assert_eq!(harmonic(1), 1.0);
+        assert!((harmonic(2) - 1.5).abs() < 1e-15);
+        assert!((harmonic(4) - (1.0 + 0.5 + 1.0 / 3.0 + 0.25)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn diff_matches_subtraction_small() {
+        for a in 0..20u64 {
+            for b in a..25u64 {
+                let direct = harmonic_diff(a, b);
+                let subtracted = harmonic(b) - harmonic(a);
+                assert!(
+                    (direct - subtracted).abs() < 1e-12,
+                    "H_{b} - H_{a}: {direct} vs {subtracted}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn diff_zero_when_equal() {
+        assert_eq!(harmonic_diff(5, 5), 0.0);
+        assert_eq!(harmonic_diff(0, 0), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn diff_panics_when_reversed() {
+        harmonic_diff(3, 2);
+    }
+
+    #[test]
+    fn asymptotics_ln_plus_gamma() {
+        // H_n ≈ ln n + γ + 1/(2n) − 1/(12n²)
+        for &n in &[100u64, 10_000, 1_000_000] {
+            let nf = n as f64;
+            let approx =
+                nf.ln() + EULER_MASCHERONI + 1.0 / (2.0 * nf) - 1.0 / (12.0 * nf * nf);
+            assert!(
+                (harmonic(n) - approx).abs() < 1e-6,
+                "H_{n} deviates from asymptotic"
+            );
+        }
+    }
+
+    #[test]
+    fn bypass_length_definition() {
+        for kappa in 1..60u64 {
+            let ell = bypass_path_length(kappa);
+            assert!(
+                harmonic_diff(kappa, kappa + ell) > 1.0,
+                "ℓ={ell} must satisfy H_{{κ+ℓ}} − H_κ > 1 at κ={kappa}"
+            );
+            if ell > 1 {
+                assert!(
+                    harmonic_diff(kappa, kappa + ell - 1) <= 1.0,
+                    "ℓ={ell} must be minimal at κ={kappa}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bypass_length_grows_like_e_minus_one() {
+        // ℓ/κ → e − 1 ≈ 1.71828
+        let kappa = 100_000u64;
+        let ell = bypass_path_length(kappa) as f64;
+        let ratio = ell / kappa as f64;
+        assert!(
+            (ratio - (std::f64::consts::E - 1.0)).abs() < 1e-3,
+            "ratio {ratio}"
+        );
+    }
+
+    #[test]
+    fn known_bypass_values() {
+        // κ=4: 1/5+…+1/12 ≈ 1.0199 > 1, 1/5+…+1/11 ≈ 0.9365 ≤ 1 ⇒ ℓ=8.
+        assert_eq!(bypass_path_length(4), 8);
+        // κ=1: 1/2+1/3+1/4 ≈ 1.083 > 1 ⇒ ℓ=3.
+        assert_eq!(bypass_path_length(1), 3);
+    }
+}

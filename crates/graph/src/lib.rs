@@ -1,0 +1,26 @@
+//! `ndg-graph` — graph substrate for the subsidy-games reproduction.
+//!
+//! Built from scratch (no external graph crate): compact undirected
+//! multigraphs, union-find, MST (Kruskal/Prim + uniqueness), shortest paths
+//! (Dijkstra with pluggable weights — the paper's separation-oracle graph
+//! `H_i`), rooted spanning-tree views (subtree sizes = player counts in
+//! broadcast games, LCA, root paths), instance generators, and exact
+//! harmonic-number arithmetic that the paper's gadgets depend on.
+
+pub mod generators;
+pub mod graph;
+pub mod harmonic;
+pub mod mst;
+pub mod paths;
+pub mod tree;
+pub mod unionfind;
+
+pub use graph::{Edge, EdgeId, Graph, GraphError, NodeId};
+pub use harmonic::{bypass_path_length, harmonic, harmonic_diff};
+pub use mst::{is_minimum_spanning_tree, kruskal, mst_is_unique, mst_weight, prim};
+pub use paths::{bfs_distances, dijkstra, dijkstra_with, floyd_warshall, ShortestPaths};
+pub use tree::RootedTree;
+pub use unionfind::UnionFind;
+
+#[cfg(test)]
+mod proptests;

@@ -1,0 +1,245 @@
+//! Minimum spanning trees: Kruskal, Prim, verification and uniqueness.
+//!
+//! In a broadcast game the social optimum is exactly a minimum spanning tree
+//! (Section 2 of the paper), so MST machinery underpins every experiment.
+//! Theorem 3's hardness argument lives precisely where MSTs are *non-unique*,
+//! hence the uniqueness test.
+
+use crate::graph::{EdgeId, Graph, GraphError, NodeId};
+use crate::unionfind::UnionFind;
+
+/// Kruskal's algorithm. Returns the edge ids of a minimum spanning tree, or
+/// `Err(Disconnected)` if the graph has no spanning tree.
+///
+/// Ties are broken by `EdgeId` order, so the result is deterministic.
+pub fn kruskal(g: &Graph) -> Result<Vec<EdgeId>, GraphError> {
+    let n = g.node_count();
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    let mut order: Vec<EdgeId> = g.edge_ids().collect();
+    order.sort_by(|&a, &b| {
+        g.weight(a)
+            .total_cmp(&g.weight(b))
+            .then_with(|| a.cmp(&b))
+    });
+    let mut uf = UnionFind::new(n);
+    let mut tree = Vec::with_capacity(n.saturating_sub(1));
+    for e in order {
+        let (u, v) = g.endpoints(e);
+        if uf.union(u.index(), v.index()) {
+            tree.push(e);
+            if tree.len() == n - 1 {
+                break;
+            }
+        }
+    }
+    if tree.len() == n - 1 {
+        tree.sort();
+        Ok(tree)
+    } else {
+        Err(GraphError::Disconnected)
+    }
+}
+
+/// Prim's algorithm from `start` using a binary heap.
+/// Returns `Err(Disconnected)` if not all nodes are reachable.
+pub fn prim(g: &Graph, start: NodeId) -> Result<Vec<EdgeId>, GraphError> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    let n = g.node_count();
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    // Heap entries ordered by (weight, edge id) for determinism.
+    #[derive(PartialEq)]
+    struct Entry(f64, EdgeId, NodeId);
+    impl Eq for Entry {}
+    impl PartialOrd for Entry {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for Entry {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            self.0.total_cmp(&other.0).then_with(|| self.1.cmp(&other.1))
+        }
+    }
+
+    let mut in_tree = vec![false; n];
+    let mut heap: BinaryHeap<Reverse<Entry>> = BinaryHeap::new();
+    let mut tree = Vec::with_capacity(n - 1);
+    in_tree[start.index()] = true;
+    for &(v, e) in g.neighbors(start) {
+        heap.push(Reverse(Entry(g.weight(e), e, v)));
+    }
+    while let Some(Reverse(Entry(_, e, v))) = heap.pop() {
+        if in_tree[v.index()] {
+            continue;
+        }
+        in_tree[v.index()] = true;
+        tree.push(e);
+        for &(w, f) in g.neighbors(v) {
+            if !in_tree[w.index()] {
+                heap.push(Reverse(Entry(g.weight(f), f, w)));
+            }
+        }
+    }
+    if tree.len() == n - 1 {
+        tree.sort();
+        Ok(tree)
+    } else {
+        Err(GraphError::Disconnected)
+    }
+}
+
+/// Weight of a minimum spanning tree, or `Err(Disconnected)`.
+pub fn mst_weight(g: &Graph) -> Result<f64, GraphError> {
+    Ok(g.weight_of(&kruskal(g)?))
+}
+
+/// Whether `edges` is *a* minimum spanning tree: a spanning tree whose
+/// weight equals the MST weight (up to `tol`).
+pub fn is_minimum_spanning_tree(g: &Graph, edges: &[EdgeId], tol: f64) -> bool {
+    if !g.is_spanning_tree(edges) {
+        return false;
+    }
+    match mst_weight(g) {
+        Ok(opt) => (g.weight_of(edges) - opt).abs() <= tol,
+        Err(_) => false,
+    }
+}
+
+/// Whether the MST is unique.
+///
+/// Criterion: the MST `T` is unique iff for every non-tree edge `f`, *every*
+/// tree edge on the tree cycle closed by `f` is strictly lighter than `f`
+/// (an equal-weight tree edge could be swapped out, producing another MST).
+/// Uses `tol` for the weight comparison.
+pub fn mst_is_unique(g: &Graph, tol: f64) -> Result<bool, GraphError> {
+    let tree = kruskal(g)?;
+    let rt = crate::tree::RootedTree::new(g, &tree, NodeId(0))?;
+    let in_tree: std::collections::HashSet<EdgeId> = tree.iter().copied().collect();
+    for (f, edge) in g.edges() {
+        if in_tree.contains(&f) {
+            continue;
+        }
+        // Max tree-edge weight on the path between f's endpoints.
+        let path = rt.path_between(edge.u, edge.v);
+        let max_on_cycle = path
+            .iter()
+            .map(|&e| g.weight(e))
+            .fold(f64::NEG_INFINITY, f64::max);
+        if max_on_cycle >= edge.w - tol {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn kruskal_triangle() {
+        let mut g = Graph::new(3);
+        g.add_edge(NodeId(0), NodeId(1), 1.0).unwrap();
+        g.add_edge(NodeId(1), NodeId(2), 2.0).unwrap();
+        g.add_edge(NodeId(2), NodeId(0), 3.0).unwrap();
+        let t = kruskal(&g).unwrap();
+        assert_eq!(t, vec![EdgeId(0), EdgeId(1)]);
+        assert_eq!(mst_weight(&g).unwrap(), 3.0);
+    }
+
+    #[test]
+    fn disconnected_errors() {
+        let mut g = Graph::new(4);
+        g.add_edge(NodeId(0), NodeId(1), 1.0).unwrap();
+        g.add_edge(NodeId(2), NodeId(3), 1.0).unwrap();
+        assert_eq!(kruskal(&g), Err(GraphError::Disconnected));
+        assert_eq!(prim(&g, NodeId(0)), Err(GraphError::Disconnected));
+    }
+
+    #[test]
+    fn prim_agrees_with_kruskal_on_random_graphs() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..30 {
+            let n = rng.random_range(2..25);
+            let g = generators::random_connected(n, 0.4, &mut rng, 0.5..10.0);
+            let wk = g.weight_of(&kruskal(&g).unwrap());
+            let wp = g.weight_of(&prim(&g, NodeId(0)).unwrap());
+            assert!((wk - wp).abs() < 1e-9, "kruskal {wk} vs prim {wp}");
+        }
+    }
+
+    #[test]
+    fn mst_against_brute_force_small() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..20 {
+            let n = rng.random_range(2..7usize);
+            let g = generators::random_connected(n, 0.6, &mut rng, 1.0..5.0);
+            let m = g.edge_count();
+            // Brute force: try all edge subsets of size n−1.
+            let mut best = f64::INFINITY;
+            for mask in 0u32..(1 << m) {
+                if mask.count_ones() as usize != n - 1 {
+                    continue;
+                }
+                let subset: Vec<EdgeId> =
+                    (0..m).filter(|i| mask >> i & 1 == 1).map(|i| EdgeId(i as u32)).collect();
+                if g.is_spanning_tree(&subset) {
+                    best = best.min(g.weight_of(&subset));
+                }
+            }
+            let opt = mst_weight(&g).unwrap();
+            assert!((opt - best).abs() < 1e-9, "kruskal {opt} vs brute {best}");
+        }
+    }
+
+    #[test]
+    fn uniqueness_detection() {
+        // Distinct weights ⇒ unique.
+        let mut g = Graph::new(3);
+        g.add_edge(NodeId(0), NodeId(1), 1.0).unwrap();
+        g.add_edge(NodeId(1), NodeId(2), 2.0).unwrap();
+        g.add_edge(NodeId(2), NodeId(0), 3.0).unwrap();
+        assert!(mst_is_unique(&g, 1e-9).unwrap());
+
+        // Equal-weight triangle ⇒ three MSTs.
+        let mut h = Graph::new(3);
+        h.add_edge(NodeId(0), NodeId(1), 1.0).unwrap();
+        h.add_edge(NodeId(1), NodeId(2), 1.0).unwrap();
+        h.add_edge(NodeId(2), NodeId(0), 1.0).unwrap();
+        assert!(!mst_is_unique(&h, 1e-9).unwrap());
+
+        // Equal weights on a tree-plus-heavier-chord ⇒ still unique.
+        let mut k = Graph::new(3);
+        k.add_edge(NodeId(0), NodeId(1), 1.0).unwrap();
+        k.add_edge(NodeId(1), NodeId(2), 1.0).unwrap();
+        k.add_edge(NodeId(2), NodeId(0), 1.5).unwrap();
+        assert!(mst_is_unique(&k, 1e-9).unwrap());
+    }
+
+    #[test]
+    fn is_mst_checker() {
+        let mut g = Graph::new(3);
+        g.add_edge(NodeId(0), NodeId(1), 1.0).unwrap();
+        g.add_edge(NodeId(1), NodeId(2), 1.0).unwrap();
+        g.add_edge(NodeId(2), NodeId(0), 1.0).unwrap();
+        assert!(is_minimum_spanning_tree(&g, &[EdgeId(0), EdgeId(1)], 1e-9));
+        assert!(is_minimum_spanning_tree(&g, &[EdgeId(1), EdgeId(2)], 1e-9));
+        assert!(!is_minimum_spanning_tree(&g, &[EdgeId(0)], 1e-9));
+    }
+
+    #[test]
+    fn single_node_and_empty() {
+        assert_eq!(kruskal(&Graph::new(1)).unwrap(), vec![]);
+        assert_eq!(kruskal(&Graph::new(0)).unwrap(), vec![]);
+        assert!(!Graph::new(2).is_spanning_tree(&[]));
+    }
+}

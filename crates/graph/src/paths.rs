@@ -1,0 +1,267 @@
+//! Shortest paths: Dijkstra with pluggable per-edge weights, BFS, and a
+//! Floyd–Warshall reference used in tests.
+//!
+//! The paper's separation oracle (Theorem 1) runs Dijkstra on a *modified*
+//! weight graph `H_i` with `w'_a = (w_a − b_a)/(n_a(T) + 1 − n_a^i(T))`;
+//! the `weight_fn` hook exists exactly for that.
+
+use crate::graph::{EdgeId, Graph, NodeId};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Result of a single-source shortest-path computation.
+#[derive(Clone, Debug)]
+pub struct ShortestPaths {
+    /// `dist[v]` = distance from the source (`f64::INFINITY` if unreachable).
+    pub dist: Vec<f64>,
+    /// `pred[v]` = edge through which `v` was settled.
+    pub pred: Vec<Option<EdgeId>>,
+    /// Source node.
+    pub source: NodeId,
+}
+
+impl ShortestPaths {
+    /// Extract the path (as edge ids, source→target order) to `target`.
+    /// `None` if unreachable.
+    pub fn path_to(&self, g: &Graph, target: NodeId) -> Option<Vec<EdgeId>> {
+        if self.dist[target.index()].is_infinite() {
+            return None;
+        }
+        let mut path = Vec::new();
+        let mut cur = target;
+        while cur != self.source {
+            let e = self.pred[cur.index()]?;
+            path.push(e);
+            cur = g.other_endpoint(e, cur);
+        }
+        path.reverse();
+        Some(path)
+    }
+}
+
+/// Dijkstra from `source` with per-edge weights given by `weight_fn`
+/// (must be non-negative; `debug_assert`ed).
+pub fn dijkstra_with<F>(g: &Graph, source: NodeId, mut weight_fn: F) -> ShortestPaths
+where
+    F: FnMut(EdgeId) -> f64,
+{
+    let n = g.node_count();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut pred: Vec<Option<EdgeId>> = vec![None; n];
+
+    #[derive(PartialEq)]
+    struct Entry(f64, NodeId);
+    impl Eq for Entry {}
+    impl PartialOrd for Entry {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for Entry {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            self.0.total_cmp(&other.0).then_with(|| self.1.cmp(&other.1))
+        }
+    }
+
+    let mut heap = BinaryHeap::new();
+    dist[source.index()] = 0.0;
+    heap.push(Reverse(Entry(0.0, source)));
+    while let Some(Reverse(Entry(d, u))) = heap.pop() {
+        if d > dist[u.index()] {
+            continue;
+        }
+        for &(v, e) in g.neighbors(u) {
+            let w = weight_fn(e);
+            debug_assert!(w >= 0.0, "Dijkstra requires non-negative weights, got {w}");
+            let nd = d + w;
+            if nd < dist[v.index()] {
+                dist[v.index()] = nd;
+                pred[v.index()] = Some(e);
+                heap.push(Reverse(Entry(nd, v)));
+            }
+        }
+    }
+    ShortestPaths { dist, pred, source }
+}
+
+/// Dijkstra with the graph's own weights.
+pub fn dijkstra(g: &Graph, source: NodeId) -> ShortestPaths {
+    dijkstra_with(g, source, |e| g.weight(e))
+}
+
+/// BFS hop distances from `source` (`usize::MAX` if unreachable).
+pub fn bfs_distances(g: &Graph, source: NodeId) -> Vec<usize> {
+    let n = g.node_count();
+    let mut dist = vec![usize::MAX; n];
+    let mut queue = std::collections::VecDeque::new();
+    dist[source.index()] = 0;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        for &(v, _) in g.neighbors(u) {
+            if dist[v.index()] == usize::MAX {
+                dist[v.index()] = dist[u.index()] + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// All-pairs shortest distances by Floyd–Warshall (O(n³); reference for
+/// tests only).
+pub fn floyd_warshall(g: &Graph) -> Vec<Vec<f64>> {
+    let n = g.node_count();
+    let mut d = vec![vec![f64::INFINITY; n]; n];
+    for (i, row) in d.iter_mut().enumerate() {
+        row[i] = 0.0;
+    }
+    for (_, e) in g.edges() {
+        let (u, v) = (e.u.index(), e.v.index());
+        if e.w < d[u][v] {
+            d[u][v] = e.w;
+            d[v][u] = e.w;
+        }
+    }
+    for k in 0..n {
+        for i in 0..n {
+            if d[i][k].is_infinite() {
+                continue;
+            }
+            for j in 0..n {
+                let through = d[i][k] + d[k][j];
+                if through < d[i][j] {
+                    d[i][j] = through;
+                }
+            }
+        }
+    }
+    d
+}
+
+/// Whether `path` (a sequence of edge ids) is a walk from `s` to `t`:
+/// consecutive edges share endpoints, starting at `s`, ending at `t`.
+/// The empty path is valid iff `s == t`.
+pub fn is_walk(g: &Graph, path: &[EdgeId], s: NodeId, t: NodeId) -> bool {
+    let mut cur = s;
+    for &e in path {
+        if !g.is_endpoint(e, cur) {
+            return false;
+        }
+        cur = g.other_endpoint(e, cur);
+    }
+    cur == t
+}
+
+/// Whether `path` is a *simple* path from `s` to `t` (a walk repeating no
+/// node).
+pub fn is_simple_path(g: &Graph, path: &[EdgeId], s: NodeId, t: NodeId) -> bool {
+    let mut cur = s;
+    let mut seen = std::collections::HashSet::new();
+    seen.insert(cur);
+    for &e in path {
+        if !g.is_endpoint(e, cur) {
+            return false;
+        }
+        cur = g.other_endpoint(e, cur);
+        if !seen.insert(cur) {
+            return false;
+        }
+    }
+    cur == t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn dijkstra_line() {
+        let g = generators::path_graph(4, 1.0);
+        let sp = dijkstra(&g, NodeId(0));
+        assert_eq!(sp.dist, vec![0.0, 1.0, 2.0, 3.0]);
+        let p = sp.path_to(&g, NodeId(3)).unwrap();
+        assert_eq!(p.len(), 3);
+        assert!(is_simple_path(&g, &p, NodeId(0), NodeId(3)));
+    }
+
+    #[test]
+    fn dijkstra_prefers_cheap_detour() {
+        let mut g = Graph::new(3);
+        g.add_edge(NodeId(0), NodeId(1), 10.0).unwrap();
+        g.add_edge(NodeId(0), NodeId(2), 1.0).unwrap();
+        g.add_edge(NodeId(2), NodeId(1), 1.0).unwrap();
+        let sp = dijkstra(&g, NodeId(0));
+        assert_eq!(sp.dist[1], 2.0);
+        assert_eq!(sp.path_to(&g, NodeId(1)).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn dijkstra_unreachable() {
+        let mut g = Graph::new(3);
+        g.add_edge(NodeId(0), NodeId(1), 1.0).unwrap();
+        let sp = dijkstra(&g, NodeId(0));
+        assert!(sp.dist[2].is_infinite());
+        assert!(sp.path_to(&g, NodeId(2)).is_none());
+    }
+
+    #[test]
+    fn dijkstra_with_modified_weights() {
+        let g = generators::path_graph(3, 4.0);
+        // Halve all weights via the hook.
+        let sp = dijkstra_with(&g, NodeId(0), |e| g.weight(e) / 2.0);
+        assert_eq!(sp.dist[2], 4.0);
+    }
+
+    #[test]
+    fn dijkstra_zero_weight_edges() {
+        let mut g = Graph::new(3);
+        g.add_edge(NodeId(0), NodeId(1), 0.0).unwrap();
+        g.add_edge(NodeId(1), NodeId(2), 0.0).unwrap();
+        let sp = dijkstra(&g, NodeId(0));
+        assert_eq!(sp.dist, vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn dijkstra_matches_floyd_warshall_randomized() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..20 {
+            let n = rng.random_range(2..15);
+            let g = generators::random_connected(n, 0.4, &mut rng, 0.0..8.0);
+            let fw = floyd_warshall(&g);
+            for s in g.nodes() {
+                let sp = dijkstra(&g, s);
+                for t in g.nodes() {
+                    assert!(
+                        (sp.dist[t.index()] - fw[s.index()][t.index()]).abs() < 1e-9,
+                        "mismatch {s:?}->{t:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bfs_hops() {
+        let g = generators::cycle_graph(5, 1.0);
+        let d = bfs_distances(&g, NodeId(0));
+        assert_eq!(d, vec![0, 1, 2, 2, 1]);
+    }
+
+    #[test]
+    fn walk_and_simple_path_checks() {
+        let g = generators::cycle_graph(4, 1.0);
+        // 0-1-2 via edges 0,1.
+        assert!(is_walk(&g, &[EdgeId(0), EdgeId(1)], NodeId(0), NodeId(2)));
+        assert!(is_simple_path(&g, &[EdgeId(0), EdgeId(1)], NodeId(0), NodeId(2)));
+        // Walk going back and forth is a walk but not simple.
+        assert!(is_walk(&g, &[EdgeId(0), EdgeId(0)], NodeId(0), NodeId(0)));
+        assert!(!is_simple_path(&g, &[EdgeId(0), EdgeId(0)], NodeId(0), NodeId(0)));
+        // Wrong start.
+        assert!(!is_walk(&g, &[EdgeId(1)], NodeId(0), NodeId(2)));
+        // Empty path.
+        assert!(is_walk(&g, &[], NodeId(2), NodeId(2)));
+        assert!(!is_walk(&g, &[], NodeId(2), NodeId(3)));
+    }
+}

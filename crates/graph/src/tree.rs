@@ -1,0 +1,435 @@
+//! Rooted views of spanning trees: parent pointers, depths, subtree sizes,
+//! root paths and LCA.
+//!
+//! In a broadcast game every state that is a spanning tree `T` assigns player
+//! `u` the path `T_u` from `u` to the root, and the number of players using a
+//! tree edge `a = (v, parent(v))` is exactly the size of the subtree below
+//! `v`. Lemma 2's equilibrium check and Theorem 6's subsidy packing both walk
+//! these structures.
+
+use crate::graph::{EdgeId, Graph, GraphError, NodeId};
+
+/// A spanning tree of a graph, rooted at a chosen node.
+#[derive(Clone, Debug)]
+pub struct RootedTree {
+    root: NodeId,
+    /// `parent[v]` = (parent node, connecting edge); `None` for the root.
+    parent: Vec<Option<(NodeId, EdgeId)>>,
+    /// Depth (edge count to root).
+    depth: Vec<u32>,
+    /// Nodes in a preorder consistent with parents-before-children.
+    order: Vec<NodeId>,
+    /// Number of nodes in the subtree rooted at `v` (including `v`).
+    subtree_size: Vec<u32>,
+    /// Children lists.
+    children: Vec<Vec<NodeId>>,
+    /// The tree's edge set, sorted.
+    edges: Vec<EdgeId>,
+    /// Binary-lifting ancestor table: `up[k][v]` = the `2^k`-th ancestor
+    /// of `v` (the root for overshoots). `up.len() = ⌈log₂ n⌉ + 1` levels.
+    up: Vec<Vec<NodeId>>,
+}
+
+impl RootedTree {
+    /// Build the rooted view of the spanning tree `tree_edges` of `g`.
+    ///
+    /// Returns `Err(NotASpanningTree)` if the edge set is not a spanning
+    /// tree of `g`.
+    pub fn new(g: &Graph, tree_edges: &[EdgeId], root: NodeId) -> Result<Self, GraphError> {
+        let n = g.node_count();
+        if root.index() >= n {
+            return Err(GraphError::NodeOutOfRange {
+                node: root.0,
+                node_count: n,
+            });
+        }
+        if !g.is_spanning_tree(tree_edges) {
+            return Err(GraphError::NotASpanningTree);
+        }
+        // Adjacency restricted to the tree.
+        let mut tadj: Vec<Vec<(NodeId, EdgeId)>> = vec![Vec::new(); n];
+        for &e in tree_edges {
+            let (u, v) = g.endpoints(e);
+            tadj[u.index()].push((v, e));
+            tadj[v.index()].push((u, e));
+        }
+        let mut parent: Vec<Option<(NodeId, EdgeId)>> = vec![None; n];
+        let mut depth = vec![0u32; n];
+        let mut order = Vec::with_capacity(n);
+        let mut seen = vec![false; n];
+        let mut stack = vec![root];
+        seen[root.index()] = true;
+        while let Some(u) = stack.pop() {
+            order.push(u);
+            for &(v, e) in &tadj[u.index()] {
+                if !seen[v.index()] {
+                    seen[v.index()] = true;
+                    parent[v.index()] = Some((u, e));
+                    depth[v.index()] = depth[u.index()] + 1;
+                    stack.push(v);
+                }
+            }
+        }
+        debug_assert_eq!(order.len(), n, "spanning tree must reach every node");
+        // Subtree sizes in reverse preorder.
+        let mut subtree_size = vec![1u32; n];
+        for &v in order.iter().rev() {
+            if let Some((p, _)) = parent[v.index()] {
+                subtree_size[p.index()] += subtree_size[v.index()];
+            }
+        }
+        let mut children: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        for v in g.nodes() {
+            if let Some((p, _)) = parent[v.index()] {
+                children[p.index()].push(v);
+            }
+        }
+        let mut edges = tree_edges.to_vec();
+        edges.sort();
+        // Binary-lifting table for O(log n) LCA queries.
+        let levels = usize::BITS as usize - (n.max(2) - 1).leading_zeros() as usize;
+        let mut up: Vec<Vec<NodeId>> = Vec::with_capacity(levels + 1);
+        let base: Vec<NodeId> = (0..n)
+            .map(|v| parent[v].map(|(p, _)| p).unwrap_or(root))
+            .collect();
+        up.push(base);
+        for k in 1..=levels {
+            let prev = &up[k - 1];
+            let next: Vec<NodeId> = (0..n).map(|v| prev[prev[v].index()]).collect();
+            up.push(next);
+        }
+        Ok(RootedTree {
+            root,
+            parent,
+            depth,
+            order,
+            subtree_size,
+            children,
+            edges,
+            up,
+        })
+    }
+
+    /// The root node.
+    #[inline]
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// The tree's edges, sorted by id.
+    #[inline]
+    pub fn edges(&self) -> &[EdgeId] {
+        &self.edges
+    }
+
+    /// Parent of `v` with the connecting edge; `None` for the root.
+    #[inline]
+    pub fn parent(&self, v: NodeId) -> Option<(NodeId, EdgeId)> {
+        self.parent[v.index()]
+    }
+
+    /// The edge from `v` to its parent; `None` for the root.
+    #[inline]
+    pub fn parent_edge(&self, v: NodeId) -> Option<EdgeId> {
+        self.parent[v.index()].map(|(_, e)| e)
+    }
+
+    /// Depth of `v` (root has depth 0).
+    #[inline]
+    pub fn depth(&self, v: NodeId) -> u32 {
+        self.depth[v.index()]
+    }
+
+    /// Size of the subtree rooted at `v`, including `v` itself.
+    ///
+    /// For a broadcast game this equals `n_a(T)` for the edge `a` from `v`
+    /// to its parent: every player below `a` (including `v`'s own player)
+    /// routes through it.
+    #[inline]
+    pub fn subtree_size(&self, v: NodeId) -> u32 {
+        self.subtree_size[v.index()]
+    }
+
+    /// Children of `v`.
+    #[inline]
+    pub fn children(&self, v: NodeId) -> &[NodeId] {
+        &self.children[v.index()]
+    }
+
+    /// Nodes in parents-before-children order (root first).
+    #[inline]
+    pub fn preorder(&self) -> &[NodeId] {
+        &self.order
+    }
+
+    /// The path `T_v` from `v` up to the root, as edge ids (v-side first).
+    pub fn root_path(&self, v: NodeId) -> Vec<EdgeId> {
+        let mut path = Vec::with_capacity(self.depth(v) as usize);
+        let mut cur = v;
+        while let Some((p, e)) = self.parent[cur.index()] {
+            path.push(e);
+            cur = p;
+        }
+        path
+    }
+
+    /// Iterator over `(child_end, edge)` pairs climbing from `v` to the root.
+    pub fn climb(&self, v: NodeId) -> Climb<'_> {
+        Climb { tree: self, cur: v }
+    }
+
+    /// The `2^k`-th ancestor of `v` (saturating at the root).
+    #[inline]
+    fn lift(&self, v: NodeId, k: usize) -> NodeId {
+        self.up[k][v.index()]
+    }
+
+    /// The ancestor of `v` that is `steps` levels up (saturating at the
+    /// root), via binary lifting in O(log n).
+    pub fn ancestor(&self, v: NodeId, mut steps: u32) -> NodeId {
+        let mut cur = v;
+        let mut k = 0usize;
+        while steps > 0 && k < self.up.len() {
+            if steps & 1 == 1 {
+                cur = self.lift(cur, k);
+            }
+            steps >>= 1;
+            k += 1;
+        }
+        cur
+    }
+
+    /// Lowest common ancestor of `u` and `v` (binary lifting, O(log n);
+    /// the Theorem 12 gadget graphs have ~10⁵ nodes, where this matters).
+    pub fn lca(&self, u: NodeId, v: NodeId) -> NodeId {
+        let (mut a, mut b) = (u, v);
+        if self.depth(a) > self.depth(b) {
+            a = self.ancestor(a, self.depth(a) - self.depth(b));
+        } else if self.depth(b) > self.depth(a) {
+            b = self.ancestor(b, self.depth(b) - self.depth(a));
+        }
+        if a == b {
+            return a;
+        }
+        for k in (0..self.up.len()).rev() {
+            if self.lift(a, k) != self.lift(b, k) {
+                a = self.lift(a, k);
+                b = self.lift(b, k);
+            }
+        }
+        self.parent[a.index()].expect("distinct nodes at equal depth have parents").0
+    }
+
+    /// The unique tree path between `u` and `v`, as edge ids (u-side first).
+    pub fn path_between(&self, u: NodeId, v: NodeId) -> Vec<EdgeId> {
+        let l = self.lca(u, v);
+        let mut up = Vec::new();
+        let mut cur = u;
+        while cur != l {
+            let (p, e) = self.parent[cur.index()].expect("below lca");
+            up.push(e);
+            cur = p;
+        }
+        let mut down = Vec::new();
+        let mut cur = v;
+        while cur != l {
+            let (p, e) = self.parent[cur.index()].expect("below lca");
+            down.push(e);
+            cur = p;
+        }
+        down.reverse();
+        up.extend(down);
+        up
+    }
+
+    /// Whether `anc` is an ancestor of `v` (inclusive: every node is its own
+    /// ancestor).
+    pub fn is_ancestor(&self, anc: NodeId, v: NodeId) -> bool {
+        let mut cur = v;
+        loop {
+            if cur == anc {
+                return true;
+            }
+            match self.parent[cur.index()] {
+                Some((p, _)) => cur = p,
+                None => return false,
+            }
+        }
+    }
+
+    /// For each edge of the graph, whether it belongs to this tree.
+    pub fn edge_membership(&self, g: &Graph) -> Vec<bool> {
+        let mut member = vec![false; g.edge_count()];
+        for &e in &self.edges {
+            member[e.index()] = true;
+        }
+        member
+    }
+}
+
+/// Iterator climbing from a node to the root; yields `(child_end, edge)`.
+pub struct Climb<'a> {
+    tree: &'a RootedTree,
+    cur: NodeId,
+}
+
+impl Iterator for Climb<'_> {
+    type Item = (NodeId, EdgeId);
+
+    fn next(&mut self) -> Option<(NodeId, EdgeId)> {
+        let (p, e) = self.tree.parent[self.cur.index()]?;
+        let child = self.cur;
+        self.cur = p;
+        Some((child, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::mst::kruskal;
+
+    /// A small caterpillar: 0-1-2-3 path with 4 hanging off 1 and 5 off 2.
+    fn caterpillar() -> (Graph, Vec<EdgeId>) {
+        let mut g = Graph::new(6);
+        let t = vec![
+            g.add_edge(NodeId(0), NodeId(1), 1.0).unwrap(),
+            g.add_edge(NodeId(1), NodeId(2), 1.0).unwrap(),
+            g.add_edge(NodeId(2), NodeId(3), 1.0).unwrap(),
+            g.add_edge(NodeId(1), NodeId(4), 1.0).unwrap(),
+            g.add_edge(NodeId(2), NodeId(5), 1.0).unwrap(),
+        ];
+        (g, t)
+    }
+
+    #[test]
+    fn basic_structure() {
+        let (g, t) = caterpillar();
+        let rt = RootedTree::new(&g, &t, NodeId(0)).unwrap();
+        assert_eq!(rt.root(), NodeId(0));
+        assert_eq!(rt.depth(NodeId(0)), 0);
+        assert_eq!(rt.depth(NodeId(3)), 3);
+        assert_eq!(rt.depth(NodeId(4)), 2);
+        assert_eq!(rt.parent(NodeId(1)).unwrap().0, NodeId(0));
+        assert_eq!(rt.parent(NodeId(0)), None);
+        assert_eq!(rt.subtree_size(NodeId(0)), 6);
+        assert_eq!(rt.subtree_size(NodeId(1)), 5);
+        assert_eq!(rt.subtree_size(NodeId(2)), 3);
+        assert_eq!(rt.subtree_size(NodeId(3)), 1);
+        assert_eq!(rt.subtree_size(NodeId(4)), 1);
+    }
+
+    #[test]
+    fn root_paths() {
+        let (g, t) = caterpillar();
+        let rt = RootedTree::new(&g, &t, NodeId(0)).unwrap();
+        let p3 = rt.root_path(NodeId(3));
+        assert_eq!(p3.len(), 3);
+        assert!(crate::paths::is_simple_path(&g, &{
+            let mut q = p3.clone();
+            q.as_mut_slice().reverse();
+            q
+        }, NodeId(0), NodeId(3)) || crate::paths::is_simple_path(&g, &p3, NodeId(3), NodeId(0)));
+        assert!(rt.root_path(NodeId(0)).is_empty());
+    }
+
+    #[test]
+    fn lca_and_paths_between() {
+        let (g, t) = caterpillar();
+        let rt = RootedTree::new(&g, &t, NodeId(0)).unwrap();
+        assert_eq!(rt.lca(NodeId(3), NodeId(5)), NodeId(2));
+        assert_eq!(rt.lca(NodeId(4), NodeId(5)), NodeId(1));
+        assert_eq!(rt.lca(NodeId(3), NodeId(3)), NodeId(3));
+        assert_eq!(rt.lca(NodeId(0), NodeId(3)), NodeId(0));
+        let p = rt.path_between(NodeId(4), NodeId(5));
+        assert!(crate::paths::is_simple_path(&g, &p, NodeId(4), NodeId(5)));
+        assert_eq!(p.len(), 3);
+    }
+
+    #[test]
+    fn ancestor_checks() {
+        let (g, t) = caterpillar();
+        let rt = RootedTree::new(&g, &t, NodeId(0)).unwrap();
+        assert!(rt.is_ancestor(NodeId(0), NodeId(3)));
+        assert!(rt.is_ancestor(NodeId(2), NodeId(5)));
+        assert!(!rt.is_ancestor(NodeId(5), NodeId(2)));
+        assert!(rt.is_ancestor(NodeId(3), NodeId(3)));
+        assert!(!rt.is_ancestor(NodeId(4), NodeId(5)));
+    }
+
+    #[test]
+    fn rejects_non_tree() {
+        let mut g = Graph::new(3);
+        let e0 = g.add_edge(NodeId(0), NodeId(1), 1.0).unwrap();
+        let e1 = g.add_edge(NodeId(1), NodeId(2), 1.0).unwrap();
+        let e2 = g.add_edge(NodeId(2), NodeId(0), 1.0).unwrap();
+        assert!(matches!(
+            RootedTree::new(&g, &[e0, e1, e2], NodeId(0)),
+            Err(GraphError::NotASpanningTree)
+        ));
+        assert!(matches!(
+            RootedTree::new(&g, &[e0], NodeId(0)),
+            Err(GraphError::NotASpanningTree)
+        ));
+    }
+
+    #[test]
+    fn climb_iterator() {
+        let (g, t) = caterpillar();
+        let rt = RootedTree::new(&g, &t, NodeId(0)).unwrap();
+        let climbed: Vec<NodeId> = rt.climb(NodeId(3)).map(|(c, _)| c).collect();
+        assert_eq!(climbed, vec![NodeId(3), NodeId(2), NodeId(1)]);
+        assert_eq!(rt.climb(NodeId(0)).count(), 0);
+    }
+
+    #[test]
+    fn subtree_sizes_sum_along_levels() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..20 {
+            let n = rng.random_range(2..30);
+            let g = generators::random_connected(n, 0.3, &mut rng, 1.0..4.0);
+            let t = kruskal(&g).unwrap();
+            let rt = RootedTree::new(&g, &t, NodeId(0)).unwrap();
+            // Root subtree = n; each node's subtree = 1 + sum of children's.
+            assert_eq!(rt.subtree_size(NodeId(0)) as usize, n);
+            for v in g.nodes() {
+                let from_children: u32 =
+                    rt.children(v).iter().map(|&c| rt.subtree_size(c)).sum();
+                assert_eq!(rt.subtree_size(v), 1 + from_children);
+            }
+            // Depths are consistent with parents.
+            for v in g.nodes() {
+                if let Some((p, _)) = rt.parent(v) {
+                    assert_eq!(rt.depth(v), rt.depth(p) + 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn path_between_matches_bfs_length_on_tree() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..10 {
+            let n = rng.random_range(2..25);
+            let g = generators::random_connected(n, 0.3, &mut rng, 1.0..4.0);
+            let t = kruskal(&g).unwrap();
+            let rt = RootedTree::new(&g, &t, NodeId(0)).unwrap();
+            let (tg, _) = g.edge_subgraph(&t);
+            for u in g.nodes() {
+                let hops = crate::paths::bfs_distances(&tg, u);
+                for v in g.nodes() {
+                    assert_eq!(rt.path_between(u, v).len(), hops[v.index()]);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Union–find (disjoint set union) with union by rank and path halving.
+//!
+//! Used by Kruskal's MST, spanning-tree recognition and the spanning-tree
+//! enumerator's connectivity pruning.
+
+/// Disjoint-set forest over `0..n`.
+#[derive(Clone, Debug)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+    sets: usize,
+}
+
+impl UnionFind {
+    /// `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n as u32).collect(),
+            rank: vec![0; n],
+            sets: n,
+        }
+    }
+
+    /// Representative of `x`'s set (with path halving).
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut x = x as u32;
+        while self.parent[x as usize] != x {
+            let grandparent = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = grandparent;
+            x = grandparent;
+        }
+        x as usize
+    }
+
+    /// Merge the sets of `a` and `b`. Returns `false` if already joined.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (hi, lo) = if self.rank[ra] >= self.rank[rb] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[lo] = hi as u32;
+        if self.rank[hi] == self.rank[lo] {
+            self.rank[hi] += 1;
+        }
+        self.sets -= 1;
+        true
+    }
+
+    /// Whether `a` and `b` are in the same set.
+    pub fn connected(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Number of disjoint sets remaining.
+    #[inline]
+    pub fn set_count(&self) -> usize {
+        self.sets
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Whether the structure is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn union_and_find() {
+        let mut uf = UnionFind::new(5);
+        assert_eq!(uf.set_count(), 5);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(2, 3));
+        assert!(!uf.union(1, 0));
+        assert_eq!(uf.set_count(), 3);
+        assert!(uf.connected(0, 1));
+        assert!(!uf.connected(0, 2));
+        assert!(uf.union(1, 3));
+        assert!(uf.connected(0, 2));
+        assert_eq!(uf.set_count(), 2);
+    }
+
+    #[test]
+    fn all_merge_to_one() {
+        let n = 100;
+        let mut uf = UnionFind::new(n);
+        for i in 1..n {
+            assert!(uf.union(i - 1, i));
+        }
+        assert_eq!(uf.set_count(), 1);
+        for i in 0..n {
+            assert!(uf.connected(0, i));
+        }
+    }
+
+    #[test]
+    fn empty() {
+        let uf = UnionFind::new(0);
+        assert!(uf.is_empty());
+        assert_eq!(uf.set_count(), 0);
+    }
+
+    /// Union-find agrees with a naive label-propagation implementation.
+    #[test]
+    fn matches_naive_reference() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 40;
+        let mut uf = UnionFind::new(n);
+        let mut labels: Vec<usize> = (0..n).collect();
+        for _ in 0..200 {
+            let a = rng.random_range(0..n);
+            let b = rng.random_range(0..n);
+            if a == b {
+                continue;
+            }
+            let naive_joined = labels[a] == labels[b];
+            let fresh = uf.union(a, b);
+            assert_eq!(fresh, !naive_joined);
+            if !naive_joined {
+                let (la, lb) = (labels[a], labels[b]);
+                for l in labels.iter_mut() {
+                    if *l == lb {
+                        *l = la;
+                    }
+                }
+            }
+            for i in 0..n {
+                for j in 0..n {
+                    assert_eq!(uf.connected(i, j), labels[i] == labels[j]);
+                }
+            }
+        }
+    }
+}

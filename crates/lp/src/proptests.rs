@@ -1,0 +1,120 @@
+//! Property-based tests for the simplex solver (proptest).
+
+#![cfg(test)]
+
+use crate::problem::LinearProgram;
+use crate::simplex::solve;
+use crate::solution::LpStatus;
+use proptest::prelude::*;
+use rand::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Two-variable LPs against exact vertex enumeration.
+    #[test]
+    fn two_var_lps_match_vertex_enumeration(seed in 0u64..1_000_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut lp = LinearProgram::new();
+        let c0 = rng.random_range(-3.0..3.0);
+        let c1 = rng.random_range(-3.0..3.0);
+        let hi0 = rng.random_range(0.5..5.0);
+        let hi1 = rng.random_range(0.5..5.0);
+        let x = lp.add_var(c0, 0.0, hi0).unwrap();
+        let y = lp.add_var(c1, 0.0, hi1).unwrap();
+        let mut lines = vec![
+            (1.0, 0.0, hi0),
+            (0.0, 1.0, hi1),
+            (-1.0, 0.0, 0.0),
+            (0.0, -1.0, 0.0),
+        ];
+        for _ in 0..rng.random_range(0..5usize) {
+            let a = rng.random_range(-2.0..2.0);
+            let b = rng.random_range(-2.0..2.0);
+            let r = rng.random_range(0.0..4.0); // origin stays feasible
+            lp.add_le(vec![(x, a), (y, b)], r).unwrap();
+            lines.push((a, b, r));
+        }
+        let feasible =
+            |px: f64, py: f64| lines.iter().all(|&(a, b, r)| a * px + b * py <= r + 1e-7);
+        let mut best = f64::INFINITY;
+        for i in 0..lines.len() {
+            for j in (i + 1)..lines.len() {
+                let (a1, b1, r1) = lines[i];
+                let (a2, b2, r2) = lines[j];
+                let det = a1 * b2 - a2 * b1;
+                if det.abs() < 1e-9 {
+                    continue;
+                }
+                let px = (r1 * b2 - r2 * b1) / det;
+                let py = (a1 * r2 - a2 * r1) / det;
+                if feasible(px, py) {
+                    best = best.min(c0 * px + c1 * py);
+                }
+            }
+        }
+        let sol = solve(&lp).unwrap();
+        prop_assert_eq!(sol.status, LpStatus::Optimal);
+        prop_assert!((sol.objective - best).abs() < 1e-5,
+            "simplex {} vs vertices {}", sol.objective, best);
+        prop_assert!(sol.verify(&lp, 1e-6));
+    }
+
+    /// Random feasible-by-construction LPs: the solver must return a
+    /// feasible point no worse than the construction witness.
+    #[test]
+    fn never_worse_than_a_known_feasible_point(
+        nv in 1usize..6,
+        nr in 0usize..8,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut lp = LinearProgram::new();
+        // A hidden witness point inside the box.
+        let witness: Vec<f64> = (0..nv).map(|_| rng.random_range(0.0..2.0)).collect();
+        for &w in &witness {
+            lp.add_var(rng.random_range(-2.0..2.0), 0.0, w + rng.random_range(0.5..2.0))
+                .unwrap();
+        }
+        for _ in 0..nr {
+            let coeffs: Vec<(usize, f64)> = (0..nv)
+                .map(|j| (j, rng.random_range(-2.0..2.0)))
+                .collect();
+            let lhs_at_witness: f64 =
+                coeffs.iter().map(|&(j, a)| a * witness[j]).sum();
+            // Slack the row so the witness satisfies it.
+            lp.add_le(coeffs, lhs_at_witness + rng.random_range(0.0..1.0))
+                .unwrap();
+        }
+        let sol = solve(&lp).unwrap();
+        prop_assert_eq!(sol.status, LpStatus::Optimal, "witness guarantees feasibility");
+        let witness_obj = lp.objective_at(&witness);
+        prop_assert!(sol.objective <= witness_obj + 1e-6,
+            "optimal {} must not exceed witness {}", sol.objective, witness_obj);
+        prop_assert!(sol.verify(&lp, 1e-6));
+    }
+
+    /// Scaling invariance: multiplying the objective by λ > 0 scales the
+    /// optimum by λ and keeps the argmin feasible.
+    #[test]
+    fn objective_scaling(seed in 0u64..1_000_000, lambda in 0.1f64..10.0) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut lp = LinearProgram::new();
+        let nv = rng.random_range(1..5usize);
+        let coefs: Vec<f64> = (0..nv).map(|_| rng.random_range(-2.0..2.0)).collect();
+        for &c in &coefs {
+            lp.add_var(c, 0.0, rng.random_range(0.5..3.0)).unwrap();
+        }
+        let mut scaled = LinearProgram::new();
+        for (j, &c) in coefs.iter().enumerate() {
+            scaled
+                .add_var(c * lambda, 0.0, lp.upper_bounds()[j])
+                .unwrap();
+        }
+        let s1 = solve(&lp).unwrap();
+        let s2 = solve(&scaled).unwrap();
+        prop_assert_eq!(s1.status, LpStatus::Optimal);
+        prop_assert_eq!(s2.status, LpStatus::Optimal);
+        prop_assert!((s1.objective * lambda - s2.objective).abs() < 1e-6);
+    }
+}

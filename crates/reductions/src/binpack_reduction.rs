@@ -1,0 +1,264 @@
+//! The Theorem 3 reduction: BIN PACKING → "is some MST an equilibrium?"
+//! (Figure 2).
+//!
+//! For a strict instance with `n` items and `k` bins of capacity `C`:
+//! one Bypass gadget of capacity `C` per bin; one star (center `xᵢ`,
+//! `sᵢ − 1` zero-weight leaves) per item; and a complete bipartite edge
+//! set between star centers and connectors, every edge weighing
+//! `2(H_{C+ℓ} − H_C)`. The MSTs of this graph are exactly: basic paths +
+//! star leaves + one connector edge per item. An MST is an equilibrium
+//! iff the induced item→bin map fills every bin exactly (Lemma 4), i.e.
+//! iff the packing instance is solvable.
+
+use crate::binpacking::BinPacking;
+use crate::bypass::{attach_bypass, AttachedBypass};
+use ndg_core::{is_tree_equilibrium, NetworkDesignGame, SubsidyAssignment};
+use ndg_graph::{harmonic_diff, EdgeId, Graph, NodeId, RootedTree};
+
+/// The built reduction graph with its bookkeeping.
+#[derive(Clone, Debug)]
+pub struct BinPackReduction {
+    /// The broadcast game on the reduction graph `G` (root node 0).
+    pub game: NetworkDesignGame,
+    /// The source instance.
+    pub instance: BinPacking,
+    /// Per-bin Bypass gadgets.
+    pub gadgets: Vec<AttachedBypass>,
+    /// Per-item star centers `xᵢ`.
+    pub centers: Vec<NodeId>,
+    /// Per-item zero-weight leaf edges.
+    pub leaf_edges: Vec<Vec<EdgeId>>,
+    /// `connector_edge[i][j]` = the bipartite edge `(xᵢ, c_j)`.
+    pub connector_edges: Vec<Vec<EdgeId>>,
+    /// Basic-path length ℓ (shared by all gadgets).
+    pub ell: u64,
+}
+
+/// Build the reduction graph from a strict instance.
+///
+/// # Panics
+/// Panics if the instance is not in strict form.
+pub fn build(instance: &BinPacking) -> BinPackReduction {
+    assert!(instance.is_strict(), "Theorem 3 needs the strict form");
+    let c = instance.capacity;
+    let k = instance.bins;
+    let n = instance.sizes.len();
+
+    let mut g = Graph::new(1);
+    let root = NodeId(0);
+    let gadgets: Vec<AttachedBypass> =
+        (0..k).map(|_| attach_bypass(&mut g, root, c)).collect();
+    let ell = gadgets[0].ell;
+
+    let mut centers = Vec::with_capacity(n);
+    let mut leaf_edges = Vec::with_capacity(n);
+    for &s in &instance.sizes {
+        let x = g.add_node();
+        centers.push(x);
+        let mut leaves = Vec::with_capacity((s - 1) as usize);
+        for _ in 0..(s - 1) {
+            let leaf = g.add_node();
+            leaves.push(g.add_edge(x, leaf, 0.0).expect("leaf edge"));
+        }
+        leaf_edges.push(leaves);
+    }
+
+    let w_bipartite = 2.0 * harmonic_diff(c, c + ell);
+    let mut connector_edges = Vec::with_capacity(n);
+    for &x in &centers {
+        let mut row = Vec::with_capacity(k);
+        for gadget in &gadgets {
+            row.push(
+                g.add_edge(x, gadget.connector, w_bipartite)
+                    .expect("bipartite edge"),
+            );
+        }
+        connector_edges.push(row);
+    }
+
+    let game = NetworkDesignGame::broadcast(g, root).expect("connected reduction graph");
+    BinPackReduction {
+        game,
+        instance: instance.clone(),
+        gadgets,
+        centers,
+        leaf_edges,
+        connector_edges,
+        ell,
+    }
+}
+
+impl BinPackReduction {
+    /// The MST induced by an item→bin assignment: basic paths + leaves +
+    /// the chosen bipartite edges.
+    pub fn tree_for_assignment(&self, assign: &[usize]) -> Vec<EdgeId> {
+        assert_eq!(assign.len(), self.centers.len());
+        let mut tree = Vec::new();
+        for gadget in &self.gadgets {
+            tree.extend_from_slice(&gadget.path_edges);
+        }
+        for leaves in &self.leaf_edges {
+            tree.extend_from_slice(leaves);
+        }
+        for (i, &bin) in assign.iter().enumerate() {
+            tree.push(self.connector_edges[i][bin]);
+        }
+        tree.sort();
+        tree
+    }
+
+    /// Paper's MST weight formula: `kℓ + 2n(H_{C+ℓ} − H_C)`.
+    pub fn mst_weight_formula(&self) -> f64 {
+        let c = self.instance.capacity;
+        self.instance.bins as f64 * self.ell as f64
+            + 2.0 * self.centers.len() as f64 * harmonic_diff(c, c + self.ell)
+    }
+
+    /// Whether the assignment's MST is an equilibrium of the (unsubsidized)
+    /// broadcast game.
+    pub fn assignment_tree_is_equilibrium(&self, assign: &[usize]) -> bool {
+        let tree = self.tree_for_assignment(assign);
+        let rt = RootedTree::new(self.game.graph(), &tree, NodeId(0))
+            .expect("assignment tree is spanning");
+        let b = SubsidyAssignment::zero(self.game.graph());
+        is_tree_equilibrium(&self.game, &rt, &b)
+    }
+
+    /// Search all `k^n` assignments for one whose MST is an equilibrium
+    /// (the SND question with `B = 0`, `K = wgt(MST)`).
+    pub fn equilibrium_assignment(&self) -> Option<Vec<usize>> {
+        let n = self.centers.len();
+        let k = self.instance.bins;
+        let mut assign = vec![0usize; n];
+        loop {
+            if self.assignment_tree_is_equilibrium(&assign) {
+                return Some(assign);
+            }
+            // Increment the mixed-radix counter.
+            let mut i = 0;
+            loop {
+                if i == n {
+                    return None;
+                }
+                assign[i] += 1;
+                if assign[i] == k {
+                    assign[i] = 0;
+                    i += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binpacking::{is_valid_assignment, solve_exact};
+
+    fn solvable_instance() -> BinPacking {
+        BinPacking {
+            sizes: vec![2, 2, 4],
+            bins: 2,
+            capacity: 4,
+        }
+    }
+
+    fn unsolvable_instance() -> BinPacking {
+        BinPacking {
+            sizes: vec![10, 10, 4],
+            bins: 2,
+            capacity: 12,
+        }
+    }
+
+    #[test]
+    fn graph_shape_and_mst_weight() {
+        let inst = solvable_instance();
+        let red = build(&inst);
+        let g = red.game.graph();
+        // Nodes: 1 + k·ℓ + Σ sᵢ  (center + s−1 leaves each).
+        let want_nodes = 1 + inst.bins * red.ell as usize
+            + inst.sizes.iter().sum::<u64>() as usize;
+        assert_eq!(g.node_count(), want_nodes);
+        // MST weight matches the formula.
+        let mst_w = ndg_graph::mst_weight(g).unwrap();
+        assert!(
+            (mst_w - red.mst_weight_formula()).abs() < 1e-9,
+            "MST {} vs formula {}",
+            mst_w,
+            red.mst_weight_formula()
+        );
+        // Any assignment tree achieves that weight and is a spanning tree.
+        let tree = red.tree_for_assignment(&[0, 1, 0]);
+        assert!(g.is_spanning_tree(&tree));
+        assert!((g.weight_of(&tree) - mst_w).abs() < 1e-9);
+    }
+
+    /// Forward direction of Theorem 3: packing solution ⇒ its MST is an
+    /// equilibrium.
+    #[test]
+    fn packing_solution_gives_equilibrium() {
+        let inst = solvable_instance();
+        let red = build(&inst);
+        let assign = solve_exact(&inst).expect("solvable");
+        assert!(is_valid_assignment(&inst, &assign));
+        assert!(
+            red.assignment_tree_is_equilibrium(&assign),
+            "valid packing must induce an equilibrium MST"
+        );
+    }
+
+    /// Both directions on the solvable instance: an assignment's MST is an
+    /// equilibrium iff it fills every bin exactly.
+    #[test]
+    fn equilibrium_iff_exact_fill() {
+        let inst = solvable_instance();
+        let red = build(&inst);
+        let n = inst.sizes.len();
+        let k = inst.bins;
+        let mut assign = vec![0usize; n];
+        let mut checked = 0;
+        'outer: loop {
+            let eq = red.assignment_tree_is_equilibrium(&assign);
+            let valid = is_valid_assignment(&inst, &assign);
+            assert_eq!(
+                eq, valid,
+                "assignment {assign:?}: equilibrium={eq} but exact-fill={valid}"
+            );
+            checked += 1;
+            let mut i = 0;
+            loop {
+                if i == n {
+                    break 'outer;
+                }
+                assign[i] += 1;
+                if assign[i] == k {
+                    assign[i] = 0;
+                    i += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+        assert_eq!(checked, k.pow(n as u32));
+    }
+
+    /// Backward direction on the unsolvable instance: no equilibrium MST.
+    #[test]
+    fn unsolvable_instance_has_no_equilibrium_assignment() {
+        let inst = unsolvable_instance();
+        let red = build(&inst);
+        assert_eq!(solve_exact(&inst), None);
+        assert_eq!(red.equilibrium_assignment(), None);
+    }
+
+    #[test]
+    fn solvable_instance_equilibrium_search_succeeds() {
+        let inst = solvable_instance();
+        let red = build(&inst);
+        let found = red.equilibrium_assignment().expect("must exist");
+        assert!(is_valid_assignment(&inst, &found));
+    }
+}

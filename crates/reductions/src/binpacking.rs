@@ -1,0 +1,241 @@
+//! BIN PACKING: the source problem of the Theorem 3 reduction.
+//!
+//! The proof uses a *strict* form: all item sizes and the capacity are
+//! even, `Σ sᵢ = k·C`, `max sᵢ ≤ C`, and every bin must be filled exactly
+//! to the brim. [`strictify`] performs the paper's reduction from the
+//! conventional form (pad with unit items, then double everything);
+//! [`solve_exact`] is a complete DFS solver with symmetry breaking.
+
+/// A (strict-form) bin packing instance.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BinPacking {
+    /// Item sizes.
+    pub sizes: Vec<u64>,
+    /// Number of bins `k`.
+    pub bins: usize,
+    /// Per-bin capacity `C`.
+    pub capacity: u64,
+}
+
+impl BinPacking {
+    /// Whether the instance satisfies the strict-form requirements of the
+    /// Theorem 3 proof.
+    pub fn is_strict(&self) -> bool {
+        let sum: u64 = self.sizes.iter().sum();
+        self.capacity.is_multiple_of(2)
+            && self
+                .sizes
+                .iter()
+                .all(|&s| s.is_multiple_of(2) && s >= 2 && s <= self.capacity)
+            && sum == self.bins as u64 * self.capacity
+    }
+}
+
+/// Convert a conventional instance (items must fit into `bins` bins of
+/// `capacity`, no exact-fill requirement) into an equivalent strict
+/// instance: pad with `k·C − Σsᵢ` unit items, then double sizes and
+/// capacity. Returns `None` if `Σ sᵢ > k·C` (trivially infeasible) or any
+/// item exceeds the capacity.
+pub fn strictify(sizes: &[u64], bins: usize, capacity: u64) -> Option<BinPacking> {
+    let sum: u64 = sizes.iter().sum();
+    if sum > bins as u64 * capacity || sizes.iter().any(|&s| s > capacity) {
+        return None;
+    }
+    let mut padded: Vec<u64> = sizes.to_vec();
+    padded.extend(std::iter::repeat_n(1u64, (bins as u64 * capacity - sum) as usize));
+    Some(BinPacking {
+        sizes: padded.iter().map(|s| 2 * s).collect(),
+        bins,
+        capacity: 2 * capacity,
+    })
+}
+
+/// Exact solver for the strict form: find an assignment `item → bin` with
+/// every bin summing to exactly `C`, or `None`.
+///
+/// DFS over items in decreasing size order; symmetry breaking skips bins
+/// whose remaining capacity equals an already-tried bin's.
+pub fn solve_exact(inst: &BinPacking) -> Option<Vec<usize>> {
+    if !inst.is_strict() {
+        return None;
+    }
+    let mut order: Vec<usize> = (0..inst.sizes.len()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(inst.sizes[i]));
+    let mut remaining = vec![inst.capacity; inst.bins];
+    let mut assign = vec![usize::MAX; inst.sizes.len()];
+    if dfs(&inst.sizes, &order, 0, &mut remaining, &mut assign) {
+        Some(assign)
+    } else {
+        None
+    }
+}
+
+fn dfs(
+    sizes: &[u64],
+    order: &[usize],
+    pos: usize,
+    remaining: &mut Vec<u64>,
+    assign: &mut Vec<usize>,
+) -> bool {
+    if pos == order.len() {
+        return remaining.iter().all(|&r| r == 0);
+    }
+    let item = order[pos];
+    let s = sizes[item];
+    let mut tried: Vec<u64> = Vec::new();
+    for j in 0..remaining.len() {
+        if remaining[j] >= s && !tried.contains(&remaining[j]) {
+            tried.push(remaining[j]);
+            remaining[j] -= s;
+            assign[item] = j;
+            if dfs(sizes, order, pos + 1, remaining, assign) {
+                return true;
+            }
+            remaining[j] += s;
+            assign[item] = usize::MAX;
+        }
+    }
+    false
+}
+
+/// Validate a proposed assignment for the strict form.
+pub fn is_valid_assignment(inst: &BinPacking, assign: &[usize]) -> bool {
+    if assign.len() != inst.sizes.len() {
+        return false;
+    }
+    let mut load = vec![0u64; inst.bins];
+    for (i, &b) in assign.iter().enumerate() {
+        if b >= inst.bins {
+            return false;
+        }
+        load[b] += inst.sizes[i];
+    }
+    load.iter().all(|&l| l == inst.capacity)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strict_recognition() {
+        assert!(BinPacking {
+            sizes: vec![2, 2, 4],
+            bins: 2,
+            capacity: 4
+        }
+        .is_strict());
+        // Odd size.
+        assert!(!BinPacking {
+            sizes: vec![3, 2, 3],
+            bins: 2,
+            capacity: 4
+        }
+        .is_strict());
+        // Sum mismatch.
+        assert!(!BinPacking {
+            sizes: vec![2, 2],
+            bins: 2,
+            capacity: 4
+        }
+        .is_strict());
+        // Item over capacity.
+        assert!(!BinPacking {
+            sizes: vec![6, 2],
+            bins: 2,
+            capacity: 4
+        }
+        .is_strict());
+    }
+
+    #[test]
+    fn solver_finds_known_packings() {
+        let inst = BinPacking {
+            sizes: vec![2, 2, 4],
+            bins: 2,
+            capacity: 4,
+        };
+        let assign = solve_exact(&inst).expect("solvable");
+        assert!(is_valid_assignment(&inst, &assign));
+    }
+
+    #[test]
+    fn solver_detects_infeasible() {
+        // [10, 10, 4] into 2 bins of 12: no subset sums to exactly 12.
+        let inst = BinPacking {
+            sizes: vec![10, 10, 4],
+            bins: 2,
+            capacity: 12,
+        };
+        assert!(inst.is_strict());
+        assert_eq!(solve_exact(&inst), None);
+    }
+
+    #[test]
+    fn strictify_preserves_feasibility() {
+        // Conventional: [3, 3, 2] into 2 bins of 5 — feasible ({3,2},{3}).
+        let strict = strictify(&[3, 3, 2], 2, 5).unwrap();
+        assert!(strict.is_strict());
+        assert!(solve_exact(&strict).is_some());
+        // Conventional: [4, 4, 2] into 2 bins of 5 — the sum fits but the
+        // two 4s can't share a bin and 4 + 2 overflows.
+        let strict2 = strictify(&[4, 4, 2], 2, 5).unwrap();
+        assert!(strict2.is_strict());
+        assert_eq!(solve_exact(&strict2), None);
+        // Overfull is rejected outright.
+        assert_eq!(strictify(&[5, 5, 5], 1, 5), None);
+        assert_eq!(strictify(&[7], 2, 5), None);
+    }
+
+    #[test]
+    fn brute_force_agreement_randomized() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(601);
+        for _ in 0..50 {
+            let k = rng.random_range(2..4usize);
+            let c: u64 = 2 * rng.random_range(2..7u64);
+            // Build sizes that sum to k·C from even chunks.
+            let mut sizes = Vec::new();
+            let mut left = k as u64 * c;
+            while left > 0 {
+                let s = 2 * rng.random_range(1..=(left.min(c) / 2));
+                sizes.push(s);
+                left -= s;
+            }
+            let inst = BinPacking {
+                sizes: sizes.clone(),
+                bins: k,
+                capacity: c,
+            };
+            assert!(inst.is_strict());
+            // Brute force all assignments (k^n, n small).
+            let n = sizes.len();
+            let mut feasible = false;
+            let mut assign = vec![0usize; n];
+            'outer: loop {
+                if is_valid_assignment(&inst, &assign) {
+                    feasible = true;
+                    break;
+                }
+                let mut i = 0;
+                loop {
+                    if i == n {
+                        break 'outer;
+                    }
+                    assign[i] += 1;
+                    if assign[i] == k {
+                        assign[i] = 0;
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+            }
+            assert_eq!(
+                solve_exact(&inst).is_some(),
+                feasible,
+                "solver disagrees with brute force on {inst:?}"
+            );
+        }
+    }
+}

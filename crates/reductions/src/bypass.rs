@@ -1,0 +1,145 @@
+//! The Bypass gadget of capacity κ (Figure 1, Theorem 3).
+//!
+//! A basic path of `ℓ` unit edges runs from the root to a *connector* node
+//! `c`, where `ℓ` is the minimum integer with `H_{κ+ℓ} − H_κ > 1`; a
+//! *bypass edge* `(c, r)` of weight exactly `H_{κ+ℓ} − H_κ` closes the
+//! cycle. Lemma 4: if a subgraph of `β` nodes hangs off the connector,
+//! then the connector player defects to the bypass edge iff `β < κ`.
+
+use ndg_graph::{bypass_path_length, harmonic_diff, EdgeId, Graph, NodeId};
+
+/// A Bypass gadget attached to a graph.
+#[derive(Clone, Debug)]
+pub struct AttachedBypass {
+    /// Gadget capacity κ.
+    pub kappa: u64,
+    /// Basic-path length ℓ.
+    pub ell: u64,
+    /// The connector node `c` (far end of the basic path).
+    pub connector: NodeId,
+    /// Basic-path nodes, root side first (the connector is last).
+    pub path_nodes: Vec<NodeId>,
+    /// Basic-path edges, root side first (these belong to the MST).
+    pub path_edges: Vec<EdgeId>,
+    /// The bypass edge `(c, r)` of weight `H_{κ+ℓ} − H_κ` (never in the MST).
+    pub bypass_edge: EdgeId,
+}
+
+impl AttachedBypass {
+    /// Weight of the bypass edge.
+    pub fn bypass_weight(&self) -> f64 {
+        harmonic_diff(self.kappa, self.kappa + self.ell)
+    }
+}
+
+/// Append a Bypass gadget of capacity `kappa` to `g`, anchored at `root`.
+pub fn attach_bypass(g: &mut Graph, root: NodeId, kappa: u64) -> AttachedBypass {
+    assert!(kappa >= 1);
+    let ell = bypass_path_length(kappa);
+    let mut path_nodes = Vec::with_capacity(ell as usize);
+    let mut path_edges = Vec::with_capacity(ell as usize);
+    let mut prev = root;
+    for _ in 0..ell {
+        let v = g.add_node();
+        let e = g.add_edge(prev, v, 1.0).expect("unit basic-path edge");
+        path_nodes.push(v);
+        path_edges.push(e);
+        prev = v;
+    }
+    let connector = prev;
+    let bypass_edge = g
+        .add_edge(connector, root, harmonic_diff(kappa, kappa + ell))
+        .expect("bypass edge");
+    AttachedBypass {
+        kappa,
+        ell,
+        connector,
+        path_nodes,
+        path_edges,
+        bypass_edge,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ndg_core::{lemma2_violation, NetworkDesignGame, SubsidyAssignment};
+    use ndg_graph::RootedTree;
+
+    /// Lemma 4, machine-checked: attach β extra player nodes to the
+    /// connector via zero-weight edges; with the basic path as tree, the
+    /// connector player defects to the bypass edge iff β < κ.
+    #[test]
+    fn lemma_4_threshold() {
+        for kappa in [2u64, 4, 7] {
+            for beta in 0..=(kappa + 3) {
+                let mut g = Graph::new(1);
+                let root = NodeId(0);
+                let gadget = attach_bypass(&mut g, root, kappa);
+                let mut tree = gadget.path_edges.clone();
+                for _ in 0..beta {
+                    let v = g.add_node();
+                    tree.push(g.add_edge(gadget.connector, v, 0.0).unwrap());
+                }
+                let game = NetworkDesignGame::broadcast(g, root).unwrap();
+                let rt = RootedTree::new(game.graph(), &tree, root).unwrap();
+                let b = SubsidyAssignment::zero(game.graph());
+                let viol = lemma2_violation(&game, &rt, &b);
+                if beta < kappa {
+                    let v = viol.unwrap_or_else(|| {
+                        panic!("κ={kappa}, β={beta}: connector must defect")
+                    });
+                    assert_eq!(v.via, gadget.bypass_edge);
+                    // The defector is the connector or a basic-path node on
+                    // its root path (the connector is the first scanned).
+                    assert_eq!(v.node, gadget.connector);
+                } else {
+                    assert!(
+                        viol.is_none(),
+                        "κ={kappa}, β={beta}: no player should defect, got {viol:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// The exact Lemma 4 arithmetic: connector cost on the basic path is
+    /// `H_{β+ℓ} − H_β` against the bypass weight `H_{κ+ℓ} − H_κ`.
+    #[test]
+    fn connector_cost_formula() {
+        let kappa = 4u64;
+        let beta = 2u64;
+        let mut g = Graph::new(1);
+        let root = NodeId(0);
+        let gadget = attach_bypass(&mut g, root, kappa);
+        let mut tree = gadget.path_edges.clone();
+        for _ in 0..beta {
+            let v = g.add_node();
+            tree.push(g.add_edge(gadget.connector, v, 0.0).unwrap());
+        }
+        let game = NetworkDesignGame::broadcast(g, root).unwrap();
+        let rt = RootedTree::new(game.graph(), &tree, root).unwrap();
+        let b = SubsidyAssignment::zero(game.graph());
+        let costs = ndg_core::root_path_costs(&game, &rt, &b);
+        let want = harmonic_diff(beta, beta + gadget.ell);
+        assert!(
+            (costs[gadget.connector.index()] - want).abs() < 1e-9,
+            "connector cost {} vs H_{{β+ℓ}}−H_β = {want}",
+            costs[gadget.connector.index()]
+        );
+    }
+
+    #[test]
+    fn gadget_shape() {
+        let mut g = Graph::new(1);
+        let gadget = attach_bypass(&mut g, NodeId(0), 4);
+        assert_eq!(gadget.ell, 8); // κ=4 ⇒ ℓ=8 (harmonic test)
+        assert_eq!(gadget.path_nodes.len(), 8);
+        assert_eq!(g.node_count(), 9);
+        assert_eq!(g.edge_count(), 9);
+        assert!(gadget.bypass_weight() > 1.0);
+        // MST of the gadget alone excludes the bypass edge.
+        let mst = ndg_graph::kruskal(&g).unwrap();
+        assert!(!mst.contains(&gadget.bypass_edge));
+    }
+}

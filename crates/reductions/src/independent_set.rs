@@ -1,0 +1,406 @@
+//! The Theorem 5 reduction: INDEPENDENT SET in 3-regular graphs →
+//! approximating the price of stability of a broadcast game (Figure 3).
+//!
+//! From a 3-regular graph `H` with `n` nodes, build `G`: a root `r`, one
+//! node per `H`-node (set `U`), one node per `H`-edge (set `V`), unit
+//! edges from every non-root node to `r`, and edges of weight `(2+δ)/3`
+//! joining each `V`-node to its two endpoints in `U`. The structural lemma
+//! (machine-checked here): a spanning tree is an equilibrium iff all its
+//! branches are type A (single edge to `r`) or type B (a `U`-node with its
+//! three `V`-neighbors), and then its weight is `5n/2 − (1−δ)m` where `m`
+//! = number of B-branches, whose centers necessarily form an independent
+//! set of `H`.
+
+use ndg_core::{is_tree_equilibrium, NetworkDesignGame, SubsidyAssignment};
+use ndg_graph::{EdgeId, Graph, NodeId, RootedTree};
+use std::collections::HashMap;
+
+/// Exact maximum independent set by branch-and-bound (include/exclude the
+/// highest-degree remaining node; counting bound). Exponential — intended
+/// for `n ≲ 30`.
+pub fn max_independent_set(g: &Graph) -> Vec<NodeId> {
+    let n = g.node_count();
+    let mut best: Vec<NodeId> = Vec::new();
+    let mut current: Vec<NodeId> = Vec::new();
+    let mut blocked = vec![0u32; n];
+    rec(g, 0, &mut current, &mut blocked, &mut best);
+    best.sort();
+    return best;
+
+    fn rec(
+        g: &Graph,
+        idx: usize,
+        current: &mut Vec<NodeId>,
+        blocked: &mut Vec<u32>,
+        best: &mut Vec<NodeId>,
+    ) {
+        let n = g.node_count();
+        if current.len() + (n - idx) <= best.len() {
+            return; // even taking everything left cannot win
+        }
+        if idx == n {
+            if current.len() > best.len() {
+                *best = current.clone();
+            }
+            return;
+        }
+        let v = NodeId(idx as u32);
+        // Branch 1: take v if none of its neighbors is taken.
+        if blocked[idx] == 0 {
+            current.push(v);
+            for &(nb, _) in g.neighbors(v) {
+                blocked[nb.index()] += 1;
+            }
+            rec(g, idx + 1, current, blocked, best);
+            for &(nb, _) in g.neighbors(v) {
+                blocked[nb.index()] -= 1;
+            }
+            current.pop();
+        }
+        // Branch 2: skip v.
+        rec(g, idx + 1, current, blocked, best);
+    }
+}
+
+/// Whether `set` is an independent set of `g`.
+pub fn is_independent_set(g: &Graph, set: &[NodeId]) -> bool {
+    let chosen: std::collections::HashSet<NodeId> = set.iter().copied().collect();
+    if chosen.len() != set.len() {
+        return false;
+    }
+    g.edges()
+        .all(|(_, e)| !(chosen.contains(&e.u) && chosen.contains(&e.v)))
+}
+
+/// The Petersen graph: the classic 3-regular benchmark (n = 10,
+/// max independent set = 4).
+pub fn petersen() -> Graph {
+    let mut g = Graph::new(10);
+    // Outer 5-cycle 0..4, inner pentagram 5..9, spokes i—i+5.
+    for i in 0..5u32 {
+        g.add_edge(NodeId(i), NodeId((i + 1) % 5), 1.0).unwrap();
+        g.add_edge(NodeId(5 + i), NodeId(5 + (i + 2) % 5), 1.0)
+            .unwrap();
+        g.add_edge(NodeId(i), NodeId(5 + i), 1.0).unwrap();
+    }
+    g
+}
+
+/// Branch types of the Theorem 5 case analysis.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BranchType {
+    /// A single edge `r — x`.
+    A,
+    /// `r — u` with `u ∈ U` carrying exactly its three `V`-neighbors.
+    B,
+    /// Anything else (the proof's types C, D, E — all unstable).
+    Other,
+}
+
+/// The built Theorem 5 reduction.
+#[derive(Clone, Debug)]
+pub struct IsReduction {
+    /// The broadcast game on `G` (root = node 0).
+    pub game: NetworkDesignGame,
+    /// δ ∈ (0, 1/12].
+    pub delta: f64,
+    /// The source 3-regular graph.
+    pub h: Graph,
+    /// `u_node[i]` = the `G`-node for `H`-node `i`.
+    pub u_node: Vec<NodeId>,
+    /// `v_node[e]` = the `G`-node for `H`-edge `e`.
+    pub v_node: Vec<NodeId>,
+    /// `root_edge[x]` = the unit edge `(x, r)` for each non-root `G`-node.
+    pub root_edge: HashMap<NodeId, EdgeId>,
+    /// `literal_edge[(v_e, u)]` = the `(2+δ)/3` edge for each incidence.
+    pub literal_edge: HashMap<(NodeId, NodeId), EdgeId>,
+}
+
+/// Build the reduction from a 3-regular graph `H` and `δ ∈ (0, 1/12]`.
+///
+/// # Panics
+/// Panics if `H` is not 3-regular or δ is out of range.
+pub fn build(h: &Graph, delta: f64) -> IsReduction {
+    assert!(
+        ndg_graph::generators::is_regular(h, 3),
+        "Theorem 5 needs a 3-regular graph"
+    );
+    assert!(delta > 0.0 && delta <= 1.0 / 12.0, "δ ∈ (0, 1/12]");
+    let n = h.node_count();
+    let m = h.edge_count();
+    debug_assert_eq!(m, 3 * n / 2);
+
+    let mut g = Graph::new(1);
+    let root = NodeId(0);
+    let u_node: Vec<NodeId> = (0..n).map(|_| g.add_node()).collect();
+    let v_node: Vec<NodeId> = (0..m).map(|_| g.add_node()).collect();
+
+    let mut root_edge = HashMap::new();
+    for &x in u_node.iter().chain(&v_node) {
+        root_edge.insert(x, g.add_edge(x, root, 1.0).expect("unit edge"));
+    }
+    let w = (2.0 + delta) / 3.0;
+    let mut literal_edge = HashMap::new();
+    for (e, edge) in h.edges() {
+        let ve = v_node[e.index()];
+        for hu in [edge.u, edge.v] {
+            let gu = u_node[hu.index()];
+            literal_edge.insert((ve, gu), g.add_edge(ve, gu, w).expect("incidence edge"));
+        }
+    }
+    let game = NetworkDesignGame::broadcast(g, root).expect("connected");
+    IsReduction {
+        game,
+        delta,
+        h: h.clone(),
+        u_node,
+        v_node,
+        root_edge,
+        literal_edge,
+    }
+}
+
+impl IsReduction {
+    /// The spanning tree induced by an independent set of `H`: a type-B
+    /// branch per IS node, type-A branches for everyone else.
+    ///
+    /// # Panics
+    /// Panics if `is_set` is not an independent set of `H`.
+    pub fn tree_for_independent_set(&self, is_set: &[NodeId]) -> Vec<EdgeId> {
+        assert!(is_independent_set(&self.h, is_set));
+        let chosen: std::collections::HashSet<NodeId> = is_set.iter().copied().collect();
+        let mut covered_v: std::collections::HashSet<NodeId> = Default::default();
+        let mut tree = Vec::new();
+        for &hu in is_set {
+            let gu = self.u_node[hu.index()];
+            tree.push(self.root_edge[&gu]);
+            for &(nb, he) in self.h.neighbors(hu) {
+                let _ = nb;
+                let ve = self.v_node[he.index()];
+                tree.push(self.literal_edge[&(ve, gu)]);
+                covered_v.insert(ve);
+            }
+        }
+        for (i, &gu) in self.u_node.iter().enumerate() {
+            if !chosen.contains(&NodeId(i as u32)) {
+                tree.push(self.root_edge[&gu]);
+            }
+        }
+        for &ve in &self.v_node {
+            if !covered_v.contains(&ve) {
+                tree.push(self.root_edge[&ve]);
+            }
+        }
+        tree.sort();
+        tree
+    }
+
+    /// Equilibrium weight formula: `5n/2 − (1−δ)m`.
+    pub fn equilibrium_weight(&self, m: usize) -> f64 {
+        2.5 * self.h.node_count() as f64 - (1.0 - self.delta) * m as f64
+    }
+
+    /// Classify the branches of a spanning tree. Returns
+    /// `Some(num_type_b)` iff every branch is type A or B.
+    pub fn classify(&self, tree: &[EdgeId]) -> Option<usize> {
+        let g = self.game.graph();
+        let rt = RootedTree::new(g, tree, NodeId(0)).ok()?;
+        let u_set: std::collections::HashSet<NodeId> = self.u_node.iter().copied().collect();
+        let mut b_count = 0usize;
+        for &branch_root in rt.children(NodeId(0)) {
+            match rt.subtree_size(branch_root) {
+                1 => {} // type A
+                4 => {
+                    // Candidate type B: U-center with three V-leaf children.
+                    let children = rt.children(branch_root);
+                    let is_b = u_set.contains(&branch_root)
+                        && children.len() == 3
+                        && children.iter().all(|&c| {
+                            rt.subtree_size(c) == 1
+                                && self
+                                    .literal_edge
+                                    .contains_key(&(c, branch_root))
+                        });
+                    if !is_b {
+                        return None;
+                    }
+                    b_count += 1;
+                }
+                _ => return None,
+            }
+        }
+        Some(b_count)
+    }
+
+    /// Whether the tree is an equilibrium of the unsubsidized game.
+    pub fn tree_is_equilibrium(&self, tree: &[EdgeId]) -> bool {
+        let g = self.game.graph();
+        let Ok(rt) = RootedTree::new(g, tree, NodeId(0)) else {
+            return false;
+        };
+        let b = SubsidyAssignment::zero(g);
+        is_tree_equilibrium(&self.game, &rt, &b)
+    }
+
+    /// The minimum equilibrium weight predicted by Theorem 5:
+    /// `5n/2 − (1−δ)·maxIS(H)`.
+    pub fn predicted_min_equilibrium_weight(&self) -> f64 {
+        self.equilibrium_weight(max_independent_set(&self.h).len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ndg_graph::generators::random_3_regular;
+    use rand::prelude::*;
+
+    #[test]
+    fn max_is_on_known_graphs() {
+        // K4: max IS = 1.
+        let k4 = ndg_graph::generators::complete_graph(4, 1.0);
+        assert_eq!(max_independent_set(&k4).len(), 1);
+        // Petersen: max IS = 4.
+        let p = petersen();
+        assert!(ndg_graph::generators::is_regular(&p, 3));
+        let is = max_independent_set(&p);
+        assert_eq!(is.len(), 4);
+        assert!(is_independent_set(&p, &is));
+        // C6 (2-regular, just for the solver): max IS = 3.
+        let c6 = ndg_graph::generators::cycle_graph(6, 1.0);
+        assert_eq!(max_independent_set(&c6).len(), 3);
+    }
+
+    #[test]
+    fn max_is_matches_brute_force_on_random_graphs() {
+        let mut rng = StdRng::seed_from_u64(701);
+        for _ in 0..10 {
+            let n = 2 * rng.random_range(2..6usize);
+            let h = random_3_regular(n, &mut rng, 1.0);
+            let bb = max_independent_set(&h).len();
+            let mut brute = 0usize;
+            for mask in 0u32..(1 << n) {
+                let set: Vec<NodeId> = (0..n)
+                    .filter(|i| mask >> i & 1 == 1)
+                    .map(|i| NodeId(i as u32))
+                    .collect();
+                if is_independent_set(&h, &set) {
+                    brute = brute.max(set.len());
+                }
+            }
+            assert_eq!(bb, brute, "n={n}");
+        }
+    }
+
+    #[test]
+    fn is_tree_is_equilibrium_with_formula_weight() {
+        let mut rng = StdRng::seed_from_u64(703);
+        for _ in 0..5 {
+            let n = 2 * rng.random_range(2..5usize);
+            let h = random_3_regular(n, &mut rng, 1.0);
+            let red = build(&h, 1.0 / 12.0);
+            let max_is = max_independent_set(&h);
+            // Every sub-IS (prefixes) also induces an equilibrium.
+            for take in 0..=max_is.len() {
+                let subset = &max_is[..take];
+                let tree = red.tree_for_independent_set(subset);
+                assert!(red.game.graph().is_spanning_tree(&tree));
+                assert!(
+                    red.tree_is_equilibrium(&tree),
+                    "IS tree with m={take} must be an equilibrium"
+                );
+                let want = red.equilibrium_weight(take);
+                let got = red.game.graph().weight_of(&tree);
+                assert!(
+                    (got - want).abs() < 1e-9,
+                    "weight {got} vs formula {want} at m={take}"
+                );
+                assert_eq!(red.classify(&tree), Some(take));
+            }
+        }
+    }
+
+    /// The structural lemma, sampled: a random spanning tree is an
+    /// equilibrium iff it classifies as all-A/B.
+    #[test]
+    fn classification_lemma_sampled() {
+        let mut rng = StdRng::seed_from_u64(707);
+        let h = random_3_regular(6, &mut rng, 1.0);
+        let red = build(&h, 0.05);
+        let g = red.game.graph();
+        let mut eq_seen = 0;
+        let mut neq_seen = 0;
+        for _ in 0..60 {
+            // Random spanning tree via randomized Kruskal.
+            let mut order: Vec<EdgeId> = g.edge_ids().collect();
+            order.shuffle(&mut rng);
+            let mut uf = ndg_graph::UnionFind::new(g.node_count());
+            let mut tree = Vec::new();
+            for e in order {
+                let (u, v) = g.endpoints(e);
+                if uf.union(u.index(), v.index()) {
+                    tree.push(e);
+                }
+            }
+            tree.sort();
+            let eq = red.tree_is_equilibrium(&tree);
+            let classified = red.classify(&tree).is_some();
+            assert_eq!(
+                eq, classified,
+                "classification lemma violated on a sampled tree"
+            );
+            if eq {
+                eq_seen += 1;
+            } else {
+                neq_seen += 1;
+            }
+        }
+        // Random trees are almost never equilibria; the IS trees are.
+        assert!(neq_seen > 0);
+        let tree = red.tree_for_independent_set(&max_independent_set(&red.h));
+        assert!(red.tree_is_equilibrium(&tree));
+        let _ = eq_seen;
+    }
+
+    /// Deliberate type-C/D/E shapes must be rejected by both the checker
+    /// and the classifier.
+    #[test]
+    fn bad_branch_shapes_are_unstable() {
+        let mut rng = StdRng::seed_from_u64(709);
+        let h = random_3_regular(4, &mut rng, 1.0);
+        let red = build(&h, 0.05);
+        // Type C: a U-node with only one of its V-neighbors attached.
+        let hu = NodeId(0);
+        let gu = red.u_node[0];
+        let (_, he) = red.h.neighbors(hu)[0];
+        let ve = red.v_node[he.index()];
+        let mut tree = vec![red.root_edge[&gu], red.literal_edge[&(ve, gu)]];
+        for (i, &x) in red.u_node.iter().enumerate() {
+            if i != 0 {
+                tree.push(red.root_edge[&x]);
+            }
+        }
+        for (j, &x) in red.v_node.iter().enumerate() {
+            if j != he.index() {
+                tree.push(red.root_edge[&x]);
+            }
+        }
+        tree.sort();
+        assert!(red.game.graph().is_spanning_tree(&tree));
+        assert_eq!(red.classify(&tree), None);
+        assert!(!red.tree_is_equilibrium(&tree));
+    }
+
+    #[test]
+    fn predicted_min_weight_on_petersen() {
+        let red = build(&petersen(), 1.0 / 12.0);
+        // n = 10, maxIS = 4: 25 − (1 − 1/12)·4 = 25 − 11/3.
+        let want = 25.0 - (1.0 - 1.0 / 12.0) * 4.0;
+        assert!((red.predicted_min_equilibrium_weight() - want).abs() < 1e-9);
+        // And the witness tree realizes it.
+        let is = max_independent_set(&red.h);
+        let tree = red.tree_for_independent_set(&is);
+        assert!(red.tree_is_equilibrium(&tree));
+        assert!((red.game.graph().weight_of(&tree) - want).abs() < 1e-9);
+    }
+}

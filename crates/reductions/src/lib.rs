@@ -1,0 +1,33 @@
+//! `ndg-reductions` — the paper's hardness constructions, machine-checked.
+//!
+//! Each of the three reductions is implemented end-to-end: an exact solver
+//! for the source problem, the gadget construction, and the forward and
+//! backward maps between source solutions and game-side certificates.
+//!
+//! * [`bypass`] + [`binpacking`] + [`binpack_reduction`] — Theorem 3
+//!   (Figures 1–2): BIN PACKING → "is some MST an equilibrium?"
+//!   (SND NP-hard even at budget 0).
+//! * [`independent_set`] — Theorem 5 (Figure 3): INDEPENDENT SET in
+//!   3-regular graphs → APX-hardness of the price of stability
+//!   (factor 571/570).
+//! * [`sat`] + [`sat_reduction`] — Theorem 12 (Figures 5–7): 3SAT-4 →
+//!   inapproximability (within any factor) of all-or-nothing SNE.
+
+pub mod binpack_reduction;
+pub mod binpacking;
+pub mod bypass;
+pub mod independent_set;
+pub mod sat;
+pub mod sat_reduction;
+
+pub use binpack_reduction::BinPackReduction;
+pub use binpacking::{solve_exact as solve_bin_packing, strictify, BinPacking};
+pub use bypass::{attach_bypass, AttachedBypass};
+pub use independent_set::{
+    build as build_is_reduction, is_independent_set, max_independent_set, petersen, IsReduction,
+};
+pub use sat::{dpll, random_3sat4, Clause, Cnf, Literal};
+pub use sat_reduction::{build as build_sat_reduction, SatReduction, SatReductionError};
+
+#[cfg(test)]
+mod proptests;

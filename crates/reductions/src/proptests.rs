@@ -1,0 +1,95 @@
+//! Property-based end-to-end checks over the reductions (proptest).
+
+#![cfg(test)]
+
+use crate::binpacking::{is_valid_assignment, solve_exact, BinPacking};
+use crate::sat::{dpll, Clause, Cnf, Literal};
+use crate::sat_reduction::{build, DEFAULT_K};
+use proptest::prelude::*;
+use rand::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Exact bin packing agrees with brute force on random strict
+    /// instances, and the witness is always valid.
+    #[test]
+    fn binpacking_matches_brute(seed in 0u64..1_000_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let k = rng.random_range(2..4usize);
+        let c: u64 = 2 * rng.random_range(2..6u64);
+        let mut sizes = Vec::new();
+        let mut left = k as u64 * c;
+        while left > 0 {
+            let s = 2 * rng.random_range(1..=(left.min(c) / 2));
+            sizes.push(s);
+            left -= s;
+        }
+        let inst = BinPacking { sizes: sizes.clone(), bins: k, capacity: c };
+        prop_assume!(inst.sizes.len() <= 10);
+        let n = inst.sizes.len();
+        let mut brute = false;
+        'outer: for mask in 0..(k as u64).pow(n as u32) {
+            let mut m = mask;
+            let assign: Vec<usize> = (0..n)
+                .map(|_| {
+                    let b = (m % k as u64) as usize;
+                    m /= k as u64;
+                    b
+                })
+                .collect();
+            if is_valid_assignment(&inst, &assign) {
+                brute = true;
+                break 'outer;
+            }
+        }
+        match solve_exact(&inst) {
+            Some(assign) => {
+                prop_assert!(brute);
+                prop_assert!(is_valid_assignment(&inst, &assign));
+            }
+            None => prop_assert!(!brute),
+        }
+    }
+
+    /// DPLL agrees with brute force on random small 3-CNFs.
+    #[test]
+    fn dpll_sound_and_complete(seed in 0u64..1_000_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let nv = rng.random_range(3..8usize);
+        let nc = rng.random_range(1..=(4 * nv / 3));
+        let Some(cnf) = crate::sat::random_3sat4(nv, nc, &mut rng) else {
+            return Ok(());
+        };
+        let brute = (0u32..(1 << nv)).any(|mask| {
+            let a: Vec<bool> = (0..nv).map(|i| mask >> i & 1 == 1).collect();
+            cnf.eval(&a)
+        });
+        match dpll(&cnf) {
+            Some(a) => {
+                prop_assert!(brute);
+                prop_assert!(cnf.eval(&a));
+            }
+            None => prop_assert!(!brute),
+        }
+    }
+
+    /// Theorem 12 end to end on random single clauses: for every truth
+    /// assignment, the light image enforces iff the clause is satisfied.
+    #[test]
+    fn sat_reduction_tracks_evaluation(polarity in 0u32..8, truth_mask in 0u32..8) {
+        let cnf = Cnf {
+            num_vars: 3,
+            clauses: vec![Clause([
+                Literal { var: 0, negated: polarity & 1 != 0 },
+                Literal { var: 1, negated: polarity & 2 != 0 },
+                Literal { var: 2, negated: polarity & 4 != 0 },
+            ])],
+        };
+        let red = build(&cnf, DEFAULT_K).unwrap();
+        let rt = red.rooted_tree();
+        let truth: Vec<bool> = (0..3).map(|i| truth_mask >> i & 1 == 1).collect();
+        let light = red.light_assignment_for(&truth);
+        prop_assert_eq!(red.enforces(&rt, &light), cnf.eval(&truth));
+    }
+}

@@ -1,0 +1,330 @@
+//! 3SAT-4: CNF formulas with exactly three literals per clause (on three
+//! distinct variables) where every variable occurs in at most four
+//! clauses. Deciding satisfiability is NP-hard (Tovey); Theorem 12
+//! reduces from it. This module supplies the formula type, a validator, a
+//! DPLL solver and a random generator.
+
+use rand::prelude::*;
+use rand::Rng;
+
+/// A literal: variable index + polarity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Literal {
+    /// Variable index.
+    pub var: usize,
+    /// `true` for `x̄`.
+    pub negated: bool,
+}
+
+impl Literal {
+    /// Positive literal `x`.
+    pub fn pos(var: usize) -> Self {
+        Literal { var, negated: false }
+    }
+
+    /// Negative literal `x̄`.
+    pub fn neg(var: usize) -> Self {
+        Literal { var, negated: true }
+    }
+
+    /// Truth value under an assignment.
+    pub fn eval(self, assignment: &[bool]) -> bool {
+        assignment[self.var] ^ self.negated
+    }
+}
+
+/// A 3-literal clause.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Clause(pub [Literal; 3]);
+
+impl Clause {
+    /// Truth value under an assignment.
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        self.0.iter().any(|l| l.eval(assignment))
+    }
+}
+
+/// A 3-CNF formula.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Cnf {
+    /// Number of variables.
+    pub num_vars: usize,
+    /// Clauses.
+    pub clauses: Vec<Clause>,
+}
+
+impl Cnf {
+    /// Whether the formula is valid 3SAT-4: every clause uses three
+    /// *distinct* variables in range and every variable occurs in at most
+    /// four clauses.
+    pub fn is_3sat4(&self) -> bool {
+        let mut occurrences = vec![0usize; self.num_vars];
+        for c in &self.clauses {
+            let vars = [c.0[0].var, c.0[1].var, c.0[2].var];
+            if vars.iter().any(|&v| v >= self.num_vars) {
+                return false;
+            }
+            if vars[0] == vars[1] || vars[0] == vars[2] || vars[1] == vars[2] {
+                return false;
+            }
+            for &v in &vars {
+                occurrences[v] += 1;
+            }
+        }
+        occurrences.iter().all(|&o| o <= 4)
+    }
+
+    /// Evaluate the whole formula.
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        self.clauses.iter().all(|c| c.eval(assignment))
+    }
+
+    /// Occurrence count per variable.
+    pub fn occurrence_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.num_vars];
+        for c in &self.clauses {
+            for l in &c.0 {
+                counts[l.var] += 1;
+            }
+        }
+        counts
+    }
+}
+
+/// DPLL with unit propagation and pure-literal elimination. Returns a
+/// satisfying assignment or `None`.
+pub fn dpll(cnf: &Cnf) -> Option<Vec<bool>> {
+    let mut assignment: Vec<Option<bool>> = vec![None; cnf.num_vars];
+    if solve(cnf, &mut assignment) {
+        Some(assignment.into_iter().map(|a| a.unwrap_or(false)).collect())
+    } else {
+        None
+    }
+}
+
+fn solve(cnf: &Cnf, assignment: &mut Vec<Option<bool>>) -> bool {
+    // Unit propagation + pure literals, to fixpoint.
+    loop {
+        let mut changed = false;
+        let mut conflict = false;
+        // Unit propagation.
+        for clause in &cnf.clauses {
+            let mut unassigned: Option<Literal> = None;
+            let mut satisfied = false;
+            let mut count_unassigned = 0;
+            for &l in &clause.0 {
+                match assignment[l.var] {
+                    Some(v) if v != l.negated => satisfied = true,
+                    Some(_) => {}
+                    None => {
+                        count_unassigned += 1;
+                        unassigned = Some(l);
+                    }
+                }
+            }
+            if satisfied {
+                continue;
+            }
+            match count_unassigned {
+                0 => {
+                    conflict = true;
+                    break;
+                }
+                1 => {
+                    let l = unassigned.unwrap();
+                    assignment[l.var] = Some(!l.negated);
+                    changed = true;
+                }
+                _ => {}
+            }
+        }
+        if conflict {
+            return false;
+        }
+        // Pure literals.
+        let mut polarity: Vec<(bool, bool)> = vec![(false, false); cnf.num_vars];
+        for clause in &cnf.clauses {
+            // Only clauses not yet satisfied matter.
+            let satisfied = clause
+                .0
+                .iter()
+                .any(|&l| assignment[l.var].is_some_and(|v| v != l.negated));
+            if satisfied {
+                continue;
+            }
+            for &l in &clause.0 {
+                if assignment[l.var].is_none() {
+                    if l.negated {
+                        polarity[l.var].1 = true;
+                    } else {
+                        polarity[l.var].0 = true;
+                    }
+                }
+            }
+        }
+        for (v, &(pos, neg)) in polarity.iter().enumerate() {
+            if assignment[v].is_none() && (pos ^ neg) {
+                assignment[v] = Some(pos);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    // All clauses satisfied?
+    let undecided = cnf.clauses.iter().find(|c| {
+        !c.0.iter()
+            .any(|&l| assignment[l.var].is_some_and(|v| v != l.negated))
+    });
+    let Some(clause) = undecided else {
+        return true;
+    };
+    // Branch on the first unassigned variable of an unsatisfied clause.
+    let Some(&lit) = clause.0.iter().find(|l| assignment[l.var].is_none()) else {
+        return false; // unsatisfied and fully assigned
+    };
+    for value in [!lit.negated, lit.negated] {
+        let saved = assignment.clone();
+        assignment[lit.var] = Some(value);
+        if solve(cnf, assignment) {
+            return true;
+        }
+        *assignment = saved;
+    }
+    false
+}
+
+/// Random 3SAT-4 formula with `num_vars ≥ 3` variables and `num_clauses`
+/// clauses; retries until the occurrence bound holds (`None` if the bound
+/// is impossible: `3·num_clauses > 4·num_vars`).
+pub fn random_3sat4<R: Rng>(num_vars: usize, num_clauses: usize, rng: &mut R) -> Option<Cnf> {
+    if num_vars < 3 || 3 * num_clauses > 4 * num_vars {
+        return None;
+    }
+    for _ in 0..10_000 {
+        let mut occurrences = vec![0usize; num_vars];
+        let mut clauses = Vec::with_capacity(num_clauses);
+        let mut ok = true;
+        for _ in 0..num_clauses {
+            let mut vars: Vec<usize> = (0..num_vars)
+                .filter(|&v| occurrences[v] < 4)
+                .collect();
+            if vars.len() < 3 {
+                ok = false;
+                break;
+            }
+            vars.shuffle(rng);
+            let lits: Vec<Literal> = vars[..3]
+                .iter()
+                .map(|&v| {
+                    occurrences[v] += 1;
+                    Literal {
+                        var: v,
+                        negated: rng.random_bool(0.5),
+                    }
+                })
+                .collect();
+            clauses.push(Clause([lits[0], lits[1], lits[2]]));
+        }
+        if ok {
+            let cnf = Cnf { num_vars, clauses };
+            debug_assert!(cnf.is_3sat4());
+            return Some(cnf);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(v: usize, neg: bool) -> Literal {
+        Literal { var: v, negated: neg }
+    }
+
+    #[test]
+    fn validation() {
+        let good = Cnf {
+            num_vars: 3,
+            clauses: vec![Clause([lit(0, false), lit(1, true), lit(2, false)])],
+        };
+        assert!(good.is_3sat4());
+        let repeated_var = Cnf {
+            num_vars: 3,
+            clauses: vec![Clause([lit(0, false), lit(0, true), lit(2, false)])],
+        };
+        assert!(!repeated_var.is_3sat4());
+        let too_many = Cnf {
+            num_vars: 3,
+            clauses: vec![Clause([lit(0, false), lit(1, false), lit(2, false)]); 5],
+        };
+        assert!(!too_many.is_3sat4()); // var 0 occurs 5 times
+    }
+
+    #[test]
+    fn dpll_on_satisfiable() {
+        let cnf = Cnf {
+            num_vars: 3,
+            clauses: vec![
+                Clause([lit(0, false), lit(1, false), lit(2, false)]),
+                Clause([lit(0, true), lit(1, false), lit(2, true)]),
+            ],
+        };
+        let a = dpll(&cnf).expect("satisfiable");
+        assert!(cnf.eval(&a));
+    }
+
+    #[test]
+    fn dpll_on_unsatisfiable() {
+        // All 8 polarity combinations over 3 variables: unsatisfiable.
+        let mut clauses = Vec::new();
+        for mask in 0..8u32 {
+            clauses.push(Clause([
+                lit(0, mask & 1 != 0),
+                lit(1, mask & 2 != 0),
+                lit(2, mask & 4 != 0),
+            ]));
+        }
+        let cnf = Cnf { num_vars: 3, clauses };
+        assert_eq!(dpll(&cnf), None);
+        // (Not 3SAT-4 — 8 occurrences each — but DPLL is general 3-CNF.)
+        assert!(!cnf.is_3sat4());
+    }
+
+    #[test]
+    fn dpll_agrees_with_brute_force_randomized() {
+        let mut rng = StdRng::seed_from_u64(801);
+        for _ in 0..40 {
+            let nv = rng.random_range(3..9usize);
+            let nc = rng.random_range(1..=(4 * nv / 3));
+            let Some(cnf) = random_3sat4(nv, nc, &mut rng) else {
+                continue;
+            };
+            let mut brute_sat = false;
+            for mask in 0u32..(1 << nv) {
+                let a: Vec<bool> = (0..nv).map(|i| mask >> i & 1 == 1).collect();
+                if cnf.eval(&a) {
+                    brute_sat = true;
+                    break;
+                }
+            }
+            let dpll_result = dpll(&cnf);
+            assert_eq!(dpll_result.is_some(), brute_sat, "{cnf:?}");
+            if let Some(a) = dpll_result {
+                assert!(cnf.eval(&a), "DPLL returned a falsifying assignment");
+            }
+        }
+    }
+
+    #[test]
+    fn generator_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(803);
+        let cnf = random_3sat4(6, 8, &mut rng).unwrap();
+        assert!(cnf.is_3sat4());
+        assert_eq!(cnf.clauses.len(), 8);
+        assert_eq!(random_3sat4(3, 5, &mut rng), None); // 15 > 12
+        assert_eq!(random_3sat4(2, 1, &mut rng), None);
+    }
+}

@@ -1,0 +1,704 @@
+//! The Theorem 12 reduction: 3SAT-4 → inapproximability of all-or-nothing
+//! SNE (Figures 5–7).
+//!
+//! For a 3SAT-4 formula `φ`, build a broadcast game and an MST `T` such
+//! that `T` can be enforced by *light* (unit-weight-edge) subsidies of
+//! cost `3|C|` iff `φ` is satisfiable; otherwise any enforcement must buy
+//! a heavy edge of weight ≥ `K`, which can be made arbitrarily large —
+//! hence no approximation factor is possible.
+//!
+//! ## Construction notes
+//!
+//! * Variables get *labels*; same-clause variables need distinct labels.
+//!   The per-label player counts follow the paper's recurrence
+//!   `n_L = 7`, `n_j = 4·n_{j+1}²` (so `n_j = 28^{2^{L−j}}/4`), which is
+//!   what makes the Lemma 15 path-cost bound `1/(2n_j²)` work. With three
+//!   labels: `n = [153664, 196, 7]`. Four labels would need `n₁ ≈ 9.4·10¹⁰`
+//!   auxiliary nodes, so machine-checkable formulas are those whose
+//!   co-occurrence graph is 3-colorable (always true for `|C| ≤ 1` and for
+//!   most small formulas); otherwise [`build`] returns
+//!   [`SatReductionError::TooManyLabels`].
+//! * Labels are assigned so that frequently-occurring variables get the
+//!   *largest* label (smallest `n`): consistency gadgets only exist for
+//!   repeated variables, and their violation margins scale like `1/n²`,
+//!   so pushing repeated variables toward `n = 7` keeps every margin far
+//!   above `f64` noise.
+//! * Equilibrium checks use the tight tolerance [`SatReduction::eps`]
+//!   (`1e-11`): the smallest genuine margin in the construction is the
+//!   clause player's `3/(n₁(n₁−3)) ≈ 1.3e-10`, while accumulated `f64`
+//!   noise stays below `1e-12` at the default `K = 100`.
+
+use crate::sat::{Cnf, Literal};
+use ndg_core::{
+    lemma2_violation_eps, NetworkDesignGame, SubsidyAssignment,
+};
+use ndg_graph::{EdgeId, Graph, NodeId, RootedTree};
+use std::collections::HashSet;
+use std::fmt;
+
+/// Errors from the reduction builder.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SatReductionError {
+    /// Input is not valid 3SAT-4.
+    NotThreeSatFour,
+    /// The formula has no clauses.
+    EmptyFormula,
+    /// The co-occurrence graph needs more than 3 labels; the paper's
+    /// constants for label 1 of a 4-label instance (`≈ 9.4·10¹⁰` nodes)
+    /// are not materializable.
+    TooManyLabels,
+}
+
+impl fmt::Display for SatReductionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SatReductionError::NotThreeSatFour => write!(f, "formula is not 3SAT-4"),
+            SatReductionError::EmptyFormula => write!(f, "formula has no clauses"),
+            SatReductionError::TooManyLabels => {
+                write!(f, "co-occurrence graph is not 3-colorable; label-4 constants are not materializable")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SatReductionError {}
+
+/// One literal gadget (Figure 5), for the occurrence of a literal in a
+/// clause.
+#[derive(Clone, Debug)]
+pub struct OccurrenceGadget {
+    /// Clause index.
+    pub clause: usize,
+    /// Slot 0..3 within the clause, in increasing label order.
+    pub slot: usize,
+    /// The occurring literal `ℓ`.
+    pub literal: Literal,
+    /// The label `j` of the literal's variable.
+    pub label: usize,
+    /// `l(c, ℓ)` — the root for slot 0, else the previous slot's inner node.
+    pub l_node: NodeId,
+    /// `u(c, ℓ̄)` — the middle node.
+    pub mid: NodeId,
+    /// `u(c, ℓ)` — the inner node.
+    pub inner: NodeId,
+    /// Critical nodes `v₂`, `v₃` and non-critical `v₁`.
+    pub v1: NodeId,
+    /// See `v1`.
+    pub v2: NodeId,
+    /// See `v1`.
+    pub v3: NodeId,
+    /// Light tree edge `(l, mid)` — belongs to `E(ℓ̄)`.
+    pub outer_light: EdgeId,
+    /// Light tree edge `(mid, inner)` — belongs to `E(ℓ)`.
+    pub inner_light: EdgeId,
+    /// Non-tree heavy edge `(l, v₃)` of weight `K + 1/(n_j − 3)`.
+    pub nt_l_v3: EdgeId,
+    /// Non-tree heavy edge `(v₂, inner)` of weight `3K/2 − 1/(n_j + 1)`.
+    pub nt_v2_inner: EdgeId,
+}
+
+/// One consistency gadget (Figure 7) between consecutive occurrences of a
+/// variable.
+#[derive(Clone, Debug)]
+pub struct ConsistencyGadget {
+    /// The variable.
+    pub var: usize,
+    /// Indices (into `occurrences`) of the linked pair.
+    pub occ_pair: (usize, usize),
+    /// Whether both occurrences carry the same literal (ℓ-ℓ vs ℓ-ℓ̄).
+    pub same_literal: bool,
+    /// Critical nodes.
+    pub u1: NodeId,
+    /// See `u1`.
+    pub u2: NodeId,
+    /// The two non-tree heavy edges.
+    pub nt_edges: [EdgeId; 2],
+}
+
+/// The built Theorem 12 instance.
+#[derive(Clone, Debug)]
+pub struct SatReduction {
+    /// The broadcast game (root = node 0).
+    pub game: NetworkDesignGame,
+    /// The target MST.
+    pub tree: Vec<EdgeId>,
+    /// The heavy base weight `K`.
+    pub k: f64,
+    /// The source formula.
+    pub cnf: Cnf,
+    /// Per-variable label (1-based).
+    pub labels: Vec<usize>,
+    /// `n_of[j]` for labels `j = 1..=3` (`n_of[0]` unused).
+    pub n_of: Vec<u64>,
+    /// All literal gadgets, clause by clause, slots in label order.
+    pub occurrences: Vec<OccurrenceGadget>,
+    /// All consistency gadgets.
+    pub consistency: Vec<ConsistencyGadget>,
+    /// Clause player nodes `v(c)`.
+    pub clause_nodes: Vec<NodeId>,
+    /// Non-tree clause chords `(v(c), r)`.
+    pub clause_chords: Vec<EdgeId>,
+    /// Equilibrium tolerance matched to the construction's margins.
+    pub eps: f64,
+}
+
+/// Default heavy base weight.
+pub const DEFAULT_K: f64 = 100.0;
+
+/// 3-color the co-occurrence graph, preferring high labels (small `n`)
+/// for frequently-occurring variables.
+fn label_variables(cnf: &Cnf) -> Option<Vec<usize>> {
+    let nv = cnf.num_vars;
+    let mut conflict = vec![HashSet::new(); nv];
+    for c in &cnf.clauses {
+        let vars = [c.0[0].var, c.0[1].var, c.0[2].var];
+        for &a in &vars {
+            for &b in &vars {
+                if a != b {
+                    conflict[a].insert(b);
+                }
+            }
+        }
+    }
+    let occ = cnf.occurrence_counts();
+    let mut order: Vec<usize> = (0..nv).collect();
+    order.sort_by_key(|&v| std::cmp::Reverse(occ[v]));
+    let mut labels = vec![0usize; nv];
+
+    fn backtrack(
+        order: &[usize],
+        pos: usize,
+        conflict: &[HashSet<usize>],
+        labels: &mut Vec<usize>,
+    ) -> bool {
+        if pos == order.len() {
+            return true;
+        }
+        let v = order[pos];
+        // Prefer label 3 (n = 7), then 2, then 1.
+        for label in (1..=3usize).rev() {
+            if conflict[v].iter().all(|&w| labels[w] != label) {
+                labels[v] = label;
+                if backtrack(order, pos + 1, conflict, labels) {
+                    return true;
+                }
+                labels[v] = 0;
+            }
+        }
+        false
+    }
+
+    if backtrack(&order, 0, &conflict, &mut labels) {
+        // Unused variables keep a harmless default.
+        for (v, l) in labels.iter_mut().enumerate() {
+            if *l == 0 {
+                debug_assert_eq!(occ[v], 0);
+                *l = 3;
+            }
+        }
+        Some(labels)
+    } else {
+        None
+    }
+}
+
+/// Build the Theorem 12 instance from a 3SAT-4 formula.
+pub fn build(cnf: &Cnf, k: f64) -> Result<SatReduction, SatReductionError> {
+    if !cnf.is_3sat4() {
+        return Err(SatReductionError::NotThreeSatFour);
+    }
+    if cnf.clauses.is_empty() {
+        return Err(SatReductionError::EmptyFormula);
+    }
+    let labels = label_variables(cnf).ok_or(SatReductionError::TooManyLabels)?;
+    // n_of[j]: n_3 = 7, n_2 = 4·7², n_1 = 4·n_2².
+    let n3: u64 = 7;
+    let n2 = 4 * n3 * n3;
+    let n1 = 4 * n2 * n2;
+    let n_of = vec![0u64, n1, n2, n3];
+
+    let mut g = Graph::new(1);
+    let root = NodeId(0);
+    let mut tree: Vec<EdgeId> = Vec::new();
+
+    // --- literal + clause gadgets ---
+    let mut occurrences: Vec<OccurrenceGadget> = Vec::new();
+    let mut clause_nodes = Vec::new();
+    let mut clause_chords = Vec::new();
+    // occurrence index per (clause, slot) for consistency lookup
+    let mut occ_index: Vec<Vec<usize>> = vec![Vec::new(); cnf.num_vars];
+
+    for (ci, clause) in cnf.clauses.iter().enumerate() {
+        // Slots in increasing label order (j1 < j2 < j3).
+        let mut lits: Vec<Literal> = clause.0.to_vec();
+        lits.sort_by_key(|l| labels[l.var]);
+        let slot_labels: Vec<usize> = lits.iter().map(|l| labels[l.var]).collect();
+        debug_assert!(slot_labels[0] < slot_labels[1] && slot_labels[1] < slot_labels[2]);
+
+        let mut prev_inner = root;
+        for (slot, &lit) in lits.iter().enumerate() {
+            let j = slot_labels[slot];
+            let n_j = n_of[j] as f64;
+            let l_node = prev_inner;
+            let mid = g.add_node();
+            let inner = g.add_node();
+            let v1 = g.add_node();
+            let v2 = g.add_node();
+            let v3 = g.add_node();
+            let outer_light = g.add_edge(l_node, mid, 1.0).expect("outer light");
+            let inner_light = g.add_edge(mid, inner, 1.0).expect("inner light");
+            let t_l_v1 = g.add_edge(l_node, v1, k).expect("heavy");
+            let t_v1_v2 = g.add_edge(v1, v2, k).expect("heavy");
+            let t_v3_inner = g.add_edge(v3, inner, k).expect("heavy");
+            let nt_l_v3 = g
+                .add_edge(l_node, v3, k + 1.0 / (n_j - 3.0))
+                .expect("heavy chord");
+            let nt_v2_inner = g
+                .add_edge(v2, inner, 1.5 * k - 1.0 / (n_j + 1.0))
+                .expect("heavy chord");
+            tree.extend([outer_light, inner_light, t_l_v1, t_v1_v2, t_v3_inner]);
+
+            occ_index[lit.var].push(occurrences.len());
+            occurrences.push(OccurrenceGadget {
+                clause: ci,
+                slot,
+                literal: lit,
+                label: j,
+                l_node,
+                mid,
+                inner,
+                v1,
+                v2,
+                v3,
+                outer_light,
+                inner_light,
+                nt_l_v3,
+                nt_v2_inner,
+            });
+            prev_inner = inner;
+        }
+        // Clause node v(c): tree edge to the innermost node, chord to r.
+        let vc = g.add_node();
+        let t_vc = g.add_edge(vc, prev_inner, k).expect("clause edge");
+        tree.push(t_vc);
+        let (j1, j2, j3) = (
+            n_of[slot_labels[0]] as f64,
+            n_of[slot_labels[1]] as f64,
+            n_of[slot_labels[2]] as f64,
+        );
+        let chord_w = k + 1.0 / j1 + 1.0 / (j2 - 3.0) + 1.0 / (j3 - 3.0);
+        let chord = g.add_edge(vc, root, chord_w).expect("clause chord");
+        clause_nodes.push(vc);
+        clause_chords.push(chord);
+    }
+
+    // --- consistency gadgets ---
+    // t-counts of consistency attachments, to size the auxiliary padding.
+    let mut t_mid = vec![0u64; occurrences.len()];
+    let mut t_inner = vec![0u64; occurrences.len()];
+    let mut consistency = Vec::new();
+    for var in 0..cnf.num_vars {
+        let occs = &occ_index[var];
+        let n_j = n_of[labels[var]] as f64;
+        for w in occs.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            let la = occurrences[a].literal;
+            let lb = occurrences[b].literal;
+            let u1 = g.add_node();
+            let u2 = g.add_node();
+            if la.negated == lb.negated {
+                // ℓ-ℓ gadget: both anchors are the mid nodes.
+                let t1 = g.add_edge(u1, occurrences[a].mid, k).expect("t");
+                let n1e = g
+                    .add_edge(u1, occurrences[b].mid, k + 1.0 / (2.0 * n_j))
+                    .expect("nt");
+                let t2 = g.add_edge(u2, occurrences[b].mid, k).expect("t");
+                let n2e = g
+                    .add_edge(u2, occurrences[a].mid, k + 1.0 / (2.0 * n_j))
+                    .expect("nt");
+                tree.extend([t1, t2]);
+                t_mid[a] += 1;
+                t_mid[b] += 1;
+                consistency.push(ConsistencyGadget {
+                    var,
+                    occ_pair: (a, b),
+                    same_literal: true,
+                    u1,
+                    u2,
+                    nt_edges: [n1e, n2e],
+                });
+            } else {
+                // ℓ-ℓ̄ gadget: u1 anchors at inner(a), u2 at mid(b).
+                let t1 = g.add_edge(u1, occurrences[a].inner, k).expect("t");
+                let n1e = g
+                    .add_edge(
+                        u1,
+                        occurrences[b].mid,
+                        k + 1.0 / n_j + 1.0 / (2.0 * n_j * n_j),
+                    )
+                    .expect("nt");
+                let t2 = g.add_edge(u2, occurrences[b].mid, k).expect("t");
+                let n2e = g.add_edge(u2, occurrences[a].inner, k).expect("nt");
+                tree.extend([t1, t2]);
+                t_inner[a] += 1;
+                t_mid[b] += 1;
+                consistency.push(ConsistencyGadget {
+                    var,
+                    occ_pair: (a, b),
+                    same_literal: false,
+                    u1,
+                    u2,
+                    nt_edges: [n1e, n2e],
+                });
+            }
+        }
+    }
+
+    // --- auxiliary padding to exact usage counts (Figure 6) ---
+    // Gather per-clause slot labels again for the inner-node counts.
+    for (oi, occ) in occurrences.iter().enumerate() {
+        let n_j = n_of[occ.label];
+        // mid: 2 − t_mid auxiliary leaves.
+        let aux_mid = 2u64
+            .checked_sub(t_mid[oi])
+            .expect("at most 2 consistency anchors on a mid node");
+        attach_aux(&mut g, &mut tree, occ.mid, aux_mid);
+        // inner: depends on the slot.
+        let aux_inner = if occ.slot == 2 {
+            n_j - 6 - t_inner[oi]
+        } else {
+            // The next slot's label within the same clause.
+            let next = occurrences
+                .iter()
+                .find(|o| o.clause == occ.clause && o.slot == occ.slot + 1)
+                .expect("slots 0,1 have a successor");
+            n_j - n_of[next.label] - 7 - t_inner[oi]
+        };
+        attach_aux(&mut g, &mut tree, occ.inner, aux_inner);
+    }
+
+    tree.sort();
+    let game = NetworkDesignGame::broadcast(g, root).expect("connected construction");
+    Ok(SatReduction {
+        game,
+        tree,
+        k,
+        cnf: cnf.clone(),
+        labels,
+        n_of,
+        occurrences,
+        consistency,
+        clause_nodes,
+        clause_chords,
+        eps: 1e-11,
+    })
+}
+
+fn attach_aux(g: &mut Graph, tree: &mut Vec<EdgeId>, anchor: NodeId, count: u64) {
+    for _ in 0..count {
+        let leaf = g.add_node();
+        tree.push(g.add_edge(anchor, leaf, 0.0).expect("ultra light"));
+    }
+}
+
+impl SatReduction {
+    /// All light edges (two per occurrence).
+    pub fn light_edges(&self) -> Vec<EdgeId> {
+        self.occurrences
+            .iter()
+            .flat_map(|o| [o.outer_light, o.inner_light])
+            .collect()
+    }
+
+    /// `E(ℓ)` for the literal `(var, negated)`: inner lights of matching
+    /// occurrences plus outer lights of opposite occurrences.
+    pub fn e_set(&self, var: usize, negated: bool) -> Vec<EdgeId> {
+        self.occurrences
+            .iter()
+            .filter(|o| o.literal.var == var)
+            .map(|o| {
+                if o.literal.negated == negated {
+                    o.inner_light
+                } else {
+                    o.outer_light
+                }
+            })
+            .collect()
+    }
+
+    /// The consistent balanced light assignment of a truth assignment:
+    /// subsidize `E(x)` for true variables, `E(x̄)` for false ones.
+    pub fn light_assignment_for(&self, truth: &[bool]) -> Vec<EdgeId> {
+        let mut edges = Vec::new();
+        for (var, &value) in truth.iter().enumerate().take(self.cnf.num_vars) {
+            edges.extend(self.e_set(var, !value));
+        }
+        edges.sort();
+        edges
+    }
+
+    /// The all-or-nothing subsidies for a set of light edges.
+    pub fn subsidies_for(&self, light: &[EdgeId]) -> SubsidyAssignment {
+        SubsidyAssignment::all_or_nothing(self.game.graph(), light)
+    }
+
+    /// Whether the target tree is an equilibrium of the extension with the
+    /// given light-edge subsidies (tight-tolerance Lemma 2 check).
+    pub fn enforces(&self, rt: &RootedTree, light: &[EdgeId]) -> bool {
+        let b = self.subsidies_for(light);
+        lemma2_violation_eps(&self.game, rt, &b, self.eps).is_none()
+    }
+
+    /// The rooted view of the target tree (build once, reuse across the
+    /// exhaustive scans — the tree never changes, only subsidies do).
+    pub fn rooted_tree(&self) -> RootedTree {
+        RootedTree::new(self.game.graph(), &self.tree, NodeId(0)).expect("target is a tree")
+    }
+
+    /// The combinatorial predicate of Lemma 19: a light subset enforces
+    /// the tree iff it is balanced, consistent, and every clause has a
+    /// subsidized `E(ℓᵢ)`. Used to cross-check the game-side truth.
+    pub fn predicted_enforcing(&self, subset: &HashSet<EdgeId>) -> bool {
+        // Balanced: exactly one light edge per occurrence.
+        for o in &self.occurrences {
+            let outer = subset.contains(&o.outer_light);
+            let inner = subset.contains(&o.inner_light);
+            if outer == inner {
+                return false;
+            }
+        }
+        // Consistent: all occurrences of a variable imply the same value.
+        let mut value: Vec<Option<bool>> = vec![None; self.cnf.num_vars];
+        for o in &self.occurrences {
+            // inner subsidized ⇒ E(ℓ) chosen ⇒ literal "true".
+            let lit_true = subset.contains(&o.inner_light);
+            let var_value = lit_true ^ o.literal.negated;
+            match value[o.literal.var] {
+                None => value[o.literal.var] = Some(var_value),
+                Some(v) if v != var_value => return false,
+                _ => {}
+            }
+        }
+        // Every clause satisfied: some occurrence has its inner light
+        // (the `E(ℓ)` edge of that clause) subsidized.
+        for ci in 0..self.cnf.clauses.len() {
+            let sat = self
+                .occurrences
+                .iter()
+                .filter(|o| o.clause == ci)
+                .any(|o| subset.contains(&o.inner_light));
+            if !sat {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// The light-assignment cost when φ is satisfiable: one unit edge per
+    /// occurrence, i.e. `3|C|`.
+    pub fn light_cost(&self) -> f64 {
+        3.0 * self.cnf.clauses.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sat::{dpll, Clause};
+
+    fn lit(v: usize, neg: bool) -> Literal {
+        Literal { var: v, negated: neg }
+    }
+
+    /// One clause, three fresh variables: the smallest instance.
+    fn single_clause(negs: [bool; 3]) -> Cnf {
+        Cnf {
+            num_vars: 3,
+            clauses: vec![Clause([lit(0, negs[0]), lit(1, negs[1]), lit(2, negs[2])])],
+        }
+    }
+
+    #[test]
+    fn construction_shape_and_mst() {
+        let red = build(&single_clause([false, false, false]), DEFAULT_K).unwrap();
+        let g = red.game.graph();
+        // Tree must be spanning and minimum.
+        assert!(g.is_spanning_tree(&red.tree));
+        let mst_w = ndg_graph::mst_weight(g).unwrap();
+        assert!(
+            (g.weight_of(&red.tree) - mst_w).abs() < 1e-6,
+            "target {} vs MST {}",
+            g.weight_of(&red.tree),
+            mst_w
+        );
+        // 3 occurrences, 1 clause node, no consistency gadgets.
+        assert_eq!(red.occurrences.len(), 3);
+        assert_eq!(red.consistency.len(), 0);
+        assert_eq!(red.clause_nodes.len(), 1);
+        // Usage counts: the outer light edge of each occurrence must carry
+        // exactly n_j players, the inner light n_j − 3.
+        let rt = red.rooted_tree();
+        for o in &red.occurrences {
+            let n_j = red.n_of[o.label];
+            assert_eq!(rt.subtree_size(o.mid) as u64, n_j, "mid usage");
+            assert_eq!(rt.subtree_size(o.inner) as u64, n_j - 3, "inner usage");
+        }
+    }
+
+    #[test]
+    fn satisfying_assignments_enforce_falsifying_do_not() {
+        // All eight polarities of a single clause; for each, scan all
+        // eight truth assignments.
+        for mask in 0..8u32 {
+            let negs = [mask & 1 != 0, mask & 2 != 0, mask & 4 != 0];
+            let cnf = single_clause(negs);
+            let red = build(&cnf, DEFAULT_K).unwrap();
+            let rt = red.rooted_tree();
+            for t in 0..8u32 {
+                let truth = vec![t & 1 != 0, t & 2 != 0, t & 4 != 0];
+                let light = red.light_assignment_for(&truth);
+                let enforces = red.enforces(&rt, &light);
+                assert_eq!(
+                    enforces,
+                    cnf.eval(&truth),
+                    "mask={mask}, truth={truth:?}: enforcement must track satisfaction"
+                );
+            }
+        }
+    }
+
+    /// The full Lemma 14/16/17/19 biconditional: over *all* light subsets
+    /// of the single-clause instance, game-side enforcement equals the
+    /// combinatorial predicate (balanced ∧ consistent ∧ clause-satisfied).
+    #[test]
+    fn exhaustive_light_subsets_match_predicate() {
+        let cnf = single_clause([false, true, false]);
+        let red = build(&cnf, DEFAULT_K).unwrap();
+        let rt = red.rooted_tree();
+        let lights = red.light_edges();
+        assert_eq!(lights.len(), 6);
+        let mut enforcing = 0;
+        for mask in 0u32..(1 << lights.len()) {
+            let subset: Vec<EdgeId> = lights
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask >> i & 1 == 1)
+                .map(|(_, &e)| e)
+                .collect();
+            let set: HashSet<EdgeId> = subset.iter().copied().collect();
+            let actual = red.enforces(&rt, &subset);
+            let predicted = red.predicted_enforcing(&set);
+            assert_eq!(
+                actual, predicted,
+                "subset mask {mask:#b}: game says {actual}, predicate says {predicted}"
+            );
+            if actual {
+                enforcing += 1;
+            }
+        }
+        // Exactly the satisfying assignments enforce: the clause
+        // (x ∨ ȳ ∨ z) has 7 satisfying assignments.
+        assert_eq!(enforcing, 7);
+    }
+
+    #[test]
+    fn two_clause_instance_with_consistency_gadgets() {
+        // φ = (x ∨ y ∨ z) ∧ (x̄ ∨ y ∨ z): x repeats with flipped polarity
+        // (ℓ-ℓ̄ gadget), y and z repeat with the same polarity (ℓ-ℓ).
+        let cnf = Cnf {
+            num_vars: 3,
+            clauses: vec![
+                Clause([lit(0, false), lit(1, false), lit(2, false)]),
+                Clause([lit(0, true), lit(1, false), lit(2, false)]),
+            ],
+        };
+        assert!(cnf.is_3sat4());
+        let red = build(&cnf, DEFAULT_K).unwrap();
+        assert_eq!(red.occurrences.len(), 6);
+        assert_eq!(red.consistency.len(), 3);
+        assert_eq!(
+            red.consistency.iter().filter(|c| !c.same_literal).count(),
+            1,
+            "exactly x's gadget is ℓ-ℓ̄"
+        );
+        let rt = red.rooted_tree();
+        // DPLL gives a satisfying assignment whose light assignment
+        // enforces at cost 3|C| = 6.
+        let truth = dpll(&cnf).expect("satisfiable");
+        let light = red.light_assignment_for(&truth);
+        assert!(red.enforces(&rt, &light));
+        let b = red.subsidies_for(&light);
+        assert!((b.cost() - red.light_cost()).abs() < 1e-9);
+        // A falsifying assignment's lights must fail.
+        let falsify: Vec<bool> = truth.iter().map(|&v| !v).collect();
+        if !cnf.eval(&falsify) {
+            let bad = red.light_assignment_for(&falsify);
+            assert!(!red.enforces(&rt, &bad));
+        }
+        // Inconsistent balanced subsets fail: mix E(x) at occurrence 1
+        // with E(x̄) at occurrence 2 while keeping y, z consistent.
+        let mut mixed: Vec<EdgeId> = Vec::new();
+        for o in &red.occurrences {
+            if o.literal.var == 0 {
+                // choose the inner light everywhere — literal-true both
+                // times — inconsistent because polarities differ.
+                mixed.push(o.inner_light);
+            } else {
+                mixed.push(o.inner_light);
+            }
+        }
+        let set: HashSet<EdgeId> = mixed.iter().copied().collect();
+        assert!(!red.predicted_enforcing(&set) || red.enforces(&rt, &mixed));
+        assert!(
+            !red.enforces(&rt, &mixed) || red.predicted_enforcing(&set),
+            "game and predicate must agree on the mixed subset"
+        );
+    }
+
+    #[test]
+    fn unbalanced_assignments_rejected() {
+        let cnf = single_clause([false, false, false]);
+        let red = build(&cnf, DEFAULT_K).unwrap();
+        let rt = red.rooted_tree();
+        // No subsidies at all: v3 players deviate (Lemma 14).
+        assert!(!red.enforces(&rt, &[]));
+        // Everything subsidized: v2 players deviate (Lemma 14).
+        let all = red.light_edges();
+        assert!(!red.enforces(&rt, &all));
+    }
+
+    #[test]
+    fn rejects_bad_formulas() {
+        assert_eq!(
+            build(
+                &Cnf {
+                    num_vars: 3,
+                    clauses: vec![]
+                },
+                DEFAULT_K
+            )
+            .unwrap_err(),
+            SatReductionError::EmptyFormula
+        );
+        let not34 = Cnf {
+            num_vars: 2,
+            clauses: vec![Clause([lit(0, false), lit(0, true), lit(1, false)])],
+        };
+        assert_eq!(build(&not34, DEFAULT_K).unwrap_err(), SatReductionError::NotThreeSatFour);
+    }
+
+    #[test]
+    fn labeling_prefers_small_n_for_frequent_vars() {
+        // x occurs twice, paired with fresh variables each time: x must
+        // get label 3 (n = 7) so its consistency margins stay fat.
+        let cnf = Cnf {
+            num_vars: 5,
+            clauses: vec![
+                Clause([lit(0, false), lit(1, false), lit(2, false)]),
+                Clause([lit(0, false), lit(3, false), lit(4, false)]),
+            ],
+        };
+        let red = build(&cnf, DEFAULT_K).unwrap();
+        assert_eq!(red.labels[0], 3);
+    }
+}

@@ -1,0 +1,165 @@
+//! Scalable SND heuristics.
+//!
+//! The paper's own positive result (Section 6): combining Theorem 1 and
+//! Theorem 6, an optimal-weight design (the MST) can always be enforced
+//! with subsidies ≤ `wgt(MST)/e` — so for `α ≥ 1/e` the α-budget SND
+//! question has a poly-time answer. Below that budget the problem is
+//! NP-hard (Theorem 3); here we fall back to LP pricing of the MST and, if
+//! still unaffordable, to the best equilibrium reachable by best-response
+//! dynamics (which needs no budget at all).
+
+use crate::{SndDesign, SndError};
+use ndg_core::{
+    dynamics_from_tree, MoveOrder, NetworkDesignGame, SubsidyAssignment,
+};
+use ndg_graph::kruskal;
+
+/// The unconditional design: MST enforced by Theorem 6 subsidies.
+/// Subsidy cost is guaranteed ≤ `wgt(MST)/e`.
+pub fn mst_theorem6(game: &NetworkDesignGame) -> Result<SndDesign, SndError> {
+    if !game.is_broadcast() {
+        return Err(SndError::NotBroadcast);
+    }
+    let mst = kruskal(game.graph()).map_err(|_| SndError::NoDesign)?;
+    let sol = ndg_sne::theorem6::enforce(game, &mst)?;
+    Ok(SndDesign {
+        weight: game.graph().weight_of(&mst),
+        tree: mst,
+        subsidy_cost: sol.cost,
+        subsidies: sol.subsidies,
+    })
+}
+
+/// Budget-constrained design:
+///
+/// 1. if the LP (3) price of the MST fits in `budget`, return the
+///    optimal-weight design (this already covers every
+///    `budget ≥ wgt(MST)/e` by Theorem 6);
+/// 2. otherwise run best-response dynamics from the MST with zero
+///    subsidies and return the equilibrium reached (a 0-budget design
+///    whose weight the Anshelevich et al. argument bounds via the
+///    potential).
+pub fn design_with_budget(
+    game: &NetworkDesignGame,
+    budget: f64,
+) -> Result<SndDesign, SndError> {
+    if !game.is_broadcast() {
+        return Err(SndError::NotBroadcast);
+    }
+    let g = game.graph();
+    let mst = kruskal(g).map_err(|_| SndError::NoDesign)?;
+
+    let lp = ndg_sne::lp_broadcast::enforce_tree_lp(game, &mst)?;
+    if lp.cost <= budget + 1e-9 {
+        return Ok(SndDesign {
+            weight: g.weight_of(&mst),
+            tree: mst,
+            subsidy_cost: lp.cost,
+            subsidies: lp.subsidies,
+        });
+    }
+
+    // Zero-budget fallback: descend the potential from the optimum.
+    let b0 = SubsidyAssignment::zero(g);
+    let res = dynamics_from_tree(game, &mst, &b0, MoveOrder::RoundRobin, 100_000)
+        .map_err(|e| SndError::Sne(e.to_string()))?;
+    debug_assert!(res.converged, "potential descent must converge");
+    let established = res.state.established_edges();
+    // At equilibrium any cycle among established edges has zero weight;
+    // an MST of the established subgraph is an equally-cheap tree design.
+    let (sub, back) = g.edge_subgraph(&established);
+    let sub_tree = kruskal(&sub).map_err(|_| SndError::NoDesign)?;
+    let mut tree: Vec<_> = sub_tree.into_iter().map(|e| back[e.index()]).collect();
+    tree.sort();
+    let weight = g.weight_of(&tree);
+    // Certify stability of the tree design (it may differ from the raw
+    // dynamics state only by zero-weight edges).
+    let lp0 = ndg_sne::lp_broadcast::enforce_tree_lp(game, &tree)?;
+    if lp0.cost <= budget + 1e-9 {
+        Ok(SndDesign {
+            weight,
+            tree,
+            subsidy_cost: lp0.cost,
+            subsidies: lp0.subsidies,
+        })
+    } else {
+        // Extremely rare: the dynamics tree itself needs subsidies beyond
+        // budget (can only happen via zero-weight-cycle rewiring).
+        Err(SndError::NoDesign)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ndg_core::is_tree_equilibrium;
+    use ndg_graph::{generators, mst_weight, NodeId, RootedTree};
+    use std::f64::consts::E;
+
+    fn broadcast(g: ndg_graph::Graph) -> NetworkDesignGame {
+        NetworkDesignGame::broadcast(g, NodeId(0)).unwrap()
+    }
+
+    #[test]
+    fn mst_theorem6_within_budget_and_stable() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(401);
+        for _ in 0..10 {
+            let n = rng.random_range(3..15usize);
+            let g = generators::random_connected(n, 0.4, &mut rng, 0.2..4.0);
+            let game = broadcast(g);
+            let design = mst_theorem6(&game).unwrap();
+            assert!(design.subsidy_cost <= design.weight / E + 1e-7);
+            let rt = RootedTree::new(game.graph(), &design.tree, NodeId(0)).unwrap();
+            assert!(is_tree_equilibrium(&game, &rt, &design.subsidies));
+            assert!((design.weight - mst_weight(game.graph()).unwrap()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn generous_budget_buys_the_mst() {
+        let g = generators::cycle_graph(8, 1.0);
+        let game = broadcast(g);
+        let mst_w = mst_weight(game.graph()).unwrap();
+        let design = design_with_budget(&game, mst_w).unwrap();
+        assert!((design.weight - mst_w).abs() < 1e-9);
+        assert!(design.subsidy_cost <= mst_w + 1e-9);
+    }
+
+    #[test]
+    fn zero_budget_falls_back_to_dynamics_equilibrium() {
+        // Theorem 11 cycle: MST needs ≈ n/e, so budget 0 forces fallback.
+        let n = 7;
+        let g = generators::cycle_graph(n + 1, 1.0);
+        let game = broadcast(g);
+        let design = design_with_budget(&game, 0.0).unwrap();
+        assert!(design.subsidy_cost < 1e-9);
+        let rt = RootedTree::new(game.graph(), &design.tree, NodeId(0)).unwrap();
+        let b0 = SubsidyAssignment::zero(game.graph());
+        assert!(is_tree_equilibrium(&game, &rt, &b0));
+        // All spanning trees of the cycle weigh n, so weight must be n.
+        assert!((design.weight - n as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn budget_curve_never_increases_weight_on_small_instances() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(409);
+        for _ in 0..5 {
+            let n = rng.random_range(3..7usize);
+            let g = generators::random_connected(n, 0.5, &mut rng, 0.3..3.0);
+            let game = broadcast(g);
+            let mst_w = mst_weight(game.graph()).unwrap();
+            let mut prev = f64::INFINITY;
+            for step in 0..6 {
+                let budget = mst_w * step as f64 / (5.0 * E);
+                let design = design_with_budget(&game, budget).unwrap();
+                assert!(
+                    design.weight <= prev + 1e-9,
+                    "weight must not increase with budget"
+                );
+                prev = prev.min(design.weight);
+            }
+        }
+    }
+}

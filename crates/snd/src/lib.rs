@@ -1,0 +1,79 @@
+//! `ndg-snd` — Stable Network Design (Sections 3 and 6 of the paper).
+//!
+//! SND asks: given a budget `B`, find a network `T` and subsidies of cost
+//! ≤ `B` so that `T` is an equilibrium of the extension and `wgt(T)` is
+//! minimal. Theorem 3 shows the decision version is NP-hard even at
+//! `B = 0`, so this crate provides:
+//!
+//! * [`exhaustive`] — exact small-instance solver: enumerate spanning
+//!   trees, price each with LP (3), return the budget→weight Pareto
+//!   frontier;
+//! * [`heuristic`] — the paper's own positive answer (Theorems 1 + 6):
+//!   MST + Theorem 6 subsidies solves SND optimally whenever
+//!   `B ≥ wgt(MST)/e`, plus budget-constrained fallbacks;
+//! * [`pos`] — price-of-stability pipelines: exact PoS by enumeration,
+//!   the best-response-from-OPT upper bound, and the PoS-vs-budget curve
+//!   (reaching 1 at `B = wgt(MST)/e`);
+//! * [`multicast`] — exact SND for multicast games on small instances
+//!   (Section 6's "more general instances" direction).
+
+pub mod exhaustive;
+pub mod heuristic;
+pub mod multicast;
+pub mod pos;
+
+use ndg_core::SubsidyAssignment;
+use ndg_graph::EdgeId;
+use std::fmt;
+
+/// A stable network design: a tree, enforcing subsidies, and their costs.
+#[derive(Clone, Debug)]
+pub struct SndDesign {
+    /// The proposed network (a spanning tree), sorted edge ids.
+    pub tree: Vec<EdgeId>,
+    /// Subsidies enforcing the tree as an equilibrium.
+    pub subsidies: SubsidyAssignment,
+    /// `wgt(T)` — the social cost of the design.
+    pub weight: f64,
+    /// `Σ b_a` — the budget consumed.
+    pub subsidy_cost: f64,
+}
+
+/// Errors across the SND solvers.
+#[derive(Clone, Debug)]
+pub enum SndError {
+    /// These solvers require broadcast games.
+    NotBroadcast,
+    /// Spanning-tree enumeration failed (cap or disconnection).
+    Enum(ndg_core::EnumError),
+    /// An SNE subroutine failed.
+    Sne(String),
+    /// No design satisfies the budget (cannot happen for `B ≥ 0` in the
+    /// unsubsidized game, which always has an equilibrium tree).
+    NoDesign,
+}
+
+impl fmt::Display for SndError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SndError::NotBroadcast => write!(f, "solver requires a broadcast game"),
+            SndError::Enum(e) => write!(f, "enumeration error: {e}"),
+            SndError::Sne(e) => write!(f, "SNE subroutine error: {e}"),
+            SndError::NoDesign => write!(f, "no design within budget"),
+        }
+    }
+}
+
+impl std::error::Error for SndError {}
+
+impl From<ndg_core::EnumError> for SndError {
+    fn from(e: ndg_core::EnumError) -> Self {
+        SndError::Enum(e)
+    }
+}
+
+impl From<ndg_sne::SneError> for SndError {
+    fn from(e: ndg_sne::SneError) -> Self {
+        SndError::Sne(e.to_string())
+    }
+}

@@ -1,0 +1,165 @@
+//! A combinatorial (LP-free) exact SNE algorithm for the cycle family —
+//! a partial answer to the paper's first open problem (Section 6).
+//!
+//! Instance class: a cycle with arbitrary weights whose target tree is the
+//! cycle minus one *root-incident* edge (the generalized Theorem 11
+//! shape). Then exactly one Lemma 2 constraint exists — the far player `u`
+//! deviating to the chord — and minimizing subsidies is a fractional
+//! knapsack: reducing `u`'s cost by `δ` via edge `a` costs `δ · n_a(T)`
+//! of subsidy, so the optimum greedily fills the least crowded (farthest)
+//! edges first, exactly the packing of Figure 4. Verified against LP (3)
+//! by randomized tests.
+
+use crate::{SneError, SneSolution};
+use ndg_core::{root_path_costs, NetworkDesignGame, SubsidyAssignment};
+use ndg_graph::{EdgeId, NodeId, RootedTree};
+
+/// Exact minimum subsidies for a broadcast game on a cycle whose tree is
+/// the cycle minus a root-incident edge. Errors with
+/// [`SneError::NotBroadcast`]/[`SneError::NotASpanningTree`] on malformed
+/// input, and [`SneError::Cut`] if the instance is not of the supported
+/// shape (non-cycle graph or chord not incident to the root).
+pub fn enforce_cycle(
+    game: &NetworkDesignGame,
+    tree: &[EdgeId],
+) -> Result<SneSolution, SneError> {
+    let root = game.root().ok_or(SneError::NotBroadcast)?;
+    let g = game.graph();
+    let n = g.node_count();
+    if g.edge_count() != n || !g.nodes().all(|v| g.degree(v) == 2) {
+        return Err(SneError::Cut("instance is not a cycle".into()));
+    }
+    let rt = RootedTree::new(g, tree, root).map_err(|_| SneError::NotASpanningTree)?;
+    let in_tree = rt.edge_membership(g);
+    let chord = g
+        .edge_ids()
+        .find(|e| !in_tree[e.index()])
+        .expect("cycle minus tree leaves one chord");
+    let (x, y) = g.endpoints(chord);
+    let far = if x == root {
+        y
+    } else if y == root {
+        x
+    } else {
+        return Err(SneError::Cut("chord must be incident to the root".into()));
+    };
+
+    // The single constraint: cost_far(T; b) ≤ w_chord.
+    let b0 = SubsidyAssignment::zero(g);
+    let base = root_path_costs(game, &rt, &b0)[far.index()];
+    let mut b = SubsidyAssignment::zero(g);
+    let mut need = base - g.weight(chord);
+    if need > 0.0 {
+        // Greedy fractional knapsack on the far player's path, least
+        // crowded first: a unit of cost reduction on edge `a` costs
+        // n_a(T) of subsidy.
+        let mut path: Vec<(NodeId, EdgeId)> = rt.climb(far).collect();
+        path.sort_by_key(|&(child, _)| rt.subtree_size(child));
+        for (child, e) in path {
+            if need <= 1e-12 {
+                break;
+            }
+            let n_a = rt.subtree_size(child) as f64;
+            let max_reduction = g.weight(e) / n_a;
+            if max_reduction <= need + 1e-15 {
+                b.set(g, e, g.weight(e));
+                need -= max_reduction;
+            } else {
+                b.set(g, e, need * n_a);
+                need = 0.0;
+            }
+        }
+        if need > 1e-9 {
+            // Even the fully subsidized path exceeds the chord: impossible
+            // since then cost 0 ≤ w_chord ≥ 0.
+            unreachable!("full subsidies always satisfy the constraint");
+        }
+    }
+    crate::certified(game, tree, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ndg_graph::Graph;
+    use rand::prelude::*;
+
+    /// Random-weight cycle with the chord at the root.
+    fn random_cycle(n: usize, rng: &mut StdRng) -> (NetworkDesignGame, Vec<EdgeId>) {
+        let mut g = Graph::new(n + 1);
+        let mut tree = Vec::new();
+        for i in 0..n {
+            tree.push(
+                g.add_edge(NodeId(i as u32), NodeId((i + 1) as u32), rng.random_range(0.1..3.0))
+                    .unwrap(),
+            );
+        }
+        g.add_edge(NodeId(n as u32), NodeId(0), rng.random_range(0.1..3.0))
+            .unwrap();
+        let game = NetworkDesignGame::broadcast(g, NodeId(0)).unwrap();
+        (game, tree)
+    }
+
+    #[test]
+    fn matches_lp3_on_random_weighted_cycles() {
+        let mut rng = StdRng::seed_from_u64(811);
+        for _ in 0..40 {
+            let n = rng.random_range(2..20usize);
+            let (game, tree) = random_cycle(n, &mut rng);
+            let comb = enforce_cycle(&game, &tree).expect("cycle shape");
+            let lp = crate::lp_broadcast::enforce_tree_lp(&game, &tree).unwrap();
+            assert!(
+                (comb.cost - lp.cost).abs() < 1e-6,
+                "combinatorial {} vs LP {}",
+                comb.cost,
+                lp.cost
+            );
+        }
+    }
+
+    #[test]
+    fn theorem_11_instance_exact() {
+        let (game, tree) = crate::lower_bound::cycle_instance(16);
+        let comb = enforce_cycle(&game, &tree).unwrap();
+        let lp = crate::lp_broadcast::enforce_tree_lp(&game, &tree).unwrap();
+        assert!((comb.cost - lp.cost).abs() < 1e-7);
+    }
+
+    #[test]
+    fn stable_cycle_needs_nothing() {
+        // Expensive chord: H_n < w_chord ⇒ zero subsidies.
+        let n = 5;
+        let mut g = Graph::new(n + 1);
+        let mut tree = Vec::new();
+        for i in 0..n {
+            tree.push(
+                g.add_edge(NodeId(i as u32), NodeId((i + 1) as u32), 1.0)
+                    .unwrap(),
+            );
+        }
+        g.add_edge(NodeId(n as u32), NodeId(0), 10.0).unwrap();
+        let game = NetworkDesignGame::broadcast(g, NodeId(0)).unwrap();
+        let sol = enforce_cycle(&game, &tree).unwrap();
+        assert_eq!(sol.cost, 0.0);
+    }
+
+    #[test]
+    fn rejects_unsupported_shapes() {
+        // Non-cycle.
+        let g = ndg_graph::generators::complete_graph(4, 1.0);
+        let game = NetworkDesignGame::broadcast(g, NodeId(0)).unwrap();
+        let tree = ndg_graph::kruskal(game.graph()).unwrap();
+        assert!(matches!(
+            enforce_cycle(&game, &tree),
+            Err(SneError::Cut(_))
+        ));
+        // Cycle, but the excluded edge is not root-incident.
+        let g = ndg_graph::generators::cycle_graph(5, 1.0);
+        let game = NetworkDesignGame::broadcast(g, NodeId(0)).unwrap();
+        let tree: Vec<EdgeId> = vec![EdgeId(0), EdgeId(1), EdgeId(3), EdgeId(4)];
+        assert!(matches!(
+            enforce_cycle(&game, &tree),
+            Err(SneError::Cut(_))
+        ));
+    }
+}

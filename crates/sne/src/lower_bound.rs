@@ -1,0 +1,92 @@
+//! The Theorem 11 lower-bound family: on unit-weight cycles, enforcing the
+//! path MST requires subsidies approaching `wgt(T)/e`.
+//!
+//! Instance: a cycle of `n + 1` unit edges spanning the root `r` and `n`
+//! player nodes; the target tree `T` is the path missing one root-incident
+//! edge `a = (r, u)`. The far player `u` can always defect to `a` at cost 1,
+//! so subsidies must bring her path cost `H_n` down to 1; packing on the
+//! least crowded edges needs ≈ `(n+1)/e − 2` ≤ cost, and the paper's
+//! analysis shows the minimum is at least `(1/e − ε)·wgt(T)` for large `n`.
+
+use crate::{SneError, SneSolution};
+use ndg_core::NetworkDesignGame;
+use ndg_graph::{generators, EdgeId, NodeId};
+
+/// The Theorem 11 instance: `(game, target tree)` for `n ≥ 2` players.
+///
+/// Node 0 is the root; edges `0..n` form the tree path `0−1−…−n` and edge
+/// `n` (id `n`) is the closing chord `(n, 0)` excluded from the tree.
+pub fn cycle_instance(n: usize) -> (NetworkDesignGame, Vec<EdgeId>) {
+    assert!(n >= 2, "the instance needs at least 2 players");
+    let g = generators::cycle_graph(n + 1, 1.0);
+    let game = NetworkDesignGame::broadcast(g, NodeId(0)).expect("cycle is connected");
+    let tree: Vec<EdgeId> = (0..n as u32).map(EdgeId).collect();
+    (game, tree)
+}
+
+/// Analytic lower bound from the paper's proof: `(n+1)/e − 2`.
+pub fn analytic_lower_bound(n: usize) -> f64 {
+    (n as f64 + 1.0) / std::f64::consts::E - 2.0
+}
+
+/// Exact minimum subsidy for the instance, via LP (3).
+pub fn exact_min_subsidy(n: usize) -> Result<SneSolution, SneError> {
+    let (game, tree) = cycle_instance(n);
+    crate::lp_broadcast::enforce_tree_lp(&game, &tree)
+}
+
+/// The measured ratio `min-subsidy / wgt(T)`; converges to `1/e` from
+/// below as `n` grows.
+pub fn measured_ratio(n: usize) -> Result<f64, SneError> {
+    let sol = exact_min_subsidy(n)?;
+    Ok(sol.cost / n as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ndg_core::is_tree_equilibrium;
+    use ndg_graph::RootedTree;
+    use std::f64::consts::E;
+
+    #[test]
+    fn exact_minimum_between_analytic_bound_and_one_over_e() {
+        for n in [4usize, 8, 16, 32] {
+            let sol = exact_min_subsidy(n).unwrap();
+            let lower = analytic_lower_bound(n);
+            let upper = n as f64 / E; // Theorem 6
+            assert!(
+                sol.cost >= lower - 1e-6,
+                "n={n}: cost {} below analytic bound {lower}",
+                sol.cost
+            );
+            assert!(
+                sol.cost <= upper + 1e-6,
+                "n={n}: cost {} above wgt/e {upper}",
+                sol.cost
+            );
+        }
+    }
+
+    #[test]
+    fn ratio_converges_to_one_over_e() {
+        let r16 = measured_ratio(16).unwrap();
+        let r48 = measured_ratio(48).unwrap();
+        let target = 1.0 / E;
+        assert!((r48 - target).abs() < (r16 - target).abs() + 1e-9,
+            "ratio must approach 1/e: r16={r16}, r48={r48}");
+        assert!((r48 - target).abs() < 0.03, "r48={r48} too far from 1/e");
+    }
+
+    #[test]
+    fn solution_certified_and_theorem6_comparable() {
+        let n = 12;
+        let (game, tree) = cycle_instance(n);
+        let lp = exact_min_subsidy(n).unwrap();
+        let rt = RootedTree::new(game.graph(), &tree, NodeId(0)).unwrap();
+        assert!(is_tree_equilibrium(&game, &rt, &lp.subsidies));
+        let t6 = crate::theorem6::enforce(&game, &tree).unwrap();
+        assert!(lp.cost <= t6.cost + 1e-6);
+        assert!(t6.cost <= n as f64 / E + 1e-9);
+    }
+}

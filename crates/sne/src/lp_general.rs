@@ -1,0 +1,189 @@
+//! LP (1): the exponential enforcement LP, solved by cutting planes with
+//! the paper's shortest-path separation oracle (Theorem 1).
+//!
+//! For each player `i` and *every* alternative path `T'ᵢ ∈ 𝒯ᵢ` there is a
+//! constraint `costᵢ(T; b) ≤ costᵢ(T₋ᵢ, T'ᵢ; b)`. The oracle finds the most
+//! violated one by a Dijkstra run on the graph `Hᵢ` with weights
+//! `w'_a = (w_a − b_a)/(n_a(T) + 1 − n_a^i(T))`, which works for arbitrary
+//! (not just broadcast) network design games.
+
+use crate::{SneError, SneSolution};
+use ndg_core::{NetworkDesignGame, State, SubsidyAssignment};
+use ndg_graph::paths::dijkstra_with;
+use ndg_graph::EdgeId;
+use ndg_lp::{solve_with_cuts, CutStats, LinearProgram, Row, RowOp};
+use std::collections::HashMap;
+
+/// Oracle violation tolerance: constraints violated by less than this are
+/// considered satisfied (keeps the loop finite under f64 noise).
+const ORACLE_TOL: f64 = 1e-7;
+/// Cap on cutting-plane rounds.
+const MAX_ROUNDS: usize = 500;
+
+/// Solve the optimization version of SNE for an arbitrary game and target
+/// state by constraint generation. Returns the solution and loop stats.
+pub fn enforce_state_cutting(
+    game: &NetworkDesignGame,
+    state: &State,
+) -> Result<(SneSolution, CutStats), SneError> {
+    let g = game.graph();
+    // Variables: subsidies on established edges only (off-support subsidies
+    // can only cheapen deviations).
+    let established = state.established_edges();
+    let mut lp = LinearProgram::new();
+    let mut var_of: HashMap<EdgeId, usize> = HashMap::new();
+    for &e in &established {
+        let v = lp.add_var(1.0, 0.0, g.weight(e))?;
+        var_of.insert(e, v);
+    }
+    let var_list: Vec<EdgeId> = established.clone();
+
+    let mut oracle = |x: &[f64]| -> Vec<Row> {
+        // Interpret x as a subsidy assignment.
+        let mut b = SubsidyAssignment::zero(g);
+        for (k, &e) in var_list.iter().enumerate() {
+            b.set(g, e, x[k]);
+        }
+        let mut cuts = Vec::new();
+        for (i, player) in game.players().iter().enumerate() {
+            let current = ndg_core::player_cost(game, state, &b, i);
+            let sp = dijkstra_with(g, player.source, |e| {
+                let den = state.usage(e) + 1 - u32::from(state.uses(i, e));
+                b.residual(g, e) / den as f64
+            });
+            if sp.dist[player.terminal.index()] < current - ORACLE_TOL {
+                let path = sp
+                    .path_to(g, player.terminal)
+                    .expect("terminal reachable by game validation");
+                cuts.push(constraint_for_path(game, state, &var_of, i, &path));
+            }
+        }
+        cuts
+    };
+
+    let (sol, stats) =
+        solve_with_cuts(&mut lp, &mut oracle, MAX_ROUNDS).map_err(|e| SneError::Cut(e.to_string()))?;
+
+    let mut b = SubsidyAssignment::zero(g);
+    for (k, &e) in var_list.iter().enumerate() {
+        b.set(g, e, sol.x[k]);
+    }
+    // Final gate: exact equilibrium re-check.
+    if !ndg_core::is_equilibrium(game, state, &b) {
+        return Err(SneError::VerificationFailed);
+    }
+    Ok((SneSolution::new(b), stats))
+}
+
+/// Build the LP row `costᵢ(T; b) ≤ costᵢ(T₋ᵢ, path; b)` rearranged over the
+/// subsidy variables:
+/// `−Σ_{a∈Tᵢ} b_a/n_a + Σ_{a∈path} b_a/den_a ≤
+///  Σ_{a∈path} w_a/den_a − Σ_{a∈Tᵢ} w_a/n_a`.
+/// Edges outside the variable support contribute constants only
+/// (their `b_a = 0`).
+fn constraint_for_path(
+    game: &NetworkDesignGame,
+    state: &State,
+    var_of: &HashMap<EdgeId, usize>,
+    i: usize,
+    path: &[EdgeId],
+) -> Row {
+    let g = game.graph();
+    let mut coeff: HashMap<usize, f64> = HashMap::new();
+    let mut rhs = 0.0;
+    for &a in state.path(i) {
+        let n_a = state.usage(a) as f64;
+        rhs -= g.weight(a) / n_a;
+        if let Some(&v) = var_of.get(&a) {
+            *coeff.entry(v).or_insert(0.0) -= 1.0 / n_a;
+        }
+    }
+    for &a in path {
+        let den = (state.usage(a) + 1 - u32::from(state.uses(i, a))) as f64;
+        rhs += g.weight(a) / den;
+        if let Some(&v) = var_of.get(&a) {
+            *coeff.entry(v).or_insert(0.0) += 1.0 / den;
+        }
+    }
+    let coeffs: Vec<(usize, f64)> = coeff
+        .into_iter()
+        .filter(|&(_, c)| c.abs() > 1e-14)
+        .collect();
+    Row::new(coeffs, RowOp::Le, rhs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ndg_core::Player;
+    use ndg_graph::{generators, kruskal, NodeId};
+
+    #[test]
+    fn agrees_with_lp3_on_broadcast_instances() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(41);
+        for _ in 0..12 {
+            let n = rng.random_range(3..9usize);
+            let g = generators::random_connected(n, 0.5, &mut rng, 0.3..3.0);
+            let game = ndg_core::NetworkDesignGame::broadcast(g, NodeId(0)).unwrap();
+            let tree = kruskal(game.graph()).unwrap();
+            let lp3 = crate::lp_broadcast::enforce_tree_lp(&game, &tree).unwrap();
+            let (state, _) = State::from_tree(&game, &tree).unwrap();
+            let (lp1, stats) = enforce_state_cutting(&game, &state).unwrap();
+            assert!(
+                (lp3.cost - lp1.cost).abs() < 1e-5,
+                "lp3 {} vs lp1 {} (rounds {})",
+                lp3.cost,
+                lp1.cost,
+                stats.rounds
+            );
+        }
+    }
+
+    #[test]
+    fn works_on_general_two_player_game() {
+        // 2×3 grid, two crossing players sharing the middle column.
+        let g = generators::grid_graph(2, 3, 1.0);
+        let game = ndg_core::NetworkDesignGame::new(
+            g,
+            vec![
+                Player {
+                    source: NodeId(0),
+                    terminal: NodeId(5),
+                },
+                Player {
+                    source: NodeId(3),
+                    terminal: NodeId(2),
+                },
+            ],
+        )
+        .unwrap();
+        let tree = kruskal(game.graph()).unwrap();
+        let (state, _) = State::from_tree(&game, &tree).unwrap();
+        let (sol, _) = enforce_state_cutting(&game, &state).unwrap();
+        assert!(ndg_core::is_equilibrium(&game, &state, &sol.subsidies));
+        assert!(sol.cost >= 0.0);
+    }
+
+    #[test]
+    fn zero_rounds_when_already_stable() {
+        let g = generators::star_graph(5, 2.0);
+        let game = ndg_core::NetworkDesignGame::broadcast(g, NodeId(0)).unwrap();
+        let tree: Vec<EdgeId> = game.graph().edge_ids().collect();
+        let (state, _) = State::from_tree(&game, &tree).unwrap();
+        let (sol, stats) = enforce_state_cutting(&game, &state).unwrap();
+        assert!(sol.cost < 1e-9);
+        assert_eq!(stats.cuts_added, 0);
+        assert_eq!(stats.rounds, 1);
+    }
+
+    #[test]
+    fn cycle_instance_exact_value_small() {
+        // Triangle path-tree: minimum subsidy 0.5 (matches LP(3) test).
+        let g = generators::cycle_graph(3, 1.0);
+        let game = ndg_core::NetworkDesignGame::broadcast(g, NodeId(0)).unwrap();
+        let (state, _) = State::from_tree(&game, &[EdgeId(0), EdgeId(1)]).unwrap();
+        let (sol, _) = enforce_state_cutting(&game, &state).unwrap();
+        assert!((sol.cost - 0.5).abs() < 1e-6, "got {}", sol.cost);
+    }
+}

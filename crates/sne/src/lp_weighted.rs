@@ -1,0 +1,178 @@
+//! Enforcement for *weighted* players (Section 6; Chen–Roughgarden \[14\]).
+//!
+//! With demands `dᵢ` and proportional sharing, Lemma 2's single-hop
+//! constraint set does not obviously survive (its exchange argument uses
+//! unit demands), so enforcement runs through the always-sound Theorem 1
+//! route: constraint generation with the weighted best-response oracle.
+//! The player constraints stay linear in `b` — dividing by `dᵢ`,
+//!
+//! ```text
+//!   Σ_{a∈Tᵢ} (w_a−b_a)/D_a(T)  ≤  Σ_{a∈T'ᵢ} (w_a−b_a)/D'_a ,
+//!   D'_a = D_a(T) + dᵢ·(1 − n_a^i(T)).
+//! ```
+
+use crate::{SneError, SneSolution};
+use ndg_core::weighted::{weighted_player_cost, Demands};
+use ndg_core::{NetworkDesignGame, State, SubsidyAssignment};
+use ndg_graph::paths::dijkstra_with;
+use ndg_graph::EdgeId;
+use ndg_lp::{solve_with_cuts, CutStats, LinearProgram, Row, RowOp};
+use std::collections::HashMap;
+
+const ORACLE_TOL: f64 = 1e-7;
+const MAX_ROUNDS: usize = 500;
+
+/// Minimum-cost subsidies enforcing `state` in the weighted extension.
+pub fn enforce_state_weighted(
+    game: &NetworkDesignGame,
+    state: &State,
+    demands: &Demands,
+) -> Result<(SneSolution, CutStats), SneError> {
+    let g = game.graph();
+    let established = state.established_edges();
+    let mut lp = LinearProgram::new();
+    let mut var_of: HashMap<EdgeId, usize> = HashMap::new();
+    for &e in &established {
+        let v = lp.add_var(1.0, 0.0, g.weight(e))?;
+        var_of.insert(e, v);
+    }
+    let var_list = established.clone();
+
+    let mut oracle = |x: &[f64]| -> Vec<Row> {
+        let mut b = SubsidyAssignment::zero(g);
+        for (k, &e) in var_list.iter().enumerate() {
+            b.set(g, e, x[k]);
+        }
+        let mut cuts = Vec::new();
+        for (i, player) in game.players().iter().enumerate() {
+            let d_i = demands.of(i);
+            let current = weighted_player_cost(game, state, demands, &b, i);
+            let sp = dijkstra_with(g, player.source, |e| {
+                let load =
+                    demands.load(state, e) + if state.uses(i, e) { 0.0 } else { d_i };
+                b.residual(g, e) * d_i / load
+            });
+            if sp.dist[player.terminal.index()] < current - ORACLE_TOL {
+                let path = sp.path_to(g, player.terminal).expect("reachable");
+                cuts.push(constraint(game, state, demands, &var_of, i, &path));
+            }
+        }
+        cuts
+    };
+
+    let (sol, stats) = solve_with_cuts(&mut lp, &mut oracle, MAX_ROUNDS)
+        .map_err(|e| SneError::Cut(e.to_string()))?;
+    let mut b = SubsidyAssignment::zero(g);
+    for (k, &e) in var_list.iter().enumerate() {
+        b.set(g, e, sol.x[k]);
+    }
+    if !ndg_core::weighted_is_equilibrium(game, state, demands, &b) {
+        return Err(SneError::VerificationFailed);
+    }
+    Ok((SneSolution::new(b), stats))
+}
+
+fn constraint(
+    game: &NetworkDesignGame,
+    state: &State,
+    demands: &Demands,
+    var_of: &HashMap<EdgeId, usize>,
+    i: usize,
+    path: &[EdgeId],
+) -> Row {
+    let g = game.graph();
+    let d_i = demands.of(i);
+    let mut coeff: HashMap<usize, f64> = HashMap::new();
+    let mut rhs = 0.0;
+    for &a in state.path(i) {
+        let load = demands.load(state, a);
+        rhs -= g.weight(a) / load;
+        if let Some(&v) = var_of.get(&a) {
+            *coeff.entry(v).or_insert(0.0) -= 1.0 / load;
+        }
+    }
+    for &a in path {
+        let load = demands.load(state, a) + if state.uses(i, a) { 0.0 } else { d_i };
+        rhs += g.weight(a) / load;
+        if let Some(&v) = var_of.get(&a) {
+            *coeff.entry(v).or_insert(0.0) += 1.0 / load;
+        }
+    }
+    let coeffs: Vec<(usize, f64)> = coeff
+        .into_iter()
+        .filter(|&(_, c)| c.abs() > 1e-14)
+        .collect();
+    Row::new(coeffs, RowOp::Le, rhs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ndg_graph::{generators, kruskal, NodeId};
+
+    #[test]
+    fn uniform_demands_match_unweighted_lp() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(711);
+        for _ in 0..8 {
+            let n = rng.random_range(3..8usize);
+            let g = generators::random_connected(n, 0.5, &mut rng, 0.3..3.0);
+            let game = NetworkDesignGame::broadcast(g, NodeId(0)).unwrap();
+            let tree = kruskal(game.graph()).unwrap();
+            let (state, _) = State::from_tree(&game, &tree).unwrap();
+            let d = Demands::uniform(&game);
+            let (weighted, _) = enforce_state_weighted(&game, &state, &d).unwrap();
+            let unweighted = crate::lp_broadcast::enforce_tree_lp(&game, &tree).unwrap();
+            assert!(
+                (weighted.cost - unweighted.cost).abs() < 1e-5,
+                "weighted {} vs unweighted {}",
+                weighted.cost,
+                unweighted.cost
+            );
+        }
+    }
+
+    #[test]
+    fn skewed_demands_change_the_price() {
+        // The heavy-player four-cycle from core::weighted: unweighted the
+        // tree needs subsidies, weighted (d₁ huge) it is free.
+        let mut g = ndg_graph::Graph::new(4);
+        let e0 = g.add_edge(NodeId(0), NodeId(1), 1.0).unwrap();
+        let e1 = g.add_edge(NodeId(1), NodeId(2), 1.2).unwrap();
+        let _e2 = g.add_edge(NodeId(2), NodeId(3), 0.9).unwrap();
+        let e3 = g.add_edge(NodeId(3), NodeId(0), 1.0).unwrap();
+        let game = NetworkDesignGame::broadcast(g, NodeId(0)).unwrap();
+        let (state, _) = State::from_tree(&game, &[e0, e1, e3]).unwrap();
+
+        let uniform = Demands::uniform(&game);
+        let (u_sol, _) = enforce_state_weighted(&game, &state, &uniform).unwrap();
+        assert!(u_sol.cost > 0.1, "unweighted tree needs real subsidies");
+
+        let skewed = Demands::new(&game, vec![1000.0, 1.0, 1.0]).unwrap();
+        let (s_sol, stats) = enforce_state_weighted(&game, &state, &skewed).unwrap();
+        assert!(s_sol.cost < 1e-9, "heavy demand stabilizes for free");
+        assert_eq!(stats.cuts_added, 0);
+    }
+
+    #[test]
+    fn certifies_on_random_demands() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(713);
+        for _ in 0..6 {
+            let n = rng.random_range(3..7usize);
+            let g = generators::random_connected(n, 0.5, &mut rng, 0.3..3.0);
+            let game = NetworkDesignGame::broadcast(g, NodeId(0)).unwrap();
+            let tree = kruskal(game.graph()).unwrap();
+            let (state, _) = State::from_tree(&game, &tree).unwrap();
+            let d = Demands::new(
+                &game,
+                (0..game.num_players())
+                    .map(|_| rng.random_range(0.2..5.0))
+                    .collect(),
+            )
+            .unwrap();
+            let (sol, _) = enforce_state_weighted(&game, &state, &d).unwrap();
+            assert!(ndg_core::weighted_is_equilibrium(&game, &state, &d, &sol.subsidies));
+        }
+    }
+}

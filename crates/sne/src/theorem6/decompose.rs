@@ -1,0 +1,171 @@
+//! Weight-layer decomposition (first key idea of Theorem 6).
+//!
+//! A graph `G` is decomposed into copies `G¹ … Gᵏ` with edge weights in
+//! `{0, c_j}`: `c₁` is the minimum nonzero weight; subtract it from every
+//! nonzero edge and recurse. Equivalently, with distinct nonzero weights
+//! `t₁ < t₂ < … < t_k`, layer `j` has `c_j = t_j − t_{j−1}` and an edge is
+//! *heavy* in layer `j` iff its original weight is `≥ t_j`. Two invariants
+//! the proof uses, both machine-checked in the tests:
+//!
+//! 1. weights reconstruct: `w_a = Σ_j c_j · heavy_j(a)`;
+//! 2. if an edge is heavy in layer `j` it is heavy in all layers `< j`,
+//!    and any MST of `G` is an MST of every layer graph `Gʲ`.
+
+use ndg_graph::{EdgeId, Graph};
+
+/// Weight-equality tolerance when collecting distinct weight levels.
+const LEVEL_TOL: f64 = 1e-12;
+
+/// One `{0, c}` layer of the decomposition.
+#[derive(Clone, Debug)]
+pub struct Layer {
+    /// The layer's uniform nonzero weight `c_j > 0`.
+    pub c: f64,
+    /// The cumulative threshold `t_j`: heavy ⟺ `w_a ≥ t_j`.
+    pub threshold: f64,
+    /// Per-edge heaviness in this layer.
+    pub heavy: Vec<bool>,
+}
+
+impl Layer {
+    /// Weight of edge `e` in this layer (`c` or `0`).
+    #[inline]
+    pub fn weight(&self, e: EdgeId) -> f64 {
+        if self.heavy[e.index()] {
+            self.c
+        } else {
+            0.0
+        }
+    }
+
+    /// The layer copy `Gʲ` as an explicit graph (same topology, `{0, c}`
+    /// weights). Mostly for tests and the A2 ablation.
+    pub fn layer_graph(&self, g: &Graph) -> Graph {
+        let mut out = Graph::new(g.node_count());
+        for (e, edge) in g.edges() {
+            out.add_edge(edge.u, edge.v, self.weight(e))
+                .expect("copying a valid edge");
+        }
+        out
+    }
+}
+
+/// Decompose `g` into layers. Zero-weight graphs yield no layers.
+pub fn decompose(g: &Graph) -> Vec<Layer> {
+    let mut levels: Vec<f64> = g
+        .edges()
+        .map(|(_, e)| e.w)
+        .filter(|&w| w > LEVEL_TOL)
+        .collect();
+    levels.sort_by(f64::total_cmp);
+    levels.dedup_by(|a, b| (*a - *b).abs() <= LEVEL_TOL);
+
+    let mut layers = Vec::with_capacity(levels.len());
+    let mut prev = 0.0f64;
+    for &t in &levels {
+        let heavy: Vec<bool> = g.edges().map(|(_, e)| e.w >= t - LEVEL_TOL).collect();
+        layers.push(Layer {
+            c: t - prev,
+            threshold: t,
+            heavy,
+        });
+        prev = t;
+    }
+    layers
+}
+
+/// Reconstructed weight of `e` from the layers (must equal `w_e`).
+pub fn reconstructed_weight(layers: &[Layer], e: EdgeId) -> f64 {
+    layers.iter().map(|l| l.weight(e)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ndg_graph::{generators, kruskal, mst_weight, NodeId};
+    use rand::prelude::*;
+
+    #[test]
+    fn uniform_graph_one_layer() {
+        let g = generators::cycle_graph(5, 2.5);
+        let layers = decompose(&g);
+        assert_eq!(layers.len(), 1);
+        assert_eq!(layers[0].c, 2.5);
+        assert!(layers[0].heavy.iter().all(|&h| h));
+    }
+
+    #[test]
+    fn zero_graph_no_layers() {
+        let mut g = Graph::new(3);
+        g.add_edge(NodeId(0), NodeId(1), 0.0).unwrap();
+        g.add_edge(NodeId(1), NodeId(2), 0.0).unwrap();
+        assert!(decompose(&g).is_empty());
+    }
+
+    #[test]
+    fn explicit_three_level_example() {
+        let mut g = Graph::new(4);
+        g.add_edge(NodeId(0), NodeId(1), 1.0).unwrap(); // e0
+        g.add_edge(NodeId(1), NodeId(2), 3.0).unwrap(); // e1
+        g.add_edge(NodeId(2), NodeId(3), 4.0).unwrap(); // e2
+        g.add_edge(NodeId(3), NodeId(0), 0.0).unwrap(); // e3
+        let layers = decompose(&g);
+        assert_eq!(layers.len(), 3);
+        assert_eq!(layers[0].c, 1.0); // level 1: e0, e1, e2 heavy
+        assert_eq!(layers[1].c, 2.0); // level 3: e1, e2 heavy
+        assert_eq!(layers[2].c, 1.0); // level 4: e2 heavy
+        assert_eq!(layers[0].heavy, vec![true, true, true, false]);
+        assert_eq!(layers[1].heavy, vec![false, true, true, false]);
+        assert_eq!(layers[2].heavy, vec![false, false, true, false]);
+    }
+
+    #[test]
+    fn weights_reconstruct_randomized() {
+        let mut rng = StdRng::seed_from_u64(61);
+        for _ in 0..20 {
+            let n = rng.random_range(2..15);
+            let g = generators::random_connected(n, 0.4, &mut rng, 0.0..5.0);
+            let layers = decompose(&g);
+            for e in g.edge_ids() {
+                assert!(
+                    (reconstructed_weight(&layers, e) - g.weight(e)).abs() < 1e-9,
+                    "edge {e:?} fails reconstruction"
+                );
+            }
+            // Monotone heaviness: heavy in layer j ⇒ heavy in all earlier.
+            for e in g.edge_ids() {
+                let mut was_light = false;
+                for l in &layers {
+                    if !l.heavy[e.index()] {
+                        was_light = true;
+                    } else {
+                        assert!(!was_light, "heaviness must be monotone across layers");
+                    }
+                }
+            }
+        }
+    }
+
+    /// The proof's per-layer MST lemma: an MST of `G` (same edge set) is an
+    /// MST of every layer graph `Gʲ`.
+    #[test]
+    fn mst_survives_per_layer() {
+        let mut rng = StdRng::seed_from_u64(62);
+        for _ in 0..20 {
+            let n = rng.random_range(2..12);
+            let g = generators::random_connected(n, 0.5, &mut rng, 0.0..4.0);
+            let tree = kruskal(&g).unwrap();
+            for layer in decompose(&g) {
+                let lg = layer.layer_graph(&g);
+                let tree_layer_weight: f64 = tree.iter().map(|&e| layer.weight(e)).sum();
+                let opt = mst_weight(&lg).unwrap();
+                assert!(
+                    (tree_layer_weight - opt).abs() < 1e-9,
+                    "tree is not an MST of the layer graph: {tree_layer_weight} vs {opt}"
+                );
+            }
+        }
+    }
+
+    use ndg_graph::Graph;
+}

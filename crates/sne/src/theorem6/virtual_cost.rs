@@ -1,0 +1,169 @@
+//! The virtual cost function of Theorem 6.
+//!
+//! For a heavy edge `a` of a `{0, c}`-weighted layer carrying `m_a` heavy
+//! players and subsidy `y ∈ [0, c]`:
+//!
+//! ```text
+//!   vc(a, y) = c · ln( m_a / (m_a − 1 + y/c) )
+//! ```
+//!
+//! Claim 8 shows `vc(a, y) ≥ (c − y)/n_a(T)`, so virtual path costs
+//! upper-bound real player costs; Claim 10 shows that packing subsidies on
+//! the least-crowded heavy edges of a path with consecutive `m` values
+//! gives path virtual cost `c · ln(t / (t − |q'| + y(q)/c))`.
+
+/// `vc(a, y)` for a heavy edge of layer weight `c` with `m ≥ 1` heavy users
+/// and subsidy `y ∈ [0, c]`. Infinite when `m = 1` and `y = 0`.
+pub fn virtual_cost(c: f64, m: u32, y: f64) -> f64 {
+    debug_assert!(m >= 1, "a heavy edge always carries its child player");
+    debug_assert!(c > 0.0);
+    debug_assert!((-1e-12..=c + 1e-9).contains(&y), "subsidy {y} outside [0, {c}]");
+    let den = m as f64 - 1.0 + (y / c).max(0.0);
+    if den <= 0.0 {
+        f64::INFINITY
+    } else {
+        c * (m as f64 / den).ln()
+    }
+}
+
+/// The partial subsidy placed on the cut edge `a ∈ S` (Theorem 6): the
+/// `b_a` solving `vc(a, b_a) = c − ℓ` where `ℓ = vc(T_{p(v)}, 0)` is the
+/// virtual cost already accumulated above `a`:
+///
+/// ```text
+///   b_a = c · ( 1 − m_a (1 − e^{ℓ/c − 1}) )
+/// ```
+///
+/// Clamped into `[0, c]` for numerical safety.
+pub fn cut_edge_subsidy(c: f64, m: u32, ell: f64) -> f64 {
+    debug_assert!(ell >= -1e-12 && ell <= c + 1e-9);
+    let b = c * (1.0 - m as f64 * (1.0 - (ell / c - 1.0).exp()));
+    b.clamp(0.0, c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_values() {
+        // m = 1, y = 0: infinite.
+        assert!(virtual_cost(1.0, 1, 0.0).is_infinite());
+        // m = 1, y = c: vc = c ln(1/1) = 0? No: m−1+1 = 1 ⇒ ln 1 = 0.
+        assert_eq!(virtual_cost(2.0, 1, 2.0), 0.0);
+        // m = 2, y = 0: c ln 2.
+        assert!((virtual_cost(3.0, 2, 0.0) - 3.0 * 2.0f64.ln()).abs() < 1e-12);
+        // Fully subsidized edges contribute nothing.
+        for m in 1..6 {
+            assert!(virtual_cost(1.5, m, 1.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn decreasing_in_subsidy() {
+        let c = 2.0;
+        for m in 1..6u32 {
+            let mut prev = virtual_cost(c, m, 0.0);
+            for k in 1..=10 {
+                let y = c * k as f64 / 10.0;
+                let cur = virtual_cost(c, m, y);
+                assert!(cur <= prev + 1e-12, "vc must decrease in y");
+                prev = cur;
+            }
+        }
+    }
+
+    /// Claim 8: `vc(a, y) ≥ (c − y)/n` for every `n ≥ m`.
+    #[test]
+    fn claim_8_bound() {
+        let c = 1.7;
+        for m in 1..10u32 {
+            for n in m..15u32 {
+                for k in 0..=20 {
+                    let y = c * k as f64 / 20.0;
+                    let vc = virtual_cost(c, m, y);
+                    let real = (c - y) / n as f64;
+                    assert!(
+                        vc >= real - 1e-12,
+                        "claim 8 fails: vc({m},{y})={vc} < {real} (n={n})"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Claim 10 (no-subsidy case): with `m` values `t−k+1 … t` on a path of
+    /// `k` heavy edges, `Σ vc(a, 0) = c ln(t/(t−k))`.
+    #[test]
+    fn claim_10_telescoping() {
+        let c = 2.5;
+        for t in 2..12u32 {
+            for k in 1..t {
+                let sum: f64 = ((t - k + 1)..=t).map(|m| virtual_cost(c, m, 0.0)).sum();
+                let closed = c * (t as f64 / (t - k) as f64).ln();
+                assert!(
+                    (sum - closed).abs() < 1e-10,
+                    "t={t},k={k}: {sum} vs {closed}"
+                );
+            }
+        }
+    }
+
+    /// Claim 10 (packed-subsidy case): packing `y(q)` on least-crowded
+    /// edges of a consecutive-m path gives `c ln(t/(t−k+y/c))`.
+    #[test]
+    fn claim_10_with_packed_subsidies() {
+        let c = 1.0;
+        let t = 6u32;
+        let k = 6u32; // m values 1..6
+        // Pack y = 1.6c: full subsidy on m=1 and 0.6c on m=2 (Figure 4).
+        let y_total = 1.6;
+        let mut sum = 0.0;
+        for m in 1..=t {
+            let y = if m == 1 {
+                c
+            } else if m == 2 {
+                0.6 * c
+            } else {
+                0.0
+            };
+            sum += virtual_cost(c, m, y);
+        }
+        let closed = c * (t as f64 / (t as f64 - k as f64 + y_total / c)).ln();
+        assert!((sum - closed).abs() < 1e-10, "{sum} vs {closed}");
+        // Figure 4's value: ln(6/1.6).
+        assert!((sum - (6.0f64 / 1.6).ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn cut_edge_subsidy_solves_the_equation() {
+        let c = 2.0;
+        for m in 1..8u32 {
+            for j in 0..10 {
+                let ell = c * j as f64 / 10.0;
+                let b = cut_edge_subsidy(c, m, ell);
+                if b > 0.0 && b < c {
+                    // Interior solution: vc(a, b) must equal c − ℓ.
+                    let vc = virtual_cost(c, m, b);
+                    assert!(
+                        (vc - (c - ell)).abs() < 1e-9,
+                        "m={m}, ℓ={ell}: vc={vc} != {}",
+                        c - ell
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cut_edge_subsidy_known_values() {
+        // m = 1, ℓ = 0: b = c/e (the single-heavy-edge star case).
+        let c = 3.0;
+        assert!((cut_edge_subsidy(c, 1, 0.0) - c / std::f64::consts::E).abs() < 1e-12);
+        // ℓ = c: the remaining virtual budget is 0, so the edge must be
+        // fully subsidized (vc(a, c) = 0) for every m.
+        for m in 1..6 {
+            assert!((cut_edge_subsidy(c, m, c) - c).abs() < 1e-9);
+        }
+    }
+}

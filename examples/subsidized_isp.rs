@@ -1,0 +1,63 @@
+//! A stable-network-design story: subsidizing a metro fiber build-out.
+//!
+//! A municipal authority wants `n` sites connected to a central exchange
+//! (a broadcast game on a grid-with-shortcuts graph). Sites will share
+//! link costs Shapley-style and won't stay on links that are individually
+//! irrational — so the authority sweeps its subsidy budget and asks, for
+//! each budget, how cheap a *stable* network it can guarantee
+//! (`snd::heuristic::design_with_budget`), and what the unconditional
+//! MST + Theorem 6 design costs.
+//!
+//! Run with: `cargo run --release --example subsidized_isp`
+
+use subsidy_games::core::NetworkDesignGame;
+use subsidy_games::graph::{generators, mst_weight, NodeId};
+use subsidy_games::snd;
+use rand::prelude::*;
+
+fn main() {
+    // A 4×5 street grid with some random diagonal shortcut ducts; weights
+    // are trenching costs.
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut g = generators::grid_graph(4, 5, 1.0);
+    let n = g.node_count();
+    for _ in 0..8 {
+        let a = rng.random_range(0..n as u32);
+        let b = rng.random_range(0..n as u32);
+        if a != b && g.find_edge(NodeId(a), NodeId(b)).is_none() {
+            let w = rng.random_range(0.7..2.5);
+            g.add_edge(NodeId(a), NodeId(b), w).unwrap();
+        }
+    }
+    let game = NetworkDesignGame::broadcast(g, NodeId(0)).expect("connected grid");
+    let opt = mst_weight(game.graph()).expect("connected");
+    println!(
+        "metro build-out: {} sites, exchange at the corner, optimal cost {opt:.3}",
+        game.num_players()
+    );
+
+    // The unconditional design: MST + Theorem 6, budget ≤ wgt/e.
+    let unconditional = snd::heuristic::mst_theorem6(&game).expect("broadcast game");
+    println!(
+        "MST + Theorem 6: social cost {:.3}, subsidies {:.3} (≤ wgt/e = {:.3})\n",
+        unconditional.weight,
+        unconditional.subsidy_cost,
+        opt / std::f64::consts::E
+    );
+
+    println!("{:>10}  {:>12}  {:>12}", "budget", "stable cost", "subsidy used");
+    println!("{}", "-".repeat(40));
+    for step in 0..=6 {
+        let budget = opt * step as f64 / (6.0 * std::f64::consts::E);
+        let design = snd::heuristic::design_with_budget(&game, budget).expect("designable");
+        println!(
+            "{budget:>10.3}  {:>12.3}  {:>12.3}",
+            design.weight, design.subsidy_cost
+        );
+        assert!(design.subsidy_cost <= budget + 1e-9);
+    }
+    println!(
+        "\nthe curve flattens at the optimum once the budget reaches the LP (3)\n\
+         price of the MST — and wgt/e always suffices (Theorem 6)"
+    );
+}

@@ -1,0 +1,111 @@
+//! Failure injection across the workspace: every malformed input errors
+//! cleanly instead of panicking.
+
+use subsidy_games::aon;
+use subsidy_games::core::{GameError, NetworkDesignGame, Player, State, StateError};
+use subsidy_games::graph::{generators, Graph, GraphError, NodeId};
+use subsidy_games::lp::{LinearProgram, LpStatus};
+use subsidy_games::sne;
+
+#[test]
+fn disconnected_graphs_error_cleanly() {
+    let mut g = Graph::new(4);
+    g.add_edge(NodeId(0), NodeId(1), 1.0).unwrap();
+    assert!(matches!(
+        NetworkDesignGame::broadcast(g.clone(), NodeId(0)),
+        Err(GameError::Disconnected)
+    ));
+    assert_eq!(subsidy_games::graph::kruskal(&g), Err(GraphError::Disconnected));
+    assert!(matches!(
+        subsidy_games::core::spanning_trees(&g, 10),
+        Err(subsidy_games::core::EnumError::Disconnected)
+    ));
+}
+
+#[test]
+fn degenerate_games_rejected() {
+    assert!(matches!(
+        NetworkDesignGame::broadcast(Graph::new(1), NodeId(0)),
+        Err(GameError::TooSmall)
+    ));
+    let g = generators::path_graph(3, 1.0);
+    assert!(matches!(
+        NetworkDesignGame::new(
+            g,
+            vec![Player {
+                source: NodeId(1),
+                terminal: NodeId(1)
+            }]
+        ),
+        Err(GameError::TrivialPlayer { .. })
+    ));
+}
+
+#[test]
+fn bad_targets_rejected_by_every_solver() {
+    let g = generators::cycle_graph(5, 1.0);
+    let game = NetworkDesignGame::broadcast(g, NodeId(0)).unwrap();
+    let not_a_tree = vec![subsidy_games::graph::EdgeId(0)];
+    assert!(matches!(
+        sne::lp_broadcast::enforce_tree_lp(&game, &not_a_tree),
+        Err(sne::SneError::NotASpanningTree)
+    ));
+    assert!(matches!(
+        sne::theorem6::enforce(&game, &not_a_tree),
+        Err(sne::SneError::NotASpanningTree)
+    ));
+    assert!(matches!(
+        aon::exact::min_aon_subsidy(&game, &not_a_tree, 100),
+        Err(aon::AonError::NotASpanningTree)
+    ));
+    assert!(matches!(
+        State::from_tree(&game, &not_a_tree),
+        Err(StateError::NotASpanningTree)
+    ));
+}
+
+#[test]
+fn lp_failure_statuses_are_reported_not_panicked() {
+    // Infeasible.
+    let mut lp = LinearProgram::new();
+    let x = lp.add_var(1.0, 0.0, 1.0).unwrap();
+    lp.add_ge(vec![(x, 1.0)], 5.0).unwrap();
+    assert_eq!(subsidy_games::lp::solve(&lp).unwrap().status, LpStatus::Infeasible);
+    // Unbounded.
+    let mut lp2 = LinearProgram::new();
+    lp2.add_var(-1.0, 0.0, f64::INFINITY).unwrap();
+    assert_eq!(subsidy_games::lp::solve(&lp2).unwrap().status, LpStatus::Unbounded);
+}
+
+#[test]
+fn zero_weight_cycles_are_handled() {
+    // A zero-weight triangle plus a real edge: equilibria may contain
+    // zero-cycles; tree machinery must still work on the tree subsets.
+    let mut g = Graph::new(4);
+    let e0 = g.add_edge(NodeId(0), NodeId(1), 0.0).unwrap();
+    let e1 = g.add_edge(NodeId(1), NodeId(2), 0.0).unwrap();
+    let _e2 = g.add_edge(NodeId(2), NodeId(0), 0.0).unwrap();
+    let e3 = g.add_edge(NodeId(2), NodeId(3), 1.0).unwrap();
+    let game = NetworkDesignGame::broadcast(g, NodeId(0)).unwrap();
+    let tree = vec![e0, e1, e3];
+    let sol = sne::theorem6::enforce(&game, &tree).unwrap();
+    // The only positive weight is the leaf edge used by one player; its
+    // layer has a single heavy edge with m = 1 ⇒ subsidy 1/e.
+    assert!((sol.cost - 1.0 / std::f64::consts::E).abs() < 1e-9);
+}
+
+#[test]
+fn reduction_builders_validate_inputs() {
+    use subsidy_games::reductions::sat::{Clause, Cnf, Literal};
+    use subsidy_games::reductions::sat_reduction::{build, SatReductionError, DEFAULT_K};
+    let empty = Cnf { num_vars: 3, clauses: vec![] };
+    assert_eq!(build(&empty, DEFAULT_K).unwrap_err(), SatReductionError::EmptyFormula);
+    let degenerate = Cnf {
+        num_vars: 1,
+        clauses: vec![Clause([Literal::pos(0), Literal::neg(0), Literal::pos(0)])],
+    };
+    assert_eq!(
+        build(&degenerate, DEFAULT_K).unwrap_err(),
+        SatReductionError::NotThreeSatFour
+    );
+}

@@ -1,0 +1,60 @@
+//! Cross-crate integration: the three hardness reductions, end to end,
+//! driven through the facade crate.
+
+use subsidy_games::reductions::{
+    binpack_reduction, binpacking::BinPacking, build_is_reduction, build_sat_reduction, dpll,
+    independent_set::max_independent_set,
+    sat::{Clause, Cnf, Literal},
+    sat_reduction::DEFAULT_K,
+    solve_bin_packing,
+};
+
+#[test]
+fn theorem_3_biconditional() {
+    let solvable = BinPacking {
+        sizes: vec![2, 2, 4],
+        bins: 2,
+        capacity: 4,
+    };
+    let unsolvable = BinPacking {
+        sizes: vec![10, 10, 4],
+        bins: 2,
+        capacity: 12,
+    };
+    for inst in [solvable, unsolvable] {
+        let packing = solve_bin_packing(&inst).is_some();
+        let red = binpack_reduction::build(&inst);
+        assert_eq!(packing, red.equilibrium_assignment().is_some());
+    }
+}
+
+#[test]
+fn theorem_5_weight_formula() {
+    use subsidy_games::graph::generators::random_3_regular;
+    use rand::prelude::*;
+    let mut rng = StdRng::seed_from_u64(55);
+    let h = random_3_regular(6, &mut rng, 1.0);
+    let red = build_is_reduction(&h, 0.05);
+    let max_is = max_independent_set(&h);
+    let tree = red.tree_for_independent_set(&max_is);
+    assert!(red.tree_is_equilibrium(&tree));
+    assert!(
+        (red.game.graph().weight_of(&tree) - red.equilibrium_weight(max_is.len())).abs() < 1e-9
+    );
+}
+
+#[test]
+fn theorem_12_tracks_satisfiability() {
+    let cnf = Cnf {
+        num_vars: 3,
+        clauses: vec![Clause([Literal::pos(0), Literal::pos(1), Literal::neg(2)])],
+    };
+    let red = build_sat_reduction(&cnf, DEFAULT_K).unwrap();
+    let rt = red.rooted_tree();
+    let truth = dpll(&cnf).expect("satisfiable");
+    assert!(red.enforces(&rt, &red.light_assignment_for(&truth)));
+    // The unique falsifying assignment (x=0, y=0, z=1) must fail.
+    let falsify = vec![false, false, true];
+    assert!(!cnf.eval(&falsify));
+    assert!(!red.enforces(&rt, &red.light_assignment_for(&falsify)));
+}

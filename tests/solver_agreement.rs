@@ -1,0 +1,71 @@
+//! Cross-crate integration: the four SNE solvers agree where they should.
+//!
+//! LP (1) (cutting planes), LP (2) (polynomial) and LP (3) (broadcast)
+//! compute the same exact optimum; Theorem 6 is an upper bound within
+//! `wgt(T)/e`; every output certifies as an equilibrium under both the
+//! Lemma 2 checker and the exact best-response checker.
+
+use rand::prelude::*;
+use subsidy_games::core::{is_equilibrium, is_tree_equilibrium, NetworkDesignGame, State};
+use subsidy_games::graph::{generators, kruskal, NodeId, RootedTree};
+use subsidy_games::sne::{
+    BroadcastLpSolver, CuttingPlaneSolver, PolyLpSolver, SneSolver, Theorem6Solver,
+};
+
+fn random_game(n: usize, seed: u64) -> (NetworkDesignGame, Vec<subsidy_games::graph::EdgeId>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let g = generators::random_connected(n, 0.5, &mut rng, 0.2..3.0);
+    let game = NetworkDesignGame::broadcast(g, NodeId(0)).unwrap();
+    let tree = kruskal(game.graph()).unwrap();
+    (game, tree)
+}
+
+#[test]
+fn all_solvers_agree_and_certify() {
+    for seed in 0..6u64 {
+        let (game, tree) = random_game(4 + seed as usize % 4, 9000 + seed);
+        let lp3 = BroadcastLpSolver.solve(&game, &tree).unwrap();
+        let lp1 = CuttingPlaneSolver.solve(&game, &tree).unwrap();
+        let lp2 = PolyLpSolver.solve(&game, &tree).unwrap();
+        let t6 = Theorem6Solver.solve(&game, &tree).unwrap();
+
+        assert!((lp3.cost - lp1.cost).abs() < 1e-5, "lp3 {} vs lp1 {}", lp3.cost, lp1.cost);
+        assert!((lp3.cost - lp2.cost).abs() < 1e-5, "lp3 {} vs lp2 {}", lp3.cost, lp2.cost);
+        assert!(lp3.cost <= t6.cost + 1e-6, "LP must not exceed Theorem 6");
+        assert!(
+            t6.cost <= game.graph().weight_of(&tree) / std::f64::consts::E + 1e-7,
+            "Theorem 6 bound"
+        );
+
+        let rt = RootedTree::new(game.graph(), &tree, NodeId(0)).unwrap();
+        let (state, _) = State::from_tree(&game, &tree).unwrap();
+        for sol in [&lp3, &lp1, &lp2, &t6] {
+            assert!(is_tree_equilibrium(&game, &rt, &sol.subsidies));
+            assert!(is_equilibrium(&game, &state, &sol.subsidies));
+        }
+    }
+}
+
+#[test]
+fn theorem_11_family_sandwich() {
+    use subsidy_games::sne::lower_bound::{analytic_lower_bound, cycle_instance};
+    for n in [5usize, 9, 17] {
+        let (game, tree) = cycle_instance(n);
+        let lp = BroadcastLpSolver.solve(&game, &tree).unwrap();
+        let t6 = Theorem6Solver.solve(&game, &tree).unwrap();
+        assert!(lp.cost >= analytic_lower_bound(n) - 1e-6);
+        assert!(lp.cost <= t6.cost + 1e-6);
+        assert!(t6.cost <= n as f64 / std::f64::consts::E + 1e-9);
+    }
+}
+
+#[test]
+fn aon_dominates_fractional_everywhere() {
+    use subsidy_games::aon::exact::min_aon_subsidy;
+    for seed in 0..4u64 {
+        let (game, tree) = random_game(5, 9100 + seed);
+        let frac = BroadcastLpSolver.solve(&game, &tree).unwrap();
+        let aon = min_aon_subsidy(&game, &tree, 10_000_000).unwrap();
+        assert!(aon.cost >= frac.cost - 1e-7);
+    }
+}
