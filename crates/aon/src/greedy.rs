@@ -16,10 +16,7 @@ use ndg_core::{lemma2_violation, NetworkDesignGame, SubsidyAssignment};
 use ndg_graph::{EdgeId, RootedTree};
 
 /// Greedy repair: always feasible, not optimal.
-pub fn greedy_repair(
-    game: &NetworkDesignGame,
-    tree: &[EdgeId],
-) -> Result<AonSolution, AonError> {
+pub fn greedy_repair(game: &NetworkDesignGame, tree: &[EdgeId]) -> Result<AonSolution, AonError> {
     let root = game.root().ok_or(AonError::NotBroadcast)?;
     let g = game.graph();
     let rt = RootedTree::new(g, tree, root).map_err(|_| AonError::NotASpanningTree)?;
@@ -29,7 +26,10 @@ pub fn greedy_repair(
         let Some(violation) = lemma2_violation(game, &rt, &b) else {
             chosen.sort();
             let cost = g.weight_of(&chosen);
-            return Ok(AonSolution { edges: chosen, cost });
+            return Ok(AonSolution {
+                edges: chosen,
+                cost,
+            });
         };
         // Cheapest unsubsidized edge on the deviator's root path; prefer
         // positive-weight edges (zero-weight subsidies change nothing).
@@ -81,7 +81,10 @@ pub fn lp_rounding(game: &NetworkDesignGame, tree: &[EdgeId]) -> Result<AonSolut
     debug_assert!(lemma2_violation(game, &rt, &b).is_none());
     chosen.sort();
     let cost = g.weight_of(&chosen);
-    Ok(AonSolution { edges: chosen, cost })
+    Ok(AonSolution {
+        edges: chosen,
+        cost,
+    })
 }
 
 #[cfg(test)]
@@ -102,8 +105,10 @@ mod tests {
             let tree = kruskal(game.graph()).unwrap();
             let rt = RootedTree::new(game.graph(), &tree, NodeId(0)).unwrap();
             let exact = min_aon_subsidy(&game, &tree, 2_000_000).unwrap();
-            for sol in [greedy_repair(&game, &tree).unwrap(), lp_rounding(&game, &tree).unwrap()]
-            {
+            for sol in [
+                greedy_repair(&game, &tree).unwrap(),
+                lp_rounding(&game, &tree).unwrap(),
+            ] {
                 let b = SubsidyAssignment::all_or_nothing(game.graph(), &sol.edges);
                 assert!(is_tree_equilibrium(&game, &rt, &b), "heuristic infeasible");
                 assert!(

@@ -15,21 +15,12 @@ fn bench(c: &mut Criterion) {
             ("most", PackingStrategy::MostCrowded),
             ("uniform", PackingStrategy::Uniform),
         ] {
-            group.bench_with_input(
-                BenchmarkId::new(name, n),
-                &n,
-                |b, _| {
-                    b.iter(|| {
-                        min_subsidy_to_cap_cost(
-                            black_box(&usages),
-                            black_box(&weights),
-                            1.0,
-                            strat,
-                        )
+            group.bench_with_input(BenchmarkId::new(name, n), &n, |b, _| {
+                b.iter(|| {
+                    min_subsidy_to_cap_cost(black_box(&usages), black_box(&weights), 1.0, strat)
                         .unwrap()
-                    })
-                },
-            );
+                })
+            });
         }
     }
     group.finish();

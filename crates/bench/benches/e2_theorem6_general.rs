@@ -11,12 +11,20 @@ fn bench(c: &mut Criterion) {
     for n in [25usize, 50, 100] {
         let (game, tree) = random_broadcast(n, 0.3, 42);
         group.bench_with_input(BenchmarkId::new("random", n), &n, |b, _| {
-            b.iter(|| ndg_sne::theorem6::enforce(black_box(&game), black_box(&tree)).unwrap().cost)
+            b.iter(|| {
+                ndg_sne::theorem6::enforce(black_box(&game), black_box(&tree))
+                    .unwrap()
+                    .cost
+            })
         });
     }
     let (game, tree) = grid_broadcast(6, 6);
     group.bench_function("grid-6x6", |b| {
-        b.iter(|| ndg_sne::theorem6::enforce(black_box(&game), black_box(&tree)).unwrap().cost)
+        b.iter(|| {
+            ndg_sne::theorem6::enforce(black_box(&game), black_box(&tree))
+                .unwrap()
+                .cost
+        })
     });
     group.finish();
 }

@@ -9,13 +9,23 @@ use std::hint::black_box;
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e4_binpack_reduction");
     group.sample_size(10);
-    let inst = BinPacking { sizes: vec![2, 2, 4], bins: 2, capacity: 4 };
-    group.bench_function("build", |b| b.iter(|| build(black_box(&inst)).game.graph().node_count()));
+    let inst = BinPacking {
+        sizes: vec![2, 2, 4],
+        bins: 2,
+        capacity: 4,
+    };
+    group.bench_function("build", |b| {
+        b.iter(|| build(black_box(&inst)).game.graph().node_count())
+    });
     let red = build(&inst);
     group.bench_function("equilibrium_search", |b| {
         b.iter(|| black_box(&red).equilibrium_assignment().is_some())
     });
-    let hard = BinPacking { sizes: vec![10, 10, 4], bins: 2, capacity: 12 };
+    let hard = BinPacking {
+        sizes: vec![10, 10, 4],
+        bins: 2,
+        capacity: 12,
+    };
     let red_hard = build(&hard);
     group.bench_function("equilibrium_search_infeasible", |b| {
         b.iter(|| black_box(&red_hard).equilibrium_assignment().is_none())

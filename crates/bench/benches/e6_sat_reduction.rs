@@ -9,11 +9,7 @@ use std::hint::black_box;
 fn single_clause() -> Cnf {
     Cnf {
         num_vars: 3,
-        clauses: vec![Clause([
-            Literal::pos(0),
-            Literal::pos(1),
-            Literal::pos(2),
-        ])],
+        clauses: vec![Clause([Literal::pos(0), Literal::pos(1), Literal::pos(2)])],
     }
 }
 
@@ -22,7 +18,13 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     let cnf = single_clause();
     group.bench_function("build_single_clause", |b| {
-        b.iter(|| build(black_box(&cnf), DEFAULT_K).unwrap().game.graph().node_count())
+        b.iter(|| {
+            build(black_box(&cnf), DEFAULT_K)
+                .unwrap()
+                .game
+                .graph()
+                .node_count()
+        })
     });
     let red = build(&cnf, DEFAULT_K).unwrap();
     let rt = red.rooted_tree();

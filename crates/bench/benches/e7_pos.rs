@@ -13,9 +13,7 @@ fn bench(c: &mut Criterion) {
         b.iter(|| ndg_snd::pos::exact_pos(black_box(&game), 1_000_000).unwrap())
     });
     group.bench_function("pos_with_budget_n7", |b| {
-        b.iter(|| {
-            ndg_snd::pos::pos_with_budget_fraction(black_box(&game), 0.2, 1_000_000).unwrap()
-        })
+        b.iter(|| ndg_snd::pos::pos_with_budget_fraction(black_box(&game), 0.2, 1_000_000).unwrap())
     });
     group.finish();
 }

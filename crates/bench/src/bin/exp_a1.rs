@@ -15,21 +15,16 @@ fn main() {
     println!("A1: subsidy/wgt needed to cap the far player's cost at 1");
     println!(
         "{}",
-        header(
-            &["n", "least/n", "most/n", "uniform/n", "1/e"],
-            &widths
-        )
+        header(&["n", "least/n", "most/n", "uniform/n", "1/e"], &widths)
     );
     let inv_e = 1.0 / std::f64::consts::E;
     for n in [10usize, 100, 1000, 10_000, 100_000] {
         let usages: Vec<u32> = (1..=n as u32).rev().collect();
         let weights = vec![1.0f64; n];
-        let least =
-            min_subsidy_to_cap_cost(&usages, &weights, 1.0, PackingStrategy::LeastCrowded)
-                .expect("feasible");
-        let most =
-            min_subsidy_to_cap_cost(&usages, &weights, 1.0, PackingStrategy::MostCrowded)
-                .expect("feasible");
+        let least = min_subsidy_to_cap_cost(&usages, &weights, 1.0, PackingStrategy::LeastCrowded)
+            .expect("feasible");
+        let most = min_subsidy_to_cap_cost(&usages, &weights, 1.0, PackingStrategy::MostCrowded)
+            .expect("feasible");
         let unif = min_subsidy_to_cap_cost(&usages, &weights, 1.0, PackingStrategy::Uniform)
             .expect("feasible");
         println!(

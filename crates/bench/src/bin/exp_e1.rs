@@ -12,7 +12,10 @@ use ndg_sne::lower_bound::{analytic_lower_bound, cycle_instance};
 fn main() {
     let widths = [6, 12, 12, 12, 12];
     println!("E1: minimum subsidies to enforce the cycle MST, as a fraction of wgt(T)");
-    println!("{}", header(&["n", "lp3/n", "thm6/n", "analytic/n", "1/e"], &widths));
+    println!(
+        "{}",
+        header(&["n", "lp3/n", "thm6/n", "analytic/n", "1/e"], &widths)
+    );
     let inv_e = 1.0 / std::f64::consts::E;
     for n in [4usize, 8, 16, 32, 64, 128] {
         let (game, tree) = cycle_instance(n);
@@ -32,7 +35,10 @@ fn main() {
                 &widths,
             )
         );
-        assert!(lp.cost <= t6.cost + 1e-6, "LP optimum must not exceed Theorem 6");
+        assert!(
+            lp.cost <= t6.cost + 1e-6,
+            "LP optimum must not exceed Theorem 6"
+        );
         assert!(t6.cost <= n as f64 * inv_e + 1e-7, "Theorem 6 bound");
     }
     println!("\nboth measured columns → 1/e; lp3 ≤ thm6 ≤ 1/e·n everywhere");

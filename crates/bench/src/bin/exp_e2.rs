@@ -20,8 +20,7 @@ fn main() {
             &widths
         )
     );
-    let mut cases: Vec<(String, ndg_core::NetworkDesignGame, Vec<ndg_graph::EdgeId>)> =
-        Vec::new();
+    let mut cases: Vec<(String, ndg_core::NetworkDesignGame, Vec<ndg_graph::EdgeId>)> = Vec::new();
     for (i, n) in [10usize, 20, 40].iter().enumerate() {
         let (game, tree) = random_broadcast(*n, 0.3, 42 + i as u64);
         cases.push((format!("random-{n}"), game, tree));

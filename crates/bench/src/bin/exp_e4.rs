@@ -56,15 +56,42 @@ fn main() {
     let widths = [26, 8, 10, 10, 8];
     println!(
         "{}",
-        header(&["instance", "packing", "eq-MST", "wgt(MST)", "match"], &widths)
+        header(
+            &["instance", "packing", "eq-MST", "wgt(MST)", "match"],
+            &widths
+        )
     );
     let instances = vec![
-        BinPacking { sizes: vec![2, 2, 4], bins: 2, capacity: 4 },
-        BinPacking { sizes: vec![2, 2, 2, 2], bins: 2, capacity: 4 },
-        BinPacking { sizes: vec![4, 4], bins: 2, capacity: 4 },
-        BinPacking { sizes: vec![10, 10, 4], bins: 2, capacity: 12 },
-        BinPacking { sizes: vec![6, 6, 6, 4, 2], bins: 2, capacity: 12 },
-        BinPacking { sizes: vec![4, 4, 2, 2], bins: 2, capacity: 6 },
+        BinPacking {
+            sizes: vec![2, 2, 4],
+            bins: 2,
+            capacity: 4,
+        },
+        BinPacking {
+            sizes: vec![2, 2, 2, 2],
+            bins: 2,
+            capacity: 4,
+        },
+        BinPacking {
+            sizes: vec![4, 4],
+            bins: 2,
+            capacity: 4,
+        },
+        BinPacking {
+            sizes: vec![10, 10, 4],
+            bins: 2,
+            capacity: 12,
+        },
+        BinPacking {
+            sizes: vec![6, 6, 6, 4, 2],
+            bins: 2,
+            capacity: 12,
+        },
+        BinPacking {
+            sizes: vec![4, 4, 2, 2],
+            bins: 2,
+            capacity: 6,
+        },
     ];
     for inst in &instances {
         let packing = solve_exact(inst).is_some();

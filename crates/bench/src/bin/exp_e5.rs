@@ -29,7 +29,10 @@ fn main() {
         ("Petersen".to_string(), petersen()),
     ];
     for n in [6usize, 8] {
-        graphs.push((format!("random3reg-{n}"), generators::random_3_regular(n, &mut rng, 1.0)));
+        graphs.push((
+            format!("random3reg-{n}"),
+            generators::random_3_regular(n, &mut rng, 1.0),
+        ));
     }
 
     for (name, h) in &graphs {

@@ -13,7 +13,10 @@ use ndg_reductions::sat_reduction::{build, DEFAULT_K};
 use std::collections::HashSet;
 
 fn lit(v: usize, neg: bool) -> Literal {
-    Literal { var: v, negated: neg }
+    Literal {
+        var: v,
+        negated: neg,
+    }
 }
 
 fn main() {

@@ -12,7 +12,10 @@ use std::f64::consts::E;
 fn main() {
     let widths = [6, 4, 9, 9, 9];
     println!("E7a: exact PoS vs the best-response-from-OPT bound and H_n");
-    println!("{}", header(&["seed", "n", "PoS", "BR-bound", "H_n"], &widths));
+    println!(
+        "{}",
+        header(&["seed", "n", "PoS", "BR-bound", "H_n"], &widths)
+    );
     let mut max_pos: f64 = 1.0;
     for seed in 0..10u64 {
         let n = 5 + (seed as usize % 3);
@@ -35,13 +38,17 @@ fn main() {
         assert!(pos <= br + 1e-9 && br <= hn + 1e-9);
         max_pos = max_pos.max(pos);
     }
-    println!("observed max PoS {max_pos:.4} (paper: broadcast lower bound 1.818, upper O(log log n))");
+    println!(
+        "observed max PoS {max_pos:.4} (paper: broadcast lower bound 1.818, upper O(log log n))"
+    );
 
     println!("\nE7b: PoS under subsidy budget β·wgt(MST), averaged over 6 games (n = 6)");
     let widths = [8, 10];
     println!("{}", header(&["beta", "avg PoS"], &widths));
     let betas = [0.0, 0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 1.0 / E];
-    let games: Vec<_> = (0..6u64).map(|s| random_broadcast(6, 0.5, 2000 + s).0).collect();
+    let games: Vec<_> = (0..6u64)
+        .map(|s| random_broadcast(6, 0.5, 2000 + s).0)
+        .collect();
     let mut prev = f64::INFINITY;
     for &beta in &betas {
         let mut total = 0.0;
@@ -58,5 +65,8 @@ fn main() {
         prev = avg;
     }
     assert!((prev - 1.0).abs() < 1e-9, "β = 1/e must reach PoS 1");
-    println!("curve is monotone and hits 1.0000 at β = 1/e ≈ {:.4}", 1.0 / E);
+    println!(
+        "curve is monotone and hits 1.0000 at β = 1/e ≈ {:.4}",
+        1.0 / E
+    );
 }

@@ -58,7 +58,10 @@ fn main() {
             } else {
                 true // non-tree states only arise via zero-weight cycles
             };
-            assert!(in_enumeration, "dynamics equilibrium missing from enumeration");
+            assert!(
+                in_enumeration,
+                "dynamics equilibrium missing from enumeration"
+            );
             println!(
                 "{}",
                 row(

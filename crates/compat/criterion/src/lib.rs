@@ -1,0 +1,301 @@
+//! Offline stand-in for `criterion` (API subset).
+//!
+//! Implements the benchmark-harness surface the workspace uses —
+//! `benchmark_group`, `sample_size`, `bench_function`, `bench_with_input`,
+//! `BenchmarkId`, `Bencher::iter`, `criterion_group!`/`criterion_main!` —
+//! with a plain wall-clock measurement loop. Each group's results are
+//! printed to stdout and appended as JSON to
+//! `target/criterion-shim/<group>.json` so baselines can be committed.
+//!
+//! When invoked by `cargo test` (criterion convention: a `--test` argument)
+//! every benchmark body runs exactly once, as a smoke test.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// A benchmark identifier: `function_name/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only id (criterion's `from_parameter`).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything accepted as a benchmark id (`&str` or [`BenchmarkId`]).
+pub trait IntoBenchmarkId {
+    /// The rendered id string.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    test_mode: bool,
+    /// Mean wall-clock nanoseconds per iteration, filled by [`Bencher::iter`].
+    mean_ns: f64,
+}
+
+impl Bencher {
+    /// Measure `f`: warm up, calibrate the per-sample iteration count so a
+    /// sample takes ≥ ~1 ms, then record `samples` samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.test_mode {
+            black_box(f());
+            self.mean_ns = 0.0;
+            return;
+        }
+        // Warm-up + calibration.
+        let mut per_iter = {
+            let t0 = Instant::now();
+            black_box(f());
+            t0.elapsed()
+        };
+        if per_iter < Duration::from_millis(1) {
+            let t0 = Instant::now();
+            for _ in 0..8 {
+                black_box(f());
+            }
+            per_iter = t0.elapsed() / 8;
+        }
+        let iters_per_sample = (Duration::from_millis(1).as_nanos() / per_iter.as_nanos().max(1))
+            .clamp(1, 1_000_000) as u64;
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        let budget = Duration::from_secs(3);
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(f());
+            }
+            total += t0.elapsed();
+            iters += iters_per_sample;
+            if total > budget {
+                break;
+            }
+        }
+        self.mean_ns = total.as_nanos() as f64 / iters.max(1) as f64;
+    }
+}
+
+/// One finished measurement.
+#[derive(Clone, Debug)]
+struct Record {
+    id: String,
+    mean_ns: f64,
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    records: Vec<Record>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into_id();
+        let mut b = Bencher {
+            samples: self.sample_size,
+            test_mode: self.criterion.test_mode,
+            mean_ns: f64::NAN,
+        };
+        f(&mut b);
+        self.report(id, b.mean_ns);
+        self
+    }
+
+    /// Run one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into_id();
+        let mut b = Bencher {
+            samples: self.sample_size,
+            test_mode: self.criterion.test_mode,
+            mean_ns: f64::NAN,
+        };
+        f(&mut b, input);
+        self.report(id, b.mean_ns);
+        self
+    }
+
+    fn report(&mut self, id: String, mean_ns: f64) {
+        if self.criterion.test_mode {
+            println!("{}/{}: ok (test mode)", self.name, id);
+        } else {
+            println!("{}/{}: {:.3} ms/iter", self.name, id, mean_ns / 1.0e6);
+        }
+        self.records.push(Record { id, mean_ns });
+    }
+
+    /// Write the group's JSON report.
+    pub fn finish(&mut self) {
+        if self.criterion.test_mode || self.records.is_empty() {
+            return;
+        }
+        let dir = report_dir();
+        if std::fs::create_dir_all(&dir).is_err() {
+            return;
+        }
+        let mut json = String::from("{\n");
+        json.push_str(&format!("  \"group\": \"{}\",\n", self.name));
+        json.push_str("  \"benchmarks\": [\n");
+        for (i, r) in self.records.iter().enumerate() {
+            json.push_str(&format!(
+                "    {{ \"id\": \"{}\", \"mean_ns\": {:.1} }}{}\n",
+                r.id,
+                r.mean_ns,
+                if i + 1 < self.records.len() { "," } else { "" }
+            ));
+        }
+        json.push_str("  ]\n}\n");
+        let _ = std::fs::write(dir.join(format!("{}.json", self.name)), json);
+    }
+}
+
+/// Where JSON reports land: `<workspace>/target/criterion-shim`, located
+/// via `CARGO_TARGET_DIR` or by walking up from the bench's working
+/// directory to the `Cargo.lock` root (cargo runs benches with the
+/// *package* root as CWD, which for workspace members is not where
+/// `target/` lives).
+fn report_dir() -> std::path::PathBuf {
+    if let Ok(t) = std::env::var("CARGO_TARGET_DIR") {
+        return std::path::Path::new(&t).join("criterion-shim");
+    }
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| ".".into());
+    loop {
+        if dir.join("Cargo.lock").exists() {
+            return dir.join("target").join("criterion-shim");
+        }
+        if !dir.pop() {
+            return std::path::Path::new("target").join("criterion-shim");
+        }
+    }
+}
+
+/// Top-level harness state.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // criterion convention: `cargo test` passes `--test`.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 20,
+            records: Vec::new(),
+            criterion: self,
+        }
+    }
+}
+
+/// Declare a group-runner function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declare `main` from group-runner functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_render_like_criterion() {
+        assert_eq!(BenchmarkId::new("dynamics", 32).into_id(), "dynamics/32");
+        assert_eq!(BenchmarkId::from_parameter(7).into_id(), "7");
+        assert_eq!("plain".into_id(), "plain");
+    }
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion { test_mode: false };
+        let mut group = c.benchmark_group("shim_selftest");
+        group.sample_size(5);
+        group.bench_function("spin", |b| {
+            b.iter(|| {
+                let mut x = 0u64;
+                for i in 0..1000 {
+                    x = x.wrapping_add(black_box(i));
+                }
+                x
+            })
+        });
+        let mean = group.records[0].mean_ns;
+        assert!(mean.is_finite() && mean > 0.0);
+    }
+}

@@ -1,0 +1,232 @@
+//! Offline stand-in for `proptest` (API subset).
+//!
+//! Supports the slice of proptest this workspace uses: the `proptest!`
+//! macro with `arg in range` bindings over integer/float ranges,
+//! `ProptestConfig::with_cases`, `prop_assert!`, `prop_assert_eq!` and
+//! `prop_assume!`. Case values are sampled deterministically (seeded by the
+//! test name), so failures are reproducible; there is no shrinking — the
+//! failing case's inputs are printed instead.
+
+use std::ops::{Range, RangeInclusive};
+
+pub use rand;
+
+/// Runner configuration (`ProptestConfig`).
+pub mod test_runner {
+    /// Subset of proptest's `Config`.
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// Number of cases to run per property.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256 }
+        }
+    }
+}
+
+/// Why a single case did not complete.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; the case is skipped.
+    Reject,
+}
+
+/// A value generator: the only strategies used in-tree are ranges.
+pub trait Strategy {
+    /// Generated value type.
+    type Value;
+    /// Draw one value.
+    fn sample(&self, rng: &mut rand::rngs::StdRng) -> Self::Value;
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut rand::rngs::StdRng) -> $t {
+                use rand::Rng;
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut rand::rngs::StdRng) -> $t {
+                use rand::Rng;
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// FNV-1a over the test name: a stable per-property seed.
+pub fn seed_for(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// The `proptest!` macro: runs each property for `cases` deterministic
+/// samples of its `arg in strategy` bindings.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $(
+            $(#[$attr:meta])*
+            fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $cfg;
+                $crate::run_cases(
+                    stringify!($name),
+                    config.cases,
+                    |__proptest_rng| {
+                        $(let $arg = $crate::Strategy::sample(&($strat), __proptest_rng);)+
+                        let mut __desc = String::new();
+                        $(
+                            __desc.push_str(&format!(
+                                "{} = {:?}; ",
+                                stringify!($arg),
+                                &$arg
+                            ));
+                        )+
+                        (
+                            __desc,
+                            move || -> ::std::result::Result<(), $crate::TestCaseError> {
+                                $body
+                                #[allow(unreachable_code)]
+                                Ok(())
+                            },
+                        )
+                    },
+                );
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$attr:meta])*
+            fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::test_runner::Config::default())]
+            $( $(#[$attr])* fn $name( $($arg in $strat),+ ) $body )*
+        }
+    };
+}
+
+/// Drive `cases` deterministic cases of one property; used by `proptest!`.
+pub fn run_cases<F, G>(name: &str, cases: u32, mut make_case: F)
+where
+    F: FnMut(&mut rand::rngs::StdRng) -> (String, G),
+    G: FnOnce() -> Result<(), TestCaseError>,
+{
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed_for(name));
+    for case in 0..cases {
+        let (desc, body) = make_case(&mut rng);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(body));
+        match outcome {
+            Ok(Ok(())) | Ok(Err(TestCaseError::Reject)) => {}
+            Err(payload) => {
+                eprintln!("proptest '{name}' failed at case {case}: {desc}");
+                std::panic::resume_unwind(payload);
+            }
+        }
+    }
+}
+
+/// `prop_assert!`: assert inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*);
+    };
+}
+
+/// `prop_assert_eq!`: equality assert inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*);
+    };
+}
+
+/// `prop_assert_ne!`: inequality assert inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_ne!($a, $b, $($fmt)*);
+    };
+}
+
+/// `prop_assume!`: reject the current case without failing the test.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+pub mod prelude {
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_sample_in_bounds(n in 2usize..40, x in 0.5f64..2.0) {
+            prop_assert!((2..40).contains(&n));
+            prop_assert!((0.5..2.0).contains(&x), "x = {}", x);
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(n in 0u64..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+    }
+
+    #[test]
+    fn seeds_are_stable() {
+        assert_eq!(crate::seed_for("abc"), crate::seed_for("abc"));
+        assert_ne!(crate::seed_for("abc"), crate::seed_for("abd"));
+    }
+}

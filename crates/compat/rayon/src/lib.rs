@@ -1,0 +1,201 @@
+//! Offline stand-in for `rayon` (API subset, sequential execution).
+//!
+//! The build container has no registry access. Call sites in this workspace
+//! use `into_par_iter()`/`par_iter()` with a handful of adapters, so the
+//! shim wraps a sequential iterator in [`iter::ParIter`] and reproduces
+//! rayon's method signatures (including the two-argument `reduce`). All
+//! reductions used here are deterministic under sequential evaluation.
+//! Code that genuinely needs parallelism uses `std::thread::scope`
+//! directly (see `ndg-core::enumerate`).
+
+/// Parallel-iterator entry points, mapped onto sequential `std` iterators.
+pub mod iter {
+    /// Sequential iterator wearing rayon's `ParallelIterator` interface.
+    pub struct ParIter<I>(I);
+
+    impl<I: Iterator> ParIter<I> {
+        /// rayon: `map`.
+        pub fn map<T, F: FnMut(I::Item) -> T>(self, f: F) -> ParIter<std::iter::Map<I, F>> {
+            ParIter(self.0.map(f))
+        }
+
+        /// rayon: `filter`.
+        pub fn filter<F: FnMut(&I::Item) -> bool>(self, f: F) -> ParIter<std::iter::Filter<I, F>> {
+            ParIter(self.0.filter(f))
+        }
+
+        /// rayon: `filter_map`.
+        pub fn filter_map<T, F: FnMut(I::Item) -> Option<T>>(
+            self,
+            f: F,
+        ) -> ParIter<std::iter::FilterMap<I, F>> {
+            ParIter(self.0.filter_map(f))
+        }
+
+        /// rayon: `flat_map`.
+        pub fn flat_map<T: IntoIterator, F: FnMut(I::Item) -> T>(
+            self,
+            f: F,
+        ) -> ParIter<std::iter::FlatMap<I, T, F>> {
+            ParIter(self.0.flat_map(f))
+        }
+
+        /// rayon: `reduce` with identity + associative op.
+        pub fn reduce<ID, OP>(mut self, identity: ID, op: OP) -> I::Item
+        where
+            ID: Fn() -> I::Item,
+            OP: Fn(I::Item, I::Item) -> I::Item,
+        {
+            let mut acc = identity();
+            for x in self.0.by_ref() {
+                acc = op(acc, x);
+            }
+            acc
+        }
+
+        /// rayon: `min_by_key`.
+        pub fn min_by_key<K: Ord, F: FnMut(&I::Item) -> K>(self, f: F) -> Option<I::Item> {
+            self.0.min_by_key(f)
+        }
+
+        /// rayon: `max_by_key`.
+        pub fn max_by_key<K: Ord, F: FnMut(&I::Item) -> K>(self, f: F) -> Option<I::Item> {
+            self.0.max_by_key(f)
+        }
+
+        /// rayon: `min_by`.
+        pub fn min_by<F>(self, f: F) -> Option<I::Item>
+        where
+            F: FnMut(&I::Item, &I::Item) -> std::cmp::Ordering,
+        {
+            self.0.min_by(f)
+        }
+
+        /// rayon: `max_by`.
+        pub fn max_by<F>(self, f: F) -> Option<I::Item>
+        where
+            F: FnMut(&I::Item, &I::Item) -> std::cmp::Ordering,
+        {
+            self.0.max_by(f)
+        }
+
+        /// rayon: `sum`.
+        pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
+            self.0.sum()
+        }
+
+        /// rayon: `count`.
+        pub fn count(self) -> usize {
+            self.0.count()
+        }
+
+        /// rayon: `any`.
+        pub fn any<F: FnMut(I::Item) -> bool>(self, f: F) -> bool {
+            let mut iter = self.0;
+            iter.any(f)
+        }
+
+        /// rayon: `all`.
+        pub fn all<F: FnMut(I::Item) -> bool>(self, f: F) -> bool {
+            let mut iter = self.0;
+            iter.all(f)
+        }
+
+        /// rayon: `for_each`.
+        pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
+            self.0.for_each(f)
+        }
+
+        /// rayon: `collect` (via `FromIterator`, so `Vec` and `Result` work).
+        pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+            self.0.collect()
+        }
+    }
+
+    /// `into_par_iter()` for owned collections and ranges.
+    pub trait IntoParallelIterator: IntoIterator + Sized {
+        /// Sequential fallback: wrap the plain iterator.
+        fn into_par_iter(self) -> ParIter<Self::IntoIter> {
+            ParIter(self.into_iter())
+        }
+    }
+
+    impl<T: IntoIterator + Sized> IntoParallelIterator for T {}
+
+    /// `par_iter()` for `&collection`.
+    pub trait IntoParallelRefIterator<'a> {
+        /// Borrowed-item iterator type.
+        type Iter;
+        /// Sequential fallback: wrap the shared-reference iterator.
+        fn par_iter(&'a self) -> ParIter<Self::Iter>;
+    }
+
+    impl<'a, T: 'a> IntoParallelRefIterator<'a> for T
+    where
+        &'a T: IntoIterator,
+    {
+        type Iter = <&'a T as IntoIterator>::IntoIter;
+
+        fn par_iter(&'a self) -> ParIter<Self::Iter> {
+            ParIter(self.into_iter())
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::iter::{IntoParallelIterator, IntoParallelRefIterator, ParIter};
+}
+
+/// The number of worker threads a real rayon pool would use.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn range_and_vec_adapters_work() {
+        let best = (0..10usize)
+            .into_par_iter()
+            .filter_map(|i| if i % 2 == 1 { Some(i * 3) } else { None })
+            .min_by_key(|&x| x);
+        assert_eq!(best, Some(3));
+
+        let v = vec![3, 1, 2];
+        let doubled: Vec<i32> = v.into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![6, 2, 4]);
+
+        let v2 = [1, 2, 3];
+        let sum: i32 = v2.par_iter().map(|&x| x).sum();
+        assert_eq!(sum, 6);
+    }
+
+    #[test]
+    fn two_arg_reduce_matches_rayon_shape() {
+        let m = (0..5usize)
+            .into_par_iter()
+            .map(|i| i as f64)
+            .reduce(|| 1.0, f64::max);
+        assert_eq!(m, 4.0);
+        let empty = (0..0usize)
+            .into_par_iter()
+            .map(|i| i as f64)
+            .reduce(|| 1.0, f64::max);
+        assert_eq!(empty, 1.0);
+    }
+
+    #[test]
+    fn collect_result_short_circuits() {
+        let ok: Result<Vec<i32>, String> = (0..4).into_par_iter().map(Ok).collect();
+        assert_eq!(ok.unwrap(), vec![0, 1, 2, 3]);
+        let err: Result<Vec<i32>, String> = (0..4)
+            .into_par_iter()
+            .map(|i| if i == 2 { Err("boom".into()) } else { Ok(i) })
+            .collect();
+        assert!(err.is_err());
+    }
+}

@@ -19,11 +19,7 @@ use rayon::prelude::*;
 /// The stability threshold `α*(T; b) = max_i cost_i / best_response_i`
 /// (1.0 means exact equilibrium; players with zero best-response cost and
 /// zero current cost contribute 1).
-pub fn stability_threshold(
-    game: &NetworkDesignGame,
-    state: &State,
-    b: &SubsidyAssignment,
-) -> f64 {
+pub fn stability_threshold(game: &NetworkDesignGame, state: &State, b: &SubsidyAssignment) -> f64 {
     (0..game.num_players())
         .into_par_iter()
         .map(|i| {
@@ -98,8 +94,7 @@ mod tests {
         let mut prev = f64::INFINITY;
         for k in 0..=n {
             // Fully subsidize the k farthest (least crowded) edges.
-            let subsidized: Vec<EdgeId> =
-                (0..k).map(|i| EdgeId((n - 1 - i) as u32)).collect();
+            let subsidized: Vec<EdgeId> = (0..k).map(|i| EdgeId((n - 1 - i) as u32)).collect();
             let b = SubsidyAssignment::all_or_nothing(game.graph(), &subsidized);
             let alpha = stability_threshold(&game, &state, &b);
             assert!(

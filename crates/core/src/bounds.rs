@@ -1,0 +1,348 @@
+//! Optimistic best-response lower bounds shared across players.
+//!
+//! The deviation weight of edge `a` for player `i` is
+//! `w'_a = (w_a − b_a)/(n_a(T) + 1 − n_a^i(T))`, which is minimized (over
+//! `n_a^i ∈ {0, 1}`) at the player-independent *optimistic* weight
+//! `(w_a − b_a)/(n_a(T) + 1)`. A single Dijkstra from a terminal under the
+//! optimistic weights therefore lower-bounds the best-response cost of
+//! *every* player with that terminal at once (the graph is undirected, so
+//! the terminal→source distance equals the source→terminal distance).
+//!
+//! The bound is sound in floating point as well: `f64` division and
+//! addition are correctly rounded and monotone, so each optimistic edge
+//! weight is `≤` the player's true deviation weight as computed elsewhere,
+//! and shortest-path sums preserve the inequality up to the usual rounding
+//! noise — callers compare through a slack well below [`crate::num::EPS`].
+//!
+//! This is what makes incremental dynamics fast: after a move, one
+//! optimistic Dijkstra per distinct terminal (one total, for broadcast
+//! games) re-certifies "no improving move possible" for almost all
+//! players, and only the few suspects pay for an exact per-player
+//! best-response Dijkstra. A player-set cache of "whose best response
+//! touches a changed edge" is *not* sound here — a player whose cached
+//! best response avoided edge `a` can still gain a brand-new improving
+//! route through `a` when `n_a` rises — so the engine filters through this
+//! admissible bound instead.
+
+use crate::game::NetworkDesignGame;
+use crate::state::State;
+use crate::subsidy::SubsidyAssignment;
+use ndg_graph::paths::DijkstraWorkspace;
+use ndg_graph::{EdgeId, NodeId};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Rounding slack added on top of the exact-arithmetic admissibility of
+/// the optimistic bound (absolute; compare with `EPS = 1e-7`).
+pub const BOUND_SLACK: f64 = 1e-9;
+
+/// Per-player best-response lower bounds under the optimistic weights,
+/// with the per-node optimistic distances kept as A* heuristics.
+#[derive(Clone, Debug)]
+pub struct OptimisticBounds {
+    /// Distinct terminals with the players that target each.
+    groups: Vec<(NodeId, Vec<u32>)>,
+    /// `group_of[i]` = index into `groups`/`heuristics` for player `i`.
+    group_of: Vec<u32>,
+    /// `heuristics[k][v]` = optimistic distance from node `v` to
+    /// `groups[k]`'s terminal — an admissible, consistent A* heuristic for
+    /// every player of that group (valid after [`refresh`](Self::refresh)).
+    heuristics: Vec<Vec<f64>>,
+    /// `lower[i] = heuristics[group_of[i]][source_i]` ≤ best-response cost
+    /// of player `i`.
+    lower: Vec<f64>,
+    ws: DijkstraWorkspace,
+    /// Seeded-relaxation heap for [`update_for_added_edges`](Self::update_for_added_edges).
+    relax_heap: BinaryHeap<Reverse<HeapEntry>>,
+}
+
+/// `(distance, node)` min-heap entry with total float order.
+#[derive(Clone, Debug, PartialEq)]
+struct HeapEntry(f64, u32);
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0
+            .total_cmp(&other.0)
+            .then_with(|| self.1.cmp(&other.1))
+    }
+}
+
+impl OptimisticBounds {
+    /// Group the game's players by terminal (one group for broadcast
+    /// games).
+    pub fn new(game: &NetworkDesignGame) -> Self {
+        let mut groups: Vec<(NodeId, Vec<u32>)> = Vec::new();
+        let mut group_of = vec![0u32; game.num_players()];
+        for (i, p) in game.players().iter().enumerate() {
+            match groups.iter_mut().position(|(t, _)| *t == p.terminal) {
+                Some(k) => {
+                    groups[k].1.push(i as u32);
+                    group_of[i] = k as u32;
+                }
+                None => {
+                    group_of[i] = groups.len() as u32;
+                    groups.push((p.terminal, vec![i as u32]));
+                }
+            }
+        }
+        let n = game.graph().node_count();
+        OptimisticBounds {
+            heuristics: vec![vec![f64::INFINITY; n]; groups.len()],
+            groups,
+            group_of,
+            lower: vec![f64::NEG_INFINITY; game.num_players()],
+            ws: DijkstraWorkspace::new(n),
+            relax_heap: BinaryHeap::new(),
+        }
+    }
+
+    /// Recompute the bounds for the current `state`: one optimistic
+    /// Dijkstra per distinct terminal.
+    pub fn refresh(&mut self, game: &NetworkDesignGame, state: &State, b: &SubsidyAssignment) {
+        let g = game.graph();
+        let players = game.players();
+        for ((terminal, members), h) in self.groups.iter().zip(&mut self.heuristics) {
+            self.ws.run(g, *terminal, None, |e| {
+                b.residual(g, e) / (state.usage(e) + 1) as f64
+            });
+            for (v, slot) in h.iter_mut().enumerate() {
+                *slot = self.ws.dist(ndg_graph::NodeId(v as u32));
+            }
+            for &i in members {
+                self.lower[i as usize] = h[players[i as usize].source.index()];
+            }
+        }
+    }
+
+    /// Incrementally repair the heuristics after a move, given the edges
+    /// whose usage count *increased* (the mover's newly adopted edges),
+    /// with `state` already updated.
+    ///
+    /// Usage increases are the only changes that lower an optimistic
+    /// weight, and lower weights are the only way a stored heuristic can
+    /// become inadmissible — usage decreases merely raise weights, under
+    /// which stale exact distances stay both admissible and consistent. A
+    /// decrease-only seeded Dijkstra relaxation therefore restores the
+    /// invariant `h ≤ current optimistic distance` (and consistency) by
+    /// touching only the region the cheaper edges actually improve,
+    /// instead of re-running a full Dijkstra per terminal per move. The
+    /// bounds drift *looser* over time (weaker filtering, never wrong);
+    /// callers re-tighten with a periodic [`refresh`](Self::refresh).
+    pub fn update_for_added_edges(
+        &mut self,
+        game: &NetworkDesignGame,
+        state: &State,
+        b: &SubsidyAssignment,
+        added: &[EdgeId],
+    ) {
+        if added.is_empty() {
+            return;
+        }
+        let g = game.graph();
+        let players = game.players();
+        let opt_w = |e: EdgeId| b.residual(g, e) / (state.usage(e) + 1) as f64;
+        for ((_, members), h) in self.groups.iter().zip(&mut self.heuristics) {
+            self.relax_heap.clear();
+            for &e in added {
+                let w = opt_w(e);
+                let (u, v) = g.endpoints(e);
+                for (from, to) in [(u, v), (v, u)] {
+                    let cand = h[from.index()] + w;
+                    if cand < h[to.index()] {
+                        h[to.index()] = cand;
+                        self.relax_heap.push(Reverse(HeapEntry(cand, to.0)));
+                    }
+                }
+            }
+            while let Some(Reverse(HeapEntry(d, x))) = self.relax_heap.pop() {
+                if d > h[x as usize] {
+                    continue;
+                }
+                for &(y, e) in g.neighbors(NodeId(x)) {
+                    let cand = d + opt_w(e);
+                    if cand < h[y.index()] {
+                        h[y.index()] = cand;
+                        self.relax_heap.push(Reverse(HeapEntry(cand, y.0)));
+                    }
+                }
+            }
+            for &i in members {
+                self.lower[i as usize] = h[players[i as usize].source.index()];
+            }
+        }
+    }
+
+    /// The lower bound for player `i` (from the last refresh).
+    #[inline]
+    pub fn lower(&self, i: usize) -> f64 {
+        self.lower[i]
+    }
+
+    /// The per-node optimistic distances toward player `i`'s terminal —
+    /// an admissible, consistent heuristic for
+    /// [`DijkstraWorkspace::astar_below`] under `i`'s deviation weights.
+    #[inline]
+    pub fn heuristic(&self, i: usize) -> &[f64] {
+        &self.heuristics[self.group_of[i] as usize]
+    }
+
+    /// Whether player `i` might hold a strict improvement on a current
+    /// cost of `current`: `false` certifies that an exact best-response
+    /// computation cannot find one.
+    #[inline]
+    pub fn may_improve(&self, i: usize, current: f64) -> bool {
+        crate::num::strictly_lt(self.lower[i] - BOUND_SLACK, current)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::equilibrium::best_response;
+    use crate::state::State;
+    use ndg_graph::{generators, kruskal, NodeId};
+    use rand::prelude::*;
+
+    #[test]
+    fn bound_is_admissible_on_random_games() {
+        let mut rng = StdRng::seed_from_u64(404);
+        for _ in 0..30 {
+            let n = rng.random_range(3..10usize);
+            let g = generators::random_connected(n, 0.5, &mut rng, 0.2..3.0);
+            let game = NetworkDesignGame::broadcast(g, NodeId(0)).unwrap();
+            let tree = kruskal(game.graph()).unwrap();
+            let (state, _) = State::from_tree(&game, &tree).unwrap();
+            let mut b = SubsidyAssignment::zero(game.graph());
+            for e in game.graph().edge_ids() {
+                if rng.random_bool(0.3) {
+                    let w = game.graph().weight(e);
+                    b.set(game.graph(), e, rng.random_range(0.0..=w));
+                }
+            }
+            let mut bounds = OptimisticBounds::new(&game);
+            bounds.refresh(&game, &state, &b);
+            for i in 0..game.num_players() {
+                let (_, br) = best_response(&game, &state, &b, i);
+                assert!(
+                    bounds.lower(i) <= br + BOUND_SLACK,
+                    "player {i}: bound {} > best response {br}",
+                    bounds.lower(i)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn filter_never_hides_an_improving_move() {
+        use crate::cost::player_cost;
+        use crate::num::strictly_lt;
+        let mut rng = StdRng::seed_from_u64(405);
+        for _ in 0..30 {
+            let n = rng.random_range(3..9usize);
+            let g = generators::random_connected(n, 0.5, &mut rng, 0.2..3.0);
+            let game = NetworkDesignGame::broadcast(g, NodeId(0)).unwrap();
+            let tree = kruskal(game.graph()).unwrap();
+            let (state, _) = State::from_tree(&game, &tree).unwrap();
+            let b = SubsidyAssignment::zero(game.graph());
+            let mut bounds = OptimisticBounds::new(&game);
+            bounds.refresh(&game, &state, &b);
+            for i in 0..game.num_players() {
+                let current = player_cost(&game, &state, &b, i);
+                let (_, br) = best_response(&game, &state, &b, i);
+                if strictly_lt(br, current) {
+                    assert!(
+                        bounds.may_improve(i, current),
+                        "filter hid an improving move for player {i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_update_keeps_bounds_admissible() {
+        use crate::equilibrium::best_response;
+        use ndg_graph::EdgeId;
+        let mut rng = StdRng::seed_from_u64(406);
+        for _ in 0..20 {
+            let n = rng.random_range(4..10usize);
+            let g = generators::random_connected(n, 0.5, &mut rng, 0.2..3.0);
+            let game = NetworkDesignGame::broadcast(g, NodeId(0)).unwrap();
+            let tree = kruskal(game.graph()).unwrap();
+            let (mut state, _) = State::from_tree(&game, &tree).unwrap();
+            let b = SubsidyAssignment::zero(game.graph());
+            let mut bounds = OptimisticBounds::new(&game);
+            bounds.refresh(&game, &state, &b);
+            // A few best-response moves, repairing incrementally after each.
+            for _ in 0..6 {
+                let i = rng.random_range(0..game.num_players());
+                let (path, _) = best_response(&game, &state, &b, i);
+                let added: Vec<EdgeId> = path
+                    .iter()
+                    .copied()
+                    .filter(|e| !state.uses(i, *e))
+                    .collect();
+                state.replace_path(i, path);
+                bounds.update_for_added_edges(&game, &state, &b, &added);
+                for j in 0..game.num_players() {
+                    let (_, br) = best_response(&game, &state, &b, j);
+                    assert!(
+                        bounds.lower(j) <= br + BOUND_SLACK,
+                        "incrementally updated bound {} > best response {br}",
+                        bounds.lower(j)
+                    );
+                }
+                // The whole heuristic surface must stay below the exact
+                // optimistic distances (per-node admissibility for A*).
+                let mut fresh = OptimisticBounds::new(&game);
+                fresh.refresh(&game, &state, &b);
+                for i in 0..game.num_players() {
+                    for v in 0..game.graph().node_count() {
+                        assert!(
+                            bounds.heuristic(i)[v] <= fresh.heuristic(i)[v] + BOUND_SLACK,
+                            "node {v}: incremental h above exact optimistic distance"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn general_games_group_players_by_terminal() {
+        use crate::game::Player;
+        let g = generators::grid_graph(3, 3, 1.0);
+        let players = vec![
+            Player {
+                source: NodeId(0),
+                terminal: NodeId(8),
+            },
+            Player {
+                source: NodeId(2),
+                terminal: NodeId(8),
+            },
+            Player {
+                source: NodeId(6),
+                terminal: NodeId(4),
+            },
+        ];
+        let game = NetworkDesignGame::new(g, players).unwrap();
+        let bounds = OptimisticBounds::new(&game);
+        assert_eq!(bounds.groups.len(), 2);
+        let tree = kruskal(game.graph()).unwrap();
+        let (state, _) = State::from_tree(&game, &tree).unwrap();
+        let b = SubsidyAssignment::zero(game.graph());
+        let mut bounds = bounds;
+        bounds.refresh(&game, &state, &b);
+        for i in 0..game.num_players() {
+            let (_, br) = best_response(&game, &state, &b, i);
+            assert!(bounds.lower(i) <= br + BOUND_SLACK);
+        }
+    }
+}

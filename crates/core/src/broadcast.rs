@@ -218,7 +218,10 @@ mod tests {
             }
         }
         // The sample must exercise both outcomes to be meaningful.
-        assert!(eq_count > 0 && neq_count > 0, "eq={eq_count}, neq={neq_count}");
+        assert!(
+            eq_count > 0 && neq_count > 0,
+            "eq={eq_count}, neq={neq_count}"
+        );
     }
 
     #[test]

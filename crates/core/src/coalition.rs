@@ -82,7 +82,14 @@ pub fn find_coalition_deviation(
     for size in 1..=max_size.min(n) {
         let mut members = Vec::with_capacity(size);
         if let Some(dev) = combos(
-            game, state, b, &strategies, &old_costs, 0, size, &mut members,
+            game,
+            state,
+            b,
+            &strategies,
+            &old_costs,
+            0,
+            size,
+            &mut members,
         ) {
             return Some(dev);
         }
@@ -224,16 +231,18 @@ mod tests {
         let game = NetworkDesignGame::new(
             g,
             vec![
-                crate::game::Player { source: NodeId(3), terminal: NodeId(0) },
-                crate::game::Player { source: NodeId(4), terminal: NodeId(0) },
+                crate::game::Player {
+                    source: NodeId(3),
+                    terminal: NodeId(0),
+                },
+                crate::game::Player {
+                    source: NodeId(4),
+                    terminal: NodeId(0),
+                },
             ],
         )
         .unwrap();
-        let state = State::new(
-            &game,
-            vec![vec![e32, e_direct], vec![e42, e_direct]],
-        )
-        .unwrap();
+        let state = State::new(&game, vec![vec![e32, e_direct], vec![e42, e_direct]]).unwrap();
         let b = SubsidyAssignment::zero(game.graph());
         // Unilaterally stable: alone on the cheap route costs 2 > 1.25.
         assert!(is_equilibrium(&game, &state, &b));
@@ -265,13 +274,18 @@ mod tests {
         let game = NetworkDesignGame::new(
             g,
             vec![
-                crate::game::Player { source: NodeId(3), terminal: NodeId(0) },
-                crate::game::Player { source: NodeId(4), terminal: NodeId(0) },
+                crate::game::Player {
+                    source: NodeId(3),
+                    terminal: NodeId(0),
+                },
+                crate::game::Player {
+                    source: NodeId(4),
+                    terminal: NodeId(0),
+                },
             ],
         )
         .unwrap();
-        let state =
-            State::new(&game, vec![vec![e32, e_direct], vec![e42, e_direct]]).unwrap();
+        let state = State::new(&game, vec![vec![e32, e_direct], vec![e42, e_direct]]).unwrap();
         let mut b = SubsidyAssignment::zero(game.graph());
         b.set(game.graph(), e_direct, 0.5);
         assert!(is_strong_equilibrium(&game, &state, &b, 2));

@@ -25,6 +25,24 @@ pub fn player_cost(
         .sum()
 }
 
+/// The share player `i` would pay on edge `e` after a unilateral
+/// deviation onto it: `(w_e − b_e)/(n_e(T) + 1 − n_e^i(T))`.
+///
+/// This is *the* deviation-weight expression — the Dijkstra/A* weight
+/// functions and [`deviation_cost`] all route through it, so every layer
+/// of the engine evaluates bit-identical floats.
+#[inline]
+pub fn deviation_weight(
+    game: &NetworkDesignGame,
+    state: &State,
+    b: &SubsidyAssignment,
+    i: usize,
+    e: EdgeId,
+) -> f64 {
+    let denom = state.usage(e) + 1 - u32::from(state.uses(i, e));
+    b.residual(game.graph(), e) / denom as f64
+}
+
 /// Cost player `i` would pay after unilaterally deviating to `alt_path`
 /// (denominators `n_a(T) + 1 − n_a^i(T)`).
 pub fn deviation_cost(
@@ -34,13 +52,9 @@ pub fn deviation_cost(
     i: usize,
     alt_path: &[EdgeId],
 ) -> f64 {
-    let g = game.graph();
     alt_path
         .iter()
-        .map(|&e| {
-            let denom = state.usage(e) + 1 - u32::from(state.uses(i, e));
-            b.residual(g, e) / denom as f64
-        })
+        .map(|&e| deviation_weight(game, state, b, i, e))
         .sum()
 }
 
@@ -93,7 +107,7 @@ mod tests {
         let (state, _) = State::from_tree(&game, &tree).unwrap();
         let mut b = SubsidyAssignment::zero(game.graph());
         b.set(game.graph(), EdgeId(0), 1.0); // halve the first edge
-        // Player of node 1: (2−1)/2 = 0.5 instead of 1.
+                                             // Player of node 1: (2−1)/2 = 0.5 instead of 1.
         assert!((player_cost(&game, &state, &b, 0) - 0.5).abs() < 1e-12);
         // Social cost under subsidies: (2−1) + 2 = 3.
         assert!((social_cost_subsidized(&game, &state, &b) - 3.0).abs() < 1e-12);

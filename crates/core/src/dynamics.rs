@@ -7,13 +7,14 @@
 //! reached from the social optimum (the Anshelevich et al. price-of-
 //! stability argument) and to cross-check the enumerator's equilibria.
 
+use crate::cost::player_cost;
 use crate::equilibrium::best_response;
 use crate::game::NetworkDesignGame;
+use crate::incremental::IncrementalDynamics;
 use crate::num::strictly_lt;
 use crate::potential::rosenthal_potential;
 use crate::state::State;
 use crate::subsidy::SubsidyAssignment;
-use crate::cost::player_cost;
 use rand::prelude::*;
 use rand::rngs::StdRng;
 
@@ -33,19 +34,114 @@ pub enum MoveOrder {
 pub struct DynamicsResult {
     /// Final state.
     pub state: State,
-    /// Number of improving moves performed.
+    /// Number of improving moves performed, under every [`MoveOrder`].
     pub moves: usize,
-    /// Number of full rounds elapsed.
+    /// Number of rounds elapsed. A round gives every player one chance to
+    /// move: one index-order (or shuffled) pass for
+    /// [`MoveOrder::RoundRobin`]/[`MoveOrder::RandomOrder`], and up to `n`
+    /// max-gain moves for [`MoveOrder::MaxGain`] (previously a MaxGain
+    /// "round" was a single move, which made `rounds` — and the
+    /// `max_rounds` budget — incomparable across orders). The final round
+    /// that finds no improving move is counted.
     pub rounds: usize,
     /// Whether a Nash equilibrium was certified (no player can improve).
     pub converged: bool,
-    /// Potential after every improving move (starting value first).
+    /// Potential after every improving move (starting value first),
+    /// maintained incrementally in O(Δ) per move.
     pub potential_trace: Vec<f64>,
 }
 
 /// Run best-response dynamics from `initial` until convergence or
-/// `max_rounds` full rounds.
+/// `max_rounds` rounds (see [`DynamicsResult::rounds`] for what a round
+/// is under each order).
+///
+/// The drive runs on [`IncrementalDynamics`]: Rosenthal's potential and
+/// all player costs are maintained incrementally, best responses reuse a
+/// Dijkstra workspace, and the optimistic-bound filter skips players that
+/// provably cannot move — reproducing the naive driver's decisions (and
+/// its potential trace, up to float tolerance) at a fraction of the work.
 pub fn best_response_dynamics(
+    game: &NetworkDesignGame,
+    initial: State,
+    b: &SubsidyAssignment,
+    order: MoveOrder,
+    max_rounds: usize,
+) -> DynamicsResult {
+    let n = game.num_players();
+    let mut engine = IncrementalDynamics::new(game, initial, b);
+    let mut moves = 0usize;
+    let mut rounds = 0usize;
+    let mut trace = vec![engine.potential()];
+    let mut rng = match order {
+        MoveOrder::RandomOrder(seed) => Some(StdRng::seed_from_u64(seed)),
+        _ => None,
+    };
+    let mut players: Vec<usize> = (0..n).collect();
+
+    while rounds < max_rounds {
+        rounds += 1;
+        let mut improved_this_round = false;
+        match order {
+            MoveOrder::RoundRobin | MoveOrder::RandomOrder(_) => {
+                if let Some(rng) = rng.as_mut() {
+                    players.shuffle(rng);
+                }
+                for &i in &players {
+                    if engine.try_improve(i).is_some() {
+                        moves += 1;
+                        improved_this_round = true;
+                        let phi = engine.potential();
+                        debug_assert!(
+                            phi < trace.last().unwrap() + 1e-9,
+                            "potential must not increase"
+                        );
+                        trace.push(phi);
+                    }
+                }
+            }
+            MoveOrder::MaxGain => {
+                // A round = up to n max-gain moves, so `max_rounds` budgets
+                // comparably with the pass-based orders.
+                for _ in 0..n {
+                    match engine.best_improving_move() {
+                        Some(_) => {
+                            moves += 1;
+                            improved_this_round = true;
+                            trace.push(engine.potential());
+                        }
+                        None => break,
+                    }
+                }
+            }
+        }
+        if !improved_this_round {
+            return DynamicsResult {
+                state: engine.into_state(),
+                moves,
+                rounds,
+                converged: true,
+                potential_trace: trace,
+            };
+        }
+    }
+    // Round budget exhausted; check whether we happen to be at equilibrium.
+    let converged = engine.is_certified_equilibrium();
+    DynamicsResult {
+        state: engine.into_state(),
+        moves,
+        rounds,
+        converged,
+        potential_trace: trace,
+    }
+}
+
+/// The pre-incremental reference driver: recomputes the full `O(m)`
+/// potential after every move and runs a fresh Dijkstra per player per
+/// scan. Kept verbatim for cross-checking ([`best_response_dynamics`]
+/// must reproduce its decisions) and as the baseline of the E10 bench.
+/// MaxGain here performs one move per `max_rounds` unit, as the seed
+/// driver did.
+pub fn best_response_dynamics_naive(
     game: &NetworkDesignGame,
     initial: State,
     b: &SubsidyAssignment,
@@ -78,17 +174,11 @@ pub fn best_response_dynamics(
                         state.replace_path(i, path);
                         moves += 1;
                         improved_this_round = true;
-                        let phi = rosenthal_potential(game, &state, b);
-                        debug_assert!(
-                            phi < trace.last().unwrap() + 1e-9,
-                            "potential must not increase"
-                        );
-                        trace.push(phi);
+                        trace.push(rosenthal_potential(game, &state, b));
                     }
                 }
             }
             MoveOrder::MaxGain => {
-                // One move per "round": the single best improvement.
                 let mut best: Option<(usize, Vec<ndg_graph::EdgeId>, f64)> = None;
                 for i in 0..n {
                     let current = player_cost(game, &state, b, i);
@@ -118,7 +208,6 @@ pub fn best_response_dynamics(
             };
         }
     }
-    // Round budget exhausted; check whether we happen to be at equilibrium.
     let converged = crate::equilibrium::is_equilibrium(game, &state, b);
     DynamicsResult {
         state,
@@ -180,8 +269,7 @@ mod tests {
                 MoveOrder::RandomOrder(case),
                 MoveOrder::MaxGain,
             ] {
-                let res =
-                    dynamics_from_tree(&game, &tree, &b, order, 10_000).unwrap();
+                let res = dynamics_from_tree(&game, &tree, &b, order, 10_000).unwrap();
                 assert!(res.converged, "order {order:?} failed to converge");
                 assert!(is_equilibrium(&game, &res.state, &b));
             }

@@ -4,17 +4,22 @@
 //! In a broadcast game every equilibrium of interest is a spanning tree
 //! (an equilibrium containing a cycle only arises from zero-weight cycles,
 //! and then an equally-weighted equilibrium tree exists — Section 2), so
-//! exact PoS on small instances reduces to scanning spanning trees. The
-//! scan fans out over rayon; the enumerator caps output size to guard
-//! against combinatorial blow-ups, and Kirchhoff's matrix-tree determinant
-//! predicts the count so callers can check the cap in advance.
+//! exact PoS on small instances reduces to scanning spanning trees.
+//!
+//! The enumerator is a *streaming visitor* over a rollback union-find:
+//! each tree is handed to the caller as it is produced (O(n) live state,
+//! no per-branch clones), and the equilibrium drivers test trees in
+//! bounded parallel chunks instead of materializing `Vec<Vec<EdgeId>>`
+//! first — peak memory no longer scales with the number of spanning
+//! trees. Kirchhoff's matrix-tree determinant predicts the count so the
+//! cap can reject hopeless instances before enumerating a single tree.
 
 use crate::broadcast::is_tree_equilibrium;
 use crate::game::NetworkDesignGame;
 use crate::subsidy::SubsidyAssignment;
-use ndg_graph::{EdgeId, Graph, NodeId, RootedTree, UnionFind};
-use rayon::prelude::*;
+use ndg_graph::{EdgeId, Graph, NodeId, RollbackUnionFind, RootedTree};
 use std::fmt;
+use std::ops::ControlFlow;
 
 /// Errors from the enumeration pipeline.
 #[derive(Clone, Debug, PartialEq)]
@@ -84,69 +89,112 @@ pub fn count_spanning_trees(g: &Graph) -> f64 {
     det.round().max(0.0)
 }
 
-/// Enumerate all spanning trees (as sorted edge-id vectors), up to `cap`.
-pub fn spanning_trees(g: &Graph, cap: usize) -> Result<Vec<Vec<EdgeId>>, EnumError> {
+/// Visit every spanning tree of `g` exactly once, in include/exclude
+/// lexicographic edge order, without materializing any of them: `visit`
+/// receives each tree as a borrowed edge slice valid for that call only.
+/// Return [`ControlFlow::Break`] from the visitor to stop early.
+///
+/// Live state is O(n + m) — one rollback union-find and the current
+/// prefix — regardless of how many trees the graph has.
+pub fn for_each_spanning_tree<F>(g: &Graph, mut visit: F) -> Result<(), EnumError>
+where
+    F: FnMut(&[EdgeId]) -> ControlFlow<()>,
+{
     let n = g.node_count();
     if !g.is_connected() {
         return Err(EnumError::Disconnected);
     }
     if n <= 1 {
-        return Ok(vec![Vec::new()]);
+        let _ = visit(&[]);
+        return Ok(());
     }
     let m = g.edge_count();
-    let mut out: Vec<Vec<EdgeId>> = Vec::new();
     let mut chosen: Vec<EdgeId> = Vec::with_capacity(n - 1);
-    let uf = UnionFind::new(n);
-    rec(g, 0, uf, &mut chosen, &mut out, cap, n, m)?;
-    return Ok(out);
+    let mut uf = RollbackUnionFind::new(n);
+    let _ = rec(g, 0, &mut uf, &mut chosen, &mut visit, n, m);
+    return Ok(());
 
-    #[allow(clippy::too_many_arguments)]
-    fn rec(
+    fn rec<F>(
         g: &Graph,
         idx: usize,
-        uf: UnionFind,
+        uf: &mut RollbackUnionFind,
         chosen: &mut Vec<EdgeId>,
-        out: &mut Vec<Vec<EdgeId>>,
-        cap: usize,
+        visit: &mut F,
         n: usize,
         m: usize,
-    ) -> Result<(), EnumError> {
+    ) -> ControlFlow<()>
+    where
+        F: FnMut(&[EdgeId]) -> ControlFlow<()>,
+    {
         if chosen.len() == n - 1 {
-            if out.len() >= cap {
-                return Err(EnumError::CapExceeded { cap });
-            }
-            out.push(chosen.clone());
-            return Ok(());
+            return visit(chosen);
         }
         if idx == m || chosen.len() + (m - idx) < n - 1 {
-            return Ok(());
+            return ControlFlow::Continue(());
         }
         let e = EdgeId(idx as u32);
         let (u, v) = g.endpoints(e);
         // Branch 1: include e (unless it closes a cycle).
-        let mut uf_inc = uf.clone();
-        if uf_inc.union(u.index(), v.index()) {
+        let mark = uf.mark();
+        if uf.union(u.index(), v.index()) {
             chosen.push(e);
-            rec(g, idx + 1, uf_inc, chosen, out, cap, n, m)?;
+            let flow = rec(g, idx + 1, uf, chosen, visit, n, m);
             chosen.pop();
+            uf.rollback_to(mark);
+            flow?;
         }
-        // Branch 2: exclude e — only if the rest can still connect.
-        let mut probe = uf.clone();
-        let mut components = probe.set_count();
+        // Branch 2: exclude e — only if the rest can still connect
+        // (probed on the same union-find, then rolled back).
+        let mark = uf.mark();
+        let mut components = uf.set_count();
         for later in (idx + 1)..m {
             let (a, b) = g.endpoints(EdgeId(later as u32));
-            if probe.union(a.index(), b.index()) {
+            if uf.union(a.index(), b.index()) {
                 components -= 1;
                 if components == 1 {
                     break;
                 }
             }
         }
+        uf.rollback_to(mark);
         if components == 1 {
-            rec(g, idx + 1, uf, chosen, out, cap, n, m)?;
+            return rec(g, idx + 1, uf, chosen, visit, n, m);
         }
-        Ok(())
+        ControlFlow::Continue(())
     }
+}
+
+/// Whether Kirchhoff's determinant proves the spanning-tree count exceeds
+/// `cap`. Conservative: a generous margin absorbs the determinant's float
+/// rounding, so `false` never means "within cap" — it means "enumerate
+/// and count exactly".
+fn count_certainly_exceeds(g: &Graph, cap: usize) -> bool {
+    let det = count_spanning_trees(g);
+    !det.is_nan() && det > cap as f64 * 1.1 + 16.0
+}
+
+/// Enumerate all spanning trees (as sorted edge-id vectors), up to `cap`.
+///
+/// Prefer [`for_each_spanning_tree`] where the trees can be consumed as a
+/// stream: this wrapper materializes O(#trees · n) memory by definition.
+pub fn spanning_trees(g: &Graph, cap: usize) -> Result<Vec<Vec<EdgeId>>, EnumError> {
+    if g.is_connected() && count_certainly_exceeds(g, cap) {
+        return Err(EnumError::CapExceeded { cap });
+    }
+    let mut out: Vec<Vec<EdgeId>> = Vec::new();
+    let mut capped = false;
+    for_each_spanning_tree(g, |tree| {
+        if out.len() >= cap {
+            capped = true;
+            return ControlFlow::Break(());
+        }
+        out.push(tree.to_vec());
+        ControlFlow::Continue(())
+    })?;
+    if capped {
+        return Err(EnumError::CapExceeded { cap });
+    }
+    Ok(out)
 }
 
 /// An equilibrium spanning tree with its weight.
@@ -158,39 +206,146 @@ pub struct EquilibriumTree {
     pub weight: f64,
 }
 
+/// Trees per streaming batch: bounds peak memory at O(`CHUNK` · n) while
+/// giving the parallel equilibrium scan enough work per dispatch.
+const CHUNK: usize = 1024;
+
+/// Stream every spanning tree through the Lemma 2 equilibrium check in
+/// parallel chunks, folding each equilibrium into `acc` as it is found.
+/// Peak memory is O(`CHUNK` · n + |acc|), never O(#trees · n).
+pub fn fold_equilibrium_trees<T, F>(
+    game: &NetworkDesignGame,
+    b: &SubsidyAssignment,
+    cap: usize,
+    mut acc: T,
+    mut fold: F,
+) -> Result<T, EnumError>
+where
+    F: FnMut(T, EquilibriumTree) -> T,
+    T: Send,
+{
+    let g = game.graph();
+    if g.is_connected() && count_certainly_exceeds(g, cap) {
+        return Err(EnumError::CapExceeded { cap });
+    }
+    let root = game.root().unwrap_or(NodeId(0));
+    let mut chunk: Vec<Vec<EdgeId>> = Vec::with_capacity(CHUNK);
+    let mut total = 0usize;
+    let mut capped = false;
+    let mut acc_slot = Some(acc);
+    for_each_spanning_tree(g, |tree| {
+        if total >= cap {
+            capped = true;
+            return ControlFlow::Break(());
+        }
+        total += 1;
+        chunk.push(tree.to_vec());
+        if chunk.len() == CHUNK {
+            let mut a = acc_slot.take().expect("accumulator is always restored");
+            for eq in scan_chunk(game, b, root, &chunk) {
+                a = fold(a, eq);
+            }
+            acc_slot = Some(a);
+            chunk.clear();
+        }
+        ControlFlow::Continue(())
+    })?;
+    if capped {
+        return Err(EnumError::CapExceeded { cap });
+    }
+    acc = acc_slot.take().expect("accumulator is always restored");
+    for eq in scan_chunk(game, b, root, &chunk) {
+        acc = fold(acc, eq);
+    }
+    Ok(acc)
+}
+
+/// Lemma-2-check one chunk of trees across scoped threads, preserving the
+/// chunk's enumeration order in the result.
+fn scan_chunk(
+    game: &NetworkDesignGame,
+    b: &SubsidyAssignment,
+    root: NodeId,
+    chunk: &[Vec<EdgeId>],
+) -> Vec<EquilibriumTree> {
+    let g = game.graph();
+    let check = |edges: &Vec<EdgeId>| -> Option<EquilibriumTree> {
+        let rt = RootedTree::new(g, edges, root).ok()?;
+        if is_tree_equilibrium(game, &rt, b) {
+            Some(EquilibriumTree {
+                edges: edges.clone(),
+                weight: g.weight_of(edges),
+            })
+        } else {
+            None
+        }
+    };
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(chunk.len().max(1));
+    if workers <= 1 || chunk.len() < 128 {
+        return chunk.iter().filter_map(check).collect();
+    }
+    let per_worker = chunk.len().div_ceil(workers);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunk
+            .chunks(per_worker)
+            .map(|sub| scope.spawn(move || sub.iter().filter_map(check).collect::<Vec<_>>()))
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("equilibrium scan worker panicked"))
+            .collect()
+    })
+}
+
 /// All spanning trees of the broadcast game's graph that are equilibria of
-/// the extension with `b` (Lemma 2 check per tree, parallel over trees).
+/// the extension with `b` (Lemma 2 check per tree, parallel over streamed
+/// chunks), sorted by weight then edge ids.
 pub fn equilibrium_trees(
     game: &NetworkDesignGame,
     b: &SubsidyAssignment,
     cap: usize,
 ) -> Result<Vec<EquilibriumTree>, EnumError> {
-    let root = game.root().unwrap_or(NodeId(0));
-    let g = game.graph();
-    let trees = spanning_trees(g, cap)?;
-    let mut found: Vec<EquilibriumTree> = trees
-        .into_par_iter()
-        .filter_map(|edges| {
-            let rt = RootedTree::new(g, &edges, root).ok()?;
-            if is_tree_equilibrium(game, &rt, b) {
-                let weight = g.weight_of(&edges);
-                Some(EquilibriumTree { edges, weight })
-            } else {
-                None
-            }
-        })
-        .collect();
-    found.sort_by(|a, b| a.weight.total_cmp(&b.weight).then_with(|| a.edges.cmp(&b.edges)));
+    let mut found = fold_equilibrium_trees(game, b, cap, Vec::new(), |mut acc, eq| {
+        acc.push(eq);
+        acc
+    })?;
+    found.sort_by(|a, b| {
+        a.weight
+            .total_cmp(&b.weight)
+            .then_with(|| a.edges.cmp(&b.edges))
+    });
     Ok(found)
 }
 
-/// The minimum-weight equilibrium tree, if any.
+/// `(a.weight, a.edges) < (b.weight, b.edges)` — the enumeration's
+/// canonical tree order.
+fn tree_lt(a: &EquilibriumTree, b: &EquilibriumTree) -> bool {
+    a.weight
+        .total_cmp(&b.weight)
+        .then_with(|| a.edges.cmp(&b.edges))
+        .is_lt()
+}
+
+/// The minimum-weight equilibrium tree, if any. Streams: O(n) live state
+/// per worker instead of collecting every equilibrium first.
 pub fn best_equilibrium_tree(
     game: &NetworkDesignGame,
     b: &SubsidyAssignment,
     cap: usize,
 ) -> Result<Option<EquilibriumTree>, EnumError> {
-    Ok(equilibrium_trees(game, b, cap)?.into_iter().next())
+    fold_equilibrium_trees(
+        game,
+        b,
+        cap,
+        None,
+        |best: Option<EquilibriumTree>, eq| match best {
+            Some(cur) if tree_lt(&cur, &eq) => Some(cur),
+            _ => Some(eq),
+        },
+    )
 }
 
 /// Exact price of stability of a broadcast game over spanning-tree states:
@@ -208,15 +363,25 @@ pub fn price_of_stability(
 }
 
 /// Exact price of anarchy over spanning-tree states:
-/// `max_{equilibrium T} wgt(T) / wgt(MST)`.
+/// `max_{equilibrium T} wgt(T) / wgt(MST)`. Streams like
+/// [`best_equilibrium_tree`].
 pub fn price_of_anarchy_trees(
     game: &NetworkDesignGame,
     b: &SubsidyAssignment,
     cap: usize,
 ) -> Result<Option<f64>, EnumError> {
     let opt = ndg_graph::mst_weight(game.graph()).map_err(|_| EnumError::Disconnected)?;
-    let eqs = equilibrium_trees(game, b, cap)?;
-    Ok(eqs.last().map(|t| t.weight / opt))
+    let worst = fold_equilibrium_trees(
+        game,
+        b,
+        cap,
+        None,
+        |worst: Option<EquilibriumTree>, eq| match worst {
+            Some(cur) if tree_lt(&eq, &cur) => Some(cur),
+            _ => Some(eq),
+        },
+    )?;
+    Ok(worst.map(|t| t.weight / opt))
 }
 
 #[cfg(test)]
@@ -257,6 +422,61 @@ mod tests {
     }
 
     #[test]
+    fn visitor_streams_the_same_trees_as_the_materializer() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(41);
+        for _ in 0..10 {
+            let n = rng.random_range(3..7usize);
+            let g = generators::random_connected(n, 0.6, &mut rng, 0.2..3.0);
+            let collected = spanning_trees(&g, 1_000_000).unwrap();
+            let mut streamed: Vec<Vec<EdgeId>> = Vec::new();
+            for_each_spanning_tree(&g, |t| {
+                streamed.push(t.to_vec());
+                std::ops::ControlFlow::Continue(())
+            })
+            .unwrap();
+            assert_eq!(collected, streamed, "stream order or content diverged");
+        }
+    }
+
+    #[test]
+    fn visitor_early_break_stops_enumeration() {
+        let g = generators::complete_graph(6, 1.0); // 1296 trees
+        let mut seen = 0usize;
+        for_each_spanning_tree(&g, |_| {
+            seen += 1;
+            if seen == 10 {
+                std::ops::ControlFlow::Break(())
+            } else {
+                std::ops::ControlFlow::Continue(())
+            }
+        })
+        .unwrap();
+        assert_eq!(seen, 10);
+    }
+
+    #[test]
+    fn fold_streaming_matches_collected_equilibria() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(43);
+        for _ in 0..8 {
+            let n = rng.random_range(3..7usize);
+            let g = generators::random_connected(n, 0.5, &mut rng, 0.2..3.0);
+            let game = NetworkDesignGame::broadcast(g, NodeId(0)).unwrap();
+            let b = SubsidyAssignment::zero(game.graph());
+            let eqs = equilibrium_trees(&game, &b, 1_000_000).unwrap();
+            let best = best_equilibrium_tree(&game, &b, 1_000_000)
+                .unwrap()
+                .unwrap();
+            assert_eq!(best.edges, eqs[0].edges);
+            assert!((best.weight - eqs[0].weight).abs() < 1e-12);
+            let count =
+                fold_equilibrium_trees(&game, &b, 1_000_000, 0usize, |acc, _| acc + 1).unwrap();
+            assert_eq!(count, eqs.len());
+        }
+    }
+
+    #[test]
     fn cap_is_enforced() {
         let g = generators::complete_graph(6, 1.0); // 6^4 = 1296 trees
         assert_eq!(
@@ -288,7 +508,10 @@ mod tests {
         let game = NetworkDesignGame::broadcast(g, NodeId(0)).unwrap();
         let b = SubsidyAssignment::zero(game.graph());
         let eqs = equilibrium_trees(&game, &b, 100).unwrap();
-        assert!(!eqs.is_empty(), "potential descent guarantees an equilibrium");
+        assert!(
+            !eqs.is_empty(),
+            "potential descent guarantees an equilibrium"
+        );
         let pos = price_of_stability(&game, &b, 100).unwrap().unwrap();
         assert!((pos - 1.0).abs() < 1e-9, "all trees weigh n; PoS must be 1");
     }
@@ -305,9 +528,7 @@ mod tests {
             let eqs = equilibrium_trees(&game, &b, 100_000).unwrap();
             assert!(!eqs.is_empty());
             let pos = price_of_stability(&game, &b, 100_000).unwrap().unwrap();
-            let poa = price_of_anarchy_trees(&game, &b, 100_000)
-                .unwrap()
-                .unwrap();
+            let poa = price_of_anarchy_trees(&game, &b, 100_000).unwrap().unwrap();
             assert!(pos >= 1.0 - 1e-9);
             assert!(poa >= pos - 1e-12);
         }

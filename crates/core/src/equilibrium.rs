@@ -4,17 +4,18 @@
 //! `b` iff no player's best response improves on her current cost. Best
 //! responses are shortest paths in the paper's separation-oracle graph
 //! `H_i` with weights `w'_a = (w_a − b_a)/(n_a(T) + 1 − n_a^i(T))`
-//! (Theorem 1). The per-player checks are independent, so they fan out
-//! across threads with rayon.
+//! (Theorem 1). Most per-player checks are discharged by a bounded A*
+//! probe under the shared optimistic heuristic (see [`crate::bounds`]);
+//! only probe hits pay for the exact Dijkstra.
 
+use crate::bounds::OptimisticBounds;
 use crate::cost::{deviation_cost, player_cost};
 use crate::game::NetworkDesignGame;
 use crate::num::strictly_lt;
 use crate::state::State;
 use crate::subsidy::SubsidyAssignment;
-use ndg_graph::paths::dijkstra_with;
+use ndg_graph::paths::DijkstraWorkspace;
 use ndg_graph::EdgeId;
-use rayon::prelude::*;
 
 /// A profitable unilateral deviation, as a counterexample witness.
 #[derive(Clone, Debug)]
@@ -29,6 +30,27 @@ pub struct Deviation {
     pub path: Vec<EdgeId>,
 }
 
+/// [`best_response`] into caller-provided scratch: the Dijkstra runs in
+/// `ws` (no allocation in steady state) and the path lands in `path_out`.
+/// Returns the deviation cost of that path.
+pub fn best_response_with(
+    game: &NetworkDesignGame,
+    state: &State,
+    b: &SubsidyAssignment,
+    i: usize,
+    ws: &mut DijkstraWorkspace,
+    path_out: &mut Vec<EdgeId>,
+) -> f64 {
+    let g = game.graph();
+    let player = game.players()[i];
+    ws.run(g, player.source, Some(player.terminal), |e| {
+        crate::cost::deviation_weight(game, state, b, i, e)
+    });
+    let reached = ws.path_into(g, player.terminal, path_out);
+    assert!(reached, "game validation guarantees a connecting path");
+    deviation_cost(game, state, b, i, path_out)
+}
+
 /// Best response of player `i` against `state` in the extension with `b`:
 /// the minimum-cost `sᵢ → tᵢ` path under deviation weights, with its cost.
 pub fn best_response(
@@ -37,43 +59,60 @@ pub fn best_response(
     b: &SubsidyAssignment,
     i: usize,
 ) -> (Vec<EdgeId>, f64) {
-    let g = game.graph();
-    let player = game.players()[i];
-    let sp = dijkstra_with(g, player.source, |e| {
-        let denom = state.usage(e) + 1 - u32::from(state.uses(i, e));
-        b.residual(g, e) / denom as f64
-    });
-    let path = sp
-        .path_to(g, player.terminal)
-        .expect("game validation guarantees a connecting path");
-    let cost = deviation_cost(game, state, b, i, &path);
+    let mut ws = DijkstraWorkspace::new(game.graph().node_count());
+    let mut path = Vec::new();
+    let cost = best_response_with(game, state, b, i, &mut ws, &mut path);
     (path, cost)
 }
 
 /// The best profitable deviation of any player (minimum player index among
 /// those with a strict improvement), or `None` if `state` is an equilibrium.
+///
+/// One optimistic Dijkstra per distinct terminal builds an admissible A*
+/// heuristic (see [`crate::bounds`]); a bounded corridor probe then
+/// certifies most players as unable to improve after a handful of node
+/// expansions, and only probe hits pay for the exact best-response
+/// Dijkstra — scanned in index order so the returned witness matches the
+/// naive definition.
 pub fn find_deviation(
     game: &NetworkDesignGame,
     state: &State,
     b: &SubsidyAssignment,
 ) -> Option<Deviation> {
-    (0..game.num_players())
-        .into_par_iter()
-        .filter_map(|i| {
-            let current = player_cost(game, state, b, i);
-            let (path, new_cost) = best_response(game, state, b, i);
-            if strictly_lt(new_cost, current) {
-                Some(Deviation {
-                    player: i,
-                    current_cost: current,
-                    new_cost,
-                    path,
-                })
-            } else {
-                None
-            }
-        })
-        .min_by_key(|d| d.player)
+    let g = game.graph();
+    let mut bounds = OptimisticBounds::new(game);
+    bounds.refresh(game, state, b);
+    let mut ws = DijkstraWorkspace::new(g.node_count());
+    let mut path = Vec::new();
+    for i in 0..game.num_players() {
+        let current = player_cost(game, state, b, i);
+        let threshold = current - crate::num::EPS + crate::bounds::BOUND_SLACK;
+        if bounds.lower(i).partial_cmp(&threshold) != Some(std::cmp::Ordering::Less) {
+            continue;
+        }
+        let player = game.players()[i];
+        let hit = ws.astar_below(
+            g,
+            player.source,
+            player.terminal,
+            bounds.heuristic(i),
+            threshold,
+            |e| crate::cost::deviation_weight(game, state, b, i, e),
+        );
+        if hit.is_none() {
+            continue;
+        }
+        let new_cost = best_response_with(game, state, b, i, &mut ws, &mut path);
+        if strictly_lt(new_cost, current) {
+            return Some(Deviation {
+                player: i,
+                current_cost: current,
+                new_cost,
+                path: path.clone(),
+            });
+        }
+    }
+    None
 }
 
 /// Whether `state` is a pure Nash equilibrium of the extension with `b`.

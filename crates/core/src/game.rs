@@ -36,7 +36,10 @@ impl fmt::Display for GameError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GameError::BadNode { node, node_count } => {
-                write!(f, "player endpoint {node} out of range ({node_count} nodes)")
+                write!(
+                    f,
+                    "player endpoint {node} out of range ({node_count} nodes)"
+                )
             }
             GameError::TrivialPlayer { player } => {
                 write!(f, "player {player} has source == terminal")

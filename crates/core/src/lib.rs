@@ -8,6 +8,7 @@
 //! instances.
 
 pub mod approx;
+pub mod bounds;
 pub mod broadcast;
 pub mod coalition;
 pub mod cost;
@@ -15,6 +16,7 @@ pub mod dynamics;
 pub mod enumerate;
 pub mod equilibrium;
 pub mod game;
+pub mod incremental;
 pub mod multicast;
 pub mod num;
 pub mod potential;
@@ -23,25 +25,33 @@ pub mod subsidy;
 pub mod weighted;
 
 pub use approx::{is_alpha_equilibrium, stability_threshold};
+pub use bounds::OptimisticBounds;
 pub use broadcast::{
     is_tree_equilibrium, is_tree_equilibrium_eps, lemma2_violation, lemma2_violation_eps,
     root_path_costs, Lemma2Violation,
 };
-pub use cost::{deviation_cost, player_cost, social_cost_subsidized};
-pub use dynamics::{best_response_dynamics, dynamics_from_tree, DynamicsResult, MoveOrder};
-pub use enumerate::{
-    best_equilibrium_tree, count_spanning_trees, equilibrium_trees, price_of_anarchy_trees,
-    price_of_stability, spanning_trees, EnumError, EquilibriumTree,
-};
-pub use equilibrium::{best_response, find_deviation, is_equilibrium, Deviation};
 pub use coalition::{find_coalition_deviation, is_strong_equilibrium, CoalitionDeviation};
+pub use cost::{deviation_cost, deviation_weight, player_cost, social_cost_subsidized};
+pub use dynamics::{
+    best_response_dynamics, best_response_dynamics_naive, dynamics_from_tree, DynamicsResult,
+    MoveOrder,
+};
+pub use enumerate::{
+    best_equilibrium_tree, count_spanning_trees, equilibrium_trees, fold_equilibrium_trees,
+    for_each_spanning_tree, price_of_anarchy_trees, price_of_stability, spanning_trees, EnumError,
+    EquilibriumTree,
+};
+pub use equilibrium::{
+    best_response, best_response_with, find_deviation, is_equilibrium, Deviation,
+};
 pub use game::{GameError, NetworkDesignGame, Player};
+pub use incremental::{IncrementalDynamics, MoveRecord};
 pub use multicast::{exact_steiner_tree, multicast};
 pub use num::{approx_eq, approx_ge, approx_le, strictly_gt, strictly_lt, EPS};
 pub use potential::{potential_sandwich, rosenthal_potential};
 pub use state::{State, StateError};
 pub use subsidy::{SubsidyAssignment, SubsidyError};
 pub use weighted::{
-    weighted_best_response, weighted_deviation_cost, weighted_is_equilibrium,
-    weighted_player_cost, Demands,
+    weighted_best_response, weighted_deviation_cost, weighted_is_equilibrium, weighted_player_cost,
+    Demands,
 };

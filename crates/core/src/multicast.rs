@@ -167,7 +167,7 @@ mod tests {
         let c1 = crate::cost::player_cost(&game, &state, &b, 1); // node 3
         assert!((c0 - 1.0).abs() < 1e-12); // 1/2 + 1/2
         assert!((c1 - 2.0).abs() < 1e-12); // 1/2 + 1/2 + 1
-        // Steiner nodes pay nothing: total = established weight.
+                                           // Steiner nodes pay nothing: total = established weight.
         assert!((c0 + c1 - state.weight(game.graph())).abs() < 1e-12);
         assert!(is_equilibrium(&game, &state, &b));
     }

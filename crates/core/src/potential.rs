@@ -14,11 +14,7 @@ use crate::subsidy::SubsidyAssignment;
 use ndg_graph::harmonic;
 
 /// `Φ(T; b) = Σ_a (w_a − b_a) H_{n_a(T)}`.
-pub fn rosenthal_potential(
-    game: &NetworkDesignGame,
-    state: &State,
-    b: &SubsidyAssignment,
-) -> f64 {
+pub fn rosenthal_potential(game: &NetworkDesignGame, state: &State, b: &SubsidyAssignment) -> f64 {
     let g = game.graph();
     g.edge_ids()
         .map(|e| {

@@ -142,13 +142,21 @@ impl State {
     /// Replace player `i`'s strategy, updating usage counts. The new path
     /// must already be validated by the caller (e.g. a Dijkstra output).
     pub fn replace_path(&mut self, i: usize, new_path: Vec<EdgeId>) {
+        let mut new_path = new_path;
+        self.swap_path(i, &mut new_path);
+    }
+
+    /// Allocation-recycling variant of [`replace_path`](Self::replace_path):
+    /// player `i` adopts the path in `path`, and on return `path` holds her
+    /// previous strategy (whose buffer the caller can keep reusing).
+    pub fn swap_path(&mut self, i: usize, path: &mut Vec<EdgeId>) {
         for &e in &self.paths[i] {
             self.usage[e.index()] -= 1;
         }
-        for &e in &new_path {
+        for e in path.iter() {
             self.usage[e.index()] += 1;
         }
-        self.paths[i] = new_path;
+        std::mem::swap(&mut self.paths[i], path);
     }
 }
 

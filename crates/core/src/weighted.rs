@@ -25,7 +25,9 @@ pub struct Demands {
 impl Demands {
     /// Validate demands: one per player, each positive and finite.
     pub fn new(game: &NetworkDesignGame, d: Vec<f64>) -> Option<Self> {
-        if d.len() != game.num_players() || d.iter().any(|&x| x <= 0.0 || x.is_nan() || !x.is_finite()) {
+        if d.len() != game.num_players()
+            || d.iter().any(|&x| x <= 0.0 || x.is_nan() || !x.is_finite())
+        {
             return None;
         }
         Some(Demands { d })
@@ -249,7 +251,19 @@ mod tests {
         let mut best = f64::INFINITY;
         let mut visited = vec![false; g.node_count()];
         let mut path = Vec::new();
-        dfs(g, game, state, d, b, i, p.source, p.terminal, &mut visited, &mut path, &mut best);
+        dfs(
+            g,
+            game,
+            state,
+            d,
+            b,
+            i,
+            p.source,
+            p.terminal,
+            &mut visited,
+            &mut path,
+            &mut best,
+        );
         return best;
 
         #[allow(clippy::too_many_arguments)]

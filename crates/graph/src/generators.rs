@@ -105,12 +105,7 @@ pub fn erdos_renyi<R: Rng>(n: usize, p: f64, rng: &mut R, weights: Range<f64>) -
 /// Random connected graph: a uniform random spanning tree backbone
 /// (random Prüfer-style attachment) plus each non-tree pair independently
 /// with probability `extra_p`. Weights i.i.d. from `weights`.
-pub fn random_connected<R: Rng>(
-    n: usize,
-    extra_p: f64,
-    rng: &mut R,
-    weights: Range<f64>,
-) -> Graph {
+pub fn random_connected<R: Rng>(n: usize, extra_p: f64, rng: &mut R, weights: Range<f64>) -> Graph {
     assert!(n >= 1);
     let mut g = Graph::new(n);
     // Random attachment tree: node i attaches to a uniform earlier node.

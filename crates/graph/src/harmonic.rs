@@ -92,8 +92,7 @@ mod tests {
         // H_n ≈ ln n + γ + 1/(2n) − 1/(12n²)
         for &n in &[100u64, 10_000, 1_000_000] {
             let nf = n as f64;
-            let approx =
-                nf.ln() + EULER_MASCHERONI + 1.0 / (2.0 * nf) - 1.0 / (12.0 * nf * nf);
+            let approx = nf.ln() + EULER_MASCHERONI + 1.0 / (2.0 * nf) - 1.0 / (12.0 * nf * nf);
             assert!(
                 (harmonic(n) - approx).abs() < 1e-6,
                 "H_{n} deviates from asymptotic"

@@ -18,9 +18,11 @@ pub mod unionfind;
 pub use graph::{Edge, EdgeId, Graph, GraphError, NodeId};
 pub use harmonic::{bypass_path_length, harmonic, harmonic_diff};
 pub use mst::{is_minimum_spanning_tree, kruskal, mst_is_unique, mst_weight, prim};
-pub use paths::{bfs_distances, dijkstra, dijkstra_with, floyd_warshall, ShortestPaths};
+pub use paths::{
+    bfs_distances, dijkstra, dijkstra_with, floyd_warshall, DijkstraWorkspace, ShortestPaths,
+};
 pub use tree::RootedTree;
-pub use unionfind::UnionFind;
+pub use unionfind::{RollbackUnionFind, UnionFind};
 
 #[cfg(test)]
 mod proptests;

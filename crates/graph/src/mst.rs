@@ -18,11 +18,7 @@ pub fn kruskal(g: &Graph) -> Result<Vec<EdgeId>, GraphError> {
         return Ok(Vec::new());
     }
     let mut order: Vec<EdgeId> = g.edge_ids().collect();
-    order.sort_by(|&a, &b| {
-        g.weight(a)
-            .total_cmp(&g.weight(b))
-            .then_with(|| a.cmp(&b))
-    });
+    order.sort_by(|&a, &b| g.weight(a).total_cmp(&g.weight(b)).then_with(|| a.cmp(&b)));
     let mut uf = UnionFind::new(n);
     let mut tree = Vec::with_capacity(n.saturating_sub(1));
     for e in order {
@@ -63,7 +59,9 @@ pub fn prim(g: &Graph, start: NodeId) -> Result<Vec<EdgeId>, GraphError> {
     }
     impl Ord for Entry {
         fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-            self.0.total_cmp(&other.0).then_with(|| self.1.cmp(&other.1))
+            self.0
+                .total_cmp(&other.0)
+                .then_with(|| self.1.cmp(&other.1))
         }
     }
 
@@ -190,8 +188,10 @@ mod tests {
                 if mask.count_ones() as usize != n - 1 {
                     continue;
                 }
-                let subset: Vec<EdgeId> =
-                    (0..m).filter(|i| mask >> i & 1 == 1).map(|i| EdgeId(i as u32)).collect();
+                let subset: Vec<EdgeId> = (0..m)
+                    .filter(|i| mask >> i & 1 == 1)
+                    .map(|i| EdgeId(i as u32))
+                    .collect();
                 if g.is_spanning_tree(&subset) {
                     best = best.min(g.weight_of(&subset));
                 }

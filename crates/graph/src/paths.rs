@@ -39,49 +39,254 @@ impl ShortestPaths {
     }
 }
 
-/// Dijkstra from `source` with per-edge weights given by `weight_fn`
-/// (must be non-negative; `debug_assert`ed).
-pub fn dijkstra_with<F>(g: &Graph, source: NodeId, mut weight_fn: F) -> ShortestPaths
-where
-    F: FnMut(EdgeId) -> f64,
-{
-    let n = g.node_count();
-    let mut dist = vec![f64::INFINITY; n];
-    let mut pred: Vec<Option<EdgeId>> = vec![None; n];
+#[derive(Clone, Debug, PartialEq)]
+struct Entry(f64, NodeId);
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0
+            .total_cmp(&other.0)
+            .then_with(|| self.1.cmp(&other.1))
+    }
+}
 
-    #[derive(PartialEq)]
-    struct Entry(f64, NodeId);
-    impl Eq for Entry {}
-    impl PartialOrd for Entry {
-        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-            Some(self.cmp(other))
+/// Reusable Dijkstra scratch space: generation-stamped `dist`/`pred` arrays
+/// plus a drained heap.
+///
+/// A fresh Dijkstra allocates two `O(n)` vectors and a heap per call; in
+/// best-response dynamics that is one allocation bundle per player per
+/// move. A workspace is allocated once and re-used: each [`run`](Self::run)
+/// bumps a generation counter instead of clearing the arrays, so steady-
+/// state runs allocate nothing (the heap keeps its capacity between runs).
+#[derive(Clone, Debug)]
+pub struct DijkstraWorkspace {
+    dist: Vec<f64>,
+    pred: Vec<Option<EdgeId>>,
+    stamp: Vec<u32>,
+    /// A*-only closed set (first-pop markers), generation-stamped.
+    closed: Vec<u32>,
+    generation: u32,
+    heap: BinaryHeap<Reverse<Entry>>,
+    source: NodeId,
+}
+
+impl DijkstraWorkspace {
+    /// Workspace sized for an `n`-node graph (grows on demand).
+    pub fn new(n: usize) -> Self {
+        DijkstraWorkspace {
+            dist: vec![f64::INFINITY; n],
+            pred: vec![None; n],
+            stamp: vec![0; n],
+            closed: vec![0; n],
+            generation: 0,
+            heap: BinaryHeap::new(),
+            source: NodeId(0),
         }
     }
-    impl Ord for Entry {
-        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-            self.0.total_cmp(&other.0).then_with(|| self.1.cmp(&other.1))
+
+    /// Grow the stamped arrays to cover `n` nodes and start a fresh
+    /// generation.
+    fn begin(&mut self, n: usize, source: NodeId) {
+        if self.dist.len() < n {
+            self.dist.resize(n, f64::INFINITY);
+            self.pred.resize(n, None);
+            self.stamp.resize(n, 0);
+            self.closed.resize(n, 0);
         }
+        if self.generation == u32::MAX {
+            self.stamp.fill(0);
+            self.closed.fill(0);
+            self.generation = 0;
+        }
+        self.generation += 1;
+        self.heap.clear();
+        self.source = source;
     }
 
-    let mut heap = BinaryHeap::new();
-    dist[source.index()] = 0.0;
-    heap.push(Reverse(Entry(0.0, source)));
-    while let Some(Reverse(Entry(d, u))) = heap.pop() {
-        if d > dist[u.index()] {
-            continue;
-        }
-        for &(v, e) in g.neighbors(u) {
-            let w = weight_fn(e);
-            debug_assert!(w >= 0.0, "Dijkstra requires non-negative weights, got {w}");
-            let nd = d + w;
-            if nd < dist[v.index()] {
-                dist[v.index()] = nd;
-                pred[v.index()] = Some(e);
-                heap.push(Reverse(Entry(nd, v)));
+    #[inline]
+    fn settle(&mut self, v: NodeId, d: f64, pred: Option<EdgeId>) {
+        let i = v.index();
+        self.dist[i] = d;
+        self.pred[i] = pred;
+        self.stamp[i] = self.generation;
+    }
+
+    /// Run Dijkstra from `source` under `weight_fn`, stopping early once
+    /// `target` (if any) is settled. Results are read through
+    /// [`dist`](Self::dist) / [`path_into`](Self::path_into) until the next
+    /// run.
+    pub fn run<F>(&mut self, g: &Graph, source: NodeId, target: Option<NodeId>, mut weight_fn: F)
+    where
+        F: FnMut(EdgeId) -> f64,
+    {
+        self.begin(g.node_count(), source);
+        self.settle(source, 0.0, None);
+        self.heap.push(Reverse(Entry(0.0, source)));
+        while let Some(Reverse(Entry(d, u))) = self.heap.pop() {
+            if d > self.dist[u.index()] {
+                continue;
+            }
+            if target == Some(u) {
+                return;
+            }
+            for &(v, e) in g.neighbors(u) {
+                let w = weight_fn(e);
+                debug_assert!(w >= 0.0, "Dijkstra requires non-negative weights, got {w}");
+                let nd = d + w;
+                let vi = v.index();
+                if self.stamp[vi] != self.generation || nd < self.dist[vi] {
+                    self.settle(v, nd, Some(e));
+                    self.heap.push(Reverse(Entry(nd, v)));
+                }
             }
         }
     }
-    ShortestPaths { dist, pred, source }
+
+    /// Distance of `v` from the last run's source (`INFINITY` if
+    /// unreached — or not yet settled when the run stopped early at its
+    /// target).
+    #[inline]
+    pub fn dist(&self, v: NodeId) -> f64 {
+        if self.stamp[v.index()] == self.generation {
+            self.dist[v.index()]
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// The source of the last run.
+    #[inline]
+    pub fn source(&self) -> NodeId {
+        self.source
+    }
+
+    /// Write the source→`target` path (edge ids) into `out` without
+    /// allocating (beyond `out`'s own growth). Returns `false` if `target`
+    /// was not reached.
+    pub fn path_into(&self, g: &Graph, target: NodeId, out: &mut Vec<EdgeId>) -> bool {
+        out.clear();
+        if self.dist(target).is_infinite() {
+            return false;
+        }
+        let mut cur = target;
+        while cur != self.source {
+            match self.pred[cur.index()] {
+                Some(e) if self.stamp[cur.index()] == self.generation => {
+                    out.push(e);
+                    cur = g.other_endpoint(e, cur);
+                }
+                _ => {
+                    out.clear();
+                    return false;
+                }
+            }
+        }
+        out.reverse();
+        true
+    }
+
+    /// Bounded, goal-directed A* probe: is there a `source → target` path
+    /// of cost strictly below `bound` under `weight_fn`?
+    ///
+    /// `h[v]` must be an *admissible and consistent* heuristic — a lower
+    /// bound on the `v → target` distance under `weight_fn` with
+    /// `h[v] ≤ w(e) + h[u]` across every edge (e.g. exact distances under
+    /// pointwise-smaller weights, which is how the equilibrium engine uses
+    /// it). Returns `Some(dist)` when `target` is reached with
+    /// `dist + h[target]·0 < bound`; returns `None` as a certificate that
+    /// every path costs at least `bound` (up to the additive rounding
+    /// noise of summing `f64` weights — callers keep a slack far above it).
+    ///
+    /// Nodes with `g + h ≥ bound` are pruned, so the search only expands
+    /// the corridor of near-improving routes — at an equilibrium this is a
+    /// handful of nodes instead of the whole graph.
+    pub fn astar_below<F>(
+        &mut self,
+        g: &Graph,
+        source: NodeId,
+        target: NodeId,
+        h: &[f64],
+        bound: f64,
+        mut weight_fn: F,
+    ) -> Option<f64>
+    where
+        F: FnMut(EdgeId) -> f64,
+    {
+        let n = g.node_count();
+        self.begin(n, source);
+        let f0 = h[source.index()];
+        if f0.partial_cmp(&bound) != Some(std::cmp::Ordering::Less) {
+            return None;
+        }
+        self.settle(source, 0.0, None);
+        self.heap.push(Reverse(Entry(f0, source)));
+        while let Some(Reverse(Entry(f, u))) = self.heap.pop() {
+            if f.partial_cmp(&bound) != Some(std::cmp::Ordering::Less) {
+                return None; // min outstanding f ≥ bound: certified.
+            }
+            let ui = u.index();
+            if self.closed[ui] == self.generation {
+                continue;
+            }
+            self.closed[ui] = self.generation;
+            if u == target {
+                return Some(self.dist[ui]);
+            }
+            let gu = self.dist[ui];
+            for &(v, e) in g.neighbors(u) {
+                let w = weight_fn(e);
+                debug_assert!(w >= 0.0, "A* requires non-negative weights, got {w}");
+                let vi = v.index();
+                if self.closed[vi] == self.generation {
+                    continue;
+                }
+                let gv = gu + w;
+                if self.stamp[vi] != self.generation || gv < self.dist[vi] {
+                    let fv = gv + h[vi];
+                    if fv < bound {
+                        self.settle(v, gv, Some(e));
+                        self.heap.push(Reverse(Entry(fv, v)));
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Allocate a [`ShortestPaths`] snapshot of the last run (legacy
+    /// interface; prefer the in-place accessors on hot paths).
+    pub fn snapshot(&self, g: &Graph) -> ShortestPaths {
+        let n = g.node_count();
+        ShortestPaths {
+            dist: (0..n).map(|i| self.dist(NodeId(i as u32))).collect(),
+            pred: (0..n)
+                .map(|i| {
+                    if self.stamp[i] == self.generation {
+                        self.pred[i]
+                    } else {
+                        None
+                    }
+                })
+                .collect(),
+            source: self.source,
+        }
+    }
+}
+
+/// Dijkstra from `source` with per-edge weights given by `weight_fn`
+/// (must be non-negative; `debug_assert`ed).
+pub fn dijkstra_with<F>(g: &Graph, source: NodeId, weight_fn: F) -> ShortestPaths
+where
+    F: FnMut(EdgeId) -> f64,
+{
+    let mut ws = DijkstraWorkspace::new(g.node_count());
+    ws.run(g, source, None, weight_fn);
+    ws.snapshot(g)
 }
 
 /// Dijkstra with the graph's own weights.
@@ -243,6 +448,106 @@ mod tests {
     }
 
     #[test]
+    fn workspace_reuse_matches_fresh_dijkstra() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(77);
+        let mut ws = DijkstraWorkspace::new(0);
+        for _ in 0..30 {
+            let n = rng.random_range(2..18);
+            let g = generators::random_connected(n, 0.4, &mut rng, 0.0..5.0);
+            for s in g.nodes() {
+                let fresh = dijkstra(&g, s);
+                ws.run(&g, s, None, |e| g.weight(e));
+                for t in g.nodes() {
+                    assert!(
+                        (ws.dist(t) - fresh.dist[t.index()]).abs() < 1e-12
+                            || (ws.dist(t).is_infinite() && fresh.dist[t.index()].is_infinite()),
+                        "workspace dist mismatch at {t:?}"
+                    );
+                    let mut path = Vec::new();
+                    let reached = ws.path_into(&g, t, &mut path);
+                    let fresh_path = fresh.path_to(&g, t);
+                    assert_eq!(reached, fresh_path.is_some());
+                    if let Some(fp) = fresh_path {
+                        assert_eq!(path, fp, "workspace path mismatch at {t:?}");
+                    }
+                }
+                let snap = ws.snapshot(&g);
+                assert_eq!(snap.dist, fresh.dist);
+            }
+        }
+    }
+
+    #[test]
+    fn workspace_early_exit_settles_target() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(78);
+        let mut ws = DijkstraWorkspace::new(0);
+        for _ in 0..30 {
+            let n = rng.random_range(2..18);
+            let g = generators::random_connected(n, 0.4, &mut rng, 0.0..5.0);
+            let s = NodeId(rng.random_range(0..n as u32));
+            let t = NodeId(rng.random_range(0..n as u32));
+            let fresh = dijkstra(&g, s);
+            ws.run(&g, s, Some(t), |e| g.weight(e));
+            assert!((ws.dist(t) - fresh.dist[t.index()]).abs() < 1e-12);
+            let mut path = Vec::new();
+            assert!(ws.path_into(&g, t, &mut path) || s == t);
+            assert!(is_simple_path(&g, &path, s, t));
+        }
+    }
+
+    #[test]
+    fn astar_certificate_and_value_match_dijkstra() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(79);
+        let mut ws = DijkstraWorkspace::new(0);
+        for _ in 0..40 {
+            let n = rng.random_range(2..16);
+            let g = generators::random_connected(n, 0.4, &mut rng, 0.0..5.0);
+            let target = NodeId(rng.random_range(0..n as u32));
+            // Heuristic: exact distances to the target under weights
+            // scaled down by a random factor — admissible and consistent.
+            let scale = rng.random_range(0.3..1.0);
+            let back = dijkstra_with(&g, target, |e| g.weight(e) * scale);
+            let h = back.dist.clone();
+            for s in g.nodes() {
+                let truth = dijkstra(&g, s).dist[target.index()];
+                // Bound above the true distance: A* must find it.
+                let found = ws.astar_below(&g, s, target, &h, truth + 1.0, |e| g.weight(e));
+                assert!(found.is_some(), "missed path below generous bound");
+                assert!((found.unwrap() - truth).abs() < 1e-9);
+                // Bound at/below the true distance: A* must certify.
+                let none = ws.astar_below(&g, s, target, &h, truth - 1e-6, |e| g.weight(e));
+                assert!(none.is_none(), "accepted a path above the bound");
+            }
+        }
+    }
+
+    #[test]
+    fn astar_zero_heuristic_degenerates_to_dijkstra() {
+        let g = generators::cycle_graph(6, 1.0);
+        let h = vec![0.0; g.node_count()];
+        let mut ws = DijkstraWorkspace::new(g.node_count());
+        let v = ws.astar_below(&g, NodeId(0), NodeId(3), &h, 100.0, |e| g.weight(e));
+        assert_eq!(v, Some(3.0));
+        assert!(ws
+            .astar_below(&g, NodeId(0), NodeId(3), &h, 3.0, |e| g.weight(e))
+            .is_none());
+    }
+
+    #[test]
+    fn workspace_grows_across_graphs() {
+        let small = generators::path_graph(3, 1.0);
+        let big = generators::path_graph(9, 1.0);
+        let mut ws = DijkstraWorkspace::new(small.node_count());
+        ws.run(&small, NodeId(0), None, |e| small.weight(e));
+        assert_eq!(ws.dist(NodeId(2)), 2.0);
+        ws.run(&big, NodeId(0), None, |e| big.weight(e));
+        assert_eq!(ws.dist(NodeId(8)), 8.0);
+    }
+
+    #[test]
     fn bfs_hops() {
         let g = generators::cycle_graph(5, 1.0);
         let d = bfs_distances(&g, NodeId(0));
@@ -254,10 +559,20 @@ mod tests {
         let g = generators::cycle_graph(4, 1.0);
         // 0-1-2 via edges 0,1.
         assert!(is_walk(&g, &[EdgeId(0), EdgeId(1)], NodeId(0), NodeId(2)));
-        assert!(is_simple_path(&g, &[EdgeId(0), EdgeId(1)], NodeId(0), NodeId(2)));
+        assert!(is_simple_path(
+            &g,
+            &[EdgeId(0), EdgeId(1)],
+            NodeId(0),
+            NodeId(2)
+        ));
         // Walk going back and forth is a walk but not simple.
         assert!(is_walk(&g, &[EdgeId(0), EdgeId(0)], NodeId(0), NodeId(0)));
-        assert!(!is_simple_path(&g, &[EdgeId(0), EdgeId(0)], NodeId(0), NodeId(0)));
+        assert!(!is_simple_path(
+            &g,
+            &[EdgeId(0), EdgeId(0)],
+            NodeId(0),
+            NodeId(0)
+        ));
         // Wrong start.
         assert!(!is_walk(&g, &[EdgeId(1)], NodeId(0), NodeId(2)));
         // Empty path.

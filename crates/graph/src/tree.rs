@@ -223,7 +223,9 @@ impl RootedTree {
                 b = self.lift(b, k);
             }
         }
-        self.parent[a.index()].expect("distinct nodes at equal depth have parents").0
+        self.parent[a.index()]
+            .expect("distinct nodes at equal depth have parents")
+            .0
     }
 
     /// The unique tree path between `u` and `v`, as edge ids (u-side first).
@@ -332,11 +334,18 @@ mod tests {
         let rt = RootedTree::new(&g, &t, NodeId(0)).unwrap();
         let p3 = rt.root_path(NodeId(3));
         assert_eq!(p3.len(), 3);
-        assert!(crate::paths::is_simple_path(&g, &{
-            let mut q = p3.clone();
-            q.as_mut_slice().reverse();
-            q
-        }, NodeId(0), NodeId(3)) || crate::paths::is_simple_path(&g, &p3, NodeId(3), NodeId(0)));
+        assert!(
+            crate::paths::is_simple_path(
+                &g,
+                &{
+                    let mut q = p3.clone();
+                    q.as_mut_slice().reverse();
+                    q
+                },
+                NodeId(0),
+                NodeId(3)
+            ) || crate::paths::is_simple_path(&g, &p3, NodeId(3), NodeId(0))
+        );
         assert!(rt.root_path(NodeId(0)).is_empty());
     }
 
@@ -401,8 +410,7 @@ mod tests {
             // Root subtree = n; each node's subtree = 1 + sum of children's.
             assert_eq!(rt.subtree_size(NodeId(0)) as usize, n);
             for v in g.nodes() {
-                let from_children: u32 =
-                    rt.children(v).iter().map(|&c| rt.subtree_size(c)).sum();
+                let from_children: u32 = rt.children(v).iter().map(|&c| rt.subtree_size(c)).sum();
                 assert_eq!(rt.subtree_size(v), 1 + from_children);
             }
             // Depths are consistent with parents.

@@ -75,6 +75,122 @@ impl UnionFind {
     }
 }
 
+/// One reversible union, recorded by [`RollbackUnionFind`].
+#[derive(Clone, Copy, Debug)]
+struct UnionRecord {
+    /// Root that was attached below `parent`.
+    child: u32,
+    /// Root it was attached to.
+    parent: u32,
+    /// Whether `parent`'s rank was bumped by this union.
+    bumped: bool,
+}
+
+/// Union–find with O(1) rollback instead of path compression.
+///
+/// Branch-and-bound enumeration (the spanning-tree visitor) explores an
+/// include/exclude tree of unions; cloning a [`UnionFind`] per branch costs
+/// an `O(n)` allocation at every recursion node. This variant records each
+/// union in a log so a branch can be unwound in O(#unions). `find` skips
+/// path compression (compression is not invertible), but union-by-rank
+/// alone keeps trees at depth O(log n) — the right trade for enumeration
+/// workloads where rollback happens millions of times.
+#[derive(Clone, Debug)]
+pub struct RollbackUnionFind {
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+    sets: usize,
+    log: Vec<UnionRecord>,
+}
+
+impl RollbackUnionFind {
+    /// `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        RollbackUnionFind {
+            parent: (0..n as u32).collect(),
+            rank: vec![0; n],
+            sets: n,
+            log: Vec::new(),
+        }
+    }
+
+    /// Representative of `x`'s set (no compression).
+    pub fn find(&self, x: usize) -> usize {
+        let mut x = x as u32;
+        while self.parent[x as usize] != x {
+            x = self.parent[x as usize];
+        }
+        x as usize
+    }
+
+    /// Merge the sets of `a` and `b`, logging the change. Returns `false`
+    /// (and logs nothing) if already joined.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (hi, lo) = if self.rank[ra] >= self.rank[rb] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[lo] = hi as u32;
+        let bumped = self.rank[hi] == self.rank[lo];
+        if bumped {
+            self.rank[hi] += 1;
+        }
+        self.sets -= 1;
+        self.log.push(UnionRecord {
+            child: lo as u32,
+            parent: hi as u32,
+            bumped,
+        });
+        true
+    }
+
+    /// Whether `a` and `b` are in the same set.
+    pub fn connected(&self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Checkpoint for a later [`rollback_to`](Self::rollback_to).
+    #[inline]
+    pub fn mark(&self) -> usize {
+        self.log.len()
+    }
+
+    /// Undo every union performed after `mark` (newest first).
+    pub fn rollback_to(&mut self, mark: usize) {
+        while self.log.len() > mark {
+            let rec = self.log.pop().expect("log is non-empty");
+            self.parent[rec.child as usize] = rec.child;
+            if rec.bumped {
+                self.rank[rec.parent as usize] -= 1;
+            }
+            self.sets += 1;
+        }
+    }
+
+    /// Number of disjoint sets remaining.
+    #[inline]
+    pub fn set_count(&self) -> usize {
+        self.sets
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Whether the structure is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -112,6 +228,88 @@ mod tests {
         let uf = UnionFind::new(0);
         assert!(uf.is_empty());
         assert_eq!(uf.set_count(), 0);
+    }
+
+    #[test]
+    fn rollback_restores_exact_state() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(17);
+        let n = 30;
+        for _ in 0..50 {
+            let mut uf = RollbackUnionFind::new(n);
+            // A base layer of unions that must survive rollbacks.
+            let mut base: Vec<(usize, usize)> = Vec::new();
+            for _ in 0..10 {
+                let (a, b) = (rng.random_range(0..n), rng.random_range(0..n));
+                if a != b {
+                    uf.union(a, b);
+                    base.push((a, b));
+                }
+            }
+            let sets_before = uf.set_count();
+            let pairs_before: Vec<bool> = (0..n)
+                .flat_map(|i| (0..n).map(move |j| (i, j)))
+                .map(|(i, j)| uf.connected(i, j))
+                .collect();
+            let mark = uf.mark();
+            // A speculative layer, then rollback.
+            for _ in 0..15 {
+                let (a, b) = (rng.random_range(0..n), rng.random_range(0..n));
+                if a != b {
+                    uf.union(a, b);
+                }
+            }
+            uf.rollback_to(mark);
+            assert_eq!(uf.set_count(), sets_before);
+            let pairs_after: Vec<bool> = (0..n)
+                .flat_map(|i| (0..n).map(move |j| (i, j)))
+                .map(|(i, j)| uf.connected(i, j))
+                .collect();
+            assert_eq!(pairs_before, pairs_after, "rollback changed connectivity");
+        }
+    }
+
+    #[test]
+    fn rollback_uf_agrees_with_plain_uf() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(23);
+        let n = 25;
+        let mut plain = UnionFind::new(n);
+        let mut rb = RollbackUnionFind::new(n);
+        for _ in 0..300 {
+            let (a, b) = (rng.random_range(0..n), rng.random_range(0..n));
+            if a == b {
+                continue;
+            }
+            assert_eq!(plain.union(a, b), rb.union(a, b));
+            assert_eq!(plain.set_count(), rb.set_count());
+        }
+        for i in 0..n {
+            for j in 0..n {
+                assert_eq!(plain.connected(i, j), rb.connected(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn nested_rollbacks_unwind_in_order() {
+        let mut uf = RollbackUnionFind::new(6);
+        uf.union(0, 1);
+        let outer = uf.mark();
+        uf.union(2, 3);
+        let inner = uf.mark();
+        uf.union(4, 5);
+        uf.union(0, 2);
+        assert_eq!(uf.set_count(), 2);
+        uf.rollback_to(inner);
+        assert_eq!(uf.set_count(), 4);
+        assert!(uf.connected(2, 3));
+        assert!(!uf.connected(4, 5));
+        assert!(!uf.connected(0, 2));
+        uf.rollback_to(outer);
+        assert_eq!(uf.set_count(), 5);
+        assert!(uf.connected(0, 1));
+        assert!(!uf.connected(2, 3));
     }
 
     /// Union-find agrees with a naive label-propagation implementation.

@@ -259,8 +259,7 @@ fn run_phase(
             if a > PIVOT_EPS {
                 let ratio = t[idx(r, n_total)] / a;
                 let better = ratio < best_ratio - 1e-12
-                    || (ratio < best_ratio + 1e-12
-                        && leave.is_some_and(|l| basis[r] < basis[l]));
+                    || (ratio < best_ratio + 1e-12 && leave.is_some_and(|l| basis[r] < basis[l]));
                 if better {
                     best_ratio = ratio;
                     leave = Some(r);
@@ -454,11 +453,8 @@ mod tests {
                 lines.push((a, b, r));
             }
             // Vertex enumeration.
-            let feasible = |px: f64, py: f64| {
-                lines
-                    .iter()
-                    .all(|&(a, b, r)| a * px + b * py <= r + 1e-7)
-            };
+            let feasible =
+                |px: f64, py: f64| lines.iter().all(|&(a, b, r)| a * px + b * py <= r + 1e-7);
             let mut best = f64::INFINITY;
             for i in 0..lines.len() {
                 for j in (i + 1)..lines.len() {

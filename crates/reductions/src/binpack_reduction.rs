@@ -46,8 +46,7 @@ pub fn build(instance: &BinPacking) -> BinPackReduction {
 
     let mut g = Graph::new(1);
     let root = NodeId(0);
-    let gadgets: Vec<AttachedBypass> =
-        (0..k).map(|_| attach_bypass(&mut g, root, c)).collect();
+    let gadgets: Vec<AttachedBypass> = (0..k).map(|_| attach_bypass(&mut g, root, c)).collect();
     let ell = gadgets[0].ell;
 
     let mut centers = Vec::with_capacity(n);
@@ -179,8 +178,7 @@ mod tests {
         let red = build(&inst);
         let g = red.game.graph();
         // Nodes: 1 + k·ℓ + Σ sᵢ  (center + s−1 leaves each).
-        let want_nodes = 1 + inst.bins * red.ell as usize
-            + inst.sizes.iter().sum::<u64>() as usize;
+        let want_nodes = 1 + inst.bins * red.ell as usize + inst.sizes.iter().sum::<u64>() as usize;
         assert_eq!(g.node_count(), want_nodes);
         // MST weight matches the formula.
         let mst_w = ndg_graph::mst_weight(g).unwrap();

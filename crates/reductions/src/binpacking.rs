@@ -42,7 +42,10 @@ pub fn strictify(sizes: &[u64], bins: usize, capacity: u64) -> Option<BinPacking
         return None;
     }
     let mut padded: Vec<u64> = sizes.to_vec();
-    padded.extend(std::iter::repeat_n(1u64, (bins as u64 * capacity - sum) as usize));
+    padded.extend(std::iter::repeat_n(
+        1u64,
+        (bins as u64 * capacity - sum) as usize,
+    ));
     Some(BinPacking {
         sizes: padded.iter().map(|s| 2 * s).collect(),
         bins,

@@ -86,9 +86,8 @@ mod tests {
                 let b = SubsidyAssignment::zero(game.graph());
                 let viol = lemma2_violation(&game, &rt, &b);
                 if beta < kappa {
-                    let v = viol.unwrap_or_else(|| {
-                        panic!("κ={kappa}, β={beta}: connector must defect")
-                    });
+                    let v = viol
+                        .unwrap_or_else(|| panic!("κ={kappa}, β={beta}: connector must defect"));
                     assert_eq!(v.via, gadget.bypass_edge);
                     // The defector is the connector or a basic-path node on
                     // its root path (the connector is the first scanned).

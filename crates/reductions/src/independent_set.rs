@@ -217,9 +217,7 @@ impl IsReduction {
                         && children.len() == 3
                         && children.iter().all(|&c| {
                             rt.subtree_size(c) == 1
-                                && self
-                                    .literal_edge
-                                    .contains_key(&(c, branch_root))
+                                && self.literal_edge.contains_key(&(c, branch_root))
                         });
                     if !is_b {
                         return None;

@@ -19,7 +19,10 @@ pub struct Literal {
 impl Literal {
     /// Positive literal `x`.
     pub fn pos(var: usize) -> Self {
-        Literal { var, negated: false }
+        Literal {
+            var,
+            negated: false,
+        }
     }
 
     /// Negative literal `x̄`.
@@ -207,9 +210,7 @@ pub fn random_3sat4<R: Rng>(num_vars: usize, num_clauses: usize, rng: &mut R) ->
         let mut clauses = Vec::with_capacity(num_clauses);
         let mut ok = true;
         for _ in 0..num_clauses {
-            let mut vars: Vec<usize> = (0..num_vars)
-                .filter(|&v| occurrences[v] < 4)
-                .collect();
+            let mut vars: Vec<usize> = (0..num_vars).filter(|&v| occurrences[v] < 4).collect();
             if vars.len() < 3 {
                 ok = false;
                 break;
@@ -241,7 +242,10 @@ mod tests {
     use super::*;
 
     fn lit(v: usize, neg: bool) -> Literal {
-        Literal { var: v, negated: neg }
+        Literal {
+            var: v,
+            negated: neg,
+        }
     }
 
     #[test]
@@ -287,7 +291,10 @@ mod tests {
                 lit(2, mask & 4 != 0),
             ]));
         }
-        let cnf = Cnf { num_vars: 3, clauses };
+        let cnf = Cnf {
+            num_vars: 3,
+            clauses,
+        };
         assert_eq!(dpll(&cnf), None);
         // (Not 3SAT-4 — 8 occurrences each — but DPLL is general 3-CNF.)
         assert!(!cnf.is_3sat4());

@@ -29,9 +29,7 @@
 //!   noise stays below `1e-12` at the default `K = 100`.
 
 use crate::sat::{Cnf, Literal};
-use ndg_core::{
-    lemma2_violation_eps, NetworkDesignGame, SubsidyAssignment,
-};
+use ndg_core::{lemma2_violation_eps, NetworkDesignGame, SubsidyAssignment};
 use ndg_graph::{EdgeId, Graph, NodeId, RootedTree};
 use std::collections::HashSet;
 use std::fmt;
@@ -507,7 +505,10 @@ mod tests {
     use crate::sat::{dpll, Clause};
 
     fn lit(v: usize, neg: bool) -> Literal {
-        Literal { var: v, negated: neg }
+        Literal {
+            var: v,
+            negated: neg,
+        }
     }
 
     /// One clause, three fresh variables: the smallest instance.
@@ -684,7 +685,10 @@ mod tests {
             num_vars: 2,
             clauses: vec![Clause([lit(0, false), lit(0, true), lit(1, false)])],
         };
-        assert_eq!(build(&not34, DEFAULT_K).unwrap_err(), SatReductionError::NotThreeSatFour);
+        assert_eq!(
+            build(&not34, DEFAULT_K).unwrap_err(),
+            SatReductionError::NotThreeSatFour
+        );
     }
 
     #[test]

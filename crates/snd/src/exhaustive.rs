@@ -2,9 +2,14 @@
 //! with LP (3), and expose the budget→weight Pareto frontier.
 //!
 //! This is the ground truth the heuristics and the E7 budget sweep are
-//! compared against. Trees are priced in parallel (rayon).
+//! compared against. Trees are priced through the rayon interface — note
+//! that the vendored `crates/compat/rayon` shim executes sequentially
+//! (see ROADMAP "Open items" for the parallelism plan).
 
 use crate::{SndDesign, SndError};
+// NOTE: `rayon` here is the sequential compat shim; real parallelism in
+// this workspace currently comes from `std::thread::scope` (see
+// `ndg_core::enumerate`).
 use ndg_core::{spanning_trees, NetworkDesignGame};
 use ndg_graph::EdgeId;
 use rayon::prelude::*;
@@ -21,10 +26,7 @@ pub struct PricedTree {
 }
 
 /// Price every spanning tree of the broadcast game's graph.
-pub fn price_all_trees(
-    game: &NetworkDesignGame,
-    cap: usize,
-) -> Result<Vec<PricedTree>, SndError> {
+pub fn price_all_trees(game: &NetworkDesignGame, cap: usize) -> Result<Vec<PricedTree>, SndError> {
     if !game.is_broadcast() {
         return Err(SndError::NotBroadcast);
     }
@@ -64,10 +66,7 @@ pub struct ParetoPoint {
 /// The Pareto frontier of (budget, achievable weight): scanning trees in
 /// weight order, each tree contributes a point if it needs strictly less
 /// budget than every lighter tree.
-pub fn pareto_frontier(
-    game: &NetworkDesignGame,
-    cap: usize,
-) -> Result<Vec<ParetoPoint>, SndError> {
+pub fn pareto_frontier(game: &NetworkDesignGame, cap: usize) -> Result<Vec<ParetoPoint>, SndError> {
     let priced = price_all_trees(game, cap)?;
     let mut frontier: Vec<ParetoPoint> = Vec::new();
     let mut best_budget = f64::INFINITY;
@@ -129,8 +128,7 @@ pub fn min_weight_within_budget_aon(
         let sol = ndg_aon::exact::min_aon_subsidy(game, &tree, node_limit)
             .map_err(|e| SndError::Sne(e.to_string()))?;
         if sol.cost <= budget + 1e-9 {
-            let subsidies =
-                ndg_core::SubsidyAssignment::all_or_nothing(g, &sol.edges);
+            let subsidies = ndg_core::SubsidyAssignment::all_or_nothing(g, &sol.edges);
             return Ok(SndDesign {
                 weight: g.weight_of(&tree),
                 tree,
@@ -228,8 +226,10 @@ mod tests {
         let mst_w = mst_weight(game.graph()).unwrap();
         let design = min_weight_within_budget(&game, 0.5, 1000).unwrap();
         assert!(snd_decision(&game, 0.5, design.weight, 1000).unwrap());
-        assert!(!snd_decision(&game, 0.5, design.weight - 0.1, 1000).unwrap()
-            || design.weight - 0.1 >= mst_w);
+        assert!(
+            !snd_decision(&game, 0.5, design.weight - 0.1, 1000).unwrap()
+                || design.weight - 0.1 >= mst_w
+        );
     }
 
     #[test]
@@ -244,21 +244,18 @@ mod tests {
             // Infinite budget: both reach the MST weight.
             let frac = min_weight_within_budget(&game, f64::INFINITY, 100_000).unwrap();
             let aon =
-                min_weight_within_budget_aon(&game, f64::INFINITY, 100_000, 1_000_000)
-                    .unwrap();
+                min_weight_within_budget_aon(&game, f64::INFINITY, 100_000, 1_000_000).unwrap();
             assert!((frac.weight - mst_w).abs() < 1e-9);
             assert!((aon.weight - mst_w).abs() < 1e-9);
             // Budget 0: identical (no subsidies at all in either model).
             let frac0 = min_weight_within_budget(&game, 0.0, 100_000).unwrap();
-            let aon0 =
-                min_weight_within_budget_aon(&game, 0.0, 100_000, 1_000_000).unwrap();
+            let aon0 = min_weight_within_budget_aon(&game, 0.0, 100_000, 1_000_000).unwrap();
             assert!((frac0.weight - aon0.weight).abs() < 1e-6);
             // Any intermediate budget: the integral design is never lighter
             // than the fractional one (AoN subsidies are a subset).
             let budget = mst_w * 0.15;
             let f = min_weight_within_budget(&game, budget, 100_000).unwrap();
-            let a =
-                min_weight_within_budget_aon(&game, budget, 100_000, 1_000_000).unwrap();
+            let a = min_weight_within_budget_aon(&game, budget, 100_000, 1_000_000).unwrap();
             assert!(a.weight >= f.weight - 1e-9);
             assert!(a.subsidies.is_all_or_nothing(game.graph()));
         }

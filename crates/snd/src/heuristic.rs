@@ -9,9 +9,7 @@
 //! dynamics (which needs no budget at all).
 
 use crate::{SndDesign, SndError};
-use ndg_core::{
-    dynamics_from_tree, MoveOrder, NetworkDesignGame, SubsidyAssignment,
-};
+use ndg_core::{dynamics_from_tree, MoveOrder, NetworkDesignGame, SubsidyAssignment};
 use ndg_graph::kruskal;
 
 /// The unconditional design: MST enforced by Theorem 6 subsidies.
@@ -39,10 +37,7 @@ pub fn mst_theorem6(game: &NetworkDesignGame) -> Result<SndDesign, SndError> {
 ///    subsidies and return the equilibrium reached (a 0-budget design
 ///    whose weight the Anshelevich et al. argument bounds via the
 ///    potential).
-pub fn design_with_budget(
-    game: &NetworkDesignGame,
-    budget: f64,
-) -> Result<SndDesign, SndError> {
+pub fn design_with_budget(game: &NetworkDesignGame, budget: f64) -> Result<SndDesign, SndError> {
     if !game.is_broadcast() {
         return Err(SndError::NotBroadcast);
     }

@@ -103,8 +103,7 @@ mod tests {
         let g = generators::grid_graph(2, 3, 1.0);
         let game = multicast(g.clone(), NodeId(0), &[NodeId(2), NodeId(5)]).unwrap();
         let (_, steiner_w) = exact_steiner_tree(&g, NodeId(0), &[NodeId(2), NodeId(5)]).unwrap();
-        let design =
-            min_weight_within_budget_multicast(&game, f64::INFINITY, 1_000_000).unwrap();
+        let design = min_weight_within_budget_multicast(&game, f64::INFINITY, 1_000_000).unwrap();
         assert!(
             (design.weight - steiner_w).abs() < 1e-9,
             "design {} vs Steiner {steiner_w}",

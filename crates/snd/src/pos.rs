@@ -17,8 +17,7 @@ use ndg_graph::{harmonic, kruskal, mst_weight};
 /// Exact PoS over spanning-tree states of the unsubsidized game.
 pub fn exact_pos(game: &NetworkDesignGame, cap: usize) -> Result<f64, SndError> {
     let b0 = SubsidyAssignment::zero(game.graph());
-    price_of_stability(game, &b0, cap)?
-        .ok_or(SndError::NoDesign)
+    price_of_stability(game, &b0, cap)?.ok_or(SndError::NoDesign)
 }
 
 /// The best-response-from-OPT upper bound: descend the potential from the

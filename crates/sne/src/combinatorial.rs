@@ -19,10 +19,7 @@ use ndg_graph::{EdgeId, NodeId, RootedTree};
 /// [`SneError::NotBroadcast`]/[`SneError::NotASpanningTree`] on malformed
 /// input, and [`SneError::Cut`] if the instance is not of the supported
 /// shape (non-cycle graph or chord not incident to the root).
-pub fn enforce_cycle(
-    game: &NetworkDesignGame,
-    tree: &[EdgeId],
-) -> Result<SneSolution, SneError> {
+pub fn enforce_cycle(game: &NetworkDesignGame, tree: &[EdgeId]) -> Result<SneSolution, SneError> {
     let root = game.root().ok_or(SneError::NotBroadcast)?;
     let g = game.graph();
     let n = g.node_count();
@@ -90,8 +87,12 @@ mod tests {
         let mut tree = Vec::new();
         for i in 0..n {
             tree.push(
-                g.add_edge(NodeId(i as u32), NodeId((i + 1) as u32), rng.random_range(0.1..3.0))
-                    .unwrap(),
+                g.add_edge(
+                    NodeId(i as u32),
+                    NodeId((i + 1) as u32),
+                    rng.random_range(0.1..3.0),
+                )
+                .unwrap(),
             );
         }
         g.add_edge(NodeId(n as u32), NodeId(0), rng.random_range(0.1..3.0))
@@ -149,17 +150,11 @@ mod tests {
         let g = ndg_graph::generators::complete_graph(4, 1.0);
         let game = NetworkDesignGame::broadcast(g, NodeId(0)).unwrap();
         let tree = ndg_graph::kruskal(game.graph()).unwrap();
-        assert!(matches!(
-            enforce_cycle(&game, &tree),
-            Err(SneError::Cut(_))
-        ));
+        assert!(matches!(enforce_cycle(&game, &tree), Err(SneError::Cut(_))));
         // Cycle, but the excluded edge is not root-incident.
         let g = ndg_graph::generators::cycle_graph(5, 1.0);
         let game = NetworkDesignGame::broadcast(g, NodeId(0)).unwrap();
         let tree: Vec<EdgeId> = vec![EdgeId(0), EdgeId(1), EdgeId(3), EdgeId(4)];
-        assert!(matches!(
-            enforce_cycle(&game, &tree),
-            Err(SneError::Cut(_))
-        ));
+        assert!(matches!(enforce_cycle(&game, &tree), Err(SneError::Cut(_))));
     }
 }

@@ -73,8 +73,10 @@ mod tests {
         let r16 = measured_ratio(16).unwrap();
         let r48 = measured_ratio(48).unwrap();
         let target = 1.0 / E;
-        assert!((r48 - target).abs() < (r16 - target).abs() + 1e-9,
-            "ratio must approach 1/e: r16={r16}, r48={r48}");
+        assert!(
+            (r48 - target).abs() < (r16 - target).abs() + 1e-9,
+            "ratio must approach 1/e: r16={r16}, r48={r48}"
+        );
         assert!((r48 - target).abs() < 0.03, "r48={r48} too far from 1/e");
     }
 

@@ -21,10 +21,7 @@ use std::collections::HashMap;
 
 /// Solve LP (3) for the broadcast game and spanning tree `tree`; returns the
 /// minimum-cost enforcing subsidies.
-pub fn enforce_tree_lp(
-    game: &NetworkDesignGame,
-    tree: &[EdgeId],
-) -> Result<SneSolution, SneError> {
+pub fn enforce_tree_lp(game: &NetworkDesignGame, tree: &[EdgeId]) -> Result<SneSolution, SneError> {
     let root = game.root().ok_or(SneError::NotBroadcast)?;
     let g = game.graph();
     let rt = RootedTree::new(g, tree, root).map_err(|_| SneError::NotASpanningTree)?;
@@ -154,8 +151,7 @@ mod tests {
         // would be 51^4 ≈ 6.8M — instead verify optimality by (a) validity
         // and (b) matching the cutting-plane solver (independent method).
         let (state, _) = ndg_core::State::from_tree(&game, &tree).unwrap();
-        let (cut_sol, _) =
-            crate::lp_general::enforce_state_cutting(&game, &state).unwrap();
+        let (cut_sol, _) = crate::lp_general::enforce_state_cutting(&game, &state).unwrap();
         assert!(
             (sol.cost - cut_sol.cost).abs() < 1e-5,
             "lp3 {} vs lp1 {}",

@@ -61,8 +61,8 @@ pub fn enforce_state_cutting(
         cuts
     };
 
-    let (sol, stats) =
-        solve_with_cuts(&mut lp, &mut oracle, MAX_ROUNDS).map_err(|e| SneError::Cut(e.to_string()))?;
+    let (sol, stats) = solve_with_cuts(&mut lp, &mut oracle, MAX_ROUNDS)
+        .map_err(|e| SneError::Cut(e.to_string()))?;
 
     let mut b = SubsidyAssignment::zero(g);
     for (k, &e) in var_list.iter().enumerate() {

@@ -48,8 +48,7 @@ pub fn enforce_state_weighted(
             let d_i = demands.of(i);
             let current = weighted_player_cost(game, state, demands, &b, i);
             let sp = dijkstra_with(g, player.source, |e| {
-                let load =
-                    demands.load(state, e) + if state.uses(i, e) { 0.0 } else { d_i };
+                let load = demands.load(state, e) + if state.uses(i, e) { 0.0 } else { d_i };
                 b.residual(g, e) * d_i / load
             });
             if sp.dist[player.terminal.index()] < current - ORACLE_TOL {
@@ -172,7 +171,12 @@ mod tests {
             )
             .unwrap();
             let (sol, _) = enforce_state_weighted(&game, &state, &d).unwrap();
-            assert!(ndg_core::weighted_is_equilibrium(&game, &state, &d, &sol.subsidies));
+            assert!(ndg_core::weighted_is_equilibrium(
+                &game,
+                &state,
+                &d,
+                &sol.subsidies
+            ));
         }
     }
 }

@@ -74,10 +74,7 @@ pub fn subsidies_single_layer(
     let root = game.root().ok_or(SneError::NotBroadcast)?;
     let g = game.graph();
     let rt = RootedTree::new(g, tree, root).map_err(|_| SneError::NotASpanningTree)?;
-    let c = g
-        .edges()
-        .map(|(_, e)| e.w)
-        .fold(0.0f64, f64::max);
+    let c = g.edges().map(|(_, e)| e.w).fold(0.0f64, f64::max);
     if c <= 0.0 {
         return Ok(SubsidyAssignment::zero(g));
     }

@@ -31,11 +31,7 @@ pub fn min_subsidy_to_cap_cost(
     strategy: PackingStrategy,
 ) -> Option<f64> {
     assert_eq!(usages.len(), weights.len());
-    let base_cost: f64 = weights
-        .iter()
-        .zip(usages)
-        .map(|(w, &u)| w / u as f64)
-        .sum();
+    let base_cost: f64 = weights.iter().zip(usages).map(|(w, &u)| w / u as f64).sum();
     if base_cost <= cap + 1e-12 {
         return Some(0.0);
     }
@@ -102,10 +98,13 @@ mod tests {
                 .expect("feasible");
             let most = min_subsidy_to_cap_cost(&u, &w, 1.0, PackingStrategy::MostCrowded)
                 .expect("feasible");
-            let unif = min_subsidy_to_cap_cost(&u, &w, 1.0, PackingStrategy::Uniform)
-                .expect("feasible");
+            let unif =
+                min_subsidy_to_cap_cost(&u, &w, 1.0, PackingStrategy::Uniform).expect("feasible");
             assert!(least <= most + 1e-9, "least {least} > most {most} (n={n})");
-            assert!(least <= unif + 1e-9, "least {least} > uniform {unif} (n={n})");
+            assert!(
+                least <= unif + 1e-9,
+                "least {least} > uniform {unif} (n={n})"
+            );
             if n >= 10 {
                 assert!(least < most - 0.5, "gap should be large at n={n}");
             }
@@ -117,8 +116,7 @@ mod tests {
         // Theorem 11: minimal subsidies / n → 1/e.
         let n = 20_000;
         let (u, w) = theorem11_instance(n);
-        let least =
-            min_subsidy_to_cap_cost(&u, &w, 1.0, PackingStrategy::LeastCrowded).unwrap();
+        let least = min_subsidy_to_cap_cost(&u, &w, 1.0, PackingStrategy::LeastCrowded).unwrap();
         let ratio = least / n as f64;
         assert!(
             (ratio - 1.0 / std::f64::consts::E).abs() < 1e-3,
@@ -147,9 +145,8 @@ mod tests {
         // remaining 1/3 > 0.5? No: 4/3 − 1 = 1/3 ≤ 0.5 after reduction of 1.
         // Need = 4/3 − 1/2 = 5/6; full e(u=1) gives 1 ≥ 5/6 ⇒ partial:
         // b = 5/6 · 1 = 5/6.
-        let got =
-            min_subsidy_to_cap_cost(&[3, 1], &[1.0, 1.0], 0.5, PackingStrategy::LeastCrowded)
-                .unwrap();
+        let got = min_subsidy_to_cap_cost(&[3, 1], &[1.0, 1.0], 0.5, PackingStrategy::LeastCrowded)
+            .unwrap();
         assert!((got - 5.0 / 6.0).abs() < 1e-12, "{got}");
         // Most crowded: subsidize u=3 edge fully (reduces 1/3), then the
         // u=1 edge partially by 1/2: total = 1 + 1/2.

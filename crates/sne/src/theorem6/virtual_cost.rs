@@ -17,7 +17,10 @@
 pub fn virtual_cost(c: f64, m: u32, y: f64) -> f64 {
     debug_assert!(m >= 1, "a heavy edge always carries its child player");
     debug_assert!(c > 0.0);
-    debug_assert!((-1e-12..=c + 1e-9).contains(&y), "subsidy {y} outside [0, {c}]");
+    debug_assert!(
+        (-1e-12..=c + 1e-9).contains(&y),
+        "subsidy {y} outside [0, {c}]"
+    );
     let den = m as f64 - 1.0 + (y / c).max(0.0);
     if den <= 0.0 {
         f64::INFINITY
@@ -116,7 +119,7 @@ mod tests {
         let c = 1.0;
         let t = 6u32;
         let k = 6u32; // m values 1..6
-        // Pack y = 1.6c: full subsidy on m=1 and 0.6c on m=2 (Figure 4).
+                      // Pack y = 1.6c: full subsidy on m=1 and 0.6c on m=2 (Figure 4).
         let y_total = 1.6;
         let mut sum = 0.0;
         for m in 1..=t {

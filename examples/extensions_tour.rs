@@ -8,15 +8,15 @@ use subsidy_games::core::{
     self, multicast::multicast, weighted::Demands, NetworkDesignGame, State, SubsidyAssignment,
 };
 use subsidy_games::graph::{generators, harmonic, EdgeId, NodeId};
-use subsidy_games::{sne, snd};
+use subsidy_games::{snd, sne};
 
 fn main() {
     // --- Multicast SND ---
     println!("— multicast: Steiner-optimal stable designs —");
     let g = generators::grid_graph(2, 3, 1.0);
     let game = multicast(g.clone(), NodeId(0), &[NodeId(2), NodeId(5)]).unwrap();
-    let (_, steiner) = core::multicast::exact_steiner_tree(&g, NodeId(0), &[NodeId(2), NodeId(5)])
-        .unwrap();
+    let (_, steiner) =
+        core::multicast::exact_steiner_tree(&g, NodeId(0), &[NodeId(2), NodeId(5)]).unwrap();
     let design =
         snd::multicast::min_weight_within_budget_multicast(&game, f64::INFINITY, 1_000_000)
             .unwrap();
@@ -78,8 +78,14 @@ fn main() {
     let game = NetworkDesignGame::new(
         g,
         vec![
-            core::Player { source: NodeId(3), terminal: NodeId(0) },
-            core::Player { source: NodeId(4), terminal: NodeId(0) },
+            core::Player {
+                source: NodeId(3),
+                terminal: NodeId(0),
+            },
+            core::Player {
+                source: NodeId(4),
+                terminal: NodeId(0),
+            },
         ],
     )
     .unwrap();

@@ -8,7 +8,9 @@
 //! Run with: `cargo run --release --example hardness_gallery`
 
 use subsidy_games::reductions::{
-    binpack_reduction, binpacking::BinPacking, build_is_reduction, build_sat_reduction, dpll,
+    binpack_reduction,
+    binpacking::BinPacking,
+    build_is_reduction, build_sat_reduction, dpll,
     independent_set::{max_independent_set, petersen},
     sat::{Clause, Cnf, Literal},
     sat_reduction::DEFAULT_K,
@@ -19,8 +21,16 @@ fn main() {
     // --- Theorem 3 ---
     println!("— Theorem 3: BIN PACKING → SND with budget 0 —");
     for inst in [
-        BinPacking { sizes: vec![2, 2, 4], bins: 2, capacity: 4 },
-        BinPacking { sizes: vec![10, 10, 4], bins: 2, capacity: 12 },
+        BinPacking {
+            sizes: vec![2, 2, 4],
+            bins: 2,
+            capacity: 4,
+        },
+        BinPacking {
+            sizes: vec![10, 10, 4],
+            bins: 2,
+            capacity: 12,
+        },
     ] {
         let packing = solve_bin_packing(&inst);
         let red = binpack_reduction::build(&inst);
@@ -31,8 +41,16 @@ fn main() {
             inst.bins,
             inst.capacity,
             if packing.is_some() { "exists" } else { "none" },
-            if equilibrium.is_some() { "exists" } else { "none" },
-            if packing.is_some() == equilibrium.is_some() { "agree ✓" } else { "DISAGREE ✗" },
+            if equilibrium.is_some() {
+                "exists"
+            } else {
+                "none"
+            },
+            if packing.is_some() == equilibrium.is_some() {
+                "agree ✓"
+            } else {
+                "DISAGREE ✗"
+            },
         );
         assert_eq!(packing.is_some(), equilibrium.is_some());
     }
@@ -58,11 +76,7 @@ fn main() {
     println!("\n— Theorem 12: 3SAT-4 → all-or-nothing SNE inapproximability —");
     let cnf = Cnf {
         num_vars: 3,
-        clauses: vec![Clause([
-            Literal::pos(0),
-            Literal::neg(1),
-            Literal::pos(2),
-        ])],
+        clauses: vec![Clause([Literal::pos(0), Literal::neg(1), Literal::pos(2)])],
     };
     let red = build_sat_reduction(&cnf, DEFAULT_K).expect("3-colorable formula");
     let rt = red.rooted_tree();

@@ -8,10 +8,10 @@
 //!
 //! Run with: `cargo run --release --example price_of_stability`
 
+use rand::prelude::*;
 use subsidy_games::core::NetworkDesignGame;
 use subsidy_games::graph::{generators, harmonic, NodeId};
 use subsidy_games::snd::pos;
-use rand::prelude::*;
 
 fn main() {
     let mut rng = StdRng::seed_from_u64(2026);
@@ -25,7 +25,13 @@ fn main() {
         let pos_val = pos::exact_pos(&game, 2_000_000).expect("small instance");
         let (br, _) = pos::br_from_opt_bound(&game).expect("dynamics converge");
         let hn = harmonic(game.num_players() as u64);
-        println!("{:>5} {:>9.4} {:>10.4} {:>8.4}", game.num_players(), pos_val, br, hn);
+        println!(
+            "{:>5} {:>9.4} {:>10.4} {:>8.4}",
+            game.num_players(),
+            pos_val,
+            br,
+            hn
+        );
         assert!(pos_val <= br + 1e-9 && br <= hn + 1e-9);
         if pos_val > worst {
             worst = pos_val;

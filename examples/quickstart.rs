@@ -21,7 +21,10 @@ fn main() {
     let game = NetworkDesignGame::broadcast(g, NodeId(0)).expect("connected graph");
     let mst = kruskal(game.graph()).expect("connected graph");
     let mst_weight = game.graph().weight_of(&mst);
-    println!("broadcast game: {} players, MST weight {mst_weight}", game.num_players());
+    println!(
+        "broadcast game: {} players, MST weight {mst_weight}",
+        game.num_players()
+    );
 
     // Without subsidies the far player defects to the closing edge.
     let rt = RootedTree::new(game.graph(), &mst, NodeId(0)).unwrap();

@@ -10,10 +10,10 @@
 //!
 //! Run with: `cargo run --release --example subsidized_isp`
 
+use rand::prelude::*;
 use subsidy_games::core::NetworkDesignGame;
 use subsidy_games::graph::{generators, mst_weight, NodeId};
 use subsidy_games::snd;
-use rand::prelude::*;
 
 fn main() {
     // A 4×5 street grid with some random diagonal shortcut ducts; weights
@@ -45,7 +45,10 @@ fn main() {
         opt / std::f64::consts::E
     );
 
-    println!("{:>10}  {:>12}  {:>12}", "budget", "stable cost", "subsidy used");
+    println!(
+        "{:>10}  {:>12}  {:>12}",
+        "budget", "stable cost", "subsidy used"
+    );
     println!("{}", "-".repeat(40));
     for step in 0..=6 {
         let budget = opt * step as f64 / (6.0 * std::f64::consts::E);

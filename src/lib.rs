@@ -38,5 +38,5 @@ pub use ndg_core as core;
 pub use ndg_graph as graph;
 pub use ndg_lp as lp;
 pub use ndg_reductions as reductions;
-pub use ndg_sne as sne;
 pub use ndg_snd as snd;
+pub use ndg_sne as sne;

@@ -60,7 +60,7 @@ fn pos_pipeline_bounds() {
     let (br, hn) = snd::pos::br_from_opt_bound(&game).unwrap();
     assert!((1.0..=br + 1e-9).contains(&pos));
     assert!(br <= hn + 1e-9);
-    let at_budget = snd::pos::pos_with_budget_fraction(&game, 1.0 / std::f64::consts::E, 1_000_000)
-        .unwrap();
+    let at_budget =
+        snd::pos::pos_with_budget_fraction(&game, 1.0 / std::f64::consts::E, 1_000_000).unwrap();
     assert!((at_budget - 1.0).abs() < 1e-9);
 }

@@ -15,7 +15,10 @@ fn disconnected_graphs_error_cleanly() {
         NetworkDesignGame::broadcast(g.clone(), NodeId(0)),
         Err(GameError::Disconnected)
     ));
-    assert_eq!(subsidy_games::graph::kruskal(&g), Err(GraphError::Disconnected));
+    assert_eq!(
+        subsidy_games::graph::kruskal(&g),
+        Err(GraphError::Disconnected)
+    );
     assert!(matches!(
         subsidy_games::core::spanning_trees(&g, 10),
         Err(subsidy_games::core::EnumError::Disconnected)
@@ -70,11 +73,17 @@ fn lp_failure_statuses_are_reported_not_panicked() {
     let mut lp = LinearProgram::new();
     let x = lp.add_var(1.0, 0.0, 1.0).unwrap();
     lp.add_ge(vec![(x, 1.0)], 5.0).unwrap();
-    assert_eq!(subsidy_games::lp::solve(&lp).unwrap().status, LpStatus::Infeasible);
+    assert_eq!(
+        subsidy_games::lp::solve(&lp).unwrap().status,
+        LpStatus::Infeasible
+    );
     // Unbounded.
     let mut lp2 = LinearProgram::new();
     lp2.add_var(-1.0, 0.0, f64::INFINITY).unwrap();
-    assert_eq!(subsidy_games::lp::solve(&lp2).unwrap().status, LpStatus::Unbounded);
+    assert_eq!(
+        subsidy_games::lp::solve(&lp2).unwrap().status,
+        LpStatus::Unbounded
+    );
 }
 
 #[test]
@@ -98,8 +107,14 @@ fn zero_weight_cycles_are_handled() {
 fn reduction_builders_validate_inputs() {
     use subsidy_games::reductions::sat::{Clause, Cnf, Literal};
     use subsidy_games::reductions::sat_reduction::{build, SatReductionError, DEFAULT_K};
-    let empty = Cnf { num_vars: 3, clauses: vec![] };
-    assert_eq!(build(&empty, DEFAULT_K).unwrap_err(), SatReductionError::EmptyFormula);
+    let empty = Cnf {
+        num_vars: 3,
+        clauses: vec![],
+    };
+    assert_eq!(
+        build(&empty, DEFAULT_K).unwrap_err(),
+        SatReductionError::EmptyFormula
+    );
     let degenerate = Cnf {
         num_vars: 1,
         clauses: vec![Clause([Literal::pos(0), Literal::neg(0), Literal::pos(0)])],

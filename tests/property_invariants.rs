@@ -128,4 +128,119 @@ proptest! {
             prop_assert!(w[1] < w[0] + 1e-9);
         }
     }
+
+    /// The incremental engine's O(Δ)-per-move potential and cost
+    /// maintenance must agree with the from-scratch
+    /// `rosenthal_potential`/`player_cost` to 1e-9 after *every* move,
+    /// across random games, random subsidies, and all three move orders.
+    #[test]
+    fn incremental_maintenance_matches_from_scratch(
+        n in 3usize..9,
+        seed in 0u64..1_000_000,
+    ) {
+        let (game, tree) = game_from_seed(n, 0.5, seed);
+        let b = random_subsidies(&game, &tree, seed);
+        for order in [
+            core::MoveOrder::RoundRobin,
+            core::MoveOrder::RandomOrder(seed),
+            core::MoveOrder::MaxGain,
+        ] {
+            let (state, _) = State::from_tree(&game, &tree).unwrap();
+            let mut engine = core::IncrementalDynamics::new(&game, state, &b);
+            let mut order_rng = match order {
+                core::MoveOrder::RandomOrder(s) => Some(StdRng::seed_from_u64(s)),
+                _ => None,
+            };
+            let np = game.num_players();
+            let mut players: Vec<usize> = (0..np).collect();
+            let mut guard = 0usize;
+            loop {
+                guard += 1;
+                prop_assert!(guard < 100_000, "dynamics did not converge");
+                let mut moved_this_round = false;
+                let check = |engine: &core::IncrementalDynamics| {
+                    let full = core::rosenthal_potential(&game, engine.state(), &b);
+                    assert!(
+                        (engine.potential() - full).abs() < 1e-9,
+                        "{order:?}: Φ {} vs from-scratch {}",
+                        engine.potential(),
+                        full
+                    );
+                    for j in 0..np {
+                        let fresh = core::player_cost(&game, engine.state(), &b, j);
+                        assert!(
+                            (engine.cached_cost(j) - fresh).abs() < 1e-9,
+                            "{order:?}: cost[{j}] {} vs from-scratch {fresh}",
+                            engine.cached_cost(j)
+                        );
+                    }
+                };
+                match order {
+                    core::MoveOrder::MaxGain => {
+                        for _ in 0..np {
+                            match engine.best_improving_move() {
+                                Some(_) => {
+                                    moved_this_round = true;
+                                    check(&engine);
+                                }
+                                None => break,
+                            }
+                        }
+                    }
+                    _ => {
+                        if let Some(rng) = order_rng.as_mut() {
+                            players.shuffle(rng);
+                        }
+                        for &i in &players {
+                            if engine.try_improve(i).is_some() {
+                                moved_this_round = true;
+                                check(&engine);
+                            }
+                        }
+                    }
+                }
+                if !moved_this_round {
+                    break;
+                }
+            }
+            prop_assert!(is_equilibrium(&game, engine.state(), &b));
+        }
+    }
+
+    /// The engine-backed public driver reproduces the naive
+    /// recompute-per-move reference: same moves, same final state, and a
+    /// potential trace equal up to float tolerance.
+    #[test]
+    fn incremental_driver_matches_naive_reference(
+        n in 3usize..9,
+        seed in 0u64..1_000_000,
+    ) {
+        let (game, tree) = game_from_seed(n, 0.5, seed);
+        let b = random_subsidies(&game, &tree, seed);
+        for order in [
+            core::MoveOrder::RoundRobin,
+            core::MoveOrder::RandomOrder(seed),
+            core::MoveOrder::MaxGain,
+        ] {
+            let (s1, _) = State::from_tree(&game, &tree).unwrap();
+            let (s2, _) = State::from_tree(&game, &tree).unwrap();
+            let fast = core::best_response_dynamics(&game, s1, &b, order, 100_000);
+            let naive = core::best_response_dynamics_naive(&game, s2, &b, order, 100_000);
+            prop_assert!(fast.converged && naive.converged);
+            prop_assert_eq!(fast.moves, naive.moves, "move count diverged under {:?}", order);
+            for i in 0..game.num_players() {
+                prop_assert_eq!(
+                    fast.state.path(i),
+                    naive.state.path(i),
+                    "final path of player {} diverged under {:?}",
+                    i,
+                    order
+                );
+            }
+            prop_assert_eq!(fast.potential_trace.len(), naive.potential_trace.len());
+            for (a, c) in fast.potential_trace.iter().zip(&naive.potential_trace) {
+                prop_assert!((a - c).abs() < 1e-9, "trace diverged under {:?}", order);
+            }
+        }
+    }
 }

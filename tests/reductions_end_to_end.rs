@@ -2,7 +2,9 @@
 //! driven through the facade crate.
 
 use subsidy_games::reductions::{
-    binpack_reduction, binpacking::BinPacking, build_is_reduction, build_sat_reduction, dpll,
+    binpack_reduction,
+    binpacking::BinPacking,
+    build_is_reduction, build_sat_reduction, dpll,
     independent_set::max_independent_set,
     sat::{Clause, Cnf, Literal},
     sat_reduction::DEFAULT_K,
@@ -30,8 +32,8 @@ fn theorem_3_biconditional() {
 
 #[test]
 fn theorem_5_weight_formula() {
-    use subsidy_games::graph::generators::random_3_regular;
     use rand::prelude::*;
+    use subsidy_games::graph::generators::random_3_regular;
     let mut rng = StdRng::seed_from_u64(55);
     let h = random_3_regular(6, &mut rng, 1.0);
     let red = build_is_reduction(&h, 0.05);

@@ -29,8 +29,18 @@ fn all_solvers_agree_and_certify() {
         let lp2 = PolyLpSolver.solve(&game, &tree).unwrap();
         let t6 = Theorem6Solver.solve(&game, &tree).unwrap();
 
-        assert!((lp3.cost - lp1.cost).abs() < 1e-5, "lp3 {} vs lp1 {}", lp3.cost, lp1.cost);
-        assert!((lp3.cost - lp2.cost).abs() < 1e-5, "lp3 {} vs lp2 {}", lp3.cost, lp2.cost);
+        assert!(
+            (lp3.cost - lp1.cost).abs() < 1e-5,
+            "lp3 {} vs lp1 {}",
+            lp3.cost,
+            lp1.cost
+        );
+        assert!(
+            (lp3.cost - lp2.cost).abs() < 1e-5,
+            "lp3 {} vs lp2 {}",
+            lp3.cost,
+            lp2.cost
+        );
         assert!(lp3.cost <= t6.cost + 1e-6, "LP must not exceed Theorem 6");
         assert!(
             t6.cost <= game.graph().weight_of(&tree) / std::f64::consts::E + 1e-7,
