@@ -17,6 +17,59 @@ pub fn random_broadcast(n: usize, extra_p: f64, seed: u64) -> (NetworkDesignGame
     (game, tree)
 }
 
+/// A deterministic random *general* (non-broadcast) game: a random
+/// connected graph with `players` distinct random source→terminal pairs,
+/// plus its MST. The E11 separation bench prices the MST-induced state
+/// with the cutting-plane solver.
+pub fn random_general(
+    n: usize,
+    extra_p: f64,
+    players: usize,
+    seed: u64,
+) -> (NetworkDesignGame, Vec<EdgeId>) {
+    assert!(
+        players <= n * (n - 1),
+        "more distinct ordered pairs requested than exist"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let g = generators::random_connected(n, extra_p, &mut rng, 0.2..4.0);
+    let mut pairs = Vec::with_capacity(players);
+    let mut seen = std::collections::HashSet::new();
+    while pairs.len() < players {
+        let s = NodeId(rng.random_range(0..n as u32));
+        let t = NodeId(rng.random_range(0..n as u32));
+        if s != t && seen.insert((s, t)) {
+            pairs.push(ndg_core::Player {
+                source: s,
+                terminal: t,
+            });
+        }
+    }
+    let tree = kruskal(&g).expect("connected");
+    let game = NetworkDesignGame::new(g, pairs).expect("players validated");
+    (game, tree)
+}
+
+/// A uniformly-ish random spanning tree (Kruskal under a shuffled edge
+/// order): target states induced by it are usually far from equilibrium,
+/// which is what makes the E11 cutting-plane loop run many separation
+/// rounds.
+pub fn random_tree(g: &ndg_graph::Graph, seed: u64) -> Vec<EdgeId> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut order: Vec<EdgeId> = g.edge_ids().collect();
+    order.shuffle(&mut rng);
+    let mut uf = ndg_graph::UnionFind::new(g.node_count());
+    let mut tree = Vec::with_capacity(g.node_count().saturating_sub(1));
+    for e in order {
+        let (u, v) = g.endpoints(e);
+        if uf.union(u.index(), v.index()) {
+            tree.push(e);
+        }
+    }
+    tree.sort();
+    tree
+}
+
 /// A grid broadcast game (root = corner 0) with its MST.
 pub fn grid_broadcast(rows: usize, cols: usize) -> (NetworkDesignGame, Vec<EdgeId>) {
     let g = generators::grid_graph(rows, cols, 1.0);

@@ -1,143 +1,192 @@
-//! Offline stand-in for `rayon` (API subset, sequential execution).
+//! Offline stand-in for `rayon` (API subset), now genuinely parallel.
 //!
-//! The build container has no registry access. Call sites in this workspace
-//! use `into_par_iter()`/`par_iter()` with a handful of adapters, so the
-//! shim wraps a sequential iterator in [`iter::ParIter`] and reproduces
-//! rayon's method signatures (including the two-argument `reduce`). All
-//! reductions used here are deterministic under sequential evaluation.
-//! Code that genuinely needs parallelism uses `std::thread::scope`
-//! directly (see `ndg-core::enumerate`).
+//! The build container has no registry access, so this shim reproduces the
+//! `par_iter()` / `into_par_iter()` surface the workspace uses and
+//! delegates the actual work distribution to [`ndg_exec`]. Unlike real
+//! rayon (lazy splittable producers), the shim is *eager*: the source is
+//! collected into a `Vec` up front and each adapter (`map`, `filter`,
+//! `filter_map`, `flat_map`) fans its closure out across the executor's
+//! scoped threads, preserving input order. Reductions (`reduce`,
+//! `min_by_key`, `sum`, `collect`, …) then run sequentially over the
+//! already-materialized results, so every pipeline returns **exactly** what
+//! the sequential evaluation would — for any thread count, including the
+//! `NDG_THREADS=1` exact-sequential mode.
+//!
+//! The eager model costs one intermediate `Vec` per adapter, which is
+//! irrelevant for the workspace's call sites (tens-to-thousands of items,
+//! each carrying a Dijkstra or an LP solve).
 
-/// Parallel-iterator entry points, mapped onto sequential `std` iterators.
+/// Parallel-iterator entry points, fanned out through [`ndg_exec`].
 pub mod iter {
-    /// Sequential iterator wearing rayon's `ParallelIterator` interface.
-    pub struct ParIter<I>(I);
+    use ndg_exec::Executor;
 
-    impl<I: Iterator> ParIter<I> {
-        /// rayon: `map`.
-        pub fn map<T, F: FnMut(I::Item) -> T>(self, f: F) -> ParIter<std::iter::Map<I, F>> {
-            ParIter(self.0.map(f))
+    /// Materialized item sequence wearing rayon's `ParallelIterator`
+    /// interface. Adapters evaluate in parallel, order-preserving;
+    /// reductions are sequential over the materialized items.
+    pub struct ParIter<T>(Vec<T>);
+
+    impl<T> ParIter<T> {
+        /// Wrap an already-collected item vector.
+        pub fn from_vec(items: Vec<T>) -> Self {
+            ParIter(items)
+        }
+    }
+
+    impl<T: Send> ParIter<T> {
+        /// rayon: `map` — `f` runs across the executor's threads.
+        pub fn map<U: Send, F: Fn(T) -> U + Sync>(self, f: F) -> ParIter<U> {
+            ParIter(Executor::from_env().par_map_vec(self.0, f))
         }
 
-        /// rayon: `filter`.
-        pub fn filter<F: FnMut(&I::Item) -> bool>(self, f: F) -> ParIter<std::iter::Filter<I, F>> {
-            ParIter(self.0.filter(f))
+        /// rayon: `filter` — the predicate runs in parallel; survivors keep
+        /// their order.
+        pub fn filter<F: Fn(&T) -> bool + Sync>(self, f: F) -> ParIter<T> {
+            ParIter(
+                Executor::from_env()
+                    .par_map_vec(self.0, |x| if f(&x) { Some(x) } else { None })
+                    .into_iter()
+                    .flatten()
+                    .collect(),
+            )
         }
 
         /// rayon: `filter_map`.
-        pub fn filter_map<T, F: FnMut(I::Item) -> Option<T>>(
-            self,
-            f: F,
-        ) -> ParIter<std::iter::FilterMap<I, F>> {
-            ParIter(self.0.filter_map(f))
+        pub fn filter_map<U: Send, F: Fn(T) -> Option<U> + Sync>(self, f: F) -> ParIter<U> {
+            ParIter(
+                Executor::from_env()
+                    .par_map_vec(self.0, f)
+                    .into_iter()
+                    .flatten()
+                    .collect(),
+            )
         }
 
-        /// rayon: `flat_map`.
-        pub fn flat_map<T: IntoIterator, F: FnMut(I::Item) -> T>(
-            self,
-            f: F,
-        ) -> ParIter<std::iter::FlatMap<I, T, F>> {
-            ParIter(self.0.flat_map(f))
-        }
-
-        /// rayon: `reduce` with identity + associative op.
-        pub fn reduce<ID, OP>(mut self, identity: ID, op: OP) -> I::Item
+        /// rayon: `flat_map` — each item's sub-sequence is produced in
+        /// parallel, then spliced in input order.
+        pub fn flat_map<I, F>(self, f: F) -> ParIter<I::Item>
         where
-            ID: Fn() -> I::Item,
-            OP: Fn(I::Item, I::Item) -> I::Item,
+            I: IntoIterator,
+            I::Item: Send,
+            F: Fn(T) -> I + Sync,
+        {
+            ParIter(
+                Executor::from_env()
+                    .par_map_vec(self.0, |x| f(x).into_iter().collect::<Vec<_>>())
+                    .into_iter()
+                    .flatten()
+                    .collect(),
+            )
+        }
+
+        /// rayon: `reduce` with identity + associative op. Runs as the
+        /// sequential left fold so the result is bit-identical to the
+        /// sequential pipeline even for merely-approximately-associative
+        /// float ops (the expensive part — the preceding adapters — was
+        /// parallel).
+        pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> T
+        where
+            ID: Fn() -> T,
+            OP: Fn(T, T) -> T,
         {
             let mut acc = identity();
-            for x in self.0.by_ref() {
+            for x in self.0 {
                 acc = op(acc, x);
             }
             acc
         }
 
         /// rayon: `min_by_key`.
-        pub fn min_by_key<K: Ord, F: FnMut(&I::Item) -> K>(self, f: F) -> Option<I::Item> {
-            self.0.min_by_key(f)
+        pub fn min_by_key<K: Ord, F: FnMut(&T) -> K>(self, f: F) -> Option<T> {
+            self.0.into_iter().min_by_key(f)
         }
 
         /// rayon: `max_by_key`.
-        pub fn max_by_key<K: Ord, F: FnMut(&I::Item) -> K>(self, f: F) -> Option<I::Item> {
-            self.0.max_by_key(f)
+        pub fn max_by_key<K: Ord, F: FnMut(&T) -> K>(self, f: F) -> Option<T> {
+            self.0.into_iter().max_by_key(f)
         }
 
         /// rayon: `min_by`.
-        pub fn min_by<F>(self, f: F) -> Option<I::Item>
+        pub fn min_by<F>(self, f: F) -> Option<T>
         where
-            F: FnMut(&I::Item, &I::Item) -> std::cmp::Ordering,
+            F: FnMut(&T, &T) -> std::cmp::Ordering,
         {
-            self.0.min_by(f)
+            self.0.into_iter().min_by(f)
         }
 
         /// rayon: `max_by`.
-        pub fn max_by<F>(self, f: F) -> Option<I::Item>
+        pub fn max_by<F>(self, f: F) -> Option<T>
         where
-            F: FnMut(&I::Item, &I::Item) -> std::cmp::Ordering,
+            F: FnMut(&T, &T) -> std::cmp::Ordering,
         {
-            self.0.max_by(f)
+            self.0.into_iter().max_by(f)
         }
 
         /// rayon: `sum`.
-        pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
-            self.0.sum()
+        pub fn sum<S: std::iter::Sum<T>>(self) -> S {
+            self.0.into_iter().sum()
         }
 
         /// rayon: `count`.
         pub fn count(self) -> usize {
-            self.0.count()
+            self.0.len()
         }
 
         /// rayon: `any`.
-        pub fn any<F: FnMut(I::Item) -> bool>(self, f: F) -> bool {
-            let mut iter = self.0;
+        pub fn any<F: FnMut(T) -> bool>(self, f: F) -> bool {
+            let mut iter = self.0.into_iter();
             iter.any(f)
         }
 
         /// rayon: `all`.
-        pub fn all<F: FnMut(I::Item) -> bool>(self, f: F) -> bool {
-            let mut iter = self.0;
+        pub fn all<F: FnMut(T) -> bool>(self, f: F) -> bool {
+            let mut iter = self.0.into_iter();
             iter.all(f)
         }
 
-        /// rayon: `for_each`.
-        pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
-            self.0.for_each(f)
+        /// rayon: `for_each` (sequential, in order: callers use it for
+        /// order-sensitive side effects).
+        pub fn for_each<F: FnMut(T)>(self, f: F) {
+            self.0.into_iter().for_each(f)
         }
 
-        /// rayon: `collect` (via `FromIterator`, so `Vec` and `Result` work).
-        pub fn collect<C: FromIterator<I::Item>>(self) -> C {
-            self.0.collect()
+        /// rayon: `collect` (via `FromIterator`, so `Vec` and `Result`
+        /// work; `Result` short-circuits at the first error in input
+        /// order, matching the sequential pipeline).
+        pub fn collect<C: FromIterator<T>>(self) -> C {
+            self.0.into_iter().collect()
         }
     }
 
     /// `into_par_iter()` for owned collections and ranges.
-    pub trait IntoParallelIterator: IntoIterator + Sized {
-        /// Sequential fallback: wrap the plain iterator.
-        fn into_par_iter(self) -> ParIter<Self::IntoIter> {
-            ParIter(self.into_iter())
+    pub trait IntoParallelIterator: IntoIterator + Sized
+    where
+        Self::Item: Send,
+    {
+        /// Materialize the source, ready for parallel adapters.
+        fn into_par_iter(self) -> ParIter<Self::Item> {
+            ParIter(self.into_iter().collect())
         }
     }
 
-    impl<T: IntoIterator + Sized> IntoParallelIterator for T {}
+    impl<T: IntoIterator + Sized> IntoParallelIterator for T where T::Item: Send {}
 
     /// `par_iter()` for `&collection`.
     pub trait IntoParallelRefIterator<'a> {
-        /// Borrowed-item iterator type.
-        type Iter;
-        /// Sequential fallback: wrap the shared-reference iterator.
-        fn par_iter(&'a self) -> ParIter<Self::Iter>;
+        /// Borrowed item type.
+        type Item: Send;
+        /// Materialize the borrowed items, ready for parallel adapters.
+        fn par_iter(&'a self) -> ParIter<Self::Item>;
     }
 
     impl<'a, T: 'a> IntoParallelRefIterator<'a> for T
     where
         &'a T: IntoIterator,
+        <&'a T as IntoIterator>::Item: Send,
     {
-        type Iter = <&'a T as IntoIterator>::IntoIter;
+        type Item = <&'a T as IntoIterator>::Item;
 
-        fn par_iter(&'a self) -> ParIter<Self::Iter> {
-            ParIter(self.into_iter())
+        fn par_iter(&'a self) -> ParIter<Self::Item> {
+            ParIter(self.into_iter().collect())
         }
     }
 }
@@ -146,11 +195,10 @@ pub mod prelude {
     pub use crate::iter::{IntoParallelIterator, IntoParallelRefIterator, ParIter};
 }
 
-/// The number of worker threads a real rayon pool would use.
+/// The number of worker threads the executor behind this shim uses
+/// (`NDG_THREADS` override, else hardware parallelism).
 pub fn current_num_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    ndg_exec::default_threads()
 }
 
 #[cfg(test)]
@@ -197,5 +245,22 @@ mod tests {
             .map(|i| if i == 2 { Err("boom".into()) } else { Ok(i) })
             .collect();
         assert!(err.is_err());
+    }
+
+    #[test]
+    fn adapters_preserve_order_under_parallel_evaluation() {
+        // Enough items that the default executor actually splits them.
+        let out: Vec<usize> = (0..10_000usize)
+            .into_par_iter()
+            .map(|i| i * 2)
+            .filter(|&x| x % 3 != 0)
+            .flat_map(|x| [x, x + 1])
+            .collect();
+        let want: Vec<usize> = (0..10_000usize)
+            .map(|i| i * 2)
+            .filter(|&x| x % 3 != 0)
+            .flat_map(|x| [x, x + 1])
+            .collect();
+        assert_eq!(out, want);
     }
 }

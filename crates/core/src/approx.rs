@@ -9,33 +9,45 @@
 //! far from stable" a design is before the budget kicks in.
 
 use crate::cost::player_cost;
-use crate::equilibrium::best_response;
+use crate::equilibrium::best_response_with;
 use crate::game::NetworkDesignGame;
 use crate::num::EPS;
 use crate::state::State;
 use crate::subsidy::SubsidyAssignment;
-use rayon::prelude::*;
+use ndg_graph::paths::DijkstraWorkspace;
+use ndg_graph::EdgeId;
 
 /// The stability threshold `α*(T; b) = max_i cost_i / best_response_i`
 /// (1.0 means exact equilibrium; players with zero best-response cost and
 /// zero current cost contribute 1).
+///
+/// The per-player best-response Dijkstras fan out on the environment
+/// executor with one reusable workspace per worker (the left-fold over
+/// `f64::max` is exact-associative, so the result is thread-count
+/// independent).
 pub fn stability_threshold(game: &NetworkDesignGame, state: &State, b: &SubsidyAssignment) -> f64 {
-    (0..game.num_players())
-        .into_par_iter()
-        .map(|i| {
-            let current = player_cost(game, state, b, i);
-            let (_, best) = best_response(game, state, b, i);
-            if best <= EPS {
-                if current <= EPS {
-                    1.0
+    let players: Vec<usize> = (0..game.num_players()).collect();
+    let n = game.graph().node_count();
+    ndg_exec::Executor::from_env()
+        .par_map_with(
+            &players,
+            || (DijkstraWorkspace::new(n), Vec::<EdgeId>::new()),
+            |(ws, path), &i| {
+                let current = player_cost(game, state, b, i);
+                let best = best_response_with(game, state, b, i, ws, path);
+                if best <= EPS {
+                    if current <= EPS {
+                        1.0
+                    } else {
+                        f64::INFINITY
+                    }
                 } else {
-                    f64::INFINITY
+                    (current / best).max(1.0)
                 }
-            } else {
-                (current / best).max(1.0)
-            }
-        })
-        .reduce(|| 1.0, f64::max)
+            },
+        )
+        .into_iter()
+        .fold(1.0, f64::max)
 }
 
 /// Whether `state` is an α-approximate equilibrium.

@@ -1,0 +1,315 @@
+//! Batched all-players equilibrium certification for tree-induced states.
+//!
+//! The per-player certification path ([`crate::equilibrium::find_deviation`]
+//! and the probe layer inside [`crate::incremental::IncrementalDynamics`])
+//! costs one bounded A* corridor probe per player per check. For *broadcast*
+//! games whose live state happens to be induced by a spanning tree — which
+//! is where best-response dynamics started from a tree spends most of its
+//! time, and always where it ends — Lemma 2 collapses the whole check into
+//! one sweep over the non-tree edges: the state is an equilibrium iff no
+//! ordered non-tree adjacency `(u, v)` lets player `u` profit by rerouting
+//! through `(u, v)` and then along the tree. The sweep costs `O(m · depth)`
+//! *total* (all players at once, arbitrary subsidies, zero-weight edges
+//! included) instead of `n` probes, and parallelizes over the non-tree
+//! edges on [`ndg_exec`].
+//!
+//! [`BatchCertifier::certify`] performs the three steps — detect whether
+//! the live state is tree-induced, rebuild the rooted view, run the
+//! generalized Lemma 2 sweep — and reports
+//! [`BatchCertification::NotApplicable`] whenever the preconditions fail
+//! (non-broadcast game, e.g. multicast with Steiner nodes, where the
+//! Lemma 2 exchange argument breaks because deviations may pivot at
+//! non-player nodes; or a mid-dynamics state whose path union contains a
+//! cycle). Callers fall back to the per-player probes in that case.
+//!
+//! **Tolerance caveat.** Lemma 2 is exact in exact arithmetic, but the
+//! `f64` check applies the tolerance *per non-tree adjacency* while the
+//! per-player reference path applies it once to the best response
+//! (`strictly_lt`, [`crate::num::EPS`]). A multi-hop deviation whose
+//! improvement exceeds `EPS` only through the telescoped sum of several
+//! sub-`EPS` single-hop slacks could therefore be certified here and
+//! rejected there — the same boundary the long-standing
+//! [`crate::broadcast::is_tree_equilibrium`]-vs-
+//! [`crate::equilibrium::is_equilibrium`] equivalence already lives with.
+//! The property tests below (and the seed's Lemma 2 equivalence test) pin
+//! agreement on random instances; workloads with adversarially aligned
+//! `≈1e-7` margins should stick to the per-player path.
+
+use crate::broadcast::{lemma2_violation_eps_with, Lemma2Violation};
+use crate::game::NetworkDesignGame;
+use crate::state::State;
+use crate::subsidy::SubsidyAssignment;
+use ndg_graph::{EdgeId, RootedTree};
+
+/// Outcome of a batched certification attempt.
+#[derive(Clone, Debug)]
+pub enum BatchCertification {
+    /// The state is tree-induced and no player can strictly improve.
+    Equilibrium,
+    /// The state is tree-induced and the sweep found a profitable
+    /// deviation (the lowest-edge-id Lemma 2 witness).
+    Violation(Lemma2Violation),
+    /// The batch path does not apply (non-broadcast game or the state is
+    /// not induced by a spanning tree); the caller must use the
+    /// per-player path.
+    NotApplicable,
+}
+
+/// Reusable scratch for tree-induced detection + Lemma 2 sweeps.
+#[derive(Debug, Default)]
+pub struct BatchCertifier {
+    /// Established-edge scratch (kept across calls to avoid reallocating).
+    established: Vec<EdgeId>,
+    ex: Option<ndg_exec::Executor>,
+}
+
+impl BatchCertifier {
+    /// Certifier running sweeps on the environment-default executor
+    /// (`NDG_THREADS` override honoured).
+    pub fn new() -> Self {
+        BatchCertifier {
+            established: Vec::new(),
+            ex: None,
+        }
+    }
+
+    /// Certifier with an explicit executor (e.g. [`ndg_exec::Executor::sequential`]).
+    pub fn with_executor(ex: ndg_exec::Executor) -> Self {
+        BatchCertifier {
+            established: Vec::new(),
+            ex: Some(ex),
+        }
+    }
+
+    /// Whether `state` is induced by a spanning tree of the broadcast
+    /// game's graph; returns the rooted view if so.
+    ///
+    /// For a broadcast game this is exactly "the established edges form a
+    /// spanning tree": every player's strategy is a simple path inside
+    /// that tree, and a simple path between two nodes of a tree is the
+    /// unique tree path, so the usage counts coincide with the subtree
+    /// sizes Lemma 2 expects.
+    fn tree_view(&mut self, game: &NetworkDesignGame, state: &State) -> Option<RootedTree> {
+        let root = game.root()?;
+        let g = game.graph();
+        self.established.clear();
+        for e in g.edge_ids() {
+            if state.usage(e) > 0 {
+                self.established.push(e);
+                if self.established.len() >= g.node_count() {
+                    return None; // more edges than any spanning tree has
+                }
+            }
+        }
+        if self.established.len() + 1 != g.node_count() {
+            return None;
+        }
+        RootedTree::new(g, &self.established, root).ok()
+    }
+
+    /// Attempt the batched certification of `state` under subsidies `b`.
+    pub fn certify(
+        &mut self,
+        game: &NetworkDesignGame,
+        state: &State,
+        b: &SubsidyAssignment,
+    ) -> BatchCertification {
+        self.certify_eps(game, state, b, crate::num::EPS)
+    }
+
+    /// [`certify`](Self::certify) with an explicit tolerance (a constraint
+    /// counts as violated only when `lhs > rhs + eps`).
+    pub fn certify_eps(
+        &mut self,
+        game: &NetworkDesignGame,
+        state: &State,
+        b: &SubsidyAssignment,
+        eps: f64,
+    ) -> BatchCertification {
+        if !game.is_broadcast() {
+            return BatchCertification::NotApplicable;
+        }
+        let Some(rt) = self.tree_view(game, state) else {
+            return BatchCertification::NotApplicable;
+        };
+        let ex = self.ex.unwrap_or_else(ndg_exec::Executor::from_env);
+        match lemma2_violation_eps_with(game, &rt, b, eps, &ex) {
+            Some(v) => BatchCertification::Violation(v),
+            None => BatchCertification::Equilibrium,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::equilibrium::{find_deviation, is_equilibrium};
+    use crate::state::State;
+    use ndg_graph::{generators, NodeId};
+    use rand::prelude::*;
+
+    /// A uniformly-ish random spanning tree: Kruskal under shuffled edge
+    /// priorities.
+    fn random_tree(g: &ndg_graph::Graph, rng: &mut StdRng) -> Vec<EdgeId> {
+        let mut order: Vec<EdgeId> = g.edge_ids().collect();
+        order.shuffle(rng);
+        let mut uf = ndg_graph::UnionFind::new(g.node_count());
+        let mut tree = Vec::with_capacity(g.node_count() - 1);
+        for e in order {
+            let (u, v) = g.endpoints(e);
+            if uf.union(u.index(), v.index()) {
+                tree.push(e);
+            }
+        }
+        tree.sort();
+        tree
+    }
+
+    fn random_subsidies(g: &ndg_graph::Graph, rng: &mut StdRng) -> SubsidyAssignment {
+        let mut b = SubsidyAssignment::zero(g);
+        for e in g.edge_ids() {
+            match rng.random_range(0..4u32) {
+                0 => {}                        // untouched
+                1 => b.set(g, e, g.weight(e)), // fully subsidized: residual 0
+                _ => {
+                    let w = g.weight(e);
+                    b.set(g, e, rng.random_range(0.0..=w));
+                }
+            }
+        }
+        b
+    }
+
+    #[test]
+    fn batch_agrees_with_find_deviation_on_broadcast_trees() {
+        // The satellite property test: batched Lemma 2 certification must
+        // agree with the per-player exact checker on random broadcast tree
+        // states with random subsidies (including zero-weight edges via
+        // the 0.0.. weight range and fully-subsidized residual-0 edges).
+        let mut rng = StdRng::seed_from_u64(900);
+        let mut certifier = BatchCertifier::new();
+        let (mut eq, mut neq) = (0usize, 0usize);
+        for _ in 0..80 {
+            let n = rng.random_range(3..11usize);
+            let g = generators::random_connected(n, 0.5, &mut rng, 0.0..3.0);
+            let game = NetworkDesignGame::broadcast(g, NodeId(0)).unwrap();
+            let tree = random_tree(game.graph(), &mut rng);
+            let (state, _) = State::from_tree(&game, &tree).unwrap();
+            let b = random_subsidies(game.graph(), &mut rng);
+            let exact_dev = find_deviation(&game, &state, &b);
+            match certifier.certify(&game, &state, &b) {
+                BatchCertification::Equilibrium => {
+                    assert!(
+                        exact_dev.is_none(),
+                        "batch certified but find_deviation improves: {exact_dev:?}"
+                    );
+                    eq += 1;
+                }
+                BatchCertification::Violation(v) => {
+                    let dev = exact_dev.expect("batch violation but exact equilibrium");
+                    // The witness's lhs must match that player's current
+                    // cost to 1e-9, and her claimed deviation must be
+                    // genuinely available (rhs is a real path's cost, so
+                    // her best response is at least as good).
+                    let u = game.player_of_node(v.node).unwrap();
+                    let cur = crate::cost::player_cost(&game, &state, &b, u);
+                    assert!((v.lhs - cur).abs() < 1e-9, "lhs {} vs cost {}", v.lhs, cur);
+                    let (_, best) = crate::equilibrium::best_response(&game, &state, &b, u);
+                    assert!(best <= v.rhs + 1e-9, "best {} above rhs {}", best, v.rhs);
+                    let _ = dev;
+                    neq += 1;
+                }
+                BatchCertification::NotApplicable => {
+                    panic!("broadcast tree state must be batch-certifiable")
+                }
+            }
+        }
+        assert!(eq > 0 && neq > 0, "eq={eq} neq={neq}: sample too one-sided");
+    }
+
+    #[test]
+    fn batch_is_thread_count_invariant() {
+        let mut rng = StdRng::seed_from_u64(901);
+        for _ in 0..25 {
+            let n = rng.random_range(3..10usize);
+            let g = generators::random_connected(n, 0.6, &mut rng, 0.0..3.0);
+            let game = NetworkDesignGame::broadcast(g, NodeId(0)).unwrap();
+            let tree = random_tree(game.graph(), &mut rng);
+            let (state, _) = State::from_tree(&game, &tree).unwrap();
+            let b = random_subsidies(game.graph(), &mut rng);
+            let mut seq = BatchCertifier::with_executor(ndg_exec::Executor::sequential());
+            let mut par = BatchCertifier::with_executor(ndg_exec::Executor::new(8));
+            match (
+                seq.certify(&game, &state, &b),
+                par.certify(&game, &state, &b),
+            ) {
+                (BatchCertification::Equilibrium, BatchCertification::Equilibrium) => {}
+                (BatchCertification::Violation(a), BatchCertification::Violation(c)) => {
+                    // Identical witness: same player, same edge, same floats.
+                    assert_eq!(a.node, c.node);
+                    assert_eq!(a.via, c.via);
+                    assert_eq!(a.to, c.to);
+                    assert_eq!(a.lhs.to_bits(), c.lhs.to_bits());
+                    assert_eq!(a.rhs.to_bits(), c.rhs.to_bits());
+                }
+                (a, c) => panic!("thread counts disagree: {a:?} vs {c:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn multicast_and_non_tree_states_fall_back() {
+        let mut rng = StdRng::seed_from_u64(902);
+        let mut certifier = BatchCertifier::new();
+        for _ in 0..30 {
+            let n = rng.random_range(4..10usize);
+            let g = generators::random_connected(n, 0.5, &mut rng, 0.0..3.0);
+            // Multicast: a strict subset of nodes are terminals.
+            let k = rng.random_range(1..n - 1);
+            let terminals: Vec<NodeId> = (1..=k as u32).map(NodeId).collect();
+            let game = crate::multicast::multicast(g, NodeId(0), &terminals).unwrap();
+            let tree = random_tree(game.graph(), &mut rng);
+            let (state, _) = State::from_tree(&game, &tree).unwrap();
+            let b = random_subsidies(game.graph(), &mut rng);
+            assert!(matches!(
+                certifier.certify(&game, &state, &b),
+                BatchCertification::NotApplicable
+            ));
+            // The engine-level certification (batch + fallback) must still
+            // agree with the reference checker on multicast tree states.
+            let mut engine = crate::incremental::IncrementalDynamics::new(&game, state.clone(), &b);
+            assert_eq!(
+                engine.is_certified_equilibrium(),
+                is_equilibrium(&game, &state, &b)
+            );
+        }
+    }
+
+    #[test]
+    fn mid_dynamics_cycle_state_is_not_applicable() {
+        // Triangle, both players on the long way around: the union of the
+        // two paths is the whole cycle — not a tree.
+        let g = generators::cycle_graph(3, 1.0);
+        let game = NetworkDesignGame::broadcast(g, NodeId(0)).unwrap();
+        // Tree state: both players route through edge (0,1).
+        let state = State::new(&game, vec![vec![EdgeId(0)], vec![EdgeId(1), EdgeId(0)]]).unwrap();
+        // Cyclic state: player of node 1 goes the long way (1-2-0) while
+        // the player of node 2 goes 2-1-0 — all three edges established.
+        let cyc = State::new(
+            &game,
+            vec![vec![EdgeId(1), EdgeId(2)], vec![EdgeId(1), EdgeId(0)]],
+        )
+        .unwrap();
+        let b = SubsidyAssignment::zero(game.graph());
+        let mut certifier = BatchCertifier::new();
+        assert!(matches!(
+            certifier.certify(&game, &cyc, &b),
+            BatchCertification::NotApplicable
+        ));
+        // The plain tree state stays certifiable.
+        assert!(!matches!(
+            certifier.certify(&game, &state, &b),
+            BatchCertification::NotApplicable
+        ));
+    }
+}

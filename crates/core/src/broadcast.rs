@@ -97,16 +97,30 @@ pub fn lemma2_violation_eps(
     b: &SubsidyAssignment,
     eps: f64,
 ) -> Option<Lemma2Violation> {
+    // Sequential by default: the per-tree enumeration drivers call this on
+    // tiny instances where fan-out overhead would dominate; batch callers
+    // ([`crate::batch`]) pass an explicit executor instead.
+    lemma2_violation_eps_with(game, rt, b, eps, &ndg_exec::Executor::sequential())
+}
+
+/// [`lemma2_violation_eps`] with an explicit [`ndg_exec::Executor`]: the
+/// non-tree edges are swept in parallel chunks and the winner is the
+/// **lowest-edge-id** violation, so the result is identical to the
+/// sequential scan for every thread count.
+pub fn lemma2_violation_eps_with(
+    game: &NetworkDesignGame,
+    rt: &RootedTree,
+    b: &SubsidyAssignment,
+    eps: f64,
+    ex: &ndg_exec::Executor,
+) -> Option<Lemma2Violation> {
     debug_assert!(game.is_broadcast(), "Lemma 2 applies to broadcast games");
     let g = game.graph();
     let root = rt.root();
     let costs = root_path_costs(game, rt, b);
     let in_tree = rt.edge_membership(g);
-    for (e, edge) in g.edges() {
-        if in_tree[e.index()] {
-            continue;
-        }
-        for (u, v) in [(edge.u, edge.v), (edge.v, edge.u)] {
+    let check = |e: EdgeId, eu: NodeId, ev: NodeId| -> Option<Lemma2Violation> {
+        for (u, v) in [(eu, ev), (ev, eu)] {
             if u == root {
                 continue; // the root is not a player
             }
@@ -122,8 +136,26 @@ pub fn lemma2_violation_eps(
                 });
             }
         }
+        None
+    };
+    if ex.threads() == 1 {
+        // Exact-sequential mode: no candidate materialization at all.
+        for (e, edge) in g.edges() {
+            if in_tree[e.index()] {
+                continue;
+            }
+            if let Some(v) = check(e, edge.u, edge.v) {
+                return Some(v);
+            }
+        }
+        return None;
     }
-    None
+    let candidates: Vec<(EdgeId, NodeId, NodeId)> = g
+        .edges()
+        .filter(|(e, _)| !in_tree[e.index()])
+        .map(|(e, edge)| (e, edge.u, edge.v))
+        .collect();
+    ex.par_find_first(&candidates, |_, &(e, eu, ev)| check(e, eu, ev))
 }
 
 /// Whether the spanning tree is an equilibrium (Lemma 2 criterion).

@@ -31,10 +31,48 @@ pub struct CoalitionDeviation {
 /// Enumerate all simple `s → t` paths of `g` (test-sized graphs only).
 pub fn all_simple_paths(g: &Graph, s: NodeId, t: NodeId) -> Vec<Vec<EdgeId>> {
     let mut out = Vec::new();
-    let mut visited = vec![false; g.node_count()];
-    let mut path = Vec::new();
-    dfs(g, s, t, &mut visited, &mut path, &mut out);
-    return out;
+    let mut scratch = PathScratch::new(g.node_count());
+    all_simple_paths_into(g, s, t, &mut scratch, &mut out);
+    out
+}
+
+/// DFS scratch for [`all_simple_paths_into`]: the visited marks and the
+/// working path, reusable across calls (the `DijkstraWorkspace` pattern —
+/// no fresh allocations when enumerating one strategy set per player in a
+/// loop).
+#[derive(Clone, Debug, Default)]
+pub struct PathScratch {
+    visited: Vec<bool>,
+    path: Vec<EdgeId>,
+}
+
+impl PathScratch {
+    /// Scratch sized for an `n`-node graph (grows on demand).
+    pub fn new(n: usize) -> Self {
+        PathScratch {
+            visited: vec![false; n],
+            path: Vec::new(),
+        }
+    }
+}
+
+/// [`all_simple_paths`] into caller-provided scratch: `out` is cleared and
+/// refilled (element buffers are the paths themselves, which the caller
+/// keeps), the DFS state lives in `scratch`.
+pub fn all_simple_paths_into(
+    g: &Graph,
+    s: NodeId,
+    t: NodeId,
+    scratch: &mut PathScratch,
+    out: &mut Vec<Vec<EdgeId>>,
+) {
+    out.clear();
+    if scratch.visited.len() < g.node_count() {
+        scratch.visited.resize(g.node_count(), false);
+    }
+    scratch.visited.fill(false);
+    scratch.path.clear();
+    dfs(g, s, t, &mut scratch.visited, &mut scratch.path, out);
 
     fn dfs(
         g: &Graph,
@@ -71,11 +109,16 @@ pub fn find_coalition_deviation(
 ) -> Option<CoalitionDeviation> {
     let n = game.num_players();
     let g = game.graph();
-    // Pre-enumerate each player's strategy set.
+    // Pre-enumerate each player's strategy set, reusing one DFS scratch.
+    let mut scratch = PathScratch::new(g.node_count());
     let strategies: Vec<Vec<Vec<EdgeId>>> = game
         .players()
         .iter()
-        .map(|p| all_simple_paths(g, p.source, p.terminal))
+        .map(|p| {
+            let mut paths = Vec::new();
+            all_simple_paths_into(g, p.source, p.terminal, &mut scratch, &mut paths);
+            paths
+        })
         .collect();
     let old_costs: Vec<f64> = (0..n).map(|i| player_cost(game, state, b, i)).collect();
 

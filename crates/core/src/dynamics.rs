@@ -18,6 +18,11 @@ use crate::subsidy::SubsidyAssignment;
 use rand::prelude::*;
 use rand::rngs::StdRng;
 
+/// Consecutive `try_improve` declines within a round before the driver
+/// attempts one batched Lemma 2 sweep for the round's remainder (see
+/// [`IncrementalDynamics::batch_certified_equilibrium`]).
+const BATCH_CERTIFY_AFTER_FRUITLESS: usize = 32;
+
 /// Which player moves next.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum MoveOrder {
@@ -86,16 +91,38 @@ pub fn best_response_dynamics(
                 if let Some(rng) = rng.as_mut() {
                     players.shuffle(rng);
                 }
+                // Lazy batched certification: once several consecutive
+                // players decline to move, the round is probably the
+                // certifying one — if the live state is tree-induced, one
+                // Lemma 2 sweep proves the *rest* of the round will also
+                // find nothing and the remaining per-player probes are
+                // skipped. Sweep-certified and probe-certified answers
+                // coincide up to the per-constraint-vs-per-best-response
+                // tolerance caveat documented in [`crate::batch`].
+                let mut fruitless = 0usize;
+                let mut swept = false;
                 for &i in &players {
-                    if engine.try_improve(i).is_some() {
-                        moves += 1;
-                        improved_this_round = true;
-                        let phi = engine.potential();
-                        debug_assert!(
-                            phi < trace.last().unwrap() + 1e-9,
-                            "potential must not increase"
-                        );
-                        trace.push(phi);
+                    // At most one sweep per round, and only while the round
+                    // still looks like the certifying one (no move yet).
+                    if !swept && !improved_this_round && fruitless >= BATCH_CERTIFY_AFTER_FRUITLESS
+                    {
+                        swept = true;
+                        if engine.batch_certified_equilibrium() {
+                            break;
+                        }
+                    }
+                    match engine.try_improve(i) {
+                        Some(_) => {
+                            moves += 1;
+                            improved_this_round = true;
+                            let phi = engine.potential();
+                            debug_assert!(
+                                phi < trace.last().unwrap() + 1e-9,
+                                "potential must not increase"
+                            );
+                            trace.push(phi);
+                        }
+                        None => fruitless += 1,
                     }
                 }
             }

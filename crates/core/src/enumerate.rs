@@ -260,7 +260,7 @@ where
     Ok(acc)
 }
 
-/// Lemma-2-check one chunk of trees across scoped threads, preserving the
+/// Lemma-2-check one chunk of trees on the shared executor, preserving the
 /// chunk's enumeration order in the result.
 fn scan_chunk(
     game: &NetworkDesignGame,
@@ -280,24 +280,14 @@ fn scan_chunk(
             None
         }
     };
-    let workers = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .min(chunk.len().max(1));
-    if workers <= 1 || chunk.len() < 128 {
-        return chunk.iter().filter_map(check).collect();
-    }
-    let per_worker = chunk.len().div_ceil(workers);
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = chunk
-            .chunks(per_worker)
-            .map(|sub| scope.spawn(move || sub.iter().filter_map(check).collect::<Vec<_>>()))
-            .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("equilibrium scan worker panicked"))
-            .collect()
-    })
+    // Small chunks (the final partial one, or tiny instances) stay on the
+    // caller's stack; full chunks fan out in enumeration order.
+    let ex = if chunk.len() < 128 {
+        ndg_exec::Executor::sequential()
+    } else {
+        ndg_exec::Executor::from_env()
+    };
+    ex.par_map(chunk, check).into_iter().flatten().collect()
 }
 
 /// All spanning trees of the broadcast game's graph that are equilibria of

@@ -20,13 +20,18 @@
 //!    route through an edge it never touched before, so cache invalidation
 //!    by touched edges is unsound; the admissible bound is not);
 //! 2. an exact per-player Dijkstra in a reusable
-//!    [`DijkstraWorkspace`](ndg_graph::DijkstraWorkspace) for the few
-//!    suspects that survive the filter.
+//!    [`ndg_graph::DijkstraWorkspace`] for the few suspects that survive
+//!    the filter.
 //!
-//! All decisions (which player moves, which path, whether the improvement
-//! is strict) evaluate exactly the same floating-point expressions as the
-//! naive driver, so dynamics traces are reproduced move for move.
+//! All per-player decisions (which player moves, which path, whether the
+//! improvement is strict) evaluate exactly the same floating-point
+//! expressions as the naive driver, so dynamics traces are reproduced
+//! move for move. The one exception is the batched Lemma 2 certification
+//! on tree-induced broadcast states ([`crate::batch`]), whose "no move
+//! left" answer matches the per-player scan up to a per-constraint
+//! tolerance caveat documented there.
 
+use crate::batch::{BatchCertification, BatchCertifier};
 use crate::bounds::OptimisticBounds;
 use crate::cost::player_cost;
 use crate::game::NetworkDesignGame;
@@ -45,6 +50,12 @@ const REFRESH_EVERY: usize = 4096;
 /// every this many moves; in between they are repaired incrementally and
 /// only drift looser.
 const BOUNDS_REFRESH_EVERY: usize = 8;
+
+/// Attempt the batched Lemma 2 certification in
+/// [`IncrementalDynamics::best_improving_move`] only when at least this
+/// many players survive the cached-bound filter — below that, the
+/// per-player probes are cheaper than an `O(m·depth)` sweep.
+const BATCH_CERTIFY_MIN_CANDIDATES: usize = 32;
 
 /// One applied improving move.
 #[derive(Clone, Copy, Debug)]
@@ -92,6 +103,9 @@ pub struct IncrementalDynamics<'a> {
     /// and the reason repeated certification is O(1) per player.
     br_lb: Vec<f64>,
     moves_applied: usize,
+    /// Batched Lemma-2 certification for tree-induced broadcast states
+    /// (one `O(m·depth)` sweep for all players instead of `n` probes).
+    batch: BatchCertifier,
 }
 
 impl<'a> IncrementalDynamics<'a> {
@@ -127,6 +141,7 @@ impl<'a> IncrementalDynamics<'a> {
             added_buf: Vec::new(),
             br_lb: vec![f64::NEG_INFINITY; n],
             moves_applied: 0,
+            batch: BatchCertifier::new(),
             state,
         }
     }
@@ -273,6 +288,22 @@ impl<'a> IncrementalDynamics<'a> {
         })
     }
 
+    /// Batched all-players certification attempt: one Lemma 2 sweep when
+    /// the live state is tree-induced (see [`crate::batch`]), instead of
+    /// `n` corridor probes. `NotApplicable` means the caller must use the
+    /// per-player path.
+    pub fn batch_certify(&mut self) -> BatchCertification {
+        self.batch.certify(self.game, &self.state, self.b)
+    }
+
+    /// `true` iff the batch sweep applies *and* certifies the current
+    /// state as an equilibrium. `false` means "fall back to per-player
+    /// probing" — either the sweep found a violation (some player will
+    /// move) or the state is not tree-induced.
+    pub fn batch_certified_equilibrium(&mut self) -> bool {
+        matches!(self.batch_certify(), BatchCertification::Equilibrium)
+    }
+
     /// Apply the single best improving move (the max-gain step), or return
     /// `None` if no player can strictly improve.
     ///
@@ -299,11 +330,28 @@ impl<'a> IncrementalDynamics<'a> {
         }
         cands.sort_by(|a, b| b.0.total_cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
 
-        let mut best: Option<(f64, u32, f64, f64)> = None; // (gain, i, current, cost)
-        for &(ub, i, current) in &cands {
+        // (gain, i, current, cost) of the best improver found so far.
+        let mut best: Option<(f64, u32, f64, f64)> = None;
+        // Lazy batched certification: mid-dynamics the top-ranked candidate
+        // improves immediately and no sweep is worth running, but when the
+        // leading candidates all probe out empty this is almost certainly
+        // the final certification call — and if the state is tree-induced,
+        // one Lemma 2 sweep settles the remaining candidates at once. A
+        // sweep that *does* find a violation (or a non-tree state) just
+        // resumes the exact scan, so both the returned move and the
+        // certified `None` match the unbatched scan decision for decision.
+        let mut swept = false;
+        for (scanned, &(ub, i, current)) in cands.iter().enumerate() {
             if let Some((best_gain, ..)) = best {
                 if ub < best_gain {
                     break;
+                }
+            }
+            if best.is_none() && !swept && scanned >= BATCH_CERTIFY_MIN_CANDIDATES {
+                swept = true;
+                if self.batch_certified_equilibrium() {
+                    self.cand_buf = cands;
+                    return None;
                 }
             }
             // Tighten with the corridor probe before the full Dijkstra:
@@ -346,10 +394,20 @@ impl<'a> IncrementalDynamics<'a> {
         })
     }
 
-    /// Whether no player has a strict improvement (exact; the cache and
-    /// A* layers only skip certified players, and any probe hit is
-    /// re-checked with the naive-identical Dijkstra).
+    /// Whether no player has a strict improvement. The cache and A*
+    /// layers only skip certified players, and any probe hit is
+    /// re-checked with the naive-identical Dijkstra; on tree-induced
+    /// broadcast states the answer comes from the batched Lemma 2 sweep
+    /// instead, which matches the per-player scan up to the
+    /// per-constraint tolerance caveat documented in [`crate::batch`].
     pub fn is_certified_equilibrium(&mut self) -> bool {
+        match self.batch_certify() {
+            BatchCertification::Equilibrium => return true,
+            // A Lemma 2 witness is a strictly profitable deviation, so the
+            // exact scan below would also answer `false`.
+            BatchCertification::Violation(_) => return false,
+            BatchCertification::NotApplicable => {}
+        }
         self.ensure_bounds();
         for i in 0..self.game.num_players() {
             let current = self.current_cost(i);

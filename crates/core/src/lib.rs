@@ -8,6 +8,7 @@
 //! instances.
 
 pub mod approx;
+pub mod batch;
 pub mod bounds;
 pub mod broadcast;
 pub mod coalition;
@@ -25,12 +26,16 @@ pub mod subsidy;
 pub mod weighted;
 
 pub use approx::{is_alpha_equilibrium, stability_threshold};
+pub use batch::{BatchCertification, BatchCertifier};
 pub use bounds::OptimisticBounds;
 pub use broadcast::{
     is_tree_equilibrium, is_tree_equilibrium_eps, lemma2_violation, lemma2_violation_eps,
-    root_path_costs, Lemma2Violation,
+    lemma2_violation_eps_with, root_path_costs, Lemma2Violation,
 };
-pub use coalition::{find_coalition_deviation, is_strong_equilibrium, CoalitionDeviation};
+pub use coalition::{
+    all_simple_paths, all_simple_paths_into, find_coalition_deviation, is_strong_equilibrium,
+    CoalitionDeviation, PathScratch,
+};
 pub use cost::{deviation_cost, deviation_weight, player_cost, social_cost_subsidized};
 pub use dynamics::{
     best_response_dynamics, best_response_dynamics_naive, dynamics_from_tree, DynamicsResult,

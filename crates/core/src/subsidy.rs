@@ -115,12 +115,24 @@ impl SubsidyAssignment {
 
     /// The edges with any positive subsidy.
     pub fn support(&self) -> Vec<EdgeId> {
-        self.b
-            .iter()
-            .enumerate()
-            .filter(|(_, &v)| v > EPS)
-            .map(|(i, _)| EdgeId(i as u32))
-            .collect()
+        let mut out = Vec::new();
+        self.support_into(&mut out);
+        out
+    }
+
+    /// [`support`](Self::support) into a caller-provided scratch buffer
+    /// (cleared first), so loops that re-query the support after each
+    /// mutation reuse one allocation — the same contract as
+    /// `DijkstraWorkspace`.
+    pub fn support_into(&self, out: &mut Vec<EdgeId>) {
+        out.clear();
+        out.extend(
+            self.b
+                .iter()
+                .enumerate()
+                .filter(|(_, &v)| v > EPS)
+                .map(|(i, _)| EdgeId(i as u32)),
+        );
     }
 
     /// Pointwise sum of two assignments on the same graph, clamped into

@@ -1,0 +1,349 @@
+//! `ndg-exec` — deterministic work distribution over scoped threads.
+//!
+//! The build container has no registry access, so instead of a work-stealing
+//! pool this crate provides the *minimum* parallel substrate the workspace
+//! needs: contiguous-chunk fan-out over [`std::thread::scope`] with results
+//! stitched back together **in input order**. Every operation is specified
+//! so that its result is identical to the sequential left-to-right
+//! evaluation, for every thread count:
+//!
+//! * [`Executor::par_map`] / [`Executor::par_map_vec`] /
+//!   [`Executor::par_map_with`] — element-wise, order-preserving: the output
+//!   vector is byte-for-byte what the sequential `map` would produce.
+//! * [`Executor::par_find_first`] — returns the match with the **minimum
+//!   index** (the sequential `find_map` answer), even when a later match is
+//!   discovered first by another worker.
+//! * [`Executor::par_fold`] — chunk-local folds combined left-to-right in
+//!   chunk order; bit-identical to sequential folding whenever the fold
+//!   operation is exactly associative (counting, `min`/`max` under a total
+//!   order). Non-associative float accumulation may differ across thread
+//!   counts — hot paths that need bit-identical reductions use `par_map`
+//!   plus a sequential fold instead.
+//!
+//! `Executor::new(1)` (or `NDG_THREADS=1`) is an *exact-sequential* mode: no
+//! thread is spawned and every closure runs on the caller's stack in input
+//! order, so the parallel code paths can be pinned against it in tests.
+//!
+//! The worker count defaults to [`std::thread::available_parallelism`] and
+//! is overridden by the `NDG_THREADS` environment variable (clamped to
+//! ≥ 1; unparsable values fall back to the default).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Hardware parallelism (≥ 1).
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// The workspace-wide default worker count: `NDG_THREADS` if set to a
+/// positive integer, else [`available_threads`].
+pub fn default_threads() -> usize {
+    match std::env::var("NDG_THREADS") {
+        Ok(s) => s
+            .trim()
+            .parse::<usize>()
+            .ok()
+            .filter(|&t| t >= 1)
+            .unwrap_or_else(available_threads),
+        Err(_) => available_threads(),
+    }
+}
+
+/// A fixed-width fan-out executor. Cheap to construct and `Copy`: it is
+/// only a thread-count policy, all scheduling state lives on the stack of
+/// the operation that uses it.
+#[derive(Clone, Copy, Debug)]
+pub struct Executor {
+    threads: usize,
+}
+
+impl Default for Executor {
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+impl Executor {
+    /// Executor with an explicit worker count (clamped to ≥ 1).
+    pub fn new(threads: usize) -> Self {
+        Executor {
+            threads: threads.max(1),
+        }
+    }
+
+    /// Executor honouring `NDG_THREADS` / hardware parallelism.
+    pub fn from_env() -> Self {
+        Self::new(default_threads())
+    }
+
+    /// The exact-sequential executor (never spawns).
+    pub fn sequential() -> Self {
+        Self::new(1)
+    }
+
+    /// Configured worker count.
+    #[inline]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Contiguous chunk length for `n` items (≥ 1): one chunk per worker,
+    /// never more chunks than items.
+    fn chunk_len(&self, n: usize) -> usize {
+        n.div_ceil(self.threads.min(n).max(1))
+    }
+
+    /// Order-preserving parallel map over borrowed items.
+    pub fn par_map<T, U, F>(&self, items: &[T], f: F) -> Vec<U>
+    where
+        T: Sync,
+        U: Send,
+        F: Fn(&T) -> U + Sync,
+    {
+        self.par_map_with(items, || (), |(), x| f(x))
+    }
+
+    /// Order-preserving parallel map with per-worker scratch state: each
+    /// worker calls `init` once and threads the resulting state through its
+    /// chunk (the pattern for reusable Dijkstra workspaces). In sequential
+    /// mode a single state serves all items, exactly like a hand-written
+    /// loop.
+    pub fn par_map_with<S, T, U, FI, F>(&self, items: &[T], init: FI, f: F) -> Vec<U>
+    where
+        T: Sync,
+        U: Send,
+        FI: Fn() -> S + Sync,
+        F: Fn(&mut S, &T) -> U + Sync,
+    {
+        if self.threads == 1 || items.len() <= 1 {
+            let mut s = init();
+            return items.iter().map(|x| f(&mut s, x)).collect();
+        }
+        let chunk = self.chunk_len(items.len());
+        let (init, f) = (&init, &f);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = items
+                .chunks(chunk)
+                .map(|sub| {
+                    scope.spawn(move || {
+                        let mut s = init();
+                        sub.iter().map(|x| f(&mut s, x)).collect::<Vec<U>>()
+                    })
+                })
+                .collect();
+            let mut out = Vec::with_capacity(items.len());
+            for h in handles {
+                out.extend(h.join().expect("ndg-exec worker panicked"));
+            }
+            out
+        })
+    }
+
+    /// Order-preserving parallel map consuming an owned vector (the shape
+    /// the rayon shim's `into_par_iter().map()` needs).
+    pub fn par_map_vec<T, U, F>(&self, items: Vec<T>, f: F) -> Vec<U>
+    where
+        T: Send,
+        U: Send,
+        F: Fn(T) -> U + Sync,
+    {
+        if self.threads == 1 || items.len() <= 1 {
+            return items.into_iter().map(f).collect();
+        }
+        let n = items.len();
+        let mut slots: Vec<Option<T>> = items.into_iter().map(Some).collect();
+        let chunk = self.chunk_len(n);
+        let f = &f;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = slots
+                .chunks_mut(chunk)
+                .map(|sub| {
+                    scope.spawn(move || {
+                        sub.iter_mut()
+                            .map(|slot| f(slot.take().expect("each slot is drained once")))
+                            .collect::<Vec<U>>()
+                    })
+                })
+                .collect();
+            let mut out = Vec::with_capacity(n);
+            for h in handles {
+                out.extend(h.join().expect("ndg-exec worker panicked"));
+            }
+            out
+        })
+    }
+
+    /// Parallel fold: each worker folds its contiguous chunk from a fresh
+    /// `identity()`, then the chunk accumulators are combined
+    /// **left-to-right in chunk order**. Identical to the sequential fold
+    /// whenever `combine`/`fold` are exactly associative; see the module
+    /// docs for the float caveat.
+    pub fn par_fold<T, A, FI, F, C>(&self, items: &[T], identity: FI, fold: F, combine: C) -> A
+    where
+        T: Sync,
+        A: Send,
+        FI: Fn() -> A + Sync,
+        F: Fn(A, &T) -> A + Sync,
+        C: Fn(A, A) -> A,
+    {
+        if self.threads == 1 || items.len() <= 1 {
+            return items.iter().fold(identity(), fold);
+        }
+        let chunk = self.chunk_len(items.len());
+        let (identity, fold) = (&identity, &fold);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = items
+                .chunks(chunk)
+                .map(|sub| scope.spawn(move || sub.iter().fold(identity(), fold)))
+                .collect();
+            let mut acc: Option<A> = None;
+            for h in handles {
+                let part = h.join().expect("ndg-exec worker panicked");
+                acc = Some(match acc {
+                    None => part,
+                    Some(a) => combine(a, part),
+                });
+            }
+            acc.expect("at least one chunk")
+        })
+    }
+
+    /// First match in **input order**: the parallel equivalent of
+    /// `items.iter().enumerate().find_map(|(i, x)| f(i, x))`. Workers scan
+    /// ascending and abandon their chunk as soon as a lower-index match is
+    /// known, so `f` may be evaluated speculatively on items *after* the
+    /// returned one — it must be side-effect free.
+    pub fn par_find_first<T, U, F>(&self, items: &[T], f: F) -> Option<U>
+    where
+        T: Sync,
+        U: Send,
+        F: Fn(usize, &T) -> Option<U> + Sync,
+    {
+        let n = items.len();
+        if self.threads == 1 || n <= 1 {
+            return items.iter().enumerate().find_map(|(i, x)| f(i, x));
+        }
+        let chunk = self.chunk_len(n);
+        let best = AtomicUsize::new(usize::MAX);
+        let (best, f) = (&best, &f);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = items
+                .chunks(chunk)
+                .enumerate()
+                .map(|(c, sub)| {
+                    scope.spawn(move || {
+                        let base = c * chunk;
+                        for (j, x) in sub.iter().enumerate() {
+                            let i = base + j;
+                            if best.load(Ordering::Relaxed) < i {
+                                return None; // a lower-index match exists
+                            }
+                            if let Some(v) = f(i, x) {
+                                best.fetch_min(i, Ordering::Relaxed);
+                                return Some((i, v));
+                            }
+                        }
+                        None
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .filter_map(|h| h.join().expect("ndg-exec worker panicked"))
+                .min_by_key(|&(i, _)| i)
+                .map(|(_, v)| v)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_order_for_every_thread_count() {
+        let items: Vec<usize> = (0..257).collect();
+        let want: Vec<usize> = items.iter().map(|&x| x * 3 + 1).collect();
+        for t in [1, 2, 3, 4, 7, 8, 64, 1000] {
+            let ex = Executor::new(t);
+            assert_eq!(ex.par_map(&items, |&x| x * 3 + 1), want, "threads={t}");
+            let owned: Vec<usize> = items.clone();
+            assert_eq!(ex.par_map_vec(owned, |x| x * 3 + 1), want, "threads={t}");
+        }
+    }
+
+    #[test]
+    fn par_map_with_reuses_per_worker_state() {
+        let items: Vec<usize> = (0..100).collect();
+        let ex = Executor::new(4);
+        // State = a scratch counter; result must not depend on the sharing.
+        let out = ex.par_map_with(
+            &items,
+            || 0usize,
+            |calls, &x| {
+                *calls += 1;
+                x + (*calls - *calls) // scratch must not leak into results
+            },
+        );
+        assert_eq!(out, items);
+    }
+
+    #[test]
+    fn par_find_first_returns_minimum_index_match() {
+        let items: Vec<usize> = (0..1000).collect();
+        for t in [1, 2, 4, 8] {
+            let ex = Executor::new(t);
+            // Matches at 900, 901, … and at 137: must return 137.
+            let got = ex.par_find_first(
+                &items,
+                |_, &x| {
+                    if x == 137 || x >= 900 {
+                        Some(x)
+                    } else {
+                        None
+                    }
+                },
+            );
+            assert_eq!(got, Some(137), "threads={t}");
+            let none = ex.par_find_first(&items, |_, &x| if x > 5000 { Some(x) } else { None });
+            assert_eq!(none, None, "threads={t}");
+        }
+    }
+
+    #[test]
+    fn par_fold_counts_match_sequential() {
+        let items: Vec<u64> = (0..4096).collect();
+        let want: u64 = items.iter().filter(|&&x| x % 3 == 0).count() as u64;
+        for t in [1, 2, 5, 16] {
+            let ex = Executor::new(t);
+            let got = ex.par_fold(
+                &items,
+                || 0u64,
+                |acc, &x| acc + u64::from(x % 3 == 0),
+                |a, b| a + b,
+            );
+            assert_eq!(got, want, "threads={t}");
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let ex = Executor::new(8);
+        let empty: Vec<u32> = Vec::new();
+        assert!(ex.par_map(&empty, |&x| x).is_empty());
+        assert_eq!(ex.par_find_first(&empty, |_, &x: &u32| Some(x)), None);
+        assert_eq!(ex.par_map(&[42u32], |&x| x + 1), vec![43]);
+        assert_eq!(ex.par_fold(&empty, || 7u32, |a, &x| a + x, |a, b| a + b), 7);
+    }
+
+    #[test]
+    fn env_override_parses_defensively() {
+        // Only the pure parser is testable without mutating the process
+        // environment; clamping is covered through Executor::new.
+        assert_eq!(Executor::new(0).threads(), 1);
+        assert_eq!(Executor::sequential().threads(), 1);
+        assert!(default_threads() >= 1);
+    }
+}

@@ -19,7 +19,8 @@ pub use graph::{Edge, EdgeId, Graph, GraphError, NodeId};
 pub use harmonic::{bypass_path_length, harmonic, harmonic_diff};
 pub use mst::{is_minimum_spanning_tree, kruskal, mst_is_unique, mst_weight, prim};
 pub use paths::{
-    bfs_distances, dijkstra, dijkstra_with, floyd_warshall, DijkstraWorkspace, ShortestPaths,
+    bfs_distances, dijkstra, dijkstra_with, floyd_warshall, DijkstraWorkspace, PooledWorkspace,
+    ShortestPaths, WorkspacePool,
 };
 pub use tree::RootedTree;
 pub use unionfind::{RollbackUnionFind, UnionFind};

@@ -278,6 +278,82 @@ impl DijkstraWorkspace {
     }
 }
 
+/// A shared checkout stack of [`DijkstraWorkspace`]s for parallel callers.
+///
+/// Batched oracles fan one Dijkstra per player out across worker threads;
+/// each worker checks a workspace out once per chunk and the buffers are
+/// returned (with their grown capacity) when the guard drops, so repeated
+/// batch rounds allocate nothing in steady state. The pool is `Sync`
+/// (a mutex-protected stack; contention is one lock per *chunk*, not per
+/// Dijkstra).
+#[derive(Debug, Default)]
+pub struct WorkspacePool {
+    stack: std::sync::Mutex<Vec<DijkstraWorkspace>>,
+    node_hint: usize,
+}
+
+impl WorkspacePool {
+    /// Pool whose fresh workspaces are sized for `node_hint`-node graphs.
+    pub fn new(node_hint: usize) -> Self {
+        WorkspacePool {
+            stack: std::sync::Mutex::new(Vec::new()),
+            node_hint,
+        }
+    }
+
+    /// Check a workspace out (reusing a returned one if available). The
+    /// guard derefs to [`DijkstraWorkspace`] and returns it on drop.
+    pub fn acquire(&self) -> PooledWorkspace<'_> {
+        let ws = self
+            .stack
+            .lock()
+            .expect("workspace pool poisoned")
+            .pop()
+            .unwrap_or_else(|| DijkstraWorkspace::new(self.node_hint));
+        PooledWorkspace {
+            ws: Some(ws),
+            pool: self,
+        }
+    }
+
+    /// Number of idle workspaces currently in the pool.
+    pub fn idle(&self) -> usize {
+        self.stack.lock().expect("workspace pool poisoned").len()
+    }
+
+    fn put(&self, ws: DijkstraWorkspace) {
+        self.stack.lock().expect("workspace pool poisoned").push(ws);
+    }
+}
+
+/// RAII checkout from a [`WorkspacePool`].
+#[derive(Debug)]
+pub struct PooledWorkspace<'p> {
+    ws: Option<DijkstraWorkspace>,
+    pool: &'p WorkspacePool,
+}
+
+impl std::ops::Deref for PooledWorkspace<'_> {
+    type Target = DijkstraWorkspace;
+    fn deref(&self) -> &DijkstraWorkspace {
+        self.ws.as_ref().expect("present until drop")
+    }
+}
+
+impl std::ops::DerefMut for PooledWorkspace<'_> {
+    fn deref_mut(&mut self) -> &mut DijkstraWorkspace {
+        self.ws.as_mut().expect("present until drop")
+    }
+}
+
+impl Drop for PooledWorkspace<'_> {
+    fn drop(&mut self) {
+        if let Some(ws) = self.ws.take() {
+            self.pool.put(ws);
+        }
+    }
+}
+
 /// Dijkstra from `source` with per-edge weights given by `weight_fn`
 /// (must be non-negative; `debug_assert`ed).
 pub fn dijkstra_with<F>(g: &Graph, source: NodeId, weight_fn: F) -> ShortestPaths
@@ -545,6 +621,39 @@ mod tests {
         assert_eq!(ws.dist(NodeId(2)), 2.0);
         ws.run(&big, NodeId(0), None, |e| big.weight(e));
         assert_eq!(ws.dist(NodeId(8)), 8.0);
+    }
+
+    #[test]
+    fn workspace_pool_recycles_buffers() {
+        let g = generators::cycle_graph(6, 1.0);
+        let pool = WorkspacePool::new(g.node_count());
+        assert_eq!(pool.idle(), 0);
+        {
+            let mut ws = pool.acquire();
+            ws.run(&g, NodeId(0), None, |e| g.weight(e));
+            assert_eq!(ws.dist(NodeId(3)), 3.0);
+        } // guard drop returns the workspace
+        assert_eq!(pool.idle(), 1);
+        {
+            let mut a = pool.acquire();
+            let _b = pool.acquire(); // pool empty → freshly allocated
+            assert_eq!(pool.idle(), 0);
+            a.run(&g, NodeId(1), None, |e| g.weight(e));
+            assert_eq!(a.dist(NodeId(4)), 3.0);
+        }
+        assert_eq!(pool.idle(), 2);
+        // Pooled workspaces behave identically to fresh ones across threads.
+        std::thread::scope(|scope| {
+            for s in 0..4u32 {
+                let (pool, g) = (&pool, &g);
+                scope.spawn(move || {
+                    let mut ws = pool.acquire();
+                    ws.run(g, NodeId(s), None, |e| g.weight(e));
+                    assert_eq!(ws.dist(NodeId(s)), 0.0);
+                });
+            }
+        });
+        assert!(pool.idle() >= 2);
     }
 
     #[test]

@@ -5,10 +5,21 @@
 //! per-player shortest-path computation on the modified-weight graph `H_i` —
 //! the LP can be solved by repeatedly solving a relaxation and adding the
 //! violated rows the oracle returns.
+//!
+//! Two oracle shapes are supported: the classic whole-point
+//! [`SeparationOracle`] (one call per relaxation, sequential), and the
+//! [`BatchSeparationOracle`] whose independently-separable items (one per
+//! player) are fanned out across [`ndg_exec`] worker threads by
+//! [`solve_with_batched_cuts`], each worker carrying its own scratch
+//! (e.g. a Dijkstra workspace). Batched rows are gathered **in item
+//! order**, so for any thread count the relaxation sees exactly the rows
+//! the sequential loop would add — cut generation is reproducible bit for
+//! bit.
 
 use crate::problem::{LinearProgram, LpError, Row};
 use crate::simplex;
 use crate::solution::{LpSolution, LpStatus};
+use ndg_exec::Executor;
 
 /// A separation oracle: report rows violated at the current point.
 pub trait SeparationOracle {
@@ -25,6 +36,70 @@ where
     fn separate(&mut self, x: &[f64]) -> Vec<Row> {
         self(x)
     }
+}
+
+/// A separation oracle over independently-separable items (players): each
+/// item yields at most one violated row per round, and items do not
+/// interact within a round — which is what lets
+/// [`solve_with_batched_cuts`] evaluate them in parallel.
+pub trait BatchSeparationOracle: Sync {
+    /// Per-worker scratch state (Dijkstra workspace, path buffers, …).
+    type Scratch: Send;
+
+    /// Number of separable items (players).
+    fn batch_size(&self) -> usize;
+
+    /// Decode the relaxation point `x` once per round, before any
+    /// [`separate_item`](Self::separate_item) call of that round.
+    fn prepare(&mut self, x: &[f64]);
+
+    /// Fresh (or pool-checked-out) scratch for one worker.
+    fn make_scratch(&self) -> Self::Scratch;
+
+    /// The most violated row of item `k` at the prepared point, or `None`
+    /// if item `k`'s constraints are satisfied. Must not depend on any
+    /// other item's evaluation.
+    fn separate_item(&self, k: usize, scratch: &mut Self::Scratch) -> Option<Row>;
+}
+
+/// [`solve_with_cuts`] for a [`BatchSeparationOracle`]: every round, all
+/// items are separated concurrently on `ex` and the violated rows are
+/// added in item order. With `Executor::sequential()` (or `NDG_THREADS=1`)
+/// this is exactly the sequential per-player loop.
+pub fn solve_with_batched_cuts<O: BatchSeparationOracle>(
+    lp: &mut LinearProgram,
+    oracle: &mut O,
+    max_rounds: usize,
+    ex: &Executor,
+) -> Result<(LpSolution, CutStats), CutError> {
+    let items: Vec<usize> = (0..oracle.batch_size()).collect();
+    let mut stats = CutStats::default();
+    for _ in 0..max_rounds {
+        stats.rounds += 1;
+        let sol = simplex::solve(lp)?;
+        if sol.status != LpStatus::Optimal {
+            return Err(CutError::BadRelaxation(sol.status));
+        }
+        oracle.prepare(&sol.x);
+        let oracle_ref: &O = oracle;
+        let cuts: Vec<Row> = ex
+            .par_map_with(
+                &items,
+                || oracle_ref.make_scratch(),
+                |scratch, &k| oracle_ref.separate_item(k, scratch),
+            )
+            .into_iter()
+            .flatten()
+            .collect();
+        if cuts.is_empty() {
+            return Ok((sol, stats));
+        }
+        for cut in cuts {
+            lp.add_row(cut)?;
+            stats.cuts_added += 1;
+        }
+    }
+    Err(CutError::RoundLimit(max_rounds))
 }
 
 /// Statistics of a cutting-plane run.
@@ -135,6 +210,64 @@ mod tests {
         assert_eq!(stats.rounds, 1);
         assert_eq!(stats.cuts_added, 0);
         assert!((sol.objective - 2.0).abs() < 1e-9);
+    }
+
+    /// Batched version of the subset-sum oracle: item = one subset mask.
+    struct SubsetOracle {
+        x: Vec<f64>,
+    }
+
+    impl BatchSeparationOracle for SubsetOracle {
+        type Scratch = ();
+
+        fn batch_size(&self) -> usize {
+            7 // masks 1..8
+        }
+
+        fn prepare(&mut self, x: &[f64]) {
+            self.x = x.to_vec();
+        }
+
+        fn make_scratch(&self) -> Self::Scratch {}
+
+        fn separate_item(&self, k: usize, _scratch: &mut ()) -> Option<Row> {
+            let mask = (k + 1) as u32;
+            let members: Vec<usize> = (0..3).filter(|i| mask >> i & 1 == 1).collect();
+            let lhs: f64 = members.iter().map(|&i| self.x[i]).sum();
+            if lhs < members.len() as f64 - 1e-7 {
+                Some(Row::new(
+                    members.iter().map(|&i| (i, 1.0)).collect(),
+                    RowOp::Ge,
+                    members.len() as f64,
+                ))
+            } else {
+                None
+            }
+        }
+    }
+
+    #[test]
+    fn batched_cuts_match_sequential_for_every_thread_count() {
+        let mut reference: Option<(Vec<f64>, usize, usize)> = None;
+        for threads in [1usize, 2, 4, 8] {
+            let mut lp = LinearProgram::new();
+            for _ in 0..3 {
+                lp.add_var(1.0, 0.0, 10.0).unwrap();
+            }
+            let mut oracle = SubsetOracle { x: Vec::new() };
+            let ex = ndg_exec::Executor::new(threads);
+            let (sol, stats) = solve_with_batched_cuts(&mut lp, &mut oracle, 50, &ex).unwrap();
+            assert!((sol.objective - 3.0).abs() < 1e-7);
+            match &reference {
+                None => reference = Some((sol.x.clone(), stats.rounds, stats.cuts_added)),
+                Some((x, rounds, cuts)) => {
+                    // Bit-identical point and identical loop shape.
+                    assert_eq!(sol.x, *x, "threads={threads}");
+                    assert_eq!(stats.rounds, *rounds);
+                    assert_eq!(stats.cuts_added, *cuts);
+                }
+            }
+        }
     }
 
     #[test]

@@ -10,7 +10,10 @@ pub mod problem;
 pub mod simplex;
 pub mod solution;
 
-pub use cutting::{solve_with_cuts, CutError, CutStats, SeparationOracle};
+pub use cutting::{
+    solve_with_batched_cuts, solve_with_cuts, BatchSeparationOracle, CutError, CutStats,
+    SeparationOracle,
+};
 pub use problem::{LinearProgram, LpError, Row, RowOp};
 pub use simplex::solve;
 pub use solution::{LpSolution, LpStatus};

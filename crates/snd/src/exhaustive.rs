@@ -2,14 +2,12 @@
 //! with LP (3), and expose the budget→weight Pareto frontier.
 //!
 //! This is the ground truth the heuristics and the E7 budget sweep are
-//! compared against. Trees are priced through the rayon interface — note
-//! that the vendored `crates/compat/rayon` shim executes sequentially
-//! (see ROADMAP "Open items" for the parallelism plan).
+//! compared against. Trees are priced through the rayon interface, which
+//! the vendored shim fans out across `ndg-exec` worker threads (order
+//! preserved, `NDG_THREADS` override honoured) — one LP (3) solve per
+//! tree per worker.
 
 use crate::{SndDesign, SndError};
-// NOTE: `rayon` here is the sequential compat shim; real parallelism in
-// this workspace currently comes from `std::thread::scope` (see
-// `ndg_core::enumerate`).
 use ndg_core::{spanning_trees, NetworkDesignGame};
 use ndg_graph::EdgeId;
 use rayon::prelude::*;

@@ -15,13 +15,33 @@
 
 use crate::{SneError, SneSolution};
 use ndg_core::{NetworkDesignGame, SubsidyAssignment};
+use ndg_exec::Executor;
 use ndg_graph::{EdgeId, NodeId, RootedTree};
 use ndg_lp::{LinearProgram, LpStatus};
 use std::collections::HashMap;
 
 /// Solve LP (3) for the broadcast game and spanning tree `tree`; returns the
 /// minimum-cost enforcing subsidies.
+///
+/// Constraint rows are built **sequentially** here: `snd`'s exhaustive
+/// pricer calls this once per spanning tree from inside an
+/// already-parallel sweep, where nested fan-out would only add spawn
+/// overhead. For a large *single* instance, call
+/// [`enforce_tree_lp_with`] with an explicit executor to parallelize the
+/// row construction.
 pub fn enforce_tree_lp(game: &NetworkDesignGame, tree: &[EdgeId]) -> Result<SneSolution, SneError> {
+    enforce_tree_lp_with(game, tree, &Executor::sequential())
+}
+
+/// [`enforce_tree_lp`] with an explicit executor: the per-adjacency
+/// constraint rows (one Lemma 2 constraint per ordered non-tree adjacency)
+/// are built in parallel and added in adjacency order, so the LP — and its
+/// optimum — is identical for every thread count.
+pub fn enforce_tree_lp_with(
+    game: &NetworkDesignGame,
+    tree: &[EdgeId],
+    ex: &Executor,
+) -> Result<SneSolution, SneError> {
     let root = game.root().ok_or(SneError::NotBroadcast)?;
     let g = game.graph();
     let rt = RootedTree::new(g, tree, root).map_err(|_| SneError::NotASpanningTree)?;
@@ -35,16 +55,17 @@ pub fn enforce_tree_lp(game: &NetworkDesignGame, tree: &[EdgeId]) -> Result<SneS
     }
 
     let in_tree = rt.edge_membership(g);
-    for (e, edge) in g.edges() {
-        if in_tree[e.index()] {
-            continue;
-        }
-        for (u, v) in [(edge.u, edge.v), (edge.v, edge.u)] {
-            if u == root {
-                continue;
-            }
-            add_deviation_constraint(&mut lp, &var_of, g, &rt, u, v, g.weight(e))?;
-        }
+    let adjacencies: Vec<(NodeId, NodeId, f64)> = g
+        .edges()
+        .filter(|(e, _)| !in_tree[e.index()])
+        .flat_map(|(e, edge)| [(edge.u, edge.v, g.weight(e)), (edge.v, edge.u, g.weight(e))])
+        .filter(|&(u, _, _)| u != root)
+        .collect();
+    let rows = ex.par_map(&adjacencies, |&(u, v, w_uv)| {
+        deviation_row(&var_of, g, &rt, u, v, w_uv)
+    });
+    for (coeffs, rhs) in rows {
+        lp.add_le(coeffs, rhs)?;
     }
 
     let sol = ndg_lp::solve(&lp)?;
@@ -60,21 +81,20 @@ pub fn enforce_tree_lp(game: &NetworkDesignGame, tree: &[EdgeId]) -> Result<SneS
     crate::certified(game, tree, b)
 }
 
-/// Add the constraint for player `u` deviating via a non-tree edge of
+/// The constraint row for player `u` deviating via a non-tree edge of
 /// weight `w_uv` to node `v`:
 /// `Σ_{T_u} (w−b)/n ≤ w_uv + Σ_{T_v} (w−b)/den` rearranged to
 /// `−Σ_{T_u} b/n + Σ_{T_v} b/den ≤ w_uv + Σ_{T_v} w/den − Σ_{T_u} w/n`.
 /// Shared edges above `lca(u, v)` cancel exactly (denominator `n_a` on
 /// both sides), which the coefficient accumulation handles automatically.
-fn add_deviation_constraint(
-    lp: &mut LinearProgram,
+fn deviation_row(
     var_of: &HashMap<EdgeId, usize>,
     g: &ndg_graph::Graph,
     rt: &RootedTree,
     u: NodeId,
     v: NodeId,
     w_uv: f64,
-) -> Result<(), SneError> {
+) -> (Vec<(usize, f64)>, f64) {
     let mut coeff: HashMap<usize, f64> = HashMap::new();
     let mut rhs = w_uv;
     // Left side: u's root path with denominators n_a = subtree(child).
@@ -96,12 +116,13 @@ fn add_deviation_constraint(
         *coeff.entry(var_of[&a]).or_insert(0.0) += 1.0 / den;
         rhs += g.weight(a) / den;
     }
-    let coeffs: Vec<(usize, f64)> = coeff
+    let mut coeffs: Vec<(usize, f64)> = coeff
         .into_iter()
         .filter(|&(_, c)| c.abs() > 1e-14)
         .collect();
-    lp.add_le(coeffs, rhs)?;
-    Ok(())
+    // Deterministic row layout regardless of HashMap iteration order.
+    coeffs.sort_by_key(|&(var, _)| var);
+    (coeffs, rhs)
 }
 
 #[cfg(test)]
@@ -158,6 +179,29 @@ mod tests {
             sol.cost,
             cut_sol.cost
         );
+    }
+
+    #[test]
+    fn parallel_row_construction_is_thread_count_invariant() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(19);
+        for _ in 0..8 {
+            let n = rng.random_range(3..12usize);
+            let g = generators::random_connected(n, 0.5, &mut rng, 0.3..4.0);
+            let game = NetworkDesignGame::broadcast(g, NodeId(0)).unwrap();
+            let tree = kruskal(game.graph()).unwrap();
+            let seq =
+                enforce_tree_lp_with(&game, &tree, &ndg_exec::Executor::sequential()).unwrap();
+            for threads in [4usize, 8] {
+                let par =
+                    enforce_tree_lp_with(&game, &tree, &ndg_exec::Executor::new(threads)).unwrap();
+                assert_eq!(
+                    par.subsidies.as_slice(),
+                    seq.subsidies.as_slice(),
+                    "threads={threads}: subsidies diverged"
+                );
+            }
+        }
     }
 
     #[test]

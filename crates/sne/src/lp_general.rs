@@ -6,12 +6,21 @@
 //! violated one by a Dijkstra run on the graph `Hᵢ` with weights
 //! `w'_a = (w_a − b_a)/(n_a(T) + 1 − n_a^i(T))`, which works for arbitrary
 //! (not just broadcast) network design games.
+//!
+//! Separation is *batched*: the per-player Dijkstras of one round are
+//! independent, so they run concurrently through
+//! [`ndg_lp::solve_with_batched_cuts`] with one pooled
+//! [`DijkstraWorkspace`](ndg_graph::DijkstraWorkspace) per worker thread.
+//! Rows are gathered in player order and each row's coefficients are
+//! sorted by variable, so the relaxation sequence — and therefore the
+//! returned subsidy vector — is bit-identical for every thread count.
 
 use crate::{SneError, SneSolution};
 use ndg_core::{NetworkDesignGame, State, SubsidyAssignment};
-use ndg_graph::paths::dijkstra_with;
+use ndg_exec::Executor;
+use ndg_graph::paths::{PooledWorkspace, WorkspacePool};
 use ndg_graph::EdgeId;
-use ndg_lp::{solve_with_cuts, CutStats, LinearProgram, Row, RowOp};
+use ndg_lp::{solve_with_batched_cuts, BatchSeparationOracle, CutStats, LinearProgram, Row, RowOp};
 use std::collections::HashMap;
 
 /// Oracle violation tolerance: constraints violated by less than this are
@@ -20,11 +29,70 @@ const ORACLE_TOL: f64 = 1e-7;
 /// Cap on cutting-plane rounds.
 const MAX_ROUNDS: usize = 500;
 
+/// The Theorem 1 shortest-path oracle as a batch of per-player items.
+struct ShortestPathSeparator<'a> {
+    game: &'a NetworkDesignGame,
+    state: &'a State,
+    var_list: &'a [EdgeId],
+    var_of: &'a HashMap<EdgeId, usize>,
+    pool: &'a WorkspacePool,
+    /// The subsidies decoded from the current relaxation point.
+    b: SubsidyAssignment,
+}
+
+impl<'a> BatchSeparationOracle for ShortestPathSeparator<'a> {
+    type Scratch = (PooledWorkspace<'a>, Vec<EdgeId>);
+
+    fn batch_size(&self) -> usize {
+        self.game.num_players()
+    }
+
+    fn prepare(&mut self, x: &[f64]) {
+        let g = self.game.graph();
+        for (k, &e) in self.var_list.iter().enumerate() {
+            self.b.set(g, e, x[k]);
+        }
+    }
+
+    fn make_scratch(&self) -> Self::Scratch {
+        (self.pool.acquire(), Vec::new())
+    }
+
+    fn separate_item(&self, i: usize, (ws, path): &mut Self::Scratch) -> Option<Row> {
+        let g = self.game.graph();
+        let player = self.game.players()[i];
+        let (state, b) = (self.state, &self.b);
+        let current = ndg_core::player_cost(self.game, state, b, i);
+        ws.run(g, player.source, Some(player.terminal), |e| {
+            let den = state.usage(e) + 1 - u32::from(state.uses(i, e));
+            b.residual(g, e) / den as f64
+        });
+        if ws.dist(player.terminal) < current - ORACLE_TOL {
+            let reached = ws.path_into(g, player.terminal, path);
+            debug_assert!(reached, "terminal reachable by game validation");
+            Some(constraint_for_path(self.game, state, self.var_of, i, path))
+        } else {
+            None
+        }
+    }
+}
+
 /// Solve the optimization version of SNE for an arbitrary game and target
 /// state by constraint generation. Returns the solution and loop stats.
+/// Separation runs on the environment-default executor (`NDG_THREADS`).
 pub fn enforce_state_cutting(
     game: &NetworkDesignGame,
     state: &State,
+) -> Result<(SneSolution, CutStats), SneError> {
+    enforce_state_cutting_with(game, state, &Executor::from_env())
+}
+
+/// [`enforce_state_cutting`] with an explicit executor for the batched
+/// separation rounds. The result is independent of the thread count.
+pub fn enforce_state_cutting_with(
+    game: &NetworkDesignGame,
+    state: &State,
+    ex: &Executor,
 ) -> Result<(SneSolution, CutStats), SneError> {
     let g = game.graph();
     // Variables: subsidies on established edges only (off-support subsidies
@@ -38,30 +106,16 @@ pub fn enforce_state_cutting(
     }
     let var_list: Vec<EdgeId> = established.clone();
 
-    let mut oracle = |x: &[f64]| -> Vec<Row> {
-        // Interpret x as a subsidy assignment.
-        let mut b = SubsidyAssignment::zero(g);
-        for (k, &e) in var_list.iter().enumerate() {
-            b.set(g, e, x[k]);
-        }
-        let mut cuts = Vec::new();
-        for (i, player) in game.players().iter().enumerate() {
-            let current = ndg_core::player_cost(game, state, &b, i);
-            let sp = dijkstra_with(g, player.source, |e| {
-                let den = state.usage(e) + 1 - u32::from(state.uses(i, e));
-                b.residual(g, e) / den as f64
-            });
-            if sp.dist[player.terminal.index()] < current - ORACLE_TOL {
-                let path = sp
-                    .path_to(g, player.terminal)
-                    .expect("terminal reachable by game validation");
-                cuts.push(constraint_for_path(game, state, &var_of, i, &path));
-            }
-        }
-        cuts
+    let pool = WorkspacePool::new(g.node_count());
+    let mut oracle = ShortestPathSeparator {
+        game,
+        state,
+        var_list: &var_list,
+        var_of: &var_of,
+        pool: &pool,
+        b: SubsidyAssignment::zero(g),
     };
-
-    let (sol, stats) = solve_with_cuts(&mut lp, &mut oracle, MAX_ROUNDS)
+    let (sol, stats) = solve_with_batched_cuts(&mut lp, &mut oracle, MAX_ROUNDS, ex)
         .map_err(|e| SneError::Cut(e.to_string()))?;
 
     let mut b = SubsidyAssignment::zero(g);
@@ -105,10 +159,14 @@ fn constraint_for_path(
             *coeff.entry(v).or_insert(0.0) += 1.0 / den;
         }
     }
-    let coeffs: Vec<(usize, f64)> = coeff
+    let mut coeffs: Vec<(usize, f64)> = coeff
         .into_iter()
         .filter(|&(_, c)| c.abs() > 1e-14)
         .collect();
+    // Sorted coefficients make the row independent of HashMap iteration
+    // order — part of the bit-reproducibility guarantee across runs and
+    // thread counts.
+    coeffs.sort_by_key(|&(v, _)| v);
     Row::new(coeffs, RowOp::Le, rhs)
 }
 
@@ -163,6 +221,33 @@ mod tests {
         let (sol, _) = enforce_state_cutting(&game, &state).unwrap();
         assert!(ndg_core::is_equilibrium(&game, &state, &sol.subsidies));
         assert!(sol.cost >= 0.0);
+    }
+
+    #[test]
+    fn subsidy_vectors_identical_across_thread_counts() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(43);
+        for _ in 0..6 {
+            let n = rng.random_range(4..10usize);
+            let g = generators::random_connected(n, 0.5, &mut rng, 0.3..3.0);
+            let game = ndg_core::NetworkDesignGame::broadcast(g, NodeId(0)).unwrap();
+            let tree = kruskal(game.graph()).unwrap();
+            let (state, _) = State::from_tree(&game, &tree).unwrap();
+            let mut reference: Option<(Vec<f64>, usize, usize)> = None;
+            for threads in [1usize, 4, 8] {
+                let ex = ndg_exec::Executor::new(threads);
+                let (sol, stats) = enforce_state_cutting_with(&game, &state, &ex).unwrap();
+                let x = sol.subsidies.as_slice().to_vec();
+                match &reference {
+                    None => reference = Some((x, stats.rounds, stats.cuts_added)),
+                    Some((want, rounds, cuts)) => {
+                        assert_eq!(&x, want, "threads={threads}: subsidies diverged");
+                        assert_eq!(stats.rounds, *rounds);
+                        assert_eq!(stats.cuts_added, *cuts);
+                    }
+                }
+            }
+        }
     }
 
     #[test]

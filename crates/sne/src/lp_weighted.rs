@@ -14,19 +14,83 @@
 use crate::{SneError, SneSolution};
 use ndg_core::weighted::{weighted_player_cost, Demands};
 use ndg_core::{NetworkDesignGame, State, SubsidyAssignment};
-use ndg_graph::paths::dijkstra_with;
+use ndg_exec::Executor;
+use ndg_graph::paths::{PooledWorkspace, WorkspacePool};
 use ndg_graph::EdgeId;
-use ndg_lp::{solve_with_cuts, CutStats, LinearProgram, Row, RowOp};
+use ndg_lp::{solve_with_batched_cuts, BatchSeparationOracle, CutStats, LinearProgram, Row, RowOp};
 use std::collections::HashMap;
 
 const ORACLE_TOL: f64 = 1e-7;
 const MAX_ROUNDS: usize = 500;
 
+/// The weighted best-response oracle as a batch of per-player items (same
+/// parallel shape as `lp_general`: one pooled Dijkstra workspace per
+/// worker, rows gathered in player order).
+struct WeightedSeparator<'a> {
+    game: &'a NetworkDesignGame,
+    state: &'a State,
+    demands: &'a Demands,
+    var_list: &'a [EdgeId],
+    var_of: &'a HashMap<EdgeId, usize>,
+    pool: &'a WorkspacePool,
+    b: SubsidyAssignment,
+}
+
+impl<'a> BatchSeparationOracle for WeightedSeparator<'a> {
+    type Scratch = (PooledWorkspace<'a>, Vec<EdgeId>);
+
+    fn batch_size(&self) -> usize {
+        self.game.num_players()
+    }
+
+    fn prepare(&mut self, x: &[f64]) {
+        let g = self.game.graph();
+        for (k, &e) in self.var_list.iter().enumerate() {
+            self.b.set(g, e, x[k]);
+        }
+    }
+
+    fn make_scratch(&self) -> Self::Scratch {
+        (self.pool.acquire(), Vec::new())
+    }
+
+    fn separate_item(&self, i: usize, (ws, path): &mut Self::Scratch) -> Option<Row> {
+        let g = self.game.graph();
+        let player = self.game.players()[i];
+        let (state, demands, b) = (self.state, self.demands, &self.b);
+        let d_i = demands.of(i);
+        let current = weighted_player_cost(self.game, state, demands, b, i);
+        ws.run(g, player.source, Some(player.terminal), |e| {
+            let load = demands.load(state, e) + if state.uses(i, e) { 0.0 } else { d_i };
+            b.residual(g, e) * d_i / load
+        });
+        if ws.dist(player.terminal) < current - ORACLE_TOL {
+            let reached = ws.path_into(g, player.terminal, path);
+            debug_assert!(reached, "terminal reachable by game validation");
+            Some(constraint(self.game, state, demands, self.var_of, i, path))
+        } else {
+            None
+        }
+    }
+}
+
 /// Minimum-cost subsidies enforcing `state` in the weighted extension.
+/// Separation runs on the environment-default executor (`NDG_THREADS`).
 pub fn enforce_state_weighted(
     game: &NetworkDesignGame,
     state: &State,
     demands: &Demands,
+) -> Result<(SneSolution, CutStats), SneError> {
+    enforce_state_weighted_with(game, state, demands, &Executor::from_env())
+}
+
+/// [`enforce_state_weighted`] with an explicit executor for the batched
+/// separation rounds. The result is independent of the thread count.
+pub fn enforce_state_weighted_with(
+    game: &NetworkDesignGame,
+    state: &State,
+    demands: &Demands,
+    ex: &Executor,
 ) -> Result<(SneSolution, CutStats), SneError> {
     let g = game.graph();
     let established = state.established_edges();
@@ -38,28 +102,17 @@ pub fn enforce_state_weighted(
     }
     let var_list = established.clone();
 
-    let mut oracle = |x: &[f64]| -> Vec<Row> {
-        let mut b = SubsidyAssignment::zero(g);
-        for (k, &e) in var_list.iter().enumerate() {
-            b.set(g, e, x[k]);
-        }
-        let mut cuts = Vec::new();
-        for (i, player) in game.players().iter().enumerate() {
-            let d_i = demands.of(i);
-            let current = weighted_player_cost(game, state, demands, &b, i);
-            let sp = dijkstra_with(g, player.source, |e| {
-                let load = demands.load(state, e) + if state.uses(i, e) { 0.0 } else { d_i };
-                b.residual(g, e) * d_i / load
-            });
-            if sp.dist[player.terminal.index()] < current - ORACLE_TOL {
-                let path = sp.path_to(g, player.terminal).expect("reachable");
-                cuts.push(constraint(game, state, demands, &var_of, i, &path));
-            }
-        }
-        cuts
+    let pool = WorkspacePool::new(g.node_count());
+    let mut oracle = WeightedSeparator {
+        game,
+        state,
+        demands,
+        var_list: &var_list,
+        var_of: &var_of,
+        pool: &pool,
+        b: SubsidyAssignment::zero(g),
     };
-
-    let (sol, stats) = solve_with_cuts(&mut lp, &mut oracle, MAX_ROUNDS)
+    let (sol, stats) = solve_with_batched_cuts(&mut lp, &mut oracle, MAX_ROUNDS, ex)
         .map_err(|e| SneError::Cut(e.to_string()))?;
     let mut b = SubsidyAssignment::zero(g);
     for (k, &e) in var_list.iter().enumerate() {
@@ -97,10 +150,12 @@ fn constraint(
             *coeff.entry(v).or_insert(0.0) += 1.0 / load;
         }
     }
-    let coeffs: Vec<(usize, f64)> = coeff
+    let mut coeffs: Vec<(usize, f64)> = coeff
         .into_iter()
         .filter(|&(_, c)| c.abs() > 1e-14)
         .collect();
+    // Deterministic row layout regardless of HashMap iteration order.
+    coeffs.sort_by_key(|&(v, _)| v);
     Row::new(coeffs, RowOp::Le, rhs)
 }
 
