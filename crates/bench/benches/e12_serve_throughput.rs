@@ -1,0 +1,52 @@
+//! E12 bench: batched serving throughput at threads ∈ {1, 4, 8}.
+//!
+//! Same workload as `exp_e12`: a deterministic mixed request stream
+//! replayed through [`ndg_serve::Router::handle_batch`]. Payloads are
+//! asserted byte-identical to the sequential cache-off reference inside
+//! every iteration, so the bench doubles as a determinism gate;
+//! `BENCH_serve.json` at the repo root pins the measured baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ndg_exec::Executor;
+use ndg_serve::{build_workload, payload_of, Router, WorkloadSpec};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e12_serve_throughput");
+    group.sample_size(10);
+    let lines = build_workload(WorkloadSpec {
+        requests: 200,
+        distinct: 50,
+        seed: 0xE12,
+    });
+    let reference_router = Router::new(Executor::sequential(), 0);
+    let want: Vec<String> = lines
+        .iter()
+        .map(|l| payload_of(&reference_router.handle_line(l)))
+        .collect();
+    for threads in [1usize, 4, 8] {
+        // One long-lived router per thread count: iterations after the
+        // first serve mostly from cache, exactly like a warm service.
+        let router = Router::new(Executor::new(threads), 4096);
+        group.bench_with_input(
+            BenchmarkId::new("serve_batched", threads),
+            &threads,
+            |bench, _| {
+                bench.iter(|| {
+                    let mut got = Vec::with_capacity(lines.len());
+                    for chunk in black_box(&lines).chunks(32) {
+                        got.extend(router.handle_batch(chunk));
+                    }
+                    for (g, w) in got.iter().zip(&want) {
+                        assert_eq!(&payload_of(g), w);
+                    }
+                    got.len()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,160 @@
+//! E12 — serving-layer load test: throughput, cache hit rate, latency.
+//!
+//! Deterministic companion of `benches/e12_serve_throughput.rs`: a mixed
+//! `enforce`/`dynamics`/`pos`/`aon`/`certify` workload (400 requests over
+//! 100 distinct bodies → target hit ratio 75%) is replayed through the
+//! [`ndg_serve::Router`] three ways:
+//!
+//! 1. a **sequential reference** pass with the cache disabled — direct
+//!    library calls behind the codec, the byte-exact ground truth;
+//! 2. a **per-request latency** pass (cache enabled) measuring each
+//!    `handle_line` individually for p50/p99;
+//! 3. **batched throughput** passes at threads ∈ {1, 4, 8}, batches of
+//!    32 scheduled on the executor — every payload asserted
+//!    byte-identical to the reference (the E11-style determinism gate).
+//!
+//! `BENCH_serve.json` at the repo root pins the measured baseline. A
+//! 1-core container shows no batching speedup — the determinism
+//! assertions are the portable part; re-measure on multicore hardware.
+
+use ndg_bench::{header, row};
+use ndg_exec::Executor;
+use ndg_serve::{build_workload, payload_of, Router, WorkloadSpec};
+use std::io::Write as _;
+use std::time::Instant;
+
+const THREADS: [usize; 3] = [1, 4, 8];
+const SPEC: WorkloadSpec = WorkloadSpec {
+    requests: 400,
+    distinct: 100,
+    seed: 0xE12,
+};
+const BATCH: usize = 32;
+
+fn main() {
+    let lines = build_workload(SPEC);
+    println!(
+        "E12: serving-layer load ({} requests, {} distinct bodies, batch={BATCH})",
+        SPEC.requests, SPEC.distinct
+    );
+
+    // 1. Sequential, cache-off reference payloads.
+    let reference_router = Router::new(Executor::sequential(), 0);
+    let t0 = Instant::now();
+    let reference: Vec<String> = lines
+        .iter()
+        .map(|l| payload_of(&reference_router.handle_line(l)))
+        .collect();
+    let ref_ms = t0.elapsed().as_secs_f64() * 1e3;
+    println!("reference (sequential, cache off): {ref_ms:.1} ms total");
+
+    // 2. Per-request latency with the cache on.
+    let latency_router = Router::new(Executor::sequential(), 4096);
+    let mut lat_us: Vec<f64> = Vec::with_capacity(lines.len());
+    for (line, want) in lines.iter().zip(&reference) {
+        let t0 = Instant::now();
+        let resp = latency_router.handle_line(line);
+        lat_us.push(t0.elapsed().as_secs_f64() * 1e6);
+        assert_eq!(&payload_of(&resp), want, "latency pass diverged");
+    }
+    lat_us.sort_by(f64::total_cmp);
+    let pct = |p: f64| lat_us[((lat_us.len() - 1) as f64 * p) as usize];
+    let (p50, p99) = (pct(0.50), pct(0.99));
+    let lstats = latency_router.cache_stats();
+    let hit_rate = lstats.hits as f64 / (lstats.hits + lstats.misses) as f64;
+    println!(
+        "latency (cache on): p50 {p50:.0} µs  p99 {p99:.0} µs  hit rate {:.1}%",
+        hit_rate * 100.0
+    );
+
+    // 3. Batched throughput at each thread count.
+    let widths = [8, 10, 10, 11, 10];
+    println!(
+        "{}",
+        header(
+            &["threads", "wall-ms", "req/s", "hit-rate", "speedup"],
+            &widths
+        )
+    );
+    let mut results = Vec::new();
+    let mut base_ms = None;
+    for t in THREADS {
+        let router = Router::new(Executor::new(t), 4096);
+        // Median of 3 replays (fresh warmup pass excluded from dispute:
+        // each replay re-runs the full stream, so later replays serve
+        // mostly from cache — exactly the serving scenario).
+        let mut times = Vec::new();
+        let mut payloads: Vec<String> = Vec::new();
+        for _ in 0..3 {
+            let t0 = Instant::now();
+            let mut got = Vec::with_capacity(lines.len());
+            for chunk in lines.chunks(BATCH) {
+                got.extend(router.handle_batch(chunk));
+            }
+            times.push(t0.elapsed().as_secs_f64() * 1e3);
+            payloads = got.iter().map(|l| payload_of(l)).collect();
+        }
+        assert_eq!(
+            payloads, reference,
+            "threads={t}: batched payloads diverged from the sequential reference"
+        );
+        times.sort_by(f64::total_cmp);
+        let wall_ms = times[1];
+        let stats = router.cache_stats();
+        let hr = stats.hits as f64 / (stats.hits + stats.misses) as f64;
+        let rps = SPEC.requests as f64 / (wall_ms / 1e3);
+        let speedup = match base_ms {
+            None => {
+                base_ms = Some(wall_ms);
+                1.0
+            }
+            Some(b) => b / wall_ms,
+        };
+        println!(
+            "{}",
+            row(
+                &[
+                    t.to_string(),
+                    format!("{wall_ms:.2}"),
+                    format!("{rps:.0}"),
+                    format!("{:.1}%", hr * 100.0),
+                    format!("{speedup:.2}x"),
+                ],
+                &widths
+            )
+        );
+        results.push((t, wall_ms, rps, hr));
+    }
+    println!("OK: all payloads bit-identical to sequential library calls at threads ∈ {THREADS:?}");
+
+    // 4. Pin the baseline.
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"group\": \"e12_serve_throughput\",\n");
+    json.push_str(&format!(
+        "  \"note\": \"ndg-serve batched request engine on a mixed enforce/dynamics/pos/aon/certify workload ({} requests over {} distinct bodies, batch={BATCH}); payloads asserted byte-identical to sequential cache-off library calls at every thread count. Measured in a {}-core container: batching cannot speed up a single core, so re-measure requests/s on multicore hardware; the determinism + cache-reuse numbers are the portable part.\",\n",
+        SPEC.requests,
+        SPEC.distinct,
+        ndg_exec::available_threads(),
+    ));
+    json.push_str(&format!(
+        "  \"container_cores\": {},\n",
+        ndg_exec::available_threads()
+    ));
+    json.push_str(&format!(
+        "  \"latency\": {{ \"p50_us\": {p50:.1}, \"p99_us\": {p99:.1}, \"cache_hit_rate\": {hit_rate:.3} }},\n"
+    ));
+    json.push_str("  \"benchmarks\": [\n");
+    for (i, (t, wall_ms, rps, hr)) in results.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{ \"id\": \"serve_batched/threads={t}\", \"wall_ms\": {wall_ms:.2}, \"requests_per_s\": {rps:.0}, \"cache_hit_rate\": {hr:.3} }}{}\n",
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let path = "BENCH_serve.json";
+    match std::fs::File::create(path).and_then(|mut f| f.write_all(json.as_bytes())) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}

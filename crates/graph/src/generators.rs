@@ -181,6 +181,89 @@ pub fn caterpillar_graph(spine: usize, legs: usize, spine_w: f64, leg_w: f64) ->
     g
 }
 
+/// Preferential-attachment ("Barabási–Albert style") graph: nodes arrive
+/// one at a time and attach to `m ≥ 1` *distinct* existing nodes chosen
+/// with probability proportional to their current degree, yielding the
+/// heavy-tailed degree profile of real internet-style topologies. The
+/// first `m + 1` nodes form a path so every attachment target has
+/// positive degree. Weights i.i.d. from `weights`. Always connected.
+///
+/// The E12 serving workload uses this as its "power-law" request family.
+pub fn preferential_attachment<R: Rng>(
+    n: usize,
+    m: usize,
+    rng: &mut R,
+    weights: Range<f64>,
+) -> Graph {
+    assert!(m >= 1, "attachment degree m must be ≥ 1");
+    assert!(n > m, "need more than m + 1 nodes total (n > m)");
+    let mut g = Graph::new(n);
+    // `targets` holds one entry per edge endpoint, so sampling an element
+    // uniformly is exactly degree-proportional sampling.
+    let mut targets: Vec<u32> = Vec::with_capacity(2 * n * m);
+    for i in 1..=m.min(n - 1) {
+        let (a, b) = ((i - 1) as u32, i as u32);
+        let w = sample_weight(rng, &weights);
+        g.add_edge(NodeId(a), NodeId(b), w).expect("seed path edge");
+        targets.push(a);
+        targets.push(b);
+    }
+    let mut picked: Vec<u32> = Vec::with_capacity(m);
+    for v in (m + 1)..n {
+        picked.clear();
+        // Rejection-sample m distinct degree-proportional targets.
+        while picked.len() < m {
+            let t = targets[rng.random_range(0..targets.len())];
+            if !picked.contains(&t) {
+                picked.push(t);
+            }
+        }
+        for &t in &picked {
+            let w = sample_weight(rng, &weights);
+            g.add_edge(NodeId(v as u32), NodeId(t), w)
+                .expect("attachment edge");
+            targets.push(v as u32);
+            targets.push(t);
+        }
+    }
+    g
+}
+
+/// `rows × cols` grid augmented with `chords` random long-range edges
+/// ("ISP-like": a planar access mesh plus a handful of backbone links).
+/// Chord endpoints are uniform distinct node pairs not already joined by a
+/// grid edge; grid edges weigh `grid_w`, chord weights are i.i.d. from
+/// `chord_weights`. Connected whenever the grid is non-empty.
+pub fn grid_with_chords<R: Rng>(
+    rows: usize,
+    cols: usize,
+    chords: usize,
+    grid_w: f64,
+    rng: &mut R,
+    chord_weights: Range<f64>,
+) -> Graph {
+    assert!(rows * cols >= 2, "grid needs at least 2 nodes");
+    let mut g = grid_graph(rows, cols, grid_w);
+    let n = g.node_count() as u32;
+    let mut added = 0usize;
+    let mut attempts = 0usize;
+    // Cap the rejection loop so dense grids cannot spin forever once every
+    // non-adjacent pair is taken; fewer than `chords` chords are added in
+    // that saturated case.
+    while added < chords && attempts < 64 * (chords + 1) {
+        attempts += 1;
+        let u = NodeId(rng.random_range(0..n));
+        let v = NodeId(rng.random_range(0..n));
+        if u == v || g.find_edge(u, v).is_some() {
+            continue;
+        }
+        let w = sample_weight(rng, &chord_weights);
+        g.add_edge(u, v, w).expect("chord edge");
+        added += 1;
+    }
+    g
+}
+
 fn sample_weight<R: Rng>(rng: &mut R, range: &Range<f64>) -> f64 {
     if range.start >= range.end {
         range.start
@@ -288,6 +371,62 @@ mod tests {
         assert_eq!(g.node_count(), 3 + 6);
         assert_eq!(g.edge_count(), 2 + 6);
         assert!(g.is_connected());
+    }
+
+    #[test]
+    fn preferential_attachment_is_connected_and_skewed() {
+        let mut rng = StdRng::seed_from_u64(12);
+        for &(n, m) in &[(8usize, 1usize), (40, 2), (120, 3)] {
+            let g = preferential_attachment(n, m, &mut rng, 0.5..2.0);
+            assert_eq!(g.node_count(), n);
+            // Seed path has min(m, n-1) edges; every later node adds m.
+            assert_eq!(g.edge_count(), m.min(n - 1) + (n - m - 1) * m);
+            assert!(g.is_connected(), "n={n} m={m}");
+            // Heavy tail: some hub collects well above the attachment degree.
+            let max_deg = g.nodes().map(|v| g.degree(v)).max().unwrap();
+            assert!(max_deg > m + 1, "n={n} m={m}: max degree {max_deg}");
+        }
+        // Distinct-target sampling: no self-loops possible by construction,
+        // and no parallel attachment edges from one arriving node.
+        let g = preferential_attachment(30, 2, &mut rng, 1.0..1.0);
+        for v in g.nodes() {
+            let mut nbs: Vec<u32> = g
+                .neighbors(v)
+                .iter()
+                .map(|&(u, e)| {
+                    assert!(g.is_endpoint(e, v));
+                    u.0
+                })
+                .collect();
+            let before = nbs.len();
+            nbs.sort_unstable();
+            nbs.dedup();
+            // Parallel edges could only come from two different arrivals
+            // hitting the same pair, impossible here since the later node
+            // of a pair attaches only once.
+            assert_eq!(nbs.len(), before, "parallel edge at {v:?}");
+        }
+    }
+
+    #[test]
+    fn grid_with_chords_shape() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let g = grid_with_chords(4, 5, 6, 1.0, &mut rng, 3.0..9.0);
+        assert_eq!(g.node_count(), 20);
+        assert_eq!(g.edge_count(), (3 * 5 + 4 * 4) + 6);
+        assert!(g.is_connected());
+        // Chords are strictly the extra edges and carry chord weights.
+        let grid_edges = 3 * 5 + 4 * 4;
+        for (i, (_, e)) in g.edges().enumerate() {
+            if i < grid_edges {
+                assert_eq!(e.w, 1.0);
+            } else {
+                assert!((3.0..9.0).contains(&e.w));
+            }
+        }
+        // Saturated case: K-like small grid where few chords fit.
+        let tiny = grid_with_chords(1, 2, 50, 1.0, &mut rng, 1.0..2.0);
+        assert_eq!(tiny.edge_count(), 1, "no chord fits a 2-node grid");
     }
 
     #[test]

@@ -1,0 +1,256 @@
+//! Sharded LRU instance/result cache.
+//!
+//! Responses are cached under the FNV-1a hash of the request's canonical
+//! body ([`crate::codec::Request::cache_key`]): the codec guarantees equal
+//! bodies denote the same instance and query, and the router guarantees
+//! payloads are deterministic, so replaying a cached payload is
+//! indistinguishable from re-running the solver. The map is split into
+//! [`SHARDS`] independently locked shards (key-sharded by low bits) so
+//! concurrent request workers rarely contend; hit/miss/eviction counters
+//! are relaxed atomics surfaced in every response header and in the
+//! `stats` method.
+//!
+//! Eviction is least-recently-*used* per shard: every hit re-stamps the
+//! entry with a shard-local logical clock and the overflowing insert
+//! evicts the minimum stamp. With per-shard capacity in the hundreds the
+//! O(len) eviction scan is noise next to a single Dijkstra.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Number of independently locked shards (power of two).
+pub const SHARDS: usize = 16;
+
+#[derive(Debug)]
+struct Entry {
+    /// The full canonical request body: verified on every hit so an
+    /// FNV-1a collision degrades to a miss, never to a wrong payload.
+    body: String,
+    payload: String,
+    stamp: u64,
+}
+
+#[derive(Debug, Default)]
+struct Shard {
+    map: HashMap<u64, Entry>,
+    clock: u64,
+}
+
+/// Point-in-time cache counters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that returned a cached payload.
+    pub hits: u64,
+    /// Lookups that missed (including lookups with caching disabled).
+    pub misses: u64,
+    /// Entries displaced by capacity pressure.
+    pub evictions: u64,
+    /// Live entries across all shards.
+    pub entries: usize,
+    /// Total configured capacity (0 = caching disabled).
+    pub capacity: usize,
+}
+
+/// The sharded LRU result cache.
+#[derive(Debug)]
+pub struct Cache {
+    shards: Vec<Mutex<Shard>>,
+    cap_per_shard: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl Cache {
+    /// Cache holding at most `capacity` responses in total
+    /// (`capacity = 0` disables caching: every lookup misses).
+    pub fn new(capacity: usize) -> Self {
+        Cache {
+            shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
+            cap_per_shard: capacity.div_ceil(SHARDS),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    #[inline]
+    fn shard(&self, key: u64) -> &Mutex<Shard> {
+        &self.shards[(key as usize) & (SHARDS - 1)]
+    }
+
+    /// Whether caching is enabled.
+    pub fn enabled(&self) -> bool {
+        self.cap_per_shard > 0
+    }
+
+    /// Look `key` up, counting a hit (and re-stamping the entry) or a
+    /// miss. `body` is the canonical request body the key was hashed
+    /// from: a key match with a different body is a 64-bit collision and
+    /// is answered as a miss (the colliding insert will then overwrite —
+    /// correctness never rests on FNV being collision-free).
+    pub fn get(&self, key: u64, body: &str) -> Option<String> {
+        if !self.enabled() {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let mut shard = self.shard(key).lock().expect("cache shard poisoned");
+        shard.clock += 1;
+        let clock = shard.clock;
+        match shard.map.get_mut(&key) {
+            Some(entry) if entry.body == body => {
+                entry.stamp = clock;
+                let payload = entry.payload.clone();
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(payload)
+            }
+            _ => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Insert a computed payload, evicting the shard's least-recently-used
+    /// entry if the shard is full. Inserting over an existing key simply
+    /// refreshes it (concurrent workers may race to fill the same key —
+    /// payload determinism makes either write correct).
+    pub fn insert(&self, key: u64, body: String, payload: String) {
+        if !self.enabled() {
+            return;
+        }
+        let mut shard = self.shard(key).lock().expect("cache shard poisoned");
+        shard.clock += 1;
+        let stamp = shard.clock;
+        if shard.map.len() >= self.cap_per_shard && !shard.map.contains_key(&key) {
+            if let Some((&victim, _)) = shard.map.iter().min_by_key(|(_, e)| e.stamp) {
+                shard.map.remove(&victim);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        shard.map.insert(
+            key,
+            Entry {
+                body,
+                payload,
+                stamp,
+            },
+        );
+    }
+
+    /// Just the relaxed counters — no shard locks — for the per-response
+    /// header. [`stats`](Self::stats) (which also counts live entries
+    /// under every shard lock) is reserved for the `stats` method.
+    pub fn counters(&self) -> (u64, u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+            self.evictions.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Current counters (relaxed reads: monitoring data, not a barrier).
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self
+                .shards
+                .iter()
+                .map(|s| s.lock().expect("cache shard poisoned").map.len())
+                .sum(),
+            capacity: self.cap_per_shard * SHARDS,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_miss_and_counters() {
+        let c = Cache::new(64);
+        assert_eq!(c.get(7, "body7"), None);
+        c.insert(7, "body7".into(), "payload".into());
+        assert_eq!(c.get(7, "body7").as_deref(), Some("payload"));
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.evictions, s.entries), (1, 1, 0, 1));
+        assert_eq!(c.counters(), (1, 1, 0));
+    }
+
+    #[test]
+    fn a_key_collision_is_a_miss_not_a_wrong_answer() {
+        let c = Cache::new(64);
+        c.insert(7, "body-a".into(), "payload-a".into());
+        // Same 64-bit key, different canonical body: must NOT replay a's
+        // payload.
+        assert_eq!(c.get(7, "body-b"), None);
+        c.insert(7, "body-b".into(), "payload-b".into());
+        assert_eq!(c.get(7, "body-b").as_deref(), Some("payload-b"));
+        // The overwrite evicted a's entry (same slot): a now misses too.
+        assert_eq!(c.get(7, "body-a"), None);
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let c = Cache::new(0);
+        c.insert(1, "b".into(), "x".into());
+        assert_eq!(c.get(1, "b"), None);
+        assert!(!c.enabled());
+        assert_eq!(c.stats().entries, 0);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used_within_a_shard() {
+        // capacity 16 → 1 entry per shard; keys in the same shard differ
+        // by multiples of SHARDS.
+        let c = Cache::new(16);
+        let (a, b) = (5u64, 5 + SHARDS as u64);
+        c.insert(a, "ka".into(), "a".into());
+        assert!(c.get(a, "ka").is_some()); // touch a
+        c.insert(b, "kb".into(), "b".into()); // shard full → evicts a
+        assert_eq!(c.stats().evictions, 1);
+        assert_eq!(c.get(b, "kb").as_deref(), Some("b"));
+        assert_eq!(c.get(a, "ka"), None);
+    }
+
+    #[test]
+    fn recency_decides_the_victim() {
+        // 2 entries per shard (capacity 32); three same-shard keys.
+        let c = Cache::new(32);
+        let k = |i: u64| 3 + i * SHARDS as u64;
+        c.insert(k(0), "b0".into(), "0".into());
+        c.insert(k(1), "b1".into(), "1".into());
+        assert!(c.get(k(0), "b0").is_some()); // k0 is now fresher than k1
+        c.insert(k(2), "b2".into(), "2".into()); // evicts k1
+        assert!(c.get(k(0), "b0").is_some());
+        assert!(c.get(k(2), "b2").is_some());
+        assert_eq!(c.get(k(1), "b1"), None);
+    }
+
+    #[test]
+    fn concurrent_access_is_safe() {
+        let c = std::sync::Arc::new(Cache::new(256));
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for i in 0..200u64 {
+                        let key = (i % 32) * 31 + t;
+                        let body = format!("b{key}");
+                        if c.get(key, &body).is_none() {
+                            c.insert(key, body, format!("v{key}"));
+                        }
+                    }
+                });
+            }
+        });
+        let s = c.stats();
+        assert_eq!(s.hits + s.misses, 800);
+        assert!(s.entries <= 256);
+    }
+}

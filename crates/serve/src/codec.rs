@@ -1,0 +1,1239 @@
+//! The `ndg1` line-oriented wire codec.
+//!
+//! Every record is one ASCII line of `;`-separated `key=value` fields with
+//! a leading tag. Three sub-separators nest inside values — `,` joins list
+//! elements, `:` joins the sections of a game spec, `/` joins the parts of
+//! an edge or player pair, `|` joins per-player paths — so no escaping is
+//! ever needed: identifiers are integers and floats, and the only free-form
+//! token (the request `id`) is restricted to `[A-Za-z0-9._-]`.
+//!
+//! ```text
+//! request  := "ndg1" ";id=" ID ";method=" METHOD field*
+//! field    := ";" key "=" value
+//! METHOD   := "enforce" | "dynamics" | "pos" | "aon" | "certify" | "stats"
+//! game     := "broadcast:" N ":" ROOT ":" edges
+//!           | "general:"   N ":" edges ":" players
+//!           | "weighted:"  N ":" edges ":" players ":" demands
+//! edges    := [ edge ("," edge)* ]         edge    := U "/" V "/" W
+//! players  := pair ("," pair)*             pair    := S "/" T
+//! demands  := float ("," float)*
+//! tree     := [ id ("," id)* ]             (edge ids, duplicates rejected)
+//! b        := float ("," float)*           (one subsidy per edge)
+//! state    := path ("|" path)*             path    := [ id ("," id)* ]
+//! order    := "round-robin" | "max-gain" | "random:" SEED
+//! response := "ok;id=" ID ";cache=" ("hit"|"miss"|"off")
+//!             ";hits=" H ";misses=" M ";evictions=" E ";" payload
+//!           | "err;id=" ID ";code=" CODE ";msg=" TEXT
+//! ```
+//!
+//! Floats are serialized with Rust's shortest-round-trip `Display`, so
+//! `parse ∘ serialize` is the identity on every finite `f64` and the
+//! canonical form of an instance is byte-stable — which is what makes the
+//! FNV-1a [`Request::cache_key`] a sound instance/result cache key.
+
+use ndg_core::{Demands, GameError, NetworkDesignGame, Player, State, StateError, SubsidyError};
+use ndg_graph::{EdgeId, Graph, GraphError, NodeId};
+use std::fmt;
+
+/// Hard ceilings on parsed instance sizes: a service must bound the work a
+/// single line can demand before any solver runs.
+pub const MAX_NODES: usize = 65_536;
+/// Maximum edges accepted in one game spec.
+pub const MAX_EDGES: usize = 1_048_576;
+/// Maximum players accepted in one game spec.
+pub const MAX_PLAYERS: usize = 65_536;
+
+/// Structured decode/validation errors. Every malformed input maps to one
+/// of these — the codec never panics on untrusted bytes — and each variant
+/// carries a stable snake-case [`code`](WireError::code) for the `err`
+/// response line.
+#[derive(Clone, Debug, PartialEq)]
+pub enum WireError {
+    /// The line was empty.
+    Empty,
+    /// The leading tag was not `ndg1`.
+    BadTag(String),
+    /// A `key=value` field had no `=`.
+    BareField(String),
+    /// The same key appeared twice.
+    DuplicateField(String),
+    /// An unrecognized key.
+    UnknownField(String),
+    /// A required field was absent.
+    MissingField(&'static str),
+    /// The request id contains characters outside `[A-Za-z0-9._-]` or is
+    /// empty/overlong.
+    BadId(String),
+    /// Unknown `method=` value.
+    UnknownMethod(String),
+    /// Unknown `solver=` value.
+    UnknownSolver(String),
+    /// Unknown `order=` value.
+    UnknownOrder(String),
+    /// A structured value ended early (fewer `:`/`/` sections than the
+    /// grammar requires) — truncated-line territory.
+    Truncated {
+        /// What was being parsed.
+        what: &'static str,
+        /// The offending token.
+        got: String,
+    },
+    /// An integer token failed to parse.
+    BadInt {
+        /// The field being parsed.
+        field: &'static str,
+        /// The offending token.
+        token: String,
+    },
+    /// A float token failed to parse or was NaN/infinite.
+    BadFloat {
+        /// The field being parsed.
+        field: &'static str,
+        /// The offending token.
+        token: String,
+    },
+    /// An edge id appeared twice in an edge-set value (`tree=`), which is
+    /// specified as a *set*.
+    DuplicateEdge {
+        /// The field holding the set.
+        field: &'static str,
+        /// The repeated edge id.
+        id: u32,
+    },
+    /// An instance dimension exceeded [`MAX_NODES`]/[`MAX_EDGES`]/
+    /// [`MAX_PLAYERS`].
+    TooLarge {
+        /// Which dimension overflowed.
+        what: &'static str,
+        /// The requested size.
+        got: usize,
+        /// The ceiling.
+        max: usize,
+    },
+    /// Graph construction rejected the spec (bad endpoint, self-loop,
+    /// negative weight, …).
+    Graph(String),
+    /// Game construction rejected the spec (disconnected broadcast,
+    /// trivial player, …).
+    Game(String),
+    /// State construction rejected the paths.
+    State(String),
+    /// The subsidy vector was out of bounds or mis-sized.
+    Subsidy(String),
+    /// The demand vector was mis-sized or non-positive.
+    BadDemands,
+    /// The target edge set is not a spanning tree.
+    NotASpanningTree,
+    /// The method needs a broadcast game.
+    NotBroadcast,
+    /// A solver/engine failed after decoding succeeded.
+    Engine {
+        /// Stable machine code for the failure class.
+        code: &'static str,
+        /// Human-readable detail.
+        msg: String,
+    },
+}
+
+impl WireError {
+    /// Stable machine-readable code for the `err` response line.
+    pub fn code(&self) -> &'static str {
+        match self {
+            WireError::Empty => "empty",
+            WireError::BadTag(_) => "bad_tag",
+            WireError::BareField(_) => "bare_field",
+            WireError::DuplicateField(_) => "duplicate_field",
+            WireError::UnknownField(_) => "unknown_field",
+            WireError::MissingField(_) => "missing_field",
+            WireError::BadId(_) => "bad_id",
+            WireError::UnknownMethod(_) => "unknown_method",
+            WireError::UnknownSolver(_) => "unknown_solver",
+            WireError::UnknownOrder(_) => "unknown_order",
+            WireError::Truncated { .. } => "truncated",
+            WireError::BadInt { .. } => "bad_int",
+            WireError::BadFloat { .. } => "bad_float",
+            WireError::DuplicateEdge { .. } => "duplicate_edge",
+            WireError::TooLarge { .. } => "too_large",
+            WireError::Graph(_) => "bad_graph",
+            WireError::Game(_) => "bad_game",
+            WireError::State(_) => "bad_state",
+            WireError::Subsidy(_) => "bad_subsidy",
+            WireError::BadDemands => "bad_demands",
+            WireError::NotASpanningTree => "not_a_spanning_tree",
+            WireError::NotBroadcast => "not_broadcast",
+            WireError::Engine { code, .. } => code,
+        }
+    }
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Empty => write!(f, "empty request line"),
+            WireError::BadTag(t) => write!(f, "expected tag ndg1, got {t:?}"),
+            WireError::BareField(t) => write!(f, "field {t:?} has no '='"),
+            WireError::DuplicateField(k) => write!(f, "field {k} given twice"),
+            WireError::UnknownField(k) => write!(f, "unknown field {k}"),
+            WireError::MissingField(k) => write!(f, "required field {k} missing"),
+            WireError::BadId(t) => write!(f, "bad request id {t:?}"),
+            WireError::UnknownMethod(m) => write!(f, "unknown method {m:?}"),
+            WireError::UnknownSolver(s) => write!(f, "unknown solver {s:?}"),
+            WireError::UnknownOrder(o) => write!(f, "unknown order {o:?}"),
+            WireError::Truncated { what, got } => write!(f, "truncated {what}: {got:?}"),
+            WireError::BadInt { field, token } => write!(f, "bad integer in {field}: {token:?}"),
+            WireError::BadFloat { field, token } => {
+                write!(f, "bad finite float in {field}: {token:?}")
+            }
+            WireError::DuplicateEdge { field, id } => {
+                write!(f, "edge {id} repeated in {field}")
+            }
+            WireError::TooLarge { what, got, max } => {
+                write!(f, "{what} = {got} exceeds limit {max}")
+            }
+            WireError::Graph(m) | WireError::Game(m) | WireError::State(m) => write!(f, "{m}"),
+            WireError::Subsidy(m) => write!(f, "{m}"),
+            WireError::BadDemands => write!(f, "demands must list one positive float per player"),
+            WireError::NotASpanningTree => write!(f, "target edge set is not a spanning tree"),
+            WireError::NotBroadcast => write!(f, "method requires a broadcast game"),
+            WireError::Engine { msg, .. } => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<GraphError> for WireError {
+    fn from(e: GraphError) -> Self {
+        WireError::Graph(e.to_string())
+    }
+}
+
+impl From<GameError> for WireError {
+    fn from(e: GameError) -> Self {
+        WireError::Game(e.to_string())
+    }
+}
+
+impl From<StateError> for WireError {
+    fn from(e: StateError) -> Self {
+        WireError::State(e.to_string())
+    }
+}
+
+impl From<SubsidyError> for WireError {
+    fn from(e: SubsidyError) -> Self {
+        WireError::Subsidy(e.to_string())
+    }
+}
+
+/// Serialize an `f64` in the canonical (shortest-round-trip) form.
+pub fn fmt_f64(x: f64) -> String {
+    format!("{x}")
+}
+
+/// Parse a finite `f64`; NaN/±inf and unparsable tokens are rejected.
+pub fn parse_f64(field: &'static str, token: &str) -> Result<f64, WireError> {
+    match token.parse::<f64>() {
+        Ok(x) if x.is_finite() => Ok(x),
+        _ => Err(WireError::BadFloat {
+            field,
+            token: token.to_string(),
+        }),
+    }
+}
+
+fn parse_usize(field: &'static str, token: &str) -> Result<usize, WireError> {
+    token.parse::<usize>().map_err(|_| WireError::BadInt {
+        field,
+        token: token.to_string(),
+    })
+}
+
+/// Parse a work budget (`rounds=`/`cap=`/`limit=`) with its ceiling.
+fn parse_budget(field: &'static str, token: &str, max: usize) -> Result<usize, WireError> {
+    let v = parse_usize(field, token)?;
+    if v > max {
+        return Err(WireError::TooLarge {
+            what: field,
+            got: v,
+            max,
+        });
+    }
+    Ok(v)
+}
+
+fn parse_u32(field: &'static str, token: &str) -> Result<u32, WireError> {
+    token.parse::<u32>().map_err(|_| WireError::BadInt {
+        field,
+        token: token.to_string(),
+    })
+}
+
+fn parse_u64(field: &'static str, token: &str) -> Result<u64, WireError> {
+    token.parse::<u64>().map_err(|_| WireError::BadInt {
+        field,
+        token: token.to_string(),
+    })
+}
+
+/// FNV-1a over the canonical bytes: the instance/result cache key.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A decoded game spec: the wire-level mirror of [`NetworkDesignGame`]
+/// (plus per-player demands for the weighted extension).
+#[derive(Clone, Debug, PartialEq)]
+pub enum WireGame {
+    /// `broadcast:<n>:<root>:<edges>` — one player per non-root node.
+    Broadcast {
+        /// Node count.
+        n: usize,
+        /// Broadcast root node.
+        root: u32,
+        /// Edge list `(u, v, w)` in edge-id order.
+        edges: Vec<(u32, u32, f64)>,
+    },
+    /// `general:<n>:<edges>:<players>` — explicit `s/t` pairs.
+    General {
+        /// Node count.
+        n: usize,
+        /// Edge list in edge-id order.
+        edges: Vec<(u32, u32, f64)>,
+        /// Player `(source, terminal)` pairs.
+        players: Vec<(u32, u32)>,
+    },
+    /// `weighted:<n>:<edges>:<players>:<demands>` — general game plus one
+    /// positive demand per player.
+    Weighted {
+        /// Node count.
+        n: usize,
+        /// Edge list in edge-id order.
+        edges: Vec<(u32, u32, f64)>,
+        /// Player `(source, terminal)` pairs.
+        players: Vec<(u32, u32)>,
+        /// Per-player demands.
+        demands: Vec<f64>,
+    },
+}
+
+fn push_edges(out: &mut String, edges: &[(u32, u32, f64)]) {
+    for (i, (u, v, w)) in edges.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("{u}/{v}/{}", fmt_f64(*w)));
+    }
+}
+
+fn push_pairs(out: &mut String, pairs: &[(u32, u32)]) {
+    for (i, (s, t)) in pairs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("{s}/{t}"));
+    }
+}
+
+fn push_floats(out: &mut String, xs: &[f64]) {
+    for (i, x) in xs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&fmt_f64(*x));
+    }
+}
+
+fn parse_edges(s: &str) -> Result<Vec<(u32, u32, f64)>, WireError> {
+    if s.is_empty() {
+        return Ok(Vec::new());
+    }
+    let mut out = Vec::new();
+    for tok in s.split(',') {
+        let mut parts = tok.split('/');
+        let (u, v, w) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+            (Some(u), Some(v), Some(w), None) => (u, v, w),
+            _ => {
+                return Err(WireError::Truncated {
+                    what: "edge (u/v/w)",
+                    got: tok.to_string(),
+                })
+            }
+        };
+        out.push((
+            parse_u32("edge endpoint", u)?,
+            parse_u32("edge endpoint", v)?,
+            parse_f64("edge weight", w)?,
+        ));
+        if out.len() > MAX_EDGES {
+            return Err(WireError::TooLarge {
+                what: "edges",
+                got: out.len(),
+                max: MAX_EDGES,
+            });
+        }
+    }
+    Ok(out)
+}
+
+fn parse_pairs(s: &str) -> Result<Vec<(u32, u32)>, WireError> {
+    if s.is_empty() {
+        return Ok(Vec::new());
+    }
+    let mut out = Vec::new();
+    for tok in s.split(',') {
+        let (a, b) = tok.split_once('/').ok_or_else(|| WireError::Truncated {
+            what: "player pair (s/t)",
+            got: tok.to_string(),
+        })?;
+        out.push((parse_u32("player pair", a)?, parse_u32("player pair", b)?));
+        if out.len() > MAX_PLAYERS {
+            return Err(WireError::TooLarge {
+                what: "players",
+                got: out.len(),
+                max: MAX_PLAYERS,
+            });
+        }
+    }
+    Ok(out)
+}
+
+/// Parse a comma-joined float list (`b=`, demand sections).
+pub fn parse_floats(field: &'static str, s: &str) -> Result<Vec<f64>, WireError> {
+    if s.is_empty() {
+        return Ok(Vec::new());
+    }
+    s.split(',').map(|t| parse_f64(field, t)).collect()
+}
+
+/// Parse a comma-joined edge-id *set*; a repeated id is a structured
+/// `duplicate_edge` error (the value denotes a set, e.g. a spanning tree).
+pub fn parse_edge_set(field: &'static str, s: &str) -> Result<Vec<EdgeId>, WireError> {
+    if s.is_empty() {
+        return Ok(Vec::new());
+    }
+    let mut out: Vec<EdgeId> = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    for tok in s.split(',') {
+        let id = parse_u32(field, tok)?;
+        if !seen.insert(id) {
+            return Err(WireError::DuplicateEdge { field, id });
+        }
+        out.push(EdgeId(id));
+        if out.len() > MAX_EDGES {
+            return Err(WireError::TooLarge {
+                what: field,
+                got: out.len(),
+                max: MAX_EDGES,
+            });
+        }
+    }
+    Ok(out)
+}
+
+/// Serialize an edge-id list in canonical (given) order.
+pub fn fmt_edge_ids(edges: &[EdgeId]) -> String {
+    let mut out = String::new();
+    for (i, e) in edges.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&e.0.to_string());
+    }
+    out
+}
+
+fn check_n(n: usize) -> Result<(), WireError> {
+    if n > MAX_NODES {
+        return Err(WireError::TooLarge {
+            what: "nodes",
+            got: n,
+            max: MAX_NODES,
+        });
+    }
+    Ok(())
+}
+
+impl WireGame {
+    /// Canonical single-value serialization (the `game=` payload).
+    pub fn serialize(&self) -> String {
+        let mut out = String::new();
+        match self {
+            WireGame::Broadcast { n, root, edges } => {
+                out.push_str(&format!("broadcast:{n}:{root}:"));
+                push_edges(&mut out, edges);
+            }
+            WireGame::General { n, edges, players } => {
+                out.push_str(&format!("general:{n}:"));
+                push_edges(&mut out, edges);
+                out.push(':');
+                push_pairs(&mut out, players);
+            }
+            WireGame::Weighted {
+                n,
+                edges,
+                players,
+                demands,
+            } => {
+                out.push_str(&format!("weighted:{n}:"));
+                push_edges(&mut out, edges);
+                out.push(':');
+                push_pairs(&mut out, players);
+                out.push(':');
+                push_floats(&mut out, demands);
+            }
+        }
+        out
+    }
+
+    /// Parse a `game=` value.
+    pub fn parse(s: &str) -> Result<WireGame, WireError> {
+        let mut sections = s.split(':');
+        let kind = sections.next().unwrap_or("");
+        let rest: Vec<&str> = sections.collect();
+        match kind {
+            "broadcast" => {
+                let [n, root, edges] = rest[..] else {
+                    return Err(WireError::Truncated {
+                        what: "broadcast game (n:root:edges)",
+                        got: s.to_string(),
+                    });
+                };
+                let n = parse_usize("nodes", n)?;
+                check_n(n)?;
+                Ok(WireGame::Broadcast {
+                    n,
+                    root: parse_u32("root", root)?,
+                    edges: parse_edges(edges)?,
+                })
+            }
+            "general" => {
+                let [n, edges, players] = rest[..] else {
+                    return Err(WireError::Truncated {
+                        what: "general game (n:edges:players)",
+                        got: s.to_string(),
+                    });
+                };
+                let n = parse_usize("nodes", n)?;
+                check_n(n)?;
+                Ok(WireGame::General {
+                    n,
+                    edges: parse_edges(edges)?,
+                    players: parse_pairs(players)?,
+                })
+            }
+            "weighted" => {
+                let [n, edges, players, demands] = rest[..] else {
+                    return Err(WireError::Truncated {
+                        what: "weighted game (n:edges:players:demands)",
+                        got: s.to_string(),
+                    });
+                };
+                let n = parse_usize("nodes", n)?;
+                check_n(n)?;
+                Ok(WireGame::Weighted {
+                    n,
+                    edges: parse_edges(edges)?,
+                    players: parse_pairs(players)?,
+                    demands: parse_floats("demands", demands)?,
+                })
+            }
+            other => Err(WireError::Truncated {
+                what: "game kind (broadcast|general|weighted)",
+                got: other.to_string(),
+            }),
+        }
+    }
+
+    /// Build the in-memory game (and demands, for weighted specs),
+    /// re-running every library-side validation.
+    pub fn build(&self) -> Result<(NetworkDesignGame, Option<Demands>), WireError> {
+        let build_graph = |n: usize, edges: &[(u32, u32, f64)]| -> Result<Graph, WireError> {
+            let mut g = Graph::new(n);
+            for &(u, v, w) in edges {
+                g.add_edge(NodeId(u), NodeId(v), w)?;
+            }
+            Ok(g)
+        };
+        let to_players = |pairs: &[(u32, u32)]| -> Vec<Player> {
+            pairs
+                .iter()
+                .map(|&(s, t)| Player {
+                    source: NodeId(s),
+                    terminal: NodeId(t),
+                })
+                .collect()
+        };
+        match self {
+            WireGame::Broadcast { n, root, edges } => {
+                let g = build_graph(*n, edges)?;
+                let game = NetworkDesignGame::broadcast(g, NodeId(*root))?;
+                Ok((game, None))
+            }
+            WireGame::General { n, edges, players } => {
+                let g = build_graph(*n, edges)?;
+                let game = NetworkDesignGame::new(g, to_players(players))?;
+                Ok((game, None))
+            }
+            WireGame::Weighted {
+                n,
+                edges,
+                players,
+                demands,
+            } => {
+                let g = build_graph(*n, edges)?;
+                let game = NetworkDesignGame::new(g, to_players(players))?;
+                let d = Demands::new(&game, demands.clone()).ok_or(WireError::BadDemands)?;
+                Ok((game, Some(d)))
+            }
+        }
+    }
+
+    /// The wire spec of an in-memory game (inverse of [`build`](Self::build)
+    /// up to canonical ordering). Demands turn a general game into a
+    /// `weighted:` spec.
+    pub fn from_game(game: &NetworkDesignGame, demands: Option<&Demands>) -> WireGame {
+        let g = game.graph();
+        let edges: Vec<(u32, u32, f64)> = g.edges().map(|(_, e)| (e.u.0, e.v.0, e.w)).collect();
+        if let Some(root) = game.root() {
+            WireGame::Broadcast {
+                n: g.node_count(),
+                root: root.0,
+                edges,
+            }
+        } else {
+            let players: Vec<(u32, u32)> = game
+                .players()
+                .iter()
+                .map(|p| (p.source.0, p.terminal.0))
+                .collect();
+            match demands {
+                Some(d) => WireGame::Weighted {
+                    n: g.node_count(),
+                    edges,
+                    players,
+                    demands: (0..game.num_players()).map(|i| d.of(i)).collect(),
+                },
+                None => WireGame::General {
+                    n: g.node_count(),
+                    edges,
+                    players,
+                },
+            }
+        }
+    }
+}
+
+/// The service methods (ISSUE 3's five engines plus `stats`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Method {
+    /// SNE subsidies for a target tree (LPs (1)–(3), Theorem 6, weighted).
+    Enforce,
+    /// Best-response dynamics from a tree/state under a move order.
+    Dynamics,
+    /// Exact price of stability by spanning-tree enumeration.
+    Pos,
+    /// Section 5 all-or-nothing minimum subsidies.
+    Aon,
+    /// Batched Lemma 2 equilibrium certification of a tree state.
+    Certify,
+    /// Cache/runtime counters (no game; never cached).
+    Stats,
+}
+
+impl Method {
+    /// Wire token.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Method::Enforce => "enforce",
+            Method::Dynamics => "dynamics",
+            Method::Pos => "pos",
+            Method::Aon => "aon",
+            Method::Certify => "certify",
+            Method::Stats => "stats",
+        }
+    }
+
+    fn parse(s: &str) -> Result<Method, WireError> {
+        Ok(match s {
+            "enforce" => Method::Enforce,
+            "dynamics" => Method::Dynamics,
+            "pos" => Method::Pos,
+            "aon" => Method::Aon,
+            "certify" => Method::Certify,
+            "stats" => Method::Stats,
+            _ => return Err(WireError::UnknownMethod(s.to_string())),
+        })
+    }
+}
+
+/// `solver=` values for [`Method::Enforce`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Solver {
+    /// LP (1) by cutting planes with the batched separation oracle.
+    Lp1,
+    /// LP (2), the polynomial-size reformulation.
+    Lp2,
+    /// LP (3), the O(|E|)-constraint broadcast LP.
+    Lp3,
+    /// The constructive Theorem 6 packing.
+    T6,
+}
+
+impl Solver {
+    /// Wire token.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Solver::Lp1 => "lp1",
+            Solver::Lp2 => "lp2",
+            Solver::Lp3 => "lp3",
+            Solver::T6 => "t6",
+        }
+    }
+
+    fn parse(s: &str) -> Result<Solver, WireError> {
+        Ok(match s {
+            "lp1" => Solver::Lp1,
+            "lp2" => Solver::Lp2,
+            "lp3" => Solver::Lp3,
+            "t6" => Solver::T6,
+            _ => return Err(WireError::UnknownSolver(s.to_string())),
+        })
+    }
+}
+
+/// `order=` values for [`Method::Dynamics`] (mirror of
+/// [`ndg_core::MoveOrder`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WireOrder {
+    /// Index order, round after round.
+    RoundRobin,
+    /// Fresh uniform order per round from the given seed.
+    Random(u64),
+    /// Largest-improvement player moves.
+    MaxGain,
+}
+
+impl WireOrder {
+    /// Wire token.
+    pub fn serialize(self) -> String {
+        match self {
+            WireOrder::RoundRobin => "round-robin".to_string(),
+            WireOrder::MaxGain => "max-gain".to_string(),
+            WireOrder::Random(seed) => format!("random:{seed}"),
+        }
+    }
+
+    fn parse(s: &str) -> Result<WireOrder, WireError> {
+        if s == "round-robin" {
+            return Ok(WireOrder::RoundRobin);
+        }
+        if s == "max-gain" {
+            return Ok(WireOrder::MaxGain);
+        }
+        if let Some(seed) = s.strip_prefix("random:") {
+            return Ok(WireOrder::Random(parse_u64("order seed", seed)?));
+        }
+        Err(WireError::UnknownOrder(s.to_string()))
+    }
+
+    /// The engine move order.
+    pub fn to_move_order(self) -> ndg_core::MoveOrder {
+        match self {
+            WireOrder::RoundRobin => ndg_core::MoveOrder::RoundRobin,
+            WireOrder::Random(seed) => ndg_core::MoveOrder::RandomOrder(seed),
+            WireOrder::MaxGain => ndg_core::MoveOrder::MaxGain,
+        }
+    }
+}
+
+/// Default `rounds=` budget for `dynamics`.
+pub const DEFAULT_ROUNDS: usize = 100_000;
+/// Default `cap=` (spanning-tree enumeration ceiling) for `pos`.
+pub const DEFAULT_CAP: usize = 1_000_000;
+/// Default `limit=` (branch-and-bound node budget) for `aon`.
+pub const DEFAULT_LIMIT: usize = 1_000_000;
+/// Ceiling on client-supplied `rounds=`: like the instance-size limits,
+/// work budgets must be bounded before a solver runs.
+pub const MAX_ROUNDS: usize = 1_000_000;
+/// Ceiling on client-supplied `cap=` (trees enumerated by `pos`).
+pub const MAX_CAP: usize = 50_000_000;
+/// Ceiling on client-supplied `limit=` (branch-and-bound nodes in `aon`).
+pub const MAX_LIMIT: usize = 50_000_000;
+
+/// A parsed request line.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Request {
+    /// Client-chosen correlation id (echoed on the response line; not part
+    /// of the cache key).
+    pub id: String,
+    /// The method to invoke.
+    pub method: Method,
+    /// The instance (`None` only for [`Method::Stats`]).
+    pub game: Option<WireGame>,
+    /// Target/initial spanning tree (edge ids).
+    pub tree: Option<Vec<EdgeId>>,
+    /// Explicit initial state for `dynamics` (per-player paths).
+    pub state: Option<Vec<Vec<EdgeId>>>,
+    /// Subsidy vector (one float per edge).
+    pub subsidy: Option<Vec<f64>>,
+    /// Enforcement solver (default [`Solver::Lp1`]).
+    pub solver: Option<Solver>,
+    /// Dynamics move order (default round-robin).
+    pub order: Option<WireOrder>,
+    /// Dynamics round budget (default [`DEFAULT_ROUNDS`]).
+    pub rounds: Option<usize>,
+    /// Enumeration cap for `pos` (default [`DEFAULT_CAP`]).
+    pub cap: Option<usize>,
+    /// Branch-and-bound node budget for `aon` (default [`DEFAULT_LIMIT`]).
+    pub limit: Option<usize>,
+}
+
+pub(crate) fn valid_id(id: &str) -> bool {
+    !id.is_empty()
+        && id.len() <= 64
+        && id
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_' || b == b'.')
+}
+
+fn parse_state_paths(s: &str) -> Result<Vec<Vec<EdgeId>>, WireError> {
+    s.split('|')
+        .map(|path| {
+            if path.is_empty() {
+                Ok(Vec::new())
+            } else {
+                path.split(',')
+                    .map(|tok| parse_u32("state path", tok).map(EdgeId))
+                    .collect()
+            }
+        })
+        .collect()
+}
+
+fn fmt_state_paths(paths: &[Vec<EdgeId>]) -> String {
+    paths
+        .iter()
+        .map(|p| fmt_edge_ids(p))
+        .collect::<Vec<_>>()
+        .join("|")
+}
+
+impl Request {
+    /// A minimal request skeleton for `method` (callers fill in fields).
+    pub fn new(id: impl Into<String>, method: Method) -> Request {
+        Request {
+            id: id.into(),
+            method,
+            game: None,
+            tree: None,
+            state: None,
+            subsidy: None,
+            solver: None,
+            order: None,
+            rounds: None,
+            cap: None,
+            limit: None,
+        }
+    }
+
+    /// Parse one request line. Trailing `\r`/`\n` must already be stripped
+    /// (the servers do this).
+    pub fn parse(line: &str) -> Result<Request, WireError> {
+        if line.is_empty() {
+            return Err(WireError::Empty);
+        }
+        let mut fields = line.split(';');
+        let tag = fields.next().unwrap_or("");
+        if tag != "ndg1" {
+            return Err(WireError::BadTag(tag.to_string()));
+        }
+        let mut id: Option<String> = None;
+        let mut method: Option<Method> = None;
+        let mut game: Option<WireGame> = None;
+        let mut tree: Option<Vec<EdgeId>> = None;
+        let mut state: Option<Vec<Vec<EdgeId>>> = None;
+        let mut subsidy: Option<Vec<f64>> = None;
+        let mut solver: Option<Solver> = None;
+        let mut order: Option<WireOrder> = None;
+        let mut rounds: Option<usize> = None;
+        let mut cap: Option<usize> = None;
+        let mut limit: Option<usize> = None;
+
+        for field in fields {
+            let (key, value) = field
+                .split_once('=')
+                .ok_or_else(|| WireError::BareField(field.to_string()))?;
+            let dup = |k: &str| WireError::DuplicateField(k.to_string());
+            match key {
+                "id" => {
+                    if id.is_some() {
+                        return Err(dup(key));
+                    }
+                    if !valid_id(value) {
+                        return Err(WireError::BadId(value.to_string()));
+                    }
+                    id = Some(value.to_string());
+                }
+                "method" => {
+                    if method.is_some() {
+                        return Err(dup(key));
+                    }
+                    method = Some(Method::parse(value)?);
+                }
+                "game" => {
+                    if game.is_some() {
+                        return Err(dup(key));
+                    }
+                    game = Some(WireGame::parse(value)?);
+                }
+                "tree" => {
+                    if tree.is_some() {
+                        return Err(dup(key));
+                    }
+                    tree = Some(parse_edge_set("tree", value)?);
+                }
+                "state" => {
+                    if state.is_some() {
+                        return Err(dup(key));
+                    }
+                    state = Some(parse_state_paths(value)?);
+                }
+                "b" => {
+                    if subsidy.is_some() {
+                        return Err(dup(key));
+                    }
+                    subsidy = Some(parse_floats("b", value)?);
+                }
+                "solver" => {
+                    if solver.is_some() {
+                        return Err(dup(key));
+                    }
+                    solver = Some(Solver::parse(value)?);
+                }
+                "order" => {
+                    if order.is_some() {
+                        return Err(dup(key));
+                    }
+                    order = Some(WireOrder::parse(value)?);
+                }
+                "rounds" => {
+                    if rounds.is_some() {
+                        return Err(dup(key));
+                    }
+                    rounds = Some(parse_budget("rounds", value, MAX_ROUNDS)?);
+                }
+                "cap" => {
+                    if cap.is_some() {
+                        return Err(dup(key));
+                    }
+                    cap = Some(parse_budget("cap", value, MAX_CAP)?);
+                }
+                "limit" => {
+                    if limit.is_some() {
+                        return Err(dup(key));
+                    }
+                    limit = Some(parse_budget("limit", value, MAX_LIMIT)?);
+                }
+                other => return Err(WireError::UnknownField(other.to_string())),
+            }
+        }
+
+        let req = Request {
+            id: id.ok_or(WireError::MissingField("id"))?,
+            method: method.ok_or(WireError::MissingField("method"))?,
+            game,
+            tree,
+            state,
+            subsidy,
+            solver,
+            order,
+            rounds,
+            cap,
+            limit,
+        };
+        req.validate()?;
+        Ok(req)
+    }
+
+    fn validate(&self) -> Result<(), WireError> {
+        match self.method {
+            Method::Stats => Ok(()),
+            Method::Enforce | Method::Aon | Method::Certify => {
+                if self.game.is_none() {
+                    return Err(WireError::MissingField("game"));
+                }
+                if self.tree.is_none() {
+                    return Err(WireError::MissingField("tree"));
+                }
+                Ok(())
+            }
+            Method::Dynamics => {
+                if self.game.is_none() {
+                    return Err(WireError::MissingField("game"));
+                }
+                if self.tree.is_none() && self.state.is_none() {
+                    return Err(WireError::MissingField("tree (or state)"));
+                }
+                Ok(())
+            }
+            Method::Pos => {
+                if self.game.is_none() {
+                    return Err(WireError::MissingField("game"));
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Canonical request line (fixed field order; present fields only).
+    pub fn serialize(&self) -> String {
+        format!("ndg1;id={};{}", self.id, self.canonical_body())
+    }
+
+    /// The canonical body — everything except the correlation id, with
+    /// method defaults resolved — whose FNV-1a hash is the cache key. Two
+    /// requests with equal bodies are the same instance+query and must get
+    /// byte-identical payloads, which is what makes result reuse sound.
+    pub fn canonical_body(&self) -> String {
+        let mut out = format!("method={}", self.method.as_str());
+        match self.method {
+            Method::Enforce => {
+                let solver = self.solver.unwrap_or(Solver::Lp1);
+                out.push_str(&format!(";solver={}", solver.as_str()));
+            }
+            Method::Dynamics => {
+                let order = self.order.unwrap_or(WireOrder::RoundRobin);
+                out.push_str(&format!(";order={}", order.serialize()));
+                out.push_str(&format!(
+                    ";rounds={}",
+                    self.rounds.unwrap_or(DEFAULT_ROUNDS)
+                ));
+            }
+            Method::Pos => {
+                out.push_str(&format!(";cap={}", self.cap.unwrap_or(DEFAULT_CAP)));
+            }
+            Method::Aon => {
+                out.push_str(&format!(";limit={}", self.limit.unwrap_or(DEFAULT_LIMIT)));
+            }
+            Method::Certify | Method::Stats => {}
+        }
+        if let Some(tree) = &self.tree {
+            out.push_str(&format!(";tree={}", fmt_edge_ids(tree)));
+        }
+        if let Some(state) = &self.state {
+            out.push_str(&format!(";state={}", fmt_state_paths(state)));
+        }
+        if let Some(b) = &self.subsidy {
+            out.push_str(";b=");
+            push_floats(&mut out, b);
+        }
+        if let Some(game) = &self.game {
+            out.push_str(&format!(";game={}", game.serialize()));
+        }
+        out
+    }
+
+    /// FNV-1a hash of [`canonical_body`](Self::canonical_body): the
+    /// sharded-cache key.
+    pub fn cache_key(&self) -> u64 {
+        fnv1a64(self.canonical_body().as_bytes())
+    }
+
+    /// Build the subsidy assignment for this request (zero when absent),
+    /// validated against the game's graph.
+    pub fn subsidy_for(
+        &self,
+        game: &NetworkDesignGame,
+    ) -> Result<ndg_core::SubsidyAssignment, WireError> {
+        match &self.subsidy {
+            None => Ok(ndg_core::SubsidyAssignment::zero(game.graph())),
+            Some(b) => Ok(ndg_core::SubsidyAssignment::new(game.graph(), b.clone())?),
+        }
+    }
+
+    /// Build the initial state for `dynamics`: the explicit `state=` paths
+    /// if given, else the state induced by `tree=`.
+    pub fn initial_state(&self, game: &NetworkDesignGame) -> Result<State, WireError> {
+        if let Some(paths) = &self.state {
+            return Ok(State::new(game, paths.clone())?);
+        }
+        let tree = self.tree.as_ref().ok_or(WireError::MissingField("tree"))?;
+        let (state, _) = State::from_tree(game, tree)?;
+        Ok(state)
+    }
+}
+
+/// Fields of a response line that vary with cache occupancy/concurrency
+/// (everything after them is the deterministic payload).
+const VOLATILE_KEYS: [&str; 5] = ["id", "cache", "hits", "misses", "evictions"];
+
+/// Assemble an `ok` response line.
+pub fn ok_line(
+    id: &str,
+    cache: &str,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    payload: &str,
+) -> String {
+    format!("ok;id={id};cache={cache};hits={hits};misses={misses};evictions={evictions};{payload}")
+}
+
+/// Assemble an `err` response line. `msg` is sanitized so the line stays
+/// single-line and field-safe.
+pub fn err_line(id: &str, e: &WireError) -> String {
+    let msg: String = e
+        .to_string()
+        .chars()
+        .map(|c| match c {
+            ';' => ',',
+            '\n' | '\r' => ' ',
+            c => c,
+        })
+        .collect();
+    format!("err;id={id};code={};msg={msg}", e.code())
+}
+
+/// The deterministic part of a response line: the tag plus every field
+/// that is not volatile (correlation id, cache status, counters). Two
+/// service runs answering the same request must agree on this string
+/// byte-for-byte regardless of thread count, batching, or cache state.
+pub fn payload_of(line: &str) -> String {
+    let mut parts = line.split(';');
+    let tag = parts.next().unwrap_or("");
+    let kept: Vec<&str> = parts
+        .filter(|f| {
+            let key = f.split_once('=').map(|(k, _)| k).unwrap_or("");
+            !VOLATILE_KEYS.contains(&key)
+        })
+        .collect();
+    if kept.is_empty() {
+        tag.to_string()
+    } else {
+        format!("{tag};{}", kept.join(";"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn game_specs_round_trip() {
+        let specs = [
+            "broadcast:4:0:0/1/1,1/2/0.5,2/3/2,3/0/1.25",
+            "general:3:0/1/1,1/2/2:0/2,2/1",
+            "weighted:3:0/1/1,1/2/2:0/2,2/1:1.5,2",
+            "broadcast:2:1:0/1/0", // zero-weight edge
+        ];
+        for s in specs {
+            let g = WireGame::parse(s).unwrap();
+            assert_eq!(g.serialize(), s, "canonical form must be stable");
+            let (game, demands) = g.build().unwrap();
+            let back = WireGame::from_game(&game, demands.as_ref());
+            assert_eq!(back, g, "build/from_game must invert parse");
+        }
+    }
+
+    #[test]
+    fn floats_round_trip_exactly() {
+        for &x in &[
+            0.0,
+            -0.0,
+            1.0,
+            0.1,
+            1.0 / 3.0,
+            1e-12,
+            12345.6789,
+            f64::MIN_POSITIVE,
+        ] {
+            let s = fmt_f64(x);
+            let y = parse_f64("t", &s).unwrap();
+            assert_eq!(x.to_bits(), y.to_bits(), "{x} → {s} → {y}");
+        }
+        assert!(parse_f64("t", "nan").is_err());
+        assert!(parse_f64("t", "inf").is_err());
+        assert!(parse_f64("t", "-inf").is_err());
+        assert!(parse_f64("t", "1.0.0").is_err());
+    }
+
+    #[test]
+    fn request_parse_serialize_round_trip() {
+        let line = "ndg1;id=r-1;method=dynamics;order=random:42;rounds=500;\
+                    tree=0,1,2;game=broadcast:4:0:0/1/1,1/2/1,2/3/1,3/0/1";
+        let req = Request::parse(line).unwrap();
+        assert_eq!(req.method, Method::Dynamics);
+        assert_eq!(req.order, Some(WireOrder::Random(42)));
+        let re = Request::parse(&req.serialize()).unwrap();
+        assert_eq!(re, req);
+        // The cache key ignores the id but fixes everything else.
+        let mut other = req.clone();
+        other.id = "different".into();
+        assert_eq!(other.cache_key(), req.cache_key());
+        other.rounds = Some(501);
+        assert_ne!(other.cache_key(), req.cache_key());
+    }
+
+    #[test]
+    fn defaults_resolve_into_the_cache_key() {
+        let with_default =
+            Request::parse("ndg1;id=a;method=enforce;solver=lp1;tree=0;game=broadcast:2:0:0/1/1")
+                .unwrap();
+        let implicit =
+            Request::parse("ndg1;id=b;method=enforce;tree=0;game=broadcast:2:0:0/1/1").unwrap();
+        assert_eq!(with_default.cache_key(), implicit.cache_key());
+    }
+
+    #[test]
+    fn structured_errors_never_panic() {
+        let cases: [(&str, &str); 14] = [
+            ("", "empty"),
+            ("ndg0;id=a;method=stats", "bad_tag"),
+            ("ndg1;id=a", "missing_field"),
+            ("ndg1;method=stats", "missing_field"),
+            ("ndg1;id=a;method=fly", "unknown_method"),
+            ("ndg1;id=a;method=stats;bogus=1", "unknown_field"),
+            ("ndg1;id=a;method=stats;id=b", "duplicate_field"),
+            ("ndg1;id=a;method=stats;orphan", "bare_field"),
+            ("ndg1;id=bad id!;method=stats", "bad_id"),
+            ("ndg1;id=a;method=pos;game=broadcast:3:0", "truncated"),
+            (
+                "ndg1;id=a;method=pos;game=broadcast:3:0:0/1/nan,1/2/1",
+                "bad_float",
+            ),
+            (
+                "ndg1;id=a;method=enforce;tree=0,0;game=broadcast:2:0:0/1/1",
+                "duplicate_edge",
+            ),
+            (
+                "ndg1;id=a;method=pos;game=broadcast:99999999:0:",
+                "too_large",
+            ),
+            (
+                "ndg1;id=a;method=dynamics;game=broadcast:2:0:0/1/1",
+                "missing_field",
+            ),
+        ];
+        for (line, code) in cases {
+            let err = Request::parse(line).unwrap_err();
+            assert_eq!(err.code(), code, "line {line:?} → {err:?}");
+        }
+    }
+
+    #[test]
+    fn payload_strips_only_volatile_fields() {
+        let line = ok_line("x9", "hit", 3, 4, 0, "cost=1.5;b=0,1.5");
+        assert_eq!(payload_of(&line), "ok;cost=1.5;b=0,1.5");
+        let err = err_line("x9", &WireError::NotBroadcast);
+        assert_eq!(
+            payload_of(&err),
+            "err;code=not_broadcast;msg=method requires a broadcast game"
+        );
+    }
+}

@@ -1,0 +1,47 @@
+//! `ndg-serve` — equilibrium-as-a-service.
+//!
+//! The paper frames subsidy enforcement as a decision an *authority* makes
+//! over incoming network-design instances; this crate is that authority's
+//! serving layer, turning the workspace's solver library into a request
+//! engine:
+//!
+//! * [`codec`] — the `ndg1` line-oriented wire protocol: canonical
+//!   serialization of games (broadcast/general/weighted), subsidies,
+//!   states and results, structured decode errors, and the FNV-1a
+//!   canonical-instance hash used as the cache key;
+//! * [`cache`] — a sharded LRU instance/result cache with hit/miss/
+//!   eviction counters surfaced in every response;
+//! * [`router`] — named methods over the existing engines: `enforce`
+//!   (SNE LPs (1)–(3), Theorem 6, weighted), `dynamics` (the incremental
+//!   engine under all three move orders), `pos`, `aon`, `certify`
+//!   (batched Lemma 2), `stats`;
+//! * [`server`] — batched front ends over TCP and stdio, scheduling each
+//!   batch onto a shared [`ndg_exec::Executor`] with per-worker pooled
+//!   Dijkstra workspaces;
+//! * [`workload`] — the deterministic mixed-request generator behind
+//!   `ndg-serve --self-test` and the E12 load experiment.
+//!
+//! The stack is std-only (the build container has no registry); the only
+//! workspace-external code it touches is the vendored offline `rand` shim,
+//! and only for workload generation.
+//!
+//! # Determinism
+//!
+//! Every response **payload** (the part after the volatile id/cache
+//! fields, see [`codec::payload_of`]) is specified to be byte-identical to
+//! what a fresh sequential `Router` would produce for the same canonical
+//! request body — across thread counts, batch boundaries, connection
+//! interleavings and cache states. That is the property that makes result
+//! caching sound, and E12 plus `--self-test` assert it end to end.
+
+pub mod cache;
+pub mod codec;
+pub mod router;
+pub mod server;
+pub mod workload;
+
+pub use cache::{Cache, CacheStats};
+pub use codec::{payload_of, Method, Request, Solver, WireError, WireGame, WireOrder};
+pub use router::Router;
+pub use server::{serve_stdio, serve_stream, spawn_tcp, ServerHandle};
+pub use workload::{build_workload, WorkloadSpec};

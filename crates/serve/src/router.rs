@@ -1,0 +1,518 @@
+//! Request router: named methods over the workspace's solver engines.
+//!
+//! One [`Router`] owns the result [`Cache`], the [`ndg_exec::Executor`]
+//! policy and a shared [`WorkspacePool`] of Dijkstra scratch. A request
+//! line flows parse → cache probe → engine dispatch → canonical payload,
+//! and [`Router::handle_batch`] fans a whole batch out over the executor
+//! with one pooled workspace per worker.
+//!
+//! **Determinism contract** (the serving analogue of E11): the payload of
+//! a response depends only on the request's canonical body. Engines that
+//! take an explicit executor (`enforce` LPs (1)/(3) and the weighted LP,
+//! `certify`'s Lemma 2 sweep) receive the router's; the remaining engines
+//! are bit-identical across thread counts by the PR 2 executor contract.
+//! E12 and the `--self-test` smoke assert the end-to-end property: byte
+//! equality against sequential single-request evaluation at
+//! `NDG_THREADS ∈ {1, 4, 8}`.
+
+use crate::cache::{Cache, CacheStats};
+use crate::codec::{
+    err_line, fmt_edge_ids, fmt_f64, ok_line, Method, Request, Solver, WireError, DEFAULT_CAP,
+    DEFAULT_LIMIT, DEFAULT_ROUNDS,
+};
+use ndg_core::{best_response_dynamics, best_response_with, NetworkDesignGame, State};
+use ndg_exec::Executor;
+use ndg_graph::paths::{DijkstraWorkspace, WorkspacePool};
+use ndg_graph::{EdgeId, Graph, RootedTree};
+use ndg_sne::{SneError, SneSolution};
+
+/// Default total result-cache capacity (responses).
+pub const DEFAULT_CACHE_CAPACITY: usize = 4096;
+
+/// The request engine: cache + executor + workspace pool + dispatch.
+#[derive(Debug)]
+pub struct Router {
+    cache: Cache,
+    ex: Executor,
+    pool: WorkspacePool,
+}
+
+impl Router {
+    /// Router with an explicit executor and cache capacity
+    /// (`cache_capacity = 0` disables result reuse).
+    pub fn new(ex: Executor, cache_capacity: usize) -> Self {
+        Router {
+            cache: Cache::new(cache_capacity),
+            ex,
+            pool: WorkspacePool::new(0),
+        }
+    }
+
+    /// Router on the environment executor (`NDG_THREADS` honoured) with
+    /// the default cache capacity.
+    pub fn from_env() -> Self {
+        Self::new(Executor::from_env(), DEFAULT_CACHE_CAPACITY)
+    }
+
+    /// The executor requests are scheduled on.
+    pub fn executor(&self) -> Executor {
+        self.ex
+    }
+
+    /// Current cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Handle one request line end to end (parse, cache, dispatch),
+    /// returning the full response line.
+    pub fn handle_line(&self, line: &str) -> String {
+        let mut ws = self.pool.acquire();
+        self.handle_with(line, &mut ws)
+    }
+
+    /// Handle a batch of request lines on the executor: responses come
+    /// back in request order, each worker reuses one pooled Dijkstra
+    /// workspace for its whole contiguous chunk.
+    pub fn handle_batch(&self, lines: &[String]) -> Vec<String> {
+        self.ex.par_map_with(
+            lines,
+            || self.pool.acquire(),
+            |ws, line| self.handle_with(line, ws),
+        )
+    }
+
+    fn handle_with(&self, line: &str, ws: &mut DijkstraWorkspace) -> String {
+        let req = match Request::parse(line) {
+            Ok(req) => req,
+            Err(e) => return err_line(recovered_id(line), &e),
+        };
+        if req.method == Method::Stats {
+            let payload = self.stats_payload();
+            let (h, m, e) = self.cache.counters();
+            return ok_line(&req.id, "off", h, m, e, &payload);
+        }
+        let body = req.canonical_body();
+        let key = crate::codec::fnv1a64(body.as_bytes());
+        if let Some(payload) = self.cache.get(key, &body) {
+            let (h, m, e) = self.cache.counters();
+            return ok_line(&req.id, "hit", h, m, e, &payload);
+        }
+        match self.dispatch(&req, ws) {
+            Ok(payload) => {
+                self.cache.insert(key, body, payload.clone());
+                let status = if self.cache.enabled() { "miss" } else { "off" };
+                let (h, m, e) = self.cache.counters();
+                ok_line(&req.id, status, h, m, e, &payload)
+            }
+            Err(e) => err_line(&req.id, &e),
+        }
+    }
+
+    fn dispatch(&self, req: &Request, ws: &mut DijkstraWorkspace) -> Result<String, WireError> {
+        match req.method {
+            Method::Enforce => self.enforce(req),
+            Method::Dynamics => self.dynamics(req),
+            Method::Pos => self.pos(req),
+            Method::Aon => self.aon(req),
+            Method::Certify => self.certify(req, ws),
+            Method::Stats => unreachable!("stats handled before dispatch"),
+        }
+    }
+
+    fn stats_payload(&self) -> String {
+        let s = self.cache.stats();
+        format!(
+            "entries={};capacity={};threads={}",
+            s.entries,
+            s.capacity,
+            self.ex.threads()
+        )
+    }
+
+    fn enforce(&self, req: &Request) -> Result<String, WireError> {
+        let (game, demands) = req.game.as_ref().expect("validated").build()?;
+        let tree = checked_tree(req, &game)?;
+        if let Some(d) = demands {
+            let (state, _) = State::from_tree(&game, &tree)?;
+            let (sol, stats) =
+                ndg_sne::lp_weighted::enforce_state_weighted_with(&game, &state, &d, &self.ex)
+                    .map_err(sne_err)?;
+            return Ok(enforce_payload(
+                &sol,
+                Some((stats.rounds, stats.cuts_added)),
+            ));
+        }
+        match req.solver.unwrap_or(Solver::Lp1) {
+            Solver::Lp1 => {
+                let (state, _) = State::from_tree(&game, &tree)?;
+                let (sol, stats) =
+                    ndg_sne::lp_general::enforce_state_cutting_with(&game, &state, &self.ex)
+                        .map_err(sne_err)?;
+                Ok(enforce_payload(
+                    &sol,
+                    Some((stats.rounds, stats.cuts_added)),
+                ))
+            }
+            Solver::Lp2 => {
+                let (state, _) = State::from_tree(&game, &tree)?;
+                let sol = ndg_sne::lp_poly::enforce_state_poly(&game, &state).map_err(sne_err)?;
+                Ok(enforce_payload(&sol, None))
+            }
+            Solver::Lp3 => {
+                let sol = ndg_sne::lp_broadcast::enforce_tree_lp_with(&game, &tree, &self.ex)
+                    .map_err(sne_err)?;
+                Ok(enforce_payload(&sol, None))
+            }
+            Solver::T6 => {
+                let sol = ndg_sne::theorem6::enforce(&game, &tree).map_err(sne_err)?;
+                Ok(enforce_payload(&sol, None))
+            }
+        }
+    }
+
+    fn dynamics(&self, req: &Request) -> Result<String, WireError> {
+        let (game, demands) = req.game.as_ref().expect("validated").build()?;
+        if demands.is_some() {
+            return Err(WireError::Engine {
+                code: "unsupported",
+                msg: "dynamics runs on unweighted games (drop the demands section)".into(),
+            });
+        }
+        let g = game.graph();
+        if let Some(tree) = &req.tree {
+            check_edge_ids(g, tree, "tree")?;
+        }
+        if let Some(paths) = &req.state {
+            for p in paths {
+                check_edge_ids(g, p, "state")?;
+            }
+        }
+        let state = req.initial_state(&game)?;
+        let b = req.subsidy_for(&game)?;
+        let order = req
+            .order
+            .unwrap_or(crate::codec::WireOrder::RoundRobin)
+            .to_move_order();
+        let max_rounds = req.rounds.unwrap_or(DEFAULT_ROUNDS);
+        let res = best_response_dynamics(&game, state, &b, order, max_rounds);
+        let phi = *res
+            .potential_trace
+            .last()
+            .expect("trace holds at least the initial potential");
+        Ok(format!(
+            "converged={};moves={};rounds={};weight={};phi={};edges={}",
+            res.converged,
+            res.moves,
+            res.rounds,
+            fmt_f64(res.state.weight(g)),
+            fmt_f64(phi),
+            fmt_edge_ids(&res.state.established_edges()),
+        ))
+    }
+
+    fn pos(&self, req: &Request) -> Result<String, WireError> {
+        let (game, demands) = req.game.as_ref().expect("validated").build()?;
+        if demands.is_some() {
+            return Err(WireError::Engine {
+                code: "unsupported",
+                msg: "pos enumerates the unweighted game (drop the demands section)".into(),
+            });
+        }
+        let cap = req.cap.unwrap_or(DEFAULT_CAP);
+        let pos = ndg_snd::pos::exact_pos(&game, cap).map_err(snd_err)?;
+        Ok(format!("pos={}", fmt_f64(pos)))
+    }
+
+    fn aon(&self, req: &Request) -> Result<String, WireError> {
+        let (game, _demands) = req.game.as_ref().expect("validated").build()?;
+        let tree = checked_tree(req, &game)?;
+        let limit = req.limit.unwrap_or(DEFAULT_LIMIT);
+        let sol = ndg_aon::exact::min_aon_subsidy(&game, &tree, limit).map_err(aon_err)?;
+        Ok(format!(
+            "cost={};edges={}",
+            fmt_f64(sol.cost),
+            fmt_edge_ids(&sol.edges)
+        ))
+    }
+
+    fn certify(&self, req: &Request, ws: &mut DijkstraWorkspace) -> Result<String, WireError> {
+        let (game, _demands) = req.game.as_ref().expect("validated").build()?;
+        let root = game.root().ok_or(WireError::NotBroadcast)?;
+        let tree = checked_tree(req, &game)?;
+        let rt =
+            RootedTree::new(game.graph(), &tree, root).map_err(|_| WireError::NotASpanningTree)?;
+        let b = req.subsidy_for(&game)?;
+        match ndg_core::lemma2_violation_eps_with(&game, &rt, &b, ndg_core::EPS, &self.ex) {
+            None => Ok("eq=true".to_string()),
+            Some(v) => {
+                // Price the witness exactly with the worker's pooled
+                // Dijkstra workspace: the violating player's true best
+                // response in the tree-induced state.
+                let (state, _) = State::from_tree(&game, &tree)?;
+                let player = game
+                    .player_of_node(v.node)
+                    .expect("Lemma 2 witness is a non-root player node");
+                let mut path = Vec::new();
+                let best = best_response_with(&game, &state, &b, player, ws, &mut path);
+                Ok(format!(
+                    "eq=false;player={player};node={};via={};lhs={};rhs={};best={}",
+                    v.node.0,
+                    v.via.0,
+                    fmt_f64(v.lhs),
+                    fmt_f64(v.rhs),
+                    fmt_f64(best),
+                ))
+            }
+        }
+    }
+}
+
+/// The `id=` of a line that failed to parse, for the error response
+/// (best-effort scan; `"?"` when absent or itself malformed).
+pub(crate) fn recovered_id(line: &str) -> &str {
+    line.split(';')
+        .filter_map(|f| f.strip_prefix("id="))
+        .find(|v| crate::codec::valid_id(v))
+        .unwrap_or("?")
+}
+
+fn enforce_payload(sol: &SneSolution, cut_stats: Option<(usize, usize)>) -> String {
+    let mut out = format!("cost={}", fmt_f64(sol.cost));
+    if let Some((rounds, cuts)) = cut_stats {
+        out.push_str(&format!(";rounds={rounds};cuts={cuts}"));
+    }
+    out.push_str(";b=");
+    let b = sol.subsidies.as_slice();
+    for (i, x) in b.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&fmt_f64(*x));
+    }
+    out
+}
+
+fn check_edge_ids(g: &Graph, ids: &[EdgeId], what: &'static str) -> Result<(), WireError> {
+    let m = g.edge_count();
+    for &e in ids {
+        if e.index() >= m {
+            return Err(WireError::Graph(format!(
+                "{what}: edge id {} out of range ({m} edges)",
+                e.0
+            )));
+        }
+    }
+    Ok(())
+}
+
+fn checked_tree(req: &Request, game: &NetworkDesignGame) -> Result<Vec<EdgeId>, WireError> {
+    let tree = req.tree.clone().ok_or(WireError::MissingField("tree"))?;
+    check_edge_ids(game.graph(), &tree, "tree")?;
+    Ok(tree)
+}
+
+fn sne_err(e: SneError) -> WireError {
+    match e {
+        SneError::NotBroadcast => WireError::NotBroadcast,
+        SneError::NotASpanningTree => WireError::NotASpanningTree,
+        SneError::State(s) => WireError::State(s.to_string()),
+        other => WireError::Engine {
+            code: "solver_failed",
+            msg: other.to_string(),
+        },
+    }
+}
+
+fn snd_err(e: ndg_snd::SndError) -> WireError {
+    match e {
+        ndg_snd::SndError::NotBroadcast => WireError::NotBroadcast,
+        ndg_snd::SndError::Enum(ndg_core::EnumError::CapExceeded { cap }) => WireError::Engine {
+            code: "cap_exceeded",
+            msg: format!("more than {cap} spanning trees; raise cap= or shrink the instance"),
+        },
+        other => WireError::Engine {
+            code: "solver_failed",
+            msg: other.to_string(),
+        },
+    }
+}
+
+fn aon_err(e: ndg_aon::AonError) -> WireError {
+    match e {
+        ndg_aon::AonError::NotBroadcast => WireError::NotBroadcast,
+        ndg_aon::AonError::NotASpanningTree => WireError::NotASpanningTree,
+        ndg_aon::AonError::NodeLimit(n) => WireError::Engine {
+            code: "node_limit",
+            msg: format!("branch-and-bound node limit {n} exhausted; raise limit="),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::payload_of;
+
+    fn cycle_game_spec(n: usize) -> String {
+        // Unit cycle rooted at 0 with the path tree 0..n-1: the Theorem 11
+        // instance family.
+        let edges: Vec<String> = (0..n).map(|i| format!("{i}/{}/1", (i + 1) % n)).collect();
+        format!("broadcast:{n}:0:{}", edges.join(","))
+    }
+
+    fn tree_ids(n: usize) -> String {
+        (0..n - 1)
+            .map(|i| i.to_string())
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+
+    #[test]
+    fn enforce_t6_respects_the_e_budget() {
+        let r = Router::new(Executor::sequential(), 64);
+        let line = format!(
+            "ndg1;id=t;method=enforce;solver=t6;tree={};game={}",
+            tree_ids(9),
+            cycle_game_spec(9)
+        );
+        let resp = r.handle_line(&line);
+        assert!(resp.starts_with("ok;id=t;cache=miss;"), "{resp}");
+        let cost: f64 = resp
+            .split(";cost=")
+            .nth(1)
+            .unwrap()
+            .split(';')
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(cost <= 8.0 / std::f64::consts::E + 1e-9, "cost {cost}");
+    }
+
+    #[test]
+    fn cache_hits_replay_the_identical_payload() {
+        let r = Router::new(Executor::sequential(), 64);
+        let line = |id: &str| {
+            format!(
+                "ndg1;id={id};method=dynamics;order=max-gain;tree={};game={}",
+                tree_ids(7),
+                cycle_game_spec(7)
+            )
+        };
+        let first = r.handle_line(&line("a"));
+        let second = r.handle_line(&line("b"));
+        assert!(first.contains(";cache=miss;"), "{first}");
+        assert!(second.contains(";cache=hit;"), "{second}");
+        assert_eq!(payload_of(&first), payload_of(&second));
+        assert_eq!(r.cache_stats().hits, 1);
+    }
+
+    #[test]
+    fn certify_flags_the_theorem11_violation_and_prices_it() {
+        let r = Router::new(Executor::sequential(), 0);
+        // Unsubsidized unit 6-cycle, path tree: the farthest player
+        // prefers the closing edge — not an equilibrium.
+        let resp = r.handle_line(&format!(
+            "ndg1;id=c;method=certify;tree={};game={}",
+            tree_ids(6),
+            cycle_game_spec(6)
+        ));
+        assert!(resp.contains(";cache=off;"), "{resp}");
+        assert!(resp.contains("eq=false"), "{resp}");
+        assert!(resp.contains("best="), "{resp}");
+        // Fully subsidizing the tree certifies it.
+        let resp = r.handle_line(&format!(
+            "ndg1;id=c2;method=certify;tree={};b=1,1,1,1,1,0;game={}",
+            tree_ids(6),
+            cycle_game_spec(6)
+        ));
+        assert!(resp.ends_with("eq=true"), "{resp}");
+    }
+
+    #[test]
+    fn pos_and_aon_and_stats_respond() {
+        let r = Router::new(Executor::sequential(), 64);
+        let resp = r.handle_line(&format!("ndg1;id=p;method=pos;game={}", cycle_game_spec(5)));
+        assert!(resp.contains(";pos=1"), "unit cycle has PoS 1: {resp}");
+        let resp = r.handle_line(&format!(
+            "ndg1;id=a;method=aon;tree={};game={}",
+            tree_ids(5),
+            cycle_game_spec(5)
+        ));
+        assert!(resp.contains("cost="), "{resp}");
+        let resp = r.handle_line("ndg1;id=s;method=stats");
+        assert!(
+            resp.contains("entries=") && resp.contains("threads="),
+            "{resp}"
+        );
+    }
+
+    #[test]
+    fn engine_errors_are_structured_not_panics() {
+        let r = Router::new(Executor::sequential(), 64);
+        // Tree ids out of range.
+        let resp = r.handle_line(&format!(
+            "ndg1;id=x;method=certify;tree=90,91;game={}",
+            cycle_game_spec(4)
+        ));
+        assert!(resp.starts_with("err;id=x;code=bad_graph;"), "{resp}");
+        // Non-tree edge set.
+        let resp = r.handle_line(&format!(
+            "ndg1;id=y;method=certify;tree=0,1,2,3;game={}",
+            cycle_game_spec(4)
+        ));
+        assert!(
+            resp.starts_with("err;id=y;code=not_a_spanning_tree;"),
+            "{resp}"
+        );
+        // aon on a general game.
+        let resp = r.handle_line("ndg1;id=z;method=aon;tree=0;game=general:2:0/1/1:0/1");
+        assert!(resp.starts_with("err;id=z;code=not_broadcast;"), "{resp}");
+        // Unparseable line still echoes the id it can recover.
+        let resp = r.handle_line("ndg1;id=w;method=warp");
+        assert!(resp.starts_with("err;id=w;code=unknown_method;"), "{resp}");
+        assert!(r
+            .handle_line("garbage")
+            .starts_with("err;id=?;code=bad_tag;"));
+    }
+
+    #[test]
+    fn batch_matches_single_line_handling_at_every_thread_count() {
+        let mk = |threads| Router::new(Executor::new(threads), 256);
+        let lines: Vec<String> = (4..10)
+            .flat_map(|n| {
+                [
+                    format!(
+                        "ndg1;id=e{n};method=enforce;solver=lp3;tree={};game={}",
+                        tree_ids(n),
+                        cycle_game_spec(n)
+                    ),
+                    format!(
+                        "ndg1;id=d{n};method=dynamics;tree={};game={}",
+                        tree_ids(n),
+                        cycle_game_spec(n)
+                    ),
+                    format!(
+                        "ndg1;id=c{n};method=certify;tree={};game={}",
+                        tree_ids(n),
+                        cycle_game_spec(n)
+                    ),
+                ]
+            })
+            .collect();
+        let reference: Vec<String> = lines
+            .iter()
+            .map(|l| payload_of(&mk(1).handle_line(l)))
+            .collect();
+        for threads in [1usize, 4, 8] {
+            let r = mk(threads);
+            let got: Vec<String> = r
+                .handle_batch(&lines)
+                .iter()
+                .map(|l| payload_of(l))
+                .collect();
+            assert_eq!(got, reference, "threads={threads}");
+        }
+    }
+}

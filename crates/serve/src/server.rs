@@ -1,0 +1,373 @@
+//! Batched front ends: TCP (`std::net::TcpListener`) and stdio.
+//!
+//! Both speak the same framing: clients write request lines and flush a
+//! **batch** with a blank line (or by closing the stream); the server runs
+//! the whole batch on the shared [`Router`]'s executor via
+//! [`Router::handle_batch`] and writes the responses back **in request
+//! order**, one line each. Batches are additionally flushed at
+//! [`MAX_BATCH`] lines so a stream of requests without blank lines cannot
+//! buffer unboundedly.
+//!
+//! The TCP server accepts on a non-blocking listener polled against a
+//! shutdown flag, and spawns one OS thread per connection — the
+//! parallelism *within* a batch comes from the router's executor, so a
+//! single greedy connection already saturates the configured workers,
+//! while multiple connections interleave at batch granularity and share
+//! the one result cache.
+
+use crate::codec::{err_line, WireError};
+use crate::router::{recovered_id, Router};
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Lines per batch before an implicit flush.
+pub const MAX_BATCH: usize = 64;
+
+/// Longest accepted request line (bytes); longer lines are answered with a
+/// `too_large` error and the connection keeps going.
+pub const MAX_LINE_BYTES: usize = 8 * 1024 * 1024;
+
+/// One framed request slot: a complete line, or the kept prefix of a
+/// line that blew past [`MAX_LINE_BYTES`] (enough to recover the `id=`).
+enum Framed {
+    Line(String),
+    Oversized(String),
+}
+
+/// Read one batch: lines until a blank line, [`MAX_BATCH`] lines, or EOF.
+/// Returns the batch and whether EOF was reached.
+fn read_batch(reader: &mut impl BufRead) -> io::Result<(Vec<Framed>, bool)> {
+    let mut batch = Vec::new();
+    let mut line = String::new();
+    loop {
+        line.clear();
+        // take() guards a single line's length so one client cannot
+        // exhaust memory; an over-limit line keeps a short prefix (for id
+        // recovery), is answered with `too_large`, and the rest is
+        // discarded to keep the framing alive.
+        let n = io::Read::take(&mut *reader, MAX_LINE_BYTES as u64).read_line(&mut line)?;
+        if n == 0 {
+            return Ok((batch, true));
+        }
+        if !line.ends_with('\n') && n >= MAX_LINE_BYTES {
+            discard_to_newline(reader)?;
+            let cut = (0..=512.min(line.len()))
+                .rev()
+                .find(|&i| line.is_char_boundary(i));
+            line.truncate(cut.unwrap_or(0));
+            batch.push(Framed::Oversized(std::mem::take(&mut line)));
+            continue;
+        }
+        let trimmed = line.trim_end_matches(['\n', '\r']);
+        if trimmed.is_empty() {
+            if batch.is_empty() {
+                continue; // leading blank lines are keep-alives
+            }
+            return Ok((batch, false));
+        }
+        batch.push(Framed::Line(trimmed.to_string()));
+        if batch.len() >= MAX_BATCH {
+            return Ok((batch, false));
+        }
+    }
+}
+
+fn discard_to_newline(reader: &mut impl BufRead) -> io::Result<()> {
+    loop {
+        let buf = reader.fill_buf()?;
+        if buf.is_empty() {
+            return Ok(());
+        }
+        match buf.iter().position(|&b| b == b'\n') {
+            Some(i) => {
+                reader.consume(i + 1);
+                return Ok(());
+            }
+            None => {
+                let len = buf.len();
+                reader.consume(len);
+            }
+        }
+    }
+}
+
+/// Serve a request stream to a response stream until EOF (the stdio mode,
+/// also the per-connection loop of the TCP server).
+pub fn serve_stream(
+    router: &Router,
+    reader: &mut impl BufRead,
+    writer: &mut impl Write,
+) -> io::Result<()> {
+    loop {
+        let (batch, eof) = read_batch(reader)?;
+        if !batch.is_empty() {
+            // Oversized slots are answered locally; everything else goes
+            // through the router as one executor batch. Response order =
+            // request order either way.
+            let mut responses: Vec<Option<String>> = batch.iter().map(|_| None).collect();
+            let mut lines = Vec::with_capacity(batch.len());
+            let mut line_slots = Vec::with_capacity(batch.len());
+            for (i, item) in batch.into_iter().enumerate() {
+                match item {
+                    Framed::Line(l) => {
+                        line_slots.push(i);
+                        lines.push(l);
+                    }
+                    Framed::Oversized(prefix) => {
+                        let e = WireError::TooLarge {
+                            what: "request line bytes (lower bound)",
+                            got: MAX_LINE_BYTES,
+                            max: MAX_LINE_BYTES,
+                        };
+                        responses[i] = Some(err_line(recovered_id(&prefix), &e));
+                    }
+                }
+            }
+            for (slot, resp) in line_slots.into_iter().zip(router.handle_batch(&lines)) {
+                responses[slot] = Some(resp);
+            }
+            for resp in responses {
+                writer.write_all(resp.expect("every slot answered").as_bytes())?;
+                writer.write_all(b"\n")?;
+            }
+            writer.flush()?;
+        }
+        if eof {
+            return Ok(());
+        }
+    }
+}
+
+/// Serve stdin → stdout until EOF.
+pub fn serve_stdio(router: &Router) -> io::Result<()> {
+    let stdin = io::stdin();
+    let stdout = io::stdout();
+    let mut reader = stdin.lock();
+    let mut writer = BufWriter::new(stdout.lock());
+    serve_stream(router, &mut reader, &mut writer)
+}
+
+/// A running TCP server (accept loop + per-connection threads).
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: std::net::SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves the `:0` ephemeral port).
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Signal the accept loop to stop and join it. In-flight connection
+    /// threads finish their current stream independently.
+    pub fn stop(mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn handle_connection(router: &Router, stream: TcpStream) {
+    let peer = stream.peer_addr().ok();
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut writer = BufWriter::new(stream);
+    if let Err(e) = serve_stream(router, &mut reader, &mut writer) {
+        // A dropped connection is routine for a line service; log to
+        // stderr and move on.
+        eprintln!("ndg-serve: connection {peer:?} ended: {e}");
+    }
+}
+
+/// Bind `addr` (e.g. `127.0.0.1:4321`, or port `0` for ephemeral) and
+/// serve until the returned handle is stopped/dropped.
+pub fn spawn_tcp(router: Arc<Router>, addr: &str) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let flag = shutdown.clone();
+    let accept_thread = std::thread::Builder::new()
+        .name("ndg-serve-accept".into())
+        .spawn(move || {
+            let mut workers: Vec<JoinHandle<()>> = Vec::new();
+            while !flag.load(Ordering::SeqCst) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let _ = stream.set_nonblocking(false);
+                        let router = router.clone();
+                        if let Ok(h) = std::thread::Builder::new()
+                            .name("ndg-serve-conn".into())
+                            .spawn(move || handle_connection(&router, stream))
+                        {
+                            workers.push(h);
+                        }
+                        workers.retain(|h| !h.is_finished());
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_micros(500));
+                    }
+                    Err(_) => std::thread::sleep(Duration::from_millis(5)),
+                }
+            }
+            for h in workers {
+                let _ = h.join();
+            }
+        })?;
+    Ok(ServerHandle {
+        addr: local,
+        shutdown,
+        accept_thread: Some(accept_thread),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ndg_exec::Executor;
+    use std::io::Cursor;
+
+    fn router() -> Router {
+        Router::new(Executor::new(2), 64)
+    }
+
+    const CYCLE4: &str = "broadcast:4:0:0/1/1,1/2/1,2/3/1,3/0/1";
+
+    #[test]
+    fn blank_line_flushes_a_batch_and_order_is_preserved() {
+        let r = router();
+        let input = format!(
+            "ndg1;id=q1;method=certify;tree=0,1,2;game={CYCLE4}\n\
+             ndg1;id=q2;method=stats\n\
+             \n\
+             ndg1;id=q3;method=stats\n"
+        );
+        let mut reader = Cursor::new(input.into_bytes());
+        let mut out = Vec::new();
+        serve_stream(&r, &mut reader, &mut out).unwrap();
+        let lines: Vec<&str> = std::str::from_utf8(&out).unwrap().lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("ok;id=q1;"), "{}", lines[0]);
+        assert!(lines[1].starts_with("ok;id=q2;"), "{}", lines[1]);
+        assert!(lines[2].starts_with("ok;id=q3;"), "{}", lines[2]);
+    }
+
+    #[test]
+    fn eof_without_blank_line_still_flushes() {
+        let r = router();
+        let mut reader = Cursor::new(b"ndg1;id=only;method=stats".to_vec());
+        let mut out = Vec::new();
+        serve_stream(&r, &mut reader, &mut out).unwrap();
+        assert!(std::str::from_utf8(&out)
+            .unwrap()
+            .starts_with("ok;id=only;"));
+    }
+
+    #[test]
+    fn oversized_lines_answer_too_large_and_keep_the_id() {
+        let r = router();
+        let mut input = Vec::new();
+        input.extend_from_slice(b"ndg1;id=big1;method=stats;");
+        input.resize(MAX_LINE_BYTES + 64, b'x');
+        input.extend_from_slice(b"\nndg1;id=after;method=stats\n\n");
+        let mut reader = Cursor::new(input);
+        let mut out = Vec::new();
+        serve_stream(&r, &mut reader, &mut out).unwrap();
+        let lines: Vec<&str> = std::str::from_utf8(&out).unwrap().lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(
+            lines[0].starts_with("err;id=big1;code=too_large;"),
+            "{}",
+            lines[0]
+        );
+        assert!(lines[1].starts_with("ok;id=after;"), "{}", lines[1]);
+    }
+
+    #[test]
+    fn malformed_lines_get_error_replies_in_place() {
+        let r = router();
+        let mut reader = Cursor::new(b"not-a-request\nndg1;id=ok1;method=stats\n\n".to_vec());
+        let mut out = Vec::new();
+        serve_stream(&r, &mut reader, &mut out).unwrap();
+        let lines: Vec<&str> = std::str::from_utf8(&out).unwrap().lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(
+            lines[0].starts_with("err;id=?;code=bad_tag;"),
+            "{}",
+            lines[0]
+        );
+        assert!(lines[1].starts_with("ok;id=ok1;"), "{}", lines[1]);
+    }
+
+    #[test]
+    fn tcp_round_trip_on_ephemeral_port() {
+        let handle = spawn_tcp(Arc::new(router()), "127.0.0.1:0").unwrap();
+        let addr = handle.addr();
+        let mut conn = TcpStream::connect(addr).unwrap();
+        write!(
+            conn,
+            "ndg1;id=t1;method=certify;tree=0,1,2;game={CYCLE4}\n\n"
+        )
+        .unwrap();
+        conn.flush().unwrap();
+        let mut reader = BufReader::new(conn.try_clone().unwrap());
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.starts_with("ok;id=t1;"), "{line}");
+        assert!(line.contains("eq=false"), "{line}");
+        drop(reader);
+        drop(conn);
+        handle.stop();
+    }
+
+    #[test]
+    fn concurrent_tcp_clients_share_the_cache() {
+        let r = Arc::new(Router::new(Executor::new(2), 256));
+        let handle = spawn_tcp(r.clone(), "127.0.0.1:0").unwrap();
+        let addr = handle.addr();
+        std::thread::scope(|s| {
+            for t in 0..3 {
+                s.spawn(move || {
+                    let mut conn = TcpStream::connect(addr).unwrap();
+                    let mut reader = BufReader::new(conn.try_clone().unwrap());
+                    for i in 0..4 {
+                        write!(
+                            conn,
+                            "ndg1;id=c{t}-{i};method=dynamics;tree=0,1,2;game={CYCLE4}\n\n"
+                        )
+                        .unwrap();
+                        conn.flush().unwrap();
+                        let mut line = String::new();
+                        reader.read_line(&mut line).unwrap();
+                        assert!(line.starts_with(&format!("ok;id=c{t}-{i};")), "{line}");
+                    }
+                });
+            }
+        });
+        let stats = r.cache_stats();
+        assert_eq!(stats.hits + stats.misses, 12);
+        // Each client's first probe may race the others before any insert
+        // lands (all three miss); every later probe must hit.
+        assert!(stats.hits >= 9, "12 identical queries: {stats:?}");
+        handle.stop();
+    }
+}

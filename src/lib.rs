@@ -10,6 +10,8 @@
 //! * [`sne`] — Stable Network Enforcement: LPs (1)–(3) and Theorem 6;
 //! * [`aon`] — all-or-nothing subsidies (Section 5);
 //! * [`snd`] — Stable Network Design solvers and price-of-stability tools;
+//! * [`serve`] — the serving layer: `ndg1` wire codec, sharded result
+//!   cache, and the batched multi-threaded request engine (TCP + stdio);
 //! * [`reductions`] — the hardness gadgets of Theorems 3, 5, 12 with exact
 //!   solvers for their source problems.
 //!
@@ -38,5 +40,6 @@ pub use ndg_core as core;
 pub use ndg_graph as graph;
 pub use ndg_lp as lp;
 pub use ndg_reductions as reductions;
+pub use ndg_serve as serve;
 pub use ndg_snd as snd;
 pub use ndg_sne as sne;
