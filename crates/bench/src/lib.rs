@@ -114,3 +114,18 @@ pub fn header(names: &[&str], widths: &[usize]) -> String {
         .join("  ");
     format!("{head}\n{sep}")
 }
+
+/// Deterministic partial subsidies: roughly 30% of edges carry a uniform
+/// subsidy in `[0, w_e]`. The E13 working-round workloads use these so
+/// the incremental certifier is exercised with non-trivial residuals.
+pub fn partial_subsidies(g: &ndg_graph::Graph, seed: u64) -> ndg_core::SubsidyAssignment {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = ndg_core::SubsidyAssignment::zero(g);
+    for e in g.edge_ids() {
+        if rng.random_bool(0.3) {
+            let w = g.weight(e);
+            b.set(g, e, rng.random_range(0.0..=w));
+        }
+    }
+    b
+}

@@ -33,6 +33,41 @@ pub struct Lemma2Violation {
     pub rhs: f64,
 }
 
+/// The minimal rooted-tree interface the Lemma 2 arithmetic reads.
+///
+/// Implemented by [`RootedTree`] (from-scratch views, as built by
+/// [`crate::batch::BatchCertifier`]) and by the maintained view inside
+/// [`crate::recert::IncrementalCertifier`]. Routing both through the same
+/// generic [`deviation_rhs_on`] guarantees the two certification paths
+/// evaluate bit-identical floating-point expressions — the property the
+/// `recert` tests pin down to the bit.
+pub trait TreeView {
+    /// The root node.
+    fn root(&self) -> NodeId;
+    /// Parent of `v` with the connecting edge; `None` for the root.
+    fn parent(&self, v: NodeId) -> Option<(NodeId, EdgeId)>;
+    /// `n_a(T)` for the edge `a` from `v` to its parent: the number of
+    /// nodes in the subtree rooted at `v`, including `v`.
+    fn subtree_size(&self, v: NodeId) -> u32;
+    /// Lowest common ancestor of `u` and `v`.
+    fn lca(&self, u: NodeId, v: NodeId) -> NodeId;
+}
+
+impl TreeView for RootedTree {
+    fn root(&self) -> NodeId {
+        RootedTree::root(self)
+    }
+    fn parent(&self, v: NodeId) -> Option<(NodeId, EdgeId)> {
+        RootedTree::parent(self, v)
+    }
+    fn subtree_size(&self, v: NodeId) -> u32 {
+        RootedTree::subtree_size(self, v)
+    }
+    fn lca(&self, u: NodeId, v: NodeId) -> NodeId {
+        RootedTree::lca(self, u, v)
+    }
+}
+
 /// `cost_v(T; b)` for every node `v`: the cost of the root path with fair
 /// shares `(w_a − b_a)/n_a(T)` (0 at the root).
 pub fn root_path_costs(
@@ -62,13 +97,29 @@ pub fn deviation_rhs(
     v: NodeId,
     e: EdgeId,
 ) -> f64 {
+    deviation_rhs_on(game, rt, b, costs, u, v, e)
+}
+
+/// [`deviation_rhs`] over any [`TreeView`]. Each accumulation step is the
+/// same float expression in the same order regardless of the view, so a
+/// maintained tree and a from-scratch [`RootedTree`] of the same state
+/// produce bit-identical right-hand sides.
+pub fn deviation_rhs_on<T: TreeView + ?Sized>(
+    game: &NetworkDesignGame,
+    t: &T,
+    b: &SubsidyAssignment,
+    costs: &[f64],
+    u: NodeId,
+    v: NodeId,
+    e: EdgeId,
+) -> f64 {
     let g = game.graph();
-    let l = rt.lca(u, v);
+    let l = t.lca(u, v);
     let mut rhs = b.residual(g, e) + costs[l.index()];
     let mut cur = v;
     while cur != l {
-        let (p, pe) = rt.parent(cur).expect("cur is below the lca");
-        rhs += b.residual(g, pe) / (rt.subtree_size(cur) + 1) as f64;
+        let (p, pe) = t.parent(cur).expect("cur is below the lca");
+        rhs += b.residual(g, pe) / (t.subtree_size(cur) + 1) as f64;
         cur = p;
     }
     rhs

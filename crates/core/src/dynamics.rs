@@ -89,26 +89,52 @@ pub fn best_response_dynamics(
         match order {
             MoveOrder::RoundRobin | MoveOrder::RandomOrder(_) => {
                 if let Some(rng) = rng.as_mut() {
+                    // Shuffle the *identity* order, as the naive driver
+                    // does — re-shuffling the previous round's permutation
+                    // would draw the same randomness onto a different
+                    // arrangement and diverge from the reference order.
+                    for (k, slot) in players.iter_mut().enumerate() {
+                        *slot = k;
+                    }
                     players.shuffle(rng);
                 }
-                // Lazy batched certification: once several consecutive
-                // players decline to move, the round is probably the
-                // certifying one — if the live state is tree-induced, one
-                // Lemma 2 sweep proves the *rest* of the round will also
-                // find nothing and the remaining per-player probes are
-                // skipped. Sweep-certified and probe-certified answers
-                // coincide up to the per-constraint-vs-per-best-response
-                // tolerance caveat documented in [`crate::batch`].
+                // Working rounds consult the maintained Lemma-2 view
+                // first (see [`crate::recert`]): after every move only
+                // the O(Δ) dirty margins are re-evaluated, so "is the
+                // current state already an equilibrium?" is answered in
+                // O(1) memoized per turn — and the moment it turns true
+                // (the last move of the dynamics has settled), every
+                // remaining turn declines without a probe. Margin- and
+                // probe-certified answers coincide up to the
+                // per-constraint-vs-per-best-response tolerance caveat
+                // documented in [`crate::batch`].
                 let mut fruitless = 0usize;
                 let mut swept = false;
                 for &i in &players {
-                    // At most one sweep per round, and only while the round
-                    // still looks like the certifying one (no move yet).
-                    if !swept && !improved_this_round && fruitless >= BATCH_CERTIFY_AFTER_FRUITLESS
-                    {
-                        swept = true;
-                        if engine.batch_certified_equilibrium() {
-                            break;
+                    match engine.maintained_equilibrium() {
+                        // Nobody can improve: the rest of the round (and
+                        // the dynamics) is decline-only.
+                        Some(true) => break,
+                        // Somebody can still improve; the maintained
+                        // certification already *is* the sweep's answer,
+                        // so no lazy sweep is worth running.
+                        Some(false) => {}
+                        // Untracked state (mid-dynamics cycle, multicast):
+                        // lazy batched certification as before — once
+                        // several consecutive players decline, the round
+                        // is probably the certifying one, and if the live
+                        // state is tree-induced one Lemma 2 sweep proves
+                        // the *rest* of the round also finds nothing.
+                        None => {
+                            if !swept
+                                && !improved_this_round
+                                && fruitless >= BATCH_CERTIFY_AFTER_FRUITLESS
+                            {
+                                swept = true;
+                                if engine.batch_certified_equilibrium() {
+                                    break;
+                                }
+                            }
                         }
                     }
                     match engine.try_improve(i) {

@@ -12,24 +12,39 @@
 //! naive full `O(m)` potential recompute — and cross-checks against the
 //! from-scratch [`rosenthal_potential`] behind `debug_assert`s.
 //!
-//! Best responses go through two layers:
+//! Best responses go through three layers:
 //!
-//! 1. a shared *optimistic* Dijkstra ([`crate::bounds`]) that certifies,
-//!    after every move, which players provably cannot improve — the sound
-//!    replacement for a "dirty player" cache (a player's best response can
-//!    route through an edge it never touched before, so cache invalidation
-//!    by touched edges is unsound; the admissible bound is not);
-//! 2. an exact per-player Dijkstra in a reusable
+//! 1. the maintained Lemma-2 view ([`crate::recert`]): on tree-induced
+//!    broadcast states the certifier absorbs each elementary move in
+//!    O(Δ) and answers the *global* "is anything left to do?" question
+//!    ([`IncrementalDynamics::maintained_equilibrium`]) — the moment it
+//!    turns true, every remaining turn declines in O(1) without probing
+//!    (Lemma 2 is global-only: a single player's clean margins do *not*
+//!    certify that she cannot improve, so no per-player skipping);
+//! 2. a shared *optimistic* Dijkstra ([`crate::bounds`]) that certifies
+//!    which players provably cannot improve — the sound replacement for
+//!    a "dirty player" cache (a player's best response can route through
+//!    an edge it never touched before, so cache invalidation by touched
+//!    edges is unsound; the admissible bound is not);
+//! 3. an exact per-player Dijkstra in a reusable
 //!    [`ndg_graph::DijkstraWorkspace`] for the few suspects that survive
 //!    the filter.
+//!
+//! The probe/Dijkstra weight functions resolve both factors of the
+//! deviation weight in O(1): the player's own-path membership via
+//! generation-stamped marks, and the shared `(w−b)/(n+1)` factor via a
+//! `w_opt` array maintained under the same O(Δ) usage deltas as Φ (the
+//! naive path recomputes both per relaxed edge — an `O(depth)` scan plus
+//! a division).
 //!
 //! All per-player decisions (which player moves, which path, whether the
 //! improvement is strict) evaluate exactly the same floating-point
 //! expressions as the naive driver, so dynamics traces are reproduced
-//! move for move. The one exception is the batched Lemma 2 certification
-//! on tree-induced broadcast states ([`crate::batch`]), whose "no move
-//! left" answer matches the per-player scan up to a per-constraint
-//! tolerance caveat documented there.
+//! move for move. The one exception is Lemma 2 certification — batched
+//! ([`crate::batch`]) or maintained ([`crate::recert`]) — on tree-induced
+//! broadcast states, whose "no move left" answer matches the per-player
+//! scan up to a per-constraint tolerance caveat documented in
+//! [`crate::batch`].
 
 use crate::batch::{BatchCertification, BatchCertifier};
 use crate::bounds::OptimisticBounds;
@@ -37,6 +52,7 @@ use crate::cost::player_cost;
 use crate::game::NetworkDesignGame;
 use crate::num::strictly_lt;
 use crate::potential::rosenthal_potential;
+use crate::recert::{CertifierStats, IncrementalCertifier};
 use crate::state::State;
 use crate::subsidy::SubsidyAssignment;
 use ndg_graph::paths::DijkstraWorkspace;
@@ -56,6 +72,29 @@ const BOUNDS_REFRESH_EVERY: usize = 8;
 /// many players survive the cached-bound filter — below that, the
 /// per-player probes are cheaper than an `O(m·depth)` sweep.
 const BATCH_CERTIFY_MIN_CANDIDATES: usize = 32;
+
+/// The deviation weight `(w_e − b_e)/(n_e(T) + 1 − n_e^i(T))` with both
+/// factors resolved in O(1): own-path membership via the generation
+/// marks, the shared `/(n+1)` factor via the maintained `w_opt` cache.
+/// Bit-identical to [`crate::cost::deviation_weight`] — every probe,
+/// exact Dijkstra and path-cost sum in this engine must route through
+/// this one expression.
+#[inline]
+fn marked_deviation_weight(
+    marks: &[u32],
+    gen: u32,
+    state: &State,
+    residual: &[f64],
+    w_opt: &[f64],
+    e: EdgeId,
+) -> f64 {
+    let ei = e.index();
+    if marks[ei] == gen {
+        residual[ei] / state.usage(e) as f64
+    } else {
+        w_opt[ei]
+    }
+}
 
 /// One applied improving move.
 #[derive(Clone, Copy, Debug)]
@@ -92,6 +131,18 @@ pub struct IncrementalDynamics<'a> {
     in_old: Vec<u32>,
     in_new: Vec<u32>,
     mark_gen: u32,
+    /// Generation-stamped membership marks for the probing player's own
+    /// path (O(1) `n_a^i(T)` lookups inside probe/Dijkstra weight fns).
+    path_mark: Vec<u32>,
+    path_gen: u32,
+    /// `residual[e] = w_e − b_e`, precomputed once (game and subsidies
+    /// are fixed for the engine's lifetime).
+    residual: Vec<f64>,
+    /// `w_opt[e] = residual[e]/(n_e(T)+1)` — the non-own-path deviation
+    /// weight — maintained under the same O(Δ) usage deltas as Φ. Probe
+    /// and Dijkstra weight fns read it instead of recomputing the
+    /// division per edge relaxation (identical expression, same floats).
+    w_opt: Vec<f64>,
     /// The pending move's usage-increased edges (for bound repair).
     added_buf: Vec<EdgeId>,
     /// Invariant: player `i`'s best response ≥ `br_lb[i]` −
@@ -104,8 +155,25 @@ pub struct IncrementalDynamics<'a> {
     br_lb: Vec<f64>,
     moves_applied: usize,
     /// Batched Lemma-2 certification for tree-induced broadcast states
-    /// (one `O(m·depth)` sweep for all players instead of `n` probes).
+    /// (one `O(m·depth)` sweep for all players instead of `n` probes) —
+    /// the scratch path, used when the maintained view is invalid.
     batch: BatchCertifier,
+    /// Incrementally maintained tree view + Lemma-2 margins (see
+    /// [`crate::recert`]): consulted through the *global* equilibrium
+    /// answer, which working rounds read in O(1) memoized per turn.
+    recert: IncrementalCertifier,
+    /// Move count at the last *failed* adoption attempt — at most one
+    /// O(m) re-adoption attempt per state version.
+    recert_stamp: usize,
+    /// Memoized "the current state is a maintained-certified equilibrium"
+    /// answer (reset on every applied move / re-adoption), so a round of
+    /// post-convergence queries costs one O(Δ)-incremental certification
+    /// plus O(1) per player.
+    maintained_eq: Option<bool>,
+    /// Established-set deltas of the pending move (usage `1 → 0` /
+    /// `0 → 1`), collected for [`IncrementalCertifier::on_move`].
+    dropped_est_buf: Vec<EdgeId>,
+    added_est_buf: Vec<EdgeId>,
 }
 
 impl<'a> IncrementalDynamics<'a> {
@@ -123,7 +191,12 @@ impl<'a> IncrementalDynamics<'a> {
         }
         let costs = (0..n).map(|i| player_cost(game, &state, b, i)).collect();
         let phi = rosenthal_potential(game, &state, b);
-        IncrementalDynamics {
+        let residual: Vec<f64> = g.edge_ids().map(|e| b.residual(g, e)).collect();
+        let w_opt: Vec<f64> = g
+            .edge_ids()
+            .map(|e| residual[e.index()] / (state.usage(e) + 1) as f64)
+            .collect();
+        let mut this = IncrementalDynamics {
             game,
             b,
             phi,
@@ -138,12 +211,23 @@ impl<'a> IncrementalDynamics<'a> {
             in_old: vec![0; m],
             in_new: vec![0; m],
             mark_gen: 0,
+            path_mark: vec![0; m],
+            path_gen: 0,
+            residual,
+            w_opt,
             added_buf: Vec::new(),
             br_lb: vec![f64::NEG_INFINITY; n],
             moves_applied: 0,
             batch: BatchCertifier::new(),
+            recert: IncrementalCertifier::new(),
+            recert_stamp: usize::MAX,
+            maintained_eq: None,
+            dropped_est_buf: Vec::new(),
+            added_est_buf: Vec::new(),
             state,
-        }
+        };
+        this.try_revalidate();
+        this
     }
 
     /// The current state.
@@ -200,16 +284,44 @@ impl<'a> IncrementalDynamics<'a> {
         self.br_lb[i] = value;
     }
 
-    /// Exact best response of `i` into `path_buf`; returns its cost.
+    /// Stamp player `i`'s current path edges into the generation-marked
+    /// membership array, so the per-edge deviation weight inside her
+    /// probe/Dijkstra resolves `n_a^i(T)` in O(1) instead of scanning her
+    /// path per relaxed edge ([`crate::cost::deviation_weight`] is the
+    /// same float expression with an `O(|path|)` membership scan — a
+    /// hidden `O(depth)` factor on every edge relaxation).
+    fn mark_path(&mut self, i: usize) {
+        if self.path_gen == u32::MAX {
+            self.path_mark.fill(0);
+            self.path_gen = 0;
+        }
+        self.path_gen += 1;
+        let gen = self.path_gen;
+        for &e in self.state.path(i) {
+            self.path_mark[e.index()] = gen;
+        }
+    }
+
+    /// Exact best response of `i` into `path_buf`; returns its cost —
+    /// bit-identical to [`crate::equilibrium::best_response_with`] (same
+    /// Dijkstra, same weight floats; membership via the path marks).
     fn best_response_exact(&mut self, i: usize) -> f64 {
-        crate::equilibrium::best_response_with(
-            self.game,
-            &self.state,
-            self.b,
-            i,
+        self.mark_path(i);
+        let g = self.game.graph();
+        let player = self.game.players()[i];
+        let (ws, marks, gen, state, residual, w_opt) = (
             &mut self.ws,
-            &mut self.path_buf,
-        )
+            &self.path_mark,
+            self.path_gen,
+            &self.state,
+            &self.residual,
+            &self.w_opt,
+        );
+        let weight = |e| marked_deviation_weight(marks, gen, state, residual, w_opt, e);
+        ws.run(g, player.source, Some(player.terminal), weight);
+        let reached = ws.path_into(g, player.terminal, &mut self.path_buf);
+        assert!(reached, "game validation guarantees a connecting path");
+        self.path_buf.iter().map(|&e| weight(e)).sum()
     }
 
     /// Bounded A* probe for player `i`: `Some(value)` if some deviation
@@ -218,18 +330,24 @@ impl<'a> IncrementalDynamics<'a> {
     /// the reason certification rounds need no per-player Dijkstra.
     /// Requires fresh-or-repaired bounds.
     fn probe_below(&mut self, i: usize, bound: f64) -> Option<f64> {
+        self.mark_path(i);
         let g = self.game.graph();
-        let game = self.game;
-        let player = game.players()[i];
-        let state = &self.state;
-        let b = self.b;
-        self.ws.astar_below(
+        let player = self.game.players()[i];
+        let (ws, marks, gen, state, residual, w_opt) = (
+            &mut self.ws,
+            &self.path_mark,
+            self.path_gen,
+            &self.state,
+            &self.residual,
+            &self.w_opt,
+        );
+        ws.astar_below(
             g,
             player.source,
             player.terminal,
             self.bounds.heuristic(i),
             bound,
-            |e| crate::cost::deviation_weight(game, state, b, i, e),
+            |e| marked_deviation_weight(marks, gen, state, residual, w_opt, e),
         )
     }
 
@@ -288,11 +406,65 @@ impl<'a> IncrementalDynamics<'a> {
         })
     }
 
-    /// Batched all-players certification attempt: one Lemma 2 sweep when
-    /// the live state is tree-induced (see [`crate::batch`]), instead of
-    /// `n` corridor probes. `NotApplicable` means the caller must use the
-    /// per-player path.
+    /// Re-adopt the live state into the maintained certifier if a
+    /// non-elementary move invalidated it — at most one O(m) attempt per
+    /// state version (failed attempts are not retried until the next
+    /// move).
+    fn try_revalidate(&mut self) {
+        if self.recert.is_valid() || self.recert_stamp == self.moves_applied {
+            return;
+        }
+        self.recert_stamp = self.moves_applied;
+        if self.recert.adopt(self.game, &self.state, self.b) {
+            self.maintained_eq = None;
+        }
+    }
+
+    /// Whether the *current* state is a maintained-certified equilibrium:
+    /// `Some(true)` certifies that **no** player can strictly improve (so
+    /// every remaining round-robin turn declines without probing),
+    /// `Some(false)` means some maintained Lemma-2 constraint is violated
+    /// (the state will keep evolving), `None` means the maintained view is
+    /// invalid and the caller must use the probe/sweep path.
+    ///
+    /// Soundness note: Lemma 2 is a *global* criterion — a single player's
+    /// clean margins do **not** certify that she cannot improve (her best
+    /// deviation may enter the tree through another node's non-tree
+    /// adjacency), so per-player margin skipping would change decisions.
+    /// The all-players answer is exactly the sweep's and is memoized, so a
+    /// post-convergence round costs one incremental certification (dirty
+    /// margins only) plus O(1) per player.
+    pub fn maintained_equilibrium(&mut self) -> Option<bool> {
+        self.try_revalidate();
+        if !self.recert.is_valid() {
+            return None;
+        }
+        if let Some(known) = self.maintained_eq {
+            return Some(known);
+        }
+        let eq = self
+            .recert
+            .equilibrium(self.game, self.b)
+            .expect("view is valid");
+        self.maintained_eq = Some(eq);
+        Some(eq)
+    }
+
+    /// Counters describing the maintained certifier's work so far.
+    pub fn certifier_stats(&self) -> CertifierStats {
+        self.recert.stats()
+    }
+
+    /// Batched all-players certification attempt: the maintained Lemma-2
+    /// view when it is live (bit-identical to the scratch sweep, but only
+    /// dirty players are re-evaluated), else one scratch Lemma 2 sweep on
+    /// tree-induced states (see [`crate::batch`]). `NotApplicable` means
+    /// the caller must use the per-player path.
     pub fn batch_certify(&mut self) -> BatchCertification {
+        self.try_revalidate();
+        if self.recert.is_valid() {
+            return self.recert.certify(self.game, self.b);
+        }
         self.batch.certify(self.game, &self.state, self.b)
     }
 
@@ -316,7 +488,16 @@ impl<'a> IncrementalDynamics<'a> {
     /// on the exact gain resolve to the smallest player index, matching
     /// the naive scan.
     pub fn best_improving_move(&mut self) -> Option<MoveRecord> {
+        // Maintained certification first: after the previous move the
+        // incremental view re-certified only the O(Δ) dirty margins, so
+        // the final "no move left" call — the expensive one in the naive
+        // scan — is answered here without touching the probe layer.
+        let maintained = self.maintained_equilibrium();
+        if maintained == Some(true) {
+            return None;
+        }
         self.ensure_bounds();
+        let maintained = maintained.is_some();
         let eps = crate::num::EPS;
         let slack = crate::bounds::BOUND_SLACK;
         let mut cands = std::mem::take(&mut self.cand_buf);
@@ -347,7 +528,7 @@ impl<'a> IncrementalDynamics<'a> {
                     break;
                 }
             }
-            if best.is_none() && !swept && scanned >= BATCH_CERTIFY_MIN_CANDIDATES {
+            if best.is_none() && !swept && !maintained && scanned >= BATCH_CERTIFY_MIN_CANDIDATES {
                 swept = true;
                 if self.batch_certified_equilibrium() {
                     self.cand_buf = cands;
@@ -442,6 +623,7 @@ impl<'a> IncrementalDynamics<'a> {
         }
 
         // Edges leaving i's path: usage k → k−1.
+        self.dropped_est_buf.clear();
         for &e in self.state.path(i) {
             let ei = e.index();
             if self.in_new[ei] == gen {
@@ -449,8 +631,12 @@ impl<'a> IncrementalDynamics<'a> {
             }
             let k = self.state.usage(e);
             debug_assert!(k >= 1);
+            if k == 1 {
+                self.dropped_est_buf.push(e); // leaves the established set
+            }
             let r = self.b.residual(g, e);
             self.phi -= r / k as f64;
+            self.w_opt[ei] = self.residual[ei] / k as f64; // post-usage k−1
             let list = &mut self.users[ei];
             if k > 1 {
                 let delta = r / (k - 1) as f64 - r / k as f64;
@@ -469,14 +655,19 @@ impl<'a> IncrementalDynamics<'a> {
 
         // Edges joining i's path: usage k → k+1.
         self.added_buf.clear();
+        self.added_est_buf.clear();
         for &e in &self.path_buf {
             let ei = e.index();
             if self.in_old[ei] == gen {
                 continue;
             }
             let k = self.state.usage(e);
+            if k == 0 {
+                self.added_est_buf.push(e); // joins the established set
+            }
             let r = self.b.residual(g, e);
             self.phi += r / (k + 1) as f64;
+            self.w_opt[ei] = self.residual[ei] / (k + 2) as f64; // post-usage k+1
             if k > 0 {
                 let delta = r / (k + 1) as f64 - r / k as f64;
                 for &j in self.users[ei].iter() {
@@ -490,6 +681,19 @@ impl<'a> IncrementalDynamics<'a> {
         self.state.swap_path(i, &mut self.path_buf);
         self.costs[i] = new_cost;
         self.moves_applied += 1;
+
+        // Maintain the Lemma-2 view under the same O(Δ) deltas: an
+        // elementary swap updates it in place, anything else invalidates
+        // it and a later `try_revalidate` re-adopts the live state.
+        self.maintained_eq = None;
+        self.recert.on_move(
+            self.game,
+            &self.state,
+            self.b,
+            self.game.players()[i].source,
+            &self.dropped_est_buf,
+            &self.added_est_buf,
+        );
 
         // Repair the heuristic surface for the cheapened edges (keeps it
         // admissible at all times), then weaken each cached best-response

@@ -21,6 +21,7 @@ pub mod incremental;
 pub mod multicast;
 pub mod num;
 pub mod potential;
+pub mod recert;
 pub mod state;
 pub mod subsidy;
 pub mod weighted;
@@ -30,7 +31,7 @@ pub use batch::{BatchCertification, BatchCertifier};
 pub use bounds::OptimisticBounds;
 pub use broadcast::{
     is_tree_equilibrium, is_tree_equilibrium_eps, lemma2_violation, lemma2_violation_eps,
-    lemma2_violation_eps_with, root_path_costs, Lemma2Violation,
+    lemma2_violation_eps_with, root_path_costs, Lemma2Violation, TreeView,
 };
 pub use coalition::{
     all_simple_paths, all_simple_paths_into, find_coalition_deviation, is_strong_equilibrium,
@@ -54,6 +55,7 @@ pub use incremental::{IncrementalDynamics, MoveRecord};
 pub use multicast::{exact_steiner_tree, multicast};
 pub use num::{approx_eq, approx_ge, approx_le, strictly_gt, strictly_lt, EPS};
 pub use potential::{potential_sandwich, rosenthal_potential};
+pub use recert::{CertifierStats, IncrementalCertifier};
 pub use state::{State, StateError};
 pub use subsidy::{SubsidyAssignment, SubsidyError};
 pub use weighted::{

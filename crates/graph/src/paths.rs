@@ -316,6 +316,14 @@ impl WorkspacePool {
         }
     }
 
+    /// Run `f` with a checked-out workspace, returning it to the pool on
+    /// the way out — the closure form of [`acquire`](Self::acquire) for
+    /// callers that don't need to hold the guard across statements.
+    pub fn with_workspace<R>(&self, f: impl FnOnce(&mut DijkstraWorkspace) -> R) -> R {
+        let mut ws = self.acquire();
+        f(&mut ws)
+    }
+
     /// Number of idle workspaces currently in the pool.
     pub fn idle(&self) -> usize {
         self.stack.lock().expect("workspace pool poisoned").len()
@@ -642,14 +650,17 @@ mod tests {
             assert_eq!(a.dist(NodeId(4)), 3.0);
         }
         assert_eq!(pool.idle(), 2);
-        // Pooled workspaces behave identically to fresh ones across threads.
+        // Pooled workspaces behave identically to fresh ones across
+        // threads; the closure helper handles the checkout/return.
         std::thread::scope(|scope| {
             for s in 0..4u32 {
                 let (pool, g) = (&pool, &g);
                 scope.spawn(move || {
-                    let mut ws = pool.acquire();
-                    ws.run(g, NodeId(s), None, |e| g.weight(e));
-                    assert_eq!(ws.dist(NodeId(s)), 0.0);
+                    let d = pool.with_workspace(|ws| {
+                        ws.run(g, NodeId(s), None, |e| g.weight(e));
+                        ws.dist(NodeId(s))
+                    });
+                    assert_eq!(d, 0.0);
                 });
             }
         });

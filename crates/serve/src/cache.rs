@@ -28,6 +28,9 @@ struct Entry {
     /// FNV-1a collision degrades to a miss, never to a wrong payload.
     body: String,
     payload: String,
+    /// Whether `payload` is an error tail (`code=…;msg=…`) rather than an
+    /// `ok` payload — replayed as an `err` line and counted separately.
+    is_err: bool,
     stamp: u64,
 }
 
@@ -40,8 +43,12 @@ struct Shard {
 /// Point-in-time cache counters.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct CacheStats {
-    /// Lookups that returned a cached payload.
+    /// Lookups that returned a cached payload (`ok_hits + err_hits`).
     pub hits: u64,
+    /// Hits that replayed an `ok` payload.
+    pub ok_hits: u64,
+    /// Hits that replayed an admitted deterministic `err` payload.
+    pub err_hits: u64,
     /// Lookups that missed (including lookups with caching disabled).
     pub misses: u64,
     /// Entries displaced by capacity pressure.
@@ -57,7 +64,8 @@ pub struct CacheStats {
 pub struct Cache {
     shards: Vec<Mutex<Shard>>,
     cap_per_shard: usize,
-    hits: AtomicU64,
+    ok_hits: AtomicU64,
+    err_hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
 }
@@ -69,7 +77,8 @@ impl Cache {
         Cache {
             shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
             cap_per_shard: capacity.div_ceil(SHARDS),
-            hits: AtomicU64::new(0),
+            ok_hits: AtomicU64::new(0),
+            err_hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
         }
@@ -89,8 +98,10 @@ impl Cache {
     /// miss. `body` is the canonical request body the key was hashed
     /// from: a key match with a different body is a 64-bit collision and
     /// is answered as a miss (the colliding insert will then overwrite —
-    /// correctness never rests on FNV being collision-free).
-    pub fn get(&self, key: u64, body: &str) -> Option<String> {
+    /// correctness never rests on FNV being collision-free). A hit
+    /// returns the stored payload plus whether it is an admitted `err`
+    /// tail (counted under `err_hits`) rather than an `ok` payload.
+    pub fn get(&self, key: u64, body: &str) -> Option<(String, bool)> {
         if !self.enabled() {
             self.misses.fetch_add(1, Ordering::Relaxed);
             return None;
@@ -102,8 +113,13 @@ impl Cache {
             Some(entry) if entry.body == body => {
                 entry.stamp = clock;
                 let payload = entry.payload.clone();
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                Some(payload)
+                let is_err = entry.is_err;
+                if is_err {
+                    self.err_hits.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    self.ok_hits.fetch_add(1, Ordering::Relaxed);
+                }
+                Some((payload, is_err))
             }
             _ => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
@@ -117,6 +133,12 @@ impl Cache {
     /// refreshes it (concurrent workers may race to fill the same key —
     /// payload determinism makes either write correct).
     pub fn insert(&self, key: u64, body: String, payload: String) {
+        self.insert_kind(key, body, payload, false)
+    }
+
+    /// [`insert`](Self::insert) with an explicit payload kind: `is_err`
+    /// marks an admitted deterministic error tail (`code=…;msg=…`).
+    pub fn insert_kind(&self, key: u64, body: String, payload: String, is_err: bool) {
         if !self.enabled() {
             return;
         }
@@ -134,6 +156,7 @@ impl Cache {
             Entry {
                 body,
                 payload,
+                is_err,
                 stamp,
             },
         );
@@ -144,7 +167,7 @@ impl Cache {
     /// under every shard lock) is reserved for the `stats` method.
     pub fn counters(&self) -> (u64, u64, u64) {
         (
-            self.hits.load(Ordering::Relaxed),
+            self.ok_hits.load(Ordering::Relaxed) + self.err_hits.load(Ordering::Relaxed),
             self.misses.load(Ordering::Relaxed),
             self.evictions.load(Ordering::Relaxed),
         )
@@ -152,8 +175,12 @@ impl Cache {
 
     /// Current counters (relaxed reads: monitoring data, not a barrier).
     pub fn stats(&self) -> CacheStats {
+        let ok_hits = self.ok_hits.load(Ordering::Relaxed);
+        let err_hits = self.err_hits.load(Ordering::Relaxed);
         CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
+            hits: ok_hits + err_hits,
+            ok_hits,
+            err_hits,
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             entries: self
@@ -175,9 +202,10 @@ mod tests {
         let c = Cache::new(64);
         assert_eq!(c.get(7, "body7"), None);
         c.insert(7, "body7".into(), "payload".into());
-        assert_eq!(c.get(7, "body7").as_deref(), Some("payload"));
+        assert_eq!(c.get(7, "body7"), Some(("payload".into(), false)));
         let s = c.stats();
         assert_eq!((s.hits, s.misses, s.evictions, s.entries), (1, 1, 0, 1));
+        assert_eq!((s.ok_hits, s.err_hits), (1, 0));
         assert_eq!(c.counters(), (1, 1, 0));
     }
 
@@ -189,7 +217,7 @@ mod tests {
         // payload.
         assert_eq!(c.get(7, "body-b"), None);
         c.insert(7, "body-b".into(), "payload-b".into());
-        assert_eq!(c.get(7, "body-b").as_deref(), Some("payload-b"));
+        assert_eq!(c.get(7, "body-b"), Some(("payload-b".into(), false)));
         // The overwrite evicted a's entry (same slot): a now misses too.
         assert_eq!(c.get(7, "body-a"), None);
     }
@@ -214,7 +242,7 @@ mod tests {
         assert!(c.get(a, "ka").is_some()); // touch a
         c.insert(b, "kb".into(), "b".into()); // shard full → evicts a
         assert_eq!(c.stats().evictions, 1);
-        assert_eq!(c.get(b, "kb").as_deref(), Some("b"));
+        assert_eq!(c.get(b, "kb"), Some(("b".into(), false)));
         assert_eq!(c.get(a, "ka"), None);
     }
 
@@ -252,5 +280,26 @@ mod tests {
         let s = c.stats();
         assert_eq!(s.hits + s.misses, 800);
         assert!(s.entries <= 256);
+    }
+}
+
+#[cfg(test)]
+mod err_entry_tests {
+    use super::*;
+
+    #[test]
+    fn err_entries_replay_and_count_separately() {
+        let c = Cache::new(64);
+        c.insert_kind(9, "bad-body".into(), "code=bad_graph;msg=x".into(), true);
+        assert_eq!(
+            c.get(9, "bad-body"),
+            Some(("code=bad_graph;msg=x".into(), true))
+        );
+        c.insert(10, "ok-body".into(), "cost=1".into());
+        assert!(c.get(10, "ok-body").is_some());
+        let s = c.stats();
+        assert_eq!((s.ok_hits, s.err_hits, s.hits), (1, 1, 2));
+        // The header counters fold both hit kinds together.
+        assert_eq!(c.counters().0, 2);
     }
 }

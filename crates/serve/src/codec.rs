@@ -1085,9 +1085,11 @@ pub fn ok_line(
     format!("ok;id={id};cache={cache};hits={hits};misses={misses};evictions={evictions};{payload}")
 }
 
-/// Assemble an `err` response line. `msg` is sanitized so the line stays
-/// single-line and field-safe.
-pub fn err_line(id: &str, e: &WireError) -> String {
+/// The deterministic tail of an `err` response line (`code=…;msg=…`),
+/// with `msg` sanitized so the line stays single-line and field-safe.
+/// This is what the result cache stores for admitted error responses —
+/// the volatile `id` is re-attached per request by [`err_line_with`].
+pub fn err_payload(e: &WireError) -> String {
     let msg: String = e
         .to_string()
         .chars()
@@ -1097,7 +1099,18 @@ pub fn err_line(id: &str, e: &WireError) -> String {
             c => c,
         })
         .collect();
-    format!("err;id={id};code={};msg={msg}", e.code())
+    format!("code={};msg={msg}", e.code())
+}
+
+/// Assemble an `err` response line.
+pub fn err_line(id: &str, e: &WireError) -> String {
+    err_line_with(id, &err_payload(e))
+}
+
+/// Assemble an `err` response line from a precomputed (possibly cached)
+/// deterministic tail.
+pub fn err_line_with(id: &str, payload: &str) -> String {
+    format!("err;id={id};{payload}")
 }
 
 /// The deterministic part of a response line: the tag plus every field

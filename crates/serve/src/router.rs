@@ -67,8 +67,7 @@ impl Router {
     /// Handle one request line end to end (parse, cache, dispatch),
     /// returning the full response line.
     pub fn handle_line(&self, line: &str) -> String {
-        let mut ws = self.pool.acquire();
-        self.handle_with(line, &mut ws)
+        self.pool.with_workspace(|ws| self.handle_with(line, ws))
     }
 
     /// Handle a batch of request lines on the executor: responses come
@@ -94,7 +93,12 @@ impl Router {
         }
         let body = req.canonical_body();
         let key = crate::codec::fnv1a64(body.as_bytes());
-        if let Some(payload) = self.cache.get(key, &body) {
+        if let Some((payload, is_err)) = self.cache.get(key, &body) {
+            if is_err {
+                // Cached deterministic error tail: re-attach the volatile
+                // id — byte-identical to re-running the validation.
+                return crate::codec::err_line_with(&req.id, &payload);
+            }
             let (h, m, e) = self.cache.counters();
             return ok_line(&req.id, "hit", h, m, e, &payload);
         }
@@ -105,7 +109,17 @@ impl Router {
                 let (h, m, e) = self.cache.counters();
                 ok_line(&req.id, status, h, m, e, &payload)
             }
-            Err(e) => err_line(&req.id, &e),
+            Err(e) => {
+                // Deterministic parse/validate failures are cached too
+                // (the tail only — the id is re-attached per request), so
+                // repeated malformed instances skip re-validation. Engine
+                // failures stay uncached by policy.
+                if cacheable_err(&e) {
+                    self.cache
+                        .insert_kind(key, body, crate::codec::err_payload(&e), true);
+                }
+                err_line(&req.id, &e)
+            }
         }
     }
 
@@ -123,9 +137,11 @@ impl Router {
     fn stats_payload(&self) -> String {
         let s = self.cache.stats();
         format!(
-            "entries={};capacity={};threads={}",
+            "entries={};capacity={};ok_hits={};err_hits={};threads={}",
             s.entries,
             s.capacity,
+            s.ok_hits,
+            s.err_hits,
             self.ex.threads()
         )
     }
@@ -266,6 +282,27 @@ impl Router {
             }
         }
     }
+}
+
+/// Whether an error response may be admitted to the result cache: only
+/// deterministic *validate*-class failures — pure functions of the
+/// canonical body (bad edge ids, non-tree edge sets, wrong game kind,
+/// mis-sized vectors, missing required fields). `Engine` failures are
+/// excluded by policy (their budgets/codes describe solver behaviour,
+/// not the instance), and parse-stage errors never reach this point
+/// (they have no canonical body to key on).
+fn cacheable_err(e: &WireError) -> bool {
+    matches!(
+        e,
+        WireError::Graph(_)
+            | WireError::Game(_)
+            | WireError::State(_)
+            | WireError::Subsidy(_)
+            | WireError::BadDemands
+            | WireError::NotASpanningTree
+            | WireError::NotBroadcast
+            | WireError::MissingField(_)
+    )
 }
 
 /// The `id=` of a line that failed to parse, for the error response
@@ -475,6 +512,52 @@ mod tests {
         assert!(r
             .handle_line("garbage")
             .starts_with("err;id=?;code=bad_tag;"));
+    }
+
+    #[test]
+    fn deterministic_errs_are_cached_and_replayed_byte_identically() {
+        let r = Router::new(Executor::sequential(), 64);
+        // Validate-class failure (tree ids out of range): admitted.
+        let bad = |id: &str| {
+            format!(
+                "ndg1;id={id};method=certify;tree=90,91;game={}",
+                cycle_game_spec(4)
+            )
+        };
+        let first = r.handle_line(&bad("e1"));
+        let second = r.handle_line(&bad("e2"));
+        assert!(first.starts_with("err;id=e1;code=bad_graph;"), "{first}");
+        assert!(second.starts_with("err;id=e2;code=bad_graph;"), "{second}");
+        // Replay is byte-identical modulo the volatile id.
+        assert_eq!(payload_of(&first), payload_of(&second));
+        assert_eq!(r.cache_stats().err_hits, 1);
+        assert_eq!(r.cache_stats().ok_hits, 0);
+        // Parse-stage failures never reach the cache (no canonical body).
+        let resp = r.handle_line("ndg1;id=p1;method=warp");
+        assert!(resp.starts_with("err;id=p1;code=unknown_method;"), "{resp}");
+        let _ = r.handle_line("ndg1;id=p2;method=warp");
+        assert_eq!(r.cache_stats().err_hits, 1, "parse errors must not hit");
+        // The stats payload surfaces the split counters.
+        let stats = r.handle_line("ndg1;id=s;method=stats");
+        assert!(stats.contains("ok_hits=0"), "{stats}");
+        assert!(stats.contains("err_hits=1"), "{stats}");
+        // With caching disabled the error path still answers identically.
+        let off = Router::new(Executor::sequential(), 0);
+        assert_eq!(payload_of(&off.handle_line(&bad("e3"))), payload_of(&first));
+        assert_eq!(off.cache_stats().err_hits, 0);
+    }
+
+    #[test]
+    fn engine_errors_are_not_admitted() {
+        let r = Router::new(Executor::sequential(), 64);
+        // `pos` with a tiny cap: a cap_exceeded Engine error (excluded by
+        // the admission policy even though it decodes fine).
+        let line = |id: &str| format!("ndg1;id={id};method=pos;cap=1;game={}", cycle_game_spec(6));
+        let first = r.handle_line(&line("x1"));
+        assert!(first.contains("code=cap_exceeded"), "{first}");
+        let _ = r.handle_line(&line("x2"));
+        assert_eq!(r.cache_stats().err_hits, 0);
+        assert_eq!(r.cache_stats().hits, 0);
     }
 
     #[test]
