@@ -18,6 +18,7 @@ fn bench(c: &mut Criterion) {
         requests: 200,
         distinct: 50,
         seed: 0xE12,
+        isomorphs: 1,
     });
     let reference_router = Router::new(Executor::sequential(), 0);
     let want: Vec<String> = lines

@@ -1,0 +1,85 @@
+//! E14 bench: isomorphism-aware caching on a relabeled-duplicate-heavy
+//! workload.
+//!
+//! The workload draws 200 requests from 10 base instances, each emitted
+//! as 4 literal variants under fresh random relabelings — the "many
+//! independent clients, one shared network" scenario. A literal-keyed
+//! cache is floored at 40 distinct bodies; canonical keying collapses
+//! them to 10 classes. The setup asserts the hit-rate separation and the
+//! determinism contract (canonical payloads byte-identical to the
+//! sequential cache-off reference) once, cold; the timed section then
+//! measures warm batched replay with canonicalization on vs. off.
+//! `BENCH_serve.json` (`e14_canon` section, written by `exp_e14`) pins
+//! the measured baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ndg_exec::Executor;
+use ndg_serve::{build_workload, payload_of, Router, WorkloadSpec};
+use std::hint::black_box;
+
+const SPEC: WorkloadSpec = WorkloadSpec {
+    requests: 200,
+    distinct: 10,
+    seed: 0xE14,
+    isomorphs: 4,
+};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e14_canon_cache");
+    group.sample_size(10);
+    let lines = build_workload(SPEC);
+
+    // Cold-pass gate (runs once, outside the timed section): canonical
+    // keying must see through the relabelings, and every payload must
+    // match the sequential cache-off reference byte-for-byte.
+    let reference = Router::new(Executor::sequential(), 0);
+    let want: Vec<String> = lines
+        .iter()
+        .map(|l| payload_of(&reference.handle_line(l)))
+        .collect();
+    let cold = Router::new(Executor::sequential(), 4096);
+    for (line, w) in lines.iter().zip(&want) {
+        assert_eq!(&payload_of(&cold.handle_line(line)), w, "determinism");
+    }
+    let stats = cold.cache_stats();
+    let hit_rate = stats.hits as f64 / (stats.hits + stats.misses) as f64;
+    assert!(
+        hit_rate >= 0.90,
+        "canonical keying must reach ≥90% on the isomorph-heavy stream, got {:.3} ({stats:?})",
+        hit_rate
+    );
+    assert!(stats.canon_hits > 0, "hits must be isomorphism-mediated");
+    // Literal baseline: floored near 1 − 40/200.
+    let literal = Router::with_canon(Executor::sequential(), 4096, false);
+    for line in &lines {
+        let _ = literal.handle_line(line);
+    }
+    let lstats = literal.cache_stats();
+    let literal_rate = lstats.hits as f64 / (lstats.hits + lstats.misses) as f64;
+    assert!(
+        literal_rate < hit_rate,
+        "literal keying must stay at its per-duplicate floor \
+         (literal {literal_rate:.3} vs canonical {hit_rate:.3})"
+    );
+
+    for canon in [true, false] {
+        let router = Router::with_canon(Executor::sequential(), 4096, canon);
+        group.bench_with_input(
+            BenchmarkId::new("serve_warm", format!("canon={}", u8::from(canon))),
+            &canon,
+            |bench, _| {
+                bench.iter(|| {
+                    let mut got = Vec::with_capacity(lines.len());
+                    for chunk in black_box(&lines).chunks(32) {
+                        got.extend(router.handle_batch(chunk));
+                    }
+                    got.len()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -28,6 +28,7 @@ const SPEC: WorkloadSpec = WorkloadSpec {
     requests: 400,
     distinct: 100,
     seed: 0xE12,
+    isomorphs: 1,
 };
 const BATCH: usize = 32;
 
@@ -153,6 +154,14 @@ fn main() {
     }
     json.push_str("  ]\n}\n");
     let path = "BENCH_serve.json";
+    // Preserve the `e14_canon` section pinned by exp_e14, if one is
+    // already there (shared layout invariant: ndg_bench::split/join).
+    if let Ok(old) = std::fs::read_to_string(path) {
+        if let (_, Some(section)) = ndg_bench::split_bench_serve(&old) {
+            let (body, _) = ndg_bench::split_bench_serve(&json);
+            json = ndg_bench::join_bench_serve(&body, Some(&section));
+        }
+    }
     match std::fs::File::create(path).and_then(|mut f| f.write_all(json.as_bytes())) {
         Ok(()) => println!("wrote {path}"),
         Err(e) => eprintln!("could not write {path}: {e}"),

@@ -146,6 +146,44 @@ impl State {
         self.swap_path(i, &mut new_path);
     }
 
+    /// Map this state through an instance relabeling: player `i`'s path
+    /// becomes player `player_map[i]`'s path in `target`, with every edge
+    /// id sent through `edge_map` (sequence order preserved — a path stays
+    /// a path). The result is fully re-validated against `target`, so a
+    /// mismatched mapping surfaces as a [`StateError`] rather than a
+    /// corrupt state.
+    pub fn permuted(
+        &self,
+        target: &NetworkDesignGame,
+        player_map: &[usize],
+        edge_map: &[EdgeId],
+    ) -> Result<State, StateError> {
+        let n = target.num_players();
+        if player_map.len() != self.paths.len() || self.paths.len() != n {
+            return Err(StateError::WrongPlayerCount {
+                got: self.paths.len(),
+                want: n,
+            });
+        }
+        let mut paths: Vec<Vec<EdgeId>> = vec![Vec::new(); n];
+        for (i, path) in self.paths.iter().enumerate() {
+            let j = player_map[i];
+            if j >= n {
+                return Err(StateError::InvalidPath { player: i });
+            }
+            paths[j] = path
+                .iter()
+                .map(|e| {
+                    edge_map
+                        .get(e.index())
+                        .copied()
+                        .ok_or(StateError::InvalidPath { player: i })
+                })
+                .collect::<Result<_, _>>()?;
+        }
+        State::new(target, paths)
+    }
+
     /// Allocation-recycling variant of [`replace_path`](Self::replace_path):
     /// player `i` adopts the path in `path`, and on return `path` holds her
     /// previous strategy (whose buffer the caller can keep reusing).

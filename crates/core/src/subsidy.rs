@@ -16,6 +16,9 @@ pub enum SubsidyError {
     LengthMismatch { got: usize, want: usize },
     /// `b_a` outside `[0, w_a]` (beyond tolerance) or not finite.
     OutOfRange { edge: EdgeId, b: f64, w: f64 },
+    /// An edge relabeling handed to [`SubsidyAssignment::permuted`] was
+    /// not a permutation (an out-of-range or repeated target id).
+    NotAPermutation { edge: EdgeId },
 }
 
 impl fmt::Display for SubsidyError {
@@ -26,6 +29,9 @@ impl fmt::Display for SubsidyError {
             }
             SubsidyError::OutOfRange { edge, b, w } => {
                 write!(f, "subsidy {b} on edge {edge:?} outside [0, {w}]")
+            }
+            SubsidyError::NotAPermutation { edge } => {
+                write!(f, "edge map target {edge:?} out of range or repeated")
             }
         }
     }
@@ -151,6 +157,38 @@ impl SubsidyAssignment {
     /// The raw per-edge vector.
     pub fn as_slice(&self) -> &[f64] {
         &self.b
+    }
+
+    /// Reindex through an edge relabeling: entry `edge_map[e]` of the
+    /// result carries this assignment's subsidy on `e` (floats are moved,
+    /// never recomputed, so the mapping is bit-exact). `edge_map` must be
+    /// a permutation of `target`'s edge ids; the result is re-validated
+    /// against `target`'s weights.
+    pub fn permuted(
+        &self,
+        target: &Graph,
+        edge_map: &[EdgeId],
+    ) -> Result<SubsidyAssignment, SubsidyError> {
+        if edge_map.len() != self.b.len() || target.edge_count() != self.b.len() {
+            return Err(SubsidyError::LengthMismatch {
+                got: edge_map.len(),
+                want: target.edge_count(),
+            });
+        }
+        let mut b = vec![None; target.edge_count()];
+        for (old, &new) in edge_map.iter().enumerate() {
+            match b.get_mut(new.index()) {
+                Some(slot @ None) => *slot = Some(self.b[old]),
+                // Out of range, or a repeated target (which would
+                // silently drop one subsidy and zero another edge).
+                _ => return Err(SubsidyError::NotAPermutation { edge: new }),
+            }
+        }
+        let b = b
+            .into_iter()
+            .map(|x| x.expect("equal-length injective map is a permutation"))
+            .collect();
+        SubsidyAssignment::new(target, b)
     }
 }
 

@@ -4,9 +4,11 @@
 //! multigraphs, union-find, MST (Kruskal/Prim + uniqueness), shortest paths
 //! (Dijkstra with pluggable weights — the paper's separation-oracle graph
 //! `H_i`), rooted spanning-tree views (subtree sizes = player counts in
-//! broadcast games, LCA, root paths), instance generators, and exact
-//! harmonic-number arithmetic that the paper's gadgets depend on.
+//! broadcast games, LCA, root paths), instance generators, exact
+//! harmonic-number arithmetic that the paper's gadgets depend on, and the
+//! partition-refinement / BFS-code substrate of instance canonicalization.
 
+pub mod canon;
 pub mod generators;
 pub mod graph;
 pub mod harmonic;
@@ -15,6 +17,7 @@ pub mod paths;
 pub mod tree;
 pub mod unionfind;
 
+pub use canon::{bfs_code, condense, refine_partition, refine_partition_budgeted, Refinement};
 pub use graph::{Edge, EdgeId, Graph, GraphError, NodeId};
 pub use harmonic::{bypass_path_length, harmonic, harmonic_diff};
 pub use mst::{is_minimum_spanning_tree, kruskal, mst_is_unique, mst_weight, prim};

@@ -7,7 +7,9 @@
 //! ```
 //!
 //! Common flags: `--threads T` (executor width; `NDG_THREADS` also works),
-//! `--cache C` (result-cache capacity, 0 disables).
+//! `--cache C` (result-cache capacity, 0 disables), `--canon 0|1`
+//! (isomorphism-aware canonical cache keying; default 1, and per-request
+//! `canon=0` still opts out).
 //!
 //! The self-test is the serving contract in executable form: it spawns a
 //! TCP server on an ephemeral port, fires a deterministic mixed workload
@@ -29,7 +31,7 @@ use std::time::Instant;
 fn usage() -> ! {
     eprintln!(
         "usage: ndg-serve (--stdio | --tcp ADDR | --self-test [REQUESTS [DISTINCT]]) \
-         [--threads T] [--cache C]"
+         [--threads T] [--cache C] [--canon 0|1]"
     );
     std::process::exit(2);
 }
@@ -40,6 +42,7 @@ fn main() {
     let mut addr = "127.0.0.1:4321".to_string();
     let mut threads: Option<usize> = None;
     let mut cache = ndg_serve::router::DEFAULT_CACHE_CAPACITY;
+    let mut canon = true;
     let mut self_test_shape = (200usize, 60usize);
 
     let mut it = args.iter().peekable();
@@ -91,6 +94,13 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage())
             }
+            "--canon" => {
+                canon = match it.next().map(String::as_str) {
+                    Some("0") => false,
+                    Some("1") => true,
+                    _ => usage(),
+                }
+            }
             _ => usage(),
         }
     }
@@ -98,7 +108,7 @@ fn main() {
     let ex = threads
         .map(Executor::new)
         .unwrap_or_else(Executor::from_env);
-    let router = Router::new(ex, cache);
+    let router = Router::with_canon(ex, cache, canon);
     match mode.as_deref() {
         Some("stdio") => {
             if let Err(e) = ndg_serve::serve_stdio(&router) {
@@ -122,7 +132,7 @@ fn main() {
         }
         Some("self-test") => {
             let (requests, distinct) = self_test_shape;
-            if !self_test(ex, requests, distinct) {
+            if !self_test(ex, requests, distinct, canon) {
                 std::process::exit(1);
             }
         }
@@ -131,22 +141,32 @@ fn main() {
 }
 
 /// The serving contract, executable. Returns success.
-fn self_test(ex: Executor, requests: usize, distinct: usize) -> bool {
+fn self_test(ex: Executor, requests: usize, distinct: usize, canon: bool) -> bool {
+    // When there is room, half the distinct bodies are relabeled
+    // duplicates of the other half, so the byte-identity contract is
+    // exercised against the canonicalize→solve→map-back pipeline (and,
+    // with --canon 0, against literal handling of relabeled inputs).
+    let isomorphs = if requests >= 2 * distinct { 2 } else { 1 };
     let spec = WorkloadSpec {
         requests,
-        distinct,
+        distinct: (distinct / isomorphs).max(1),
         seed: 0xE12,
+        isomorphs,
     };
     let lines = build_workload(spec);
     println!(
-        "self-test: {requests} requests over {distinct} distinct bodies, threads={}",
-        ex.threads()
+        "self-test: {requests} requests over {} base bodies x{} relabeled variants, \
+         threads={}, canon={}",
+        spec.distinct,
+        spec.isomorphs,
+        ex.threads(),
+        u8::from(canon)
     );
 
     // 1. Reference: direct sequential evaluation, cache disabled so every
     //    payload really is a fresh solver call.
     let t0 = Instant::now();
-    let reference = Router::new(Executor::sequential(), 0);
+    let reference = Router::with_canon(Executor::sequential(), 0, canon);
     let expected: Vec<(String, String)> = lines
         .iter()
         .map(|l| {
@@ -158,7 +178,7 @@ fn self_test(ex: Executor, requests: usize, distinct: usize) -> bool {
 
     // 2. Serve the same lines over TCP: 4 concurrent connections, batches
     //    of 16, responses collected by id.
-    let server_router = Arc::new(Router::new(ex, 4096));
+    let server_router = Arc::new(Router::with_canon(ex, 4096, canon));
     let handle = spawn_tcp(server_router.clone(), "127.0.0.1:0").expect("ephemeral bind");
     let addr = handle.addr();
     let t0 = Instant::now();
@@ -227,7 +247,7 @@ fn self_test(ex: Executor, requests: usize, distinct: usize) -> bool {
     }
 
     // 4. Anchor the codec against the solver library itself on a sample.
-    let direct_checked = direct_library_check(&lines, &expected);
+    let direct_checked = direct_library_check(&lines, &expected, canon);
 
     let hit_rate = stats.hits as f64 / (stats.hits + stats.misses).max(1) as f64;
     println!(
@@ -236,8 +256,12 @@ fn self_test(ex: Executor, requests: usize, distinct: usize) -> bool {
         t_seq.as_secs_f64() * 1e3
     );
     println!(
-        "self-test: cache hits={} misses={} evictions={} (hit rate {:.1}%)",
+        "self-test: cache hits={} (literal {} / isomorphism {} / err {}) misses={} \
+         evictions={} (hit rate {:.1}%)",
         stats.hits,
+        stats.ok_hits,
+        stats.canon_hits,
+        stats.err_hits,
         stats.misses,
         stats.evictions,
         hit_rate * 100.0
@@ -261,8 +285,11 @@ fn self_test(ex: Executor, requests: usize, distinct: usize) -> bool {
 }
 
 /// Re-derive a sample of expected payloads straight from the solver
-/// library (no router in the loop) and compare with the reference.
-fn direct_library_check(lines: &[String], expected: &[(String, String)]) -> bool {
+/// library (no router in the loop) and compare with the reference. In
+/// canon mode the library is driven through the same
+/// canonicalize→solve→map-back pipeline the router specifies, anchoring
+/// the relabeling machinery itself — bit for bit — against direct calls.
+fn direct_library_check(lines: &[String], expected: &[(String, String)], canon: bool) -> bool {
     let by_id: std::collections::HashMap<&str, &str> = expected
         .iter()
         .map(|(id, p)| (id.as_str(), p.as_str()))
@@ -274,16 +301,26 @@ fn direct_library_check(lines: &[String], expected: &[(String, String)]) -> bool
             break;
         }
         let req = Request::parse(line).expect("workload parses");
-        let Some(game_spec) = req.game.as_ref() else {
+        // Solve in canonical space when that is what the router does,
+        // mapping the payload back below.
+        let (solve_req, map) = if canon {
+            match ndg_serve::canonicalize_request(&req) {
+                Some(c) => (c.req, Some(c.map)),
+                None => (req.clone(), None),
+            }
+        } else {
+            (req.clone(), None)
+        };
+        let Some(game_spec) = solve_req.game.as_ref() else {
             continue;
         };
         let (game, demands) = game_spec.build().expect("workload games build");
         if demands.is_some() {
             continue;
         }
-        let payload = match (req.method, req.solver) {
+        let payload = match (solve_req.method, solve_req.solver) {
             (Method::Enforce, Some(Solver::T6)) => {
-                let sol = ndg_sne::theorem6::enforce(&game, req.tree.as_ref().unwrap())
+                let sol = ndg_sne::theorem6::enforce(&game, solve_req.tree.as_ref().unwrap())
                     .expect("t6 enforces MST targets");
                 let b: Vec<String> = sol
                     .subsidies
@@ -293,10 +330,14 @@ fn direct_library_check(lines: &[String], expected: &[(String, String)]) -> bool
                     .collect();
                 format!("ok;cost={};b={}", fmt_f64(sol.cost), b.join(","))
             }
-            (Method::Certify, _) if req.subsidy.is_none() => {
+            (Method::Certify, _) if solve_req.subsidy.is_none() => {
                 let root = game.root().expect("workload certify is broadcast");
-                let rt = ndg_graph::RootedTree::new(game.graph(), req.tree.as_ref().unwrap(), root)
-                    .expect("workload trees span");
+                let rt = ndg_graph::RootedTree::new(
+                    game.graph(),
+                    solve_req.tree.as_ref().unwrap(),
+                    root,
+                )
+                .expect("workload trees span");
                 let b = ndg_core::SubsidyAssignment::zero(game.graph());
                 if ndg_core::is_tree_equilibrium(&game, &rt, &b) {
                     "ok;eq=true".to_string()
@@ -307,6 +348,10 @@ fn direct_library_check(lines: &[String], expected: &[(String, String)]) -> bool
                 }
             }
             _ => continue,
+        };
+        let payload = match (&map, payload.is_empty()) {
+            (Some(m), false) => ndg_serve::unapply_payload(req.method, m, &payload),
+            _ => payload,
         };
         let want = by_id.get(req.id.as_str()).copied().unwrap_or("");
         let matches = if payload.is_empty() {

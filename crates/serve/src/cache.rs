@@ -43,10 +43,17 @@ struct Shard {
 /// Point-in-time cache counters.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct CacheStats {
-    /// Lookups that returned a cached payload (`ok_hits + err_hits`).
+    /// Lookups that returned a cached payload
+    /// (`ok_hits + canon_hits + err_hits`).
     pub hits: u64,
-    /// Hits that replayed an `ok` payload.
+    /// Hits whose request keyed literally (its bytes already were the
+    /// canonical form, or canonicalization was off) and replayed an `ok`
+    /// payload.
     pub ok_hits: u64,
+    /// Isomorphism hits: `ok` replays that only existed because the
+    /// request was canonicalized into a differently-labeled entry — the
+    /// lookups a literal-keyed cache would have missed.
+    pub canon_hits: u64,
     /// Hits that replayed an admitted deterministic `err` payload.
     pub err_hits: u64,
     /// Lookups that missed (including lookups with caching disabled).
@@ -65,6 +72,7 @@ pub struct Cache {
     shards: Vec<Mutex<Shard>>,
     cap_per_shard: usize,
     ok_hits: AtomicU64,
+    canon_hits: AtomicU64,
     err_hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
@@ -78,6 +86,7 @@ impl Cache {
             shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
             cap_per_shard: capacity.div_ceil(SHARDS),
             ok_hits: AtomicU64::new(0),
+            canon_hits: AtomicU64::new(0),
             err_hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
@@ -102,30 +111,48 @@ impl Cache {
     /// returns the stored payload plus whether it is an admitted `err`
     /// tail (counted under `err_hits`) rather than an `ok` payload.
     pub fn get(&self, key: u64, body: &str) -> Option<(String, bool)> {
+        self.get_tagged(key, body, || false)
+    }
+
+    /// [`get`](Self::get) with the isomorphism tag: `canon()` marks a
+    /// lookup whose key only matched because the request was rewritten
+    /// into canonical labels (its literal body differs from `body`).
+    /// Such `ok` replays count under `canon_hits` instead of `ok_hits`;
+    /// `err` replays always count under `err_hits`. The tag is a closure
+    /// because computing it means re-serializing the original request —
+    /// only worth doing on the hit path it classifies.
+    pub fn get_tagged(
+        &self,
+        key: u64,
+        body: &str,
+        canon: impl FnOnce() -> bool,
+    ) -> Option<(String, bool)> {
         if !self.enabled() {
             self.misses.fetch_add(1, Ordering::Relaxed);
             return None;
         }
-        let mut shard = self.shard(key).lock().expect("cache shard poisoned");
-        shard.clock += 1;
-        let clock = shard.clock;
-        match shard.map.get_mut(&key) {
-            Some(entry) if entry.body == body => {
-                entry.stamp = clock;
-                let payload = entry.payload.clone();
-                let is_err = entry.is_err;
-                if is_err {
-                    self.err_hits.fetch_add(1, Ordering::Relaxed);
-                } else {
-                    self.ok_hits.fetch_add(1, Ordering::Relaxed);
+        let hit = {
+            let mut shard = self.shard(key).lock().expect("cache shard poisoned");
+            shard.clock += 1;
+            let clock = shard.clock;
+            match shard.map.get_mut(&key) {
+                Some(entry) if entry.body == body => {
+                    entry.stamp = clock;
+                    Some((entry.payload.clone(), entry.is_err))
                 }
-                Some((payload, is_err))
+                _ => None,
             }
-            _ => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
-                None
-            }
-        }
+        };
+        // Counters are lock-free atomics and the tag closure may be
+        // expensive (it re-serializes a request): classify only after
+        // the shard guard is dropped.
+        match &hit {
+            Some((_, true)) => self.err_hits.fetch_add(1, Ordering::Relaxed),
+            Some((_, false)) if canon() => self.canon_hits.fetch_add(1, Ordering::Relaxed),
+            Some((_, false)) => self.ok_hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        hit
     }
 
     /// Insert a computed payload, evicting the shard's least-recently-used
@@ -167,7 +194,9 @@ impl Cache {
     /// under every shard lock) is reserved for the `stats` method.
     pub fn counters(&self) -> (u64, u64, u64) {
         (
-            self.ok_hits.load(Ordering::Relaxed) + self.err_hits.load(Ordering::Relaxed),
+            self.ok_hits.load(Ordering::Relaxed)
+                + self.canon_hits.load(Ordering::Relaxed)
+                + self.err_hits.load(Ordering::Relaxed),
             self.misses.load(Ordering::Relaxed),
             self.evictions.load(Ordering::Relaxed),
         )
@@ -176,10 +205,12 @@ impl Cache {
     /// Current counters (relaxed reads: monitoring data, not a barrier).
     pub fn stats(&self) -> CacheStats {
         let ok_hits = self.ok_hits.load(Ordering::Relaxed);
+        let canon_hits = self.canon_hits.load(Ordering::Relaxed);
         let err_hits = self.err_hits.load(Ordering::Relaxed);
         CacheStats {
-            hits: ok_hits + err_hits,
+            hits: ok_hits + canon_hits + err_hits,
             ok_hits,
+            canon_hits,
             err_hits,
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
@@ -301,5 +332,28 @@ mod err_entry_tests {
         assert_eq!((s.ok_hits, s.err_hits, s.hits), (1, 1, 2));
         // The header counters fold both hit kinds together.
         assert_eq!(c.counters().0, 2);
+    }
+
+    #[test]
+    fn canon_tagged_hits_count_apart_from_literal_hits() {
+        let c = Cache::new(64);
+        c.insert(4, "canonical-body".into(), "cost=2".into());
+        // A literal lookup (request bytes already canonical)…
+        assert!(c.get_tagged(4, "canonical-body", || false).is_some());
+        // …and two isomorphism-mediated lookups of relabeled duplicates.
+        assert!(c.get_tagged(4, "canonical-body", || true).is_some());
+        assert!(c.get_tagged(4, "canonical-body", || true).is_some());
+        let s = c.stats();
+        assert_eq!((s.ok_hits, s.canon_hits, s.err_hits), (1, 2, 0));
+        assert_eq!(s.hits, 3);
+        assert_eq!(c.counters().0, 3, "header counters fold all hit kinds");
+        // The canon tag never applies to error replays (the closure is
+        // not even consulted).
+        c.insert_kind(5, "bad".into(), "code=bad_graph;msg=m".into(), true);
+        assert!(c
+            .get_tagged(5, "bad", || panic!("err replays skip the tag"))
+            .is_some());
+        let s = c.stats();
+        assert_eq!((s.canon_hits, s.err_hits), (2, 1));
     }
 }

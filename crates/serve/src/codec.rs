@@ -21,6 +21,9 @@
 //! b        := float ("," float)*           (one subsidy per edge)
 //! state    := path ("|" path)*             path    := [ id ("," id)* ]
 //! order    := "round-robin" | "max-gain" | "random:" SEED
+//! canon    := "0" | "1"                    (default 1: isomorphism-aware
+//!                                           canonical cache keying; 0
+//!                                           forces literal keying)
 //! response := "ok;id=" ID ";cache=" ("hit"|"miss"|"off")
 //!             ";hits=" H ";misses=" M ";evictions=" E ";" payload
 //!           | "err;id=" ID ";code=" CODE ";msg=" TEXT
@@ -792,6 +795,11 @@ pub struct Request {
     pub cap: Option<usize>,
     /// Branch-and-bound node budget for `aon` (default [`DEFAULT_LIMIT`]).
     pub limit: Option<usize>,
+    /// Whether the service may canonicalize the instance before keying
+    /// and solving (`canon=0` opts out; default on). The resolved value
+    /// is part of the canonical body — the two modes answer with
+    /// different witness bits, so they must never share cache entries.
+    pub canon: bool,
 }
 
 pub(crate) fn valid_id(id: &str) -> bool {
@@ -839,6 +847,7 @@ impl Request {
             rounds: None,
             cap: None,
             limit: None,
+            canon: true,
         }
     }
 
@@ -864,6 +873,7 @@ impl Request {
         let mut rounds: Option<usize> = None;
         let mut cap: Option<usize> = None;
         let mut limit: Option<usize> = None;
+        let mut canon: Option<bool> = None;
 
         for field in fields {
             let (key, value) = field
@@ -940,6 +950,21 @@ impl Request {
                     }
                     limit = Some(parse_budget("limit", value, MAX_LIMIT)?);
                 }
+                "canon" => {
+                    if canon.is_some() {
+                        return Err(dup(key));
+                    }
+                    canon = Some(match value {
+                        "0" => false,
+                        "1" => true,
+                        other => {
+                            return Err(WireError::BadInt {
+                                field: "canon",
+                                token: other.to_string(),
+                            })
+                        }
+                    });
+                }
                 other => return Err(WireError::UnknownField(other.to_string())),
             }
         }
@@ -956,6 +981,7 @@ impl Request {
             rounds,
             cap,
             limit,
+            canon: canon.unwrap_or(true),
         };
         req.validate()?;
         Ok(req)
@@ -1002,6 +1028,12 @@ impl Request {
     /// byte-identical payloads, which is what makes result reuse sound.
     pub fn canonical_body(&self) -> String {
         let mut out = format!("method={}", self.method.as_str());
+        // The default (`canon=1`) is resolved by *omission*, keeping every
+        // pre-canonicalization body byte-stable; opting out gets its own
+        // keyspace so literal-mode payloads never mix with mapped ones.
+        if !self.canon {
+            out.push_str(";canon=0");
+        }
         match self.method {
             Method::Enforce => {
                 let solver = self.solver.unwrap_or(Solver::Lp1);
@@ -1205,7 +1237,7 @@ mod tests {
 
     #[test]
     fn structured_errors_never_panic() {
-        let cases: [(&str, &str); 14] = [
+        let cases: [(&str, &str); 17] = [
             ("", "empty"),
             ("ndg0;id=a;method=stats", "bad_tag"),
             ("ndg1;id=a", "missing_field"),
@@ -1232,11 +1264,36 @@ mod tests {
                 "ndg1;id=a;method=dynamics;game=broadcast:2:0:0/1/1",
                 "missing_field",
             ),
+            ("ndg1;id=a;method=stats;canon=2", "bad_int"),
+            ("ndg1;id=a;method=stats;canon=", "bad_int"),
+            ("ndg1;id=a;method=stats;canon=0;canon=1", "duplicate_field"),
         ];
         for (line, code) in cases {
             let err = Request::parse(line).unwrap_err();
             assert_eq!(err.code(), code, "line {line:?} → {err:?}");
         }
+    }
+
+    #[test]
+    fn canon_opt_out_round_trips_and_splits_the_keyspace() {
+        let off =
+            Request::parse("ndg1;id=a;method=certify;canon=0;tree=0;game=broadcast:2:0:0/1/1")
+                .unwrap();
+        assert!(!off.canon);
+        // canon=0 serializes back out and is a parse fixed point.
+        let line = off.serialize();
+        assert!(line.contains(";canon=0;"), "{line}");
+        assert_eq!(Request::parse(&line).unwrap(), off);
+        // Explicit canon=1 resolves by omission, like the other defaults…
+        let on_explicit =
+            Request::parse("ndg1;id=a;method=certify;canon=1;tree=0;game=broadcast:2:0:0/1/1")
+                .unwrap();
+        let on_implicit =
+            Request::parse("ndg1;id=a;method=certify;tree=0;game=broadcast:2:0:0/1/1").unwrap();
+        assert!(on_explicit.canon && on_implicit.canon);
+        assert_eq!(on_explicit.cache_key(), on_implicit.cache_key());
+        // …while opting out moves the request into its own keyspace.
+        assert_ne!(off.cache_key(), on_implicit.cache_key());
     }
 
     #[test]

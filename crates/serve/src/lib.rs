@@ -10,7 +10,11 @@
 //!   states and results, structured decode errors, and the FNV-1a
 //!   canonical-instance hash used as the cache key;
 //! * [`cache`] — a sharded LRU instance/result cache with hit/miss/
-//!   eviction counters surfaced in every response;
+//!   eviction counters surfaced in every response, `canon_hits` splitting
+//!   isomorphism hits from literal ones;
+//! * [`canon`] — canonical-form cache keying: requests are rewritten into
+//!   [`ndg_canon`] canonical label space, solved there, and mapped back,
+//!   so node-relabeled duplicates share one cache entry;
 //! * [`router`] — named methods over the existing engines: `enforce`
 //!   (SNE LPs (1)–(3), Theorem 6, weighted), `dynamics` (the incremental
 //!   engine under all three move orders), `pos`, `aon`, `certify`
@@ -35,12 +39,14 @@
 //! caching sound, and E12 plus `--self-test` assert it end to end.
 
 pub mod cache;
+pub mod canon;
 pub mod codec;
 pub mod router;
 pub mod server;
 pub mod workload;
 
 pub use cache::{Cache, CacheStats};
+pub use canon::{canonicalize_request, unapply_payload, CanonRequest};
 pub use codec::{payload_of, Method, Request, Solver, WireError, WireGame, WireOrder};
 pub use router::Router;
 pub use server::{serve_stdio, serve_stream, spawn_tcp, ServerHandle};

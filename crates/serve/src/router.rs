@@ -29,22 +29,43 @@ use ndg_sne::{SneError, SneSolution};
 /// Default total result-cache capacity (responses).
 pub const DEFAULT_CACHE_CAPACITY: usize = 4096;
 
+/// Canonicalization-memo capacity (literal body → canonical rewrite):
+/// sized like the result cache so every cached response's literal
+/// duplicates can skip the refinement search.
+const CANON_MEMO_CAPACITY: usize = 4096;
+
 /// The request engine: cache + executor + workspace pool + dispatch.
 #[derive(Debug)]
 pub struct Router {
     cache: Cache,
     ex: Executor,
     pool: WorkspacePool,
+    /// Literal-body → canonical-rewrite memo: exact replays skip the
+    /// refinement search entirely.
+    memo: crate::canon::CanonMemo,
+    /// Whether instances are canonicalized before keying and solving
+    /// (per-request `canon=0` still opts out; see [`crate::canon`]).
+    canon: bool,
 }
 
 impl Router {
     /// Router with an explicit executor and cache capacity
-    /// (`cache_capacity = 0` disables result reuse).
+    /// (`cache_capacity = 0` disables result reuse), canonicalization on.
     pub fn new(ex: Executor, cache_capacity: usize) -> Self {
+        Self::with_canon(ex, cache_capacity, true)
+    }
+
+    /// [`new`](Self::new) with an explicit canonicalization mode.
+    /// Canonicalization applies even with the cache disabled — the
+    /// pipeline (canonicalize → solve → map back) defines the response
+    /// bytes of canon-mode requests, so it cannot depend on cache state.
+    pub fn with_canon(ex: Executor, cache_capacity: usize, canon: bool) -> Self {
         Router {
             cache: Cache::new(cache_capacity),
             ex,
             pool: WorkspacePool::new(0),
+            memo: crate::canon::CanonMemo::new(if canon { CANON_MEMO_CAPACITY } else { 0 }),
+            canon,
         }
     }
 
@@ -52,6 +73,11 @@ impl Router {
     /// the default cache capacity.
     pub fn from_env() -> Self {
         Self::new(Executor::from_env(), DEFAULT_CACHE_CAPACITY)
+    }
+
+    /// Whether this router canonicalizes instances.
+    pub fn canon_enabled(&self) -> bool {
+        self.canon
     }
 
     /// The executor requests are scheduled on.
@@ -91,32 +117,71 @@ impl Router {
             let (h, m, e) = self.cache.counters();
             return ok_line(&req.id, "off", h, m, e, &payload);
         }
-        let body = req.canonical_body();
+        // Canonical pipeline: rewrite the request into canonical label
+        // space, key and solve there, and map every answer back through
+        // the relabeling. Hit and miss responses to the same request are
+        // byte-identical by construction (both are `unapply(P)` of the
+        // one canonical payload `P`). Requests the canonicalizer
+        // declines — `canon=0`, no/unmappable instance, over budget —
+        // run the identical protocol on the literal request with no
+        // mapping step.
+        let outcome = if self.canon && req.canon {
+            // Memoized: exact replays of a literal body skip the search.
+            self.memo.lookup(&req)
+        } else {
+            crate::canon::CanonOutcome {
+                literal_body: req.canonical_body(),
+                canon: None,
+            }
+        };
+        let (solve_req, map, body) = match &outcome.canon {
+            Some((c, canon_body)) => (&c.req, Some(&c.map), canon_body.as_str()),
+            None => (&req, None, outcome.literal_body.as_str()),
+        };
+        // Map a (canonical-space) `ok` payload back into the request's
+        // own labels; the identity for the literal pipeline.
+        let unapply = |payload: &str| match map {
+            Some(m) => crate::canon::unapply_payload(req.method, m, payload),
+            None => payload.to_string(),
+        };
         let key = crate::codec::fnv1a64(body.as_bytes());
-        if let Some((payload, is_err)) = self.cache.get(key, &body) {
+        // An isomorphism hit is one mediated by canonicalization: the
+        // request's own bytes differ from the canonical form it keyed
+        // under.
+        let iso = || map.is_some() && body != outcome.literal_body;
+        if let Some((payload, is_err)) = self.cache.get_tagged(key, body, iso) {
             if is_err {
                 // Cached deterministic error tail: re-attach the volatile
                 // id — byte-identical to re-running the validation.
                 return crate::codec::err_line_with(&req.id, &payload);
             }
             let (h, m, e) = self.cache.counters();
-            return ok_line(&req.id, "hit", h, m, e, &payload);
+            return ok_line(&req.id, "hit", h, m, e, &unapply(&payload));
         }
-        match self.dispatch(&req, ws) {
+        match self.dispatch(solve_req, ws) {
             Ok(payload) => {
-                self.cache.insert(key, body, payload.clone());
+                // The cache stores the solve-space payload; every reader
+                // (this miss included) maps it back through its own
+                // relabeling.
+                self.cache.insert(key, body.to_string(), payload.clone());
                 let status = if self.cache.enabled() { "miss" } else { "off" };
                 let (h, m, e) = self.cache.counters();
-                ok_line(&req.id, status, h, m, e, &payload)
+                ok_line(&req.id, status, h, m, e, &unapply(&payload))
             }
             Err(e) => {
-                // Deterministic parse/validate failures are cached too
+                // Deterministic validate-class failures are cached too
                 // (the tail only — the id is re-attached per request), so
-                // repeated malformed instances skip re-validation. Engine
-                // failures stay uncached by policy.
+                // repeated malformed instances skip re-validation; in the
+                // canonical pipeline the diagnostics speak canonical
+                // labels, identically for every isomorph. Engine failures
+                // stay uncached by policy.
                 if cacheable_err(&e) {
-                    self.cache
-                        .insert_kind(key, body, crate::codec::err_payload(&e), true);
+                    self.cache.insert_kind(
+                        key,
+                        body.to_string(),
+                        crate::codec::err_payload(&e),
+                        true,
+                    );
                 }
                 err_line(&req.id, &e)
             }
@@ -137,11 +202,13 @@ impl Router {
     fn stats_payload(&self) -> String {
         let s = self.cache.stats();
         format!(
-            "entries={};capacity={};ok_hits={};err_hits={};threads={}",
+            "entries={};capacity={};ok_hits={};canon_hits={};err_hits={};canon_rate={};threads={}",
             s.entries,
             s.capacity,
             s.ok_hits,
+            s.canon_hits,
             s.err_hits,
+            crate::canon::canon_rate(s.canon_hits, s.hits),
             self.ex.threads()
         )
     }
@@ -558,6 +625,76 @@ mod tests {
         let _ = r.handle_line(&line("x2"));
         assert_eq!(r.cache_stats().err_hits, 0);
         assert_eq!(r.cache_stats().hits, 0);
+    }
+
+    #[test]
+    fn isomorphic_requests_hit_one_cache_entry_and_count_as_canon_hits() {
+        // The same weighted triangle under two labelings (nodes
+        // (0,1,2)→(2,0,1), edges and subsidies remapped accordingly).
+        let lit =
+            "ndg1;id=a;method=certify;tree=0,1;b=0.5,0,0;game=broadcast:3:0:0/1/1,1/2/2,2/0/4";
+        let iso =
+            "ndg1;id=b;method=certify;tree=0,2;b=0,0,0.5;game=broadcast:3:2:0/1/2,1/2/4,2/0/1";
+        let r = Router::new(Executor::sequential(), 64);
+        let first = r.handle_line(lit);
+        let second = r.handle_line(iso);
+        assert!(first.contains(";cache=miss;"), "{first}");
+        assert!(
+            second.contains(";cache=hit;"),
+            "relabeled duplicate must hit: {second}"
+        );
+        let s = r.cache_stats();
+        assert_eq!(
+            (s.canon_hits, s.misses),
+            (1, 1),
+            "the second lookup is an isomorphism hit: {s:?}"
+        );
+        // Hit/miss interchange: the hit-served response must be byte-
+        // identical to what a fresh router computes for the same line.
+        let fresh = Router::new(Executor::sequential(), 64);
+        assert_eq!(payload_of(&second), payload_of(&fresh.handle_line(iso)));
+        // A request already *in* canonical form hits the same entry as a
+        // plain (literal) hit: its bytes match the stored body.
+        let canonical_req =
+            crate::canon::canonicalize_request(&crate::codec::Request::parse(lit).unwrap())
+                .expect("mappable")
+                .req;
+        let third = r.handle_line(&canonical_req.serialize());
+        assert!(third.contains(";cache=hit;"), "{third}");
+        let s = r.cache_stats();
+        assert_eq!((s.ok_hits, s.canon_hits), (1, 1), "{s:?}");
+        // The stats method surfaces the split plus the rate.
+        let stats = r.handle_line("ndg1;id=s;method=stats");
+        assert!(stats.contains("canon_hits=1"), "{stats}");
+        assert!(stats.contains("canon_rate=0.5"), "{stats}");
+    }
+
+    #[test]
+    fn canon_opt_out_keys_literally_and_never_mixes_with_canon_entries() {
+        let lit = "ndg1;id=a;method=dynamics;tree=0,1;game=broadcast:3:0:0/1/1,1/2/2,2/0/4";
+        let opt_out =
+            "ndg1;id=b;method=dynamics;canon=0;tree=0,1;game=broadcast:3:0:0/1/1,1/2/2,2/0/4";
+        let r = Router::new(Executor::sequential(), 64);
+        let first = r.handle_line(lit);
+        // Same instance bytes, but the opt-out lives in its own keyspace:
+        // it must miss and solve literally.
+        let second = r.handle_line(opt_out);
+        assert!(first.contains(";cache=miss;"), "{first}");
+        assert!(second.contains(";cache=miss;"), "{second}");
+        // Both modes converge to the same tree here; the opt-out replays
+        // from its own entry on repeat.
+        let third = r.handle_line(opt_out);
+        assert!(third.contains(";cache=hit;"), "{third}");
+        assert_eq!(payload_of(&second), payload_of(&third));
+        let s = r.cache_stats();
+        assert_eq!((s.ok_hits, s.canon_hits), (1, 0), "{s:?}");
+        // A router with canonicalization disabled wholesale behaves like
+        // canon=0 for every request.
+        let off = Router::with_canon(Executor::sequential(), 64, false);
+        assert!(!off.canon_enabled());
+        let resp = off.handle_line(lit);
+        assert!(resp.contains(";cache=miss;"), "{resp}");
+        assert_eq!(off.cache_stats().canon_hits, 0);
     }
 
     #[test]

@@ -19,20 +19,31 @@ use ndg_graph::{generators, kruskal, EdgeId, Graph, NodeId};
 use rand::prelude::*;
 use rand::rngs::StdRng;
 
-/// Workload shape: `requests` lines drawn from `distinct` request bodies.
+/// Workload shape: `requests` lines drawn from `distinct` base bodies,
+/// each emitted as `isomorphs` literal variants under fresh random
+/// relabelings.
 ///
-/// With a cache at least `distinct` entries large, the expected hit count
-/// is `requests − distinct` (every re-draw of a body after its first
-/// occurrence can be served from cache), so the target hit ratio is
-/// `1 − distinct/requests`.
+/// With `isomorphs = 1` (no duplication) and a cache at least `distinct`
+/// entries large, the expected hit count is `requests − distinct` (every
+/// re-draw of a body after its first occurrence can be served from
+/// cache), so the target hit ratio is `1 − distinct/requests`.
+///
+/// With `isomorphs = k > 1` the pool holds `distinct · k` literal bodies
+/// over only `distinct` isomorphism classes: a literal-keyed cache is
+/// floored at hit ratio `1 − distinct·k/requests` while canonical keying
+/// can reach `1 − distinct/requests` — the dial the e14 experiment turns.
 #[derive(Clone, Copy, Debug)]
 pub struct WorkloadSpec {
     /// Total request lines.
     pub requests: usize,
-    /// Distinct request bodies in the pool.
+    /// Distinct base request bodies in the pool.
     pub distinct: usize,
     /// Master seed.
     pub seed: u64,
+    /// Literal variants per base body (`1` = no isomorph duplication;
+    /// each variant is the base request under a fresh random node/edge/
+    /// player relabeling, attachments carried along consistently).
+    pub isomorphs: usize,
 }
 
 /// A uniformly-ish random spanning tree: Kruskal under a shuffled edge
@@ -200,19 +211,69 @@ fn pool_request(rng: &mut StdRng, slot: usize) -> Request {
     req
 }
 
-/// Build the request lines: a pool of `spec.distinct` bodies, then
-/// `spec.requests` draws (each body drawn at least once, the rest
-/// uniform), ids `w0`, `w1`, … in stream order.
+/// Apply a fresh random relabeling to a request: the game's nodes, edge
+/// list order, endpoint presentation and (general/weighted) player order
+/// are permuted, and every attachment (`tree=`, `state=`, `b=`) is
+/// carried through the same [`ndg_canon::Relabeling`] — exactly what an
+/// independent client submitting the same network looks like on the
+/// wire.
+fn relabel_request(req: &Request, rng: &mut StdRng) -> Request {
+    let Some(game) = &req.game else {
+        return req.clone();
+    };
+    let inst = crate::canon::instance_of(game);
+    let perm = |len: usize, rng: &mut StdRng| {
+        let mut p: Vec<u32> = (0..len as u32).collect();
+        p.shuffle(rng);
+        p
+    };
+    let node_map = perm(inst.n, rng);
+    let edge_order = perm(inst.edges.len(), rng);
+    let player_order = perm(inst.players.len(), rng);
+    let (mut relabeled, map) = ndg_canon::relabel(&inst, &node_map, &edge_order, &player_order);
+    for e in &mut relabeled.edges {
+        if rng.random_bool(0.5) {
+            std::mem::swap(&mut e.0, &mut e.1);
+        }
+    }
+    let mut out = req.clone();
+    out.game = Some(crate::canon::wiregame_of(relabeled));
+    out.tree = req.tree.as_ref().map(|t| map.apply_edge_set(t));
+    out.state = req.state.as_ref().map(|s| map.apply_paths(s));
+    out.subsidy = req.subsidy.as_ref().map(|b| map.apply_edge_values(b));
+    out
+}
+
+/// Build the request lines: a pool of `spec.distinct` base bodies
+/// expanded to `spec.distinct · spec.isomorphs` literal variants, then
+/// `spec.requests` draws (each variant drawn at least once, the rest
+/// uniform), ids `w0`, `w1`, … in stream order. With `isomorphs = 1` the
+/// stream is byte-identical to the pre-canonicalization generator.
 pub fn build_workload(spec: WorkloadSpec) -> Vec<String> {
-    assert!(spec.distinct >= 1 && spec.requests >= spec.distinct);
+    assert!(
+        spec.distinct >= 1
+            && spec.isomorphs >= 1
+            && spec.requests >= spec.distinct * spec.isomorphs
+    );
     let mut rng = StdRng::seed_from_u64(spec.seed);
-    let pool: Vec<Request> = (0..spec.distinct)
+    let mut pool: Vec<Request> = (0..spec.distinct)
         .map(|slot| pool_request(&mut rng, slot))
         .collect();
-    // Every body once (so `distinct` is exact), then uniform re-draws.
-    let mut picks: Vec<usize> = (0..spec.distinct).collect();
+    if spec.isomorphs > 1 {
+        pool = pool
+            .iter()
+            .flat_map(|base| {
+                (0..spec.isomorphs)
+                    .map(|_| relabel_request(base, &mut rng))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+    }
+    // Every variant once (so the literal-distinct count is exact), then
+    // uniform re-draws.
+    let mut picks: Vec<usize> = (0..pool.len()).collect();
     while picks.len() < spec.requests {
-        picks.push(rng.random_range(0..spec.distinct));
+        picks.push(rng.random_range(0..pool.len()));
     }
     picks.shuffle(&mut rng);
     picks
@@ -237,6 +298,7 @@ mod tests {
             requests: 60,
             distinct: 20,
             seed: 7,
+            isomorphs: 1,
         };
         let a = build_workload(spec);
         let b = build_workload(spec);
@@ -255,6 +317,7 @@ mod tests {
             requests: 30,
             distinct: 30,
             seed: 11,
+            isomorphs: 1,
         });
         let methods: std::collections::HashSet<String> = lines
             .iter()
@@ -263,5 +326,41 @@ mod tests {
         for m in ["enforce", "dynamics", "certify", "pos", "aon"] {
             assert!(methods.contains(m), "missing {m} in the mix");
         }
+    }
+
+    #[test]
+    fn isomorph_duplication_multiplies_literal_bodies_not_canonical_ones() {
+        let spec = WorkloadSpec {
+            requests: 48,
+            distinct: 12,
+            seed: 0xE14,
+            isomorphs: 4,
+        };
+        let lines = build_workload(spec);
+        assert_eq!(lines, build_workload(spec), "deterministic");
+        let mut literal = std::collections::HashSet::new();
+        let mut canonical = std::collections::HashSet::new();
+        for line in &lines {
+            let req = Request::parse(line).expect("relabeled lines must parse");
+            literal.insert(req.canonical_body());
+            let c = crate::canon::canonicalize_request(&req)
+                .expect("workload instances stay in canon budget");
+            canonical.insert(c.req.canonical_body());
+        }
+        // Relabeled variants look fresh to a literal key… (a variant may
+        // coincide with another by chance on tiny instances, so ≥ is the
+        // honest bound — in practice it is an equality)
+        assert!(
+            literal.len() > spec.distinct,
+            "expected > {} literal bodies, got {}",
+            spec.distinct,
+            literal.len()
+        );
+        // …but collapse back onto the base instances canonically.
+        assert_eq!(
+            canonical.len(),
+            spec.distinct,
+            "canonical keys must see through the relabelings"
+        );
     }
 }

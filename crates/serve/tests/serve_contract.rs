@@ -11,8 +11,11 @@ use std::sync::Arc;
 
 const SPEC: WorkloadSpec = WorkloadSpec {
     requests: 48,
-    distinct: 16,
+    distinct: 8,
     seed: 0xC0,
+    // Half the distinct bodies are relabeled duplicates: the contract is
+    // asserted against the canonicalize→solve→map-back pipeline too.
+    isomorphs: 2,
 };
 
 fn reference_payloads(lines: &[String]) -> Vec<String> {

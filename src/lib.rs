@@ -7,6 +7,8 @@
 //! * [`graph`] — graph substrate (MST, Dijkstra, rooted trees, harmonics);
 //! * [`lp`] — dense simplex + cutting-plane driver;
 //! * [`core`] — network design games, subsidies, equilibria, dynamics;
+//! * [`canon`] — instance canonicalization: isomorphism-invariant
+//!   relabeling for cache keying and scenario dedup;
 //! * [`sne`] — Stable Network Enforcement: LPs (1)–(3) and Theorem 6;
 //! * [`aon`] — all-or-nothing subsidies (Section 5);
 //! * [`snd`] — Stable Network Design solvers and price-of-stability tools;
@@ -36,6 +38,7 @@
 //! ```
 
 pub use ndg_aon as aon;
+pub use ndg_canon as canon;
 pub use ndg_core as core;
 pub use ndg_graph as graph;
 pub use ndg_lp as lp;
