@@ -13,13 +13,19 @@
 //!    32 scheduled on the executor — every payload asserted
 //!    byte-identical to the reference (the E11-style determinism gate).
 //!
+//! A fourth pass drives the same workload shape through the
+//! [`ndg_serve::chaos`] fault-injection harness over live TCP
+//! (`--fault-rate F`, default 0.15; `--fault-rate 0` degrades it to a
+//! clean TCP load test) and pins the survival counters as the
+//! `e12_chaos` row.
+//!
 //! `BENCH_serve.json` at the repo root pins the measured baseline. A
 //! 1-core container shows no batching speedup — the determinism
 //! assertions are the portable part; re-measure on multicore hardware.
 
 use ndg_bench::{header, row};
 use ndg_exec::Executor;
-use ndg_serve::{build_workload, payload_of, Router, WorkloadSpec};
+use ndg_serve::{build_workload, payload_of, run_chaos, ChaosSpec, Router, WorkloadSpec};
 use std::io::Write as _;
 use std::time::Instant;
 
@@ -33,6 +39,26 @@ const SPEC: WorkloadSpec = WorkloadSpec {
 const BATCH: usize = 32;
 
 fn main() {
+    let mut fault_rate = 0.15f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--fault-rate" => {
+                fault_rate = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|r| (0.0..=1.0).contains(r))
+                    .unwrap_or_else(|| {
+                        eprintln!("exp_e12: --fault-rate needs a value in [0, 1]");
+                        std::process::exit(2);
+                    });
+            }
+            _ => {
+                eprintln!("usage: exp_e12 [--fault-rate F]");
+                std::process::exit(2);
+            }
+        }
+    }
     let lines = build_workload(SPEC);
     println!(
         "E12: serving-layer load ({} requests, {} distinct bodies, batch={BATCH})",
@@ -128,7 +154,40 @@ fn main() {
     }
     println!("OK: all payloads bit-identical to sequential library calls at threads ∈ {THREADS:?}");
 
-    // 4. Pin the baseline.
+    // 4. Chaos pass: the same workload shape over live TCP under seeded
+    //    fault injection (or a clean TCP load test at --fault-rate 0).
+    let chaos_spec = ChaosSpec {
+        seed: 0xE12,
+        requests: SPEC.requests,
+        distinct: SPEC.distinct,
+        fault_rate,
+        threads: None,
+    };
+    let t0 = Instant::now();
+    let chaos = match run_chaos(chaos_spec) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("exp_e12: chaos pass aborted: {e}");
+            std::process::exit(1);
+        }
+    };
+    let chaos_ms = t0.elapsed().as_secs_f64() * 1e3;
+    println!(
+        "chaos (fault-rate {fault_rate}): {chaos_ms:.1} ms  corrupt={} torn={} panics={} \
+         delays={} disconnects={} shed={}",
+        chaos.corrupt, chaos.torn, chaos.panics, chaos.delays, chaos.disconnects, chaos.shed
+    );
+    for f in &chaos.failures {
+        eprintln!("chaos FAIL: {f}");
+    }
+    assert!(
+        chaos.ok(),
+        "chaos pass violated the survival contract ({} failures)",
+        chaos.failures.len()
+    );
+    println!("OK: server survived fault injection; surviving payloads byte-identical");
+
+    // 5. Pin the baseline.
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str("  \"group\": \"e12_serve_throughput\",\n");
@@ -144,6 +203,18 @@ fn main() {
     ));
     json.push_str(&format!(
         "  \"latency\": {{ \"p50_us\": {p50:.1}, \"p99_us\": {p99:.1}, \"cache_hit_rate\": {hit_rate:.3} }},\n"
+    ));
+    json.push_str(&format!(
+        "  \"e12_chaos\": {{ \"fault_rate\": {fault_rate}, \"wall_ms\": {chaos_ms:.2}, \
+         \"requests\": {}, \"corrupt\": {}, \"torn\": {}, \"panics\": {}, \"delays\": {}, \
+         \"disconnects\": {}, \"shed\": {}, \"survived\": true }},\n",
+        chaos.requests,
+        chaos.corrupt,
+        chaos.torn,
+        chaos.panics,
+        chaos.delays,
+        chaos.disconnects,
+        chaos.shed
     ));
     json.push_str("  \"benchmarks\": [\n");
     for (i, (t, wall_ms, rps, hr)) in results.iter().enumerate() {

@@ -72,6 +72,33 @@ pub fn best_response_dynamics(
     order: MoveOrder,
     max_rounds: usize,
 ) -> DynamicsResult {
+    match best_response_dynamics_budgeted(
+        game,
+        initial,
+        b,
+        order,
+        max_rounds,
+        &ndg_exec::Budget::unlimited(),
+    ) {
+        Ok(res) => res,
+        // Unreachable: an unlimited budget never expires.
+        Err(ndg_exec::BudgetExceeded) => unreachable!("unlimited budget cannot expire"),
+    }
+}
+
+/// [`best_response_dynamics`] under a cooperative [`ndg_exec::Budget`],
+/// checked at every round boundary (one round = one full player pass, the
+/// natural chunk of work). Expiry aborts the drive with
+/// [`ndg_exec::BudgetExceeded`]; with an unlimited budget the move
+/// sequence is identical to the unbudgeted driver.
+pub fn best_response_dynamics_budgeted(
+    game: &NetworkDesignGame,
+    initial: State,
+    b: &SubsidyAssignment,
+    order: MoveOrder,
+    max_rounds: usize,
+    budget: &ndg_exec::Budget,
+) -> Result<DynamicsResult, ndg_exec::BudgetExceeded> {
     let n = game.num_players();
     let mut engine = IncrementalDynamics::new(game, initial, b);
     let mut moves = 0usize;
@@ -84,6 +111,7 @@ pub fn best_response_dynamics(
     let mut players: Vec<usize> = (0..n).collect();
 
     while rounds < max_rounds {
+        budget.check()?;
         rounds += 1;
         let mut improved_this_round = false;
         match order {
@@ -168,24 +196,24 @@ pub fn best_response_dynamics(
             }
         }
         if !improved_this_round {
-            return DynamicsResult {
+            return Ok(DynamicsResult {
                 state: engine.into_state(),
                 moves,
                 rounds,
                 converged: true,
                 potential_trace: trace,
-            };
+            });
         }
     }
     // Round budget exhausted; check whether we happen to be at equilibrium.
     let converged = engine.is_certified_equilibrium();
-    DynamicsResult {
+    Ok(DynamicsResult {
         state: engine.into_state(),
         moves,
         rounds,
         converged,
         potential_trace: trace,
-    }
+    })
 }
 
 /// The pre-incremental reference driver: recomputes the full `O(m)`
@@ -327,6 +355,44 @@ mod tests {
                 assert!(is_equilibrium(&game, &res.state, &b));
             }
         }
+    }
+
+    #[test]
+    fn expired_budget_cancels_dynamics() {
+        let n = 6;
+        let g = generators::cycle_graph(n + 1, 1.0);
+        let game = NetworkDesignGame::broadcast(g, NodeId(0)).unwrap();
+        let tree: Vec<EdgeId> = (0..n as u32).map(EdgeId).collect();
+        let b = SubsidyAssignment::zero(game.graph());
+        let (state, _) = State::from_tree(&game, &tree).unwrap();
+        let budget = ndg_exec::Budget::with_deadline(std::time::Duration::ZERO);
+        let err =
+            best_response_dynamics_budgeted(&game, state, &b, MoveOrder::RoundRobin, 100, &budget)
+                .unwrap_err();
+        assert_eq!(err, ndg_exec::BudgetExceeded);
+    }
+
+    #[test]
+    fn unlimited_budget_matches_unbudgeted_driver() {
+        let n = 6;
+        let g = generators::cycle_graph(n + 1, 1.0);
+        let game = NetworkDesignGame::broadcast(g, NodeId(0)).unwrap();
+        let tree: Vec<EdgeId> = (0..n as u32).map(EdgeId).collect();
+        let b = SubsidyAssignment::zero(game.graph());
+        let plain = dynamics_from_tree(&game, &tree, &b, MoveOrder::RoundRobin, 100).unwrap();
+        let (state, _) = State::from_tree(&game, &tree).unwrap();
+        let budgeted = best_response_dynamics_budgeted(
+            &game,
+            state,
+            &b,
+            MoveOrder::RoundRobin,
+            100,
+            &ndg_exec::Budget::unlimited(),
+        )
+        .unwrap();
+        assert_eq!(plain.moves, budgeted.moves);
+        assert_eq!(plain.rounds, budgeted.rounds);
+        assert_eq!(plain.potential_trace, budgeted.potential_trace);
     }
 
     #[test]

@@ -28,6 +28,8 @@ pub enum EnumError {
     CapExceeded { cap: usize },
     /// The graph has no spanning tree.
     Disconnected,
+    /// The caller's [`ndg_exec::Budget`] expired mid-enumeration.
+    Cancelled,
 }
 
 impl fmt::Display for EnumError {
@@ -35,6 +37,7 @@ impl fmt::Display for EnumError {
         match self {
             EnumError::CapExceeded { cap } => write!(f, "more than {cap} spanning trees"),
             EnumError::Disconnected => write!(f, "graph is disconnected"),
+            EnumError::Cancelled => write!(f, "enumeration cancelled by budget"),
         }
     }
 }
@@ -217,8 +220,28 @@ pub fn fold_equilibrium_trees<T, F>(
     game: &NetworkDesignGame,
     b: &SubsidyAssignment,
     cap: usize,
+    acc: T,
+    fold: F,
+) -> Result<T, EnumError>
+where
+    F: FnMut(T, EquilibriumTree) -> T,
+    T: Send,
+{
+    fold_equilibrium_trees_budgeted(game, b, cap, acc, fold, &ndg_exec::Budget::unlimited())
+}
+
+/// [`fold_equilibrium_trees`] under a cooperative [`ndg_exec::Budget`]:
+/// the budget is checked once per streamed chunk (every 1024 trees —
+/// the same boundary at which the parallel Lemma 2 scan dispatches) and
+/// once before the final partial chunk. Expiry aborts the enumeration
+/// with [`EnumError::Cancelled`]; an unlimited budget changes nothing.
+pub fn fold_equilibrium_trees_budgeted<T, F>(
+    game: &NetworkDesignGame,
+    b: &SubsidyAssignment,
+    cap: usize,
     mut acc: T,
     mut fold: F,
+    budget: &ndg_exec::Budget,
 ) -> Result<T, EnumError>
 where
     F: FnMut(T, EquilibriumTree) -> T,
@@ -228,10 +251,14 @@ where
     if g.is_connected() && count_certainly_exceeds(g, cap) {
         return Err(EnumError::CapExceeded { cap });
     }
+    if budget.expired() {
+        return Err(EnumError::Cancelled);
+    }
     let root = game.root().unwrap_or(NodeId(0));
     let mut chunk: Vec<Vec<EdgeId>> = Vec::with_capacity(CHUNK);
     let mut total = 0usize;
     let mut capped = false;
+    let mut cancelled = false;
     let mut acc_slot = Some(acc);
     for_each_spanning_tree(g, |tree| {
         if total >= cap {
@@ -241,6 +268,10 @@ where
         total += 1;
         chunk.push(tree.to_vec());
         if chunk.len() == CHUNK {
+            if budget.expired() {
+                cancelled = true;
+                return ControlFlow::Break(());
+            }
             let mut a = acc_slot.take().expect("accumulator is always restored");
             for eq in scan_chunk(game, b, root, &chunk) {
                 a = fold(a, eq);
@@ -250,8 +281,14 @@ where
         }
         ControlFlow::Continue(())
     })?;
+    if cancelled {
+        return Err(EnumError::Cancelled);
+    }
     if capped {
         return Err(EnumError::CapExceeded { cap });
+    }
+    if budget.expired() {
+        return Err(EnumError::Cancelled);
     }
     acc = acc_slot.take().expect("accumulator is always restored");
     for eq in scan_chunk(game, b, root, &chunk) {
@@ -347,8 +384,29 @@ pub fn price_of_stability(
     b: &SubsidyAssignment,
     cap: usize,
 ) -> Result<Option<f64>, EnumError> {
+    price_of_stability_budgeted(game, b, cap, &ndg_exec::Budget::unlimited())
+}
+
+/// [`price_of_stability`] under a cooperative [`ndg_exec::Budget`] (checked
+/// at enumeration chunk boundaries; expiry is [`EnumError::Cancelled`]).
+pub fn price_of_stability_budgeted(
+    game: &NetworkDesignGame,
+    b: &SubsidyAssignment,
+    cap: usize,
+    budget: &ndg_exec::Budget,
+) -> Result<Option<f64>, EnumError> {
     let opt = ndg_graph::mst_weight(game.graph()).map_err(|_| EnumError::Disconnected)?;
-    let best = best_equilibrium_tree(game, b, cap)?;
+    let best = fold_equilibrium_trees_budgeted(
+        game,
+        b,
+        cap,
+        None,
+        |best: Option<EquilibriumTree>, eq| match best {
+            Some(cur) if tree_lt(&cur, &eq) => Some(cur),
+            _ => Some(eq),
+        },
+        budget,
+    )?;
     Ok(best.map(|t| t.weight / opt))
 }
 
@@ -464,6 +522,28 @@ mod tests {
                 fold_equilibrium_trees(&game, &b, 1_000_000, 0usize, |acc, _| acc + 1).unwrap();
             assert_eq!(count, eqs.len());
         }
+    }
+
+    #[test]
+    fn expired_budget_cancels_enumeration() {
+        let g = generators::complete_graph(5, 1.0);
+        let game = NetworkDesignGame::broadcast(g, NodeId(0)).unwrap();
+        let b = SubsidyAssignment::zero(game.graph());
+        let budget = ndg_exec::Budget::with_deadline(std::time::Duration::ZERO);
+        let err = price_of_stability_budgeted(&game, &b, 100_000, &budget).unwrap_err();
+        assert_eq!(err, EnumError::Cancelled);
+    }
+
+    #[test]
+    fn unlimited_budget_matches_unbudgeted_enumeration() {
+        let g = generators::complete_graph(5, 1.0);
+        let game = NetworkDesignGame::broadcast(g, NodeId(0)).unwrap();
+        let b = SubsidyAssignment::zero(game.graph());
+        let plain = price_of_stability(&game, &b, 100_000).unwrap();
+        let budgeted =
+            price_of_stability_budgeted(&game, &b, 100_000, &ndg_exec::Budget::unlimited())
+                .unwrap();
+        assert_eq!(plain, budgeted);
     }
 
     #[test]

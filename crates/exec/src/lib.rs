@@ -28,7 +28,90 @@
 //! is overridden by the `NDG_THREADS` environment variable (clamped to
 //! ≥ 1; unparsable values fall back to the default).
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A cooperative cancellation budget: an optional wall-clock deadline plus
+/// an optional shared cancel flag, checked by long-running engines at
+/// chunk/round boundaries (cutting-plane rounds, dynamics rounds,
+/// enumeration chunks). `Executor` itself is `Copy` and carries no state,
+/// so the budget travels as an explicit parameter through the `_budgeted`
+/// engine entry points.
+///
+/// Expiry is *detected* nondeterministically (it depends on wall-clock
+/// time), but the error the engines surface for it is a fixed value, so
+/// the serving layer can return a deterministic `deadline` response and
+/// simply never cache it.
+#[derive(Clone, Debug, Default)]
+pub struct Budget {
+    deadline: Option<Instant>,
+    cancel: Option<Arc<AtomicBool>>,
+}
+
+impl Budget {
+    /// The no-op budget: never expires, costs nothing to check.
+    pub fn unlimited() -> Self {
+        Budget::default()
+    }
+
+    /// A budget that expires `d` from now.
+    pub fn with_deadline(d: Duration) -> Self {
+        Budget {
+            deadline: Instant::now().checked_add(d),
+            cancel: None,
+        }
+    }
+
+    /// Attach a shared cancel flag (set it from another thread to abort).
+    pub fn with_cancel_flag(mut self, flag: Arc<AtomicBool>) -> Self {
+        self.cancel = Some(flag);
+        self
+    }
+
+    /// True when neither a deadline nor a cancel flag is set — callers may
+    /// skip per-item checks entirely.
+    #[inline]
+    pub fn is_unlimited(&self) -> bool {
+        self.deadline.is_none() && self.cancel.is_none()
+    }
+
+    /// Has the budget been exhausted (flag raised or deadline passed)?
+    #[inline]
+    pub fn expired(&self) -> bool {
+        if let Some(f) = &self.cancel {
+            if f.load(Ordering::Relaxed) {
+                return true;
+            }
+        }
+        match self.deadline {
+            Some(t) => Instant::now() >= t,
+            None => false,
+        }
+    }
+
+    /// [`expired`](Self::expired) as a `Result` for `?`-style propagation.
+    #[inline]
+    pub fn check(&self) -> Result<(), BudgetExceeded> {
+        if self.expired() {
+            Err(BudgetExceeded)
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// The unit error raised when a [`Budget`] expires mid-computation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BudgetExceeded;
+
+impl std::fmt::Display for BudgetExceeded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "budget exceeded (deadline or cancellation)")
+    }
+}
+
+impl std::error::Error for BudgetExceeded {}
 
 /// Hardware parallelism (≥ 1).
 pub fn available_threads() -> usize {
@@ -336,6 +419,38 @@ mod tests {
         assert_eq!(ex.par_find_first(&empty, |_, &x: &u32| Some(x)), None);
         assert_eq!(ex.par_map(&[42u32], |&x| x + 1), vec![43]);
         assert_eq!(ex.par_fold(&empty, || 7u32, |a, &x| a + x, |a, b| a + b), 7);
+    }
+
+    #[test]
+    fn budget_unlimited_never_expires() {
+        let b = Budget::unlimited();
+        assert!(b.is_unlimited());
+        assert!(!b.expired());
+        assert!(b.check().is_ok());
+    }
+
+    #[test]
+    fn budget_zero_deadline_expires_immediately() {
+        let b = Budget::with_deadline(Duration::ZERO);
+        assert!(!b.is_unlimited());
+        assert!(b.expired());
+        assert_eq!(b.check(), Err(BudgetExceeded));
+    }
+
+    #[test]
+    fn budget_long_deadline_not_expired_yet() {
+        let b = Budget::with_deadline(Duration::from_secs(3600));
+        assert!(!b.expired());
+    }
+
+    #[test]
+    fn budget_cancel_flag_trips_it() {
+        let flag = Arc::new(AtomicBool::new(false));
+        let b = Budget::unlimited().with_cancel_flag(flag.clone());
+        assert!(!b.is_unlimited());
+        assert!(!b.expired());
+        flag.store(true, Ordering::Relaxed);
+        assert!(b.expired());
     }
 
     #[test]

@@ -19,7 +19,7 @@
 use crate::problem::{LinearProgram, LpError, Row};
 use crate::simplex;
 use crate::solution::{LpSolution, LpStatus};
-use ndg_exec::Executor;
+use ndg_exec::{Budget, Executor};
 
 /// A separation oracle: report rows violated at the current point.
 pub trait SeparationOracle {
@@ -72,9 +72,27 @@ pub fn solve_with_batched_cuts<O: BatchSeparationOracle>(
     max_rounds: usize,
     ex: &Executor,
 ) -> Result<(LpSolution, CutStats), CutError> {
+    solve_with_batched_cuts_budgeted(lp, oracle, max_rounds, ex, &Budget::unlimited())
+}
+
+/// [`solve_with_batched_cuts`] under a cooperative [`Budget`]: the budget
+/// is checked once per relaxation round (the natural chunk boundary — a
+/// round is one simplex solve plus one batched separation sweep) and the
+/// loop aborts with [`CutError::Cancelled`] when it expires. With
+/// `Budget::unlimited()` the relaxation sequence is untouched.
+pub fn solve_with_batched_cuts_budgeted<O: BatchSeparationOracle>(
+    lp: &mut LinearProgram,
+    oracle: &mut O,
+    max_rounds: usize,
+    ex: &Executor,
+    budget: &Budget,
+) -> Result<(LpSolution, CutStats), CutError> {
     let items: Vec<usize> = (0..oracle.batch_size()).collect();
     let mut stats = CutStats::default();
     for _ in 0..max_rounds {
+        if budget.expired() {
+            return Err(CutError::Cancelled);
+        }
         stats.rounds += 1;
         let sol = simplex::solve(lp)?;
         if sol.status != LpStatus::Optimal {
@@ -120,6 +138,8 @@ pub enum CutError {
     BadRelaxation(LpStatus),
     /// The round limit was exhausted before the oracle was satisfied.
     RoundLimit(usize),
+    /// The caller's [`Budget`] expired (deadline or cancellation).
+    Cancelled,
 }
 
 impl std::fmt::Display for CutError {
@@ -128,6 +148,7 @@ impl std::fmt::Display for CutError {
             CutError::Lp(e) => write!(f, "lp error: {e}"),
             CutError::BadRelaxation(s) => write!(f, "relaxation not optimal: {s:?}"),
             CutError::RoundLimit(r) => write!(f, "cutting-plane round limit {r} exceeded"),
+            CutError::Cancelled => write!(f, "cutting-plane loop cancelled by budget"),
         }
     }
 }
@@ -268,6 +289,49 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn expired_budget_cancels_before_first_round() {
+        let mut lp = LinearProgram::new();
+        for _ in 0..3 {
+            lp.add_var(1.0, 0.0, 10.0).unwrap();
+        }
+        let mut oracle = SubsetOracle { x: Vec::new() };
+        let ex = ndg_exec::Executor::sequential();
+        let budget = Budget::with_deadline(std::time::Duration::ZERO);
+        let err =
+            solve_with_batched_cuts_budgeted(&mut lp, &mut oracle, 50, &ex, &budget).unwrap_err();
+        assert_eq!(err, CutError::Cancelled);
+    }
+
+    #[test]
+    fn unlimited_budget_matches_plain_entry_point() {
+        let solve = |budgeted: bool| {
+            let mut lp = LinearProgram::new();
+            for _ in 0..3 {
+                lp.add_var(1.0, 0.0, 10.0).unwrap();
+            }
+            let mut oracle = SubsetOracle { x: Vec::new() };
+            let ex = ndg_exec::Executor::sequential();
+            if budgeted {
+                solve_with_batched_cuts_budgeted(
+                    &mut lp,
+                    &mut oracle,
+                    50,
+                    &ex,
+                    &Budget::unlimited(),
+                )
+                .unwrap()
+            } else {
+                solve_with_batched_cuts(&mut lp, &mut oracle, 50, &ex).unwrap()
+            }
+        };
+        let (a, sa) = solve(false);
+        let (b, sb) = solve(true);
+        assert_eq!(a.x, b.x);
+        assert_eq!(sa.rounds, sb.rounds);
+        assert_eq!(sa.cuts_added, sb.cuts_added);
     }
 
     #[test]

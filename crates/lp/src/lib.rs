@@ -11,8 +11,8 @@ pub mod simplex;
 pub mod solution;
 
 pub use cutting::{
-    solve_with_batched_cuts, solve_with_cuts, BatchSeparationOracle, CutError, CutStats,
-    SeparationOracle,
+    solve_with_batched_cuts, solve_with_batched_cuts_budgeted, solve_with_cuts,
+    BatchSeparationOracle, CutError, CutStats, SeparationOracle,
 };
 pub use problem::{LinearProgram, LpError, Row, RowOp};
 pub use simplex::solve;

@@ -4,12 +4,20 @@
 //! ndg-serve --stdio                     # serve request lines on stdin
 //! ndg-serve --tcp 127.0.0.1:4321       # serve TCP (port 0 = ephemeral)
 //! ndg-serve --self-test [N [D]]        # end-to-end smoke (CI gate)
+//! ndg-serve --chaos seed=7,fault-rate=0.2   # fault-injection run
+//! ndg-serve --self-test-chaos [seed=N]      # chaos survival gate (CI)
 //! ```
 //!
 //! Common flags: `--threads T` (executor width; `NDG_THREADS` also works),
 //! `--cache C` (result-cache capacity, 0 disables), `--canon 0|1`
 //! (isomorphism-aware canonical cache keying; default 1, and per-request
 //! `canon=0` still opts out).
+//!
+//! Robustness flags: `--default-deadline-ms MS` (budget applied to every
+//! request that does not carry its own `deadline_ms=`), `--max-inflight N`
+//! (admission gate: excess requests are shed with
+//! `err;code=overloaded;retry_ms=…`), `--idle-timeout-ms MS` (reap
+//! connections that stall mid-frame).
 //!
 //! The self-test is the serving contract in executable form: it spawns a
 //! TCP server on an ephemeral port, fires a deterministic mixed workload
@@ -19,24 +27,42 @@
 //! re-prices a sample of them straight through the solver library to
 //! anchor the codec itself. It exits non-zero on any divergence, and
 //! asserts that repeated bodies actually hit the cache.
+//!
+//! `--self-test-chaos` is the same contract under seeded fault injection
+//! (torn writes, mid-batch disconnects, corrupted lines, injected engine
+//! panics and delays): the server must survive every fault, answer each
+//! faulted request with its class's error code, and keep every clean
+//! response byte-identical to the sequential reference.
+
+#![warn(clippy::unwrap_used, clippy::expect_used)]
 
 use ndg_exec::Executor;
 use ndg_serve::codec::{fmt_f64, Method, Request, Solver};
-use ndg_serve::{build_workload, payload_of, spawn_tcp, Router, WorkloadSpec};
+use ndg_serve::{
+    build_workload, payload_of, run_chaos, spawn_tcp_with, ChaosSpec, Router, TcpOptions,
+    WorkloadSpec,
+};
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: ndg-serve (--stdio | --tcp ADDR | --self-test [REQUESTS [DISTINCT]]) \
-         [--threads T] [--cache C] [--canon 0|1]"
+        "usage: ndg-serve (--stdio | --tcp ADDR | --self-test [REQUESTS [DISTINCT]] | \
+         --chaos SPEC | --self-test-chaos [SPEC]) \
+         [--threads T] [--cache C] [--canon 0|1] [--default-deadline-ms MS] \
+         [--max-inflight N] [--idle-timeout-ms MS]\n\
+         SPEC: seed=N[,requests=R][,distinct=D][,fault-rate=F]"
     );
     std::process::exit(2);
 }
 
 fn main() {
+    std::process::exit(run());
+}
+
+fn run() -> i32 {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut mode: Option<String> = None;
     let mut addr = "127.0.0.1:4321".to_string();
@@ -44,6 +70,10 @@ fn main() {
     let mut cache = ndg_serve::router::DEFAULT_CACHE_CAPACITY;
     let mut canon = true;
     let mut self_test_shape = (200usize, 60usize);
+    let mut chaos_spec = ChaosSpec::new(1);
+    let mut default_deadline_ms: Option<u64> = None;
+    let mut max_inflight: Option<usize> = None;
+    let mut idle_timeout_ms: Option<u64> = None;
 
     let mut it = args.iter().peekable();
     while let Some(arg) = it.next() {
@@ -53,7 +83,10 @@ fn main() {
                 mode = Some("tcp".into());
                 if let Some(v) = it.peek() {
                     if !v.starts_with("--") {
-                        addr = it.next().unwrap().clone();
+                        addr = match it.next() {
+                            Some(a) => a.clone(),
+                            None => usage(),
+                        };
                     }
                 }
             }
@@ -62,12 +95,13 @@ fn main() {
                 let mut shape = Vec::new();
                 while shape.len() < 2 {
                     match it.peek() {
-                        Some(v) if !v.starts_with("--") => shape.push(
-                            it.next()
-                                .unwrap()
-                                .parse::<usize>()
-                                .unwrap_or_else(|_| usage()),
-                        ),
+                        Some(v) if !v.starts_with("--") => match it.next() {
+                            Some(v) => match v.parse::<usize>() {
+                                Ok(n) => shape.push(n),
+                                Err(_) => usage(),
+                            },
+                            None => usage(),
+                        },
                         _ => break,
                     }
                 }
@@ -81,24 +115,64 @@ fn main() {
                 // count; clamp instead of tripping the workload assert.
                 self_test_shape.1 = self_test_shape.1.clamp(1, self_test_shape.0);
             }
+            "--chaos" | "--self-test-chaos" => {
+                mode = Some(if arg == "--chaos" {
+                    "chaos".into()
+                } else {
+                    "self-test-chaos".into()
+                });
+                // SPEC is optional for --self-test-chaos (defaults to
+                // seed=1); --chaos requires one.
+                let spec_arg = match it.peek() {
+                    Some(v) if !v.starts_with("--") => it.next().map(String::as_str),
+                    _ if arg == "--chaos" => usage(),
+                    _ => None,
+                };
+                if let Some(s) = spec_arg {
+                    chaos_spec = match parse_chaos_spec(s) {
+                        Ok(spec) => spec,
+                        Err(e) => {
+                            eprintln!("ndg-serve: bad chaos spec `{s}`: {e}");
+                            usage();
+                        }
+                    };
+                }
+            }
             "--threads" => {
-                threads = Some(
-                    it.next()
-                        .and_then(|v| v.parse().ok())
-                        .unwrap_or_else(|| usage()),
-                )
+                threads = match it.next().and_then(|v| v.parse().ok()) {
+                    Some(t) => Some(t),
+                    None => usage(),
+                }
             }
             "--cache" => {
-                cache = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| usage())
+                cache = match it.next().and_then(|v| v.parse().ok()) {
+                    Some(c) => c,
+                    None => usage(),
+                }
             }
             "--canon" => {
                 canon = match it.next().map(String::as_str) {
                     Some("0") => false,
                     Some("1") => true,
                     _ => usage(),
+                }
+            }
+            "--default-deadline-ms" => {
+                default_deadline_ms = match it.next().and_then(|v| v.parse().ok()) {
+                    Some(ms) => Some(ms),
+                    None => usage(),
+                }
+            }
+            "--max-inflight" => {
+                max_inflight = match it.next().and_then(|v| v.parse().ok()) {
+                    Some(n) => Some(n),
+                    None => usage(),
+                }
+            }
+            "--idle-timeout-ms" => {
+                idle_timeout_ms = match it.next().and_then(|v| v.parse().ok()) {
+                    Some(ms) => Some(ms),
+                    None => usage(),
                 }
             }
             _ => usage(),
@@ -108,20 +182,36 @@ fn main() {
     let ex = threads
         .map(Executor::new)
         .unwrap_or_else(Executor::from_env);
-    let router = Router::with_canon(ex, cache, canon);
+    let mut router = Router::with_canon(ex, cache, canon);
+    router.set_default_deadline_ms(default_deadline_ms);
     match mode.as_deref() {
         Some("stdio") => {
-            if let Err(e) = ndg_serve::serve_stdio(&router) {
+            let opts = ndg_serve::ServeOptions {
+                gate: max_inflight.map(|cap| {
+                    Arc::new(ndg_serve::Gate::new(
+                        cap,
+                        ndg_serve::server::DEFAULT_RETRY_MS,
+                    ))
+                }),
+                ..Default::default()
+            };
+            if let Err(e) = ndg_serve::serve_stdio_with(&router, &opts) {
                 eprintln!("ndg-serve: stdio stream failed: {e}");
-                std::process::exit(1);
+                return 1;
             }
+            0
         }
         Some("tcp") => {
-            let handle = match spawn_tcp(Arc::new(router), &addr) {
+            let topts = TcpOptions {
+                idle_timeout: idle_timeout_ms.map(Duration::from_millis),
+                max_inflight,
+                ..Default::default()
+            };
+            let handle = match spawn_tcp_with(Arc::new(router), &addr, topts) {
                 Ok(h) => h,
                 Err(e) => {
                     eprintln!("ndg-serve: cannot bind {addr}: {e}");
-                    std::process::exit(1);
+                    return 1;
                 }
             };
             println!("ndg-serve: listening on {}", handle.addr());
@@ -132,16 +222,121 @@ fn main() {
         }
         Some("self-test") => {
             let (requests, distinct) = self_test_shape;
-            if !self_test(ex, requests, distinct, canon) {
-                std::process::exit(1);
+            match self_test(ex, requests, distinct, canon) {
+                Ok(true) => 0,
+                Ok(false) => 1,
+                Err(e) => {
+                    eprintln!("ndg-serve: self-test aborted: {e}");
+                    1
+                }
+            }
+        }
+        Some(chaos_mode @ ("chaos" | "self-test-chaos")) => {
+            if chaos_spec.threads.is_none() {
+                chaos_spec.threads = threads;
+            }
+            println!(
+                "chaos: seed={} requests={} distinct={} fault-rate={} threads={}",
+                chaos_spec.seed,
+                chaos_spec.requests,
+                chaos_spec.distinct,
+                chaos_spec.fault_rate,
+                chaos_spec
+                    .threads
+                    .map_or_else(|| "env".to_string(), |t| t.to_string()),
+            );
+            let report = match run_chaos(chaos_spec) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("ndg-serve: chaos run aborted: {e}");
+                    return 1;
+                }
+            };
+            println!(
+                "chaos: corrupt={} torn={} panics={} delays={} disconnects={} shed={}",
+                report.corrupt,
+                report.torn,
+                report.panics,
+                report.delays,
+                report.disconnects,
+                report.shed
+            );
+            for f in &report.failures {
+                eprintln!("chaos FAIL: {f}");
+            }
+            if report.ok() {
+                println!(
+                    "OK: {} requests survived fault injection; surviving payloads \
+                     byte-identical to the sequential reference",
+                    report.requests
+                );
+                0
+            } else {
+                eprintln!(
+                    "FAIL ({}): {} contract violations",
+                    chaos_mode,
+                    report.failures.len()
+                );
+                1
             }
         }
         _ => usage(),
     }
 }
 
-/// The serving contract, executable. Returns success.
-fn self_test(ex: Executor, requests: usize, distinct: usize, canon: bool) -> bool {
+/// Parse a `--chaos` spec: `seed=N[,requests=R][,distinct=D][,fault-rate=F]`.
+fn parse_chaos_spec(s: &str) -> Result<ChaosSpec, String> {
+    let mut spec = ChaosSpec::new(1);
+    for field in s.split(',').filter(|f| !f.is_empty()) {
+        let (key, value) = field
+            .split_once('=')
+            .ok_or_else(|| format!("field `{field}` is not key=value"))?;
+        match key {
+            "seed" => spec.seed = value.parse().map_err(|_| format!("bad seed `{value}`"))?,
+            "requests" => {
+                spec.requests = value
+                    .parse::<usize>()
+                    .map_err(|_| format!("bad requests `{value}`"))?
+                    .max(1)
+            }
+            "distinct" => {
+                spec.distinct = value
+                    .parse::<usize>()
+                    .map_err(|_| format!("bad distinct `{value}`"))?
+                    .max(1)
+            }
+            "fault-rate" | "fault_rate" => {
+                let rate: f64 = value
+                    .parse()
+                    .map_err(|_| format!("bad fault-rate `{value}`"))?;
+                if !(0.0..=1.0).contains(&rate) {
+                    return Err(format!("fault-rate {rate} outside [0, 1]"));
+                }
+                spec.fault_rate = rate;
+            }
+            "threads" => {
+                spec.threads = Some(
+                    value
+                        .parse()
+                        .map_err(|_| format!("bad threads `{value}`"))?,
+                )
+            }
+            _ => return Err(format!("unknown field `{key}`")),
+        }
+    }
+    Ok(spec)
+}
+
+/// The id a workload line was issued under (every generated line has one).
+fn id_of(line: &str) -> Result<String, String> {
+    Request::parse(line)
+        .map(|r| r.id)
+        .map_err(|e| format!("workload line failed to parse: {e:?}"))
+}
+
+/// The serving contract, executable. `Ok(success)`; `Err` only on setup
+/// failures (bind, connect, client I/O) that prevent the diff entirely.
+fn self_test(ex: Executor, requests: usize, distinct: usize, canon: bool) -> Result<bool, String> {
     // When there is room, half the distinct bodies are relabeled
     // duplicates of the other half, so the byte-identity contract is
     // exercised against the canonicalize→solve→map-back pipeline (and,
@@ -169,27 +364,26 @@ fn self_test(ex: Executor, requests: usize, distinct: usize, canon: bool) -> boo
     let reference = Router::with_canon(Executor::sequential(), 0, canon);
     let expected: Vec<(String, String)> = lines
         .iter()
-        .map(|l| {
-            let id = Request::parse(l).expect("workload parses").id;
-            (id, payload_of(&reference.handle_line(l)))
-        })
-        .collect();
+        .map(|l| Ok((id_of(l)?, payload_of(&reference.handle_line(l)))))
+        .collect::<Result<_, String>>()?;
     let t_seq = t0.elapsed();
 
     // 2. Serve the same lines over TCP: 4 concurrent connections, batches
     //    of 16, responses collected by id.
     let server_router = Arc::new(Router::with_canon(ex, 4096, canon));
-    let handle = spawn_tcp(server_router.clone(), "127.0.0.1:0").expect("ephemeral bind");
+    let handle = spawn_tcp_with(server_router.clone(), "127.0.0.1:0", TcpOptions::default())
+        .map_err(|e| format!("ephemeral bind: {e}"))?;
     let addr = handle.addr();
     let t0 = Instant::now();
-    let mut got: Vec<(String, String)> = std::thread::scope(|s| {
+    let collected: Vec<Result<Vec<(String, String)>, String>> = std::thread::scope(|s| {
         let workers: Vec<_> = (0..4usize)
             .map(|w| {
                 let lines = &lines;
-                s.spawn(move || {
+                s.spawn(move || -> Result<Vec<(String, String)>, String> {
                     let mine: Vec<&String> = lines.iter().skip(w).step_by(4).collect();
-                    let mut conn = TcpStream::connect(addr).expect("connect");
-                    let mut reader = BufReader::new(conn.try_clone().expect("clone"));
+                    let mut conn = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+                    let mut reader =
+                        BufReader::new(conn.try_clone().map_err(|e| format!("clone stream: {e}"))?);
                     let mut out = Vec::with_capacity(mine.len());
                     for batch in mine.chunks(16) {
                         let mut buf = String::new();
@@ -198,10 +392,13 @@ fn self_test(ex: Executor, requests: usize, distinct: usize, canon: bool) -> boo
                             buf.push('\n');
                         }
                         buf.push('\n'); // blank line: flush the batch
-                        conn.write_all(buf.as_bytes()).expect("send");
+                        conn.write_all(buf.as_bytes())
+                            .map_err(|e| format!("send: {e}"))?;
                         for _ in batch {
                             let mut resp = String::new();
-                            reader.read_line(&mut resp).expect("recv");
+                            reader
+                                .read_line(&mut resp)
+                                .map_err(|e| format!("recv: {e}"))?;
                             let resp = resp.trim_end().to_string();
                             let id = resp
                                 .split(';')
@@ -211,15 +408,22 @@ fn self_test(ex: Executor, requests: usize, distinct: usize, canon: bool) -> boo
                             out.push((id, payload_of(&resp)));
                         }
                     }
-                    out
+                    Ok(out)
                 })
             })
             .collect();
         workers
             .into_iter()
-            .flat_map(|h| h.join().expect("client thread"))
+            .map(|h| {
+                h.join()
+                    .unwrap_or_else(|_| Err("client thread panicked".to_string()))
+            })
             .collect()
     });
+    let mut got: Vec<(String, String)> = Vec::with_capacity(lines.len());
+    for worker in collected {
+        got.extend(worker?);
+    }
     let t_conc = t0.elapsed();
     let stats = server_router.cache_stats();
     handle.stop();
@@ -277,10 +481,10 @@ fn self_test(ex: Executor, requests: usize, distinct: usize, canon: bool) -> boo
             "OK: {} concurrent responses byte-identical to sequential solver calls",
             got.len()
         );
-        true
+        Ok(true)
     } else {
         eprintln!("FAIL: {mismatches} payload mismatches");
-        false
+        Ok(false)
     }
 }
 
@@ -300,7 +504,11 @@ fn direct_library_check(lines: &[String], expected: &[(String, String)], canon: 
         if checked >= 8 {
             break;
         }
-        let req = Request::parse(line).expect("workload parses");
+        let Ok(req) = Request::parse(line) else {
+            eprintln!("DIRECT-CHECK: workload line failed to parse: {line}");
+            ok = false;
+            continue;
+        };
         // Solve in canonical space when that is what the router does,
         // mapping the payload back below.
         let (solve_req, map) = if canon {
@@ -314,30 +522,45 @@ fn direct_library_check(lines: &[String], expected: &[(String, String)], canon: 
         let Some(game_spec) = solve_req.game.as_ref() else {
             continue;
         };
-        let (game, demands) = game_spec.build().expect("workload games build");
+        let Ok((game, demands)) = game_spec.build() else {
+            eprintln!("DIRECT-CHECK: workload game failed to build for {}", req.id);
+            ok = false;
+            continue;
+        };
         if demands.is_some() {
             continue;
         }
         let payload = match (solve_req.method, solve_req.solver) {
             (Method::Enforce, Some(Solver::T6)) => {
-                let sol = ndg_sne::theorem6::enforce(&game, solve_req.tree.as_ref().unwrap())
-                    .expect("t6 enforces MST targets");
-                let b: Vec<String> = sol
-                    .subsidies
-                    .as_slice()
-                    .iter()
-                    .map(|&x| fmt_f64(x))
-                    .collect();
-                format!("ok;cost={};b={}", fmt_f64(sol.cost), b.join(","))
+                let Some(tree) = solve_req.tree.as_ref() else {
+                    continue;
+                };
+                match ndg_sne::theorem6::enforce(&game, tree) {
+                    Ok(sol) => {
+                        let b: Vec<String> = sol
+                            .subsidies
+                            .as_slice()
+                            .iter()
+                            .map(|&x| fmt_f64(x))
+                            .collect();
+                        format!("ok;cost={};b={}", fmt_f64(sol.cost), b.join(","))
+                    }
+                    Err(e) => {
+                        eprintln!("DIRECT-CHECK: t6 enforce failed for {}: {e:?}", req.id);
+                        ok = false;
+                        continue;
+                    }
+                }
             }
             (Method::Certify, _) if solve_req.subsidy.is_none() => {
-                let root = game.root().expect("workload certify is broadcast");
-                let rt = ndg_graph::RootedTree::new(
-                    game.graph(),
-                    solve_req.tree.as_ref().unwrap(),
-                    root,
-                )
-                .expect("workload trees span");
+                let (Some(root), Some(tree)) = (game.root(), solve_req.tree.as_ref()) else {
+                    continue;
+                };
+                let Ok(rt) = ndg_graph::RootedTree::new(game.graph(), tree, root) else {
+                    eprintln!("DIRECT-CHECK: workload tree does not span for {}", req.id);
+                    ok = false;
+                    continue;
+                };
                 let b = ndg_core::SubsidyAssignment::zero(game.graph());
                 if ndg_core::is_tree_equilibrium(&game, &rt, &b) {
                     "ok;eq=true".to_string()

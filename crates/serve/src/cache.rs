@@ -132,7 +132,14 @@ impl Cache {
             return None;
         }
         let hit = {
-            let mut shard = self.shard(key).lock().expect("cache shard poisoned");
+            // Poison is survivable here (and below): panic isolation can
+            // kill a request between shard operations, but every critical
+            // section leaves the shard structurally valid, so the flag
+            // carries no information worth dying for.
+            let mut shard = self
+                .shard(key)
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             shard.clock += 1;
             let clock = shard.clock;
             match shard.map.get_mut(&key) {
@@ -169,7 +176,10 @@ impl Cache {
         if !self.enabled() {
             return;
         }
-        let mut shard = self.shard(key).lock().expect("cache shard poisoned");
+        let mut shard = self
+            .shard(key)
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         shard.clock += 1;
         let stamp = shard.clock;
         if shard.map.len() >= self.cap_per_shard && !shard.map.contains_key(&key) {
@@ -217,7 +227,12 @@ impl Cache {
             entries: self
                 .shards
                 .iter()
-                .map(|s| s.lock().expect("cache shard poisoned").map.len())
+                .map(|s| {
+                    s.lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .map
+                        .len()
+                })
                 .sum(),
             capacity: self.cap_per_shard * SHARDS,
         }

@@ -171,7 +171,9 @@ impl CanonMemo {
         let key = crate::codec::fnv1a64(literal_body.as_bytes());
         let shard = &self.shards[(key as usize) & (MEMO_SHARDS - 1)];
         {
-            let mut shard = shard.lock().expect("canon memo poisoned");
+            let mut shard = shard
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             shard.clock += 1;
             let clock = shard.clock;
             if let Some(entry) = shard.map.get_mut(&key) {
@@ -188,7 +190,9 @@ impl CanonMemo {
             let body = c.req.canonical_body();
             (c, body)
         });
-        let mut guard = shard.lock().expect("canon memo poisoned");
+        let mut guard = shard
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         guard.clock += 1;
         let stamp = guard.clock;
         if guard.map.len() >= self.cap_per_shard && !guard.map.contains_key(&key) {
@@ -284,10 +288,15 @@ pub fn unapply_payload(method: Method, map: &Relabeling, payload: &str) -> Strin
                 .parse::<usize>()
                 .ok()
                 .map(|p| map.unapply_player(p).to_string()),
-            "node" | "via" => value
+            "node" => value
                 .parse::<u32>()
                 .ok()
                 .map(|v| map.unapply_node(v).to_string()),
+            // `via` is the witness's non-tree *edge id*, not a node.
+            "via" => value
+                .parse::<u32>()
+                .ok()
+                .map(|e| map.unapply_edge(EdgeId(e)).0.to_string()),
             _ => None,
         }),
     }
@@ -400,7 +409,8 @@ mod tests {
         // A synthetic certify witness in canonical space: every id must
         // come back in original labels, floats untouched.
         let canon_node = c.map.apply_node(2);
-        let canon_via = c.map.apply_node(1);
+        // `via` is an edge id (the witness's non-tree edge).
+        let canon_via = c.map.apply_edge(EdgeId(1)).0;
         let canon_player = c.map.apply_player(1);
         let payload = format!(
             "eq=false;player={canon_player};node={canon_node};via={canon_via};\

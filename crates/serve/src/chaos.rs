@@ -1,0 +1,603 @@
+//! Deterministic seeded fault-injection harness (`ndg-serve --chaos`,
+//! `--self-test-chaos`).
+//!
+//! The harness drives the E12 mixed workload against a live TCP server
+//! while injecting faults drawn from one seeded [`StdRng`] plan:
+//!
+//! * **corruption** — a digit of the `game=` spec is overwritten on the
+//!   wire, so the line still frames but cannot validate;
+//! * **torn writes** — a request line is dribbled out in small flushed
+//!   chunks across many socket reads;
+//! * **mid-batch disconnects** — the connection drops after half a batch,
+//!   with no flush line, and the casualties are replayed on a fresh
+//!   connection;
+//! * **injected engine panics** — the router's fault hook panics inside
+//!   dispatch for chosen request ids;
+//! * **injected delays + 1 ms deadlines** — the hook stalls dispatch past
+//!   a `deadline_ms=1` budget, forcing a deterministic deadline error.
+//!
+//! The survival contract asserted after the run:
+//!
+//! 1. every fault-free request's payload is **byte-identical** to a
+//!    sequential cache-off reference evaluation;
+//! 2. every faulted request gets the *structured* answer its fault class
+//!    specifies (`err;` for corruption, `code=internal` or a clean cache
+//!    hit for panics, `code=deadline` for delayed deadlines) — never a
+//!    dead connection or a garbled line;
+//! 3. deadline errors are never cached: replaying a deadlined request
+//!    without its deadline afterwards returns the correct reference
+//!    payload;
+//! 4. a batch thrown at a capacity-2 admission gate sheds exactly its
+//!    tail with `code=overloaded;retry_ms=…`, in request order, while the
+//!    admitted head stays byte-identical;
+//! 5. the server still answers a fresh probe connection at the end.
+//!
+//! Everything — the workload, the fault plan, the batch boundaries — is a
+//! pure function of the seed, so two runs of the same seed make identical
+//! assertions (fault *timing* inside the server is not asserted, only the
+//! response bytes).
+
+// The harness is itself a test gate: its expects assert the seeded plan's
+// own invariants (workload lines parse, ascii substitution stays utf-8),
+// and a violated invariant must kill the run, not limp to a green exit.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use crate::codec::{payload_of, Request};
+use crate::router::Router;
+use crate::server::{spawn_tcp_with, TcpOptions};
+use crate::workload::{build_workload, WorkloadSpec};
+use ndg_exec::Executor;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use std::collections::HashMap;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Requests per driven batch.
+const CHAOS_BATCH: usize = 8;
+
+/// Injected dispatch delay — comfortably past the 1 ms deadline paired
+/// with it, so the budget check after the hook deterministically expires.
+const CHAOS_DELAY: Duration = Duration::from_millis(25);
+
+/// Marker carried by every injected panic so the process-global panic
+/// hook can keep expected backtraces out of the test output.
+pub const CHAOS_PANIC_MARKER: &str = "chaos-injected engine panic";
+
+/// Chaos run shape. Defaults: 120 requests over 40 distinct bodies,
+/// ~15% fault rate.
+#[derive(Clone, Copy, Debug)]
+pub struct ChaosSpec {
+    /// Master seed for the workload *and* the fault plan.
+    pub seed: u64,
+    /// Total request lines in the main phase.
+    pub requests: usize,
+    /// Distinct base bodies.
+    pub distinct: usize,
+    /// Fraction of requests assigned a fault (the plan rounds to at least
+    /// one fault of every kind when the rate is non-zero).
+    pub fault_rate: f64,
+    /// Executor width for the server under test (`None`: environment).
+    pub threads: Option<usize>,
+}
+
+impl ChaosSpec {
+    /// The default shape for `seed`.
+    pub fn new(seed: u64) -> Self {
+        ChaosSpec {
+            seed,
+            requests: 120,
+            distinct: 40,
+            fault_rate: 0.15,
+            threads: None,
+        }
+    }
+}
+
+/// What the plan does to one request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Fault {
+    /// Overwrite a `game=` digit on the wire.
+    Corrupt,
+    /// Dribble the line out in flushed 7-byte chunks.
+    Torn,
+    /// Hook panics inside dispatch.
+    Panic,
+    /// Hook stalls dispatch; the request carries `deadline_ms=1`.
+    Delay,
+}
+
+/// Outcome counts and failures of one chaos run.
+#[derive(Debug, Default)]
+pub struct ChaosReport {
+    /// Requests driven in the main phase.
+    pub requests: usize,
+    /// Faults injected, by kind: corrupt/torn/panic/delay.
+    pub corrupt: usize,
+    /// Torn-write faults.
+    pub torn: usize,
+    /// Injected panic faults.
+    pub panics: usize,
+    /// Injected delay+deadline faults.
+    pub delays: usize,
+    /// Mid-batch disconnects.
+    pub disconnects: usize,
+    /// Requests shed in the overload sub-phase.
+    pub shed: usize,
+    /// Contract violations (empty on success).
+    pub failures: Vec<String>,
+}
+
+impl ChaosReport {
+    /// Whether the survival contract held.
+    pub fn ok(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    fn fail(&mut self, what: String) {
+        if self.failures.len() < 16 {
+            self.failures.push(what);
+        } else if self.failures.len() == 16 {
+            self.failures.push("… further failures elided".into());
+        }
+    }
+}
+
+/// Install a process panic hook that swallows the expected injected
+/// panics (and the executor's re-raise of them) but forwards everything
+/// else to the previous hook. Returns a guard restoring the old hook.
+fn quiet_expected_panics() -> impl Drop {
+    type PanicHook = Box<dyn Fn(&std::panic::PanicHookInfo<'_>) + Sync + Send>;
+    let prev: Arc<PanicHook> = Arc::new(std::panic::take_hook());
+    let inner = prev.clone();
+    std::panic::set_hook(Box::new(move |info| {
+        let msg = info
+            .payload()
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| info.payload().downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        if !(msg.contains(CHAOS_PANIC_MARKER) || msg.contains("ndg-exec worker panicked")) {
+            inner(info);
+        }
+    }));
+    struct Restore(Option<Arc<PanicHook>>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            // set_hook/take_hook abort when called from an unwinding
+            // thread; leave the (forwarding) filter installed in that
+            // case — it passes unexpected panics through to the old hook.
+            if std::thread::panicking() {
+                return;
+            }
+            let prev = self.0.take();
+            let _ = std::panic::take_hook();
+            if let Some(prev) = prev {
+                std::panic::set_hook(Box::new(move |info| prev(info)));
+            }
+        }
+    }
+    Restore(Some(prev))
+}
+
+/// Overwrite the first digit after `game=` with `x`: the line still
+/// frames and still carries its id, but the instance cannot validate.
+fn corrupt_line(line: &str) -> String {
+    let mut bytes = line.as_bytes().to_vec();
+    if let Some(pos) = line.find("game=") {
+        if let Some(off) = bytes[pos + 5..].iter().position(|b| b.is_ascii_digit()) {
+            bytes[pos + 5 + off] = b'x';
+        }
+    }
+    String::from_utf8(bytes).expect("ascii substitution keeps the line utf-8")
+}
+
+fn connect(addr: std::net::SocketAddr) -> io::Result<(TcpStream, BufReader<TcpStream>)> {
+    let conn = TcpStream::connect(addr)?;
+    let reader = BufReader::new(conn.try_clone()?);
+    Ok((conn, reader))
+}
+
+fn send_line(conn: &mut TcpStream, line: &str, fault: Option<Fault>) -> io::Result<()> {
+    match fault {
+        Some(Fault::Torn) => {
+            // Dribble the line over many flushed writes so the server's
+            // framing sees a long run of partial reads.
+            let mut wire = line.as_bytes().to_vec();
+            wire.push(b'\n');
+            for chunk in wire.chunks(7) {
+                conn.write_all(chunk)?;
+                conn.flush()?;
+                std::thread::sleep(Duration::from_micros(200));
+            }
+            Ok(())
+        }
+        Some(Fault::Corrupt) => {
+            conn.write_all(corrupt_line(line).as_bytes())?;
+            conn.write_all(b"\n")
+        }
+        _ => {
+            conn.write_all(line.as_bytes())?;
+            conn.write_all(b"\n")
+        }
+    }
+}
+
+/// Read `n` response lines, returning `(id, full response)` pairs.
+fn read_responses(
+    reader: &mut BufReader<TcpStream>,
+    n: usize,
+) -> io::Result<Vec<(String, String)>> {
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let mut resp = String::new();
+        if reader.read_line(&mut resp)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed mid-batch",
+            ));
+        }
+        let resp = resp.trim_end().to_string();
+        let id = resp
+            .split(';')
+            .find_map(|f| f.strip_prefix("id="))
+            .unwrap_or("?")
+            .to_string();
+        out.push((id, resp));
+    }
+    Ok(out)
+}
+
+/// Run the chaos harness for `spec`. The returned report's
+/// [`ChaosReport::ok`] is the gate `--self-test-chaos` exits on.
+pub fn run_chaos(spec: ChaosSpec) -> io::Result<ChaosReport> {
+    let _quiet = quiet_expected_panics();
+    let mut report = ChaosReport {
+        requests: spec.requests,
+        ..ChaosReport::default()
+    };
+    let lines = build_workload(WorkloadSpec {
+        requests: spec.requests,
+        distinct: spec.distinct.min(spec.requests),
+        seed: spec.seed,
+        isomorphs: 1,
+    });
+
+    // ---- Fault plan: a pure function of the seed. --------------------
+    // Victims are drawn as whole canonical-body *groups*. Panic and
+    // Delay assertions are only deterministic when every request sharing
+    // the victim's body is faulted the same way: a clean twin would
+    // populate the cache and serve the victim an `ok` (or the faulted
+    // twin would starve the clean one). Wire-level faults (Corrupt,
+    // Torn) touch a single line and leave the group's twins clean — a
+    // mangled or dribbled line never reaches (or never corrupts) the
+    // cache entry its twins share.
+    let parsed: Vec<Request> = lines
+        .iter()
+        .map(|l| Request::parse(l).expect("workload parses"))
+        .collect();
+    let canon_body = |req: &Request| match crate::canon::canonicalize_request(req) {
+        Some(c) => c.req.canonical_body(),
+        None => req.canonical_body(),
+    };
+    let bodies: Vec<String> = parsed.iter().map(canon_body).collect();
+    let mut rng = StdRng::seed_from_u64(spec.seed ^ 0xC4A0_5EED);
+    let mut groups: Vec<Vec<usize>> = {
+        let mut by_body: HashMap<&str, Vec<usize>> = HashMap::new();
+        for (i, b) in bodies.iter().enumerate() {
+            by_body.entry(b.as_str()).or_default().push(i);
+        }
+        // HashMap iteration order is not deterministic; the shuffle must
+        // start from a canonical order for the plan to be seed-pure.
+        let mut gs: Vec<Vec<usize>> = by_body.into_values().collect();
+        gs.sort();
+        gs
+    };
+    groups.shuffle(&mut rng);
+    let kinds = [Fault::Corrupt, Fault::Torn, Fault::Panic, Fault::Delay];
+    let n_faults = ((spec.requests as f64 * spec.fault_rate).round() as usize).clamp(
+        usize::from(spec.fault_rate > 0.0) * kinds.len(),
+        spec.requests,
+    );
+    let mut faults: HashMap<String, Fault> = HashMap::new();
+    for i in 0..n_faults {
+        // One of every kind first (so every class is exercised at any
+        // rate), then uniform draws.
+        let kind = if i < kinds.len() {
+            kinds[i]
+        } else {
+            kinds[rng.random_range(0..kinds.len())]
+        };
+        let Some(group) = groups.pop() else { break };
+        match kind {
+            Fault::Corrupt | Fault::Torn => {
+                faults.insert(parsed[group[0]].id.clone(), kind);
+                match kind {
+                    Fault::Corrupt => report.corrupt += 1,
+                    _ => report.torn += 1,
+                }
+            }
+            Fault::Panic | Fault::Delay => {
+                for &v in &group {
+                    faults.insert(parsed[v].id.clone(), kind);
+                }
+                match kind {
+                    Fault::Panic => report.panics += group.len(),
+                    _ => report.delays += group.len(),
+                }
+            }
+        }
+    }
+    // Mid-batch disconnects: a seeded subset of batches (at least one).
+    let n_batches = lines.len().div_ceil(CHAOS_BATCH);
+    let mut disconnect_batches: Vec<usize> = (0..n_batches).collect();
+    disconnect_batches.shuffle(&mut rng);
+    let n_disc = if spec.fault_rate > 0.0 {
+        (n_batches / 5).max(1)
+    } else {
+        0
+    };
+    let disconnect_batches: std::collections::HashSet<usize> =
+        disconnect_batches.into_iter().take(n_disc).collect();
+    report.disconnects = disconnect_batches.len();
+
+    // ---- Reference: sequential, cache off, no faults. ----------------
+    let reference = Router::with_canon(Executor::sequential(), 0, true);
+    let expected: HashMap<String, String> = lines
+        .iter()
+        .map(|l| {
+            let id = Request::parse(l).expect("workload parses").id;
+            (id, payload_of(&reference.handle_line(l)))
+        })
+        .collect();
+
+    // ---- Server under test: hook installed, cache + canon on. --------
+    let ex = spec
+        .threads
+        .map(Executor::new)
+        .unwrap_or_else(Executor::from_env);
+    let mut router = Router::with_canon(ex, 4096, true);
+    let hook_faults: HashMap<String, Fault> = faults.clone();
+    router.set_fault_hook(Some(Arc::new(move |req: &Request| {
+        match hook_faults.get(&req.id) {
+            Some(Fault::Panic) => panic!("{CHAOS_PANIC_MARKER} (id={})", req.id),
+            Some(Fault::Delay) => std::thread::sleep(CHAOS_DELAY),
+            _ => {}
+        }
+    })));
+    let router = Arc::new(router);
+    let handle = spawn_tcp_with(
+        router.clone(),
+        "127.0.0.1:0",
+        TcpOptions {
+            idle_timeout: Some(Duration::from_secs(10)),
+            ..Default::default()
+        },
+    )?;
+    let addr = handle.addr();
+
+    // ---- Main phase: drive batches, injecting wire faults. -----------
+    // The wire form of a request is fixed up front: a Delay victim
+    // always carries `deadline_ms=1` (the injected stall must trip the
+    // budget, never populate the cache), whatever path sends it.
+    let wire_of = |line: &String| -> (String, Option<Fault>) {
+        let mut req = Request::parse(line).expect("workload parses");
+        let fault = faults.get(&req.id).copied();
+        if fault == Some(Fault::Delay) {
+            req.deadline_ms = Some(1);
+            (req.serialize(), None)
+        } else {
+            (line.clone(), fault)
+        }
+    };
+    let (mut conn, mut reader) = connect(addr)?;
+    let mut responses: HashMap<String, String> = HashMap::new();
+    for (bi, batch) in lines.chunks(CHAOS_BATCH).enumerate() {
+        if disconnect_batches.contains(&bi) {
+            // Send half the batch, then vanish without the flush line:
+            // the server sees EOF (or a reset) mid-frame and must carry
+            // on. The whole batch is replayed on a fresh connection.
+            for line in &batch[..batch.len() / 2] {
+                let (wire, fault) = wire_of(line);
+                let _ = send_line(&mut conn, &wire, fault);
+            }
+            let _ = conn.flush();
+            drop(reader);
+            drop(conn);
+            let (c, r) = connect(addr)?;
+            conn = c;
+            reader = r;
+        }
+        for line in batch {
+            let (wire, fault) = wire_of(line);
+            send_line(&mut conn, &wire, fault)?;
+        }
+        conn.write_all(b"\n")?;
+        conn.flush()?;
+        for (id, resp) in read_responses(&mut reader, batch.len())? {
+            responses.insert(id, resp);
+        }
+    }
+    drop(reader);
+    drop(conn);
+
+    // ---- Contract: every id answered with its class's bytes. ---------
+    for line in &lines {
+        let id = Request::parse(line).expect("workload parses").id;
+        let Some(resp) = responses.get(&id) else {
+            report.fail(format!("{id}: no response"));
+            continue;
+        };
+        let want = expected.get(&id).expect("reference covers workload");
+        match faults.get(&id) {
+            None | Some(Fault::Torn) => {
+                if &payload_of(resp) != want {
+                    report.fail(format!(
+                        "{id}: fault-free payload diverged\n  want {want}\n  got  {}",
+                        payload_of(resp)
+                    ));
+                }
+            }
+            Some(Fault::Corrupt) => {
+                if !resp.starts_with(&format!("err;id={id};")) {
+                    report.fail(format!("{id}: corrupted line not answered err: {resp}"));
+                }
+            }
+            Some(Fault::Panic) => {
+                // The plan faults a panic victim's whole body group, so
+                // no clean twin can seed the cache: every member reaches
+                // dispatch and must be isolated — never answered ok,
+                // never a dead connection.
+                if !resp.contains(";code=internal;") {
+                    report.fail(format!("{id}: injected panic not isolated: {resp}"));
+                }
+            }
+            Some(Fault::Delay) => {
+                if !resp.contains(";code=deadline;") {
+                    report.fail(format!("{id}: delayed request did not deadline: {resp}"));
+                }
+            }
+        }
+    }
+
+    // ---- Deadlines are not cached: replay without the deadline. ------
+    let (mut conn, mut reader) = connect(addr)?;
+    let delayed: Vec<&String> = lines
+        .iter()
+        .filter(|l| {
+            let id = Request::parse(l).expect("workload parses").id;
+            faults.get(&id) == Some(&Fault::Delay)
+        })
+        .collect();
+    if !delayed.is_empty() {
+        // Disarm nothing: the hook keys on ids, and these replays reuse
+        // them — the stall still runs but no deadline rides along, so
+        // the full (correct) solve must come back.
+        for line in &delayed {
+            send_line(&mut conn, line, None)?;
+        }
+        conn.write_all(b"\n")?;
+        conn.flush()?;
+        for (id, resp) in read_responses(&mut reader, delayed.len())? {
+            let want = expected.get(&id).expect("reference covers workload");
+            if &payload_of(&resp) != want {
+                report.fail(format!(
+                    "{id}: post-deadline replay diverged (deadline response cached?)\n  \
+                     want {want}\n  got  {}",
+                    payload_of(&resp)
+                ));
+            }
+        }
+    }
+    drop(reader);
+    drop(conn);
+    handle.stop();
+
+    // ---- Overload sub-phase: capacity-2 gate, one batch of 8. --------
+    let gate_router = Arc::new(Router::with_canon(
+        spec.threads
+            .map(Executor::new)
+            .unwrap_or_else(Executor::from_env),
+        4096,
+        true,
+    ));
+    let gate_handle = spawn_tcp_with(
+        gate_router,
+        "127.0.0.1:0",
+        TcpOptions {
+            max_inflight: Some(2),
+            retry_ms: 40,
+            ..Default::default()
+        },
+    )?;
+    let (mut conn, mut reader) = connect(gate_handle.addr())?;
+    let overload: Vec<&String> = lines.iter().take(CHAOS_BATCH).collect();
+    for line in &overload {
+        send_line(&mut conn, line, None)?;
+    }
+    conn.write_all(b"\n")?;
+    conn.flush()?;
+    let answers = read_responses(&mut reader, overload.len())?;
+    for (slot, ((id, resp), line)) in answers.iter().zip(&overload).enumerate() {
+        let want_id = Request::parse(line).expect("workload parses").id;
+        if id != &want_id {
+            report.fail(format!(
+                "overload: response order broken at {slot}: {id} vs {want_id}"
+            ));
+            continue;
+        }
+        if slot < 2 {
+            // Admitted head: byte-identical to the unloaded reference.
+            let want = expected.get(id).expect("reference covers workload");
+            if &payload_of(resp) != want {
+                report.fail(format!("overload: admitted {id} diverged: {resp}"));
+            }
+        } else {
+            report.shed += 1;
+            if !resp.starts_with(&format!("err;id={id};code=overloaded;retry_ms=40;")) {
+                report.fail(format!("overload: {id} not shed with retry hint: {resp}"));
+            }
+        }
+    }
+    drop(reader);
+    drop(conn);
+    gate_handle.stop();
+
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corrupting_touches_only_the_game_digit() {
+        let line = "ndg1;id=w3;method=certify;tree=0,1;game=broadcast:3:0:0/1/1,1/2/1,2/0/1";
+        let bad = corrupt_line(line);
+        assert_ne!(line, bad);
+        assert!(bad.contains("id=w3"), "{bad}");
+        assert!(bad.contains("game=broadcast:x"), "{bad}");
+        assert!(Request::parse(&bad).is_err());
+    }
+
+    #[test]
+    fn chaos_plan_is_deterministic_and_survives_a_small_run() {
+        let spec = ChaosSpec {
+            seed: 7,
+            requests: 36,
+            distinct: 12,
+            fault_rate: 0.2,
+            threads: Some(2),
+        };
+        let a = run_chaos(spec).expect("chaos run performs I/O only on loopback");
+        assert!(a.ok(), "failures: {:#?}", a.failures);
+        assert!(a.corrupt >= 1 && a.torn >= 1 && a.panics >= 1 && a.delays >= 1);
+        assert_eq!(a.shed, CHAOS_BATCH - 2);
+        let b = run_chaos(spec).expect("second run");
+        assert!(b.ok(), "failures: {:#?}", b.failures);
+        assert_eq!(
+            (a.corrupt, a.torn, a.panics, a.delays, a.disconnects),
+            (b.corrupt, b.torn, b.panics, b.delays, b.disconnects),
+            "same seed, same plan"
+        );
+    }
+
+    #[test]
+    fn zero_fault_rate_is_a_clean_load_test() {
+        let spec = ChaosSpec {
+            seed: 3,
+            requests: 24,
+            distinct: 8,
+            fault_rate: 0.0,
+            threads: Some(2),
+        };
+        let r = run_chaos(spec).expect("clean run");
+        assert!(r.ok(), "failures: {:#?}", r.failures);
+        assert_eq!(
+            (r.corrupt, r.torn, r.panics, r.delays, r.disconnects),
+            (0, 0, 0, 0, 0)
+        );
+    }
+}

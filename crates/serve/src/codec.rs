@@ -24,9 +24,11 @@
 //! canon    := "0" | "1"                    (default 1: isomorphism-aware
 //!                                           canonical cache keying; 0
 //!                                           forces literal keying)
+//! deadline_ms := integer milliseconds     (volatile attempt budget; not
+//!                                          part of the canonical body)
 //! response := "ok;id=" ID ";cache=" ("hit"|"miss"|"off")
 //!             ";hits=" H ";misses=" M ";evictions=" E ";" payload
-//!           | "err;id=" ID ";code=" CODE ";msg=" TEXT
+//!           | "err;id=" ID ";code=" CODE [";retry_ms=" MS] ";msg=" TEXT
 //! ```
 //!
 //! Floats are serialized with Rust's shortest-round-trip `Display`, so
@@ -136,6 +138,19 @@ pub enum WireError {
         /// Human-readable detail.
         msg: String,
     },
+    /// The request's deadline (`deadline_ms=` or the server default)
+    /// expired before the solve completed. Deliberately message-stable:
+    /// no elapsed time is echoed, so the error bytes are deterministic
+    /// even though *when* it fires depends on the wall clock. Never
+    /// cached.
+    Deadline,
+    /// The admission gate shed the request (too many in flight). Carries
+    /// the fixed retry hint surfaced as `retry_ms=` on the wire. Never
+    /// cached.
+    Overloaded {
+        /// Suggested client back-off in milliseconds.
+        retry_ms: u64,
+    },
 }
 
 impl WireError {
@@ -165,6 +180,8 @@ impl WireError {
             WireError::NotASpanningTree => "not_a_spanning_tree",
             WireError::NotBroadcast => "not_broadcast",
             WireError::Engine { code, .. } => code,
+            WireError::Deadline => "deadline",
+            WireError::Overloaded { .. } => "overloaded",
         }
     }
 }
@@ -199,6 +216,8 @@ impl fmt::Display for WireError {
             WireError::NotASpanningTree => write!(f, "target edge set is not a spanning tree"),
             WireError::NotBroadcast => write!(f, "method requires a broadcast game"),
             WireError::Engine { msg, .. } => write!(f, "{msg}"),
+            WireError::Deadline => write!(f, "deadline exceeded before the solve completed"),
+            WireError::Overloaded { .. } => write!(f, "server at admission capacity, retry later"),
         }
     }
 }
@@ -800,6 +819,13 @@ pub struct Request {
     /// is part of the canonical body — the two modes answer with
     /// different witness bits, so they must never share cache entries.
     pub canon: bool,
+    /// Per-request deadline in milliseconds (`deadline_ms=`). Volatile
+    /// like `id`: it bounds *this* attempt's wall-clock budget without
+    /// changing the instance, so it is excluded from
+    /// [`canonical_body`](Self::canonical_body) — a request that finishes
+    /// within its deadline shares the cache entry of the undeadlined one,
+    /// and a [`WireError::Deadline`] response is never cached.
+    pub deadline_ms: Option<u64>,
 }
 
 pub(crate) fn valid_id(id: &str) -> bool {
@@ -848,6 +874,7 @@ impl Request {
             cap: None,
             limit: None,
             canon: true,
+            deadline_ms: None,
         }
     }
 
@@ -874,6 +901,7 @@ impl Request {
         let mut cap: Option<usize> = None;
         let mut limit: Option<usize> = None;
         let mut canon: Option<bool> = None;
+        let mut deadline_ms: Option<u64> = None;
 
         for field in fields {
             let (key, value) = field
@@ -950,6 +978,12 @@ impl Request {
                     }
                     limit = Some(parse_budget("limit", value, MAX_LIMIT)?);
                 }
+                "deadline_ms" => {
+                    if deadline_ms.is_some() {
+                        return Err(dup(key));
+                    }
+                    deadline_ms = Some(parse_u64("deadline_ms", value)?);
+                }
                 "canon" => {
                     if canon.is_some() {
                         return Err(dup(key));
@@ -982,6 +1016,7 @@ impl Request {
             cap,
             limit,
             canon: canon.unwrap_or(true),
+            deadline_ms,
         };
         req.validate()?;
         Ok(req)
@@ -1018,8 +1053,17 @@ impl Request {
     }
 
     /// Canonical request line (fixed field order; present fields only).
+    /// The volatile `deadline_ms` rides next to `id`, outside the
+    /// canonical body.
     pub fn serialize(&self) -> String {
-        format!("ndg1;id={};{}", self.id, self.canonical_body())
+        match self.deadline_ms {
+            Some(ms) => format!(
+                "ndg1;id={};deadline_ms={ms};{}",
+                self.id,
+                self.canonical_body()
+            ),
+            None => format!("ndg1;id={};{}", self.id, self.canonical_body()),
+        }
     }
 
     /// The canonical body — everything except the correlation id, with
@@ -1131,7 +1175,14 @@ pub fn err_payload(e: &WireError) -> String {
             c => c,
         })
         .collect();
-    format!("code={};msg={msg}", e.code())
+    match e {
+        // Overload answers carry a machine-readable back-off hint so a
+        // client can retry without parsing the message text.
+        WireError::Overloaded { retry_ms } => {
+            format!("code={};retry_ms={retry_ms};msg={msg}", e.code())
+        }
+        _ => format!("code={};msg={msg}", e.code()),
+    }
 }
 
 /// Assemble an `err` response line.
@@ -1294,6 +1345,58 @@ mod tests {
         assert_eq!(on_explicit.cache_key(), on_implicit.cache_key());
         // …while opting out moves the request into its own keyspace.
         assert_ne!(off.cache_key(), on_implicit.cache_key());
+    }
+
+    #[test]
+    fn deadline_ms_is_volatile_like_id() {
+        let with = Request::parse(
+            "ndg1;id=a;method=enforce;deadline_ms=250;tree=0;game=broadcast:2:0:0/1/1",
+        )
+        .unwrap();
+        assert_eq!(with.deadline_ms, Some(250));
+        let without =
+            Request::parse("ndg1;id=a;method=enforce;tree=0;game=broadcast:2:0:0/1/1").unwrap();
+        // Same canonical body and cache key: a solve that beats its
+        // deadline populates/hits the same entry as an undeadlined one.
+        assert_eq!(with.canonical_body(), without.canonical_body());
+        assert_eq!(with.cache_key(), without.cache_key());
+        // serialize/parse round-trips the field (alongside the usual
+        // default-resolution, which canonicalizes `solver=` in explicitly).
+        let line = with.serialize();
+        assert!(line.contains(";deadline_ms=250;"), "{line}");
+        let back = Request::parse(&line).unwrap();
+        assert_eq!(back.deadline_ms, Some(250));
+        assert_eq!(back.canonical_body(), with.canonical_body());
+        // Duplicates and garbage are rejected like any other field.
+        assert_eq!(
+            Request::parse("ndg1;id=a;method=stats;deadline_ms=1;deadline_ms=2")
+                .unwrap_err()
+                .code(),
+            "duplicate_field"
+        );
+        assert_eq!(
+            Request::parse("ndg1;id=a;method=stats;deadline_ms=soon")
+                .unwrap_err()
+                .code(),
+            "bad_int"
+        );
+    }
+
+    #[test]
+    fn robustness_error_codes_and_payloads() {
+        assert_eq!(WireError::Deadline.code(), "deadline");
+        assert_eq!(
+            err_payload(&WireError::Deadline),
+            "code=deadline;msg=deadline exceeded before the solve completed"
+        );
+        let shed = WireError::Overloaded { retry_ms: 50 };
+        assert_eq!(shed.code(), "overloaded");
+        assert_eq!(
+            err_payload(&shed),
+            "code=overloaded;retry_ms=50;msg=server at admission capacity, retry later"
+        );
+        let line = err_line("q7", &shed);
+        assert!(line.starts_with("err;id=q7;code=overloaded;retry_ms=50;"));
     }
 
     #[test]

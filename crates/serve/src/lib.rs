@@ -21,9 +21,22 @@
 //!   (batched Lemma 2), `stats`;
 //! * [`server`] — batched front ends over TCP and stdio, scheduling each
 //!   batch onto a shared [`ndg_exec::Executor`] with per-worker pooled
-//!   Dijkstra workspaces;
+//!   Dijkstra workspaces; bounded-in-flight admission with overload
+//!   shedding, idle-connection reaping, and graceful drain;
 //! * [`workload`] — the deterministic mixed-request generator behind
-//!   `ndg-serve --self-test` and the E12 load experiment.
+//!   `ndg-serve --self-test` and the E12 load experiment;
+//! * [`chaos`] — a deterministic seeded fault-injection harness (torn
+//!   writes, disconnects, corruption, injected panics and delays) behind
+//!   `ndg-serve --chaos` / `--self-test-chaos`.
+//!
+//! # Robustness
+//!
+//! Requests can carry `deadline_ms=` (or inherit `--default-deadline-ms`),
+//! enforced cooperatively at engine chunk boundaries via
+//! [`ndg_exec::Budget`] and answered with `err;code=deadline` — never
+//! cached. Engine panics are isolated per request (`err;code=internal`),
+//! overload is shed (`err;code=overloaded;retry_ms=…`), and every
+//! connection's end reason is counted in [`server::ConnStats`].
 //!
 //! The stack is std-only (the build container has no registry); the only
 //! workspace-external code it touches is the vendored offline `rand` shim,
@@ -38,8 +51,13 @@
 //! interleavings and cache states. That is the property that makes result
 //! caching sound, and E12 plus `--self-test` assert it end to end.
 
+// A serving layer must not die on a recoverable condition: production
+// (non-test) code paths justify every panic site or handle the error.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod cache;
 pub mod canon;
+pub mod chaos;
 pub mod codec;
 pub mod router;
 pub mod server;
@@ -47,7 +65,11 @@ pub mod workload;
 
 pub use cache::{Cache, CacheStats};
 pub use canon::{canonicalize_request, unapply_payload, CanonRequest};
+pub use chaos::{run_chaos, ChaosReport, ChaosSpec};
 pub use codec::{payload_of, Method, Request, Solver, WireError, WireGame, WireOrder};
-pub use router::Router;
-pub use server::{serve_stdio, serve_stream, spawn_tcp, ServerHandle};
+pub use router::{FaultHook, Router};
+pub use server::{
+    serve_stdio, serve_stdio_with, serve_stream, serve_stream_with, spawn_tcp, spawn_tcp_with,
+    ConnEnd, ConnStats, Gate, ServeOptions, ServerHandle, TcpOptions,
+};
 pub use workload::{build_workload, WorkloadSpec};

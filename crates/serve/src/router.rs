@@ -20,11 +20,21 @@ use crate::codec::{
     err_line, fmt_edge_ids, fmt_f64, ok_line, Method, Request, Solver, WireError, DEFAULT_CAP,
     DEFAULT_LIMIT, DEFAULT_ROUNDS,
 };
-use ndg_core::{best_response_dynamics, best_response_with, NetworkDesignGame, State};
-use ndg_exec::Executor;
+use crate::server::ConnStats;
+use ndg_core::{best_response_dynamics_budgeted, best_response_with, NetworkDesignGame, State};
+use ndg_exec::{Budget, Executor};
 use ndg_graph::paths::{DijkstraWorkspace, WorkspacePool};
 use ndg_graph::{EdgeId, Graph, RootedTree};
 use ndg_sne::{SneError, SneSolution};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A test-only fault injector consulted at the top of every dispatch (on
+/// the worker thread, inside the panic-isolation boundary). The chaos
+/// harness uses it to inject engine panics and delays for chosen request
+/// ids; production routers leave it unset and pay one `Option` check.
+pub type FaultHook = Arc<dyn Fn(&Request) + Send + Sync>;
 
 /// Default total result-cache capacity (responses).
 pub const DEFAULT_CACHE_CAPACITY: usize = 4096;
@@ -35,7 +45,6 @@ pub const DEFAULT_CACHE_CAPACITY: usize = 4096;
 const CANON_MEMO_CAPACITY: usize = 4096;
 
 /// The request engine: cache + executor + workspace pool + dispatch.
-#[derive(Debug)]
 pub struct Router {
     cache: Cache,
     ex: Executor,
@@ -46,6 +55,25 @@ pub struct Router {
     /// Whether instances are canonicalized before keying and solving
     /// (per-request `canon=0` still opts out; see [`crate::canon`]).
     canon: bool,
+    /// Deadline applied to requests that carry no `deadline_ms=` of their
+    /// own (`--default-deadline-ms`); `None` means unlimited.
+    default_deadline_ms: Option<u64>,
+    /// Chaos/test fault injector; `None` in production.
+    fault_hook: Option<FaultHook>,
+    /// Robustness counters shared with the serving front ends.
+    conn_stats: Arc<ConnStats>,
+}
+
+impl std::fmt::Debug for Router {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Router")
+            .field("cache", &self.cache)
+            .field("ex", &self.ex)
+            .field("canon", &self.canon)
+            .field("default_deadline_ms", &self.default_deadline_ms)
+            .field("fault_hook", &self.fault_hook.as_ref().map(|_| "set"))
+            .finish_non_exhaustive()
+    }
 }
 
 impl Router {
@@ -66,7 +94,36 @@ impl Router {
             pool: WorkspacePool::new(0),
             memo: crate::canon::CanonMemo::new(if canon { CANON_MEMO_CAPACITY } else { 0 }),
             canon,
+            default_deadline_ms: None,
+            fault_hook: None,
+            conn_stats: Arc::new(ConnStats::default()),
         }
+    }
+
+    /// Deadline (ms) applied to requests without an explicit
+    /// `deadline_ms=`; `None` (the default) leaves them unlimited.
+    pub fn set_default_deadline_ms(&mut self, ms: Option<u64>) {
+        self.default_deadline_ms = ms;
+    }
+
+    /// The configured default deadline, if any.
+    pub fn default_deadline_ms(&self) -> Option<u64> {
+        self.default_deadline_ms
+    }
+
+    /// Install (or clear) the chaos fault injector. The hook runs at the
+    /// top of every dispatch, on the worker thread, inside the
+    /// panic-isolation boundary — a hook that panics produces exactly one
+    /// `err;code=internal` response for that request.
+    pub fn set_fault_hook(&mut self, hook: Option<FaultHook>) {
+        self.fault_hook = hook;
+    }
+
+    /// The shared robustness counters (sheds, reaps, isolated panics,
+    /// deadline errors, connection end reasons). The serving front ends
+    /// increment these; `method=stats` reports them.
+    pub fn conn_stats(&self) -> &Arc<ConnStats> {
+        &self.conn_stats
     }
 
     /// Router on the environment executor (`NDG_THREADS` honoured) with
@@ -158,7 +215,32 @@ impl Router {
             let (h, m, e) = self.cache.counters();
             return ok_line(&req.id, "hit", h, m, e, &unapply(&payload));
         }
-        match self.dispatch(solve_req, ws) {
+        // The budget clock starts at dispatch: `deadline_ms=` bounds the
+        // solve itself (parse and cache probes are not billed — a cache
+        // hit legitimately beats any deadline, it does no engine work).
+        let budget = match req.deadline_ms.or(self.default_deadline_ms) {
+            Some(ms) => Budget::with_deadline(Duration::from_millis(ms)),
+            None => Budget::unlimited(),
+        };
+        // Panic isolation: an engine (or injected-fault) panic is caught
+        // here, on this request's worker thread, and turned into one
+        // `err;code=internal` response; the batch, the connection, the
+        // cache and the executor all survive. The pooled workspace is
+        // replaced — the panic may have left its scratch inconsistent.
+        let dispatched = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.dispatch(solve_req, ws, &budget)
+        })) {
+            Ok(res) => res,
+            Err(_) => {
+                *ws = DijkstraWorkspace::new(0);
+                self.conn_stats.panics.fetch_add(1, Ordering::Relaxed);
+                Err(WireError::Engine {
+                    code: "internal",
+                    msg: "engine panicked; request isolated".into(),
+                })
+            }
+        };
+        match dispatched {
             Ok(payload) => {
                 // The cache stores the solve-space payload; every reader
                 // (this miss included) maps it back through its own
@@ -175,6 +257,9 @@ impl Router {
                 // canonical pipeline the diagnostics speak canonical
                 // labels, identically for every isomorph. Engine failures
                 // stay uncached by policy.
+                if matches!(e, WireError::Deadline) {
+                    self.conn_stats.deadlines.fetch_add(1, Ordering::Relaxed);
+                }
                 if cacheable_err(&e) {
                     self.cache.insert_kind(
                         key,
@@ -188,11 +273,24 @@ impl Router {
         }
     }
 
-    fn dispatch(&self, req: &Request, ws: &mut DijkstraWorkspace) -> Result<String, WireError> {
+    fn dispatch(
+        &self,
+        req: &Request,
+        ws: &mut DijkstraWorkspace,
+        budget: &Budget,
+    ) -> Result<String, WireError> {
+        if let Some(hook) = &self.fault_hook {
+            hook(req);
+        }
+        // One check up front covers the engines whose inner loops have no
+        // budget boundary of their own (poly/tree LPs, Theorem 6, aon,
+        // certify): an already-expired budget — e.g. an injected delay
+        // consuming a short deadline — answers `deadline` for any method.
+        budget.check().map_err(|_| WireError::Deadline)?;
         match req.method {
-            Method::Enforce => self.enforce(req),
-            Method::Dynamics => self.dynamics(req),
-            Method::Pos => self.pos(req),
+            Method::Enforce => self.enforce(req, budget),
+            Method::Dynamics => self.dynamics(req, budget),
+            Method::Pos => self.pos(req, budget),
             Method::Aon => self.aon(req),
             Method::Certify => self.certify(req, ws),
             Method::Stats => unreachable!("stats handled before dispatch"),
@@ -201,26 +299,43 @@ impl Router {
 
     fn stats_payload(&self) -> String {
         let s = self.cache.stats();
+        let c = &self.conn_stats;
+        let ld = Ordering::Relaxed;
         format!(
-            "entries={};capacity={};ok_hits={};canon_hits={};err_hits={};canon_rate={};threads={}",
+            "entries={};capacity={};ok_hits={};canon_hits={};err_hits={};canon_rate={};threads={};\
+             conns_eof={};conns_reset={};conns_err={};conns_reaped={};conns_drained={};\
+             shed={};panics={};deadlines={}",
             s.entries,
             s.capacity,
             s.ok_hits,
             s.canon_hits,
             s.err_hits,
             crate::canon::canon_rate(s.canon_hits, s.hits),
-            self.ex.threads()
+            self.ex.threads(),
+            c.eof.load(ld),
+            c.reset.load(ld),
+            c.errored.load(ld),
+            c.reaped.load(ld),
+            c.drained.load(ld),
+            c.shed.load(ld),
+            c.panics.load(ld),
+            c.deadlines.load(ld),
         )
     }
 
-    fn enforce(&self, req: &Request) -> Result<String, WireError> {
-        let (game, demands) = req.game.as_ref().expect("validated").build()?;
+    fn enforce(&self, req: &Request, budget: &Budget) -> Result<String, WireError> {
+        let (game, demands) = req
+            .game
+            .as_ref()
+            .ok_or(WireError::MissingField("game"))?
+            .build()?;
         let tree = checked_tree(req, &game)?;
         if let Some(d) = demands {
             let (state, _) = State::from_tree(&game, &tree)?;
-            let (sol, stats) =
-                ndg_sne::lp_weighted::enforce_state_weighted_with(&game, &state, &d, &self.ex)
-                    .map_err(sne_err)?;
+            let (sol, stats) = ndg_sne::lp_weighted::enforce_state_weighted_budgeted(
+                &game, &state, &d, &self.ex, budget,
+            )
+            .map_err(sne_err)?;
             return Ok(enforce_payload(
                 &sol,
                 Some((stats.rounds, stats.cuts_added)),
@@ -229,9 +344,10 @@ impl Router {
         match req.solver.unwrap_or(Solver::Lp1) {
             Solver::Lp1 => {
                 let (state, _) = State::from_tree(&game, &tree)?;
-                let (sol, stats) =
-                    ndg_sne::lp_general::enforce_state_cutting_with(&game, &state, &self.ex)
-                        .map_err(sne_err)?;
+                let (sol, stats) = ndg_sne::lp_general::enforce_state_cutting_budgeted(
+                    &game, &state, &self.ex, budget,
+                )
+                .map_err(sne_err)?;
                 Ok(enforce_payload(
                     &sol,
                     Some((stats.rounds, stats.cuts_added)),
@@ -254,8 +370,12 @@ impl Router {
         }
     }
 
-    fn dynamics(&self, req: &Request) -> Result<String, WireError> {
-        let (game, demands) = req.game.as_ref().expect("validated").build()?;
+    fn dynamics(&self, req: &Request, budget: &Budget) -> Result<String, WireError> {
+        let (game, demands) = req
+            .game
+            .as_ref()
+            .ok_or(WireError::MissingField("game"))?
+            .build()?;
         if demands.is_some() {
             return Err(WireError::Engine {
                 code: "unsupported",
@@ -278,11 +398,14 @@ impl Router {
             .unwrap_or(crate::codec::WireOrder::RoundRobin)
             .to_move_order();
         let max_rounds = req.rounds.unwrap_or(DEFAULT_ROUNDS);
-        let res = best_response_dynamics(&game, state, &b, order, max_rounds);
-        let phi = *res
-            .potential_trace
-            .last()
-            .expect("trace holds at least the initial potential");
+        let res = best_response_dynamics_budgeted(&game, state, &b, order, max_rounds, budget)
+            .map_err(|ndg_exec::BudgetExceeded| WireError::Deadline)?;
+        // The trace always holds at least the initial potential; an empty
+        // one is an engine bug, reported instead of killing the worker.
+        let phi = *res.potential_trace.last().ok_or(WireError::Engine {
+            code: "internal",
+            msg: "dynamics returned an empty potential trace".into(),
+        })?;
         Ok(format!(
             "converged={};moves={};rounds={};weight={};phi={};edges={}",
             res.converged,
@@ -294,8 +417,12 @@ impl Router {
         ))
     }
 
-    fn pos(&self, req: &Request) -> Result<String, WireError> {
-        let (game, demands) = req.game.as_ref().expect("validated").build()?;
+    fn pos(&self, req: &Request, budget: &Budget) -> Result<String, WireError> {
+        let (game, demands) = req
+            .game
+            .as_ref()
+            .ok_or(WireError::MissingField("game"))?
+            .build()?;
         if demands.is_some() {
             return Err(WireError::Engine {
                 code: "unsupported",
@@ -303,12 +430,16 @@ impl Router {
             });
         }
         let cap = req.cap.unwrap_or(DEFAULT_CAP);
-        let pos = ndg_snd::pos::exact_pos(&game, cap).map_err(snd_err)?;
+        let pos = ndg_snd::pos::exact_pos_budgeted(&game, cap, budget).map_err(snd_err)?;
         Ok(format!("pos={}", fmt_f64(pos)))
     }
 
     fn aon(&self, req: &Request) -> Result<String, WireError> {
-        let (game, _demands) = req.game.as_ref().expect("validated").build()?;
+        let (game, _demands) = req
+            .game
+            .as_ref()
+            .ok_or(WireError::MissingField("game"))?
+            .build()?;
         let tree = checked_tree(req, &game)?;
         let limit = req.limit.unwrap_or(DEFAULT_LIMIT);
         let sol = ndg_aon::exact::min_aon_subsidy(&game, &tree, limit).map_err(aon_err)?;
@@ -320,7 +451,11 @@ impl Router {
     }
 
     fn certify(&self, req: &Request, ws: &mut DijkstraWorkspace) -> Result<String, WireError> {
-        let (game, _demands) = req.game.as_ref().expect("validated").build()?;
+        let (game, _demands) = req
+            .game
+            .as_ref()
+            .ok_or(WireError::MissingField("game"))?
+            .build()?;
         let root = game.root().ok_or(WireError::NotBroadcast)?;
         let tree = checked_tree(req, &game)?;
         let rt =
@@ -333,9 +468,10 @@ impl Router {
                 // Dijkstra workspace: the violating player's true best
                 // response in the tree-induced state.
                 let (state, _) = State::from_tree(&game, &tree)?;
-                let player = game
-                    .player_of_node(v.node)
-                    .expect("Lemma 2 witness is a non-root player node");
+                let player = game.player_of_node(v.node).ok_or(WireError::Engine {
+                    code: "internal",
+                    msg: "Lemma 2 witness names a non-player node".into(),
+                })?;
                 let mut path = Vec::new();
                 let best = best_response_with(&game, &state, &b, player, ws, &mut path);
                 Ok(format!(
@@ -421,6 +557,7 @@ fn sne_err(e: SneError) -> WireError {
         SneError::NotBroadcast => WireError::NotBroadcast,
         SneError::NotASpanningTree => WireError::NotASpanningTree,
         SneError::State(s) => WireError::State(s.to_string()),
+        SneError::Cancelled => WireError::Deadline,
         other => WireError::Engine {
             code: "solver_failed",
             msg: other.to_string(),
@@ -431,6 +568,7 @@ fn sne_err(e: SneError) -> WireError {
 fn snd_err(e: ndg_snd::SndError) -> WireError {
     match e {
         ndg_snd::SndError::NotBroadcast => WireError::NotBroadcast,
+        ndg_snd::SndError::Enum(ndg_core::EnumError::Cancelled) => WireError::Deadline,
         ndg_snd::SndError::Enum(ndg_core::EnumError::CapExceeded { cap }) => WireError::Engine {
             code: "cap_exceeded",
             msg: format!("more than {cap} spanning trees; raise cap= or shrink the instance"),

@@ -8,6 +8,24 @@
 //! [`MAX_BATCH`] lines so a stream of requests without blank lines cannot
 //! buffer unboundedly.
 //!
+//! **Robustness.** The serving loop is built to keep one misbehaving
+//! client (or one poisoned request) from taking the process down:
+//!
+//! * an **admission gate** ([`Gate`]) bounds in-flight solves; requests
+//!   past capacity are *shed* with `err;code=overloaded;retry_ms=…` in
+//!   request order, while admitted requests answer byte-identically to an
+//!   unloaded server;
+//! * per-connection **idle read timeouts** reap slow-loris peers: the
+//!   framing state survives partial reads, a blank line
+//!   counts as a keep-alive, and a connection that makes no framing
+//!   progress for the idle window is closed without a response;
+//! * **graceful drain**: once the shutdown flag is set, already-buffered
+//!   complete lines are processed and answered as a final batch, then the
+//!   connection closes; the accept loop stops taking new connections;
+//! * every connection's **end reason** is classified
+//!   ([`ConnEnd`]) and counted in the router's [`ConnStats`], surfaced by
+//!   `method=stats`.
+//!
 //! The TCP server accepts on a non-blocking listener polled against a
 //! shutdown flag, and spawns one OS thread per connection — the
 //! parallelism *within* a batch comes from the router's executor, so a
@@ -19,10 +37,10 @@ use crate::codec::{err_line, WireError};
 use crate::router::{recovered_id, Router};
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Lines per batch before an implicit flush.
 pub const MAX_BATCH: usize = 64;
@@ -31,6 +49,114 @@ pub const MAX_BATCH: usize = 64;
 /// `too_large` error and the connection keeps going.
 pub const MAX_LINE_BYTES: usize = 8 * 1024 * 1024;
 
+/// Socket read poll interval: connections block on reads at most this
+/// long before re-checking the shutdown flag and the idle clock, so
+/// `ServerHandle::stop` cannot hang behind a silent peer.
+const READ_POLL: Duration = Duration::from_millis(20);
+
+/// Default `retry_ms` hint attached to shed responses.
+pub const DEFAULT_RETRY_MS: u64 = 50;
+
+/// Robustness counters shared between the [`Router`] and the serving
+/// front ends; reported by `method=stats`.
+#[derive(Debug, Default)]
+pub struct ConnStats {
+    /// Connections ended by a clean client EOF.
+    pub eof: AtomicU64,
+    /// Connections ended by reset/abort/broken pipe.
+    pub reset: AtomicU64,
+    /// Connections ended by any other I/O error.
+    pub errored: AtomicU64,
+    /// Connections reaped for idling past the read timeout.
+    pub reaped: AtomicU64,
+    /// Connections closed by graceful drain at shutdown.
+    pub drained: AtomicU64,
+    /// Requests refused by the admission gate.
+    pub shed: AtomicU64,
+    /// Engine panics isolated to `err;code=internal` responses.
+    pub panics: AtomicU64,
+    /// `err;code=deadline` responses returned.
+    pub deadlines: AtomicU64,
+}
+
+/// Why a serving loop ended (the classification counted in
+/// [`ConnStats`]). I/O errors are classified by the caller from the
+/// `io::Error` kind instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConnEnd {
+    /// Client closed the stream (EOF after a complete frame).
+    Eof,
+    /// No framing progress for the idle window; closed without response.
+    Reaped,
+    /// Shutdown flag seen; buffered complete lines answered, then closed.
+    Drained,
+}
+
+/// Bounded in-flight admission: at most `capacity` requests may be in
+/// the solve stage at once, across all connections sharing the gate.
+/// Requests that do not get a permit are shed with
+/// `err;code=overloaded;retry_ms=…` — never queued, never solved.
+#[derive(Debug)]
+pub struct Gate {
+    permits: AtomicUsize,
+    capacity: usize,
+    retry_ms: u64,
+}
+
+impl Gate {
+    /// A gate admitting at most `capacity` concurrent requests.
+    pub fn new(capacity: usize, retry_ms: u64) -> Self {
+        Gate {
+            permits: AtomicUsize::new(0),
+            capacity,
+            retry_ms,
+        }
+    }
+
+    /// The `retry_ms` hint attached to shed responses.
+    pub fn retry_ms(&self) -> u64 {
+        self.retry_ms
+    }
+
+    fn try_acquire(&self) -> bool {
+        let mut cur = self.permits.load(Ordering::Relaxed);
+        loop {
+            if cur >= self.capacity {
+                return false;
+            }
+            match self.permits.compare_exchange_weak(
+                cur,
+                cur + 1,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return true,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    fn release(&self) {
+        self.permits.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// Per-stream serving options; [`ServeOptions::default`] reproduces the
+/// plain blocking loop (no gate, no timeouts, no drain flag).
+#[derive(Debug, Default, Clone)]
+pub struct ServeOptions {
+    /// Reap the connection after this long without framing progress.
+    /// Requires the underlying reader to time out (the TCP path sets a
+    /// short socket read timeout); a reader that blocks forever can only
+    /// be reaped at its next wakeup.
+    pub idle_timeout: Option<Duration>,
+    /// Admission gate shared across connections; `None` admits all.
+    pub gate: Option<Arc<Gate>>,
+    /// Graceful-drain flag: when it flips true, buffered complete lines
+    /// are answered as a final batch and the stream closes.
+    pub shutdown: Option<Arc<AtomicBool>>,
+}
+
 /// One framed request slot: a complete line, or the kept prefix of a
 /// line that blew past [`MAX_LINE_BYTES`] (enough to recover the `id=`).
 enum Framed {
@@ -38,49 +164,83 @@ enum Framed {
     Oversized(String),
 }
 
-/// Read one batch: lines until a blank line, [`MAX_BATCH`] lines, or EOF.
-/// Returns the batch and whether EOF was reached.
-fn read_batch(reader: &mut impl BufRead) -> io::Result<(Vec<Framed>, bool)> {
-    let mut batch = Vec::new();
-    let mut line = String::new();
-    loop {
-        line.clear();
-        // take() guards a single line's length so one client cannot
-        // exhaust memory; an over-limit line keeps a short prefix (for id
-        // recovery), is answered with `too_large`, and the rest is
-        // discarded to keep the framing alive.
-        let n = io::Read::take(&mut *reader, MAX_LINE_BYTES as u64).read_line(&mut line)?;
-        if n == 0 {
-            return Ok((batch, true));
-        }
-        if !line.ends_with('\n') && n >= MAX_LINE_BYTES {
-            discard_to_newline(reader)?;
-            let cut = (0..=512.min(line.len()))
-                .rev()
-                .find(|&i| line.is_char_boundary(i));
-            line.truncate(cut.unwrap_or(0));
-            batch.push(Framed::Oversized(std::mem::take(&mut line)));
-            continue;
-        }
-        let trimmed = line.trim_end_matches(['\n', '\r']);
-        if trimmed.is_empty() {
-            if batch.is_empty() {
-                continue; // leading blank lines are keep-alives
-            }
-            return Ok((batch, false));
-        }
-        batch.push(Framed::Line(trimmed.to_string()));
-        if batch.len() >= MAX_BATCH {
-            return Ok((batch, false));
-        }
-    }
+/// Framing state that survives partial reads: a slow peer can deliver a
+/// line byte by byte across many timeouts without desyncing the protocol.
+#[derive(Default)]
+struct FrameState {
+    /// Bytes of the current (incomplete) line.
+    line: Vec<u8>,
+    /// Inside an oversized line, discarding up to its newline.
+    discarding: bool,
 }
 
+/// What a batch read ended with.
+enum BatchRead {
+    /// A full batch (blank-line flush or [`MAX_BATCH`]): answer and keep
+    /// reading.
+    Batch(Vec<Framed>),
+    /// EOF: answer the final partial batch, then close.
+    Eof(Vec<Framed>),
+    /// Shutdown flag seen: answer buffered complete lines, then close.
+    Drained(Vec<Framed>),
+    /// Idle past the timeout: close without a response.
+    Reaped,
+}
+
+fn bytes_to_line(bytes: &[u8]) -> String {
+    // The protocol is UTF-8; corrupted bytes are replaced so the line
+    // still reaches the parser and is answered with a structured error
+    // instead of killing the connection.
+    String::from_utf8_lossy(bytes).into_owned()
+}
+
+/// Finish one complete line (newline already stripped of the buffer):
+/// returns the framed slot, or `None` for a blank keep-alive line.
+fn finish_line(st: &mut FrameState) -> Option<Framed> {
+    let mut end = st.line.len();
+    while end > 0 && (st.line[end - 1] == b'\n' || st.line[end - 1] == b'\r') {
+        end -= 1;
+    }
+    let framed = if end == 0 {
+        None
+    } else {
+        Some(Framed::Line(bytes_to_line(&st.line[..end])))
+    };
+    st.line.clear();
+    framed
+}
+
+/// Truncate an oversized line's kept prefix to 512 bytes on a UTF-8
+/// character boundary (enough to recover the `id=`), and reset the state
+/// to discard the rest of the wire line.
+fn oversize_slot(st: &mut FrameState) -> Framed {
+    let text = bytes_to_line(&st.line);
+    let cut = (0..=512.min(text.len()))
+        .rev()
+        .find(|&i| text.is_char_boundary(i))
+        .unwrap_or(0);
+    st.line.clear();
+    st.discarding = true;
+    let mut prefix = text;
+    prefix.truncate(cut);
+    Framed::Oversized(prefix)
+}
+
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+/// Consume bytes up to and including the next newline. On a read
+/// timeout the progress so far is kept (the caller stays in discarding
+/// mode) and the timeout error is surfaced.
 fn discard_to_newline(reader: &mut impl BufRead) -> io::Result<()> {
     loop {
         let buf = reader.fill_buf()?;
         if buf.is_empty() {
-            return Ok(());
+            return Ok(()); // EOF ends the line
         }
         match buf.iter().position(|&b| b == b'\n') {
             Some(i) => {
@@ -95,60 +255,214 @@ fn discard_to_newline(reader: &mut impl BufRead) -> io::Result<()> {
     }
 }
 
-/// Serve a request stream to a response stream until EOF (the stdio mode,
-/// also the per-connection loop of the TCP server).
+/// Read one batch incrementally: tolerates read timeouts (keeping
+/// partial-line state in `st`), honours the idle clock and the shutdown
+/// flag, and guards line length.
+fn read_batch(
+    reader: &mut impl BufRead,
+    st: &mut FrameState,
+    opts: &ServeOptions,
+) -> io::Result<BatchRead> {
+    let mut batch = Vec::new();
+    let mut last_progress = Instant::now();
+    loop {
+        if let Some(flag) = &opts.shutdown {
+            if flag.load(Ordering::SeqCst) {
+                return Ok(BatchRead::Drained(batch));
+            }
+        }
+        if st.discarding {
+            match discard_to_newline(reader) {
+                Ok(()) => st.discarding = false,
+                Err(e) if is_timeout(&e) => {
+                    if let Some(t) = opts.idle_timeout {
+                        if last_progress.elapsed() >= t {
+                            return Ok(BatchRead::Reaped);
+                        }
+                    }
+                    continue;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        // take() guards a single line's length so one client cannot
+        // exhaust memory; an over-limit line keeps a short prefix (for id
+        // recovery), is answered with `too_large`, and the rest is
+        // discarded to keep the framing alive.
+        let room = (MAX_LINE_BYTES + 1 - st.line.len()) as u64;
+        match io::Read::take(&mut *reader, room).read_until(b'\n', &mut st.line) {
+            Ok(0) => {
+                // EOF: a trailing line without newline still counts.
+                if !st.line.is_empty() {
+                    if let Some(f) = finish_line(st) {
+                        batch.push(f);
+                    }
+                }
+                return Ok(BatchRead::Eof(batch));
+            }
+            Ok(_) => {
+                if st.line.last() == Some(&b'\n') {
+                    last_progress = Instant::now(); // blank lines keep alive too
+                    match finish_line(st) {
+                        Some(f) => {
+                            batch.push(f);
+                            if batch.len() >= MAX_BATCH {
+                                return Ok(BatchRead::Batch(batch));
+                            }
+                        }
+                        None => {
+                            if !batch.is_empty() {
+                                return Ok(BatchRead::Batch(batch));
+                            }
+                        }
+                    }
+                } else if st.line.len() > MAX_LINE_BYTES {
+                    last_progress = Instant::now();
+                    batch.push(oversize_slot(st));
+                }
+                // A short read without newline (EOF mid-line) loops and
+                // resolves at the next read.
+            }
+            Err(e) if is_timeout(&e) => {
+                // Partial bytes are already in `st.line`; check the idle
+                // clock and poll again.
+                if let Some(t) = opts.idle_timeout {
+                    if last_progress.elapsed() >= t {
+                        return Ok(BatchRead::Reaped);
+                    }
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Answer one batch: oversized slots locally, shed slots with
+/// `overloaded`, the admitted rest through the router as one executor
+/// batch. Response order = request order in every case.
+fn answer_batch(
+    router: &Router,
+    writer: &mut impl Write,
+    batch: Vec<Framed>,
+    gate: Option<&Gate>,
+) -> io::Result<()> {
+    let mut responses: Vec<Option<String>> = batch.iter().map(|_| None).collect();
+    let mut lines = Vec::with_capacity(batch.len());
+    let mut line_slots = Vec::with_capacity(batch.len());
+    let mut admitted = 0usize;
+    for (i, item) in batch.into_iter().enumerate() {
+        match item {
+            Framed::Line(l) => {
+                if let Some(g) = gate {
+                    if !g.try_acquire() {
+                        router.conn_stats().shed.fetch_add(1, Ordering::Relaxed);
+                        let e = WireError::Overloaded {
+                            retry_ms: g.retry_ms(),
+                        };
+                        responses[i] = Some(err_line(recovered_id(&l), &e));
+                        continue;
+                    }
+                    admitted += 1;
+                }
+                line_slots.push(i);
+                lines.push(l);
+            }
+            Framed::Oversized(prefix) => {
+                let e = WireError::TooLarge {
+                    what: "request line bytes (lower bound)",
+                    got: MAX_LINE_BYTES,
+                    max: MAX_LINE_BYTES,
+                };
+                responses[i] = Some(err_line(recovered_id(&prefix), &e));
+            }
+        }
+    }
+    let answers = router.handle_batch(&lines);
+    if let Some(g) = gate {
+        for _ in 0..admitted {
+            g.release();
+        }
+    }
+    for (slot, resp) in line_slots.into_iter().zip(answers) {
+        responses[slot] = Some(resp);
+    }
+    for resp in responses {
+        writer.write_all(resp.unwrap_or_default().as_bytes())?;
+        writer.write_all(b"\n")?;
+    }
+    writer.flush()
+}
+
+/// Serve a request stream to a response stream under explicit
+/// [`ServeOptions`], returning how the stream ended.
+pub fn serve_stream_with(
+    router: &Router,
+    reader: &mut impl BufRead,
+    writer: &mut impl Write,
+    opts: &ServeOptions,
+) -> io::Result<ConnEnd> {
+    let mut st = FrameState::default();
+    loop {
+        let (batch, end) = match read_batch(reader, &mut st, opts)? {
+            BatchRead::Batch(b) => (b, None),
+            BatchRead::Eof(b) => (b, Some(ConnEnd::Eof)),
+            BatchRead::Drained(b) => (b, Some(ConnEnd::Drained)),
+            BatchRead::Reaped => return Ok(ConnEnd::Reaped),
+        };
+        if !batch.is_empty() {
+            answer_batch(router, writer, batch, opts.gate.as_deref())?;
+        }
+        if let Some(end) = end {
+            return Ok(end);
+        }
+    }
+}
+
+/// Serve a request stream to a response stream until EOF (the stdio mode;
+/// also the plain per-connection loop).
 pub fn serve_stream(
     router: &Router,
     reader: &mut impl BufRead,
     writer: &mut impl Write,
 ) -> io::Result<()> {
-    loop {
-        let (batch, eof) = read_batch(reader)?;
-        if !batch.is_empty() {
-            // Oversized slots are answered locally; everything else goes
-            // through the router as one executor batch. Response order =
-            // request order either way.
-            let mut responses: Vec<Option<String>> = batch.iter().map(|_| None).collect();
-            let mut lines = Vec::with_capacity(batch.len());
-            let mut line_slots = Vec::with_capacity(batch.len());
-            for (i, item) in batch.into_iter().enumerate() {
-                match item {
-                    Framed::Line(l) => {
-                        line_slots.push(i);
-                        lines.push(l);
-                    }
-                    Framed::Oversized(prefix) => {
-                        let e = WireError::TooLarge {
-                            what: "request line bytes (lower bound)",
-                            got: MAX_LINE_BYTES,
-                            max: MAX_LINE_BYTES,
-                        };
-                        responses[i] = Some(err_line(recovered_id(&prefix), &e));
-                    }
-                }
-            }
-            for (slot, resp) in line_slots.into_iter().zip(router.handle_batch(&lines)) {
-                responses[slot] = Some(resp);
-            }
-            for resp in responses {
-                writer.write_all(resp.expect("every slot answered").as_bytes())?;
-                writer.write_all(b"\n")?;
-            }
-            writer.flush()?;
-        }
-        if eof {
-            return Ok(());
-        }
-    }
+    serve_stream_with(router, reader, writer, &ServeOptions::default()).map(|_| ())
 }
 
 /// Serve stdin → stdout until EOF.
 pub fn serve_stdio(router: &Router) -> io::Result<()> {
+    serve_stdio_with(router, &ServeOptions::default())
+}
+
+/// [`serve_stdio`] under explicit options (the gate still applies; idle
+/// reaping needs a timeout-capable reader, which stdin is not).
+pub fn serve_stdio_with(router: &Router, opts: &ServeOptions) -> io::Result<()> {
     let stdin = io::stdin();
     let stdout = io::stdout();
     let mut reader = stdin.lock();
     let mut writer = BufWriter::new(stdout.lock());
-    serve_stream(router, &mut reader, &mut writer)
+    serve_stream_with(router, &mut reader, &mut writer, opts).map(|_| ())
+}
+
+/// TCP server configuration.
+#[derive(Debug, Clone)]
+pub struct TcpOptions {
+    /// Reap a connection after this long without framing progress.
+    pub idle_timeout: Option<Duration>,
+    /// Bound on concurrently solving requests (across connections);
+    /// `None` admits everything.
+    pub max_inflight: Option<usize>,
+    /// `retry_ms` hint attached to shed responses.
+    pub retry_ms: u64,
+}
+
+impl Default for TcpOptions {
+    fn default() -> Self {
+        TcpOptions {
+            idle_timeout: None,
+            max_inflight: None,
+            retry_ms: DEFAULT_RETRY_MS,
+        }
+    }
 }
 
 /// A running TCP server (accept loop + per-connection threads).
@@ -165,8 +479,8 @@ impl ServerHandle {
         self.addr
     }
 
-    /// Signal the accept loop to stop and join it. In-flight connection
-    /// threads finish their current stream independently.
+    /// Graceful drain: stop accepting, let every connection finish its
+    /// buffered complete lines, and join all threads.
     pub fn stop(mut self) {
         self.shutdown.store(true, Ordering::SeqCst);
         if let Some(h) = self.accept_thread.take() {
@@ -184,28 +498,76 @@ impl Drop for ServerHandle {
     }
 }
 
-fn handle_connection(router: &Router, stream: TcpStream) {
-    let peer = stream.peer_addr().ok();
+fn classify_io_end(stats: &ConnStats, e: &io::Error) {
+    match e.kind() {
+        io::ErrorKind::ConnectionReset
+        | io::ErrorKind::ConnectionAborted
+        | io::ErrorKind::BrokenPipe
+        | io::ErrorKind::UnexpectedEof => {
+            stats.reset.fetch_add(1, Ordering::Relaxed);
+        }
+        _ => {
+            stats.errored.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+fn handle_connection(router: &Router, stream: TcpStream, opts: &ServeOptions) {
+    let stats = router.conn_stats().clone();
+    // The short poll timeout keeps drain/reap responsive even against a
+    // silent peer; the framing state absorbs the resulting partial reads.
+    let _ = stream.set_read_timeout(Some(READ_POLL));
     let mut reader = BufReader::new(match stream.try_clone() {
         Ok(s) => s,
-        Err(_) => return,
+        Err(_) => {
+            stats.errored.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
     });
     let mut writer = BufWriter::new(stream);
-    if let Err(e) = serve_stream(router, &mut reader, &mut writer) {
-        // A dropped connection is routine for a line service; log to
-        // stderr and move on.
-        eprintln!("ndg-serve: connection {peer:?} ended: {e}");
+    match serve_stream_with(router, &mut reader, &mut writer, opts) {
+        Ok(ConnEnd::Eof) => {
+            stats.eof.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(ConnEnd::Reaped) => {
+            stats.reaped.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(ConnEnd::Drained) => {
+            stats.drained.fetch_add(1, Ordering::Relaxed);
+        }
+        Err(e) => {
+            // A dropped connection is routine for a line service; count
+            // it and move on.
+            classify_io_end(&stats, &e);
+        }
     }
 }
 
 /// Bind `addr` (e.g. `127.0.0.1:4321`, or port `0` for ephemeral) and
 /// serve until the returned handle is stopped/dropped.
 pub fn spawn_tcp(router: Arc<Router>, addr: &str) -> io::Result<ServerHandle> {
+    spawn_tcp_with(router, addr, TcpOptions::default())
+}
+
+/// [`spawn_tcp`] with explicit robustness options.
+pub fn spawn_tcp_with(
+    router: Arc<Router>,
+    addr: &str,
+    topts: TcpOptions,
+) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(addr)?;
     let local = listener.local_addr()?;
     listener.set_nonblocking(true)?;
     let shutdown = Arc::new(AtomicBool::new(false));
     let flag = shutdown.clone();
+    let gate = topts
+        .max_inflight
+        .map(|cap| Arc::new(Gate::new(cap, topts.retry_ms)));
+    let conn_opts = ServeOptions {
+        idle_timeout: topts.idle_timeout,
+        gate,
+        shutdown: Some(shutdown.clone()),
+    };
     let accept_thread = std::thread::Builder::new()
         .name("ndg-serve-accept".into())
         .spawn(move || {
@@ -215,9 +577,10 @@ pub fn spawn_tcp(router: Arc<Router>, addr: &str) -> io::Result<ServerHandle> {
                     Ok((stream, _)) => {
                         let _ = stream.set_nonblocking(false);
                         let router = router.clone();
+                        let opts = conn_opts.clone();
                         if let Ok(h) = std::thread::Builder::new()
                             .name("ndg-serve-conn".into())
-                            .spawn(move || handle_connection(&router, stream))
+                            .spawn(move || handle_connection(&router, stream, &opts))
                         {
                             workers.push(h);
                         }
@@ -229,6 +592,8 @@ pub fn spawn_tcp(router: Arc<Router>, addr: &str) -> io::Result<ServerHandle> {
                     Err(_) => std::thread::sleep(Duration::from_millis(5)),
                 }
             }
+            // Drain: stop accepting (listener drops at scope end), let
+            // every connection answer its buffered lines, then join.
             for h in workers {
                 let _ = h.join();
             }
@@ -319,6 +684,74 @@ mod tests {
     }
 
     #[test]
+    fn invalid_utf8_is_answered_structurally_not_fatally() {
+        let r = router();
+        let mut input = b"ndg1;id=u1;method=stats;junk=".to_vec();
+        input.extend_from_slice(&[0xff, 0xfe]);
+        input.extend_from_slice(b"\nndg1;id=u2;method=stats\n\n");
+        let mut reader = Cursor::new(input);
+        let mut out = Vec::new();
+        serve_stream(&r, &mut reader, &mut out).unwrap();
+        let lines: Vec<&str> = std::str::from_utf8(&out).unwrap().lines().collect();
+        assert_eq!(lines.len(), 2, "{lines:?}");
+        assert!(lines[0].starts_with("err;id=u1;"), "{}", lines[0]);
+        assert!(lines[1].starts_with("ok;id=u2;"), "{}", lines[1]);
+    }
+
+    #[test]
+    fn gate_sheds_past_capacity_in_request_order() {
+        let r = router();
+        let opts = ServeOptions {
+            gate: Some(Arc::new(Gate::new(2, 75))),
+            ..Default::default()
+        };
+        let input = "ndg1;id=g1;method=stats\n\
+                     ndg1;id=g2;method=stats\n\
+                     ndg1;id=g3;method=stats\n\
+                     ndg1;id=g4;method=stats\n\n";
+        let mut reader = Cursor::new(input.as_bytes().to_vec());
+        let mut out = Vec::new();
+        let end = serve_stream_with(&r, &mut reader, &mut out, &opts).unwrap();
+        assert_eq!(end, ConnEnd::Eof);
+        let lines: Vec<&str> = std::str::from_utf8(&out).unwrap().lines().collect();
+        assert_eq!(lines.len(), 4);
+        // One batch of four against capacity 2: the first two admitted,
+        // the last two shed — in request order, with the retry hint.
+        assert!(lines[0].starts_with("ok;id=g1;"), "{}", lines[0]);
+        assert!(lines[1].starts_with("ok;id=g2;"), "{}", lines[1]);
+        for (i, id) in [(2usize, "g3"), (3, "g4")] {
+            assert!(
+                lines[i].starts_with(&format!("err;id={id};code=overloaded;retry_ms=75;")),
+                "{}",
+                lines[i]
+            );
+        }
+        assert_eq!(r.conn_stats().shed.load(Ordering::Relaxed), 2);
+        // Permits were released: a later batch is admitted again.
+        let mut reader = Cursor::new(b"ndg1;id=g5;method=stats\n\n".to_vec());
+        let mut out = Vec::new();
+        serve_stream_with(&r, &mut reader, &mut out, &opts).unwrap();
+        assert!(std::str::from_utf8(&out).unwrap().starts_with("ok;id=g5;"));
+    }
+
+    #[test]
+    fn drain_flag_answers_buffered_lines_then_closes() {
+        let r = router();
+        let flag = Arc::new(AtomicBool::new(true)); // already draining
+        let opts = ServeOptions {
+            shutdown: Some(flag),
+            ..Default::default()
+        };
+        let mut reader = Cursor::new(b"ndg1;id=d1;method=stats\n\n".to_vec());
+        let mut out = Vec::new();
+        let end = serve_stream_with(&r, &mut reader, &mut out, &opts).unwrap();
+        assert_eq!(end, ConnEnd::Drained);
+        // The flag was up before anything was buffered: close, no answer.
+        assert!(out.is_empty());
+        assert_eq!(r.conn_stats().shed.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
     fn tcp_round_trip_on_ephemeral_port() {
         let handle = spawn_tcp(Arc::new(router()), "127.0.0.1:0").unwrap();
         let addr = handle.addr();
@@ -337,6 +770,82 @@ mod tests {
         drop(reader);
         drop(conn);
         handle.stop();
+    }
+
+    #[test]
+    fn tcp_reaps_idle_connections_and_counts_them() {
+        let r = Arc::new(router());
+        let handle = spawn_tcp_with(
+            r.clone(),
+            "127.0.0.1:0",
+            TcpOptions {
+                idle_timeout: Some(Duration::from_millis(120)),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let addr = handle.addr();
+        // A half-written line with no newline: no framing progress.
+        let mut conn = TcpStream::connect(addr).unwrap();
+        conn.write_all(b"ndg1;id=slow;met").unwrap();
+        conn.flush().unwrap();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while r.conn_stats().reaped.load(Ordering::Relaxed) == 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(r.conn_stats().reaped.load(Ordering::Relaxed), 1);
+        // The reaped socket is closed server-side: reads return EOF (or a
+        // reset, depending on timing).
+        let mut buf = [0u8; 8];
+        let _ = conn.set_read_timeout(Some(Duration::from_secs(2)));
+        matches!(io::Read::read(&mut conn, &mut buf), Ok(0) | Err(_));
+        handle.stop();
+    }
+
+    #[test]
+    fn tcp_blank_line_keepalive_survives_the_idle_window() {
+        let r = Arc::new(router());
+        let handle = spawn_tcp_with(
+            r.clone(),
+            "127.0.0.1:0",
+            TcpOptions {
+                idle_timeout: Some(Duration::from_millis(150)),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let addr = handle.addr();
+        let mut conn = TcpStream::connect(addr).unwrap();
+        // Heartbeat blank lines under the idle window, then a request.
+        for _ in 0..5 {
+            std::thread::sleep(Duration::from_millis(60));
+            conn.write_all(b"\n").unwrap();
+            conn.flush().unwrap();
+        }
+        write!(conn, "ndg1;id=alive;method=stats\n\n").unwrap();
+        conn.flush().unwrap();
+        let mut reader = BufReader::new(conn.try_clone().unwrap());
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.starts_with("ok;id=alive;"), "{line}");
+        assert_eq!(r.conn_stats().reaped.load(Ordering::Relaxed), 0);
+        drop(reader);
+        drop(conn);
+        handle.stop();
+    }
+
+    #[test]
+    fn tcp_graceful_drain_counts_connections() {
+        let r = Arc::new(router());
+        let handle = spawn_tcp(r.clone(), "127.0.0.1:0").unwrap();
+        let addr = handle.addr();
+        let conn = TcpStream::connect(addr).unwrap();
+        // Ensure the server has accepted before stopping.
+        std::thread::sleep(Duration::from_millis(50));
+        handle.stop(); // drains: the idle connection closes server-side
+        let drained = r.conn_stats().drained.load(Ordering::Relaxed);
+        assert_eq!(drained, 1, "open connection should drain on stop");
+        drop(conn);
     }
 
     #[test]
@@ -369,5 +878,79 @@ mod tests {
         // lands (all three miss); every later probe must hit.
         assert!(stats.hits >= 9, "12 identical queries: {stats:?}");
         handle.stop();
+    }
+
+    #[test]
+    fn crlf_terminated_lines_frame_and_a_bare_crlf_flushes() {
+        let r = router();
+        let mut reader =
+            Cursor::new(b"ndg1;id=w1;method=stats\r\nndg1;id=w2;method=stats\r\n\r\n".to_vec());
+        let mut out = Vec::new();
+        serve_stream(&r, &mut reader, &mut out).unwrap();
+        let lines: Vec<&str> = std::str::from_utf8(&out).unwrap().lines().collect();
+        assert_eq!(lines.len(), 2, "{lines:?}");
+        assert!(lines[0].starts_with("ok;id=w1;"), "{}", lines[0]);
+        assert!(lines[1].starts_with("ok;id=w2;"), "{}", lines[1]);
+        // No stray carriage returns leak into the responses.
+        assert!(!std::str::from_utf8(&out).unwrap().contains('\r'));
+    }
+
+    #[test]
+    fn oversized_prefix_truncates_on_a_utf8_boundary() {
+        // Arrange the 512-byte cut to fall mid-`é`: the head is 29 bytes
+        // (odd), so the 2-byte chars start on odd offsets and 512 splits
+        // one of them.
+        let head = "ndg1;id=mb1;method=stats;pad=";
+        assert_eq!(head.len(), 29);
+        let mut st = FrameState::default();
+        st.line.extend_from_slice(head.as_bytes());
+        while st.line.len() < 600 {
+            st.line.extend_from_slice("é".as_bytes());
+        }
+        let Framed::Oversized(prefix) = oversize_slot(&mut st) else {
+            panic!("oversize_slot must produce an oversized slot");
+        };
+        assert_eq!(prefix.len(), 511, "backs up to the char boundary");
+        assert!(prefix.is_char_boundary(prefix.len()));
+        assert!(st.discarding && st.line.is_empty());
+        // End to end: the id survives the truncation and the next request
+        // is answered normally.
+        let r = router();
+        let mut input = head.as_bytes().to_vec();
+        while input.len() < MAX_LINE_BYTES + 64 {
+            input.extend_from_slice("é".as_bytes());
+        }
+        input.extend_from_slice(b"\nndg1;id=after;method=stats\n\n");
+        let mut reader = Cursor::new(input);
+        let mut out = Vec::new();
+        serve_stream(&r, &mut reader, &mut out).unwrap();
+        let lines: Vec<&str> = std::str::from_utf8(&out).unwrap().lines().collect();
+        assert_eq!(lines.len(), 2, "{lines:?}");
+        assert!(
+            lines[0].starts_with("err;id=mb1;code=too_large;"),
+            "{}",
+            lines[0]
+        );
+        assert!(lines[1].starts_with("ok;id=after;"), "{}", lines[1]);
+    }
+
+    #[test]
+    fn corrupted_prefixes_still_recover_the_id() {
+        // A mangled protocol tag cannot parse, but the intact `id=` field
+        // later in the line must still ride on the error reply; an id
+        // that is itself mangled falls back to `?`.
+        let r = router();
+        let mut reader =
+            Cursor::new(b"ndgX;id=c9;method=stats\nndg1;id=!!bad!!;method=stats\n\n".to_vec());
+        let mut out = Vec::new();
+        serve_stream(&r, &mut reader, &mut out).unwrap();
+        let lines: Vec<&str> = std::str::from_utf8(&out).unwrap().lines().collect();
+        assert_eq!(lines.len(), 2, "{lines:?}");
+        assert!(
+            lines[0].starts_with("err;id=c9;code=bad_tag;"),
+            "{}",
+            lines[0]
+        );
+        assert!(lines[1].starts_with("err;id=?;"), "{}", lines[1]);
     }
 }

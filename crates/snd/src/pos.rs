@@ -10,14 +10,28 @@
 
 use crate::SndError;
 use ndg_core::{
-    dynamics_from_tree, price_of_stability, MoveOrder, NetworkDesignGame, SubsidyAssignment,
+    dynamics_from_tree, price_of_stability, price_of_stability_budgeted, MoveOrder,
+    NetworkDesignGame, SubsidyAssignment,
 };
+use ndg_exec::Budget;
 use ndg_graph::{harmonic, kruskal, mst_weight};
 
 /// Exact PoS over spanning-tree states of the unsubsidized game.
 pub fn exact_pos(game: &NetworkDesignGame, cap: usize) -> Result<f64, SndError> {
     let b0 = SubsidyAssignment::zero(game.graph());
     price_of_stability(game, &b0, cap)?.ok_or(SndError::NoDesign)
+}
+
+/// [`exact_pos`] under a cooperative [`Budget`], checked at the
+/// enumerator's chunk boundaries. Expiry surfaces as
+/// `SndError::Enum(EnumError::Cancelled)`.
+pub fn exact_pos_budgeted(
+    game: &NetworkDesignGame,
+    cap: usize,
+    budget: &Budget,
+) -> Result<f64, SndError> {
+    let b0 = SubsidyAssignment::zero(game.graph());
+    price_of_stability_budgeted(game, &b0, cap, budget)?.ok_or(SndError::NoDesign)
 }
 
 /// The best-response-from-OPT upper bound: descend the potential from the

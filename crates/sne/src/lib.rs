@@ -67,6 +67,8 @@ pub enum SneError {
     BadLpStatus(ndg_lp::LpStatus),
     /// The computed assignment failed the final equilibrium re-check.
     VerificationFailed,
+    /// The caller's [`ndg_exec::Budget`] expired before the solve finished.
+    Cancelled,
 }
 
 impl fmt::Display for SneError {
@@ -81,6 +83,7 @@ impl fmt::Display for SneError {
             SneError::VerificationFailed => {
                 write!(f, "computed subsidies fail the equilibrium re-check")
             }
+            SneError::Cancelled => write!(f, "solve cancelled by budget"),
         }
     }
 }

@@ -17,10 +17,13 @@
 
 use crate::{SneError, SneSolution};
 use ndg_core::{NetworkDesignGame, State, SubsidyAssignment};
-use ndg_exec::Executor;
+use ndg_exec::{Budget, Executor};
 use ndg_graph::paths::{PooledWorkspace, WorkspacePool};
 use ndg_graph::EdgeId;
-use ndg_lp::{solve_with_batched_cuts, BatchSeparationOracle, CutStats, LinearProgram, Row, RowOp};
+use ndg_lp::{
+    solve_with_batched_cuts_budgeted, BatchSeparationOracle, CutError, CutStats, LinearProgram,
+    Row, RowOp,
+};
 use std::collections::HashMap;
 
 /// Oracle violation tolerance: constraints violated by less than this are
@@ -94,6 +97,19 @@ pub fn enforce_state_cutting_with(
     state: &State,
     ex: &Executor,
 ) -> Result<(SneSolution, CutStats), SneError> {
+    enforce_state_cutting_budgeted(game, state, ex, &Budget::unlimited())
+}
+
+/// [`enforce_state_cutting_with`] under a cooperative [`Budget`]: the
+/// budget is checked at every cutting-plane round boundary and expiry
+/// surfaces as [`SneError::Cancelled`]. With an unlimited budget the
+/// relaxation sequence (and thus the subsidy vector) is unchanged.
+pub fn enforce_state_cutting_budgeted(
+    game: &NetworkDesignGame,
+    state: &State,
+    ex: &Executor,
+    budget: &Budget,
+) -> Result<(SneSolution, CutStats), SneError> {
     let g = game.graph();
     // Variables: subsidies on established edges only (off-support subsidies
     // can only cheapen deviations).
@@ -115,8 +131,13 @@ pub fn enforce_state_cutting_with(
         pool: &pool,
         b: SubsidyAssignment::zero(g),
     };
-    let (sol, stats) = solve_with_batched_cuts(&mut lp, &mut oracle, MAX_ROUNDS, ex)
-        .map_err(|e| SneError::Cut(e.to_string()))?;
+    let (sol, stats) =
+        solve_with_batched_cuts_budgeted(&mut lp, &mut oracle, MAX_ROUNDS, ex, budget).map_err(
+            |e| match e {
+                CutError::Cancelled => SneError::Cancelled,
+                other => SneError::Cut(other.to_string()),
+            },
+        )?;
 
     let mut b = SubsidyAssignment::zero(g);
     for (k, &e) in var_list.iter().enumerate() {

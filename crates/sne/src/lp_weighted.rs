@@ -14,10 +14,13 @@
 use crate::{SneError, SneSolution};
 use ndg_core::weighted::{weighted_player_cost, Demands};
 use ndg_core::{NetworkDesignGame, State, SubsidyAssignment};
-use ndg_exec::Executor;
+use ndg_exec::{Budget, Executor};
 use ndg_graph::paths::{PooledWorkspace, WorkspacePool};
 use ndg_graph::EdgeId;
-use ndg_lp::{solve_with_batched_cuts, BatchSeparationOracle, CutStats, LinearProgram, Row, RowOp};
+use ndg_lp::{
+    solve_with_batched_cuts_budgeted, BatchSeparationOracle, CutError, CutStats, LinearProgram,
+    Row, RowOp,
+};
 use std::collections::HashMap;
 
 const ORACLE_TOL: f64 = 1e-7;
@@ -92,6 +95,19 @@ pub fn enforce_state_weighted_with(
     demands: &Demands,
     ex: &Executor,
 ) -> Result<(SneSolution, CutStats), SneError> {
+    enforce_state_weighted_budgeted(game, state, demands, ex, &Budget::unlimited())
+}
+
+/// [`enforce_state_weighted_with`] under a cooperative [`Budget`], checked
+/// at cutting-plane round boundaries; expiry surfaces as
+/// [`SneError::Cancelled`].
+pub fn enforce_state_weighted_budgeted(
+    game: &NetworkDesignGame,
+    state: &State,
+    demands: &Demands,
+    ex: &Executor,
+    budget: &Budget,
+) -> Result<(SneSolution, CutStats), SneError> {
     let g = game.graph();
     let established = state.established_edges();
     let mut lp = LinearProgram::new();
@@ -112,8 +128,13 @@ pub fn enforce_state_weighted_with(
         pool: &pool,
         b: SubsidyAssignment::zero(g),
     };
-    let (sol, stats) = solve_with_batched_cuts(&mut lp, &mut oracle, MAX_ROUNDS, ex)
-        .map_err(|e| SneError::Cut(e.to_string()))?;
+    let (sol, stats) =
+        solve_with_batched_cuts_budgeted(&mut lp, &mut oracle, MAX_ROUNDS, ex, budget).map_err(
+            |e| match e {
+                CutError::Cancelled => SneError::Cancelled,
+                other => SneError::Cut(other.to_string()),
+            },
+        )?;
     let mut b = SubsidyAssignment::zero(g);
     for (k, &e) in var_list.iter().enumerate() {
         b.set(g, e, sol.x[k]);
