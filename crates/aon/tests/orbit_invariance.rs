@@ -1,0 +1,45 @@
+//! The orbit-pruned SND paths in `ndg-snd` price one AoN branch-and-bound
+//! per tree orbit and reuse the cost for every automorphic copy. That is
+//! only sound if the minimum AoN cost really is automorphism-invariant —
+//! pinned here against `ndg-canon`'s verified generators.
+
+use ndg_canon::{automorphisms, Instance};
+use ndg_core::NetworkDesignGame;
+use ndg_graph::{generators, EdgeId, NodeId};
+
+/// Map a sorted tree edge set through an edge permutation, re-sorting.
+fn map_tree(tree: &[EdgeId], sigma: &[u32]) -> Vec<EdgeId> {
+    let mut out: Vec<EdgeId> = tree.iter().map(|e| EdgeId(sigma[e.index()])).collect();
+    out.sort_unstable();
+    out
+}
+
+#[test]
+fn aon_cost_is_invariant_across_automorphic_trees() {
+    for g in [
+        generators::cycle_graph(8, 1.0),
+        generators::hypercube_graph(3, 1.0),
+        generators::torus_graph(3, 3, 1.0),
+    ] {
+        let game = NetworkDesignGame::broadcast(g, NodeId(0)).unwrap();
+        let gens = automorphisms(&Instance::of_game(&game, None));
+        assert!(!gens.is_empty(), "symmetric family must have automorphisms");
+        let trees = ndg_core::spanning_trees(game.graph(), 20_000).unwrap();
+        // A handful of trees suffices; every generator must preserve cost.
+        for tree in trees.iter().step_by(trees.len() / 8 + 1) {
+            let base = ndg_aon::exact::min_aon_subsidy(&game, tree, 1_000_000).unwrap();
+            for sigma in &gens.edge {
+                let image = map_tree(tree, sigma);
+                assert!(game.graph().is_spanning_tree(&image));
+                let mapped = ndg_aon::exact::min_aon_subsidy(&game, &image, 1_000_000).unwrap();
+                assert!(
+                    (base.cost - mapped.cost).abs() < 1e-9,
+                    "AoN cost must be automorphism-invariant: {} vs {}",
+                    base.cost,
+                    mapped.cost
+                );
+                assert_eq!(base.edges.len(), mapped.edges.len());
+            }
+        }
+    }
+}

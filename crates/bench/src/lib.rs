@@ -115,19 +115,21 @@ pub fn header(names: &[&str], widths: &[usize]) -> String {
     format!("{head}\n{sep}")
 }
 
-/// Split the pinned `BENCH_serve.json` text into (object body without
-/// the closing brace or any `"e14_canon"` section, the raw section text
-/// if one is present). `exp_e12` rewrites the body and re-attaches the
-/// section; `exp_e14` keeps the body and replaces the section — one
-/// implementation of the file's layout invariant for both binaries.
-pub fn split_bench_serve(text: &str) -> (String, Option<String>) {
+/// Split a pinned `BENCH_*.json` text into (object body without the
+/// closing brace or any trailing `"key"` section, the raw section text
+/// if one is present). The layout invariant shared by every splicing
+/// experiment binary: the primary writer rewrites the body and
+/// re-attaches the section, the section's own writer keeps the body and
+/// replaces the section.
+pub fn split_bench_section(text: &str, key: &str) -> (String, Option<String>) {
     let trimmed = text.trim_end();
     let body = trimmed
         .strip_suffix('}')
         .unwrap_or(trimmed)
         .trim_end()
         .to_string();
-    match body.find(",\n  \"e14_canon\"") {
+    let marker = format!(",\n  \"{key}\"");
+    match body.find(&marker) {
         Some(i) => {
             // Skip the leading ",\n  " so the section starts at its key.
             let section = body[i..].trim_start_matches(",\n").trim().to_string();
@@ -136,26 +138,37 @@ pub fn split_bench_serve(text: &str) -> (String, Option<String>) {
         None => {
             // Fail loudly rather than silently dropping a section the
             // splitter could not isolate (formatting drift would
-            // otherwise make the next exp_e12 run delete pinned e14
-            // numbers).
+            // otherwise make the next primary-writer run delete pinned
+            // section numbers).
             assert!(
-                !body.contains("\"e14_canon\""),
-                "BENCH_serve.json contains an e14_canon section in an \
-                 unexpected layout; refusing to guess — re-run exp_e14 \
-                 after fixing the file"
+                !body.contains(&format!("\"{key}\"")),
+                "pinned bench file contains a {key} section in an \
+                 unexpected layout; refusing to guess — re-run its \
+                 experiment binary after fixing the file"
             );
             (body, None)
         }
     }
 }
 
-/// Inverse of [`split_bench_serve`]: reassemble the pinned file from a
-/// body and an optional `"e14_canon": { … }` section.
-pub fn join_bench_serve(body: &str, e14: Option<&str>) -> String {
-    match e14 {
+/// Inverse of [`split_bench_section`]: reassemble the pinned file from a
+/// body and an optional `"key": { … }` section.
+pub fn join_bench_section(body: &str, section: Option<&str>) -> String {
+    match section {
         Some(section) => format!("{},\n  {section}\n}}\n", body.trim_end()),
         None => format!("{}\n}}\n", body.trim_end()),
     }
+}
+
+/// [`split_bench_section`] for `BENCH_serve.json`'s `"e14_canon"`
+/// section (`exp_e12` rewrites the body, `exp_e14` the section).
+pub fn split_bench_serve(text: &str) -> (String, Option<String>) {
+    split_bench_section(text, "e14_canon")
+}
+
+/// Inverse of [`split_bench_serve`].
+pub fn join_bench_serve(body: &str, e14: Option<&str>) -> String {
+    join_bench_section(body, e14)
 }
 
 /// Deterministic partial subsidies: roughly 30% of edges carry a uniform

@@ -105,6 +105,28 @@ pub struct Instance {
 }
 
 impl Instance {
+    /// The neutral instance of an in-memory game (broadcast or general),
+    /// with optional per-player demands. This is the bridge the
+    /// enumeration/reduction orbit machinery uses to ask canon questions
+    /// about solver-side games without going through the wire codec.
+    pub fn of_game(game: &NetworkDesignGame, demands: Option<Vec<f64>>) -> Instance {
+        let g = game.graph();
+        Instance {
+            n: g.node_count(),
+            edges: g.edges().map(|(_, e)| (e.u.0, e.v.0, e.w)).collect(),
+            root: game.root().map(|r| r.0),
+            players: if game.root().is_some() {
+                Vec::new()
+            } else {
+                game.players()
+                    .iter()
+                    .map(|p| (p.source.0, p.terminal.0))
+                    .collect()
+            },
+            demands,
+        }
+    }
+
     /// Number of players (implied for broadcast).
     pub fn num_players(&self) -> usize {
         if self.root.is_some() {
@@ -606,6 +628,45 @@ pub fn canonicalize(inst: &Instance) -> Option<(Instance, Relabeling)> {
 /// canonical form, and attachments that distinguish between them may map
 /// differently across isomorphs (a missed share, never a wrong answer).
 pub fn canonicalize_with(inst: &Instance, att: &Attachments) -> Option<(Instance, Relabeling)> {
+    canonicalize_inner(inst, att, false).map(|(canon, map, _)| (canon, map))
+}
+
+/// [`canonicalize_with`], additionally reporting the **automorphism
+/// generators** of the decorated pair discovered along the search:
+/// transpositions of twin-orbit members plus the label permutations
+/// between equal-leaf-code labelings, every candidate *verified* against
+/// the decorated instance before it is returned (soundness never depends
+/// on the discovery heuristics). The generator set may be a proper
+/// subset of a full generating set — consumers (orbit pruning, gadget
+/// dedup) remain exact under any subgroup, only less effective. Falls
+/// back exactly like [`canonicalize_with`] (`None` on unmappable /
+/// over-budget input); callers then use the trivial group.
+pub fn canonicalize_with_autos(
+    inst: &Instance,
+    att: &Attachments,
+) -> Option<(Instance, Relabeling, AutGenerators)> {
+    canonicalize_inner(inst, att, true)
+}
+
+/// Verified automorphism generators of a bare instance; empty on any
+/// fallback (the "trivial group" mirror of the literal-keying fallback).
+pub fn automorphisms(inst: &Instance) -> AutGenerators {
+    automorphisms_with(inst, &Attachments::default())
+}
+
+/// Verified automorphism generators of a decorated pair; empty on any
+/// fallback.
+pub fn automorphisms_with(inst: &Instance, att: &Attachments) -> AutGenerators {
+    canonicalize_with_autos(inst, att)
+        .map(|(_, _, gens)| gens)
+        .unwrap_or_default()
+}
+
+fn canonicalize_inner(
+    inst: &Instance,
+    att: &Attachments,
+    collect: bool,
+) -> Option<(Instance, Relabeling, AutGenerators)> {
     if !inst.mappable() || !att.mappable(inst) {
         return None;
     }
@@ -620,6 +681,8 @@ pub fn canonicalize_with(inst: &Instance, att: &Attachments) -> Option<(Instance
         work: CANON_WORK_BUDGET,
         aborted: false,
         best: None,
+        collect,
+        candidates: Vec::new(),
     };
     let seed = inst.seed(&decor);
     let base = search.refine(&seed)?;
@@ -627,7 +690,13 @@ pub fn canonicalize_with(inst: &Instance, att: &Attachments) -> Option<(Instance
     if search.aborted {
         return None;
     }
+    let candidates = std::mem::take(&mut search.candidates);
     let (_, labels) = search.best?;
+    let gens = if collect {
+        verify_candidates(inst, &decor, candidates)
+    } else {
+        AutGenerators::default()
+    };
     // Canonical presentation orders under the winning labels: edges by
     // (endpoints, weight bits), players by (endpoints, demand bits);
     // original index last so fully identical records (interchangeable by
@@ -644,13 +713,208 @@ pub fn canonicalize_with(inst: &Instance, att: &Attachments) -> Option<(Instance
         let d = inst.demands.as_ref().map_or(0, |d| d[i as usize].to_bits());
         (labels[s as usize], labels[t as usize], d, i)
     });
-    Some(apply_relabeling(
-        inst,
-        &labels,
-        &edge_order,
-        &player_order,
-        true,
-    ))
+    let (canon, map) = apply_relabeling(inst, &labels, &edge_order, &player_order, true);
+    Some((canon, map, gens))
+}
+
+/// Verified automorphism generators of a decorated instance, as parallel
+/// lists of node / edge / player permutations (`perm[old] = old'`, all in
+/// the *input* label space). Produced by [`canonicalize_with_autos`] /
+/// [`automorphisms_with`]; an empty set is the trivial group (either the
+/// instance is rigid or the search fell back).
+///
+/// Guarantees, per generator `i`: `node[i]` is a graph automorphism that
+/// fixes the broadcast root, maps every edge onto an edge with identical
+/// weight *bits* and identical attachment class (so edge-set and
+/// edge-vector attachments are preserved exactly), and maps every player
+/// onto a player with identical demand bits and attachment class.
+/// `edge[i]` / `player[i]` are the induced permutations. Records that are
+/// fully identical (parallel edges with equal endpoints and weight bits)
+/// are interchangeable, matching the canonicalization caveat.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct AutGenerators {
+    /// Node maps (`old node id → old node id`).
+    pub node: Vec<Vec<u32>>,
+    /// Induced edge permutations (`old edge id → old edge id`).
+    pub edge: Vec<Vec<u32>>,
+    /// Induced player permutations (`old player index → old player index`).
+    pub player: Vec<Vec<u32>>,
+}
+
+impl AutGenerators {
+    /// Whether the group is (known to be) trivial.
+    pub fn is_empty(&self) -> bool {
+        self.node.is_empty()
+    }
+
+    /// Number of generators.
+    pub fn len(&self) -> usize {
+        self.node.len()
+    }
+}
+
+/// Cap on collected automorphism candidates per search: a wide twin
+/// orbit (hundreds of interchangeable leaves) does not need hundreds of
+/// transposition generators to be *useful* — any subgroup keeps the
+/// consumers exact — and the cap keeps collection cost negligible next
+/// to the search itself.
+const MAX_AUT_CANDIDATES: usize = 64;
+
+/// Filter candidate node maps down to verified automorphisms with their
+/// induced edge/player permutations. Deduplicates; drops the identity.
+fn verify_candidates(
+    inst: &Instance,
+    decor: &AttachmentClasses,
+    candidates: Vec<Vec<u32>>,
+) -> AutGenerators {
+    let mut gens = AutGenerators::default();
+    let mut seen: std::collections::HashSet<Vec<u32>> = std::collections::HashSet::new();
+    for node_map in candidates {
+        if node_map.iter().enumerate().all(|(v, &x)| v as u32 == x) {
+            continue;
+        }
+        if !seen.insert(node_map.clone()) {
+            continue;
+        }
+        if let Some((edge, player)) = induced_maps(inst, decor, &node_map) {
+            gens.node.push(node_map);
+            gens.edge.push(edge);
+            gens.player.push(player);
+        }
+    }
+    gens
+}
+
+/// Check that `node_map` is an automorphism of the decorated instance
+/// and compute the induced edge and player permutations. Identical
+/// records (equal endpoints, weight bits and attachment class) are
+/// matched in id order — interchangeable by the canonicalization caveat.
+fn induced_maps(
+    inst: &Instance,
+    decor: &AttachmentClasses,
+    node_map: &[u32],
+) -> Option<(Vec<u32>, Vec<u32>)> {
+    use std::collections::HashMap;
+    let n = inst.n as u32;
+    if node_map.len() != inst.n || !node_map.iter().all(|&x| x < n) {
+        return None;
+    }
+    // Must be a bijection.
+    let mut hit = vec![false; inst.n];
+    for &x in node_map {
+        if std::mem::replace(&mut hit[x as usize], true) {
+            return None;
+        }
+    }
+    // Edge bijection: bucket original edges by (endpoints, weight bits,
+    // attachment class); each source edge consumes one image edge from
+    // the bucket of its mapped key, smallest ids first.
+    let mut buckets: HashMap<(u32, u32, u64, u32), Vec<u32>> = HashMap::new();
+    for (e, &(u, v, w)) in inst.edges.iter().enumerate() {
+        let (a, b) = minmax(u, v);
+        buckets
+            .entry((a, b, w.to_bits(), decor.edge_class[e]))
+            .or_default()
+            .push(e as u32);
+    }
+    // Consume from the front so images come out in ascending id order.
+    let mut next: HashMap<(u32, u32, u64, u32), usize> = HashMap::new();
+    let mut edge_perm = vec![0u32; inst.edges.len()];
+    for (e, &(u, v, w)) in inst.edges.iter().enumerate() {
+        let (a, b) = minmax(node_map[u as usize], node_map[v as usize]);
+        let key = (a, b, w.to_bits(), decor.edge_class[e]);
+        let ids = buckets.get(&key)?;
+        let cursor = next.entry(key).or_insert(0);
+        let img = *ids.get(*cursor)?;
+        *cursor += 1;
+        edge_perm[e] = img;
+    }
+    // Player bijection.
+    let player_perm = match inst.root {
+        Some(r) => {
+            if node_map[r as usize] != r {
+                return None;
+            }
+            // Broadcast: implied by the node map (player i sits at the
+            // i-th non-root node), exactly as in `apply_relabeling`.
+            let mut perm = Vec::with_capacity(inst.n.saturating_sub(1));
+            for v in 0..n {
+                if v == r {
+                    continue;
+                }
+                let x = node_map[v as usize];
+                perm.push(if x > r { x - 1 } else { x });
+            }
+            // Attachment classes must survive the reindexing.
+            if !perm
+                .iter()
+                .enumerate()
+                .all(|(i, &j)| decor.player_class[i] == decor.player_class[j as usize])
+            {
+                return None;
+            }
+            perm
+        }
+        None => {
+            let mut buckets: HashMap<(u32, u32, u64, u32), Vec<u32>> = HashMap::new();
+            for (i, &(s, t)) in inst.players.iter().enumerate() {
+                let d = inst.demands.as_ref().map_or(0, |d| d[i].to_bits());
+                buckets
+                    .entry((s, t, d, decor.player_class[i]))
+                    .or_default()
+                    .push(i as u32);
+            }
+            let mut next: HashMap<(u32, u32, u64, u32), usize> = HashMap::new();
+            let mut perm = vec![0u32; inst.players.len()];
+            for (i, &(s, t)) in inst.players.iter().enumerate() {
+                let d = inst.demands.as_ref().map_or(0, |d| d[i].to_bits());
+                let key = (
+                    node_map[s as usize],
+                    node_map[t as usize],
+                    d,
+                    decor.player_class[i],
+                );
+                let ids = buckets.get(&key)?;
+                let cursor = next.entry(key).or_insert(0);
+                let img = *ids.get(*cursor)?;
+                *cursor += 1;
+                perm[i] = img;
+            }
+            perm
+        }
+    };
+    Some((edge_perm, player_perm))
+}
+
+/// Orbit partition of the edge set under the generated group, by the
+/// Schreier orbit algorithm (breadth-first closure of each edge id under
+/// the generators): `orbits[e]` is the smallest edge id in `e`'s orbit.
+/// Generators that are not permutations of `0..num_edges` are ignored.
+pub fn edge_orbits(num_edges: usize, edge_gens: &[Vec<u32>]) -> Vec<u32> {
+    let gens: Vec<&Vec<u32>> = edge_gens
+        .iter()
+        .filter(|g| g.len() == num_edges && g.iter().all(|&x| (x as usize) < num_edges))
+        .collect();
+    let mut orbit: Vec<u32> = (0..num_edges as u32).collect();
+    let mut seen = vec![false; num_edges];
+    let mut stack = Vec::new();
+    for start in 0..num_edges {
+        if seen[start] {
+            continue;
+        }
+        seen[start] = true;
+        stack.push(start);
+        while let Some(e) = stack.pop() {
+            orbit[e] = start as u32;
+            for g in &gens {
+                let img = g[e] as usize;
+                if !std::mem::replace(&mut seen[img], true) {
+                    stack.push(img);
+                }
+            }
+        }
+    }
+    orbit
 }
 
 fn minmax(a: u32, b: u32) -> (u32, u32) {
@@ -688,6 +952,12 @@ struct Search<'a> {
     aborted: bool,
     /// Minimal `(leaf code, labels)` seen so far.
     best: Option<(Vec<u64>, Vec<u32>)>,
+    /// Whether to record automorphism candidates (twin transpositions,
+    /// equal-leaf-code label permutations). Collection never touches the
+    /// work budget, so canonical results are identical either way.
+    collect: bool,
+    /// Unverified candidate node maps, capped at [`MAX_AUT_CANDIDATES`].
+    candidates: Vec<Vec<u32>>,
 }
 
 impl Search<'_> {
@@ -731,6 +1001,23 @@ impl Search<'_> {
                     return;
                 }
                 let code = leaf_code(self.inst, self.att, &colors.colors);
+                if self.collect {
+                    if let Some((best_code, best_labels)) = &self.best {
+                        if code == *best_code && self.candidates.len() < MAX_AUT_CANDIDATES {
+                            // Two labelings with byte-identical codes
+                            // present the same relabeled instance:
+                            // σ = best⁻¹ ∘ labels is an automorphism
+                            // candidate (verified later).
+                            let best_inv = invert(best_labels);
+                            let sigma: Vec<u32> = colors
+                                .colors
+                                .iter()
+                                .map(|&c| best_inv[c as usize])
+                                .collect();
+                            self.candidates.push(sigma);
+                        }
+                    }
+                }
                 if self.best.as_ref().is_none_or(|(b, _)| code < *b) {
                     self.best = Some((code, colors.colors));
                 }
@@ -738,6 +1025,20 @@ impl Search<'_> {
             }
             let cell = self.target_cell(&colors);
             if self.is_twin_cell(&cell) {
+                if self.collect {
+                    // Twin-cell members are pairwise interchangeable:
+                    // each transposition with the cell head is an
+                    // automorphism candidate, and together they generate
+                    // the full symmetric group on the orbit.
+                    for &other in &cell[1..] {
+                        if self.candidates.len() >= MAX_AUT_CANDIDATES {
+                            break;
+                        }
+                        let mut sigma: Vec<u32> = (0..self.inst.n as u32).collect();
+                        sigma.swap(cell[0] as usize, other as usize);
+                        self.candidates.push(sigma);
+                    }
+                }
                 // Any ordering of a twin orbit is an automorphism image
                 // of any other: individualize the whole cell at once, in
                 // original-id order, without branching. The *code* is
@@ -1218,5 +1519,137 @@ mod tests {
             "fallback must be cheap, took {:?}",
             t0.elapsed()
         );
+        // The automorphism path mirrors the fallback: trivial group.
+        assert!(automorphisms(&inst).is_empty());
+    }
+
+    /// Every returned generator must be a genuine automorphism: a node
+    /// bijection fixing the root whose induced edge map preserves
+    /// endpoint structure and weight bits exactly.
+    fn assert_sound_generators(inst: &Instance, gens: &AutGenerators) {
+        for (g, (node, edge)) in gens.node.iter().zip(&gens.edge).enumerate() {
+            let mut hit = vec![false; inst.n];
+            for &x in node {
+                assert!(!std::mem::replace(&mut hit[x as usize], true), "gen {g}");
+            }
+            if let Some(r) = inst.root {
+                assert_eq!(node[r as usize], r, "gen {g} must fix the root");
+            }
+            let mut ehit = vec![false; inst.edges.len()];
+            for (e, &img) in edge.iter().enumerate() {
+                assert!(
+                    !std::mem::replace(&mut ehit[img as usize], true),
+                    "gen {g}: edge map not a bijection"
+                );
+                let (u, v, w) = inst.edges[e];
+                let (a, b, _) = inst.edges[img as usize];
+                let (x, y) = (node[u as usize], node[v as usize]);
+                assert_eq!(
+                    (x.min(y), x.max(y)),
+                    (a.min(b), a.max(b)),
+                    "gen {g}: edge {e} endpoints must map onto its image"
+                );
+                assert_eq!(
+                    w.to_bits(),
+                    inst.edges[img as usize].2.to_bits(),
+                    "gen {g}: weight bits must be preserved"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rooted_cycle_automorphisms_are_the_reflection() {
+        // C_12 rooted at 0: Aut = {id, v ↦ −v mod 12}. The discovered
+        // generators must be sound, non-empty, and their edge orbits
+        // must pair each path edge with its mirror (6 orbits of 2).
+        let game =
+            NetworkDesignGame::broadcast(generators::cycle_graph(12, 1.0), NodeId(0)).unwrap();
+        let inst = instance_of(&game, None);
+        let gens = automorphisms(&inst);
+        assert!(!gens.is_empty(), "the reflection must be discovered");
+        assert_sound_generators(&inst, &gens);
+        let orbits = edge_orbits(inst.edges.len(), &gens.edge);
+        let mut sizes = std::collections::HashMap::new();
+        for &o in &orbits {
+            *sizes.entry(o).or_insert(0usize) += 1;
+        }
+        assert_eq!(sizes.len(), 6, "12 edges in 6 mirror pairs: {orbits:?}");
+        assert!(sizes.values().all(|&s| s == 2), "{orbits:?}");
+    }
+
+    #[test]
+    fn rooted_hypercube_automorphisms_fuse_root_edges() {
+        // Q3 rooted at 0: vertex stabilizer ≅ S_3 permutes the three
+        // root-incident edges transitively.
+        let game =
+            NetworkDesignGame::broadcast(generators::hypercube_graph(3, 1.0), NodeId(0)).unwrap();
+        let inst = instance_of(&game, None);
+        let gens = automorphisms(&inst);
+        assert!(!gens.is_empty());
+        assert_sound_generators(&inst, &gens);
+        let orbits = edge_orbits(inst.edges.len(), &gens.edge);
+        let root_edges: Vec<usize> = inst
+            .edges
+            .iter()
+            .enumerate()
+            .filter(|(_, &(u, v, _))| u == 0 || v == 0)
+            .map(|(e, _)| e)
+            .collect();
+        assert_eq!(root_edges.len(), 3);
+        assert!(
+            root_edges
+                .iter()
+                .all(|&e| orbits[e] == orbits[root_edges[0]]),
+            "root-incident edges must share an orbit: {orbits:?}"
+        );
+    }
+
+    #[test]
+    fn random_instance_generators_are_sound_and_attachment_aware() {
+        let mut rng = StdRng::seed_from_u64(0xCA05);
+        for round in 0..30 {
+            let inst = match round % 3 {
+                0 => random_broadcast(&mut rng),
+                1 => random_general(&mut rng, false),
+                _ => random_general(&mut rng, true),
+            };
+            let gens = automorphisms(&inst);
+            assert_sound_generators(&inst, &gens);
+        }
+        // Attachments must break symmetry: subsidizing one spoke of a
+        // uniform star kills the automorphisms that move it.
+        let game = NetworkDesignGame::broadcast(generators::star_graph(6, 1.0), NodeId(0)).unwrap();
+        let inst = instance_of(&game, None);
+        let bare = automorphisms(&inst);
+        assert!(!bare.is_empty(), "uniform star leaves are twins");
+        let mut b = vec![0.0; inst.edges.len()];
+        b[2] = 0.5;
+        let att = Attachments {
+            edge_vectors: vec![b],
+            ..Attachments::default()
+        };
+        let decorated = automorphisms_with(&inst, &att);
+        assert_sound_generators(&inst, &decorated);
+        for edge in &decorated.edge {
+            assert_eq!(edge[2], 2, "no generator may move the subsidized spoke");
+        }
+    }
+
+    #[test]
+    fn twin_heavy_instances_report_generators_within_the_cap() {
+        // 40 identical leaves: candidates are capped but the returned
+        // subgroup is still sound and non-trivial.
+        let game =
+            NetworkDesignGame::broadcast(generators::star_graph(41, 1.0), NodeId(0)).unwrap();
+        let inst = instance_of(&game, None);
+        let gens = automorphisms(&inst);
+        assert!(!gens.is_empty());
+        assert!(gens.len() <= 64, "candidate cap respected");
+        assert_sound_generators(&inst, &gens);
+        // All leaf edges collapse into one orbit under the subgroup or
+        // several — either way every orbit member count sums to 40.
+        let orbits = edge_orbits(inst.edges.len(), &gens.edge);
+        assert_eq!(orbits.len(), 40);
     }
 }

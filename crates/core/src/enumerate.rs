@@ -24,8 +24,18 @@ use std::ops::ControlFlow;
 /// Errors from the enumeration pipeline.
 #[derive(Clone, Debug, PartialEq)]
 pub enum EnumError {
-    /// More spanning trees than the cap.
-    CapExceeded { cap: usize },
+    /// More spanning trees than the cap. Reports how far the sweep got so
+    /// callers never mistake a truncation for exhaustion.
+    CapExceeded {
+        /// The caller's tree cap.
+        cap: usize,
+        /// Trees actually covered before stopping (orbit-weighted for the
+        /// pruned sweep); `0` when the Kirchhoff precheck rejected the
+        /// instance without enumerating at all.
+        visited: u64,
+        /// Kirchhoff matrix-tree estimate of the total spanning-tree count.
+        estimate: f64,
+    },
     /// The graph has no spanning tree.
     Disconnected,
     /// The caller's [`ndg_exec::Budget`] expired mid-enumeration.
@@ -35,7 +45,15 @@ pub enum EnumError {
 impl fmt::Display for EnumError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            EnumError::CapExceeded { cap } => write!(f, "more than {cap} spanning trees"),
+            EnumError::CapExceeded {
+                cap,
+                visited,
+                estimate,
+            } => write!(
+                f,
+                "more than {cap} spanning trees (covered {visited} before stopping; \
+                 Kirchhoff estimate ≈ {estimate:.0})"
+            ),
             EnumError::Disconnected => write!(f, "graph is disconnected"),
             EnumError::Cancelled => write!(f, "enumeration cancelled by budget"),
         }
@@ -167,13 +185,35 @@ where
     }
 }
 
-/// Whether Kirchhoff's determinant proves the spanning-tree count exceeds
-/// `cap`. Conservative: a generous margin absorbs the determinant's float
-/// rounding, so `false` never means "within cap" — it means "enumerate
-/// and count exactly".
-fn count_certainly_exceeds(g: &Graph, cap: usize) -> bool {
+/// Kirchhoff precheck: reject instances whose determinant proves the tree
+/// count exceeds `cap`. Conservative: a generous margin absorbs the
+/// determinant's float rounding, so `Ok` never means "within cap" — it
+/// means "enumerate and count exactly". The returned error carries
+/// `visited: 0` (nothing was enumerated) and the determinant estimate.
+fn cap_precheck(g: &Graph, cap: usize) -> Result<(), EnumError> {
+    if !g.is_connected() {
+        return Ok(());
+    }
     let det = count_spanning_trees(g);
-    !det.is_nan() && det > cap as f64 * 1.1 + 16.0
+    if !det.is_nan() && det > cap as f64 * 1.1 + 16.0 {
+        return Err(EnumError::CapExceeded {
+            cap,
+            visited: 0,
+            estimate: det,
+        });
+    }
+    Ok(())
+}
+
+/// [`EnumError::CapExceeded`] for a sweep that stopped after covering
+/// `visited` trees mid-enumeration (the Kirchhoff estimate is recomputed;
+/// this is an error path, never hot).
+fn cap_tripped(g: &Graph, cap: usize, visited: u64) -> EnumError {
+    EnumError::CapExceeded {
+        cap,
+        visited,
+        estimate: count_spanning_trees(g),
+    }
 }
 
 /// Enumerate all spanning trees (as sorted edge-id vectors), up to `cap`.
@@ -181,9 +221,7 @@ fn count_certainly_exceeds(g: &Graph, cap: usize) -> bool {
 /// Prefer [`for_each_spanning_tree`] where the trees can be consumed as a
 /// stream: this wrapper materializes O(#trees · n) memory by definition.
 pub fn spanning_trees(g: &Graph, cap: usize) -> Result<Vec<Vec<EdgeId>>, EnumError> {
-    if g.is_connected() && count_certainly_exceeds(g, cap) {
-        return Err(EnumError::CapExceeded { cap });
-    }
+    cap_precheck(g, cap)?;
     let mut out: Vec<Vec<EdgeId>> = Vec::new();
     let mut capped = false;
     for_each_spanning_tree(g, |tree| {
@@ -195,7 +233,7 @@ pub fn spanning_trees(g: &Graph, cap: usize) -> Result<Vec<Vec<EdgeId>>, EnumErr
         ControlFlow::Continue(())
     })?;
     if capped {
-        return Err(EnumError::CapExceeded { cap });
+        return Err(cap_tripped(g, cap, out.len() as u64));
     }
     Ok(out)
 }
@@ -248,9 +286,7 @@ where
     T: Send,
 {
     let g = game.graph();
-    if g.is_connected() && count_certainly_exceeds(g, cap) {
-        return Err(EnumError::CapExceeded { cap });
-    }
+    cap_precheck(g, cap)?;
     if budget.expired() {
         return Err(EnumError::Cancelled);
     }
@@ -285,7 +321,7 @@ where
         return Err(EnumError::Cancelled);
     }
     if capped {
-        return Err(EnumError::CapExceeded { cap });
+        return Err(cap_tripped(g, cap, total as u64));
     }
     if budget.expired() {
         return Err(EnumError::Cancelled);
@@ -298,13 +334,13 @@ where
 }
 
 /// Lemma-2-check one chunk of trees on the shared executor, preserving the
-/// chunk's enumeration order in the result.
-fn scan_chunk(
+/// chunk's order: slot `i` is `Some` iff tree `i` is an equilibrium.
+fn scan_chunk_verdicts(
     game: &NetworkDesignGame,
     b: &SubsidyAssignment,
     root: NodeId,
     chunk: &[Vec<EdgeId>],
-) -> Vec<EquilibriumTree> {
+) -> Vec<Option<EquilibriumTree>> {
     let g = game.graph();
     let check = |edges: &Vec<EdgeId>| -> Option<EquilibriumTree> {
         let rt = RootedTree::new(g, edges, root).ok()?;
@@ -324,7 +360,21 @@ fn scan_chunk(
     } else {
         ndg_exec::Executor::from_env()
     };
-    ex.par_map(chunk, check).into_iter().flatten().collect()
+    ex.par_map(chunk, check)
+}
+
+/// Lemma-2-check one chunk of trees on the shared executor, preserving the
+/// chunk's enumeration order in the result.
+fn scan_chunk(
+    game: &NetworkDesignGame,
+    b: &SubsidyAssignment,
+    root: NodeId,
+    chunk: &[Vec<EdgeId>],
+) -> Vec<EquilibriumTree> {
+    scan_chunk_verdicts(game, b, root, chunk)
+        .into_iter()
+        .flatten()
+        .collect()
 }
 
 /// All spanning trees of the broadcast game's graph that are equilibria of
@@ -427,6 +477,388 @@ pub fn price_of_anarchy_trees(
         |worst: Option<EquilibriumTree>, eq| match worst {
             Some(cur) if tree_lt(&eq, &cur) => Some(cur),
             _ => Some(eq),
+        },
+    )?;
+    Ok(worst.map(|t| t.weight / opt))
+}
+
+/// Elements kept in an [`EdgeGroup`] closure before falling back to the
+/// trivial group. Per-tree pruning work is O(|G| · n log n), so a runaway
+/// closure would cost more than the Lemma-2 scans it saves.
+const GROUP_CAP: usize = 1024;
+
+/// A permutation group acting on edge ids, materialized as its full element
+/// set (identity first). Built from automorphism generators — e.g.
+/// `ndg_canon::AutGenerators::edge` — and consumed by the orbit-pruned
+/// enumeration to skip automorphic copies of spanning trees.
+///
+/// Budget discipline mirrors `ndg-canon`'s literal fallback: malformed
+/// generators or a closure larger than `GROUP_CAP` yield the **trivial
+/// group**, under which pruning degrades to the exact unpruned sweep.
+/// Any subgroup of the true automorphism group is sound here: orbits of a
+/// subgroup partition the trees just the same, merely coarser pruning.
+#[derive(Clone, Debug)]
+pub struct EdgeGroup {
+    /// Edges the permutations act on.
+    num_edges: usize,
+    /// Every group element; `elems[0]` is the identity.
+    elems: Vec<Vec<u32>>,
+}
+
+impl EdgeGroup {
+    /// The trivial group on `num_edges` edges (no pruning).
+    pub fn trivial(num_edges: usize) -> Self {
+        EdgeGroup {
+            num_edges,
+            elems: vec![(0..num_edges as u32).collect()],
+        }
+    }
+
+    /// Close `gens` under composition into the full element set. Returns
+    /// the trivial group when `gens` is empty, any generator is not a
+    /// permutation of `0..num_edges`, or the closure exceeds `GROUP_CAP`.
+    pub fn from_generators(num_edges: usize, gens: &[Vec<u32>]) -> Self {
+        let valid: Vec<&Vec<u32>> = gens
+            .iter()
+            .filter(|p| p.len() == num_edges && is_permutation(p))
+            .collect();
+        if valid.len() != gens.len() || valid.is_empty() {
+            return EdgeGroup::trivial(num_edges);
+        }
+        let identity: Vec<u32> = (0..num_edges as u32).collect();
+        let mut seen: std::collections::HashSet<Vec<u32>> = std::collections::HashSet::new();
+        seen.insert(identity.clone());
+        let mut elems = vec![identity];
+        let mut frontier = 0usize;
+        while frontier < elems.len() {
+            let cur = elems[frontier].clone();
+            frontier += 1;
+            for gen in &valid {
+                // (gen ∘ cur): apply cur first, then gen.
+                let next: Vec<u32> = cur.iter().map(|&e| gen[e as usize]).collect();
+                if seen.insert(next.clone()) {
+                    if elems.len() >= GROUP_CAP {
+                        return EdgeGroup::trivial(num_edges);
+                    }
+                    elems.push(next);
+                }
+            }
+        }
+        EdgeGroup { num_edges, elems }
+    }
+
+    /// Number of edges the group acts on.
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Group order (≥ 1).
+    pub fn order(&self) -> usize {
+        self.elems.len()
+    }
+
+    /// Whether this is the trivial group (pruning disabled).
+    pub fn is_trivial(&self) -> bool {
+        self.elems.len() == 1
+    }
+
+    /// Every element, identity first.
+    pub fn elements(&self) -> impl Iterator<Item = &[u32]> {
+        self.elems.iter().map(|p| p.as_slice())
+    }
+
+    /// If the sorted edge set `tree` is the lexicographic minimum of its
+    /// orbit under this group, return the orbit size (`|G| / |Stab(T)|`,
+    /// exact by Lagrange); otherwise `None`. `scratch` avoids a per-call
+    /// allocation.
+    pub fn orbit_rank(&self, tree: &[EdgeId], scratch: &mut Vec<EdgeId>) -> Option<u64> {
+        let mut stabilizer = 1u64; // the identity
+        for sigma in &self.elems[1..] {
+            scratch.clear();
+            scratch.extend(tree.iter().map(|e| EdgeId(sigma[e.index()])));
+            scratch.sort_unstable();
+            match scratch.as_slice().cmp(tree) {
+                std::cmp::Ordering::Less => return None,
+                std::cmp::Ordering::Equal => stabilizer += 1,
+                std::cmp::Ordering::Greater => {}
+            }
+        }
+        Some(self.elems.len() as u64 / stabilizer)
+    }
+}
+
+fn is_permutation(p: &[u32]) -> bool {
+    let mut hit = vec![false; p.len()];
+    p.iter()
+        .all(|&x| (x as usize) < hit.len() && !std::mem::replace(&mut hit[x as usize], true))
+}
+
+/// Visit exactly one representative — the lexicographically minimal sorted
+/// edge set — of every spanning-tree orbit under `group`, passing the orbit
+/// size alongside. With the trivial group this is exactly
+/// [`for_each_spanning_tree`] with orbit size 1; a group whose edge count
+/// does not match `g` is treated as trivial (sound, never wrong).
+///
+/// All trees are still *enumerated* (the rollback-UF stream is unchanged);
+/// what the orbit layer saves is every downstream per-tree cost — the
+/// Lemma-2 equilibrium scan dominates, and that now runs once per orbit.
+pub fn for_each_spanning_tree_orbits<F>(
+    g: &Graph,
+    group: &EdgeGroup,
+    mut visit: F,
+) -> Result<(), EnumError>
+where
+    F: FnMut(&[EdgeId], u64) -> ControlFlow<()>,
+{
+    if group.is_trivial() || group.num_edges() != g.edge_count() {
+        return for_each_spanning_tree(g, |t| visit(t, 1));
+    }
+    let mut scratch: Vec<EdgeId> = Vec::with_capacity(g.node_count());
+    for_each_spanning_tree(g, |tree| match group.orbit_rank(tree, &mut scratch) {
+        Some(size) => visit(tree, size),
+        None => ControlFlow::Continue(()),
+    })
+}
+
+/// Orbit-pruned [`fold_equilibrium_trees`]: `fold` runs once per
+/// equilibrium **orbit representative**, receiving the orbit size so
+/// aggregates can be weighted back to the full sweep. The cap counts
+/// *covered* trees (sum of visited orbit sizes), so it trips exactly when
+/// the unpruned sweep would.
+pub fn fold_equilibrium_trees_orbits<T, F>(
+    game: &NetworkDesignGame,
+    b: &SubsidyAssignment,
+    cap: usize,
+    group: &EdgeGroup,
+    acc: T,
+    fold: F,
+) -> Result<T, EnumError>
+where
+    F: FnMut(T, EquilibriumTree, u64) -> T,
+    T: Send,
+{
+    fold_equilibrium_trees_orbits_budgeted(
+        game,
+        b,
+        cap,
+        group,
+        acc,
+        fold,
+        &ndg_exec::Budget::unlimited(),
+    )
+}
+
+/// [`fold_equilibrium_trees_orbits`] under a cooperative
+/// [`ndg_exec::Budget`], checked at the same chunk boundaries as the
+/// unpruned fold.
+pub fn fold_equilibrium_trees_orbits_budgeted<T, F>(
+    game: &NetworkDesignGame,
+    b: &SubsidyAssignment,
+    cap: usize,
+    group: &EdgeGroup,
+    mut acc: T,
+    mut fold: F,
+    budget: &ndg_exec::Budget,
+) -> Result<T, EnumError>
+where
+    F: FnMut(T, EquilibriumTree, u64) -> T,
+    T: Send,
+{
+    let g = game.graph();
+    cap_precheck(g, cap)?;
+    if budget.expired() {
+        return Err(EnumError::Cancelled);
+    }
+    let root = game.root().unwrap_or(NodeId(0));
+    let mut chunk: Vec<Vec<EdgeId>> = Vec::with_capacity(CHUNK);
+    let mut sizes: Vec<u64> = Vec::with_capacity(CHUNK);
+    let mut covered = 0u64;
+    let mut capped = false;
+    let mut cancelled = false;
+    let mut acc_slot = Some(acc);
+    let drain = |chunk: &mut Vec<Vec<EdgeId>>,
+                 sizes: &mut Vec<u64>,
+                 acc_slot: &mut Option<T>,
+                 fold: &mut F| {
+        let mut a = acc_slot.take().expect("accumulator is always restored");
+        for (verdict, &size) in scan_chunk_verdicts(game, b, root, chunk)
+            .into_iter()
+            .zip(sizes.iter())
+        {
+            if let Some(eq) = verdict {
+                a = fold(a, eq, size);
+            }
+        }
+        *acc_slot = Some(a);
+        chunk.clear();
+        sizes.clear();
+    };
+    for_each_spanning_tree_orbits(g, group, |tree, size| {
+        if covered >= cap as u64 {
+            capped = true;
+            return ControlFlow::Break(());
+        }
+        covered += size;
+        chunk.push(tree.to_vec());
+        sizes.push(size);
+        if chunk.len() == CHUNK {
+            if budget.expired() {
+                cancelled = true;
+                return ControlFlow::Break(());
+            }
+            drain(&mut chunk, &mut sizes, &mut acc_slot, &mut fold);
+        }
+        ControlFlow::Continue(())
+    })?;
+    if cancelled {
+        return Err(EnumError::Cancelled);
+    }
+    if capped || covered > cap as u64 {
+        return Err(cap_tripped(g, cap, covered));
+    }
+    if budget.expired() {
+        return Err(EnumError::Cancelled);
+    }
+    drain(&mut chunk, &mut sizes, &mut acc_slot, &mut fold);
+    acc = acc_slot.take().expect("accumulator is always restored");
+    Ok(acc)
+}
+
+/// The orbit member minimizing `(weight, edges)` — the same total order the
+/// unpruned sweep minimizes over. Evaluates `weight_of` on **every distinct
+/// member** rather than assuming the representative's weight: edge weights
+/// are summed in sorted-edge-id order, so automorphic trees can differ in
+/// the last ulp, and bit-identity with the unpruned sweep demands comparing
+/// the actual members.
+pub fn orbit_min_member(g: &Graph, group: &EdgeGroup, rep: &EquilibriumTree) -> EquilibriumTree {
+    orbit_extreme_member(g, group, rep, true)
+}
+
+/// The orbit member maximizing `(weight, edges)`; see [`orbit_min_member`].
+pub fn orbit_max_member(g: &Graph, group: &EdgeGroup, rep: &EquilibriumTree) -> EquilibriumTree {
+    orbit_extreme_member(g, group, rep, false)
+}
+
+fn orbit_extreme_member(
+    g: &Graph,
+    group: &EdgeGroup,
+    rep: &EquilibriumTree,
+    want_min: bool,
+) -> EquilibriumTree {
+    let mut seen: std::collections::HashSet<Vec<EdgeId>> = std::collections::HashSet::new();
+    let mut best: Option<EquilibriumTree> = None;
+    for sigma in group.elements() {
+        let mut edges: Vec<EdgeId> = rep.edges.iter().map(|e| EdgeId(sigma[e.index()])).collect();
+        edges.sort_unstable();
+        if !seen.insert(edges.clone()) {
+            continue;
+        }
+        let cand = EquilibriumTree {
+            weight: g.weight_of(&edges),
+            edges,
+        };
+        best = match best {
+            Some(cur) => {
+                let keep_cur = if want_min {
+                    !tree_lt(&cand, &cur)
+                } else {
+                    !tree_lt(&cur, &cand)
+                };
+                Some(if keep_cur { cur } else { cand })
+            }
+            None => Some(cand),
+        };
+    }
+    best.expect("orbit contains at least the representative")
+}
+
+/// Orbit-pruned [`best_equilibrium_tree`]: bit-identical result (weight and
+/// edge set) via one Lemma-2 check per orbit plus an orbit-member weight
+/// scan per *equilibrium* orbit.
+pub fn best_equilibrium_tree_orbits(
+    game: &NetworkDesignGame,
+    b: &SubsidyAssignment,
+    cap: usize,
+    group: &EdgeGroup,
+) -> Result<Option<EquilibriumTree>, EnumError> {
+    let g = game.graph();
+    fold_equilibrium_trees_orbits(
+        game,
+        b,
+        cap,
+        group,
+        None,
+        |best: Option<EquilibriumTree>, eq, _size| {
+            let cand = orbit_min_member(g, group, &eq);
+            match best {
+                Some(cur) if tree_lt(&cur, &cand) => Some(cur),
+                _ => Some(cand),
+            }
+        },
+    )
+}
+
+/// Orbit-pruned [`price_of_stability`]: bit-identical to the unpruned
+/// driver (same `wgt(T*) / wgt(MST)` division on the same bits).
+pub fn price_of_stability_orbits(
+    game: &NetworkDesignGame,
+    b: &SubsidyAssignment,
+    cap: usize,
+    group: &EdgeGroup,
+) -> Result<Option<f64>, EnumError> {
+    price_of_stability_orbits_budgeted(game, b, cap, group, &ndg_exec::Budget::unlimited())
+}
+
+/// [`price_of_stability_orbits`] under a cooperative [`ndg_exec::Budget`].
+pub fn price_of_stability_orbits_budgeted(
+    game: &NetworkDesignGame,
+    b: &SubsidyAssignment,
+    cap: usize,
+    group: &EdgeGroup,
+    budget: &ndg_exec::Budget,
+) -> Result<Option<f64>, EnumError> {
+    let g = game.graph();
+    let opt = ndg_graph::mst_weight(g).map_err(|_| EnumError::Disconnected)?;
+    let best = fold_equilibrium_trees_orbits_budgeted(
+        game,
+        b,
+        cap,
+        group,
+        None,
+        |best: Option<EquilibriumTree>, eq, _size| {
+            let cand = orbit_min_member(g, group, &eq);
+            match best {
+                Some(cur) if tree_lt(&cur, &cand) => Some(cur),
+                _ => Some(cand),
+            }
+        },
+        budget,
+    )?;
+    Ok(best.map(|t| t.weight / opt))
+}
+
+/// Orbit-pruned [`price_of_anarchy_trees`]: bit-identical to the unpruned
+/// driver via the orbit-**max** member per equilibrium orbit.
+pub fn price_of_anarchy_trees_orbits(
+    game: &NetworkDesignGame,
+    b: &SubsidyAssignment,
+    cap: usize,
+    group: &EdgeGroup,
+) -> Result<Option<f64>, EnumError> {
+    let g = game.graph();
+    let opt = ndg_graph::mst_weight(g).map_err(|_| EnumError::Disconnected)?;
+    let worst = fold_equilibrium_trees_orbits(
+        game,
+        b,
+        cap,
+        group,
+        None,
+        |worst: Option<EquilibriumTree>, eq, _size| {
+            let cand = orbit_max_member(g, group, &eq);
+            match worst {
+                Some(cur) if tree_lt(&cand, &cur) => Some(cur),
+                _ => Some(cand),
+            }
         },
     )?;
     Ok(worst.map(|t| t.weight / opt))
@@ -547,12 +979,151 @@ mod tests {
     }
 
     #[test]
-    fn cap_is_enforced() {
-        let g = generators::complete_graph(6, 1.0); // 6^4 = 1296 trees
+    fn cap_is_enforced_and_reports_coverage() {
+        // 6^4 = 1296 trees, cap 100: Kirchhoff rejects before enumerating,
+        // so the error reports 0 visited and an estimate near 1296.
+        let g = generators::complete_graph(6, 1.0);
+        match spanning_trees(&g, 100).unwrap_err() {
+            EnumError::CapExceeded {
+                cap,
+                visited,
+                estimate,
+            } => {
+                assert_eq!(cap, 100);
+                assert_eq!(visited, 0, "precheck must reject without enumerating");
+                assert!((estimate - 1296.0).abs() < 1.0, "estimate {estimate}");
+            }
+            other => panic!("expected CapExceeded, got {other:?}"),
+        }
+        // K_5 has 125 trees; cap 120 is within the precheck margin
+        // (120·1.1+16 = 148), so enumeration runs and stops at the cap.
+        let g = generators::complete_graph(5, 1.0);
+        match spanning_trees(&g, 120).unwrap_err() {
+            EnumError::CapExceeded {
+                cap,
+                visited,
+                estimate,
+            } => {
+                assert_eq!(cap, 120);
+                assert_eq!(visited, 120, "must report how far the sweep got");
+                assert!((estimate - 125.0).abs() < 1.0, "estimate {estimate}");
+            }
+            other => panic!("expected CapExceeded, got {other:?}"),
+        }
+    }
+
+    /// The reflection of C_n rooted anywhere, as an edge permutation: edge i
+    /// joins (i, i+1 mod n) in `cycle_graph`, and v ↦ −v maps edge i to
+    /// edge n−1−i.
+    fn cycle_reflection(n: usize) -> Vec<u32> {
+        (0..n as u32).map(|i| n as u32 - 1 - i).collect()
+    }
+
+    #[test]
+    fn edge_group_closure_and_fallbacks() {
+        let refl = cycle_reflection(6);
+        let group = EdgeGroup::from_generators(6, std::slice::from_ref(&refl));
+        assert_eq!(group.order(), 2, "an involution generates Z/2");
+        assert!(!group.is_trivial());
+        // Malformed generators (wrong length, non-bijection) → trivial.
+        assert!(EdgeGroup::from_generators(6, &[vec![0, 1, 2]]).is_trivial());
+        assert!(EdgeGroup::from_generators(3, &[vec![0, 0, 1]]).is_trivial());
+        assert!(EdgeGroup::from_generators(6, &[]).is_trivial());
+        // Identity-only generators are accepted but collapse to trivial.
+        assert!(EdgeGroup::from_generators(3, &[vec![0, 1, 2]]).is_trivial());
+    }
+
+    #[test]
+    fn orbit_sizes_sum_to_tree_count() {
+        // C_6 under its rooted reflection: 6 trees in orbits {2,2,2} or
+        // {1,1,2,2} depending on parity — either way sizes sum to 6 and
+        // every visited representative is lex-minimal in its orbit.
+        let g = generators::cycle_graph(6, 1.0);
+        let group = EdgeGroup::from_generators(6, &[cycle_reflection(6)]);
+        let mut covered = 0u64;
+        let mut reps = 0usize;
+        for_each_spanning_tree_orbits(&g, &group, |tree, size| {
+            assert!(g.is_spanning_tree(tree));
+            covered += size;
+            reps += 1;
+            ControlFlow::Continue(())
+        })
+        .unwrap();
+        assert_eq!(covered, 6, "orbit sizes must sum to the Kirchhoff count");
+        assert!(reps < 6, "pruning must visit fewer representatives");
+
+        // Trivial group: identical stream to the unpruned visitor.
+        let trivial = EdgeGroup::trivial(6);
+        let mut plain: Vec<Vec<EdgeId>> = Vec::new();
+        for_each_spanning_tree(&g, |t| {
+            plain.push(t.to_vec());
+            ControlFlow::Continue(())
+        })
+        .unwrap();
+        let mut orbit: Vec<Vec<EdgeId>> = Vec::new();
+        for_each_spanning_tree_orbits(&g, &trivial, |t, size| {
+            assert_eq!(size, 1);
+            orbit.push(t.to_vec());
+            ControlFlow::Continue(())
+        })
+        .unwrap();
+        assert_eq!(plain, orbit);
+    }
+
+    #[test]
+    fn orbit_drivers_match_unpruned_bit_for_bit() {
+        let n = 8;
+        let g = generators::cycle_graph(n, 1.0);
+        let group = EdgeGroup::from_generators(n, &[cycle_reflection(n)]);
+        let game = NetworkDesignGame::broadcast(g, NodeId(0)).unwrap();
+        let b = SubsidyAssignment::zero(game.graph());
+        let pos = price_of_stability(&game, &b, 100_000).unwrap();
+        let pos_o = price_of_stability_orbits(&game, &b, 100_000, &group).unwrap();
         assert_eq!(
-            spanning_trees(&g, 100).unwrap_err(),
-            EnumError::CapExceeded { cap: 100 }
+            pos.map(f64::to_bits),
+            pos_o.map(f64::to_bits),
+            "PoS must be bit-identical"
         );
+        let poa = price_of_anarchy_trees(&game, &b, 100_000).unwrap();
+        let poa_o = price_of_anarchy_trees_orbits(&game, &b, 100_000, &group).unwrap();
+        assert_eq!(poa.map(f64::to_bits), poa_o.map(f64::to_bits));
+        let best = best_equilibrium_tree(&game, &b, 100_000).unwrap();
+        let best_o = best_equilibrium_tree_orbits(&game, &b, 100_000, &group).unwrap();
+        match (best, best_o) {
+            (Some(a), Some(o)) => {
+                assert_eq!(a.edges, o.edges, "witness must map to the same input tree");
+                assert_eq!(a.weight.to_bits(), o.weight.to_bits());
+            }
+            (a, o) => panic!("presence diverged: {a:?} vs {o:?}"),
+        }
+        // Weighted count: orbit sizes reweight the fold to the full total.
+        let count = fold_equilibrium_trees(&game, &b, 100_000, 0u64, |c, _| c + 1).unwrap();
+        let count_o =
+            fold_equilibrium_trees_orbits(&game, &b, 100_000, &group, 0u64, |c, _, s| c + s)
+                .unwrap();
+        assert_eq!(count, count_o);
+    }
+
+    #[test]
+    fn orbit_cap_trips_exactly_when_unpruned_trips() {
+        // C_8 has 8 trees. cap 5 < 8 must trip for both sweeps; the orbit
+        // error reports orbit-weighted coverage.
+        let n = 8;
+        let g = generators::cycle_graph(n, 1.0);
+        let group = EdgeGroup::from_generators(n, &[cycle_reflection(n)]);
+        let game = NetworkDesignGame::broadcast(g, NodeId(0)).unwrap();
+        let b = SubsidyAssignment::zero(game.graph());
+        assert!(matches!(
+            fold_equilibrium_trees(&game, &b, 5, 0u64, |c, _| c + 1),
+            Err(EnumError::CapExceeded { cap: 5, .. })
+        ));
+        assert!(matches!(
+            fold_equilibrium_trees_orbits(&game, &b, 5, &group, 0u64, |c, _, s| c + s),
+            Err(EnumError::CapExceeded { cap: 5, .. })
+        ));
+        // cap 8 == tree count: neither trips.
+        assert!(fold_equilibrium_trees(&game, &b, 8, 0u64, |c, _| c + 1).is_ok());
+        assert!(fold_equilibrium_trees_orbits(&game, &b, 8, &group, 0u64, |c, _, s| c + s).is_ok());
     }
 
     #[test]

@@ -43,9 +43,12 @@ pub use dynamics::{
     dynamics_from_tree, DynamicsResult, MoveOrder,
 };
 pub use enumerate::{
-    best_equilibrium_tree, count_spanning_trees, equilibrium_trees, fold_equilibrium_trees,
-    fold_equilibrium_trees_budgeted, for_each_spanning_tree, price_of_anarchy_trees,
-    price_of_stability, price_of_stability_budgeted, spanning_trees, EnumError, EquilibriumTree,
+    best_equilibrium_tree, best_equilibrium_tree_orbits, count_spanning_trees, equilibrium_trees,
+    fold_equilibrium_trees, fold_equilibrium_trees_budgeted, fold_equilibrium_trees_orbits,
+    fold_equilibrium_trees_orbits_budgeted, for_each_spanning_tree, for_each_spanning_tree_orbits,
+    orbit_max_member, orbit_min_member, price_of_anarchy_trees, price_of_anarchy_trees_orbits,
+    price_of_stability, price_of_stability_budgeted, price_of_stability_orbits,
+    price_of_stability_orbits_budgeted, spanning_trees, EdgeGroup, EnumError, EquilibriumTree,
 };
 pub use equilibrium::{
     best_response, best_response_with, find_deviation, is_equilibrium, Deviation,

@@ -264,6 +264,53 @@ pub fn grid_with_chords<R: Rng>(
     g
 }
 
+/// `d`-dimensional hypercube `Q_d` on `2^d` nodes with uniform weight
+/// `w`: node ids are the bit strings, with an edge between ids differing
+/// in exactly one bit. `d ≥ 1`, `d ≤ 20` (a million nodes is plenty).
+/// Vertex-transitive and `d`-regular — the symmetric family the
+/// orbit-pruned enumeration and the CIST-neighbor scenarios feed on.
+pub fn hypercube_graph(d: usize, w: f64) -> Graph {
+    assert!(
+        (1..=20).contains(&d),
+        "hypercube dimension must be in 1..=20"
+    );
+    let n = 1usize << d;
+    let mut g = Graph::new(n);
+    for v in 0..n {
+        for bit in 0..d {
+            let u = v ^ (1 << bit);
+            if v < u {
+                g.add_edge(NodeId(v as u32), NodeId(u as u32), w)
+                    .expect("hypercube edge");
+            }
+        }
+    }
+    g
+}
+
+/// `rows × cols` torus (the grid with wraparound in both directions),
+/// uniform weight `w`. Node `(r, c)` has index `r * cols + c`, matching
+/// [`grid_graph`]. Both dimensions must be ≥ 3 so the wrap edges are
+/// simple (a 2-wide wrap would duplicate a grid edge). 4-regular and
+/// vertex-transitive.
+pub fn torus_graph(rows: usize, cols: usize, w: f64) -> Graph {
+    assert!(
+        rows >= 3 && cols >= 3,
+        "torus needs both dimensions ≥ 3 (smaller wraps create parallel edges)"
+    );
+    let mut g = Graph::new(rows * cols);
+    let id = |r: usize, c: usize| NodeId((r * cols + c) as u32);
+    for r in 0..rows {
+        for c in 0..cols {
+            g.add_edge(id(r, c), id(r, (c + 1) % cols), w)
+                .expect("torus row edge");
+            g.add_edge(id(r, c), id((r + 1) % rows, c), w)
+                .expect("torus column edge");
+        }
+    }
+    g
+}
+
 fn sample_weight<R: Rng>(rng: &mut R, range: &Range<f64>) -> f64 {
     if range.start >= range.end {
         range.start
@@ -427,6 +474,39 @@ mod tests {
         // Saturated case: K-like small grid where few chords fit.
         let tiny = grid_with_chords(1, 2, 50, 1.0, &mut rng, 1.0..2.0);
         assert_eq!(tiny.edge_count(), 1, "no chord fits a 2-node grid");
+    }
+
+    #[test]
+    fn hypercube_shape() {
+        for d in 1..=4usize {
+            let g = hypercube_graph(d, 1.0);
+            assert_eq!(g.node_count(), 1 << d);
+            assert_eq!(g.edge_count(), d << (d - 1));
+            assert!(is_regular(&g, d), "Q_{d} is {d}-regular");
+            assert!(g.is_connected());
+        }
+        // Neighbors differ in exactly one bit.
+        let g = hypercube_graph(3, 1.0);
+        for (_, e) in g.edges() {
+            assert_eq!((e.u.0 ^ e.v.0).count_ones(), 1);
+        }
+    }
+
+    #[test]
+    fn torus_shape() {
+        for &(r, c) in &[(3usize, 3usize), (3, 5), (4, 4)] {
+            let g = torus_graph(r, c, 1.0);
+            assert_eq!(g.node_count(), r * c);
+            assert_eq!(g.edge_count(), 2 * r * c);
+            assert!(is_regular(&g, 4), "{r}x{c} torus is 4-regular");
+            assert!(g.is_connected());
+            // Simple: no parallel wrap edges.
+            let mut pairs = std::collections::HashSet::new();
+            for (_, e) in g.edges() {
+                let key = (e.u.0.min(e.v.0), e.u.0.max(e.v.0));
+                assert!(pairs.insert(key), "parallel edge in {r}x{c} torus");
+            }
+        }
     }
 
     #[test]

@@ -126,11 +126,35 @@ impl BinPackReduction {
     /// Search all `k^n` assignments for one whose MST is an equilibrium
     /// (the SND question with `B = 0`, `K = wgt(MST)`).
     pub fn equilibrium_assignment(&self) -> Option<Vec<usize>> {
+        self.search_assignments(|assign| self.assignment_tree_is_equilibrium(assign))
+    }
+
+    /// [`Self::equilibrium_assignment`] through the isomorphism-class
+    /// cache: bins are identical gadgets, so assignments related by a bin
+    /// permutation (or a swap of equal-size items) are relabeled copies
+    /// and get one Lemma-2 solve per class. The *decision* is identical
+    /// to the plain search; the witness may be a different (automorphic)
+    /// member of the first equilibrium class the counter reaches.
+    pub fn equilibrium_assignment_deduped(&self) -> (Option<Vec<usize>>, crate::dedup::DedupStats) {
+        let mut dedup = crate::dedup::GadgetDedup::new();
+        let found = self.search_assignments(|assign| {
+            let tree = self.tree_for_assignment(assign);
+            dedup.classify(&self.game, &tree).0
+        });
+        (found, dedup.stats())
+    }
+
+    /// Walk the mixed-radix assignment counter until `is_equilibrium`
+    /// accepts, returning the accepting assignment.
+    fn search_assignments(
+        &self,
+        mut is_equilibrium: impl FnMut(&[usize]) -> bool,
+    ) -> Option<Vec<usize>> {
         let n = self.centers.len();
         let k = self.instance.bins;
         let mut assign = vec![0usize; n];
         loop {
-            if self.assignment_tree_is_equilibrium(&assign) {
+            if is_equilibrium(&assign) {
                 return Some(assign);
             }
             // Increment the mixed-radix counter.

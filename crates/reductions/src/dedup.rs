@@ -1,0 +1,256 @@
+//! Gadget-instantiation dedup: canonical keying of (game, tree) pairs.
+//!
+//! The reduction pipelines test huge families of relabeled copies of the
+//! same decorated instance — the bin-packing search walks all `kⁿ`
+//! item→bin assignments, and permuting identical bins (or identical-size
+//! items) yields isomorphic (graph, tree) pairs with identical
+//! equilibrium verdicts. [`GadgetDedup`] canonicalizes each query through
+//! `ndg-canon`, solves **one representative per isomorphism class**, and
+//! replays the stored verdict for every relabeled copy, mapping the
+//! Lemma-2 witness back through the query's own [`Relabeling`].
+//!
+//! Fallback discipline mirrors the rest of the canon stack: when the
+//! canonicalizer declines (oversized instances — notably the Theorem 12
+//! SAT gadgets, whose `n₁ ≈ 1.5·10⁵` auxiliary nodes exceed the canon
+//! budget — or exhausted search budgets), the query is solved directly
+//! and counted in [`DedupStats::fallbacks`]; correctness never depends on
+//! canonicalization succeeding.
+//!
+//! Witness contract: on a cache hit the returned [`Lemma2Violation`] is
+//! the stored representative's witness mapped into the query's labels.
+//! It is always a *genuine* violated constraint of the query instance
+//! (validity is isomorphism-invariant), but not necessarily the same
+//! constraint a direct solve would report first — direct solves scan in
+//! label order, and the class representative was labeled differently.
+
+use ndg_canon::{canonicalize_with, Attachments, Instance, Relabeling};
+use ndg_core::{lemma2_violation, Lemma2Violation, NetworkDesignGame, SubsidyAssignment};
+use ndg_graph::{EdgeId, NodeId, RootedTree};
+use std::collections::HashMap;
+
+/// Counters for a dedup session.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DedupStats {
+    /// Distinct isomorphism classes actually solved.
+    pub classes: usize,
+    /// Queries answered from a previously solved class.
+    pub hits: usize,
+    /// Queries the canonicalizer declined (solved directly, uncached).
+    pub fallbacks: usize,
+}
+
+/// A solved isomorphism class: verdict plus the canonical-space witness.
+#[derive(Clone, Debug)]
+struct SolvedClass {
+    equilibrium: bool,
+    /// Witness in canonical labels; `None` iff `equilibrium`.
+    violation: Option<(u32, u32, u32, f64, f64)>, // (node, via, to, lhs, rhs)
+}
+
+/// Isomorphism-class cache for "is this tree an equilibrium of the
+/// unsubsidized broadcast game?" queries. See the module docs.
+#[derive(Debug, Default)]
+pub struct GadgetDedup {
+    cache: HashMap<String, SolvedClass>,
+    stats: DedupStats,
+}
+
+impl GadgetDedup {
+    /// Fresh, empty cache.
+    pub fn new() -> GadgetDedup {
+        GadgetDedup::default()
+    }
+
+    /// Session counters so far.
+    pub fn stats(&self) -> DedupStats {
+        self.stats
+    }
+
+    /// Classify `tree` in `game`: `(is_equilibrium, witness)`. One Lemma-2
+    /// solve per isomorphism class; relabeled copies are cache hits.
+    pub fn classify(
+        &mut self,
+        game: &NetworkDesignGame,
+        tree: &[EdgeId],
+    ) -> (bool, Option<Lemma2Violation>) {
+        let inst = Instance::of_game(game, None);
+        let att = Attachments {
+            edge_sets: vec![tree.to_vec()],
+            ..Attachments::default()
+        };
+        let Some((canon, map)) = canonicalize_with(&inst, &att) else {
+            self.stats.fallbacks += 1;
+            return solve_direct(game, tree);
+        };
+        let key = class_key(&canon, &map.apply_edge_set(tree));
+        if let Some(solved) = self.cache.get(&key) {
+            self.stats.hits += 1;
+            return (solved.equilibrium, unmap_violation(solved, &map));
+        }
+        let (equilibrium, violation) = solve_direct(game, tree);
+        self.stats.classes += 1;
+        self.cache.insert(
+            key,
+            SolvedClass {
+                equilibrium,
+                violation: violation.as_ref().map(|v| {
+                    (
+                        map.apply_node(v.node.0),
+                        map.apply_edge(v.via).0,
+                        map.apply_node(v.to.0),
+                        v.lhs,
+                        v.rhs,
+                    )
+                }),
+            },
+        );
+        (equilibrium, violation)
+    }
+}
+
+fn solve_direct(game: &NetworkDesignGame, tree: &[EdgeId]) -> (bool, Option<Lemma2Violation>) {
+    let root = game.root().unwrap_or(NodeId(0));
+    let rt = RootedTree::new(game.graph(), tree, root).expect("classify needs a spanning tree");
+    let b = SubsidyAssignment::zero(game.graph());
+    let violation = lemma2_violation(game, &rt, &b);
+    (violation.is_none(), violation)
+}
+
+fn unmap_violation(solved: &SolvedClass, map: &Relabeling) -> Option<Lemma2Violation> {
+    solved
+        .violation
+        .as_ref()
+        .map(|&(node, via, to, lhs, rhs)| Lemma2Violation {
+            node: NodeId(map.unapply_node(node)),
+            via: map.unapply_edge(EdgeId(via)),
+            to: NodeId(map.unapply_node(to)),
+            lhs,
+            rhs,
+        })
+}
+
+/// Exact textual key of a canonical (instance, tree) pair. Strings rather
+/// than 64-bit hashes: the gadget searches run millions of queries per
+/// class, and a silent hash collision would corrupt a hardness result.
+fn class_key(canon: &Instance, canon_tree: &[EdgeId]) -> String {
+    use std::fmt::Write;
+    let mut key = String::with_capacity(16 * canon.edges.len() + 64);
+    let _ = write!(key, "n{};r{:?};", canon.n, canon.root);
+    for &(u, v, w) in &canon.edges {
+        let _ = write!(key, "{u}/{v}/{:x},", w.to_bits());
+    }
+    key.push(';');
+    for (s, t) in &canon.players {
+        let _ = write!(key, "{s}/{t},");
+    }
+    if let Some(demands) = &canon.demands {
+        key.push(';');
+        for d in demands {
+            let _ = write!(key, "{:x},", d.to_bits());
+        }
+    }
+    key.push('|');
+    for e in canon_tree {
+        let _ = write!(key, "{},", e.0);
+    }
+    key
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binpacking::BinPacking;
+    use ndg_graph::generators;
+
+    #[test]
+    fn relabeled_cycle_trees_share_a_class() {
+        // C_6 rooted at 0: dropping edge i and dropping edge 6−i are
+        // automorphic trees (the reflection), so 6 queries collapse to the
+        // 4 reflection classes {0,5},{1,4},{2,3} plus... dropping edge i
+        // leaves tree {0..5}∖{i}; reflection maps class i ↔ 5−i, giving
+        // classes {0,5},{1,4},{2,3} → 3 classes, 3 hits.
+        let g = generators::cycle_graph(6, 1.0);
+        let game = NetworkDesignGame::broadcast(g, NodeId(0)).unwrap();
+        let all: Vec<EdgeId> = (0..6).map(EdgeId).collect();
+        let mut dedup = GadgetDedup::new();
+        let mut verdicts = Vec::new();
+        for drop in 0..6 {
+            let tree: Vec<EdgeId> = all.iter().copied().filter(|e| e.index() != drop).collect();
+            let (eq, viol) = dedup.classify(&game, &tree);
+            assert_eq!(eq, viol.is_none());
+            // Any returned witness must be a real violated constraint.
+            if let Some(v) = viol {
+                let rt = RootedTree::new(game.graph(), &tree, NodeId(0)).unwrap();
+                let b = SubsidyAssignment::zero(game.graph());
+                let costs = ndg_core::root_path_costs(&game, &rt, &b);
+                assert!(
+                    v.lhs > v.rhs,
+                    "witness must violate: lhs {} rhs {}",
+                    v.lhs,
+                    v.rhs
+                );
+                assert!((costs[v.node.index()] - v.lhs).abs() < 1e-9);
+            }
+            verdicts.push(eq);
+        }
+        let stats = dedup.stats();
+        assert_eq!(stats.fallbacks, 0);
+        assert_eq!(stats.classes, 3, "reflection pairs the six trees");
+        assert_eq!(stats.hits, 3);
+        // Automorphic trees agree on the verdict.
+        for drop in 0..6 {
+            assert_eq!(verdicts[drop], verdicts[5 - drop]);
+        }
+    }
+
+    #[test]
+    fn binpack_search_dedup_agrees_with_plain_search() {
+        for inst in [
+            BinPacking {
+                sizes: vec![2, 2, 4],
+                bins: 2,
+                capacity: 4,
+            },
+            BinPacking {
+                sizes: vec![10, 10, 4],
+                bins: 2,
+                capacity: 12,
+            },
+        ] {
+            let red = crate::binpack_reduction::build(&inst);
+            let plain = red.equilibrium_assignment();
+            let (deduped, stats) = red.equilibrium_assignment_deduped();
+            match (&plain, &deduped) {
+                (Some(a), Some(b)) => {
+                    // Both witnesses must be valid packings; identical bins
+                    // mean the representatives may differ by a bin swap.
+                    assert!(crate::binpacking::is_valid_assignment(&inst, a));
+                    assert!(crate::binpacking::is_valid_assignment(&inst, b));
+                }
+                (None, None) => {}
+                other => panic!("dedup changed the decision: {other:?}"),
+            }
+            assert_eq!(stats.fallbacks, 0, "binpack gadgets are canon-sized");
+            assert!(
+                stats.hits > 0,
+                "identical bins must produce isomorphic assignments"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_instances_fall_back_gracefully() {
+        // A star beyond CANON_MAX_NODES: classify still answers (directly),
+        // counting a fallback instead of caching.
+        let g = generators::star_graph(5000, 1.0);
+        let game = NetworkDesignGame::broadcast(g, NodeId(0)).unwrap();
+        let tree: Vec<EdgeId> = (0..4999).map(EdgeId).collect();
+        let mut dedup = GadgetDedup::new();
+        let (eq, viol) = dedup.classify(&game, &tree);
+        assert!(eq, "a star's only spanning tree is an equilibrium");
+        assert!(viol.is_none());
+        let stats = dedup.stats();
+        assert_eq!(stats.fallbacks, 1);
+        assert_eq!(stats.classes, 0);
+    }
+}

@@ -16,6 +16,7 @@
 pub mod binpack_reduction;
 pub mod binpacking;
 pub mod bypass;
+pub mod dedup;
 pub mod independent_set;
 pub mod sat;
 pub mod sat_reduction;
@@ -23,6 +24,7 @@ pub mod sat_reduction;
 pub use binpack_reduction::BinPackReduction;
 pub use binpacking::{solve_exact as solve_bin_packing, strictify, BinPacking};
 pub use bypass::{attach_bypass, AttachedBypass};
+pub use dedup::{DedupStats, GadgetDedup};
 pub use independent_set::{
     build as build_is_reduction, is_independent_set, max_independent_set, petersen, IsReduction,
 };

@@ -460,12 +460,13 @@ fn self_test(ex: Executor, requests: usize, distinct: usize, canon: bool) -> Res
         t_seq.as_secs_f64() * 1e3
     );
     println!(
-        "self-test: cache hits={} (literal {} / isomorphism {} / err {}) misses={} \
+        "self-test: cache hits={} (literal {} / isomorphism {} / err {} / iso-err {}) misses={} \
          evictions={} (hit rate {:.1}%)",
         stats.hits,
         stats.ok_hits,
         stats.canon_hits,
         stats.err_hits,
+        stats.canon_err_hits,
         stats.misses,
         stats.evictions,
         hit_rate * 100.0

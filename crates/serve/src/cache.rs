@@ -44,7 +44,7 @@ struct Shard {
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct CacheStats {
     /// Lookups that returned a cached payload
-    /// (`ok_hits + canon_hits + err_hits`).
+    /// (`ok_hits + canon_hits + err_hits + canon_err_hits`).
     pub hits: u64,
     /// Hits whose request keyed literally (its bytes already were the
     /// canonical form, or canonicalization was off) and replayed an `ok`
@@ -54,8 +54,12 @@ pub struct CacheStats {
     /// request was canonicalized into a differently-labeled entry — the
     /// lookups a literal-keyed cache would have missed.
     pub canon_hits: u64,
-    /// Hits that replayed an admitted deterministic `err` payload.
+    /// Hits that replayed an admitted deterministic `err` payload under
+    /// the request's literal key.
     pub err_hits: u64,
+    /// Isomorphism hits on admitted `err` payloads: a relabeled copy of a
+    /// known-bad instance answered from the class's cached error tail.
+    pub canon_err_hits: u64,
     /// Lookups that missed (including lookups with caching disabled).
     pub misses: u64,
     /// Entries displaced by capacity pressure.
@@ -74,6 +78,7 @@ pub struct Cache {
     ok_hits: AtomicU64,
     canon_hits: AtomicU64,
     err_hits: AtomicU64,
+    canon_err_hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
 }
@@ -88,6 +93,7 @@ impl Cache {
             ok_hits: AtomicU64::new(0),
             canon_hits: AtomicU64::new(0),
             err_hits: AtomicU64::new(0),
+            canon_err_hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
         }
@@ -117,10 +123,11 @@ impl Cache {
     /// [`get`](Self::get) with the isomorphism tag: `canon()` marks a
     /// lookup whose key only matched because the request was rewritten
     /// into canonical labels (its literal body differs from `body`).
-    /// Such `ok` replays count under `canon_hits` instead of `ok_hits`;
-    /// `err` replays always count under `err_hits`. The tag is a closure
-    /// because computing it means re-serializing the original request —
-    /// only worth doing on the hit path it classifies.
+    /// Such replays count under `canon_hits` (`ok` payloads) or
+    /// `canon_err_hits` (admitted `err` tails — a relabeled copy of a
+    /// known-bad instance) instead of `ok_hits`/`err_hits`. The tag is a
+    /// closure because computing it means re-serializing the original
+    /// request — only worth doing on the hit path it classifies.
     pub fn get_tagged(
         &self,
         key: u64,
@@ -154,9 +161,15 @@ impl Cache {
         // expensive (it re-serializes a request): classify only after
         // the shard guard is dropped.
         match &hit {
-            Some((_, true)) => self.err_hits.fetch_add(1, Ordering::Relaxed),
-            Some((_, false)) if canon() => self.canon_hits.fetch_add(1, Ordering::Relaxed),
-            Some((_, false)) => self.ok_hits.fetch_add(1, Ordering::Relaxed),
+            Some((_, is_err)) => {
+                let counter = match (is_err, canon()) {
+                    (true, true) => &self.canon_err_hits,
+                    (true, false) => &self.err_hits,
+                    (false, true) => &self.canon_hits,
+                    (false, false) => &self.ok_hits,
+                };
+                counter.fetch_add(1, Ordering::Relaxed)
+            }
             None => self.misses.fetch_add(1, Ordering::Relaxed),
         };
         hit
@@ -206,7 +219,8 @@ impl Cache {
         (
             self.ok_hits.load(Ordering::Relaxed)
                 + self.canon_hits.load(Ordering::Relaxed)
-                + self.err_hits.load(Ordering::Relaxed),
+                + self.err_hits.load(Ordering::Relaxed)
+                + self.canon_err_hits.load(Ordering::Relaxed),
             self.misses.load(Ordering::Relaxed),
             self.evictions.load(Ordering::Relaxed),
         )
@@ -217,11 +231,13 @@ impl Cache {
         let ok_hits = self.ok_hits.load(Ordering::Relaxed);
         let canon_hits = self.canon_hits.load(Ordering::Relaxed);
         let err_hits = self.err_hits.load(Ordering::Relaxed);
+        let canon_err_hits = self.canon_err_hits.load(Ordering::Relaxed);
         CacheStats {
-            hits: ok_hits + canon_hits + err_hits,
+            hits: ok_hits + canon_hits + err_hits + canon_err_hits,
             ok_hits,
             canon_hits,
             err_hits,
+            canon_err_hits,
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             entries: self
@@ -362,13 +378,14 @@ mod err_entry_tests {
         assert_eq!((s.ok_hits, s.canon_hits, s.err_hits), (1, 2, 0));
         assert_eq!(s.hits, 3);
         assert_eq!(c.counters().0, 3, "header counters fold all hit kinds");
-        // The canon tag never applies to error replays (the closure is
-        // not even consulted).
+        // Error replays classify through the same tag: literal err hits
+        // and isomorphism-mediated err hits count apart.
         c.insert_kind(5, "bad".into(), "code=bad_graph;msg=m".into(), true);
-        assert!(c
-            .get_tagged(5, "bad", || panic!("err replays skip the tag"))
-            .is_some());
+        assert!(c.get_tagged(5, "bad", || false).is_some());
+        assert!(c.get_tagged(5, "bad", || true).is_some());
         let s = c.stats();
-        assert_eq!((s.canon_hits, s.err_hits), (2, 1));
+        assert_eq!((s.canon_hits, s.err_hits, s.canon_err_hits), (2, 1, 1));
+        assert_eq!(s.hits, 5);
+        assert_eq!(c.counters().0, 5);
     }
 }

@@ -302,7 +302,8 @@ impl Router {
         let c = &self.conn_stats;
         let ld = Ordering::Relaxed;
         format!(
-            "entries={};capacity={};ok_hits={};canon_hits={};err_hits={};canon_rate={};threads={};\
+            "entries={};capacity={};ok_hits={};canon_hits={};err_hits={};canon_err_hits={};\
+             canon_rate={};threads={};\
              conns_eof={};conns_reset={};conns_err={};conns_reaped={};conns_drained={};\
              shed={};panics={};deadlines={}",
             s.entries,
@@ -310,7 +311,8 @@ impl Router {
             s.ok_hits,
             s.canon_hits,
             s.err_hits,
-            crate::canon::canon_rate(s.canon_hits, s.hits),
+            s.canon_err_hits,
+            crate::canon::canon_rate(s.canon_hits + s.canon_err_hits, s.hits),
             self.ex.threads(),
             c.eof.load(ld),
             c.reset.load(ld),
@@ -569,9 +571,16 @@ fn snd_err(e: ndg_snd::SndError) -> WireError {
     match e {
         ndg_snd::SndError::NotBroadcast => WireError::NotBroadcast,
         ndg_snd::SndError::Enum(ndg_core::EnumError::Cancelled) => WireError::Deadline,
-        ndg_snd::SndError::Enum(ndg_core::EnumError::CapExceeded { cap }) => WireError::Engine {
+        ndg_snd::SndError::Enum(ndg_core::EnumError::CapExceeded {
+            cap,
+            visited,
+            estimate,
+        }) => WireError::Engine {
             code: "cap_exceeded",
-            msg: format!("more than {cap} spanning trees; raise cap= or shrink the instance"),
+            msg: format!(
+                "more than {cap} spanning trees (covered {visited}, estimate ≈ {estimate:.0}); \
+                 raise cap= or shrink the instance"
+            ),
         },
         other => WireError::Engine {
             code: "solver_failed",
@@ -750,6 +759,48 @@ mod tests {
         let off = Router::new(Executor::sequential(), 0);
         assert_eq!(payload_of(&off.handle_line(&bad("e3"))), payload_of(&first));
         assert_eq!(off.cache_stats().err_hits, 0);
+    }
+
+    #[test]
+    fn relabeled_bad_instances_replay_the_err_tail_as_canon_err_hits() {
+        // The weighted triangle under two labelings, both asking to
+        // certify the full edge set — a cycle, so `not_a_spanning_tree`
+        // (a cacheable validate-class failure). Both key under the same
+        // canonical body, so the relabeled copy replays the stored err
+        // tail without re-validating, counted apart from literal replays.
+        let lit = "ndg1;id=a;method=certify;tree=0,1,2;game=broadcast:3:0:0/1/1,1/2/2,2/0/4";
+        let iso = "ndg1;id=b;method=certify;tree=0,1,2;game=broadcast:3:2:0/1/2,1/2/4,2/0/1";
+        let r = Router::new(Executor::sequential(), 64);
+        let first = r.handle_line(lit);
+        let second = r.handle_line(iso);
+        assert!(
+            first.starts_with("err;id=a;code=not_a_spanning_tree;"),
+            "{first}"
+        );
+        // Canonical-pipeline diagnostics speak canonical labels, so the
+        // replayed tail is byte-identical modulo the volatile id.
+        assert_eq!(payload_of(&first), payload_of(&second));
+        let s = r.cache_stats();
+        assert_eq!(
+            (s.err_hits, s.canon_err_hits),
+            (0, 1),
+            "the relabeled copy is a canon-mediated err hit: {s:?}"
+        );
+        // A request already *in* canonical form replays as a plain err
+        // hit: its bytes match the stored body, no mapping mediated.
+        let canonical_req =
+            crate::canon::canonicalize_request(&crate::codec::Request::parse(lit).unwrap())
+                .expect("mappable")
+                .req;
+        let third = r.handle_line(&canonical_req.serialize());
+        assert_eq!(payload_of(&first), payload_of(&third));
+        let s = r.cache_stats();
+        assert_eq!((s.err_hits, s.canon_err_hits), (1, 1), "{s:?}");
+        // The stats payload surfaces the new counter and folds canon err
+        // hits into the canon rate: 1 of the 2 hits was canon-mediated.
+        let stats = r.handle_line("ndg1;id=s;method=stats");
+        assert!(stats.contains("canon_err_hits=1"), "{stats}");
+        assert!(stats.contains("canon_rate=0.5"), "{stats}");
     }
 
     #[test]

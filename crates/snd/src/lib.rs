@@ -20,6 +20,7 @@
 pub mod exhaustive;
 pub mod heuristic;
 pub mod multicast;
+pub mod orbits;
 pub mod pos;
 
 use ndg_core::SubsidyAssignment;

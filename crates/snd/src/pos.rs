@@ -17,15 +17,36 @@ use ndg_exec::Budget;
 use ndg_graph::{harmonic, kruskal, mst_weight};
 
 /// Exact PoS over spanning-tree states of the unsubsidized game.
+///
+/// Since the orbit-pruned sweep, this routes through
+/// [`crate::orbits::exact_pos_orbits`]: on symmetric instances the Lemma-2
+/// scan runs once per tree *orbit*, on asymmetric instances the trivial
+/// group degrades it to the classic sweep. The result is bit-identical
+/// either way ([`price_of_stability`] stays available for direct use).
 pub fn exact_pos(game: &NetworkDesignGame, cap: usize) -> Result<f64, SndError> {
-    let b0 = SubsidyAssignment::zero(game.graph());
-    price_of_stability(game, &b0, cap)?.ok_or(SndError::NoDesign)
+    crate::orbits::exact_pos_orbits(game, cap)
 }
 
 /// [`exact_pos`] under a cooperative [`Budget`], checked at the
 /// enumerator's chunk boundaries. Expiry surfaces as
 /// `SndError::Enum(EnumError::Cancelled)`.
 pub fn exact_pos_budgeted(
+    game: &NetworkDesignGame,
+    cap: usize,
+    budget: &Budget,
+) -> Result<f64, SndError> {
+    crate::orbits::exact_pos_orbits_budgeted(game, cap, budget)
+}
+
+/// The pre-orbit exact PoS: the unpruned sweep, kept callable for
+/// equivalence tests and benchmarks.
+pub fn exact_pos_unpruned(game: &NetworkDesignGame, cap: usize) -> Result<f64, SndError> {
+    let b0 = SubsidyAssignment::zero(game.graph());
+    price_of_stability(game, &b0, cap)?.ok_or(SndError::NoDesign)
+}
+
+/// [`exact_pos_unpruned`] under a cooperative [`Budget`].
+pub fn exact_pos_unpruned_budgeted(
     game: &NetworkDesignGame,
     cap: usize,
     budget: &Budget,
