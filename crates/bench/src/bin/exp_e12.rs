@@ -19,6 +19,16 @@
 //! clean TCP load test) and pins the survival counters as the
 //! `e12_chaos` row.
 //!
+//! Observability gates: the reference pass runs *before*
+//! [`ndg_obs::install`], so the latency pass is the only writer of the
+//! server-side `serve_request_us` histogram — its p50/p99 must agree
+//! with the harness-side percentiles within the histogram's 2× bucket
+//! factor — and a warm-replay A/B (registry uninstalled vs installed)
+//! gates the instrumentation overhead at ≤5% + 2 ms slack.
+//!
+//! `--smoke` shrinks the workload (120/40), keeps every determinism and
+//! observability gate, and skips the chaos pass and the baseline write.
+//!
 //! `BENCH_serve.json` at the repo root pins the measured baseline. A
 //! 1-core container shows no batching speedup — the determinism
 //! assertions are the portable part; re-measure on multicore hardware.
@@ -36,10 +46,25 @@ const SPEC: WorkloadSpec = WorkloadSpec {
     seed: 0xE12,
     isomorphs: 1,
 };
+const SMOKE_SPEC: WorkloadSpec = WorkloadSpec {
+    requests: 120,
+    distinct: 40,
+    seed: 0xE12,
+    isomorphs: 1,
+};
 const BATCH: usize = 32;
+
+/// Read one `name=value` field out of the [`ndg_obs::expose`] text.
+fn metric(expo: &str, name: &str) -> f64 {
+    expo.split(';')
+        .find_map(|f| f.strip_prefix(name).and_then(|r| r.strip_prefix('=')))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| panic!("metric `{name}` missing from exposition: {expo}"))
+}
 
 fn main() {
     let mut fault_rate = 0.15f64;
+    let mut smoke = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -53,16 +78,20 @@ fn main() {
                         std::process::exit(2);
                     });
             }
+            "--smoke" => smoke = true,
             _ => {
-                eprintln!("usage: exp_e12 [--fault-rate F]");
+                eprintln!("usage: exp_e12 [--fault-rate F] [--smoke]");
                 std::process::exit(2);
             }
         }
     }
-    let lines = build_workload(SPEC);
+    let spec = if smoke { SMOKE_SPEC } else { SPEC };
+    let lines = build_workload(spec);
     println!(
-        "E12: serving-layer load ({} requests, {} distinct bodies, batch={BATCH})",
-        SPEC.requests, SPEC.distinct
+        "E12: serving-layer load ({} requests, {} distinct bodies, batch={BATCH}{})",
+        spec.requests,
+        spec.distinct,
+        if smoke { ", smoke" } else { "" }
     );
 
     // 1. Sequential, cache-off reference payloads.
@@ -74,6 +103,11 @@ fn main() {
         .collect();
     let ref_ms = t0.elapsed().as_secs_f64() * 1e3;
     println!("reference (sequential, cache off): {ref_ms:.1} ms total");
+
+    // Install the metrics registry only now: the reference pass ran
+    // uninstalled, so the latency pass below is the sole writer of the
+    // server-side `serve_request_us` histogram read in the 2x gate.
+    ndg_obs::install();
 
     // 2. Per-request latency with the cache on.
     let latency_router = Router::new(Executor::sequential(), 4096);
@@ -93,6 +127,75 @@ fn main() {
         "latency (cache on): p50 {p50:.0} µs  p99 {p99:.0} µs  hit rate {:.1}%",
         hit_rate * 100.0
     );
+
+    // 2b. Server-side percentiles from the registry histogram must agree
+    //     with the harness-side measurements. The log2 histogram reports
+    //     the upper edge of each bucket, so its quantiles sit within
+    //     [q, 2q) of the truth — gate at 2x each way plus a small
+    //     absolute slack for clock jitter on microsecond samples.
+    let expo = ndg_obs::expose();
+    let samples = metric(&expo, "serve_request_us_count");
+    assert_eq!(
+        samples as usize,
+        lines.len(),
+        "serve_request_us should hold exactly the latency-pass samples"
+    );
+    let server_p50 = metric(&expo, "serve_request_us_p50");
+    let server_p99 = metric(&expo, "serve_request_us_p99");
+    // The histogram picks the rank-ceil(q·n) observation; compare against
+    // the harness sample at that same rank so the 2x bucket bound is the
+    // only source of disagreement.
+    let rank_pct = |q: f64| {
+        let rank = ((q * lat_us.len() as f64).ceil() as usize).clamp(1, lat_us.len());
+        lat_us[rank - 1]
+    };
+    let within_2x = |server: f64, harness: f64| {
+        server <= harness * 2.0 + 10.0 && server + 10.0 >= harness / 2.0
+    };
+    assert!(
+        within_2x(server_p50, rank_pct(0.50)),
+        "server-side p50 {server_p50:.0} µs disagrees with harness p50 {:.0} µs by more than 2x",
+        rank_pct(0.50)
+    );
+    assert!(
+        within_2x(server_p99, rank_pct(0.99)),
+        "server-side p99 {server_p99:.0} µs disagrees with harness p99 {:.0} µs by more than 2x",
+        rank_pct(0.99)
+    );
+    println!(
+        "server-side histogram: p50 {server_p50:.0} µs  p99 {server_p99:.0} µs  (within 2x of harness)"
+    );
+
+    // 2c. Instrumentation overhead gate: min-of-5 warm cache replays on a
+    //     fresh sequential router, registry uninstalled vs installed. The
+    //     installed wall must stay within 5% (+2 ms absolute slack for
+    //     scheduler noise in a 1-core container).
+    let warm_replay_ms = |label: &str| {
+        let router = Router::new(Executor::sequential(), 4096);
+        for chunk in lines.chunks(BATCH) {
+            router.handle_batch(chunk);
+        }
+        let mut best = f64::INFINITY;
+        for _ in 0..5 {
+            let t0 = Instant::now();
+            for chunk in lines.chunks(BATCH) {
+                router.handle_batch(chunk);
+            }
+            best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+        }
+        println!("warm replay ({label}): min-of-5 {best:.2} ms");
+        best
+    };
+    ndg_obs::uninstall();
+    let warm_off_ms = warm_replay_ms("registry off");
+    ndg_obs::install();
+    let warm_on_ms = warm_replay_ms("registry on");
+    assert!(
+        warm_on_ms <= warm_off_ms * 1.05 + 2.0,
+        "metrics registry overhead too high: warm replay {warm_on_ms:.2} ms installed vs \
+         {warm_off_ms:.2} ms uninstalled (gate: <=5% + 2 ms)"
+    );
+    println!("OK: registry overhead within 5% (+2 ms slack) on warm replays");
 
     // 3. Batched throughput at each thread count.
     let widths = [8, 10, 10, 11, 10];
@@ -129,7 +232,7 @@ fn main() {
         let wall_ms = times[1];
         let stats = router.cache_stats();
         let hr = stats.hits as f64 / (stats.hits + stats.misses) as f64;
-        let rps = SPEC.requests as f64 / (wall_ms / 1e3);
+        let rps = spec.requests as f64 / (wall_ms / 1e3);
         let speedup = match base_ms {
             None => {
                 base_ms = Some(wall_ms);
@@ -154,12 +257,17 @@ fn main() {
     }
     println!("OK: all payloads bit-identical to sequential library calls at threads ∈ {THREADS:?}");
 
+    if smoke {
+        println!("smoke mode: skipping chaos pass and BENCH_serve.json write");
+        return;
+    }
+
     // 4. Chaos pass: the same workload shape over live TCP under seeded
     //    fault injection (or a clean TCP load test at --fault-rate 0).
     let chaos_spec = ChaosSpec {
         seed: 0xE12,
-        requests: SPEC.requests,
-        distinct: SPEC.distinct,
+        requests: spec.requests,
+        distinct: spec.distinct,
         fault_rate,
         threads: None,
     };
@@ -193,8 +301,8 @@ fn main() {
     json.push_str("  \"group\": \"e12_serve_throughput\",\n");
     json.push_str(&format!(
         "  \"note\": \"ndg-serve batched request engine on a mixed enforce/dynamics/pos/aon/certify workload ({} requests over {} distinct bodies, batch={BATCH}); payloads asserted byte-identical to sequential cache-off library calls at every thread count. Measured in a {}-core container: batching cannot speed up a single core, so re-measure requests/s on multicore hardware; the determinism + cache-reuse numbers are the portable part.\",\n",
-        SPEC.requests,
-        SPEC.distinct,
+        spec.requests,
+        spec.distinct,
         ndg_exec::available_threads(),
     ));
     json.push_str(&format!(
@@ -202,7 +310,10 @@ fn main() {
         ndg_exec::available_threads()
     ));
     json.push_str(&format!(
-        "  \"latency\": {{ \"p50_us\": {p50:.1}, \"p99_us\": {p99:.1}, \"cache_hit_rate\": {hit_rate:.3} }},\n"
+        "  \"latency\": {{ \"p50_us\": {p50:.1}, \"p99_us\": {p99:.1}, \"server_p50_us\": {server_p50:.1}, \"server_p99_us\": {server_p99:.1}, \"cache_hit_rate\": {hit_rate:.3} }},\n"
+    ));
+    json.push_str(&format!(
+        "  \"obs_overhead\": {{ \"warm_replay_ms_off\": {warm_off_ms:.2}, \"warm_replay_ms_on\": {warm_on_ms:.2}, \"gate\": \"<=5% + 2 ms\" }},\n"
     ));
     json.push_str(&format!(
         "  \"e12_chaos\": {{ \"fault_rate\": {fault_rate}, \"wall_ms\": {chaos_ms:.2}, \

@@ -70,6 +70,34 @@ macro_rules! range_strategy {
 
 range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
 
+/// Collection strategies (`proptest::collection` subset).
+pub mod collection {
+    use super::Strategy;
+    use std::ops::Range;
+
+    /// Strategy producing `Vec`s of values drawn from an element
+    /// strategy, with length drawn from a range.
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: Range<usize>,
+    }
+
+    /// `proptest::collection::vec`: vectors of `elem` values with a
+    /// length in `len`.
+    pub fn vec<S: Strategy>(elem: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut rand::rngs::StdRng) -> Vec<S::Value> {
+            use rand::Rng;
+            let n = rng.random_range(self.len.clone());
+            (0..n).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+}
+
 /// FNV-1a over the test name: a stable per-property seed.
 pub fn seed_for(name: &str) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;

@@ -21,6 +21,14 @@ use ndg_graph::{EdgeId, Graph, NodeId, RollbackUnionFind, RootedTree};
 use std::fmt;
 use std::ops::ControlFlow;
 
+/// Profiling counters (no-ops until `ndg_obs::install`): trees the
+/// rollback-UF stream enumerated, orbit representatives handed to the
+/// visitor, and trees *covered* (sum of visited orbit sizes) — the
+/// covered/visited ratio is the orbit-pruning win, observable live.
+static ENUM_TREES_VISITED: ndg_obs::Counter = ndg_obs::Counter::new("enum_trees_visited_total");
+static ENUM_ORBIT_REPS: ndg_obs::Counter = ndg_obs::Counter::new("enum_orbit_reps_total");
+static ENUM_ORBIT_COVERED: ndg_obs::Counter = ndg_obs::Counter::new("enum_orbit_covered_total");
+
 /// Errors from the enumeration pipeline.
 #[derive(Clone, Debug, PartialEq)]
 pub enum EnumError {
@@ -611,13 +619,33 @@ where
     F: FnMut(&[EdgeId], u64) -> ControlFlow<()>,
 {
     if group.is_trivial() || group.num_edges() != g.edge_count() {
-        return for_each_spanning_tree(g, |t| visit(t, 1));
+        let mut n: u64 = 0;
+        let out = for_each_spanning_tree(g, |t| {
+            n += 1;
+            visit(t, 1)
+        });
+        ENUM_TREES_VISITED.add(n);
+        ENUM_ORBIT_REPS.add(n);
+        ENUM_ORBIT_COVERED.add(n);
+        return out;
     }
     let mut scratch: Vec<EdgeId> = Vec::with_capacity(g.node_count());
-    for_each_spanning_tree(g, |tree| match group.orbit_rank(tree, &mut scratch) {
-        Some(size) => visit(tree, size),
-        None => ControlFlow::Continue(()),
-    })
+    let (mut enumerated, mut reps, mut covered) = (0u64, 0u64, 0u64);
+    let out = for_each_spanning_tree(g, |tree| {
+        enumerated += 1;
+        match group.orbit_rank(tree, &mut scratch) {
+            Some(size) => {
+                reps += 1;
+                covered += size;
+                visit(tree, size)
+            }
+            None => ControlFlow::Continue(()),
+        }
+    });
+    ENUM_TREES_VISITED.add(enumerated);
+    ENUM_ORBIT_REPS.add(reps);
+    ENUM_ORBIT_COVERED.add(covered);
+    out
 }
 
 /// Orbit-pruned [`fold_equilibrium_trees`]: `fold` runs once per

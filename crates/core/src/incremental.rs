@@ -58,6 +58,14 @@ use crate::subsidy::SubsidyAssignment;
 use ndg_graph::paths::DijkstraWorkspace;
 use ndg_graph::EdgeId;
 
+/// Profiling counters (no-ops until `ndg_obs::install`): all-players
+/// certification attempts answered by the maintained O(Δ) Lemma-2 view
+/// vs falling back to a scratch sweep because a non-elementary move
+/// invalidated it.
+static DYN_MAINTAINED_CERTS: ndg_obs::Counter = ndg_obs::Counter::new("dyn_maintained_total");
+static DYN_SCRATCH_FALLBACKS: ndg_obs::Counter =
+    ndg_obs::Counter::new("dyn_scratch_fallback_total");
+
 /// Recompute costs and potential from scratch every this many moves, to
 /// keep incremental float drift far below the comparison tolerances.
 const REFRESH_EVERY: usize = 4096;
@@ -463,8 +471,10 @@ impl<'a> IncrementalDynamics<'a> {
     pub fn batch_certify(&mut self) -> BatchCertification {
         self.try_revalidate();
         if self.recert.is_valid() {
+            DYN_MAINTAINED_CERTS.inc();
             return self.recert.certify(self.game, self.b);
         }
+        DYN_SCRATCH_FALLBACKS.inc();
         self.batch.certify(self.game, &self.state, self.b)
     }
 

@@ -73,6 +73,12 @@ use crate::state::State;
 use crate::subsidy::SubsidyAssignment;
 use ndg_graph::{EdgeId, NodeId};
 
+/// Profiling counters (no-ops until `ndg_obs::install`): per-player
+/// margin queries answered from a still-fresh stored verdict vs forced
+/// to recompute from the maintained view.
+static RECERT_FRESH_VERDICTS: ndg_obs::Counter = ndg_obs::Counter::new("recert_fresh_total");
+static RECERT_STALE_VERDICTS: ndg_obs::Counter = ndg_obs::Counter::new("recert_stale_total");
+
 /// A stored per-player margin evaluation (validity tracked separately by
 /// version stamps).
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -485,7 +491,10 @@ impl IncrementalCertifier {
 
     /// Ensure `v`'s margin is freshly evaluated.
     fn ensure_margin(&mut self, game: &NetworkDesignGame, b: &SubsidyAssignment, v: NodeId) {
-        if !self.is_fresh(game.graph(), v) {
+        if self.is_fresh(game.graph(), v) {
+            RECERT_FRESH_VERDICTS.inc();
+        } else {
+            RECERT_STALE_VERDICTS.inc();
             self.recompute_margin(game, b, v);
         }
     }

@@ -32,6 +32,15 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+/// Profiling counters (no-ops until `ndg_obs::install`): how often the
+/// executor fanned out vs ran inline, how many chunks it spawned, and
+/// how many items it distributed. Integer-only — instrumentation never
+/// touches the values flowing through the map/fold closures.
+static EXEC_FANOUTS: ndg_obs::Counter = ndg_obs::Counter::new("exec_fanouts_total");
+static EXEC_SEQ_RUNS: ndg_obs::Counter = ndg_obs::Counter::new("exec_sequential_runs_total");
+static EXEC_CHUNKS: ndg_obs::Counter = ndg_obs::Counter::new("exec_chunks_total");
+static EXEC_ITEMS: ndg_obs::Counter = ndg_obs::Counter::new("exec_items_total");
+
 /// A cooperative cancellation budget: an optional wall-clock deadline plus
 /// an optional shared cancel flag, checked by long-running engines at
 /// chunk/round boundaries (cutting-plane rounds, dynamics rounds,
@@ -178,6 +187,22 @@ impl Executor {
         n.div_ceil(self.threads.min(n).max(1))
     }
 
+    /// Record one fan-out decision in the profiling counters. One
+    /// relaxed load when the registry is not installed.
+    #[inline]
+    fn note_dispatch(&self, n: usize) {
+        if !ndg_obs::installed() {
+            return;
+        }
+        if self.threads == 1 || n <= 1 {
+            EXEC_SEQ_RUNS.inc();
+        } else {
+            EXEC_FANOUTS.inc();
+            EXEC_CHUNKS.add(n.div_ceil(self.chunk_len(n)) as u64);
+        }
+        EXEC_ITEMS.add(n as u64);
+    }
+
     /// Order-preserving parallel map over borrowed items.
     pub fn par_map<T, U, F>(&self, items: &[T], f: F) -> Vec<U>
     where
@@ -200,6 +225,7 @@ impl Executor {
         FI: Fn() -> S + Sync,
         F: Fn(&mut S, &T) -> U + Sync,
     {
+        self.note_dispatch(items.len());
         if self.threads == 1 || items.len() <= 1 {
             let mut s = init();
             return items.iter().map(|x| f(&mut s, x)).collect();
@@ -232,6 +258,7 @@ impl Executor {
         U: Send,
         F: Fn(T) -> U + Sync,
     {
+        self.note_dispatch(items.len());
         if self.threads == 1 || items.len() <= 1 {
             return items.into_iter().map(f).collect();
         }
@@ -271,6 +298,7 @@ impl Executor {
         F: Fn(A, &T) -> A + Sync,
         C: Fn(A, A) -> A,
     {
+        self.note_dispatch(items.len());
         if self.threads == 1 || items.len() <= 1 {
             return items.iter().fold(identity(), fold);
         }
@@ -305,6 +333,7 @@ impl Executor {
         F: Fn(usize, &T) -> Option<U> + Sync,
     {
         let n = items.len();
+        self.note_dispatch(n);
         if self.threads == 1 || n <= 1 {
             return items.iter().enumerate().find_map(|(i, x)| f(i, x));
         }
@@ -451,6 +480,25 @@ mod tests {
         assert!(!b.expired());
         flag.store(true, Ordering::Relaxed);
         assert!(b.expired());
+    }
+
+    #[test]
+    fn histogram_totals_conserved_under_executor_recording() {
+        // Satellite for ndg-obs: concurrent recording through the
+        // executor conserves count/sum/max at threads ∈ {1, 8} (the
+        // NDG_THREADS settings CI runs the whole suite under).
+        let items: Vec<u64> = (0..4096).collect();
+        let expect_sum: u64 = items.iter().sum();
+        for t in [1usize, 8] {
+            let h = ndg_obs::LogHistogram::new();
+            let ex = Executor::new(t);
+            ex.par_map(&items, |&v| h.record(v));
+            let s = h.snapshot();
+            assert_eq!(s.count, items.len() as u64, "threads={t}");
+            assert_eq!(s.sum, expect_sum, "threads={t}");
+            assert_eq!(s.max, 4095, "threads={t}");
+            assert_eq!(s.buckets.iter().sum::<u64>(), s.count, "threads={t}");
+        }
     }
 
     #[test]

@@ -9,6 +9,15 @@ use crate::graph::{EdgeId, Graph, NodeId};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+/// Profiling counters (no-ops until `ndg_obs::install`): edge
+/// relaxations scanned by Dijkstra / A* runs. Each run accumulates
+/// into a local integer and flushes once at the end, so the hot loop
+/// never touches a shared cache line.
+static DIJKSTRA_RELAXATIONS: ndg_obs::Counter = ndg_obs::Counter::new("dijkstra_relaxations_total");
+static DIJKSTRA_RUNS: ndg_obs::Counter = ndg_obs::Counter::new("dijkstra_runs_total");
+static ASTAR_RELAXATIONS: ndg_obs::Counter = ndg_obs::Counter::new("astar_relaxations_total");
+static ASTAR_RUNS: ndg_obs::Counter = ndg_obs::Counter::new("astar_runs_total");
+
 /// Result of a single-source shortest-path computation.
 #[derive(Clone, Debug)]
 pub struct ShortestPaths {
@@ -127,14 +136,16 @@ impl DijkstraWorkspace {
         self.begin(g.node_count(), source);
         self.settle(source, 0.0, None);
         self.heap.push(Reverse(Entry(0.0, source)));
+        let mut relaxations: u64 = 0;
         while let Some(Reverse(Entry(d, u))) = self.heap.pop() {
             if d > self.dist[u.index()] {
                 continue;
             }
             if target == Some(u) {
-                return;
+                break;
             }
             for &(v, e) in g.neighbors(u) {
+                relaxations += 1;
                 let w = weight_fn(e);
                 debug_assert!(w >= 0.0, "Dijkstra requires non-negative weights, got {w}");
                 let nd = d + w;
@@ -145,6 +156,8 @@ impl DijkstraWorkspace {
                 }
             }
         }
+        DIJKSTRA_RELAXATIONS.add(relaxations);
+        DIJKSTRA_RUNS.inc();
     }
 
     /// Distance of `v` from the last run's source (`INFINITY` if
@@ -221,13 +234,16 @@ impl DijkstraWorkspace {
         self.begin(n, source);
         let f0 = h[source.index()];
         if f0.partial_cmp(&bound) != Some(std::cmp::Ordering::Less) {
+            ASTAR_RUNS.inc();
             return None;
         }
         self.settle(source, 0.0, None);
         self.heap.push(Reverse(Entry(f0, source)));
+        let mut relaxations: u64 = 0;
+        let mut result = None;
         while let Some(Reverse(Entry(f, u))) = self.heap.pop() {
             if f.partial_cmp(&bound) != Some(std::cmp::Ordering::Less) {
-                return None; // min outstanding f ≥ bound: certified.
+                break; // min outstanding f ≥ bound: certified.
             }
             let ui = u.index();
             if self.closed[ui] == self.generation {
@@ -235,10 +251,12 @@ impl DijkstraWorkspace {
             }
             self.closed[ui] = self.generation;
             if u == target {
-                return Some(self.dist[ui]);
+                result = Some(self.dist[ui]);
+                break;
             }
             let gu = self.dist[ui];
             for &(v, e) in g.neighbors(u) {
+                relaxations += 1;
                 let w = weight_fn(e);
                 debug_assert!(w >= 0.0, "A* requires non-negative weights, got {w}");
                 let vi = v.index();
@@ -255,7 +273,9 @@ impl DijkstraWorkspace {
                 }
             }
         }
-        None
+        ASTAR_RELAXATIONS.add(relaxations);
+        ASTAR_RUNS.inc();
+        result
     }
 
     /// Allocate a [`ShortestPaths`] snapshot of the last run (legacy

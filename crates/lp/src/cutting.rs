@@ -21,6 +21,25 @@ use crate::simplex;
 use crate::solution::{LpSolution, LpStatus};
 use ndg_exec::{Budget, Executor};
 
+/// Profiling counters (no-ops until `ndg_obs::install`): cutting-plane
+/// relaxation rounds solved and oracle rows added, flushed once per
+/// driver call from the exact [`CutStats`] the caller receives.
+static LP_CUT_ROUNDS: ndg_obs::Counter = ndg_obs::Counter::new("lp_cut_rounds_total");
+static LP_CUTS_ADDED: ndg_obs::Counter = ndg_obs::Counter::new("lp_cuts_added_total");
+static LP_CUT_SOLVES: ndg_obs::Counter = ndg_obs::Counter::new("lp_cut_solves_total");
+
+impl CutStats {
+    /// Flush this run's totals into the global profiling counters.
+    fn publish(&self) {
+        if !ndg_obs::installed() {
+            return;
+        }
+        LP_CUT_SOLVES.inc();
+        LP_CUT_ROUNDS.add(self.rounds as u64);
+        LP_CUTS_ADDED.add(self.cuts_added as u64);
+    }
+}
+
 /// A separation oracle: report rows violated at the current point.
 pub trait SeparationOracle {
     /// Return rows (valid for the true feasible region) violated at `x` by
@@ -110,6 +129,7 @@ pub fn solve_with_batched_cuts_budgeted<O: BatchSeparationOracle>(
             .flatten()
             .collect();
         if cuts.is_empty() {
+            stats.publish();
             return Ok((sol, stats));
         }
         for cut in cuts {
@@ -177,6 +197,7 @@ pub fn solve_with_cuts(
         }
         let cuts = oracle.separate(&sol.x);
         if cuts.is_empty() {
+            stats.publish();
             return Ok((sol, stats));
         }
         for cut in cuts {

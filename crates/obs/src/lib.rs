@@ -1,0 +1,753 @@
+//! Observability substrate for the ndg workspace: a lock-free metrics
+//! registry, log₂-bucket latency histograms, and a swappable monotonic
+//! clock for deterministic span timing.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Zero perturbation of the compute paths.** Every handle
+//!    ([`Counter`], [`Gauge`], [`Histogram`]) is a no-op costing one
+//!    relaxed atomic load until [`install`] is called. All recorded
+//!    values are integers (counts, microseconds) — no float enters or
+//!    leaves an engine through this crate, so the byte-identity
+//!    contract of the serving stack is untouched by instrumentation.
+//! 2. **Lock-free hot path.** Recording is relaxed `fetch_add` /
+//!    `fetch_max` only. The single mutex in this crate guards the
+//!    registry *list* and is taken once per metric per process
+//!    lifetime (lazy registration on first touch).
+//! 3. **Deterministic exposition.** [`expose`] emits `name=value`
+//!    fields sorted by name, so the `metrics` wire method is a pure
+//!    function of the counter values.
+//!
+//! Histograms are HDR-style with fixed log₂ buckets: bucket 0 holds
+//! the value 0 and bucket `i ≥ 1` holds `v ∈ [2^(i-1), 2^i - 1]`, so
+//! powers of two are exact lower bucket boundaries. Snapshots merge by
+//! element-wise addition (exactly associative and commutative), and
+//! quantiles report the rank bucket's upper bound clamped to the exact
+//! recorded maximum — at most 2× above the true rank value, monotone
+//! in the requested quantile, and exact when all mass sits on one
+//! recorded value.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+// ---------------------------------------------------------------------------
+// Global install flag + registry
+// ---------------------------------------------------------------------------
+
+static INSTALLED: AtomicBool = AtomicBool::new(false);
+
+/// One registered metric. Handles are `'static` by construction (they
+/// are declared as `static` items next to the code they instrument),
+/// so the registry holds plain references.
+enum Metric {
+    Counter(&'static Counter),
+    Gauge(&'static Gauge),
+    Histogram(&'static Histogram),
+}
+
+static REGISTRY: Mutex<Vec<Metric>> = Mutex::new(Vec::new());
+
+/// Turn the registry on. Until this is called every handle is a no-op
+/// (one relaxed load). Idempotent.
+pub fn install() {
+    INSTALLED.store(true, Ordering::SeqCst);
+}
+
+/// Turn the registry back off. Exists for benches that need to measure
+/// instrumented-vs-uninstrumented overhead in one process; production
+/// code never calls this. Already-registered metrics keep their values
+/// (and stay listed) — only *recording* stops.
+pub fn uninstall() {
+    INSTALLED.store(false, Ordering::SeqCst);
+}
+
+/// Whether [`install`] has been called (and not undone).
+#[inline]
+pub fn installed() -> bool {
+    INSTALLED.load(Ordering::Relaxed)
+}
+
+fn registry_lock() -> std::sync::MutexGuard<'static, Vec<Metric>> {
+    // A poisoned registry list is still structurally valid (push is the
+    // only mutation); recover rather than cascade the panic.
+    match REGISTRY.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Counter / Gauge
+// ---------------------------------------------------------------------------
+
+/// Monotone event counter. Declare as a `static`, bump with
+/// [`Counter::add`] / [`Counter::inc`].
+pub struct Counter {
+    name: &'static str,
+    value: AtomicU64,
+    registered: AtomicBool,
+}
+
+impl Counter {
+    /// Const constructor for `static` declarations.
+    pub const fn new(name: &'static str) -> Self {
+        Counter {
+            name,
+            value: AtomicU64::new(0),
+            registered: AtomicBool::new(false),
+        }
+    }
+
+    /// Add `n`. No-op unless the registry is installed.
+    #[inline]
+    pub fn add(&'static self, n: u64) {
+        if !installed() {
+            return;
+        }
+        self.ensure_registered();
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add 1. No-op unless the registry is installed.
+    #[inline]
+    pub fn inc(&'static self) {
+        self.add(1);
+    }
+
+    /// Current value (0 until first recorded touch).
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    fn ensure_registered(&'static self) {
+        if self
+            .registered
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Relaxed)
+            .is_ok()
+        {
+            registry_lock().push(Metric::Counter(self));
+        }
+    }
+}
+
+/// Last-write-wins gauge (e.g. a current queue depth or config knob).
+pub struct Gauge {
+    name: &'static str,
+    value: AtomicU64,
+    registered: AtomicBool,
+}
+
+impl Gauge {
+    /// Const constructor for `static` declarations.
+    pub const fn new(name: &'static str) -> Self {
+        Gauge {
+            name,
+            value: AtomicU64::new(0),
+            registered: AtomicBool::new(false),
+        }
+    }
+
+    /// Set the gauge. No-op unless the registry is installed.
+    #[inline]
+    pub fn set(&'static self, v: u64) {
+        if !installed() {
+            return;
+        }
+        self.ensure_registered();
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    fn ensure_registered(&'static self) {
+        if self
+            .registered
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Relaxed)
+            .is_ok()
+        {
+            registry_lock().push(Metric::Gauge(self));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Log₂ histogram
+// ---------------------------------------------------------------------------
+
+/// Number of histogram buckets: bucket 0 for the value 0, buckets
+/// 1..=64 for `v ∈ [2^(i-1), 2^i - 1]`.
+pub const HIST_BUCKETS: usize = 65;
+
+/// Bucket index for a value: 0 for 0, else `1 + floor(log2 v)`.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+/// Inclusive lower bound of a bucket.
+#[inline]
+pub fn bucket_lower(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        1u64 << (i - 1)
+    }
+}
+
+/// Inclusive upper bound of a bucket.
+#[inline]
+pub fn bucket_upper(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+/// Concurrent fixed-bucket log₂ histogram. All operations are relaxed
+/// atomics; `record` never locks. Unlike the registry handles this
+/// type is freestanding (no global state), so it can be unit- and
+/// property-tested in isolation and embedded per-instance where a
+/// global metric would mix unrelated routers.
+pub struct LogHistogram {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl LogHistogram {
+    /// Const constructor (usable in `static` declarations).
+    pub const fn new() -> Self {
+        // The interior-mutable const is the array-repeat idiom: each of
+        // the HIST_BUCKETS elements gets its own fresh AtomicU64.
+        #[allow(clippy::declare_interior_mutable_const)]
+        const ZERO: AtomicU64 = AtomicU64::new(0);
+        LogHistogram {
+            buckets: [ZERO; HIST_BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one observation.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Copy the current state out. Individual loads are relaxed, so a
+    /// snapshot taken concurrently with writers is a consistent *lower
+    /// bound* per field; snapshot after joining writers for exact
+    /// totals.
+    pub fn snapshot(&self) -> HistSnapshot {
+        let mut buckets = [0u64; HIST_BUCKETS];
+        for (dst, src) in buckets.iter_mut().zip(self.buckets.iter()) {
+            *dst = src.load(Ordering::Relaxed);
+        }
+        HistSnapshot {
+            buckets,
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram::new()
+    }
+}
+
+/// Immutable copy of a [`LogHistogram`]'s state. Merging is
+/// element-wise addition plus max-of-max: exactly associative and
+/// commutative, so shard snapshots can be combined in any order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// Per-bucket observation counts (see [`bucket_index`]).
+    pub buckets: [u64; HIST_BUCKETS],
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Exact maximum observed value (0 if empty).
+    pub max: u64,
+}
+
+impl HistSnapshot {
+    /// The empty snapshot (merge identity).
+    pub fn empty() -> Self {
+        HistSnapshot {
+            buckets: [0; HIST_BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Merge `other` into `self` (element-wise add, max of max).
+    pub fn merge(&mut self, other: &HistSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += *b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+
+    /// Quantile estimate for `q ∈ [0, 1]`: the upper bound of the
+    /// bucket containing the rank-`ceil(q·count)` observation, clamped
+    /// to the exact max. Returns 0 on an empty snapshot. The estimate
+    /// is ≥ the true rank value and < 2× it, and is monotone in `q`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                return bucket_upper(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median estimate (see [`HistSnapshot::quantile`]).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th-percentile estimate.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Element-wise difference `self − earlier` (for delta windows over
+    /// a monotone series of snapshots of the same histogram). `max` is
+    /// carried from `self`: the exact max of the window is not
+    /// recoverable, so the delta's quantiles remain upper bounds.
+    pub fn since(&self, earlier: &HistSnapshot) -> HistSnapshot {
+        let mut buckets = [0u64; HIST_BUCKETS];
+        for (i, dst) in buckets.iter_mut().enumerate() {
+            *dst = self.buckets[i].saturating_sub(earlier.buckets[i]);
+        }
+        HistSnapshot {
+            buckets,
+            count: self.count.saturating_sub(earlier.count),
+            sum: self.sum.saturating_sub(earlier.sum),
+            max: self.max,
+        }
+    }
+}
+
+/// Registry-attached histogram handle. Declare as a `static`; records
+/// are no-ops until [`install`].
+pub struct Histogram {
+    name: &'static str,
+    hist: LogHistogram,
+    registered: AtomicBool,
+}
+
+impl Histogram {
+    /// Const constructor for `static` declarations.
+    pub const fn new(name: &'static str) -> Self {
+        Histogram {
+            name,
+            hist: LogHistogram::new(),
+            registered: AtomicBool::new(false),
+        }
+    }
+
+    /// Record one observation. No-op unless the registry is installed.
+    #[inline]
+    pub fn record(&'static self, v: u64) {
+        if !installed() {
+            return;
+        }
+        self.ensure_registered();
+        self.hist.record(v);
+    }
+
+    /// Snapshot the underlying histogram (works whether or not the
+    /// registry is installed; empty until first recorded touch).
+    pub fn snapshot(&self) -> HistSnapshot {
+        self.hist.snapshot()
+    }
+
+    fn ensure_registered(&'static self) {
+        if self
+            .registered
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Relaxed)
+            .is_ok()
+        {
+            registry_lock().push(Metric::Histogram(self));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Exposition
+// ---------------------------------------------------------------------------
+
+/// Render every registered metric as `name=value` fields joined by
+/// `;`, sorted by field name — a stable, fully deterministic function
+/// of the counter values. Histograms expand to `_count`, `_sum`,
+/// `_p50`, `_p90`, `_p99`, and `_max` fields. The first field is
+/// always `enabled=0|1`; with the registry off no metrics follow.
+pub fn expose() -> String {
+    if !installed() {
+        return "enabled=0".to_string();
+    }
+    let mut fields: Vec<(String, u64)> = Vec::new();
+    {
+        let reg = registry_lock();
+        for m in reg.iter() {
+            match m {
+                Metric::Counter(c) => fields.push((c.name.to_string(), c.get())),
+                Metric::Gauge(g) => fields.push((g.name.to_string(), g.get())),
+                Metric::Histogram(h) => {
+                    let s = h.snapshot();
+                    fields.push((format!("{}_count", h.name), s.count));
+                    fields.push((format!("{}_sum", h.name), s.sum));
+                    fields.push((format!("{}_p50", h.name), s.p50()));
+                    fields.push((format!("{}_p90", h.name), s.p90()));
+                    fields.push((format!("{}_p99", h.name), s.p99()));
+                    fields.push((format!("{}_max", h.name), s.max));
+                }
+            }
+        }
+    }
+    fields.sort();
+    let mut out = String::from("enabled=1");
+    for (k, v) in fields {
+        out.push(';');
+        out.push_str(&k);
+        out.push('=');
+        out.push_str(&v.to_string());
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Clocks and spans
+// ---------------------------------------------------------------------------
+
+/// Microsecond clock abstraction so span timing can be driven by a
+/// deterministic clock in tests.
+pub trait Clock: Send + Sync {
+    /// Microseconds since an arbitrary fixed origin; must be monotone.
+    fn now_us(&self) -> u64;
+}
+
+/// Wall monotonic clock ([`Instant`]-based).
+pub struct MonoClock {
+    origin: Instant,
+}
+
+impl MonoClock {
+    /// A clock whose origin is "now".
+    pub fn new() -> Self {
+        MonoClock {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for MonoClock {
+    fn default() -> Self {
+        MonoClock::new()
+    }
+}
+
+impl Clock for MonoClock {
+    fn now_us(&self) -> u64 {
+        self.origin.elapsed().as_micros() as u64
+    }
+}
+
+/// Deterministic test clock: time advances only via
+/// [`TestClock::advance_us`].
+pub struct TestClock {
+    us: AtomicU64,
+}
+
+impl TestClock {
+    /// A clock frozen at 0.
+    pub fn new() -> Self {
+        TestClock {
+            us: AtomicU64::new(0),
+        }
+    }
+
+    /// Advance by `n` microseconds.
+    pub fn advance_us(&self, n: u64) {
+        self.us.fetch_add(n, Ordering::SeqCst);
+    }
+}
+
+impl Default for TestClock {
+    fn default() -> Self {
+        TestClock::new()
+    }
+}
+
+impl Clock for TestClock {
+    fn now_us(&self) -> u64 {
+        self.us.load(Ordering::SeqCst)
+    }
+}
+
+/// Lap timer over a [`Clock`]: `lap()` returns the µs since the
+/// previous lap (or start), `total()` the µs since start. One of these
+/// lives on the stack per traced request.
+pub struct SpanTimer<'c> {
+    clock: &'c dyn Clock,
+    start: u64,
+    last: u64,
+}
+
+impl<'c> SpanTimer<'c> {
+    /// Start timing now.
+    pub fn start(clock: &'c dyn Clock) -> Self {
+        let now = clock.now_us();
+        SpanTimer {
+            clock,
+            start: now,
+            last: now,
+        }
+    }
+
+    /// Microseconds since the previous lap (or since start for the
+    /// first lap); advances the lap origin.
+    pub fn lap(&mut self) -> u64 {
+        let now = self.clock.now_us();
+        let d = now.saturating_sub(self.last);
+        self.last = now;
+        d
+    }
+
+    /// Microseconds since start (does not advance the lap origin).
+    pub fn total(&self) -> u64 {
+        self.clock.now_us().saturating_sub(self.start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn bucket_boundaries_are_exact_at_powers_of_two() {
+        assert_eq!(bucket_index(0), 0);
+        for k in 0..64u32 {
+            let v = 1u64 << k;
+            let i = bucket_index(v);
+            assert_eq!(bucket_lower(i), v, "2^{k} must open its bucket");
+            if v > 1 {
+                assert_eq!(bucket_index(v - 1), i - 1, "2^{k}-1 in previous bucket");
+            }
+            assert!(bucket_upper(i) >= v);
+            assert!(i < HIST_BUCKETS);
+        }
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(bucket_upper(64), u64::MAX);
+    }
+
+    #[test]
+    fn single_value_mass_quantiles_are_exact() {
+        // All mass on one value (powers of two are the interesting
+        // case: the bucket upper bound alone would over-report, the
+        // max clamp makes it exact).
+        for &v in &[0u64, 1, 2, 4, 1024, 1 << 40, 12345] {
+            let h = LogHistogram::new();
+            for _ in 0..100 {
+                h.record(v);
+            }
+            let s = h.snapshot();
+            assert_eq!(s.count, 100);
+            assert_eq!(s.max, v);
+            assert_eq!(s.p50(), v);
+            assert_eq!(s.p90(), v);
+            assert_eq!(s.p99(), v);
+            assert_eq!(s.quantile(1.0), v);
+        }
+    }
+
+    #[test]
+    fn quantile_is_within_2x_of_true_rank_value() {
+        let h = LogHistogram::new();
+        let mut vals: Vec<u64> = (0..1000u64).map(|i| (i * 7919) % 50_000).collect();
+        for &v in &vals {
+            h.record(v);
+        }
+        vals.sort_unstable();
+        let s = h.snapshot();
+        for &(q, _name) in &[(0.50, "p50"), (0.90, "p90"), (0.99, "p99")] {
+            let rank = ((q * vals.len() as f64).ceil() as usize).clamp(1, vals.len());
+            let truth = vals[rank - 1];
+            let est = s.quantile(q);
+            assert!(est >= truth, "estimate {est} below true {truth}");
+            assert!(est <= truth.max(1) * 2, "estimate {est} above 2x {truth}");
+        }
+    }
+
+    #[test]
+    fn concurrent_recording_conserves_totals() {
+        static H: LogHistogram = LogHistogram::new();
+        let threads = 8;
+        let per = 5000u64;
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                s.spawn(move || {
+                    for i in 0..per {
+                        H.record(t * per + i);
+                    }
+                });
+            }
+        });
+        let s = H.snapshot();
+        assert_eq!(s.count, threads * per);
+        let expect_sum: u64 = (0..threads * per).sum();
+        assert_eq!(s.sum, expect_sum);
+        assert_eq!(s.max, threads * per - 1);
+        assert_eq!(s.buckets.iter().sum::<u64>(), s.count);
+    }
+
+    #[test]
+    fn span_timer_with_test_clock_is_deterministic() {
+        let c = TestClock::new();
+        let mut t = SpanTimer::start(&c);
+        c.advance_us(3);
+        assert_eq!(t.lap(), 3);
+        c.advance_us(45);
+        assert_eq!(t.lap(), 45);
+        assert_eq!(t.lap(), 0);
+        assert_eq!(t.total(), 48);
+    }
+
+    // The install flag is process-global; this is the only test in the
+    // crate that touches it, so parallel test threads cannot race it.
+    #[test]
+    fn registry_install_exposition_and_noop_handles() {
+        static C: Counter = Counter::new("test_events_total");
+        static G: Gauge = Gauge::new("test_depth");
+        static H: Histogram = Histogram::new("test_lat_us");
+        assert!(!installed());
+        C.add(5);
+        G.set(9);
+        H.record(7);
+        assert_eq!(C.get(), 0, "handles are no-ops before install");
+        assert_eq!(H.snapshot().count, 0);
+        assert_eq!(expose(), "enabled=0");
+
+        install();
+        C.add(5);
+        C.inc();
+        G.set(9);
+        H.record(4);
+        H.record(4);
+        assert_eq!(C.get(), 6);
+        assert_eq!(G.get(), 9);
+        let text = expose();
+        assert!(text.starts_with("enabled=1;"));
+        assert!(text.contains("test_events_total=6"));
+        assert!(text.contains("test_depth=9"));
+        assert!(text.contains("test_lat_us_count=2"));
+        assert!(text.contains("test_lat_us_p50=4"));
+        assert!(text.contains("test_lat_us_max=4"));
+        // Stable field order: sorted by name, deterministic re-render.
+        assert_eq!(text, expose());
+        let names: Vec<&str> = text
+            .split(';')
+            .skip(1)
+            .map(|f| f.split('=').next().unwrap_or(""))
+            .collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted, "exposition fields must be name-sorted");
+
+        uninstall();
+        C.add(100);
+        assert_eq!(C.get(), 6, "recording stops after uninstall");
+        assert_eq!(expose(), "enabled=0");
+        install();
+    }
+
+    fn snap_of(vals: &[u64]) -> HistSnapshot {
+        let h = LogHistogram::new();
+        for &v in vals {
+            h.record(v);
+        }
+        h.snapshot()
+    }
+
+    proptest! {
+        #[test]
+        fn merge_is_commutative_and_associative(
+            a in proptest::collection::vec(0u64..1_000_000, 0..64),
+            b in proptest::collection::vec(0u64..1_000_000, 0..64),
+            c in proptest::collection::vec(0u64..1_000_000, 0..64),
+        ) {
+            let (sa, sb, sc) = (snap_of(&a), snap_of(&b), snap_of(&c));
+            // commutative
+            let mut ab = sa.clone();
+            ab.merge(&sb);
+            let mut ba = sb.clone();
+            ba.merge(&sa);
+            prop_assert_eq!(&ab, &ba);
+            // associative
+            let mut ab_c = ab.clone();
+            ab_c.merge(&sc);
+            let mut bc = sb.clone();
+            bc.merge(&sc);
+            let mut a_bc = sa.clone();
+            a_bc.merge(&bc);
+            prop_assert_eq!(&ab_c, &a_bc);
+            // merge equals single-pass recording
+            let mut all = a.clone();
+            all.extend_from_slice(&b);
+            all.extend_from_slice(&c);
+            prop_assert_eq!(&ab_c, &snap_of(&all));
+        }
+
+        #[test]
+        fn quantiles_are_monotone_in_q(
+            vals in proptest::collection::vec(0u64..10_000_000, 1..128),
+            qs in proptest::collection::vec(0.0f64..=1.0, 2..8),
+        ) {
+            let s = snap_of(&vals);
+            let mut sorted_q = qs.clone();
+            sorted_q.sort_by(|x, y| x.partial_cmp(y).expect("no NaN"));
+            let mut prev = 0u64;
+            for q in sorted_q {
+                let v = s.quantile(q);
+                prop_assert!(v >= prev, "quantile must be monotone in q");
+                prev = v;
+            }
+            prop_assert!(s.quantile(1.0) == s.max);
+        }
+    }
+}

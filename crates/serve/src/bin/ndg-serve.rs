@@ -19,6 +19,13 @@
 //! `err;code=overloaded;retry_ms=…`), `--idle-timeout-ms MS` (reap
 //! connections that stall mid-frame).
 //!
+//! Observability flags: `--metrics 0|1` (install the process-wide
+//! `ndg-obs` registry; the `metrics` method then exposes every counter
+//! and histogram), `--log-slow-ms MS` (retain the slowest requests with
+//! per-stage timings, reported by `stats`), and — self-test only —
+//! `--trace 0|1` (send the workload with `trace=1` and assert the echoed
+//! stage timings never perturb a payload byte).
+//!
 //! The self-test is the serving contract in executable form: it spawns a
 //! TCP server on an ephemeral port, fires a deterministic mixed workload
 //! (default 200 requests over 60 distinct bodies) from four concurrent
@@ -52,7 +59,8 @@ fn usage() -> ! {
         "usage: ndg-serve (--stdio | --tcp ADDR | --self-test [REQUESTS [DISTINCT]] | \
          --chaos SPEC | --self-test-chaos [SPEC]) \
          [--threads T] [--cache C] [--canon 0|1] [--default-deadline-ms MS] \
-         [--max-inflight N] [--idle-timeout-ms MS]\n\
+         [--max-inflight N] [--idle-timeout-ms MS] \
+         [--metrics 0|1] [--log-slow-ms MS] [--trace 0|1]\n\
          SPEC: seed=N[,requests=R][,distinct=D][,fault-rate=F]"
     );
     std::process::exit(2);
@@ -74,6 +82,9 @@ fn run() -> i32 {
     let mut default_deadline_ms: Option<u64> = None;
     let mut max_inflight: Option<usize> = None;
     let mut idle_timeout_ms: Option<u64> = None;
+    let mut metrics = false;
+    let mut log_slow_ms: Option<u64> = None;
+    let mut trace = false;
 
     let mut it = args.iter().peekable();
     while let Some(arg) = it.next() {
@@ -175,15 +186,39 @@ fn run() -> i32 {
                     None => usage(),
                 }
             }
+            "--metrics" => {
+                metrics = match it.next().map(String::as_str) {
+                    Some("0") => false,
+                    Some("1") => true,
+                    _ => usage(),
+                }
+            }
+            "--log-slow-ms" => {
+                log_slow_ms = match it.next().and_then(|v| v.parse().ok()) {
+                    Some(ms) => Some(ms),
+                    None => usage(),
+                }
+            }
+            "--trace" => {
+                trace = match it.next().map(String::as_str) {
+                    Some("0") => false,
+                    Some("1") => true,
+                    _ => usage(),
+                }
+            }
             _ => usage(),
         }
     }
 
+    if metrics {
+        ndg_obs::install();
+    }
     let ex = threads
         .map(Executor::new)
         .unwrap_or_else(Executor::from_env);
     let mut router = Router::with_canon(ex, cache, canon);
     router.set_default_deadline_ms(default_deadline_ms);
+    router.set_log_slow_ms(log_slow_ms);
     match mode.as_deref() {
         Some("stdio") => {
             let opts = ndg_serve::ServeOptions {
@@ -222,7 +257,7 @@ fn run() -> i32 {
         }
         Some("self-test") => {
             let (requests, distinct) = self_test_shape;
-            match self_test(ex, requests, distinct, canon) {
+            match self_test(ex, requests, distinct, canon, trace, log_slow_ms) {
                 Ok(true) => 0,
                 Ok(false) => 1,
                 Err(e) => {
@@ -336,7 +371,14 @@ fn id_of(line: &str) -> Result<String, String> {
 
 /// The serving contract, executable. `Ok(success)`; `Err` only on setup
 /// failures (bind, connect, client I/O) that prevent the diff entirely.
-fn self_test(ex: Executor, requests: usize, distinct: usize, canon: bool) -> Result<bool, String> {
+fn self_test(
+    ex: Executor,
+    requests: usize,
+    distinct: usize,
+    canon: bool,
+    trace: bool,
+    log_slow_ms: Option<u64>,
+) -> Result<bool, String> {
     // When there is room, half the distinct bodies are relabeled
     // duplicates of the other half, so the byte-identity contract is
     // exercised against the canonicalize→solve→map-back pipeline (and,
@@ -351,12 +393,22 @@ fn self_test(ex: Executor, requests: usize, distinct: usize, canon: bool) -> Res
     let lines = build_workload(spec);
     println!(
         "self-test: {requests} requests over {} base bodies x{} relabeled variants, \
-         threads={}, canon={}",
+         threads={}, canon={}, trace={}, metrics={}",
         spec.distinct,
         spec.isomorphs,
         ex.threads(),
-        u8::from(canon)
+        u8::from(canon),
+        u8::from(trace),
+        u8::from(ndg_obs::installed())
     );
+    // The traced stream is the same workload with the volatile `trace=1`
+    // flag set; the reference always runs untraced, so the diff below
+    // asserts tracing never perturbs a payload byte.
+    let server_lines = if trace {
+        ndg_serve::with_trace(&lines)
+    } else {
+        lines.clone()
+    };
 
     // 1. Reference: direct sequential evaluation, cache disabled so every
     //    payload really is a fresh solver call.
@@ -370,7 +422,9 @@ fn self_test(ex: Executor, requests: usize, distinct: usize, canon: bool) -> Res
 
     // 2. Serve the same lines over TCP: 4 concurrent connections, batches
     //    of 16, responses collected by id.
-    let server_router = Arc::new(Router::with_canon(ex, 4096, canon));
+    let mut server = Router::with_canon(ex, 4096, canon);
+    server.set_log_slow_ms(log_slow_ms);
+    let server_router = Arc::new(server);
     let handle = spawn_tcp_with(server_router.clone(), "127.0.0.1:0", TcpOptions::default())
         .map_err(|e| format!("ephemeral bind: {e}"))?;
     let addr = handle.addr();
@@ -378,7 +432,7 @@ fn self_test(ex: Executor, requests: usize, distinct: usize, canon: bool) -> Res
     let collected: Vec<Result<Vec<(String, String)>, String>> = std::thread::scope(|s| {
         let workers: Vec<_> = (0..4usize)
             .map(|w| {
-                let lines = &lines;
+                let lines = &server_lines;
                 s.spawn(move || -> Result<Vec<(String, String)>, String> {
                     let mine: Vec<&String> = lines.iter().skip(w).step_by(4).collect();
                     let mut conn = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
@@ -400,6 +454,11 @@ fn self_test(ex: Executor, requests: usize, distinct: usize, canon: bool) -> Res
                                 .read_line(&mut resp)
                                 .map_err(|e| format!("recv: {e}"))?;
                             let resp = resp.trim_end().to_string();
+                            if trace && !resp.contains(";trace=") {
+                                return Err(format!(
+                                    "traced request answered without a trace echo: {resp}"
+                                ));
+                            }
                             let id = resp
                                 .split(';')
                                 .find_map(|f| f.strip_prefix("id="))

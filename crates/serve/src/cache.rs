@@ -22,6 +22,18 @@ use std::sync::Mutex;
 /// Number of independently locked shards (power of two).
 pub const SHARDS: usize = 16;
 
+// Registry mirrors of the per-cache atomics (no-ops until
+// [`ndg_obs::install`]): every per-tier increment below also bumps the
+// global counter of the same classification, so `method=metrics` sees
+// cache behaviour without a `Cache` handle. Process-wide — a multi-router
+// process folds all caches together here while `stats` stays per-router.
+static M_OK_HITS: ndg_obs::Counter = ndg_obs::Counter::new("cache_ok_hits_total");
+static M_CANON_HITS: ndg_obs::Counter = ndg_obs::Counter::new("cache_canon_hits_total");
+static M_ERR_HITS: ndg_obs::Counter = ndg_obs::Counter::new("cache_err_hits_total");
+static M_CANON_ERR_HITS: ndg_obs::Counter = ndg_obs::Counter::new("cache_canon_err_hits_total");
+static M_MISSES: ndg_obs::Counter = ndg_obs::Counter::new("cache_misses_total");
+static M_EVICTIONS: ndg_obs::Counter = ndg_obs::Counter::new("cache_evictions_total");
+
 #[derive(Debug)]
 struct Entry {
     /// The full canonical request body: verified on every hit so an
@@ -136,6 +148,7 @@ impl Cache {
     ) -> Option<(String, bool)> {
         if !self.enabled() {
             self.misses.fetch_add(1, Ordering::Relaxed);
+            M_MISSES.inc();
             return None;
         }
         let hit = {
@@ -162,15 +175,19 @@ impl Cache {
         // the shard guard is dropped.
         match &hit {
             Some((_, is_err)) => {
-                let counter = match (is_err, canon()) {
-                    (true, true) => &self.canon_err_hits,
-                    (true, false) => &self.err_hits,
-                    (false, true) => &self.canon_hits,
-                    (false, false) => &self.ok_hits,
+                let (counter, mirror) = match (is_err, canon()) {
+                    (true, true) => (&self.canon_err_hits, &M_CANON_ERR_HITS),
+                    (true, false) => (&self.err_hits, &M_ERR_HITS),
+                    (false, true) => (&self.canon_hits, &M_CANON_HITS),
+                    (false, false) => (&self.ok_hits, &M_OK_HITS),
                 };
-                counter.fetch_add(1, Ordering::Relaxed)
+                counter.fetch_add(1, Ordering::Relaxed);
+                mirror.inc();
             }
-            None => self.misses.fetch_add(1, Ordering::Relaxed),
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                M_MISSES.inc();
+            }
         };
         hit
     }
@@ -199,6 +216,7 @@ impl Cache {
             if let Some((&victim, _)) = shard.map.iter().min_by_key(|(_, e)| e.stamp) {
                 shard.map.remove(&victim);
                 self.evictions.fetch_add(1, Ordering::Relaxed);
+                M_EVICTIONS.inc();
             }
         }
         shard.map.insert(

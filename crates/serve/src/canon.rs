@@ -141,6 +141,13 @@ struct MemoEntry {
 /// Memo shard count (matches the result cache's).
 const MEMO_SHARDS: usize = 16;
 
+// Registry mirrors (no-ops until [`ndg_obs::install`]): how often the
+// canonicalization memo short-circuits the refinement search vs. pays
+// for it (both recompute paths — disabled memo and genuine miss — count
+// as misses).
+static M_MEMO_HITS: ndg_obs::Counter = ndg_obs::Counter::new("canon_memo_hits_total");
+static M_MEMO_MISSES: ndg_obs::Counter = ndg_obs::Counter::new("canon_memo_misses_total");
+
 impl CanonMemo {
     /// Memo holding at most `capacity` outcomes (`0` disables
     /// memoization: every lookup recomputes).
@@ -159,6 +166,7 @@ impl CanonMemo {
     pub fn lookup(&self, req: &Request) -> CanonOutcome {
         let literal_body = req.canonical_body();
         if self.cap_per_shard == 0 {
+            M_MEMO_MISSES.inc();
             let canon = canonicalize_request(req).map(|c| {
                 let body = c.req.canonical_body();
                 (c, body)
@@ -179,6 +187,7 @@ impl CanonMemo {
             if let Some(entry) = shard.map.get_mut(&key) {
                 if entry.literal_body == literal_body {
                     entry.stamp = clock;
+                    M_MEMO_HITS.inc();
                     return CanonOutcome {
                         literal_body,
                         canon: entry.canon.clone(),
@@ -186,6 +195,7 @@ impl CanonMemo {
                 }
             }
         }
+        M_MEMO_MISSES.inc();
         let canon = canonicalize_request(req).map(|c| {
             let body = c.req.canonical_body();
             (c, body)
@@ -219,7 +229,7 @@ impl CanonMemo {
 /// must be handled literally (see module docs). Pure function of the
 /// request — isomorphic requests yield byte-identical canonical bodies.
 pub fn canonicalize_request(req: &Request) -> Option<CanonRequest> {
-    if req.method == Method::Stats {
+    if matches!(req.method, Method::Stats | Method::Metrics) {
         return None;
     }
     let game = req.game.as_ref()?;
@@ -274,7 +284,7 @@ pub fn canonicalize_request(req: &Request) -> Option<CanonRequest> {
 /// error tails (they carry no ids that were mapped in the first place).
 pub fn unapply_payload(method: Method, map: &Relabeling, payload: &str) -> String {
     match method {
-        Method::Pos | Method::Stats => payload.to_string(),
+        Method::Pos | Method::Stats | Method::Metrics => payload.to_string(),
         Method::Enforce => map_fields(payload, |key, value| match key {
             "b" => Some(unmap_edge_vector(map, value)),
             _ => None,

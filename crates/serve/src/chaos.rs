@@ -30,7 +30,12 @@
 //! 4. a batch thrown at a capacity-2 admission gate sheds exactly its
 //!    tail with `code=overloaded;retry_ms=…`, in request order, while the
 //!    admitted head stays byte-identical;
-//! 5. the server still answers a fresh probe connection at the end.
+//! 5. the server still answers a fresh probe connection at the end;
+//! 6. the robustness counters add up *exactly*: `panics`/`deadlines`
+//!    equal the per-class response counts (plus the accounted-for
+//!    orphaned dispatches of disconnect half-batches), the ungated
+//!    router sheds nothing, the gate's `shed` counter equals the shed
+//!    response count, and every counter is monotone across the run.
 //!
 //! Everything — the workload, the fault plan, the batch boundaries — is a
 //! pure function of the seed, so two runs of the same seed make identical
@@ -462,6 +467,9 @@ pub fn run_chaos(spec: ChaosSpec) -> io::Result<ChaosReport> {
         }
     }
 
+    // Mid-run snapshot: the monotonicity check below compares against it.
+    let s_mid = router.conn_stats().snapshot();
+
     // ---- Deadlines are not cached: replay without the deadline. ------
     let (mut conn, mut reader) = connect(addr)?;
     let delayed: Vec<&String> = lines
@@ -493,6 +501,86 @@ pub fn run_chaos(spec: ChaosSpec) -> io::Result<ChaosReport> {
     }
     drop(reader);
     drop(conn);
+
+    // ---- Metrics sanity: counters add up exactly. --------------------
+    // Panic/delay victims inside a disconnect half-batch are dispatched
+    // twice: the server answers the orphaned connection's buffered
+    // complete lines at EOF (the responses land on a closed socket), and
+    // the full-batch replay dispatches them again. Those orphans are the
+    // only dispatches without a collected response, so the counters'
+    // exact expectation is per-class response counts plus the extras.
+    let mut extra_panics = 0u64;
+    let mut extra_deadlines = 0u64;
+    for (bi, batch) in lines.chunks(CHAOS_BATCH).enumerate() {
+        if !disconnect_batches.contains(&bi) {
+            continue;
+        }
+        for line in &batch[..batch.len() / 2] {
+            let id = Request::parse(line).expect("workload parses").id;
+            match faults.get(&id) {
+                Some(Fault::Panic) => extra_panics += 1,
+                Some(Fault::Delay) => extra_deadlines += 1,
+                _ => {}
+            }
+        }
+    }
+    let count_class =
+        |needle: &str| responses.values().filter(|r| r.contains(needle)).count() as u64;
+    let expected_panics = count_class(";code=internal;") + extra_panics;
+    let expected_deadlines = count_class(";code=deadline;") + extra_deadlines;
+    // The orphaned dispatches finish asynchronously on the server; wait
+    // (bounded) for the counters to reach the totals. They cannot
+    // overshoot — every dispatch that can increment them is accounted
+    // for above — so reaching the total and equalling it coincide.
+    let poll_start = std::time::Instant::now();
+    let s_end = loop {
+        let s = router.conn_stats().snapshot();
+        if (s.panics >= expected_panics && s.deadlines >= expected_deadlines)
+            || poll_start.elapsed() > Duration::from_secs(10)
+        {
+            break s;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    };
+    if s_end.panics != expected_panics {
+        report.fail(format!(
+            "metrics: panics counter {} != {} isolated responses + {} orphaned dispatches",
+            s_end.panics,
+            expected_panics - extra_panics,
+            extra_panics
+        ));
+    }
+    if s_end.deadlines != expected_deadlines {
+        report.fail(format!(
+            "metrics: deadlines counter {} != {} deadline responses + {} orphaned dispatches",
+            s_end.deadlines,
+            expected_deadlines - extra_deadlines,
+            extra_deadlines
+        ));
+    }
+    if s_end.shed != 0 {
+        report.fail(format!(
+            "metrics: ungated router shed {} requests",
+            s_end.shed
+        ));
+    }
+    // Monotonicity: no counter may ever move backwards.
+    for (name, before, after) in [
+        ("conns_eof", s_mid.eof, s_end.eof),
+        ("conns_reset", s_mid.reset, s_end.reset),
+        ("conns_err", s_mid.errored, s_end.errored),
+        ("conns_reaped", s_mid.reaped, s_end.reaped),
+        ("conns_drained", s_mid.drained, s_end.drained),
+        ("shed", s_mid.shed, s_end.shed),
+        ("panics", s_mid.panics, s_end.panics),
+        ("deadlines", s_mid.deadlines, s_end.deadlines),
+    ] {
+        if after < before {
+            report.fail(format!(
+                "metrics: {name} moved backwards: {before} -> {after}"
+            ));
+        }
+    }
     handle.stop();
 
     // ---- Overload sub-phase: capacity-2 gate, one batch of 8. --------
@@ -503,6 +591,7 @@ pub fn run_chaos(spec: ChaosSpec) -> io::Result<ChaosReport> {
         4096,
         true,
     ));
+    let gate_stats = gate_router.conn_stats().clone();
     let gate_handle = spawn_tcp_with(
         gate_router,
         "127.0.0.1:0",
@@ -544,6 +633,16 @@ pub fn run_chaos(spec: ChaosSpec) -> io::Result<ChaosReport> {
     drop(reader);
     drop(conn);
     gate_handle.stop();
+    // Shed responses are written synchronously after the counter bumps,
+    // so by the time the batch is fully read the gate's counter must
+    // equal the shed response count exactly.
+    let gs = gate_stats.snapshot();
+    if gs.shed != report.shed as u64 {
+        report.fail(format!(
+            "metrics: gate shed counter {} != {} shed responses",
+            gs.shed, report.shed
+        ));
+    }
 
     Ok(report)
 }

@@ -11,6 +11,7 @@
 //! request  := "ndg1" ";id=" ID ";method=" METHOD field*
 //! field    := ";" key "=" value
 //! METHOD   := "enforce" | "dynamics" | "pos" | "aon" | "certify" | "stats"
+//!           | "metrics"
 //! game     := "broadcast:" N ":" ROOT ":" edges
 //!           | "general:"   N ":" edges ":" players
 //!           | "weighted:"  N ":" edges ":" players ":" demands
@@ -26,9 +27,17 @@
 //!                                           forces literal keying)
 //! deadline_ms := integer milliseconds     (volatile attempt budget; not
 //!                                          part of the canonical body)
-//! response := "ok;id=" ID ";cache=" ("hit"|"miss"|"off")
+//! trace    := "0" | "1"                    (volatile; 1 asks the router to
+//!                                           echo per-stage µs timings as a
+//!                                           `trace=` response-header field,
+//!                                           outside the canonical body)
+//! response := "ok;id=" ID [";trace=" SPANS] ";cache=" ("hit"|"miss"|"off")
 //!             ";hits=" H ";misses=" M ";evictions=" E ";" payload
-//!           | "err;id=" ID ";code=" CODE [";retry_ms=" MS] ";msg=" TEXT
+//!           | "err;id=" ID [";trace=" SPANS] ";code=" CODE
+//!             [";retry_ms=" MS] ";msg=" TEXT
+//! SPANS    := stage ":" µs ("," stage ":" µs)*   (stages in pipeline order:
+//!                                                 parse,canon,cache,solve,
+//!                                                 unmap,write)
 //! ```
 //!
 //! Floats are serialized with Rust's shortest-round-trip `Display`, so
@@ -666,6 +675,9 @@ pub enum Method {
     Certify,
     /// Cache/runtime counters (no game; never cached).
     Stats,
+    /// Registry exposition: every `ndg-obs` metric as sorted
+    /// `name=value` fields (no game; never cached).
+    Metrics,
 }
 
 impl Method {
@@ -678,6 +690,7 @@ impl Method {
             Method::Aon => "aon",
             Method::Certify => "certify",
             Method::Stats => "stats",
+            Method::Metrics => "metrics",
         }
     }
 
@@ -689,6 +702,7 @@ impl Method {
             "aon" => Method::Aon,
             "certify" => Method::Certify,
             "stats" => Method::Stats,
+            "metrics" => Method::Metrics,
             _ => return Err(WireError::UnknownMethod(s.to_string())),
         })
     }
@@ -826,6 +840,13 @@ pub struct Request {
     /// within its deadline shares the cache entry of the undeadlined one,
     /// and a [`WireError::Deadline`] response is never cached.
     pub deadline_ms: Option<u64>,
+    /// Volatile per-stage timing request (`trace=1`). Like `id` and
+    /// `deadline_ms` it never enters
+    /// [`canonical_body`](Self::canonical_body): asking *how long* a
+    /// request took must not change which cache entry answers it, and
+    /// the echoed `trace=` response field is a volatile header outside
+    /// the deterministic payload.
+    pub trace: bool,
 }
 
 pub(crate) fn valid_id(id: &str) -> bool {
@@ -875,6 +896,7 @@ impl Request {
             limit: None,
             canon: true,
             deadline_ms: None,
+            trace: false,
         }
     }
 
@@ -902,6 +924,7 @@ impl Request {
         let mut limit: Option<usize> = None;
         let mut canon: Option<bool> = None;
         let mut deadline_ms: Option<u64> = None;
+        let mut trace: Option<bool> = None;
 
         for field in fields {
             let (key, value) = field
@@ -984,6 +1007,21 @@ impl Request {
                     }
                     deadline_ms = Some(parse_u64("deadline_ms", value)?);
                 }
+                "trace" => {
+                    if trace.is_some() {
+                        return Err(dup(key));
+                    }
+                    trace = Some(match value {
+                        "0" => false,
+                        "1" => true,
+                        other => {
+                            return Err(WireError::BadInt {
+                                field: "trace",
+                                token: other.to_string(),
+                            })
+                        }
+                    });
+                }
                 "canon" => {
                     if canon.is_some() {
                         return Err(dup(key));
@@ -1017,6 +1055,7 @@ impl Request {
             limit,
             canon: canon.unwrap_or(true),
             deadline_ms,
+            trace: trace.unwrap_or(false),
         };
         req.validate()?;
         Ok(req)
@@ -1024,7 +1063,7 @@ impl Request {
 
     fn validate(&self) -> Result<(), WireError> {
         match self.method {
-            Method::Stats => Ok(()),
+            Method::Stats | Method::Metrics => Ok(()),
             Method::Enforce | Method::Aon | Method::Certify => {
                 if self.game.is_none() {
                     return Err(WireError::MissingField("game"));
@@ -1053,17 +1092,17 @@ impl Request {
     }
 
     /// Canonical request line (fixed field order; present fields only).
-    /// The volatile `deadline_ms` rides next to `id`, outside the
-    /// canonical body.
+    /// The volatile `deadline_ms` and `trace` ride next to `id`, outside
+    /// the canonical body.
     pub fn serialize(&self) -> String {
-        match self.deadline_ms {
-            Some(ms) => format!(
-                "ndg1;id={};deadline_ms={ms};{}",
-                self.id,
-                self.canonical_body()
-            ),
-            None => format!("ndg1;id={};{}", self.id, self.canonical_body()),
+        let mut head = format!("ndg1;id={}", self.id);
+        if let Some(ms) = self.deadline_ms {
+            head.push_str(&format!(";deadline_ms={ms}"));
         }
+        if self.trace {
+            head.push_str(";trace=1");
+        }
+        format!("{head};{}", self.canonical_body())
     }
 
     /// The canonical body — everything except the correlation id, with
@@ -1097,7 +1136,7 @@ impl Request {
             Method::Aon => {
                 out.push_str(&format!(";limit={}", self.limit.unwrap_or(DEFAULT_LIMIT)));
             }
-            Method::Certify | Method::Stats => {}
+            Method::Certify | Method::Stats | Method::Metrics => {}
         }
         if let Some(tree) = &self.tree {
             out.push_str(&format!(";tree={}", fmt_edge_ids(tree)));
@@ -1146,8 +1185,45 @@ impl Request {
 }
 
 /// Fields of a response line that vary with cache occupancy/concurrency
-/// (everything after them is the deterministic payload).
-const VOLATILE_KEYS: [&str; 5] = ["id", "cache", "hits", "misses", "evictions"];
+/// or wall-clock timing (everything after them is the deterministic
+/// payload). `trace` is the per-stage µs echo: pure header, never part
+/// of the cached or compared payload bytes.
+const VOLATILE_KEYS: [&str; 6] = ["id", "cache", "hits", "misses", "evictions", "trace"];
+
+/// Names of the router pipeline stages, in execution order — the order
+/// the `trace=` response field reports them in.
+pub const STAGE_NAMES: [&str; 6] = ["parse", "canon", "cache", "solve", "unmap", "write"];
+
+/// Format the volatile `trace=` response-header field from per-stage
+/// microsecond laps (in [`STAGE_NAMES`] order).
+pub fn trace_field(stage_us: &[u64; 6]) -> String {
+    let mut out = String::from("trace=");
+    for (i, (name, us)) in STAGE_NAMES.iter().zip(stage_us.iter()).enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(name);
+        out.push(':');
+        out.push_str(&us.to_string());
+    }
+    out
+}
+
+/// Splice a volatile header field into a response line directly after
+/// its `id=` field (responses keep `id` first so clients can correlate
+/// before parsing anything else). Appends at the end if the line has no
+/// `id=` field — which no router-built response ever lacks.
+pub fn insert_after_id(line: &str, field: &str) -> String {
+    if let Some(start) = line.find(";id=") {
+        let after = &line[start + 1..];
+        match after.find(';') {
+            Some(k) => format!("{};{};{}", &line[..start + 1 + k], field, &after[k + 1..]),
+            None => format!("{line};{field}"),
+        }
+    } else {
+        format!("{line};{field}")
+    }
+}
 
 /// Assemble an `ok` response line.
 pub fn ok_line(
@@ -1288,7 +1364,7 @@ mod tests {
 
     #[test]
     fn structured_errors_never_panic() {
-        let cases: [(&str, &str); 17] = [
+        let cases: [(&str, &str); 20] = [
             ("", "empty"),
             ("ndg0;id=a;method=stats", "bad_tag"),
             ("ndg1;id=a", "missing_field"),
@@ -1318,6 +1394,9 @@ mod tests {
             ("ndg1;id=a;method=stats;canon=2", "bad_int"),
             ("ndg1;id=a;method=stats;canon=", "bad_int"),
             ("ndg1;id=a;method=stats;canon=0;canon=1", "duplicate_field"),
+            ("ndg1;id=a;method=stats;trace=2", "bad_int"),
+            ("ndg1;id=a;method=stats;trace=", "bad_int"),
+            ("ndg1;id=a;method=stats;trace=1;trace=0", "duplicate_field"),
         ];
         for (line, code) in cases {
             let err = Request::parse(line).unwrap_err();
@@ -1379,6 +1458,65 @@ mod tests {
                 .unwrap_err()
                 .code(),
             "bad_int"
+        );
+    }
+
+    #[test]
+    fn trace_is_volatile_like_id_and_deadline() {
+        let with =
+            Request::parse("ndg1;id=a;method=enforce;trace=1;tree=0;game=broadcast:2:0:0/1/1")
+                .unwrap();
+        assert!(with.trace);
+        let without =
+            Request::parse("ndg1;id=b;method=enforce;tree=0;game=broadcast:2:0:0/1/1").unwrap();
+        // Neither trace nor deadline_ms may leak into the canonical
+        // body or the cache key: a traced request must hit the exact
+        // cache entry its untraced twin populated.
+        let both = Request::parse(
+            "ndg1;id=c;method=enforce;trace=1;deadline_ms=250;tree=0;game=broadcast:2:0:0/1/1",
+        )
+        .unwrap();
+        for req in [&with, &both] {
+            assert_eq!(req.canonical_body(), without.canonical_body());
+            assert_eq!(req.cache_key(), without.cache_key());
+            assert!(!req.canonical_body().contains("trace"));
+            assert!(!req.canonical_body().contains("deadline"));
+        }
+        // serialize/parse round-trips the flag, outside the body.
+        let line = with.serialize();
+        assert!(line.contains(";trace=1;"), "{line}");
+        let back = Request::parse(&line).unwrap();
+        assert!(back.trace);
+        assert_eq!(back.canonical_body(), without.canonical_body());
+        // trace=0 resolves by omission like the other defaults.
+        let explicit_off =
+            Request::parse("ndg1;id=a;method=enforce;trace=0;tree=0;game=broadcast:2:0:0/1/1")
+                .unwrap();
+        assert!(!explicit_off.trace);
+        assert!(!explicit_off.serialize().contains("trace"));
+    }
+
+    #[test]
+    fn trace_echo_is_a_header_outside_the_payload() {
+        let spans = trace_field(&[3, 45, 1, 920, 2, 1]);
+        assert_eq!(
+            spans,
+            "trace=parse:3,canon:45,cache:1,solve:920,unmap:2,write:1"
+        );
+        let plain = ok_line("x9", "hit", 3, 4, 0, "cost=1.5;b=0,1.5");
+        let traced = insert_after_id(&plain, &spans);
+        assert_eq!(
+            traced,
+            "ok;id=x9;trace=parse:3,canon:45,cache:1,solve:920,unmap:2,write:1;\
+             cache=hit;hits=3;misses=4;evictions=0;cost=1.5;b=0,1.5"
+        );
+        // The deterministic payload is byte-identical with and without
+        // the trace header.
+        assert_eq!(payload_of(&traced), payload_of(&plain));
+        let err = insert_after_id(&err_line("x9", &WireError::NotBroadcast), &spans);
+        assert_eq!(
+            payload_of(&err),
+            "err;code=not_broadcast;msg=method requires a broadcast game"
         );
     }
 

@@ -18,7 +18,7 @@
 //! * [`router`] — named methods over the existing engines: `enforce`
 //!   (SNE LPs (1)–(3), Theorem 6, weighted), `dynamics` (the incremental
 //!   engine under all three move orders), `pos`, `aon`, `certify`
-//!   (batched Lemma 2), `stats`;
+//!   (batched Lemma 2), `stats`, `metrics`;
 //! * [`server`] — batched front ends over TCP and stdio, scheduling each
 //!   batch onto a shared [`ndg_exec::Executor`] with per-worker pooled
 //!   Dijkstra workspaces; bounded-in-flight admission with overload
@@ -50,6 +50,18 @@
 //! request body — across thread counts, batch boundaries, connection
 //! interleavings and cache states. That is the property that makes result
 //! caching sound, and E12 plus `--self-test` assert it end to end.
+//!
+//! # Observability
+//!
+//! The stack instruments itself through [`ndg_obs`]: relaxed-atomic
+//! counters and log₂ latency histograms that are no-ops until a process
+//! opts in with [`ndg_obs::install`] (`ndg-serve --metrics 1`). The
+//! `metrics` method exposes every metric as deterministic sorted
+//! `name=value` fields; `trace=1` on any request echoes per-stage µs
+//! (`parse/canon/cache/solve/unmap/write`) in the response *header* —
+//! volatile, stripped by [`codec::payload_of`], never part of the cache
+//! key — and `--log-slow-ms` retains the top-[`router::SLOW_RING_CAP`]
+//! slowest requests for `stats`. None of it perturbs response payloads.
 
 // A serving layer must not die on a recoverable condition: production
 // (non-test) code paths justify every panic site or handle the error.
@@ -67,9 +79,9 @@ pub use cache::{Cache, CacheStats};
 pub use canon::{canonicalize_request, unapply_payload, CanonRequest};
 pub use chaos::{run_chaos, ChaosReport, ChaosSpec};
 pub use codec::{payload_of, Method, Request, Solver, WireError, WireGame, WireOrder};
-pub use router::{FaultHook, Router};
+pub use router::{FaultHook, Router, SlowRequest, SLOW_RING_CAP};
 pub use server::{
     serve_stdio, serve_stdio_with, serve_stream, serve_stream_with, spawn_tcp, spawn_tcp_with,
-    ConnEnd, ConnStats, Gate, ServeOptions, ServerHandle, TcpOptions,
+    ConnEnd, ConnSnapshot, ConnStats, Gate, ServeOptions, ServerHandle, TcpOptions,
 };
-pub use workload::{build_workload, WorkloadSpec};
+pub use workload::{build_workload, with_trace, WorkloadSpec};

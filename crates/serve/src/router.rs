@@ -25,10 +25,68 @@ use ndg_core::{best_response_dynamics_budgeted, best_response_with, NetworkDesig
 use ndg_exec::{Budget, Executor};
 use ndg_graph::paths::{DijkstraWorkspace, WorkspacePool};
 use ndg_graph::{EdgeId, Graph, RootedTree};
+use ndg_obs::{Clock, MonoClock};
 use ndg_sne::{SneError, SneSolution};
 use std::sync::atomic::Ordering;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
+
+/// Serving-layer metrics (no-ops until [`ndg_obs::install`]): request
+/// count, end-to-end wall time, and the solve-stage share of it. All
+/// integer µs — exposition never perturbs response bytes.
+static SERVE_REQUESTS: ndg_obs::Counter = ndg_obs::Counter::new("serve_requests_total");
+static SERVE_REQUEST_US: ndg_obs::Histogram = ndg_obs::Histogram::new("serve_request_us");
+static SERVE_SOLVE_US: ndg_obs::Histogram = ndg_obs::Histogram::new("serve_solve_us");
+
+// Stage slots of the request pipeline, indexing per-request lap arrays
+// in [`crate::codec::STAGE_NAMES`] order.
+const STAGE_PARSE: usize = 0;
+const STAGE_CANON: usize = 1;
+const STAGE_CACHE: usize = 2;
+const STAGE_SOLVE: usize = 3;
+const STAGE_UNMAP: usize = 4;
+const STAGE_WRITE: usize = 5;
+
+/// Slow-request ring capacity: the top-k completed requests by wall
+/// time retained for `method=stats`.
+pub const SLOW_RING_CAP: usize = 8;
+
+/// One retained slow request (`--log-slow-ms`): what ran, under which
+/// cache key, and where its wall time went.
+#[derive(Clone, Copy, Debug)]
+pub struct SlowRequest {
+    /// Wire method name.
+    pub method: &'static str,
+    /// FNV-1a hash of the canonical body the request keyed under
+    /// (0 for the keyless introspection methods).
+    pub key_hash: u64,
+    /// End-to-end wall time, µs.
+    pub total_us: u64,
+    /// Per-stage µs in [`crate::codec::STAGE_NAMES`] order.
+    pub stage_us: [u64; 6],
+}
+
+/// Per-request stage-lap accumulator over the router's clock. Inert
+/// (`on = false`: no clock reads) unless the request asked for a trace,
+/// the slow ring is armed, or the metrics registry is installed — the
+/// untimed fast path pays exactly one clock read per request.
+struct Laps<'c> {
+    clock: &'c dyn Clock,
+    last: u64,
+    stage_us: [u64; 6],
+    on: bool,
+}
+
+impl Laps<'_> {
+    #[inline]
+    fn lap(&mut self, stage: usize) {
+        if self.on {
+            let now = self.clock.now_us();
+            self.stage_us[stage] += now.saturating_sub(self.last);
+            self.last = now;
+        }
+    }
+}
 
 /// A test-only fault injector consulted at the top of every dispatch (on
 /// the worker thread, inside the panic-isolation boundary). The chaos
@@ -62,6 +120,12 @@ pub struct Router {
     fault_hook: Option<FaultHook>,
     /// Robustness counters shared with the serving front ends.
     conn_stats: Arc<ConnStats>,
+    /// Stage/latency clock; swappable for deterministic span tests.
+    clock: Arc<dyn Clock>,
+    /// `--log-slow-ms` threshold in µs; `None` disarms the slow ring.
+    log_slow_us: Option<u64>,
+    /// Top-[`SLOW_RING_CAP`] completed requests by wall time.
+    slow: Mutex<Vec<SlowRequest>>,
 }
 
 impl std::fmt::Debug for Router {
@@ -97,7 +161,38 @@ impl Router {
             default_deadline_ms: None,
             fault_hook: None,
             conn_stats: Arc::new(ConnStats::default()),
+            clock: Arc::new(MonoClock::new()),
+            log_slow_us: None,
+            slow: Mutex::new(Vec::new()),
         }
+    }
+
+    /// Swap the stage/latency clock (deterministic tests drive a
+    /// [`ndg_obs::TestClock`] through this).
+    pub fn set_clock(&mut self, clock: Arc<dyn Clock>) {
+        self.clock = clock;
+    }
+
+    /// Arm the slow-request ring: requests taking at least `ms`
+    /// milliseconds of wall time are retained (top-[`SLOW_RING_CAP`] by
+    /// total time) and reported by `method=stats`. `None` disarms.
+    pub fn set_log_slow_ms(&mut self, ms: Option<u64>) {
+        self.log_slow_us = ms.map(|m| m.saturating_mul(1000));
+    }
+
+    /// The current slow-request ring, slowest first.
+    pub fn slow_requests(&self) -> Vec<SlowRequest> {
+        let mut v = self
+            .slow
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone();
+        v.sort_by(|a, b| {
+            b.total_us
+                .cmp(&a.total_us)
+                .then(a.key_hash.cmp(&b.key_hash))
+        });
+        v
     }
 
     /// Deadline (ms) applied to requests without an explicit
@@ -165,14 +260,94 @@ impl Router {
     }
 
     fn handle_with(&self, line: &str, ws: &mut DijkstraWorkspace) -> String {
+        let t0 = self.clock.now_us();
         let req = match Request::parse(line) {
             Ok(req) => req,
+            // Parse failures carry no `trace=` to honour and no key to
+            // attribute: plain error, no stage echo.
             Err(e) => return err_line(recovered_id(line), &e),
         };
-        if req.method == Method::Stats {
-            let payload = self.stats_payload();
+        let mut laps = Laps {
+            clock: &*self.clock,
+            last: t0,
+            stage_us: [0; 6],
+            on: req.trace || self.log_slow_us.is_some() || ndg_obs::installed(),
+        };
+        laps.lap(STAGE_PARSE);
+        let (resp, key) = self.respond(&req, ws, &mut laps);
+        self.finish(&req, resp, t0, laps, key)
+    }
+
+    /// Common post-processing of every parsed request: the `write` lap
+    /// (final line assembly since the previous stage boundary) is taken
+    /// here, then total-latency metrics, the slow-request ring, and —
+    /// last, so the echoed timings cover everything but the splice
+    /// itself — the volatile `trace=` header echo.
+    fn finish(&self, req: &Request, line: String, t0: u64, mut laps: Laps<'_>, key: u64) -> String {
+        if !laps.on {
+            return line;
+        }
+        laps.lap(STAGE_WRITE);
+        let total_us = laps.last.saturating_sub(t0);
+        SERVE_REQUESTS.inc();
+        SERVE_REQUEST_US.record(total_us);
+        SERVE_SOLVE_US.record(laps.stage_us[STAGE_SOLVE]);
+        if let Some(thresh) = self.log_slow_us {
+            if total_us >= thresh {
+                self.note_slow(SlowRequest {
+                    method: req.method.as_str(),
+                    key_hash: key,
+                    total_us,
+                    stage_us: laps.stage_us,
+                });
+            }
+        }
+        if req.trace {
+            return crate::codec::insert_after_id(
+                &line,
+                &crate::codec::trace_field(&laps.stage_us),
+            );
+        }
+        line
+    }
+
+    /// Retain `entry` in the top-k-by-wall-time slow ring.
+    fn note_slow(&self, entry: SlowRequest) {
+        let mut ring = self
+            .slow
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if ring.len() < SLOW_RING_CAP {
+            ring.push(entry);
+            return;
+        }
+        // Full: displace the fastest resident iff the newcomer beats it.
+        if let Some(i) = (0..ring.len()).min_by_key(|&i| ring[i].total_us) {
+            if ring[i].total_us < entry.total_us {
+                ring[i] = entry;
+            }
+        }
+    }
+
+    /// Answer a parsed request, lapping stage boundaries into `laps`.
+    /// Returns the response line (pre-trace-splice) and the cache key
+    /// the request keyed under (0 for the introspection methods).
+    fn respond(
+        &self,
+        req: &Request,
+        ws: &mut DijkstraWorkspace,
+        laps: &mut Laps<'_>,
+    ) -> (String, u64) {
+        if matches!(req.method, Method::Stats | Method::Metrics) {
+            // Introspection methods answer from the instant they are
+            // asked: never keyed, never cached, counted as `solve`.
+            let payload = match req.method {
+                Method::Metrics => ndg_obs::expose(),
+                _ => self.stats_payload(),
+            };
+            laps.lap(STAGE_SOLVE);
             let (h, m, e) = self.cache.counters();
-            return ok_line(&req.id, "off", h, m, e, &payload);
+            return (ok_line(&req.id, "off", h, m, e, &payload), 0);
         }
         // Canonical pipeline: rewrite the request into canonical label
         // space, key and solve there, and map every answer back through
@@ -184,7 +359,7 @@ impl Router {
         // mapping step.
         let outcome = if self.canon && req.canon {
             // Memoized: exact replays of a literal body skip the search.
-            self.memo.lookup(&req)
+            self.memo.lookup(req)
         } else {
             crate::canon::CanonOutcome {
                 literal_body: req.canonical_body(),
@@ -193,7 +368,7 @@ impl Router {
         };
         let (solve_req, map, body) = match &outcome.canon {
             Some((c, canon_body)) => (&c.req, Some(&c.map), canon_body.as_str()),
-            None => (&req, None, outcome.literal_body.as_str()),
+            None => (req, None, outcome.literal_body.as_str()),
         };
         // Map a (canonical-space) `ok` payload back into the request's
         // own labels; the identity for the literal pipeline.
@@ -201,19 +376,25 @@ impl Router {
             Some(m) => crate::canon::unapply_payload(req.method, m, payload),
             None => payload.to_string(),
         };
+        // `canon` covers body serialization plus the memo/refinement work.
+        laps.lap(STAGE_CANON);
         let key = crate::codec::fnv1a64(body.as_bytes());
         // An isomorphism hit is one mediated by canonicalization: the
         // request's own bytes differ from the canonical form it keyed
         // under.
         let iso = || map.is_some() && body != outcome.literal_body;
-        if let Some((payload, is_err)) = self.cache.get_tagged(key, body, iso) {
+        let probed = self.cache.get_tagged(key, body, iso);
+        laps.lap(STAGE_CACHE);
+        if let Some((payload, is_err)) = probed {
             if is_err {
                 // Cached deterministic error tail: re-attach the volatile
                 // id — byte-identical to re-running the validation.
-                return crate::codec::err_line_with(&req.id, &payload);
+                return (crate::codec::err_line_with(&req.id, &payload), key);
             }
+            let mapped = unapply(&payload);
+            laps.lap(STAGE_UNMAP);
             let (h, m, e) = self.cache.counters();
-            return ok_line(&req.id, "hit", h, m, e, &unapply(&payload));
+            return (ok_line(&req.id, "hit", h, m, e, &mapped), key);
         }
         // The budget clock starts at dispatch: `deadline_ms=` bounds the
         // solve itself (parse and cache probes are not billed — a cache
@@ -240,15 +421,17 @@ impl Router {
                 })
             }
         };
-        match dispatched {
+        laps.lap(STAGE_SOLVE);
+        let line = match dispatched {
             Ok(payload) => {
                 // The cache stores the solve-space payload; every reader
                 // (this miss included) maps it back through its own
                 // relabeling.
                 self.cache.insert(key, body.to_string(), payload.clone());
                 let status = if self.cache.enabled() { "miss" } else { "off" };
+                let mapped = unapply(&payload);
                 let (h, m, e) = self.cache.counters();
-                ok_line(&req.id, status, h, m, e, &unapply(&payload))
+                ok_line(&req.id, status, h, m, e, &mapped)
             }
             Err(e) => {
                 // Deterministic validate-class failures are cached too
@@ -270,7 +453,12 @@ impl Router {
                 }
                 err_line(&req.id, &e)
             }
-        }
+        };
+        // `unmap` covers the map-back to request labels plus the cache
+        // insert — everything between the engine answering and the final
+        // line existing.
+        laps.lap(STAGE_UNMAP);
+        (line, key)
     }
 
     fn dispatch(
@@ -293,19 +481,34 @@ impl Router {
             Method::Pos => self.pos(req, budget),
             Method::Aon => self.aon(req),
             Method::Certify => self.certify(req, ws),
-            Method::Stats => unreachable!("stats handled before dispatch"),
+            Method::Stats | Method::Metrics => {
+                unreachable!("introspection methods answered before dispatch")
+            }
         }
     }
 
+    /// One coherent `method=stats` snapshot, assembled in a single pass
+    /// (one [`CacheStats`] read, one [`ConnStats::snapshot`]). Field
+    /// order is part of the wire contract, in four fixed groups:
+    ///
+    /// 1. cache: `entries`, `capacity`, `ok_hits`, `canon_hits`,
+    ///    `err_hits`, `canon_err_hits`, `canon_rate`
+    /// 2. engine: `threads`
+    /// 3. connections: `conns_eof`, `conns_reset`, `conns_err`,
+    ///    `conns_reaped`, `conns_drained`
+    /// 4. robustness: `shed`, `panics`, `deadlines`
+    /// 5. slow ring: `slow_count`, then one
+    ///    `slow{i}={method}:{key:016x}:{total_us}:{parse/canon/cache/solve/unmap/write}`
+    ///    per retained request, slowest first.
     fn stats_payload(&self) -> String {
         let s = self.cache.stats();
-        let c = &self.conn_stats;
-        let ld = Ordering::Relaxed;
-        format!(
+        let c = self.conn_stats.snapshot();
+        let slow = self.slow_requests();
+        let mut out = format!(
             "entries={};capacity={};ok_hits={};canon_hits={};err_hits={};canon_err_hits={};\
              canon_rate={};threads={};\
              conns_eof={};conns_reset={};conns_err={};conns_reaped={};conns_drained={};\
-             shed={};panics={};deadlines={}",
+             shed={};panics={};deadlines={};slow_count={}",
             s.entries,
             s.capacity,
             s.ok_hits,
@@ -314,15 +517,30 @@ impl Router {
             s.canon_err_hits,
             crate::canon::canon_rate(s.canon_hits + s.canon_err_hits, s.hits),
             self.ex.threads(),
-            c.eof.load(ld),
-            c.reset.load(ld),
-            c.errored.load(ld),
-            c.reaped.load(ld),
-            c.drained.load(ld),
-            c.shed.load(ld),
-            c.panics.load(ld),
-            c.deadlines.load(ld),
-        )
+            c.eof,
+            c.reset,
+            c.errored,
+            c.reaped,
+            c.drained,
+            c.shed,
+            c.panics,
+            c.deadlines,
+            slow.len(),
+        );
+        for (i, r) in slow.iter().enumerate() {
+            use std::fmt::Write as _;
+            let us: Vec<String> = r.stage_us.iter().map(u64::to_string).collect();
+            let _ = write!(
+                out,
+                ";slow{}={}:{:016x}:{}:{}",
+                i,
+                r.method,
+                r.key_hash,
+                r.total_us,
+                us.join("/")
+            );
+        }
+        out
     }
 
     fn enforce(&self, req: &Request, budget: &Budget) -> Result<String, WireError> {
@@ -923,5 +1141,118 @@ mod tests {
                 .collect();
             assert_eq!(got, reference, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn trace_echo_is_volatile_and_never_reaches_the_cache_key() {
+        // A frozen test clock makes every stage lap exactly 0µs, so the
+        // echoed header is byte-deterministic.
+        let mut r = Router::new(Executor::sequential(), 64);
+        let clock = Arc::new(ndg_obs::TestClock::new());
+        r.set_clock(clock.clone());
+        let lit =
+            "ndg1;id=a;method=certify;tree=0,1;b=0.5,0,0;game=broadcast:3:0:0/1/1,1/2/2,2/0/4";
+        // The relabeled twin of `lit` — plus `trace=1`. Volatile fields
+        // are outside the canonical body, so it must still hit the one
+        // canonical cache entry.
+        let iso = "ndg1;id=b;trace=1;method=certify;tree=0,2;b=0,0,0.5;\
+             game=broadcast:3:2:0/1/2,1/2/4,2/0/1";
+        let first = r.handle_line(lit);
+        assert!(first.contains(";cache=miss;"), "{first}");
+        let second = r.handle_line(iso);
+        assert!(
+            second.contains(";cache=hit;"),
+            "traced relabeled twin must hit the canonical entry: {second}"
+        );
+        // The echo rides in the header, spliced right after the id…
+        assert!(
+            second.starts_with(
+                "ok;id=b;trace=parse:0,canon:0,cache:0,solve:0,unmap:0,write:0;cache=hit;"
+            ),
+            "{second}"
+        );
+        // …and is stripped with the other volatile fields: the payload is
+        // byte-identical to the untraced miss response.
+        assert_eq!(payload_of(&first), payload_of(&second));
+        assert_eq!(r.cache_stats().canon_hits, 1);
+        // Advancing the clock between requests lands in `parse` (the
+        // first lap): the echo follows the clock, nothing else moves.
+        clock.advance_us(7);
+        let third = r.handle_line(iso);
+        assert!(
+            third.starts_with(
+                "ok;id=b;trace=parse:0,canon:0,cache:0,solve:0,unmap:0,write:0;cache=hit;"
+            ),
+            "{third}"
+        );
+        assert_eq!(payload_of(&first), payload_of(&third));
+    }
+
+    #[test]
+    fn slow_ring_retains_requests_and_stats_reports_them_in_order() {
+        let mut r = Router::new(Executor::sequential(), 64);
+        // Threshold 0ms: every completed request qualifies.
+        r.set_log_slow_ms(Some(0));
+        for n in 4..8 {
+            let line = format!(
+                "ndg1;id=d{n};method=dynamics;tree={};game={}",
+                tree_ids(n),
+                cycle_game_spec(n)
+            );
+            let _ = r.handle_line(&line);
+        }
+        let slow = r.slow_requests();
+        assert!(!slow.is_empty() && slow.len() <= SLOW_RING_CAP, "{slow:?}");
+        assert!(
+            slow.windows(2).all(|w| w[0].total_us >= w[1].total_us),
+            "slowest first: {slow:?}"
+        );
+        assert!(slow.iter().all(|s| s.method == "dynamics"), "{slow:?}");
+        assert!(slow.iter().all(|s| s.key_hash != 0), "{slow:?}");
+        // Stage laps sum to at most the recorded wall time.
+        for s in &slow {
+            assert!(s.stage_us.iter().sum::<u64>() <= s.total_us, "{s:?}");
+        }
+        let stats = r.handle_line("ndg1;id=s;method=stats");
+        assert!(stats.contains(";slow_count=4;"), "{stats}");
+        assert!(stats.contains(";slow0=dynamics:"), "{stats}");
+        // Disarmed ring: a fresh router reports slow_count=0 and no rows.
+        let fresh = Router::new(Executor::sequential(), 64);
+        let stats = fresh.handle_line("ndg1;id=s;method=stats");
+        assert!(stats.ends_with(";slow_count=0"), "{stats}");
+    }
+
+    #[test]
+    fn metrics_method_exposes_registry_counters_once_installed() {
+        let r = Router::new(Executor::sequential(), 64);
+        let resp = r.handle_line("ndg1;id=m;method=metrics");
+        assert!(resp.starts_with("ok;id=m;cache=off;"), "{resp}");
+        // Sole install site in this test binary (the registry is
+        // process-global; concurrent tests must not toggle it).
+        ndg_obs::install();
+        let line = format!(
+            "ndg1;id=d;method=dynamics;tree={};game={}",
+            tree_ids(6),
+            cycle_game_spec(6)
+        );
+        let _ = r.handle_line(&line);
+        let _ = r.handle_line(&line);
+        let resp = r.handle_line("ndg1;id=m2;method=metrics");
+        let payload = payload_of(&resp);
+        assert!(payload.starts_with("ok;enabled=1;"), "{payload}");
+        for field in [
+            ";serve_requests_total=",
+            ";serve_request_us_count=",
+            ";serve_request_us_p50=",
+            ";serve_solve_us_count=",
+            ";cache_misses_total=",
+            ";canon_memo_hits_total=",
+        ] {
+            assert!(payload.contains(field), "missing {field}: {payload}");
+        }
+        // Exposition is a volatile-free payload: replaying the request id
+        // changes nothing but the id.
+        let again = r.handle_line("ndg1;id=m3;method=metrics");
+        assert!(again.starts_with("ok;id=m3;cache=off;"), "{again}");
     }
 }

@@ -79,6 +79,46 @@ pub struct ConnStats {
     pub deadlines: AtomicU64,
 }
 
+impl ConnStats {
+    /// One-pass relaxed read of every counter, so a `stats` response
+    /// reports a single coherent view instead of interleaving loads
+    /// with concurrent updates field by field.
+    pub fn snapshot(&self) -> ConnSnapshot {
+        let ld = Ordering::Relaxed;
+        ConnSnapshot {
+            eof: self.eof.load(ld),
+            reset: self.reset.load(ld),
+            errored: self.errored.load(ld),
+            reaped: self.reaped.load(ld),
+            drained: self.drained.load(ld),
+            shed: self.shed.load(ld),
+            panics: self.panics.load(ld),
+            deadlines: self.deadlines.load(ld),
+        }
+    }
+}
+
+/// Plain-integer view of [`ConnStats`] taken by [`ConnStats::snapshot`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConnSnapshot {
+    /// Connections ended by a clean client EOF.
+    pub eof: u64,
+    /// Connections ended by reset/abort/broken pipe.
+    pub reset: u64,
+    /// Connections ended by any other I/O error.
+    pub errored: u64,
+    /// Connections reaped for idling past the read timeout.
+    pub reaped: u64,
+    /// Connections closed by graceful drain at shutdown.
+    pub drained: u64,
+    /// Requests refused by the admission gate.
+    pub shed: u64,
+    /// Engine panics isolated to `err;code=internal` responses.
+    pub panics: u64,
+    /// `err;code=deadline` responses returned.
+    pub deadlines: u64,
+}
+
 /// Why a serving loop ended (the classification counted in
 /// [`ConnStats`]). I/O errors are classified by the caller from the
 /// `io::Error` kind instead.

@@ -292,6 +292,22 @@ pub fn build_workload(spec: WorkloadSpec) -> Vec<String> {
         .collect()
 }
 
+/// Re-emit `lines` with `trace=1` set on each request. Trace is a
+/// volatile field — the traced stream keys, caches, and answers exactly
+/// like the original, with per-stage timings spliced into each response
+/// header — so a traced self-test can diff payloads against an untraced
+/// reference.
+pub fn with_trace(lines: &[String]) -> Vec<String> {
+    lines
+        .iter()
+        .map(|l| {
+            let mut req = Request::parse(l).expect("workload lines parse");
+            req.trace = true;
+            req.serialize()
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -367,5 +383,26 @@ mod tests {
             spec.distinct,
             "canonical keys must see through the relabelings"
         );
+    }
+
+    #[test]
+    fn with_trace_flips_only_the_volatile_flag() {
+        let lines = build_workload(WorkloadSpec {
+            requests: 20,
+            distinct: 20,
+            seed: 3,
+            isomorphs: 1,
+        });
+        let traced = with_trace(&lines);
+        assert_eq!(lines.len(), traced.len());
+        for (plain, traced) in lines.iter().zip(&traced) {
+            let a = Request::parse(plain).unwrap();
+            let b = Request::parse(traced).unwrap();
+            assert!(!a.trace && b.trace);
+            assert!(traced.contains(";trace=1"), "{traced}");
+            // Volatile: same canonical body, same cache key.
+            assert_eq!(a.canonical_body(), b.canonical_body());
+            assert_eq!(a.cache_key(), b.cache_key());
+        }
     }
 }
