@@ -19,6 +19,11 @@
 //! `err;code=overloaded;retry_ms=…`), `--idle-timeout-ms MS` (reap
 //! connections that stall mid-frame).
 //!
+//! Session flags: `--audit-every N` (run a cold divergence audit on every
+//! Nth committed session delta; 0 disables, default 8) and
+//! `--max-sessions M` (bounded session admission with LRU idle eviction;
+//! evicted sessions answer `err;code=session_expired`, default 64).
+//!
 //! Observability flags: `--metrics 0|1` (install the process-wide
 //! `ndg-obs` registry; the `metrics` method then exposes every counter
 //! and histogram), `--log-slow-ms MS` (retain the slowest requests with
@@ -60,6 +65,7 @@ fn usage() -> ! {
          --chaos SPEC | --self-test-chaos [SPEC]) \
          [--threads T] [--cache C] [--canon 0|1] [--default-deadline-ms MS] \
          [--max-inflight N] [--idle-timeout-ms MS] \
+         [--audit-every N] [--max-sessions M] \
          [--metrics 0|1] [--log-slow-ms MS] [--trace 0|1]\n\
          SPEC: seed=N[,requests=R][,distinct=D][,fault-rate=F]"
     );
@@ -85,6 +91,7 @@ fn run() -> i32 {
     let mut metrics = false;
     let mut log_slow_ms: Option<u64> = None;
     let mut trace = false;
+    let mut session_cfg = ndg_serve::SessionConfig::default();
 
     let mut it = args.iter().peekable();
     while let Some(arg) = it.next() {
@@ -186,6 +193,18 @@ fn run() -> i32 {
                     None => usage(),
                 }
             }
+            "--audit-every" => {
+                session_cfg.audit_every = match it.next().and_then(|v| v.parse().ok()) {
+                    Some(n) => n,
+                    None => usage(),
+                }
+            }
+            "--max-sessions" => {
+                session_cfg.max_sessions = match it.next().and_then(|v| v.parse().ok()) {
+                    Some(m) => m,
+                    None => usage(),
+                }
+            }
             "--metrics" => {
                 metrics = match it.next().map(String::as_str) {
                     Some("0") => false,
@@ -219,6 +238,7 @@ fn run() -> i32 {
     let mut router = Router::with_canon(ex, cache, canon);
     router.set_default_deadline_ms(default_deadline_ms);
     router.set_log_slow_ms(log_slow_ms);
+    router.set_session_config(session_cfg);
     match mode.as_deref() {
         Some("stdio") => {
             let opts = ndg_serve::ServeOptions {
@@ -288,13 +308,18 @@ fn run() -> i32 {
                 }
             };
             println!(
-                "chaos: corrupt={} torn={} panics={} delays={} disconnects={} shed={}",
+                "chaos: corrupt={} torn={} panics={} delays={} disconnects={} shed={} \
+                 session_deltas={} session_resyncs={} session_audits={} retries={}",
                 report.corrupt,
                 report.torn,
                 report.panics,
                 report.delays,
                 report.disconnects,
-                report.shed
+                report.shed,
+                report.session_deltas,
+                report.session_resyncs,
+                report.session_audits,
+                report.retries
             );
             for f in &report.failures {
                 eprintln!("chaos FAIL: {f}");

@@ -229,7 +229,11 @@ impl CanonMemo {
 /// must be handled literally (see module docs). Pure function of the
 /// request — isomorphic requests yield byte-identical canonical bodies.
 pub fn canonicalize_request(req: &Request) -> Option<CanonRequest> {
-    if matches!(req.method, Method::Stats | Method::Metrics) {
+    if matches!(req.method, Method::Stats | Method::Metrics) || req.method.is_session() {
+        // Sessions are literal by specification: a delta answer is
+        // compared byte-for-byte against a cold solve of the *pinned*
+        // instance, and engines are not bitwise label-equivariant, so
+        // canonical label space would change the specified bytes.
         return None;
     }
     let game = req.game.as_ref()?;
@@ -284,7 +288,15 @@ pub fn canonicalize_request(req: &Request) -> Option<CanonRequest> {
 /// error tails (they carry no ids that were mapped in the first place).
 pub fn unapply_payload(method: Method, map: &Relabeling, payload: &str) -> String {
     match method {
-        Method::Pos | Method::Stats | Method::Metrics => payload.to_string(),
+        // Session payloads are never canonicalized in the first place
+        // (sessions pin the literal instance), so unapply is the identity.
+        Method::Pos
+        | Method::Stats
+        | Method::Metrics
+        | Method::Open
+        | Method::Delta
+        | Method::Resync
+        | Method::Close => payload.to_string(),
         Method::Enforce => map_fields(payload, |key, value| match key {
             "b" => Some(unmap_edge_vector(map, value)),
             _ => None,

@@ -35,7 +35,22 @@
 //!    equal the per-class response counts (plus the accounted-for
 //!    orphaned dispatches of disconnect half-batches), the ungated
 //!    router sheds nothing, the gate's `shed` counter equals the shed
-//!    response count, and every counter is monotone across the run.
+//!    response count, and every counter is monotone across the run;
+//! 7. **delta sessions survive every fault**: a scripted session phase
+//!    drives `open`/`delta`/`resync`/`close` traffic (patches, edge
+//!    failures, joins, corrupt delta lines, a mid-script disconnect,
+//!    injected panics mid-delta) against an in-process sequential
+//!    reference running the identical script — every answer must be
+//!    payload-byte-identical with matching epochs, panicked deltas must
+//!    come back `resynced=1`, and the server's session counters
+//!    (`deltas`/`resyncs`/`audits`/`audits_failed`) must equal the
+//!    script's own bookkeeping *exactly*;
+//! 8. **shed requests eventually succeed**: a session delta thrown at a
+//!    deliberately held capacity-1 gate is shed with
+//!    `code=overloaded;retry_ms=…`; a client honoring the hint with
+//!    capped exponential backoff eventually lands the delta exactly
+//!    once — the epoch advances by one, and replaying the identical
+//!    wire line is refused as `stale_epoch`, never applied twice.
 //!
 //! Everything — the workload, the fault plan, the batch boundaries — is a
 //! pure function of the seed, so two runs of the same seed make identical
@@ -131,6 +146,16 @@ pub struct ChaosReport {
     pub disconnects: usize,
     /// Requests shed in the overload sub-phase.
     pub shed: usize,
+    /// Session deltas committed in the session sub-phase.
+    pub session_deltas: usize,
+    /// Session resyncs observed (panic recoveries + client resyncs),
+    /// verified against the server's own counter.
+    pub session_resyncs: usize,
+    /// Divergence audits the session server ran, verified likewise.
+    pub session_audits: usize,
+    /// Overloaded responses the backoff client retried in the retry
+    /// sub-phase.
+    pub retries: usize,
     /// Contract violations (empty on success).
     pub failures: Vec<String>,
 }
@@ -644,7 +669,423 @@ pub fn run_chaos(spec: ChaosSpec) -> io::Result<ChaosReport> {
         ));
     }
 
+    // ---- Session sub-phase: crash-safe delta sessions. ---------------
+    session_phase(spec, &mut report)?;
+
+    // ---- Retry sub-phase: shed deltas land exactly once. -------------
+    if spec.fault_rate > 0.0 {
+        retry_phase(spec, &mut report)?;
+    }
+
     Ok(report)
+}
+
+/// One request / one response over an established chaos connection (the
+/// blank line flushes the single-request batch).
+fn roundtrip(
+    conn: &mut TcpStream,
+    reader: &mut BufReader<TcpStream>,
+    line: &str,
+) -> io::Result<String> {
+    send_line(conn, line, None)?;
+    conn.write_all(b"\n")?;
+    conn.flush()?;
+    Ok(read_responses(reader, 1)?
+        .pop()
+        .expect("read_responses returns one pair per requested line")
+        .1)
+}
+
+/// A `key=value` field of a response header or stats payload.
+fn field(resp: &str, key: &str) -> Option<String> {
+    let prefix = format!("{key}=");
+    resp.split(';')
+        .find_map(|f| f.strip_prefix(prefix.as_str()))
+        .map(str::to_string)
+}
+
+/// Contract item 7: scripted session traffic — patches, edge failures,
+/// joins, corrupt delta lines, a mid-script disconnect and injected
+/// mid-delta panics — raced against an in-process sequential reference
+/// running the identical script, with exact session-counter accounting
+/// checked over the server's own `stats` method at the end.
+fn session_phase(spec: ChaosSpec, report: &mut ChaosReport) -> io::Result<()> {
+    const STEPS: usize = 24;
+    const AUDIT_EVERY: u64 = 3;
+    // Panic victims are forced to be patches (always valid), so every
+    // boom step must commit via journal replay and answer `resynced=1`.
+    let boom_steps: &[usize] = if spec.fault_rate > 0.0 {
+        &[3, 9, 17]
+    } else {
+        &[]
+    };
+    let corrupt_steps: &[usize] = &[5, 15];
+
+    let ex = spec
+        .threads
+        .map(Executor::new)
+        .unwrap_or_else(Executor::from_env);
+    let mut router = Router::with_canon(ex, 4096, true);
+    router.set_session_config(crate::session::SessionConfig {
+        audit_every: AUDIT_EVERY,
+        max_sessions: 8,
+    });
+    router.set_fault_hook(Some(Arc::new(|req: &Request| {
+        if req.id.starts_with("sboom") {
+            panic!("{CHAOS_PANIC_MARKER} (id={})", req.id);
+        }
+    })));
+    let handle = spawn_tcp_with(
+        Arc::new(router),
+        "127.0.0.1:0",
+        TcpOptions {
+            idle_timeout: Some(Duration::from_secs(10)),
+            ..Default::default()
+        },
+    )?;
+    let addr = handle.addr();
+    // The reference runs the same script in process: sequential, cache
+    // off, no fault hook. Byte-identity of every answer is the tentpole
+    // determinism contract extended to session traffic.
+    let reference = Router::with_canon(Executor::sequential(), 0, false);
+    let (mut conn, mut reader) = connect(addr)?;
+
+    struct ScriptSession {
+        sid_srv: String,
+        sid_ref: String,
+        epoch: u64,
+        edges: usize,
+        nodes: usize,
+        failed: bool,
+    }
+    let cycle8: String = {
+        let edges: Vec<String> = (0..8).map(|i| format!("{i}/{}/1", (i + 1) % 8)).collect();
+        format!("broadcast:8:0:{}", edges.join(","))
+    };
+    let opens = [
+        (
+            format!("ndg1;id=sob;method=open;tree=0,1,2,3,4,5,6;game={cycle8}"),
+            8usize,
+            8usize,
+        ),
+        (
+            "ndg1;id=sog;method=open;tree=0,1,2,3,4;\
+             game=general:6:0/1/2,1/2/2,2/3/2,3/4/2,4/5/2,0/5/2,1/4/3,0/3/5:0/3,1/5"
+                .to_string(),
+            8,
+            6,
+        ),
+    ];
+    let mut sessions: Vec<ScriptSession> = Vec::new();
+    for (line, edges, nodes) in &opens {
+        let srv = roundtrip(&mut conn, &mut reader, line)?;
+        let refr = reference.handle_line(line);
+        if payload_of(&srv) != payload_of(&refr) {
+            report.fail(format!("session open diverged from reference: {srv}"));
+        }
+        let (Some(sid_srv), Some(sid_ref)) = (field(&srv, "session"), field(&refr, "session"))
+        else {
+            report.fail(format!("session open carried no session id: {srv}"));
+            handle.stop();
+            return Ok(());
+        };
+        sessions.push(ScriptSession {
+            sid_srv,
+            sid_ref,
+            epoch: 0,
+            edges: *edges,
+            nodes: *nodes,
+            failed: false,
+        });
+    }
+
+    let mut rng = StdRng::seed_from_u64(spec.seed ^ 0x5E55_1045);
+    let mut expect_resyncs = 0u64;
+    let mut expect_audits = 0u64;
+    for k in 0..STEPS {
+        let si = rng.random_range(0..sessions.len());
+        let boom = boom_steps.contains(&k);
+        // 0–6: patch; 7: fail (once per session); 8–9: join. Boom steps
+        // are pinned to patches so their recovery path must commit.
+        let kind = if boom { 0 } else { rng.random_range(0..10u32) };
+        let (delta, is_fail) = {
+            let s = &sessions[si];
+            match kind {
+                7 if !s.failed => (
+                    format!("delta=fail;edge={}", rng.random_range(0..s.edges)),
+                    true,
+                ),
+                8 | 9 => {
+                    let a = rng.random_range(0..s.nodes);
+                    let b = (a + 1 + rng.random_range(0..s.nodes - 1)) % s.nodes;
+                    // On the broadcast session this is a deterministic
+                    // structured bad_delta on both sides.
+                    (format!("delta=join;player={a}/{b}"), false)
+                }
+                _ => {
+                    let w = rng.random_range(1..=8u32) as f64 / 4.0;
+                    (
+                        format!("delta=patch;edge={};w={w}", rng.random_range(0..s.edges)),
+                        false,
+                    )
+                }
+            }
+        };
+        if corrupt_steps.contains(&k) {
+            // A corrupt delta line: still frames, cannot parse. The
+            // server must answer a structured error and the clean resend
+            // below must be unaffected.
+            let s = &sessions[si];
+            let bad = format!(
+                "ndg1;id=sx{k};method=delta;session={};epoch={};delta=patch;edge=zz;w=0.5",
+                s.sid_srv, s.epoch
+            );
+            let resp = roundtrip(&mut conn, &mut reader, &bad)?;
+            if !resp.starts_with(&format!("err;id=sx{k};")) {
+                report.fail(format!("corrupt delta line not answered err: {resp}"));
+            }
+        }
+        let id = if boom {
+            format!("sboom{k}")
+        } else {
+            format!("sd{k}")
+        };
+        let (srv_line, ref_line) = {
+            let s = &sessions[si];
+            (
+                format!(
+                    "ndg1;id={id};method=delta;session={};epoch={};{delta}",
+                    s.sid_srv, s.epoch
+                ),
+                format!(
+                    "ndg1;id={id};method=delta;session={};epoch={};{delta}",
+                    s.sid_ref, s.epoch
+                ),
+            )
+        };
+        let srv = roundtrip(&mut conn, &mut reader, &srv_line)?;
+        let refr = reference.handle_line(&ref_line);
+        if payload_of(&srv) != payload_of(&refr) {
+            report.fail(format!(
+                "delta {id} diverged from reference\n  want {}\n  got  {}",
+                payload_of(&refr),
+                payload_of(&srv)
+            ));
+        }
+        if srv.starts_with("ok;") {
+            let s = &mut sessions[si];
+            s.epoch += 1;
+            report.session_deltas += 1;
+            if is_fail {
+                s.failed = true;
+                s.edges -= 1;
+            }
+            if field(&srv, "epoch").as_deref() != Some(&s.epoch.to_string()) {
+                report.fail(format!("delta {id}: epoch header diverged: {srv}"));
+            }
+            let resynced = field(&srv, "resynced").as_deref() == Some("1");
+            if boom && !resynced {
+                report.fail(format!("panicked delta {id} not flagged resynced: {srv}"));
+            }
+            if !boom && resynced {
+                report.fail(format!("clean delta {id} flagged resynced: {srv}"));
+            }
+            if resynced {
+                // Recovery replays the journal cold; no audit runs on
+                // that path (it *is* the cold solve).
+                expect_resyncs += 1;
+            } else if s.epoch.is_multiple_of(AUDIT_EVERY) {
+                expect_audits += 1;
+            }
+        } else if boom {
+            report.fail(format!("panicked patch {id} did not commit: {srv}"));
+        }
+        if k == STEPS / 2 {
+            // Disconnect with sessions open: the table lives in the
+            // router, so a fresh connection resyncs and continues.
+            drop(reader);
+            drop(conn);
+            let (c, r) = connect(addr)?;
+            conn = c;
+            reader = r;
+            for (i, s) in sessions.iter().enumerate() {
+                let srv = roundtrip(
+                    &mut conn,
+                    &mut reader,
+                    &format!("ndg1;id=srs{i};method=resync;session={}", s.sid_srv),
+                )?;
+                let refr = reference.handle_line(&format!(
+                    "ndg1;id=srs{i};method=resync;session={}",
+                    s.sid_ref
+                ));
+                if payload_of(&srv) != payload_of(&refr) {
+                    report.fail(format!("post-disconnect resync srs{i} diverged: {srv}"));
+                }
+                if field(&srv, "resynced").as_deref() != Some("1")
+                    || field(&srv, "epoch").as_deref() != Some(&s.epoch.to_string())
+                {
+                    report.fail(format!("post-disconnect resync srs{i} malformed: {srv}"));
+                }
+                expect_resyncs += 1;
+            }
+        }
+    }
+    // Close one session; the other stays open for the gauge check.
+    let closer = &sessions[1];
+    let srv = roundtrip(
+        &mut conn,
+        &mut reader,
+        &format!("ndg1;id=scl;method=close;session={}", closer.sid_srv),
+    )?;
+    let refr = reference.handle_line(&format!(
+        "ndg1;id=scl;method=close;session={}",
+        closer.sid_ref
+    ));
+    if payload_of(&srv) != payload_of(&refr) || !srv.contains("closed=1") {
+        report.fail(format!("session close diverged: {srv}"));
+    }
+
+    // Exact counter accounting over the server's own stats method.
+    let stats = roundtrip(&mut conn, &mut reader, "ndg1;id=sst;method=stats")?;
+    let stat = |key: &str| -> i64 {
+        field(&stats, key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(-1)
+    };
+    for (key, want) in [
+        ("sessions_open", 1),
+        ("sessions_opened", 2),
+        ("sessions_expired", 1),
+        ("deltas", report.session_deltas as i64),
+        ("resyncs", expect_resyncs as i64),
+        ("audits", expect_audits as i64),
+        ("audits_failed", 0),
+    ] {
+        if stat(key) != want {
+            report.fail(format!(
+                "session counters: {key}={} != expected {want} ({stats})",
+                stat(key)
+            ));
+        }
+    }
+    report.session_resyncs = expect_resyncs as usize;
+    report.session_audits = expect_audits as usize;
+    drop(reader);
+    drop(conn);
+    handle.stop();
+    Ok(())
+}
+
+/// Contract item 8: a session delta shed by a held capacity-1 gate is
+/// retried with capped exponential backoff honoring the server's
+/// `retry_ms` hint, and lands **exactly once** — the epoch advances by
+/// one, and replaying the identical wire line afterwards is refused as
+/// `stale_epoch` rather than applied again.
+fn retry_phase(spec: ChaosSpec, report: &mut ChaosReport) -> io::Result<()> {
+    /// How long the flooding request holds the admission gate.
+    const HOLD: Duration = Duration::from_millis(300);
+    const RETRY_MS: u64 = 25;
+
+    let ex = spec
+        .threads
+        .map(Executor::new)
+        .unwrap_or_else(Executor::from_env);
+    let mut router = Router::with_canon(ex, 0, false);
+    router.set_fault_hook(Some(Arc::new(|req: &Request| {
+        if req.id.starts_with("slow") {
+            std::thread::sleep(HOLD);
+        }
+    })));
+    let handle = spawn_tcp_with(
+        Arc::new(router),
+        "127.0.0.1:0",
+        TcpOptions {
+            max_inflight: Some(1),
+            retry_ms: RETRY_MS,
+            idle_timeout: Some(Duration::from_secs(10)),
+        },
+    )?;
+    let addr = handle.addr();
+    let cycle6: String = {
+        let edges: Vec<String> = (0..6).map(|i| format!("{i}/{}/1", (i + 1) % 6)).collect();
+        format!("broadcast:6:0:{}", edges.join(","))
+    };
+    // Open the session while the gate is idle.
+    let (mut conn, mut reader) = connect(addr)?;
+    let open = roundtrip(
+        &mut conn,
+        &mut reader,
+        &format!("ndg1;id=ro;method=open;tree=0,1,2,3,4;game={cycle6}"),
+    )?;
+    let Some(sid) = field(&open, "session") else {
+        report.fail(format!("retry phase: open failed: {open}"));
+        handle.stop();
+        return Ok(());
+    };
+    // Flood: one slow request occupies the capacity-1 gate for HOLD.
+    let (mut flood, _flood_reader) = connect(addr)?;
+    send_line(
+        &mut flood,
+        &format!("ndg1;id=slow0;method=dynamics;tree=0,1,2,3,4;game={cycle6}"),
+        None,
+    )?;
+    flood.write_all(b"\n")?;
+    flood.flush()?;
+    std::thread::sleep(Duration::from_millis(30)); // flood is admitted first
+    let delta_line =
+        format!("ndg1;id=rd;method=delta;session={sid};epoch=0;delta=patch;edge=5;w=0.5");
+    let send_with_backoff = |conn: &mut TcpStream,
+                             reader: &mut BufReader<TcpStream>,
+                             line: &str,
+                             retries: &mut usize|
+     -> io::Result<String> {
+        let mut attempt = 0u32;
+        loop {
+            let resp = roundtrip(conn, reader, line)?;
+            if !resp.contains(";code=overloaded;") {
+                return Ok(resp);
+            }
+            *retries += 1;
+            // Honor the server's hint, doubling up to a 200 ms cap.
+            let hint: u64 = field(&resp, "retry_ms")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(RETRY_MS);
+            std::thread::sleep(Duration::from_millis((hint << attempt.min(3)).min(200)));
+            attempt += 1;
+            if attempt > 32 {
+                return Ok(resp); // give up; the assertions below will fail
+            }
+        }
+    };
+    let resp = send_with_backoff(&mut conn, &mut reader, &delta_line, &mut report.retries)?;
+    if !resp.starts_with("ok;id=rd;") || field(&resp, "epoch").as_deref() != Some("1") {
+        report.fail(format!(
+            "retry phase: backed-off delta did not land: {resp}"
+        ));
+    }
+    if report.retries == 0 {
+        report.fail("retry phase: the held gate never shed the delta".into());
+    }
+    // Exactly once: the identical wire line is now stale, not re-applied.
+    let dup = send_with_backoff(&mut conn, &mut reader, &delta_line, &mut report.retries)?;
+    if !dup.starts_with("err;id=rd;code=stale_epoch;") {
+        report.fail(format!("retry phase: replayed delta not refused: {dup}"));
+    }
+    let close = send_with_backoff(
+        &mut conn,
+        &mut reader,
+        &format!("ndg1;id=rc;method=close;session={sid}"),
+        &mut report.retries,
+    )?;
+    if !close.ends_with("closed=1;deltas=1") {
+        report.fail(format!(
+            "retry phase: close reports wrong delta count: {close}"
+        ));
+    }
+    drop(reader);
+    drop(conn);
+    handle.stop();
+    Ok(())
 }
 
 #[cfg(test)]
@@ -674,6 +1115,11 @@ mod tests {
         assert!(a.ok(), "failures: {:#?}", a.failures);
         assert!(a.corrupt >= 1 && a.torn >= 1 && a.panics >= 1 && a.delays >= 1);
         assert_eq!(a.shed, CHAOS_BATCH - 2);
+        // The session phase committed deltas, recovered the injected
+        // panics, and the backoff client was really shed at least once.
+        assert!(a.session_deltas > 0, "no session deltas committed");
+        assert!(a.session_resyncs >= 3, "injected session panics missing");
+        assert!(a.retries >= 1, "backoff client never saw overload");
         let b = run_chaos(spec).expect("second run");
         assert!(b.ok(), "failures: {:#?}", b.failures);
         assert_eq!(
@@ -698,5 +1144,10 @@ mod tests {
             (r.corrupt, r.torn, r.panics, r.delays, r.disconnects),
             (0, 0, 0, 0, 0)
         );
+        // No faults: the session script still runs (clean deltas, the
+        // disconnect resyncs) but nothing panics and nothing is shed.
+        assert!(r.session_deltas > 0);
+        assert_eq!(r.session_resyncs, 2, "only the two post-disconnect resyncs");
+        assert_eq!(r.retries, 0);
     }
 }

@@ -11,7 +11,7 @@
 //! request  := "ndg1" ";id=" ID ";method=" METHOD field*
 //! field    := ";" key "=" value
 //! METHOD   := "enforce" | "dynamics" | "pos" | "aon" | "certify" | "stats"
-//!           | "metrics"
+//!           | "metrics" | "open" | "delta" | "resync" | "close"
 //! game     := "broadcast:" N ":" ROOT ":" edges
 //!           | "general:"   N ":" edges ":" players
 //!           | "weighted:"  N ":" edges ":" players ":" demands
@@ -31,13 +31,21 @@
 //!                                           echo per-stage µs timings as a
 //!                                           `trace=` response-header field,
 //!                                           outside the canonical body)
-//! response := "ok;id=" ID [";trace=" SPANS] ";cache=" ("hit"|"miss"|"off")
+//! session  := ID                           (server-assigned at `open`;
+//!                                           required by delta/resync/close)
+//! epoch    := integer                      (applied-delta count; a `delta`
+//!                                           must echo the session's current
+//!                                           epoch or is rejected as stale)
+//! delta    := "patch" | "fail" | "join"    (with "edge="+"w=", "edge=",
+//!                                           "player=" S "/" T respectively)
+//! response := "ok;id=" ID [";session=" SID ";epoch=" E] [";resynced=1"]
+//!             [";trace=" SPANS] ";cache=" ("hit"|"miss"|"off")
 //!             ";hits=" H ";misses=" M ";evictions=" E ";" payload
 //!           | "err;id=" ID [";trace=" SPANS] ";code=" CODE
 //!             [";retry_ms=" MS] ";msg=" TEXT
 //! SPANS    := stage ":" µs ("," stage ":" µs)*   (stages in pipeline order:
-//!                                                 parse,canon,cache,solve,
-//!                                                 unmap,write)
+//!                                                 parse,canon,cache,delta,
+//!                                                 solve,unmap,write)
 //! ```
 //!
 //! Floats are serialized with Rust's shortest-round-trip `Display`, so
@@ -160,6 +168,34 @@ pub enum WireError {
         /// Suggested client back-off in milliseconds.
         retry_ms: u64,
     },
+    /// The `session=` id names no session this server has ever assigned.
+    UnknownSession(String),
+    /// The session existed but was closed or LRU-evicted; the client must
+    /// reopen. Deterministic: a given id answers `session_expired` forever
+    /// once retired.
+    SessionExpired(String),
+    /// The `epoch=` on a delta does not match the session's current
+    /// epoch — the client's view is stale (a previous delta was applied
+    /// that it has not acknowledged).
+    StaleEpoch {
+        /// Epoch the client sent.
+        got: u64,
+        /// The session's current epoch.
+        want: u64,
+    },
+    /// `open` rejected: the session table is full and eviction is
+    /// disabled (`--max-sessions 0`).
+    SessionLimit {
+        /// The configured table capacity.
+        max: usize,
+    },
+    /// Unknown `delta=` op (not `patch`/`fail`/`join`).
+    UnknownDelta(String),
+    /// A structurally valid delta that cannot be applied to this session's
+    /// instance (edge id out of range, fail would disconnect a player,
+    /// join on a broadcast game, misplaced op fields, …). The session is
+    /// left exactly as it was.
+    BadDelta(String),
 }
 
 impl WireError {
@@ -191,6 +227,12 @@ impl WireError {
             WireError::Engine { code, .. } => code,
             WireError::Deadline => "deadline",
             WireError::Overloaded { .. } => "overloaded",
+            WireError::UnknownSession(_) => "unknown_session",
+            WireError::SessionExpired(_) => "session_expired",
+            WireError::StaleEpoch { .. } => "stale_epoch",
+            WireError::SessionLimit { .. } => "session_limit",
+            WireError::UnknownDelta(_) => "unknown_delta",
+            WireError::BadDelta(_) => "bad_delta",
         }
     }
 }
@@ -227,6 +269,16 @@ impl fmt::Display for WireError {
             WireError::Engine { msg, .. } => write!(f, "{msg}"),
             WireError::Deadline => write!(f, "deadline exceeded before the solve completed"),
             WireError::Overloaded { .. } => write!(f, "server at admission capacity, retry later"),
+            WireError::UnknownSession(s) => write!(f, "unknown session {s:?}"),
+            WireError::SessionExpired(s) => write!(f, "session {s} closed or evicted, reopen"),
+            WireError::StaleEpoch { got, want } => {
+                write!(f, "stale epoch {got}, session is at epoch {want}")
+            }
+            WireError::SessionLimit { max } => {
+                write!(f, "session table full (max {max} sessions)")
+            }
+            WireError::UnknownDelta(d) => write!(f, "unknown delta op {d:?}"),
+            WireError::BadDelta(m) => write!(f, "{m}"),
         }
     }
 }
@@ -678,6 +730,17 @@ pub enum Method {
     /// Registry exposition: every `ndg-obs` metric as sorted
     /// `name=value` fields (no game; never cached).
     Metrics,
+    /// Open a delta session: pin the given instance and answer the
+    /// `dynamics` question for it (never cached; stateful).
+    Open,
+    /// Apply one delta (`patch`/`fail`/`join`) to an open session and
+    /// answer the `dynamics` question for the patched instance.
+    Delta,
+    /// Discard a session's incremental view, replay its journal from the
+    /// pinned base, and answer for the reconstructed instance.
+    Resync,
+    /// Close a session (its id answers `session_expired` afterwards).
+    Close,
 }
 
 impl Method {
@@ -691,6 +754,10 @@ impl Method {
             Method::Certify => "certify",
             Method::Stats => "stats",
             Method::Metrics => "metrics",
+            Method::Open => "open",
+            Method::Delta => "delta",
+            Method::Resync => "resync",
+            Method::Close => "close",
         }
     }
 
@@ -703,8 +770,63 @@ impl Method {
             "certify" => Method::Certify,
             "stats" => Method::Stats,
             "metrics" => Method::Metrics,
+            "open" => Method::Open,
+            "delta" => Method::Delta,
+            "resync" => Method::Resync,
+            "close" => Method::Close,
             _ => return Err(WireError::UnknownMethod(s.to_string())),
         })
+    }
+
+    /// Whether this is a stateful session method (handled outside the
+    /// canon/cache pipeline; responses never enter the result cache).
+    pub fn is_session(self) -> bool {
+        matches!(
+            self,
+            Method::Open | Method::Delta | Method::Resync | Method::Close
+        )
+    }
+}
+
+/// One session delta: an O(Δ) perturbation of a pinned instance.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum DeltaOp {
+    /// `delta=patch;edge=E;w=W` — set edge `E`'s weight to `W`.
+    Patch {
+        /// Edge id in the session's *current* edge numbering.
+        edge: u32,
+        /// The new (finite, non-negative) weight.
+        w: f64,
+    },
+    /// `delta=fail;edge=E` — remove edge `E`. Edge ids above `E` shift
+    /// down by one; players whose strategy used `E` are rerouted onto a
+    /// shortest path before the solve.
+    Fail {
+        /// Edge id to remove.
+        edge: u32,
+    },
+    /// `delta=join;player=S/T` — append a player (general games only;
+    /// her initial strategy is a shortest `S → T` path).
+    Join {
+        /// New player's source node.
+        source: u32,
+        /// New player's terminal node.
+        terminal: u32,
+    },
+}
+
+impl DeltaOp {
+    /// The canonical `delta=…[;edge=…][;w=…][;player=…]` field group.
+    pub fn serialize_fields(&self) -> String {
+        match self {
+            DeltaOp::Patch { edge, w } => {
+                format!("delta=patch;edge={edge};w={}", fmt_f64(*w))
+            }
+            DeltaOp::Fail { edge } => format!("delta=fail;edge={edge}"),
+            DeltaOp::Join { source, terminal } => {
+                format!("delta=join;player={source}/{terminal}")
+            }
+        }
     }
 }
 
@@ -847,6 +969,15 @@ pub struct Request {
     /// the echoed `trace=` response field is a volatile header outside
     /// the deterministic payload.
     pub trace: bool,
+    /// Session id (`session=`): required by `delta`/`resync`/`close`,
+    /// forbidden elsewhere (`open` is answered with a server-assigned id).
+    pub session: Option<String>,
+    /// Delta epoch (`epoch=`): the applied-delta count the client last
+    /// saw. Required by `delta` (optimistic-concurrency check), ignored
+    /// by `resync`/`close`.
+    pub epoch: Option<u64>,
+    /// The delta op for [`Method::Delta`].
+    pub delta: Option<DeltaOp>,
 }
 
 pub(crate) fn valid_id(id: &str) -> bool {
@@ -879,6 +1010,52 @@ fn fmt_state_paths(paths: &[Vec<EdgeId>]) -> String {
         .join("|")
 }
 
+/// Assemble a [`DeltaOp`] from the raw `delta=`/`edge=`/`w=`/`player=`
+/// fields, rejecting missing or misplaced operands.
+fn assemble_delta(
+    kind: Option<String>,
+    edge: Option<u32>,
+    w: Option<f64>,
+    player: Option<(u32, u32)>,
+) -> Result<Option<DeltaOp>, WireError> {
+    let Some(kind) = kind else {
+        if edge.is_some() || w.is_some() || player.is_some() {
+            return Err(WireError::BadDelta(
+                "edge=/w=/player= need a delta= op".into(),
+            ));
+        }
+        return Ok(None);
+    };
+    let op = match kind.as_str() {
+        "patch" => {
+            if player.is_some() {
+                return Err(WireError::BadDelta("patch takes edge= and w= only".into()));
+            }
+            DeltaOp::Patch {
+                edge: edge.ok_or(WireError::MissingField("edge"))?,
+                w: w.ok_or(WireError::MissingField("w"))?,
+            }
+        }
+        "fail" => {
+            if w.is_some() || player.is_some() {
+                return Err(WireError::BadDelta("fail takes edge= only".into()));
+            }
+            DeltaOp::Fail {
+                edge: edge.ok_or(WireError::MissingField("edge"))?,
+            }
+        }
+        "join" => {
+            if edge.is_some() || w.is_some() {
+                return Err(WireError::BadDelta("join takes player= only".into()));
+            }
+            let (source, terminal) = player.ok_or(WireError::MissingField("player"))?;
+            DeltaOp::Join { source, terminal }
+        }
+        other => return Err(WireError::UnknownDelta(other.to_string())),
+    };
+    Ok(Some(op))
+}
+
 impl Request {
     /// A minimal request skeleton for `method` (callers fill in fields).
     pub fn new(id: impl Into<String>, method: Method) -> Request {
@@ -897,6 +1074,9 @@ impl Request {
             canon: true,
             deadline_ms: None,
             trace: false,
+            session: None,
+            epoch: None,
+            delta: None,
         }
     }
 
@@ -925,6 +1105,12 @@ impl Request {
         let mut canon: Option<bool> = None;
         let mut deadline_ms: Option<u64> = None;
         let mut trace: Option<bool> = None;
+        let mut session: Option<String> = None;
+        let mut epoch: Option<u64> = None;
+        let mut delta_kind: Option<String> = None;
+        let mut edge: Option<u32> = None;
+        let mut w: Option<f64> = None;
+        let mut player: Option<(u32, u32)> = None;
 
         for field in fields {
             let (key, value) = field
@@ -1037,10 +1223,54 @@ impl Request {
                         }
                     });
                 }
+                "session" => {
+                    if session.is_some() {
+                        return Err(dup(key));
+                    }
+                    if !valid_id(value) {
+                        return Err(WireError::BadId(value.to_string()));
+                    }
+                    session = Some(value.to_string());
+                }
+                "epoch" => {
+                    if epoch.is_some() {
+                        return Err(dup(key));
+                    }
+                    epoch = Some(parse_u64("epoch", value)?);
+                }
+                "delta" => {
+                    if delta_kind.is_some() {
+                        return Err(dup(key));
+                    }
+                    delta_kind = Some(value.to_string());
+                }
+                "edge" => {
+                    if edge.is_some() {
+                        return Err(dup(key));
+                    }
+                    edge = Some(parse_u32("edge", value)?);
+                }
+                "w" => {
+                    if w.is_some() {
+                        return Err(dup(key));
+                    }
+                    w = Some(parse_f64("w", value)?);
+                }
+                "player" => {
+                    if player.is_some() {
+                        return Err(dup(key));
+                    }
+                    let (s, t) = value.split_once('/').ok_or_else(|| WireError::Truncated {
+                        what: "player pair (s/t)",
+                        got: value.to_string(),
+                    })?;
+                    player = Some((parse_u32("player pair", s)?, parse_u32("player pair", t)?));
+                }
                 other => return Err(WireError::UnknownField(other.to_string())),
             }
         }
 
+        let delta = assemble_delta(delta_kind, edge, w, player)?;
         let req = Request {
             id: id.ok_or(WireError::MissingField("id"))?,
             method: method.ok_or(WireError::MissingField("method"))?,
@@ -1056,12 +1286,33 @@ impl Request {
             canon: canon.unwrap_or(true),
             deadline_ms,
             trace: trace.unwrap_or(false),
+            session,
+            epoch,
+            delta,
         };
         req.validate()?;
         Ok(req)
     }
 
     fn validate(&self) -> Result<(), WireError> {
+        use Method as M;
+        // Session addressing fields only make sense on session methods,
+        // and a delta op only on `delta`.
+        if self.session.is_some() && !matches!(self.method, M::Delta | M::Resync | M::Close) {
+            return Err(WireError::UnknownField(
+                "session (only delta/resync/close address a session)".into(),
+            ));
+        }
+        if self.epoch.is_some() && self.method != M::Delta {
+            return Err(WireError::UnknownField(
+                "epoch (only delta is epoch-checked)".into(),
+            ));
+        }
+        if self.delta.is_some() && self.method != M::Delta {
+            return Err(WireError::UnknownField(
+                "delta (only method=delta carries an op)".into(),
+            ));
+        }
         match self.method {
             Method::Stats | Method::Metrics => Ok(()),
             Method::Enforce | Method::Aon | Method::Certify => {
@@ -1073,7 +1324,7 @@ impl Request {
                 }
                 Ok(())
             }
-            Method::Dynamics => {
+            Method::Dynamics | Method::Open => {
                 if self.game.is_none() {
                     return Err(WireError::MissingField("game"));
                 }
@@ -1085,6 +1336,31 @@ impl Request {
             Method::Pos => {
                 if self.game.is_none() {
                     return Err(WireError::MissingField("game"));
+                }
+                Ok(())
+            }
+            Method::Delta | Method::Resync | Method::Close => {
+                if self.session.is_none() {
+                    return Err(WireError::MissingField("session"));
+                }
+                // The instance is pinned at open; re-sending any part of
+                // it on a session call is a client bug, not a merge.
+                if self.game.is_some()
+                    || self.tree.is_some()
+                    || self.state.is_some()
+                    || self.subsidy.is_some()
+                {
+                    return Err(WireError::UnknownField(
+                        "game/tree/state/b (the instance is pinned at open)".into(),
+                    ));
+                }
+                if self.method == Method::Delta {
+                    if self.epoch.is_none() {
+                        return Err(WireError::MissingField("epoch"));
+                    }
+                    if self.delta.is_none() {
+                        return Err(WireError::MissingField("delta"));
+                    }
                 }
                 Ok(())
             }
@@ -1122,7 +1398,10 @@ impl Request {
                 let solver = self.solver.unwrap_or(Solver::Lp1);
                 out.push_str(&format!(";solver={}", solver.as_str()));
             }
-            Method::Dynamics => {
+            // A session pins the same (order, rounds) knobs as a one-shot
+            // dynamics solve — they resolve at `open` and govern every
+            // delta answer.
+            Method::Dynamics | Method::Open => {
                 let order = self.order.unwrap_or(WireOrder::RoundRobin);
                 out.push_str(&format!(";order={}", order.serialize()));
                 out.push_str(&format!(
@@ -1135,6 +1414,18 @@ impl Request {
             }
             Method::Aon => {
                 out.push_str(&format!(";limit={}", self.limit.unwrap_or(DEFAULT_LIMIT)));
+            }
+            Method::Delta | Method::Resync | Method::Close => {
+                if let Some(s) = &self.session {
+                    out.push_str(&format!(";session={s}"));
+                }
+                if let Some(e) = self.epoch {
+                    out.push_str(&format!(";epoch={e}"));
+                }
+                if let Some(d) = &self.delta {
+                    out.push(';');
+                    out.push_str(&d.serialize_fields());
+                }
             }
             Method::Certify | Method::Stats | Method::Metrics => {}
         }
@@ -1187,16 +1478,33 @@ impl Request {
 /// Fields of a response line that vary with cache occupancy/concurrency
 /// or wall-clock timing (everything after them is the deterministic
 /// payload). `trace` is the per-stage µs echo: pure header, never part
-/// of the cached or compared payload bytes.
-const VOLATILE_KEYS: [&str; 6] = ["id", "cache", "hits", "misses", "evictions", "trace"];
+/// of the cached or compared payload bytes. `session`/`epoch`/`resynced`
+/// are session addressing/recovery headers: a delta answer's *payload*
+/// is specified byte-identical to a cold solve of the patched instance,
+/// so everything session-specific stays outside it.
+const VOLATILE_KEYS: [&str; 9] = [
+    "id",
+    "session",
+    "epoch",
+    "resynced",
+    "cache",
+    "hits",
+    "misses",
+    "evictions",
+    "trace",
+];
 
 /// Names of the router pipeline stages, in execution order — the order
-/// the `trace=` response field reports them in.
-pub const STAGE_NAMES: [&str; 6] = ["parse", "canon", "cache", "solve", "unmap", "write"];
+/// the `trace=` response field reports them in. `delta` is the session
+/// stage (journal append + delta application); zero for stateless
+/// requests.
+pub const STAGE_NAMES: [&str; 7] = [
+    "parse", "canon", "cache", "delta", "solve", "unmap", "write",
+];
 
 /// Format the volatile `trace=` response-header field from per-stage
 /// microsecond laps (in [`STAGE_NAMES`] order).
-pub fn trace_field(stage_us: &[u64; 6]) -> String {
+pub fn trace_field(stage_us: &[u64; 7]) -> String {
     let mut out = String::from("trace=");
     for (i, (name, us)) in STAGE_NAMES.iter().zip(stage_us.iter()).enumerate() {
         if i > 0 {
@@ -1364,7 +1672,7 @@ mod tests {
 
     #[test]
     fn structured_errors_never_panic() {
-        let cases: [(&str, &str); 20] = [
+        let cases: [(&str, &str); 36] = [
             ("", "empty"),
             ("ndg0;id=a;method=stats", "bad_tag"),
             ("ndg1;id=a", "missing_field"),
@@ -1397,6 +1705,62 @@ mod tests {
             ("ndg1;id=a;method=stats;trace=2", "bad_int"),
             ("ndg1;id=a;method=stats;trace=", "bad_int"),
             ("ndg1;id=a;method=stats;trace=1;trace=0", "duplicate_field"),
+            // Session grammar: every malformed line is a structured
+            // error, never a panic — and none of these can be cached as
+            // ok (session requests bypass the result cache entirely).
+            ("ndg1;id=a;method=delta", "missing_field"),
+            (
+                "ndg1;id=a;method=delta;session=bad id!;epoch=0;delta=fail;edge=0",
+                "bad_id",
+            ),
+            (
+                // A 65-char session id is overlong (truncated-id class).
+                "ndg1;id=a;method=delta;session=sssssssssssssssssssssssssssssssssssssssssssssssssssssssssssssssss;epoch=0;delta=fail;edge=0",
+                "bad_id",
+            ),
+            ("ndg1;id=a;method=delta;session=s1", "missing_field"),
+            ("ndg1;id=a;method=delta;session=s1;epoch=0", "missing_field"),
+            (
+                "ndg1;id=a;method=delta;session=s1;epoch=zero;delta=fail;edge=0",
+                "bad_int",
+            ),
+            (
+                "ndg1;id=a;method=delta;session=s1;epoch=0;delta=warp;edge=0",
+                "unknown_delta",
+            ),
+            (
+                "ndg1;id=a;method=delta;session=s1;epoch=0;delta=patch;edge=0;w=nan",
+                "bad_float",
+            ),
+            (
+                "ndg1;id=a;method=delta;session=s1;epoch=0;delta=patch;edge=0;w=inf",
+                "bad_float",
+            ),
+            (
+                "ndg1;id=a;method=delta;session=s1;epoch=0;delta=patch;edge=0",
+                "missing_field",
+            ),
+            (
+                "ndg1;id=a;method=delta;session=s1;epoch=0;delta=fail;edge=0;w=1",
+                "bad_delta",
+            ),
+            (
+                "ndg1;id=a;method=delta;session=s1;epoch=0;edge=3",
+                "bad_delta",
+            ),
+            (
+                "ndg1;id=a;method=delta;session=s1;epoch=0;delta=join;player=3",
+                "truncated",
+            ),
+            (
+                "ndg1;id=a;method=delta;session=s1;epoch=0;delta=fail;edge=0;game=broadcast:2:0:0/1/1",
+                "unknown_field",
+            ),
+            (
+                "ndg1;id=a;method=open;session=s1;tree=0;game=broadcast:2:0:0/1/1",
+                "unknown_field",
+            ),
+            ("ndg1;id=a;method=open;game=broadcast:2:0:0/1/1", "missing_field"),
         ];
         for (line, code) in cases {
             let err = Request::parse(line).unwrap_err();
@@ -1498,16 +1862,16 @@ mod tests {
 
     #[test]
     fn trace_echo_is_a_header_outside_the_payload() {
-        let spans = trace_field(&[3, 45, 1, 920, 2, 1]);
+        let spans = trace_field(&[3, 45, 1, 0, 920, 2, 1]);
         assert_eq!(
             spans,
-            "trace=parse:3,canon:45,cache:1,solve:920,unmap:2,write:1"
+            "trace=parse:3,canon:45,cache:1,delta:0,solve:920,unmap:2,write:1"
         );
         let plain = ok_line("x9", "hit", 3, 4, 0, "cost=1.5;b=0,1.5");
         let traced = insert_after_id(&plain, &spans);
         assert_eq!(
             traced,
-            "ok;id=x9;trace=parse:3,canon:45,cache:1,solve:920,unmap:2,write:1;\
+            "ok;id=x9;trace=parse:3,canon:45,cache:1,delta:0,solve:920,unmap:2,write:1;\
              cache=hit;hits=3;misses=4;evictions=0;cost=1.5;b=0,1.5"
         );
         // The deterministic payload is byte-identical with and without
@@ -1545,6 +1909,75 @@ mod tests {
         assert_eq!(
             payload_of(&err),
             "err;code=not_broadcast;msg=method requires a broadcast game"
+        );
+    }
+
+    #[test]
+    fn session_requests_round_trip() {
+        let open = Request::parse(
+            "ndg1;id=o1;method=open;order=max-gain;rounds=64;tree=0,1;\
+             game=broadcast:3:0:0/1/1,1/2/1,0/2/3",
+        )
+        .unwrap();
+        assert_eq!(open.method, Method::Open);
+        assert_eq!(Request::parse(&open.serialize()).unwrap(), open);
+        // Open resolves (order, rounds) into the body like dynamics does.
+        assert!(open
+            .canonical_body()
+            .starts_with("method=open;order=max-gain;rounds=64;"));
+
+        for line in [
+            "ndg1;id=d1;method=delta;session=s1;epoch=3;delta=patch;edge=2;w=0.5",
+            "ndg1;id=d2;method=delta;session=s1;epoch=4;delta=fail;edge=0",
+            "ndg1;id=d3;method=delta;session=s1;epoch=5;delta=join;player=1/4",
+            "ndg1;id=r1;method=resync;session=s1",
+            "ndg1;id=c1;method=close;session=s1",
+        ] {
+            let req = Request::parse(line).unwrap();
+            assert_eq!(Request::parse(&req.serialize()).unwrap(), req, "{line}");
+        }
+        let patch =
+            Request::parse("ndg1;id=d1;method=delta;session=s1;epoch=3;delta=patch;edge=2;w=0.5")
+                .unwrap();
+        assert_eq!(patch.session.as_deref(), Some("s1"));
+        assert_eq!(patch.epoch, Some(3));
+        assert_eq!(patch.delta, Some(DeltaOp::Patch { edge: 2, w: 0.5 }));
+    }
+
+    #[test]
+    fn session_response_headers_are_volatile() {
+        // session/epoch/resynced ride next to id, outside the payload:
+        // a delta answer's payload stays byte-identical to the cold
+        // solve of the patched instance.
+        let plain = ok_line("d1", "off", 0, 0, 0, "converged=true;moves=0");
+        let with = insert_after_id(&plain, "session=s1;epoch=4;resynced=1");
+        assert_eq!(
+            with,
+            "ok;id=d1;session=s1;epoch=4;resynced=1;cache=off;hits=0;misses=0;evictions=0;\
+             converged=true;moves=0"
+        );
+        assert_eq!(payload_of(&with), payload_of(&plain));
+        assert_eq!(payload_of(&with), "ok;converged=true;moves=0");
+    }
+
+    #[test]
+    fn session_error_codes_are_stable() {
+        assert_eq!(
+            WireError::UnknownSession("s9".into()).code(),
+            "unknown_session"
+        );
+        assert_eq!(
+            WireError::SessionExpired("s1".into()).code(),
+            "session_expired"
+        );
+        assert_eq!(
+            WireError::StaleEpoch { got: 1, want: 2 }.code(),
+            "stale_epoch"
+        );
+        assert_eq!(WireError::SessionLimit { max: 0 }.code(), "session_limit");
+        assert_eq!(
+            err_payload(&WireError::StaleEpoch { got: 1, want: 2 }),
+            "code=stale_epoch;msg=stale epoch 1, session is at epoch 2"
         );
     }
 }

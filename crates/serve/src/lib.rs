@@ -23,6 +23,10 @@
 //!   batch onto a shared [`ndg_exec::Executor`] with per-worker pooled
 //!   Dijkstra workspaces; bounded-in-flight admission with overload
 //!   shedding, idle-connection reaping, and graceful drain;
+//! * [`session`] — crash-safe delta sessions: `open`/`delta`/`resync`/
+//!   `close` over a pinned instance, write-ahead delta journals with
+//!   replay-based recovery, sampled divergence audits, and bounded LRU
+//!   admission;
 //! * [`workload`] — the deterministic mixed-request generator behind
 //!   `ndg-serve --self-test` and the E12 load experiment;
 //! * [`chaos`] — a deterministic seeded fault-injection harness (torn
@@ -58,7 +62,7 @@
 //! opts in with [`ndg_obs::install`] (`ndg-serve --metrics 1`). The
 //! `metrics` method exposes every metric as deterministic sorted
 //! `name=value` fields; `trace=1` on any request echoes per-stage µs
-//! (`parse/canon/cache/solve/unmap/write`) in the response *header* —
+//! (`parse/canon/cache/delta/solve/unmap/write`) in the response *header* —
 //! volatile, stripped by [`codec::payload_of`], never part of the cache
 //! key — and `--log-slow-ms` retains the top-[`router::SLOW_RING_CAP`]
 //! slowest requests for `stats`. None of it perturbs response payloads.
@@ -73,15 +77,17 @@ pub mod chaos;
 pub mod codec;
 pub mod router;
 pub mod server;
+pub mod session;
 pub mod workload;
 
 pub use cache::{Cache, CacheStats};
 pub use canon::{canonicalize_request, unapply_payload, CanonRequest};
 pub use chaos::{run_chaos, ChaosReport, ChaosSpec};
-pub use codec::{payload_of, Method, Request, Solver, WireError, WireGame, WireOrder};
+pub use codec::{payload_of, DeltaOp, Method, Request, Solver, WireError, WireGame, WireOrder};
 pub use router::{FaultHook, Router, SlowRequest, SLOW_RING_CAP};
 pub use server::{
     serve_stdio, serve_stdio_with, serve_stream, serve_stream_with, spawn_tcp, spawn_tcp_with,
     ConnEnd, ConnSnapshot, ConnStats, Gate, ServeOptions, ServerHandle, TcpOptions,
 };
+pub use session::{SessionConfig, SessionCountersSnapshot, SessionTable};
 pub use workload::{build_workload, with_trace, WorkloadSpec};

@@ -43,9 +43,10 @@ static SERVE_SOLVE_US: ndg_obs::Histogram = ndg_obs::Histogram::new("serve_solve
 const STAGE_PARSE: usize = 0;
 const STAGE_CANON: usize = 1;
 const STAGE_CACHE: usize = 2;
-const STAGE_SOLVE: usize = 3;
-const STAGE_UNMAP: usize = 4;
-const STAGE_WRITE: usize = 5;
+const STAGE_DELTA: usize = 3;
+const STAGE_SOLVE: usize = 4;
+const STAGE_UNMAP: usize = 5;
+const STAGE_WRITE: usize = 6;
 
 /// Slow-request ring capacity: the top-k completed requests by wall
 /// time retained for `method=stats`.
@@ -63,7 +64,7 @@ pub struct SlowRequest {
     /// End-to-end wall time, µs.
     pub total_us: u64,
     /// Per-stage µs in [`crate::codec::STAGE_NAMES`] order.
-    pub stage_us: [u64; 6],
+    pub stage_us: [u64; 7],
 }
 
 /// Per-request stage-lap accumulator over the router's clock. Inert
@@ -73,7 +74,7 @@ pub struct SlowRequest {
 struct Laps<'c> {
     clock: &'c dyn Clock,
     last: u64,
-    stage_us: [u64; 6],
+    stage_us: [u64; 7],
     on: bool,
 }
 
@@ -126,6 +127,9 @@ pub struct Router {
     log_slow_us: Option<u64>,
     /// Top-[`SLOW_RING_CAP`] completed requests by wall time.
     slow: Mutex<Vec<SlowRequest>>,
+    /// Delta-session registry (journals, admission, counters); see
+    /// [`crate::session`].
+    sessions: crate::session::SessionTable,
 }
 
 impl std::fmt::Debug for Router {
@@ -164,7 +168,31 @@ impl Router {
             clock: Arc::new(MonoClock::new()),
             log_slow_us: None,
             slow: Mutex::new(Vec::new()),
+            sessions: crate::session::SessionTable::new(crate::session::SessionConfig::default()),
         }
+    }
+
+    /// Replace the session admission/audit knobs (`--max-sessions`,
+    /// `--audit-every`).
+    pub fn set_session_config(&mut self, cfg: crate::session::SessionConfig) {
+        self.sessions.set_config(cfg);
+    }
+
+    /// The session registry (counters and admission state).
+    pub fn sessions(&self) -> &crate::session::SessionTable {
+        &self.sessions
+    }
+
+    /// The literal cold `dynamics` request line whose solve is specified
+    /// byte-identical to session `sid`'s current answer (`None` for
+    /// unknown/retired sessions). A debugging/audit seam: property tests
+    /// replay it through a scratch canon-off router and compare payloads.
+    pub fn session_cold_line(&self, sid: &str) -> Option<String> {
+        let sess = self.sessions.get(sid).ok()?;
+        let sess = sess
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        Some(sess.cold_request("cold").serialize())
     }
 
     /// Swap the stage/latency clock (deterministic tests drive a
@@ -270,7 +298,7 @@ impl Router {
         let mut laps = Laps {
             clock: &*self.clock,
             last: t0,
-            stage_us: [0; 6],
+            stage_us: [0; 7],
             on: req.trace || self.log_slow_us.is_some() || ndg_obs::installed(),
         };
         laps.lap(STAGE_PARSE);
@@ -348,6 +376,12 @@ impl Router {
             laps.lap(STAGE_SOLVE);
             let (h, m, e) = self.cache.counters();
             return (ok_line(&req.id, "off", h, m, e, &payload), 0);
+        }
+        if req.method.is_session() {
+            // Stateful session protocol: literal instances, never cached
+            // (the key only attributes slow-ring rows), session/epoch/
+            // resynced ride in the volatile header. See [`crate::session`].
+            return self.respond_session(req, laps);
         }
         // Canonical pipeline: rewrite the request into canonical label
         // space, key and solve there, and map every answer back through
@@ -484,6 +518,9 @@ impl Router {
             Method::Stats | Method::Metrics => {
                 unreachable!("introspection methods answered before dispatch")
             }
+            Method::Open | Method::Delta | Method::Resync | Method::Close => {
+                unreachable!("session methods answered before dispatch")
+            }
         }
     }
 
@@ -497,18 +534,23 @@ impl Router {
     /// 3. connections: `conns_eof`, `conns_reset`, `conns_err`,
     ///    `conns_reaped`, `conns_drained`
     /// 4. robustness: `shed`, `panics`, `deadlines`
-    /// 5. slow ring: `slow_count`, then one
-    ///    `slow{i}={method}:{key:016x}:{total_us}:{parse/canon/cache/solve/unmap/write}`
+    /// 5. sessions: `sessions_open`, `sessions_opened`, `sessions_expired`,
+    ///    `deltas`, `resyncs`, `audits`, `audits_failed`
+    /// 6. slow ring: `slow_count`, then one
+    ///    `slow{i}={method}:{key:016x}:{total_us}:{parse/canon/cache/delta/solve/unmap/write}`
     ///    per retained request, slowest first.
     fn stats_payload(&self) -> String {
         let s = self.cache.stats();
         let c = self.conn_stats.snapshot();
+        let sess = self.sessions.snapshot();
         let slow = self.slow_requests();
         let mut out = format!(
             "entries={};capacity={};ok_hits={};canon_hits={};err_hits={};canon_err_hits={};\
              canon_rate={};threads={};\
              conns_eof={};conns_reset={};conns_err={};conns_reaped={};conns_drained={};\
-             shed={};panics={};deadlines={};slow_count={}",
+             shed={};panics={};deadlines={};\
+             sessions_open={};sessions_opened={};sessions_expired={};\
+             deltas={};resyncs={};audits={};audits_failed={};slow_count={}",
             s.entries,
             s.capacity,
             s.ok_hits,
@@ -525,6 +567,13 @@ impl Router {
             c.shed,
             c.panics,
             c.deadlines,
+            sess.open,
+            sess.opened,
+            sess.expired,
+            sess.deltas,
+            sess.resyncs,
+            sess.audits,
+            sess.audits_failed,
             slow.len(),
         );
         for (i, r) in slow.iter().enumerate() {
@@ -591,6 +640,15 @@ impl Router {
     }
 
     fn dynamics(&self, req: &Request, budget: &Budget) -> Result<String, WireError> {
+        self.dynamics_full(req, budget).map(|(payload, _)| payload)
+    }
+
+    /// The `dynamics` engine, also returning the converged state — the
+    /// session path stores it as the warm start for the next delta. Both
+    /// the cold dispatch above and every session solve run exactly this
+    /// function, which is what makes a session answer byte-identical to
+    /// a cold solve of the same literal request *by construction*.
+    fn dynamics_full(&self, req: &Request, budget: &Budget) -> Result<(String, State), WireError> {
         let (game, demands) = req
             .game
             .as_ref()
@@ -626,7 +684,7 @@ impl Router {
             code: "internal",
             msg: "dynamics returned an empty potential trace".into(),
         })?;
-        Ok(format!(
+        let payload = format!(
             "converged={};moves={};rounds={};weight={};phi={};edges={}",
             res.converged,
             res.moves,
@@ -634,7 +692,8 @@ impl Router {
             fmt_f64(res.state.weight(g)),
             fmt_f64(phi),
             fmt_edge_ids(&res.state.established_edges()),
-        ))
+        );
+        Ok((payload, res.state))
     }
 
     fn pos(&self, req: &Request, budget: &Budget) -> Result<String, WireError> {
@@ -704,6 +763,418 @@ impl Router {
                 ))
             }
         }
+    }
+
+    // ---- delta sessions (see [`crate::session`]) -----------------------
+
+    /// Answer one session-protocol request (`open`/`delta`/`resync`/
+    /// `close`). Session responses never touch the result cache — the
+    /// returned key only attributes slow-ring rows — and carry their
+    /// addressing (`session=`/`epoch=`) plus the `resynced=1` recovery
+    /// marker as volatile headers outside the deterministic payload.
+    fn respond_session(&self, req: &Request, laps: &mut Laps<'_>) -> (String, u64) {
+        let key = crate::codec::fnv1a64(req.canonical_body().as_bytes());
+        laps.lap(STAGE_CANON);
+        laps.lap(STAGE_CACHE);
+        let budget = match req.deadline_ms.or(self.default_deadline_ms) {
+            Some(ms) => Budget::with_deadline(Duration::from_millis(ms)),
+            None => Budget::unlimited(),
+        };
+        let out = match req.method {
+            Method::Open => self.session_open(req, &budget, laps),
+            Method::Delta => self.session_delta(req, &budget, laps),
+            Method::Resync => self.session_resync(req, laps),
+            Method::Close => self.session_close(req, laps),
+            _ => unreachable!("respond_session called for a non-session method"),
+        };
+        let line = match out {
+            Ok((payload, header)) => {
+                let (h, m, e) = self.cache.counters();
+                let line = ok_line(&req.id, "off", h, m, e, &payload);
+                crate::codec::insert_after_id(&line, &header)
+            }
+            Err(e) => {
+                if matches!(e, WireError::Deadline) {
+                    self.conn_stats.deadlines.fetch_add(1, Ordering::Relaxed);
+                }
+                err_line(&req.id, &e)
+            }
+        };
+        laps.lap(STAGE_UNMAP);
+        (line, key)
+    }
+
+    /// `method=open`: pin the instance, answer its `dynamics` question,
+    /// and admit the session (LRU-evicting at capacity).
+    fn session_open(
+        &self,
+        req: &Request,
+        budget: &Budget,
+        laps: &mut Laps<'_>,
+    ) -> Result<(String, String), WireError> {
+        // The pinned base is the open request reshaped into the literal
+        // cold `dynamics` request it is specified to answer like.
+        let mut synth = req.clone();
+        synth.method = Method::Dynamics;
+        synth.canon = false;
+        synth.deadline_ms = None;
+        synth.trace = false;
+        laps.lap(STAGE_DELTA);
+        let solved = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            if let Some(hook) = &self.fault_hook {
+                hook(req);
+            }
+            budget.check().map_err(|_| WireError::Deadline)?;
+            self.dynamics_full(&synth, budget)
+        }));
+        let (payload, state) = match solved {
+            Ok(res) => res?,
+            Err(_) => {
+                self.conn_stats.panics.fetch_add(1, Ordering::Relaxed);
+                return Err(engine_panicked());
+            }
+        };
+        laps.lap(STAGE_SOLVE);
+        let converged = crate::session::state_paths(&state);
+        let sid = self.sessions.open(crate::session::Session {
+            base: synth.clone(),
+            journal: Vec::new(),
+            view: crate::session::View {
+                req: synth,
+                payload: payload.clone(),
+                converged,
+            },
+            dirty: false,
+        })?;
+        Ok((payload, session_header(&sid, 0, false)))
+    }
+
+    /// `method=delta`: journal the op (write-ahead), apply it to clones,
+    /// solve warm from the carried converged state, and commit the new
+    /// view atomically. Any panic degrades to a journal replay from the
+    /// pinned base; every `--audit-every`th committed delta is
+    /// divergence-audited against that same cold replay.
+    fn session_delta(
+        &self,
+        req: &Request,
+        budget: &Budget,
+        laps: &mut Laps<'_>,
+    ) -> Result<(String, String), WireError> {
+        let sid = req
+            .session
+            .as_deref()
+            .ok_or(WireError::MissingField("session"))?;
+        let op = req.delta.ok_or(WireError::MissingField("delta"))?;
+        let got = req.epoch.ok_or(WireError::MissingField("epoch"))?;
+        let sess = self.sessions.get(sid)?;
+        let mut s = lock_session(&sess);
+        let mut resynced = false;
+        if s.dirty {
+            // A torn earlier holder: rebuild the committed view from the
+            // journal before trusting anything in it.
+            self.recover(&mut s)?;
+            resynced = true;
+        }
+        let want = s.epoch();
+        if got != want {
+            return Err(WireError::StaleEpoch { got, want });
+        }
+        // Write-ahead: the op is journaled before it is applied, so the
+        // panic path below replays *through* it.
+        s.journal.push(op);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            if let Some(hook) = &self.fault_hook {
+                hook(req);
+            }
+            budget.check().map_err(|_| WireError::Deadline)?;
+            let mut game = s.view.req.game.clone().ok_or_else(corrupt_view)?;
+            let mut paths = s.view.converged.clone();
+            let mut b = s.view.req.subsidy.clone();
+            crate::session::apply_delta(op, &mut game, &mut paths, &mut b)?;
+            laps.lap(STAGE_DELTA);
+            let synth = synth_dynamics(&req.id, game, paths, b, &s.view.req);
+            let (payload, state) = self.dynamics_full(&synth, budget)?;
+            Ok(crate::session::View {
+                converged: crate::session::state_paths(&state),
+                req: synth,
+                payload,
+            })
+        }));
+        match outcome {
+            Ok(Ok(view)) => {
+                s.view = view;
+                s.dirty = false;
+                laps.lap(STAGE_SOLVE);
+                self.sessions.note_delta();
+                let epoch = s.epoch();
+                let every = self.sessions.config().audit_every;
+                if every > 0 && epoch.is_multiple_of(every) {
+                    match self.replay_journal(&s.base, &s.journal) {
+                        Ok(cold) => {
+                            let failed = cold.payload != s.view.payload
+                                || cold.converged != s.view.converged;
+                            self.sessions.note_audit(failed);
+                            if failed {
+                                // Hard-fail into resync: the cold replay
+                                // is the specification, so it wins.
+                                s.view = cold;
+                                self.sessions.note_resync();
+                                resynced = true;
+                            }
+                        }
+                        Err(_) => {
+                            // The journal no longer replays: neither view
+                            // can be trusted. Retire the session so the
+                            // client reopens deterministically.
+                            drop(s);
+                            let _ = self.sessions.retire(sid);
+                            return Err(WireError::Engine {
+                                code: "internal",
+                                msg: "session journal replay failed; session retired".into(),
+                            });
+                        }
+                    }
+                }
+                Ok((s.view.payload.clone(), session_header(sid, epoch, resynced)))
+            }
+            Ok(Err(e)) => {
+                // The op itself failed (validation or deadline): that
+                // error is the deterministic answer. Roll the write-ahead
+                // entry back — the epoch is unchanged.
+                s.journal.pop();
+                Err(e)
+            }
+            Err(_) => {
+                // Panic mid-delta (injected or real): discard the
+                // incremental attempt and replay the journal from the
+                // pinned base, through the journaled op.
+                self.conn_stats.panics.fetch_add(1, Ordering::Relaxed);
+                match self.replay_journal(&s.base, &s.journal) {
+                    Ok(view) => {
+                        s.view = view;
+                        s.dirty = false;
+                        laps.lap(STAGE_SOLVE);
+                        self.sessions.note_delta();
+                        self.sessions.note_resync();
+                        Ok((s.view.payload.clone(), session_header(sid, s.epoch(), true)))
+                    }
+                    Err(ReplayError::Step { last: true, err }) => {
+                        // The journaled op is itself invalid; its error is
+                        // the answer, entry rolled back.
+                        s.journal.pop();
+                        Err(err)
+                    }
+                    Err(_) => {
+                        s.journal.pop();
+                        drop(s);
+                        let _ = self.sessions.retire(sid);
+                        Err(WireError::Engine {
+                            code: "internal",
+                            msg: "session journal replay failed; session retired".into(),
+                        })
+                    }
+                }
+            }
+        }
+    }
+
+    /// `method=resync`: client-requested recovery — discard the
+    /// incremental view, replay the journal from the pinned base, and
+    /// serve the reconstructed answer (`resynced=1`, epoch unchanged).
+    fn session_resync(
+        &self,
+        req: &Request,
+        laps: &mut Laps<'_>,
+    ) -> Result<(String, String), WireError> {
+        let sid = req
+            .session
+            .as_deref()
+            .ok_or(WireError::MissingField("session"))?;
+        let sess = self.sessions.get(sid)?;
+        let mut s = lock_session(&sess);
+        let hooked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            if let Some(hook) = &self.fault_hook {
+                hook(req);
+            }
+        }));
+        if hooked.is_err() {
+            self.conn_stats.panics.fetch_add(1, Ordering::Relaxed);
+            s.dirty = true; // recover on the next operation
+            return Err(engine_panicked());
+        }
+        match self.replay_journal(&s.base, &s.journal) {
+            Ok(view) => {
+                s.view = view;
+                s.dirty = false;
+                laps.lap(STAGE_SOLVE);
+                self.sessions.note_resync();
+                Ok((s.view.payload.clone(), session_header(sid, s.epoch(), true)))
+            }
+            Err(_) => {
+                // Every journaled op committed once; failing to replay
+                // now means the journal itself is broken.
+                drop(s);
+                let _ = self.sessions.retire(sid);
+                Err(WireError::Engine {
+                    code: "internal",
+                    msg: "session journal replay failed; session retired".into(),
+                })
+            }
+        }
+    }
+
+    /// `method=close`: retire the session; its id answers
+    /// `session_expired` from now on.
+    fn session_close(
+        &self,
+        req: &Request,
+        laps: &mut Laps<'_>,
+    ) -> Result<(String, String), WireError> {
+        let sid = req
+            .session
+            .as_deref()
+            .ok_or(WireError::MissingField("session"))?;
+        let sess = self.sessions.retire(sid)?;
+        let s = lock_session(&sess);
+        laps.lap(STAGE_SOLVE);
+        Ok((
+            format!("closed=1;deltas={}", s.journal.len()),
+            session_header(sid, s.epoch(), false),
+        ))
+    }
+
+    /// Replay a session's write-ahead journal from its pinned base:
+    /// re-solve the base, then re-apply and re-solve every journaled
+    /// delta in order. Deterministic — it repeats exactly the warm
+    /// path's apply/solve calls — and deliberately budget-free: recovery
+    /// and audits must not be starved by a client deadline.
+    fn replay_journal(
+        &self,
+        base: &Request,
+        journal: &[crate::codec::DeltaOp],
+    ) -> Result<crate::session::View, ReplayError> {
+        let unlimited = Budget::unlimited();
+        let replayed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let (payload, state) =
+                self.dynamics_full(base, &unlimited)
+                    .map_err(|err| ReplayError::Step {
+                        last: journal.is_empty(),
+                        err,
+                    })?;
+            let mut view = crate::session::View {
+                req: base.clone(),
+                payload,
+                converged: crate::session::state_paths(&state),
+            };
+            for (i, &op) in journal.iter().enumerate() {
+                let last = i + 1 == journal.len();
+                let fail = |err| ReplayError::Step { last, err };
+                let mut game = view.req.game.clone().ok_or_else(|| fail(corrupt_view()))?;
+                let mut paths = view.converged.clone();
+                let mut b = view.req.subsidy.clone();
+                crate::session::apply_delta(op, &mut game, &mut paths, &mut b).map_err(fail)?;
+                let synth = synth_dynamics(&base.id, game, paths, b, &view.req);
+                let (payload, state) = self.dynamics_full(&synth, &unlimited).map_err(fail)?;
+                view = crate::session::View {
+                    converged: crate::session::state_paths(&state),
+                    req: synth,
+                    payload,
+                };
+            }
+            Ok(view)
+        }));
+        replayed.unwrap_or(Err(ReplayError::Panicked))
+    }
+
+    /// Rebuild a dirty session's committed view from its journal
+    /// (poisoned-lock recovery).
+    fn recover(&self, s: &mut crate::session::Session) -> Result<(), WireError> {
+        match self.replay_journal(&s.base, &s.journal) {
+            Ok(view) => {
+                s.view = view;
+                s.dirty = false;
+                self.sessions.note_resync();
+                Ok(())
+            }
+            Err(ReplayError::Step { err, .. }) => Err(err),
+            Err(ReplayError::Panicked) => Err(engine_panicked()),
+        }
+    }
+}
+
+/// Why a journal replay stopped: a structured error at some step (`last`
+/// marks the most recently journaled op) or a panic inside the replay.
+enum ReplayError {
+    /// A step's apply/solve returned a structured error.
+    Step {
+        /// Whether the failing step is the newest (write-ahead) entry.
+        last: bool,
+        /// The step's error.
+        err: WireError,
+    },
+    /// The replay itself panicked.
+    Panicked,
+}
+
+/// The volatile session response header (spliced after `id=`).
+fn session_header(sid: &str, epoch: u64, resynced: bool) -> String {
+    let mut h = format!("session={sid};epoch={epoch}");
+    if resynced {
+        h.push_str(";resynced=1");
+    }
+    h
+}
+
+/// The literal `dynamics` request for a patched session instance,
+/// carrying the session's pinned order/rounds and the post-delta warm
+/// state.
+fn synth_dynamics(
+    id: &str,
+    game: crate::codec::WireGame,
+    paths: Vec<Vec<EdgeId>>,
+    b: Option<Vec<f64>>,
+    prev: &Request,
+) -> Request {
+    let mut req = Request::new(id, Method::Dynamics);
+    req.game = Some(game);
+    req.state = Some(paths);
+    req.subsidy = b;
+    req.order = prev.order;
+    req.rounds = prev.rounds;
+    req.canon = false;
+    req
+}
+
+/// Poison-tolerant session lock: a poisoned mutex means a fault tore an
+/// earlier holder mid-operation, so the view is flagged for replay.
+fn lock_session(
+    sess: &Mutex<crate::session::Session>,
+) -> std::sync::MutexGuard<'_, crate::session::Session> {
+    match sess.lock() {
+        Ok(g) => g,
+        Err(p) => {
+            let mut g = p.into_inner();
+            g.dirty = true;
+            g
+        }
+    }
+}
+
+/// The isolated-panic error (one shape everywhere, so chaos can assert
+/// on it).
+fn engine_panicked() -> WireError {
+    WireError::Engine {
+        code: "internal",
+        msg: "engine panicked; request isolated".into(),
+    }
+}
+
+/// A session view missing its instance: impossible by construction,
+/// reported instead of unwinding.
+fn corrupt_view() -> WireError {
+    WireError::Engine {
+        code: "internal",
+        msg: "session view lost its instance".into(),
     }
 }
 
@@ -1167,7 +1638,7 @@ mod tests {
         // The echo rides in the header, spliced right after the id…
         assert!(
             second.starts_with(
-                "ok;id=b;trace=parse:0,canon:0,cache:0,solve:0,unmap:0,write:0;cache=hit;"
+                "ok;id=b;trace=parse:0,canon:0,cache:0,delta:0,solve:0,unmap:0,write:0;cache=hit;"
             ),
             "{second}"
         );
@@ -1181,7 +1652,7 @@ mod tests {
         let third = r.handle_line(iso);
         assert!(
             third.starts_with(
-                "ok;id=b;trace=parse:0,canon:0,cache:0,solve:0,unmap:0,write:0;cache=hit;"
+                "ok;id=b;trace=parse:0,canon:0,cache:0,delta:0,solve:0,unmap:0,write:0;cache=hit;"
             ),
             "{third}"
         );
@@ -1222,9 +1693,281 @@ mod tests {
         assert!(stats.ends_with(";slow_count=0"), "{stats}");
     }
 
+    /// A volatile header field of a session response (`session=`,
+    /// `epoch=`, `resynced=`).
+    fn header(resp: &str, key: &str) -> Option<String> {
+        let prefix = format!("{key}=");
+        resp.split(';')
+            .find_map(|f| f.strip_prefix(prefix.as_str()))
+            .map(str::to_string)
+    }
+
+    #[test]
+    fn sessions_open_delta_resync_close_roundtrip() {
+        let r = Router::new(Executor::sequential(), 64);
+        let open = r.handle_line(&format!(
+            "ndg1;id=o1;method=open;tree={};game={}",
+            tree_ids(6),
+            cycle_game_spec(6)
+        ));
+        assert!(open.starts_with("ok;id=o1;session=s1;epoch=0;"), "{open}");
+        assert!(open.contains("converged="), "{open}");
+        // Patch the closing edge cheap, then fail edge 0: both advance
+        // the epoch and answer the dynamics question for the patched
+        // instance.
+        let d1 =
+            r.handle_line("ndg1;id=d1;method=delta;session=s1;epoch=0;delta=patch;edge=5;w=0.25");
+        assert!(d1.starts_with("ok;id=d1;session=s1;epoch=1;"), "{d1}");
+        let d2 = r.handle_line("ndg1;id=d2;method=delta;session=s1;epoch=1;delta=fail;edge=0");
+        assert!(d2.starts_with("ok;id=d2;session=s1;epoch=2;"), "{d2}");
+        // Stale epoch: optimistic-concurrency violation, nothing applied.
+        let stale = r.handle_line("ndg1;id=d3;method=delta;session=s1;epoch=0;delta=fail;edge=0");
+        assert!(stale.starts_with("err;id=d3;code=stale_epoch;"), "{stale}");
+        // Invalid op: structured error, write-ahead entry rolled back —
+        // the epoch is unchanged and the next delta at it succeeds.
+        let bad = r.handle_line("ndg1;id=d4;method=delta;session=s1;epoch=2;delta=fail;edge=99");
+        assert!(bad.starts_with("err;id=d4;code=bad_delta;"), "{bad}");
+        // Client resync replays the journal: same payload as the last
+        // committed answer, flagged resynced, epoch unchanged.
+        let rs = r.handle_line("ndg1;id=r1;method=resync;session=s1");
+        assert!(
+            rs.starts_with("ok;id=r1;session=s1;epoch=2;resynced=1;"),
+            "{rs}"
+        );
+        assert_eq!(payload_of(&rs), payload_of(&d2));
+        let close = r.handle_line("ndg1;id=c1;method=close;session=s1");
+        assert!(close.starts_with("ok;id=c1;session=s1;epoch=2;"), "{close}");
+        assert!(close.ends_with("closed=1;deltas=2"), "{close}");
+        // Retired id: session_expired (reopen); never-assigned: unknown.
+        let gone = r.handle_line("ndg1;id=d5;method=delta;session=s1;epoch=2;delta=fail;edge=0");
+        assert!(
+            gone.starts_with("err;id=d5;code=session_expired;"),
+            "{gone}"
+        );
+        let unk = r.handle_line("ndg1;id=r2;method=resync;session=s9");
+        assert!(unk.starts_with("err;id=r2;code=unknown_session;"), "{unk}");
+        let snap = r.sessions().snapshot();
+        assert_eq!(
+            (
+                snap.open,
+                snap.opened,
+                snap.expired,
+                snap.deltas,
+                snap.resyncs
+            ),
+            (0, 1, 1, 2, 1),
+            "{snap:?}"
+        );
+    }
+
+    #[test]
+    fn session_answers_match_cold_solves_byte_for_byte() {
+        // The tentpole property at unit scale: after every operation the
+        // session's answer payload equals a cold solve of the synthesized
+        // literal request through a fresh canon-off router.
+        let r = Router::new(Executor::sequential(), 64);
+        let open = r.handle_line(&format!(
+            "ndg1;id=o;method=open;order=max-gain;tree={};game={}",
+            tree_ids(6),
+            cycle_game_spec(6)
+        ));
+        let sid = header(&open, "session").unwrap();
+        let mut last = open;
+        for (epoch, delta) in [
+            "delta=patch;edge=5;w=0.125",
+            "delta=fail;edge=1",
+            "delta=patch;edge=0;w=3",
+        ]
+        .iter()
+        .enumerate()
+        {
+            let cold_line = r.session_cold_line(&sid).unwrap();
+            let cold = Router::with_canon(Executor::sequential(), 0, false).handle_line(&cold_line);
+            assert_eq!(
+                payload_of(&last),
+                payload_of(&cold),
+                "epoch {epoch} diverged from its cold solve"
+            );
+            last = r.handle_line(&format!(
+                "ndg1;id=d{epoch};method=delta;session={sid};epoch={epoch};{delta}"
+            ));
+            assert!(last.starts_with("ok;"), "{last}");
+        }
+        let cold_line = r.session_cold_line(&sid).unwrap();
+        let cold = Router::with_canon(Executor::sequential(), 0, false).handle_line(&cold_line);
+        assert_eq!(payload_of(&last), payload_of(&cold));
+    }
+
+    #[test]
+    fn session_join_appends_players_on_general_games() {
+        let r = Router::new(Executor::sequential(), 64);
+        let open = r.handle_line(
+            "ndg1;id=o;method=open;tree=0,1,2;game=general:4:0/1/1,1/2/1,2/3/1,1/3/3:0/2",
+        );
+        let sid = header(&open, "session").unwrap();
+        let d = r.handle_line(&format!(
+            "ndg1;id=j;method=delta;session={sid};epoch=0;delta=join;player=1/3"
+        ));
+        assert!(d.starts_with("ok;id=j;"), "{d}");
+        let cold_line = r.session_cold_line(&sid).unwrap();
+        assert!(
+            cold_line.contains("players") || cold_line.contains("general:4:"),
+            "{cold_line}"
+        );
+        let cold = Router::with_canon(Executor::sequential(), 0, false).handle_line(&cold_line);
+        assert_eq!(payload_of(&d), payload_of(&cold));
+        // Broadcast sessions reject join with a structured error.
+        let bopen = r.handle_line(&format!(
+            "ndg1;id=o2;method=open;tree={};game={}",
+            tree_ids(4),
+            cycle_game_spec(4)
+        ));
+        let bsid = header(&bopen, "session").unwrap();
+        let bad = r.handle_line(&format!(
+            "ndg1;id=j2;method=delta;session={bsid};epoch=0;delta=join;player=1/2"
+        ));
+        assert!(bad.starts_with("err;id=j2;code=bad_delta;"), "{bad}");
+    }
+
+    #[test]
+    fn session_panic_mid_delta_recovers_by_journal_replay() {
+        let mut r = Router::new(Executor::sequential(), 64);
+        r.set_fault_hook(Some(Arc::new(|req: &Request| {
+            if req.id == "boom" {
+                panic!("injected session fault");
+            }
+        })));
+        let open = r.handle_line(&format!(
+            "ndg1;id=o;method=open;tree={};game={}",
+            tree_ids(6),
+            cycle_game_spec(6)
+        ));
+        let sid = header(&open, "session").unwrap();
+        let ok1 = r.handle_line(&format!(
+            "ndg1;id=d0;method=delta;session={sid};epoch=0;delta=patch;edge=5;w=0.25"
+        ));
+        assert!(ok1.starts_with("ok;id=d0;"), "{ok1}");
+        // The injected panic fires inside the delta's isolation boundary;
+        // the write-ahead journal replays through the op and the response
+        // is still the committed answer, flagged resynced.
+        let boom = r.handle_line(&format!(
+            "ndg1;id=boom;method=delta;session={sid};epoch=1;delta=fail;edge=0"
+        ));
+        assert!(boom.starts_with("ok;id=boom;"), "{boom}");
+        assert_eq!(header(&boom, "resynced").as_deref(), Some("1"), "{boom}");
+        assert_eq!(header(&boom, "epoch").as_deref(), Some("2"), "{boom}");
+        // Byte-identity survives the recovery.
+        let cold_line = r.session_cold_line(&sid).unwrap();
+        let cold = Router::with_canon(Executor::sequential(), 0, false).handle_line(&cold_line);
+        assert_eq!(payload_of(&boom), payload_of(&cold));
+        // And the next plain delta continues from the recovered epoch.
+        let next = r.handle_line(&format!(
+            "ndg1;id=d2;method=delta;session={sid};epoch=2;delta=patch;edge=0;w=2"
+        ));
+        assert!(next.starts_with("ok;id=d2;"), "{next}");
+        let snap = r.sessions().snapshot();
+        assert_eq!((snap.deltas, snap.resyncs), (3, 1), "{snap:?}");
+        assert_eq!(r.conn_stats().snapshot().panics, 1);
+    }
+
+    #[test]
+    fn session_divergence_audits_run_on_the_configured_cadence() {
+        let mut r = Router::new(Executor::sequential(), 64);
+        r.set_session_config(crate::session::SessionConfig {
+            audit_every: 2,
+            max_sessions: 8,
+        });
+        let open = r.handle_line(&format!(
+            "ndg1;id=o;method=open;tree={};game={}",
+            tree_ids(5),
+            cycle_game_spec(5)
+        ));
+        let sid = header(&open, "session").unwrap();
+        for epoch in 0..4u64 {
+            let w = 1.0 + epoch as f64;
+            let resp = r.handle_line(&format!(
+                "ndg1;id=d{epoch};method=delta;session={sid};epoch={epoch};delta=patch;edge=4;w={w}"
+            ));
+            assert!(resp.starts_with(&format!("ok;id=d{epoch};")), "{resp}");
+            // A clean audit never flags the response as resynced.
+            assert_eq!(header(&resp, "resynced"), None, "{resp}");
+        }
+        let snap = r.sessions().snapshot();
+        assert_eq!((snap.audits, snap.audits_failed), (2, 0), "{snap:?}");
+    }
+
+    #[test]
+    fn session_lru_eviction_and_capacity_limits() {
+        let mut r = Router::new(Executor::sequential(), 64);
+        r.set_session_config(crate::session::SessionConfig {
+            audit_every: 0,
+            max_sessions: 2,
+        });
+        let line = |id: &str| {
+            format!(
+                "ndg1;id={id};method=open;tree={};game={}",
+                tree_ids(5),
+                cycle_game_spec(5)
+            )
+        };
+        let s1 = header(&r.handle_line(&line("o1")), "session").unwrap();
+        let s2 = header(&r.handle_line(&line("o2")), "session").unwrap();
+        // Touch s1 so s2 is the LRU victim.
+        let _ = r.handle_line(&format!("ndg1;id=r;method=resync;session={s1}"));
+        let s3 = header(&r.handle_line(&line("o3")), "session").unwrap();
+        assert_eq!((s1.as_str(), s2.as_str(), s3.as_str()), ("s1", "s2", "s3"));
+        let evicted = r.handle_line(&format!("ndg1;id=x;method=resync;session={s2}"));
+        assert!(
+            evicted.starts_with("err;id=x;code=session_expired;"),
+            "{evicted}"
+        );
+        // Zero capacity rejects opens outright.
+        let mut closed = Router::new(Executor::sequential(), 64);
+        closed.set_session_config(crate::session::SessionConfig {
+            audit_every: 0,
+            max_sessions: 0,
+        });
+        let denied = closed.handle_line(&line("o4"));
+        assert!(
+            denied.starts_with("err;id=o4;code=session_limit;"),
+            "{denied}"
+        );
+    }
+
+    #[test]
+    fn session_responses_never_enter_the_result_cache() {
+        let r = Router::new(Executor::sequential(), 64);
+        let open = r.handle_line(&format!(
+            "ndg1;id=o;method=open;tree={};game={}",
+            tree_ids(6),
+            cycle_game_spec(6)
+        ));
+        let sid = header(&open, "session").unwrap();
+        let _ = r.handle_line(&format!(
+            "ndg1;id=d;method=delta;session={sid};epoch=0;delta=patch;edge=5;w=0.5"
+        ));
+        // No session answer was admitted: the cache is untouched.
+        let s = r.cache_stats();
+        assert_eq!((s.entries, s.hits, s.misses), (0, 0, 0), "{s:?}");
+        // The cold-solve audit path (a plain dynamics request for the
+        // same pinned instance) is cacheable as usual.
+        let cold_line = r.session_cold_line(&sid).unwrap();
+        let cold = r.handle_line(&cold_line);
+        assert!(cold.contains(";cache=miss;"), "{cold}");
+        assert_eq!(r.cache_stats().entries, 1);
+        // Session headers stay volatile: payloads compare equal.
+        let open2 = r.handle_line(&format!(
+            "ndg1;id=o2;method=open;tree={};game={}",
+            tree_ids(6),
+            cycle_game_spec(6)
+        ));
+        assert!(open2.starts_with("ok;id=o2;session="), "{open2}");
+        assert_eq!(payload_of(&open), payload_of(&open2));
+    }
+
     #[test]
     fn metrics_method_exposes_registry_counters_once_installed() {
-        let r = Router::new(Executor::sequential(), 64);
+        let mut r = Router::new(Executor::sequential(), 64);
         let resp = r.handle_line("ndg1;id=m;method=metrics");
         assert!(resp.starts_with("ok;id=m;cache=off;"), "{resp}");
         // Sole install site in this test binary (the registry is
@@ -1237,6 +1980,31 @@ mod tests {
         );
         let _ = r.handle_line(&line);
         let _ = r.handle_line(&line);
+        // Session traffic so the session gauge/counters register too:
+        // one open, two deltas (audit_every=2 fires once), one resync.
+        r.set_session_config(crate::session::SessionConfig {
+            audit_every: 2,
+            max_sessions: 8,
+        });
+        let open = r.handle_line(&format!(
+            "ndg1;id=so;method=open;tree={};game={}",
+            tree_ids(5),
+            cycle_game_spec(5)
+        ));
+        let sid = open
+            .split(';')
+            .find_map(|f| f.strip_prefix("session="))
+            .unwrap()
+            .to_string();
+        for epoch in 0..2 {
+            let resp = r.handle_line(&format!(
+                "ndg1;id=sd{epoch};method=delta;session={sid};epoch={epoch};\
+                 delta=patch;edge=4;w={}",
+                epoch + 1
+            ));
+            assert!(resp.starts_with("ok;"), "{resp}");
+        }
+        let _ = r.handle_line(&format!("ndg1;id=sr;method=resync;session={sid}"));
         let resp = r.handle_line("ndg1;id=m2;method=metrics");
         let payload = payload_of(&resp);
         assert!(payload.starts_with("ok;enabled=1;"), "{payload}");
@@ -1247,6 +2015,11 @@ mod tests {
             ";serve_solve_us_count=",
             ";cache_misses_total=",
             ";canon_memo_hits_total=",
+            ";serve_sessions_open=1;",
+            ";serve_deltas_applied=2;",
+            ";serve_session_resyncs=1;",
+            ";serve_divergence_audits=1;",
+            ";serve_divergence_audits_failed=0;",
         ] {
             assert!(payload.contains(field), "missing {field}: {payload}");
         }

@@ -677,6 +677,32 @@ mod tests {
     }
 
     #[test]
+    fn sessions_outlive_connections() {
+        // The session table lives in the router, not the connection: a
+        // client that disconnects mid-session resumes on a fresh stream
+        // with the same session id, epoch intact.
+        let r = router();
+        let mut out = Vec::new();
+        let open = format!("ndg1;id=s1;method=open;tree=0,1,2;game={CYCLE4}\n");
+        serve_stream(&r, &mut Cursor::new(open.into_bytes()), &mut out).unwrap();
+        let first = std::str::from_utf8(&out).unwrap().trim_end().to_string();
+        assert!(first.starts_with("ok;id=s1;session=s1;epoch=0;"), "{first}");
+        // A second, independent "connection" continues the session.
+        let mut out2 = Vec::new();
+        let cont = "ndg1;id=s2;method=delta;session=s1;epoch=0;delta=patch;edge=3;w=0.5\n\
+                    ndg1;id=s3;method=close;session=s1\n";
+        serve_stream(&r, &mut Cursor::new(cont.as_bytes().to_vec()), &mut out2).unwrap();
+        let lines: Vec<&str> = std::str::from_utf8(&out2).unwrap().lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(
+            lines[0].starts_with("ok;id=s2;session=s1;epoch=1;"),
+            "{}",
+            lines[0]
+        );
+        assert!(lines[1].ends_with("closed=1;deltas=1"), "{}", lines[1]);
+    }
+
+    #[test]
     fn eof_without_blank_line_still_flushes() {
         let r = router();
         let mut reader = Cursor::new(b"ndg1;id=only;method=stats".to_vec());
