@@ -23,11 +23,25 @@
 //! [`ndg_obs::install`], so the latency pass is the only writer of the
 //! server-side `serve_request_us` histogram — its p50/p99 must agree
 //! with the harness-side percentiles within the histogram's 2× bucket
-//! factor — and a warm-replay A/B (registry uninstalled vs installed)
-//! gates the instrumentation overhead at ≤5% + 2 ms slack.
+//! factor — and a warm-replay A/B gates the instrumentation overhead at
+//! ≤5% + 2 ms slack. The "on" arm is the full observability stack: the
+//! metrics registry installed *and* a flight recorder with a sampled
+//! (every 8th event) jsonl sink attached to the router, so the pinned
+//! `obs_overhead` row prices wide-event recording and structured
+//! logging, not just counter bumps.
 //!
 //! `--smoke` shrinks the workload (120/40), keeps every determinism and
 //! observability gate, and skips the chaos pass and the baseline write.
+//!
+//! `--check` replays the measurement passes and compares them against
+//! the pinned `BENCH_serve.json` instead of rewriting it. Deterministic
+//! fields are hard gates: the cache hit rate must match the pin within
+//! ±0.005, and the pinned chaos row must say `"survived": true`.
+//! Wall-clock fields (latency percentiles, warm-replay walls) drift
+//! with the host, so they are **warn-only** outside a generous 4×
+//! band — the run still exits 0. The in-run relative gates (payload
+//! determinism, 2× histogram agreement, the ≤5% + 2 ms overhead gate)
+//! stay hard in every mode.
 //!
 //! `BENCH_serve.json` at the repo root pins the measured baseline. A
 //! 1-core container shows no batching speedup — the determinism
@@ -65,6 +79,7 @@ fn metric(expo: &str, name: &str) -> f64 {
 fn main() {
     let mut fault_rate = 0.15f64;
     let mut smoke = false;
+    let mut check = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -79,11 +94,18 @@ fn main() {
                     });
             }
             "--smoke" => smoke = true,
+            "--check" => check = true,
             _ => {
-                eprintln!("usage: exp_e12 [--fault-rate F] [--smoke]");
+                eprintln!("usage: exp_e12 [--fault-rate F] [--smoke] [--check]");
                 std::process::exit(2);
             }
         }
+    }
+    if check && smoke {
+        // The pin was measured at full size; smoke numbers are not
+        // comparable to it.
+        eprintln!("exp_e12: --check and --smoke are mutually exclusive");
+        std::process::exit(2);
     }
     let spec = if smoke { SMOKE_SPEC } else { SPEC };
     let lines = build_workload(spec);
@@ -166,12 +188,24 @@ fn main() {
         "server-side histogram: p50 {server_p50:.0} µs  p99 {server_p99:.0} µs  (within 2x of harness)"
     );
 
-    // 2c. Instrumentation overhead gate: min-of-5 warm cache replays on a
-    //     fresh sequential router, registry uninstalled vs installed. The
-    //     installed wall must stay within 5% (+2 ms absolute slack for
-    //     scheduler noise in a 1-core container).
-    let warm_replay_ms = |label: &str| {
-        let router = Router::new(Executor::sequential(), 4096);
+    // 2c. Instrumentation overhead gate: min-of-5 warm cache replays on
+    //     a fresh sequential router, everything off vs the full stack on
+    //     (metrics registry installed + flight recorder with a sampled
+    //     jsonl sink). The on-arm wall must stay within 5% (+2 ms
+    //     absolute slack for scheduler noise in a 1-core container).
+    let warm_replay_ms = |label: &str, record: bool| {
+        let mut router = Router::new(Executor::sequential(), 4096);
+        if record {
+            let rec = std::sync::Arc::new(ndg_obs::events::Recorder::with_wall_clock());
+            rec.set_sample_every(8);
+            let sink: Box<dyn std::io::Write + Send> =
+                match std::fs::File::create("target/e12_events.jsonl") {
+                    Ok(f) => Box::new(f),
+                    Err(_) => Box::new(std::io::sink()),
+                };
+            rec.set_sink(sink);
+            router.set_recorder(Some(rec));
+        }
         for chunk in lines.chunks(BATCH) {
             router.handle_batch(chunk);
         }
@@ -187,15 +221,15 @@ fn main() {
         best
     };
     ndg_obs::uninstall();
-    let warm_off_ms = warm_replay_ms("registry off");
+    let warm_off_ms = warm_replay_ms("registry off", false);
     ndg_obs::install();
-    let warm_on_ms = warm_replay_ms("registry on");
+    let warm_on_ms = warm_replay_ms("registry + recorder + jsonl", true);
     assert!(
         warm_on_ms <= warm_off_ms * 1.05 + 2.0,
-        "metrics registry overhead too high: warm replay {warm_on_ms:.2} ms installed vs \
-         {warm_off_ms:.2} ms uninstalled (gate: <=5% + 2 ms)"
+        "observability overhead too high: warm replay {warm_on_ms:.2} ms with registry + \
+         recorder + jsonl vs {warm_off_ms:.2} ms bare (gate: <=5% + 2 ms)"
     );
-    println!("OK: registry overhead within 5% (+2 ms slack) on warm replays");
+    println!("OK: registry + recorder + jsonl overhead within 5% (+2 ms slack) on warm replays");
 
     // 3. Batched throughput at each thread count.
     let widths = [8, 10, 10, 11, 10];
@@ -262,6 +296,70 @@ fn main() {
         return;
     }
 
+    if check {
+        // --check: compare this run against the pinned baseline instead
+        // of re-pinning it. The cache hit rate is a pure function of the
+        // workload, so it must match the pin (±0.005, hard). Wall-clock
+        // fields drift with the host: they warn outside a 4x band either
+        // way and never fail the run. The first occurrence of each key
+        // is read, which is the `latency`/`obs_overhead` section — the
+        // later `benchmarks` rows reuse `cache_hit_rate` by design.
+        let path = "BENCH_serve.json";
+        let pinned = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("exp_e12 --check: cannot read {path}: {e}");
+            std::process::exit(1);
+        });
+        let pin = |key: &str| -> f64 {
+            pinned
+                .find(&format!("\"{key}\": "))
+                .and_then(|i| {
+                    pinned[i + key.len() + 4..]
+                        .split([',', '}', '\n'])
+                        .next()
+                        .and_then(|v| v.trim().parse().ok())
+                })
+                .unwrap_or(f64::NAN)
+        };
+        let mut hard_fail = false;
+        let pin_hit = pin("cache_hit_rate");
+        if !(pin_hit - hit_rate).abs().is_finite() || (pin_hit - hit_rate).abs() > 0.005 {
+            eprintln!(
+                "exp_e12 --check: cache hit rate {hit_rate:.3} != pinned {pin_hit:.3} \
+                 (deterministic field, hard gate)"
+            );
+            hard_fail = true;
+        }
+        if !pinned.contains("\"survived\": true") {
+            eprintln!("exp_e12 --check: pinned e12_chaos row is missing `\"survived\": true`");
+            hard_fail = true;
+        }
+        const WARN_BAND: f64 = 4.0;
+        for (name, fresh, pin_v) in [
+            ("latency p50_us", p50, pin("p50_us")),
+            ("latency p99_us", p99, pin("p99_us")),
+            ("warm_replay_ms_off", warm_off_ms, pin("warm_replay_ms_off")),
+            ("warm_replay_ms_on", warm_on_ms, pin("warm_replay_ms_on")),
+        ] {
+            if !pin_v.is_finite() {
+                eprintln!("exp_e12 --check: `{name}` missing from {path}");
+                hard_fail = true;
+            } else if fresh > pin_v * WARN_BAND || fresh < pin_v / WARN_BAND {
+                println!(
+                    "WARN: {name} {fresh:.2} vs pinned {pin_v:.2} — outside the {WARN_BAND}x \
+                     band; wall-clock drift is warn-only"
+                );
+            }
+        }
+        if hard_fail {
+            std::process::exit(1);
+        }
+        println!(
+            "OK: --check against {path} — deterministic fields match the pin; \
+             wall-clock fields within the warn band or warned above"
+        );
+        return;
+    }
+
     // 4. Chaos pass: the same workload shape over live TCP under seeded
     //    fault injection (or a clean TCP load test at --fault-rate 0).
     let chaos_spec = ChaosSpec {
@@ -313,7 +411,7 @@ fn main() {
         "  \"latency\": {{ \"p50_us\": {p50:.1}, \"p99_us\": {p99:.1}, \"server_p50_us\": {server_p50:.1}, \"server_p99_us\": {server_p99:.1}, \"cache_hit_rate\": {hit_rate:.3} }},\n"
     ));
     json.push_str(&format!(
-        "  \"obs_overhead\": {{ \"warm_replay_ms_off\": {warm_off_ms:.2}, \"warm_replay_ms_on\": {warm_on_ms:.2}, \"gate\": \"<=5% + 2 ms\" }},\n"
+        "  \"obs_overhead\": {{ \"warm_replay_ms_off\": {warm_off_ms:.2}, \"warm_replay_ms_on\": {warm_on_ms:.2}, \"on_arm\": \"registry + flight recorder + jsonl sink (sample=8)\", \"gate\": \"<=5% + 2 ms\" }},\n"
     ));
     json.push_str(&format!(
         "  \"e12_chaos\": {{ \"fault_rate\": {fault_rate}, \"wall_ms\": {chaos_ms:.2}, \

@@ -627,6 +627,16 @@ where
         ENUM_TREES_VISITED.add(n);
         ENUM_ORBIT_REPS.add(n);
         ENUM_ORBIT_COVERED.add(n);
+        if ndg_obs::events::recording() {
+            ndg_obs::events::emit(
+                "enum",
+                vec![
+                    ("covered", n.to_string()),
+                    ("reps", n.to_string()),
+                    ("trees", n.to_string()),
+                ],
+            );
+        }
         return out;
     }
     let mut scratch: Vec<EdgeId> = Vec::with_capacity(g.node_count());
@@ -645,6 +655,16 @@ where
     ENUM_TREES_VISITED.add(enumerated);
     ENUM_ORBIT_REPS.add(reps);
     ENUM_ORBIT_COVERED.add(covered);
+    if ndg_obs::events::recording() {
+        ndg_obs::events::emit(
+            "enum",
+            vec![
+                ("covered", covered.to_string()),
+                ("reps", reps.to_string()),
+                ("trees", enumerated.to_string()),
+            ],
+        );
+    }
     out
 }
 

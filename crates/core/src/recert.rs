@@ -222,6 +222,9 @@ impl IncrementalCertifier {
         if self.valid {
             self.valid = false;
             self.stats.invalidations += 1;
+            if ndg_obs::events::recording() {
+                ndg_obs::events::emit("recert", vec![("op", "invalidate".to_string())]);
+            }
         }
     }
 
@@ -321,6 +324,9 @@ impl IncrementalCertifier {
         }
         self.stats.adoptions += 1;
         self.valid = true;
+        if ndg_obs::events::recording() {
+            ndg_obs::events::emit("recert", vec![("op", "adopt".to_string())]);
+        }
         true
     }
 

@@ -232,11 +232,16 @@ impl Executor {
         }
         let chunk = self.chunk_len(items.len());
         let (init, f) = (&init, &f);
+        // Workers inherit the caller's flight-recorder context so engine
+        // sub-events emitted inside `f` keep the request's trace id.
+        let cur = ndg_obs::events::current();
+        let cur = &cur;
         std::thread::scope(|scope| {
             let handles: Vec<_> = items
                 .chunks(chunk)
                 .map(|sub| {
                     scope.spawn(move || {
+                        let _ctx = cur.clone().map(|(r, t)| ndg_obs::events::set_current(r, t));
                         let mut s = init();
                         sub.iter().map(|x| f(&mut s, x)).collect::<Vec<U>>()
                     })
@@ -266,11 +271,14 @@ impl Executor {
         let mut slots: Vec<Option<T>> = items.into_iter().map(Some).collect();
         let chunk = self.chunk_len(n);
         let f = &f;
+        let cur = ndg_obs::events::current();
+        let cur = &cur;
         std::thread::scope(|scope| {
             let handles: Vec<_> = slots
                 .chunks_mut(chunk)
                 .map(|sub| {
                     scope.spawn(move || {
+                        let _ctx = cur.clone().map(|(r, t)| ndg_obs::events::set_current(r, t));
                         sub.iter_mut()
                             .map(|slot| f(slot.take().expect("each slot is drained once")))
                             .collect::<Vec<U>>()
@@ -304,10 +312,17 @@ impl Executor {
         }
         let chunk = self.chunk_len(items.len());
         let (identity, fold) = (&identity, &fold);
+        let cur = ndg_obs::events::current();
+        let cur = &cur;
         std::thread::scope(|scope| {
             let handles: Vec<_> = items
                 .chunks(chunk)
-                .map(|sub| scope.spawn(move || sub.iter().fold(identity(), fold)))
+                .map(|sub| {
+                    scope.spawn(move || {
+                        let _ctx = cur.clone().map(|(r, t)| ndg_obs::events::set_current(r, t));
+                        sub.iter().fold(identity(), fold)
+                    })
+                })
                 .collect();
             let mut acc: Option<A> = None;
             for h in handles {
@@ -340,12 +355,15 @@ impl Executor {
         let chunk = self.chunk_len(n);
         let best = AtomicUsize::new(usize::MAX);
         let (best, f) = (&best, &f);
+        let cur = ndg_obs::events::current();
+        let cur = &cur;
         std::thread::scope(|scope| {
             let handles: Vec<_> = items
                 .chunks(chunk)
                 .enumerate()
                 .map(|(c, sub)| {
                     scope.spawn(move || {
+                        let _ctx = cur.clone().map(|(r, t)| ndg_obs::events::set_current(r, t));
                         let base = c * chunk;
                         for (j, x) in sub.iter().enumerate() {
                             let i = base + j;

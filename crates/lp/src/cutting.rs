@@ -29,8 +29,19 @@ static LP_CUTS_ADDED: ndg_obs::Counter = ndg_obs::Counter::new("lp_cuts_added_to
 static LP_CUT_SOLVES: ndg_obs::Counter = ndg_obs::Counter::new("lp_cut_solves_total");
 
 impl CutStats {
-    /// Flush this run's totals into the global profiling counters.
+    /// Flush this run's totals into the global profiling counters and
+    /// the flight recorder (one `lp` sub-event per cutting-plane solve,
+    /// linked to the request's trace id).
     fn publish(&self) {
+        if ndg_obs::events::recording() {
+            ndg_obs::events::emit(
+                "lp",
+                vec![
+                    ("cuts", self.cuts_added.to_string()),
+                    ("rounds", self.rounds.to_string()),
+                ],
+            );
+        }
         if !ndg_obs::installed() {
             return;
         }

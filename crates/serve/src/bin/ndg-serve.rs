@@ -26,10 +26,16 @@
 //!
 //! Observability flags: `--metrics 0|1` (install the process-wide
 //! `ndg-obs` registry; the `metrics` method then exposes every counter
-//! and histogram), `--log-slow-ms MS` (retain the slowest requests with
-//! per-stage timings, reported by `stats`), and — self-test only —
-//! `--trace 0|1` (send the workload with `trace=1` and assert the echoed
-//! stage timings never perturb a payload byte).
+//! and histogram), `--events 0|1` (install the flight recorder: the
+//! `events` method snapshots the retained wide events, and faults dump
+//! the surrounding events to stderr), `--log jsonl[:PATH]` (structured
+//! wide-event log, one JSON object per line, to stderr or `PATH`;
+//! implies `--events 1`), `--log-sample N` (log every Nth wide event —
+//! errors and slow requests always logged), `--log-slow-ms MS` (retain
+//! the slowest requests with per-stage timings, reported by `stats`),
+//! and — self-test only — `--trace 0|1` (send the workload with
+//! `trace=1` and assert the echoed stage timings never perturb a
+//! payload byte).
 //!
 //! The self-test is the serving contract in executable form: it spawns a
 //! TCP server on an ephemeral port, fires a deterministic mixed workload
@@ -66,7 +72,8 @@ fn usage() -> ! {
          [--threads T] [--cache C] [--canon 0|1] [--default-deadline-ms MS] \
          [--max-inflight N] [--idle-timeout-ms MS] \
          [--audit-every N] [--max-sessions M] \
-         [--metrics 0|1] [--log-slow-ms MS] [--trace 0|1]\n\
+         [--metrics 0|1] [--events 0|1] [--log jsonl[:PATH]] [--log-sample N] \
+         [--log-slow-ms MS] [--trace 0|1]\n\
          SPEC: seed=N[,requests=R][,distinct=D][,fault-rate=F]"
     );
     std::process::exit(2);
@@ -89,6 +96,9 @@ fn run() -> i32 {
     let mut max_inflight: Option<usize> = None;
     let mut idle_timeout_ms: Option<u64> = None;
     let mut metrics = false;
+    let mut events = false;
+    let mut log_spec: Option<String> = None;
+    let mut log_sample: u64 = 1;
     let mut log_slow_ms: Option<u64> = None;
     let mut trace = false;
     let mut session_cfg = ndg_serve::SessionConfig::default();
@@ -212,6 +222,25 @@ fn run() -> i32 {
                     _ => usage(),
                 }
             }
+            "--events" => {
+                events = match it.next().map(String::as_str) {
+                    Some("0") => false,
+                    Some("1") => true,
+                    _ => usage(),
+                }
+            }
+            "--log" => {
+                log_spec = match it.next() {
+                    Some(v) if v == "jsonl" || v.starts_with("jsonl:") => Some(v.clone()),
+                    _ => usage(),
+                }
+            }
+            "--log-sample" => {
+                log_sample = match it.next().and_then(|v| v.parse().ok()) {
+                    Some(n) => n,
+                    None => usage(),
+                }
+            }
             "--log-slow-ms" => {
                 log_slow_ms = match it.next().and_then(|v| v.parse().ok()) {
                     Some(ms) => Some(ms),
@@ -239,6 +268,20 @@ fn run() -> i32 {
     router.set_default_deadline_ms(default_deadline_ms);
     router.set_log_slow_ms(log_slow_ms);
     router.set_session_config(session_cfg);
+    if events || log_spec.is_some() {
+        let rec = Arc::new(ndg_obs::events::Recorder::with_wall_clock());
+        rec.set_sample_every(log_sample);
+        if let Some(spec) = &log_spec {
+            match make_log_sink(spec) {
+                Ok(sink) => rec.set_sink(sink),
+                Err(e) => {
+                    eprintln!("ndg-serve: cannot open log sink `{spec}`: {e}");
+                    return 1;
+                }
+            }
+        }
+        router.set_recorder(Some(rec));
+    }
     match mode.as_deref() {
         Some("stdio") => {
             let opts = ndg_serve::ServeOptions {
@@ -250,6 +293,10 @@ fn run() -> i32 {
                 }),
                 ..Default::default()
             };
+            // Register the admission gate so `health` reports its fill.
+            if let Some(g) = &opts.gate {
+                router.register_gate(g.clone());
+            }
             if let Err(e) = ndg_serve::serve_stdio_with(&router, &opts) {
                 eprintln!("ndg-serve: stdio stream failed: {e}");
                 return 1;
@@ -277,7 +324,11 @@ fn run() -> i32 {
         }
         Some("self-test") => {
             let (requests, distinct) = self_test_shape;
-            match self_test(ex, requests, distinct, canon, trace, log_slow_ms) {
+            let obs = SelfTestObs {
+                events: events || log_spec.is_some(),
+                log_sample,
+            };
+            match self_test(ex, requests, distinct, canon, trace, log_slow_ms, obs) {
                 Ok(true) => 0,
                 Ok(false) => 1,
                 Err(e) => {
@@ -344,6 +395,21 @@ fn run() -> i32 {
     }
 }
 
+/// Open the `--log` sink: `jsonl` writes to stderr (the protocol stream
+/// on stdout stays clean), `jsonl:PATH` appends to `PATH`.
+fn make_log_sink(spec: &str) -> std::io::Result<Box<dyn Write + Send>> {
+    match spec.strip_prefix("jsonl").and_then(|r| r.strip_prefix(':')) {
+        None => Ok(Box::new(std::io::stderr())),
+        Some(path) => {
+            let f = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)?;
+            Ok(Box::new(f))
+        }
+    }
+}
+
 /// Parse a `--chaos` spec: `seed=N[,requests=R][,distinct=D][,fault-rate=F]`.
 fn parse_chaos_spec(s: &str) -> Result<ChaosSpec, String> {
     let mut spec = ChaosSpec::new(1);
@@ -394,8 +460,17 @@ fn id_of(line: &str) -> Result<String, String> {
         .map_err(|e| format!("workload line failed to parse: {e:?}"))
 }
 
+/// Self-test observability shape: whether the server router runs with a
+/// flight recorder (and jsonl sink) installed, and at what sampling.
+#[derive(Clone, Copy)]
+struct SelfTestObs {
+    events: bool,
+    log_sample: u64,
+}
+
 /// The serving contract, executable. `Ok(success)`; `Err` only on setup
 /// failures (bind, connect, client I/O) that prevent the diff entirely.
+#[allow(clippy::too_many_arguments)]
 fn self_test(
     ex: Executor,
     requests: usize,
@@ -403,6 +478,7 @@ fn self_test(
     canon: bool,
     trace: bool,
     log_slow_ms: Option<u64>,
+    obs: SelfTestObs,
 ) -> Result<bool, String> {
     // When there is room, half the distinct bodies are relabeled
     // duplicates of the other half, so the byte-identity contract is
@@ -418,13 +494,14 @@ fn self_test(
     let lines = build_workload(spec);
     println!(
         "self-test: {requests} requests over {} base bodies x{} relabeled variants, \
-         threads={}, canon={}, trace={}, metrics={}",
+         threads={}, canon={}, trace={}, metrics={}, events={}",
         spec.distinct,
         spec.isomorphs,
         ex.threads(),
         u8::from(canon),
         u8::from(trace),
-        u8::from(ndg_obs::installed())
+        u8::from(ndg_obs::installed()),
+        u8::from(obs.events)
     );
     // The traced stream is the same workload with the volatile `trace=1`
     // flag set; the reference always runs untraced, so the diff below
@@ -449,6 +526,15 @@ fn self_test(
     //    of 16, responses collected by id.
     let mut server = Router::with_canon(ex, 4096, canon);
     server.set_log_slow_ms(log_slow_ms);
+    if obs.events {
+        // Recorder + jsonl sink on the serving side only: the diff below
+        // then asserts wide-event recording never perturbs a payload
+        // byte. The sink discards (the self-test output is the report).
+        let rec = Arc::new(ndg_obs::events::Recorder::with_wall_clock());
+        rec.set_sample_every(obs.log_sample);
+        rec.set_sink(Box::new(std::io::sink()));
+        server.set_recorder(Some(rec));
+    }
     let server_router = Arc::new(server);
     let handle = spawn_tcp_with(server_router.clone(), "127.0.0.1:0", TcpOptions::default())
         .map_err(|e| format!("ephemeral bind: {e}"))?;
@@ -510,6 +596,19 @@ fn self_test(
     }
     let t_conc = t0.elapsed();
     let stats = server_router.cache_stats();
+    // The introspection endpoints must answer regardless of whether the
+    // recorder is installed; with it, the ring must have seen the load.
+    let health = server_router.handle_line("ndg1;id=st-h;method=health");
+    let events_resp = server_router.handle_line("ndg1;id=st-e;method=events");
+    let mut obs_ok = true;
+    if !health.contains(";status=") || !events_resp.contains(";recorder=") {
+        eprintln!("FAIL: introspection endpoints unparseable:\n  {health}\n  {events_resp}");
+        obs_ok = false;
+    }
+    if obs.events && events_resp.contains(";events=0") {
+        eprintln!("FAIL: recorder installed but no wide events retained: {events_resp}");
+        obs_ok = false;
+    }
     handle.stop();
 
     // 3. Diff: same id → same payload, all ids answered.
@@ -561,7 +660,7 @@ fn self_test(
     if !hits_ok {
         eprintln!("FAIL: repeated bodies produced no cache hits");
     }
-    if mismatches == 0 && hits_ok && direct_checked {
+    if mismatches == 0 && hits_ok && direct_checked && obs_ok {
         println!(
             "OK: {} concurrent responses byte-identical to sequential solver calls",
             got.len()

@@ -293,6 +293,8 @@ pub fn unapply_payload(method: Method, map: &Relabeling, payload: &str) -> Strin
         Method::Pos
         | Method::Stats
         | Method::Metrics
+        | Method::Events
+        | Method::Health
         | Method::Open
         | Method::Delta
         | Method::Resync

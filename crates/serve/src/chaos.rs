@@ -50,7 +50,15 @@
 //!    `code=overloaded;retry_ms=…`; a client honoring the hint with
 //!    capped exponential backoff eventually lands the delta exactly
 //!    once — the epoch advances by one, and replaying the identical
-//!    wire line is refused as `stale_epoch`, never applied twice.
+//!    wire line is refused as `stale_epoch`, never applied twice;
+//! 9. **the flight recorder tells the truth**: panic victims, the shed
+//!    overload tail, and injected session panics carry client trace ids
+//!    on the wire, and their per-trace event sequences in the server's
+//!    recorder are asserted *exactly* — `panic → request(internal)` for
+//!    an isolated engine panic, a lone `shed` event for a gated request
+//!    that never reached dispatch, and `session(panic) →
+//!    session(resync) → request(ok)` for a mid-delta crash — with
+//!    engine sub-events riding the same trace set aside.
 //!
 //! Everything — the workload, the fault plan, the batch boundaries — is a
 //! pure function of the seed, so two runs of the same seed make identical
@@ -372,6 +380,16 @@ pub fn run_chaos(spec: ChaosSpec) -> io::Result<ChaosReport> {
     let disconnect_batches: std::collections::HashSet<usize> =
         disconnect_batches.into_iter().take(n_disc).collect();
     report.disconnects = disconnect_batches.len();
+    // Panic victims carry a client trace id on the wire so the flight
+    // recorder's per-trace causal sequence can be asserted after the
+    // run. The id keys the map: a victim re-sent by a disconnect replay
+    // keeps its trace, it just stops having a *unique* sequence.
+    let panic_traces: HashMap<String, u64> = parsed
+        .iter()
+        .enumerate()
+        .filter(|(_, req)| faults.get(&req.id) == Some(&Fault::Panic))
+        .map(|(i, req)| (req.id.clone(), 0x7A1C_0000 + i as u64))
+        .collect();
 
     // ---- Reference: sequential, cache off, no faults. ----------------
     let reference = Router::with_canon(Executor::sequential(), 0, true);
@@ -397,6 +415,13 @@ pub fn run_chaos(spec: ChaosSpec) -> io::Result<ChaosReport> {
             _ => {}
         }
     })));
+    // Flight recorder under TestClock: timestamps stay inert, and only
+    // per-trace order is asserted (global interleaving is free to vary).
+    let rec = Arc::new(ndg_obs::events::Recorder::new(
+        4096,
+        Arc::new(ndg_obs::TestClock::new()),
+    ));
+    router.set_recorder(Some(rec.clone()));
     let router = Arc::new(router);
     let handle = spawn_tcp_with(
         router.clone(),
@@ -415,11 +440,18 @@ pub fn run_chaos(spec: ChaosSpec) -> io::Result<ChaosReport> {
     let wire_of = |line: &String| -> (String, Option<Fault>) {
         let mut req = Request::parse(line).expect("workload parses");
         let fault = faults.get(&req.id).copied();
-        if fault == Some(Fault::Delay) {
-            req.deadline_ms = Some(1);
-            (req.serialize(), None)
-        } else {
-            (line.clone(), fault)
+        match fault {
+            Some(Fault::Delay) => {
+                req.deadline_ms = Some(1);
+                (req.serialize(), None)
+            }
+            // A panic victim is stamped with its client trace id so the
+            // recorder links the isolation sequence to this exact line.
+            Some(Fault::Panic) => {
+                req.trace_id = Some(panic_traces[&req.id]);
+                (req.serialize(), None)
+            }
+            _ => (line.clone(), fault),
         }
     };
     let (mut conn, mut reader) = connect(addr)?;
@@ -536,6 +568,7 @@ pub fn run_chaos(spec: ChaosSpec) -> io::Result<ChaosReport> {
     // exact expectation is per-class response counts plus the extras.
     let mut extra_panics = 0u64;
     let mut extra_deadlines = 0u64;
+    let mut double_sent: std::collections::HashSet<String> = Default::default();
     for (bi, batch) in lines.chunks(CHAOS_BATCH).enumerate() {
         if !disconnect_batches.contains(&bi) {
             continue;
@@ -543,7 +576,10 @@ pub fn run_chaos(spec: ChaosSpec) -> io::Result<ChaosReport> {
         for line in &batch[..batch.len() / 2] {
             let id = Request::parse(line).expect("workload parses").id;
             match faults.get(&id) {
-                Some(Fault::Panic) => extra_panics += 1,
+                Some(Fault::Panic) => {
+                    extra_panics += 1;
+                    double_sent.insert(id);
+                }
                 Some(Fault::Delay) => extra_deadlines += 1,
                 _ => {}
             }
@@ -606,16 +642,45 @@ pub fn run_chaos(spec: ChaosSpec) -> io::Result<ChaosReport> {
             ));
         }
     }
+    // ---- Flight recorder: panic isolation, traced exactly. -----------
+    // A victim inside a disconnect first-half is dispatched twice under
+    // one wire trace (orphan + replay), so only singly-dispatched
+    // victims pin a two-event sequence. The counter poll above already
+    // waited out every in-flight dispatch.
+    for (id, trace) in &panic_traces {
+        if double_sent.contains(id) {
+            continue;
+        }
+        let evs = rec.snapshot_trace(*trace);
+        if lifecycle_kinds(&evs) != ["panic", "request"] {
+            report.fail(format!(
+                "flight recorder: trace {trace} ({id}) panic sequence != [panic, request]: {evs:?}"
+            ));
+            continue;
+        }
+        let wide = evs.last().expect("sequence checked non-empty");
+        if wide.field("outcome") != Some("internal") {
+            report.fail(format!(
+                "flight recorder: trace {trace} ({id}) wide event not internal: {evs:?}"
+            ));
+        }
+    }
     handle.stop();
 
     // ---- Overload sub-phase: capacity-2 gate, one batch of 8. --------
-    let gate_router = Arc::new(Router::with_canon(
+    let mut gate_router = Router::with_canon(
         spec.threads
             .map(Executor::new)
             .unwrap_or_else(Executor::from_env),
         4096,
         true,
+    );
+    let gate_rec = Arc::new(ndg_obs::events::Recorder::new(
+        256,
+        Arc::new(ndg_obs::TestClock::new()),
     ));
+    gate_router.set_recorder(Some(gate_rec.clone()));
+    let gate_router = Arc::new(gate_router);
     let gate_stats = gate_router.conn_stats().clone();
     let gate_handle = spawn_tcp_with(
         gate_router,
@@ -627,30 +692,45 @@ pub fn run_chaos(spec: ChaosSpec) -> io::Result<ChaosReport> {
         },
     )?;
     let (mut conn, mut reader) = connect(gate_handle.addr())?;
-    let overload: Vec<&String> = lines.iter().take(CHAOS_BATCH).collect();
-    for line in &overload {
-        send_line(&mut conn, line, None)?;
+    // Every overload line carries a client trace id: the shed tail's
+    // echo and flight-recorder sequence are asserted per trace below.
+    let overload: Vec<(String, String, u64)> = lines
+        .iter()
+        .take(CHAOS_BATCH)
+        .enumerate()
+        .map(|(slot, l)| {
+            let mut req = Request::parse(l).expect("workload parses");
+            let trace = 0x54AC_E000 + slot as u64;
+            req.trace_id = Some(trace);
+            let wire = req.serialize();
+            (wire, req.id, trace)
+        })
+        .collect();
+    for (wire, _, _) in &overload {
+        send_line(&mut conn, wire, None)?;
     }
     conn.write_all(b"\n")?;
     conn.flush()?;
     let answers = read_responses(&mut reader, overload.len())?;
-    for (slot, ((id, resp), line)) in answers.iter().zip(&overload).enumerate() {
-        let want_id = Request::parse(line).expect("workload parses").id;
-        if id != &want_id {
+    for (slot, ((id, resp), (_, want_id, trace))) in answers.iter().zip(&overload).enumerate() {
+        if id != want_id {
             report.fail(format!(
                 "overload: response order broken at {slot}: {id} vs {want_id}"
             ));
             continue;
         }
         if slot < 2 {
-            // Admitted head: byte-identical to the unloaded reference.
+            // Admitted head: byte-identical to the unloaded reference
+            // (`payload_of` sets the volatile trace echo aside).
             let want = expected.get(id).expect("reference covers workload");
             if &payload_of(resp) != want {
                 report.fail(format!("overload: admitted {id} diverged: {resp}"));
             }
         } else {
             report.shed += 1;
-            if !resp.starts_with(&format!("err;id={id};code=overloaded;retry_ms=40;")) {
+            if !resp.starts_with(&format!(
+                "err;id={id};trace_id={trace};code=overloaded;retry_ms=40;"
+            )) {
                 report.fail(format!("overload: {id} not shed with retry hint: {resp}"));
             }
         }
@@ -667,6 +747,33 @@ pub fn run_chaos(spec: ChaosSpec) -> io::Result<ChaosReport> {
             "metrics: gate shed counter {} != {} shed responses",
             gs.shed, report.shed
         ));
+    }
+    // Per-trace causal sequences: an admitted request is exactly its
+    // wide event; a shed request is exactly one `shed` event — the gate
+    // turned it away before dispatch, so nothing else may ride its trace.
+    for (slot, (_, want_id, trace)) in overload.iter().enumerate() {
+        let evs = gate_rec.snapshot_trace(*trace);
+        let kinds = lifecycle_kinds(&evs);
+        if slot < 2 {
+            if kinds != ["request"]
+                || evs
+                    .last()
+                    .expect("admitted trace retained")
+                    .field("outcome")
+                    != Some("ok")
+            {
+                report.fail(format!(
+                    "flight recorder: admitted trace {trace} ({want_id}) malformed: {evs:?}"
+                ));
+            }
+        } else if kinds != ["shed"]
+            || evs[0].field("id") != Some(want_id.as_str())
+            || evs[0].field("retry_ms") != Some("40")
+        {
+            report.fail(format!(
+                "flight recorder: shed trace {trace} ({want_id}) malformed: {evs:?}"
+            ));
+        }
     }
 
     // ---- Session sub-phase: crash-safe delta sessions. ---------------
@@ -694,6 +801,16 @@ fn roundtrip(
         .pop()
         .expect("read_responses returns one pair per requested line")
         .1)
+}
+
+/// Event kinds of one trace with the engine sub-events (`recert`,
+/// `enum`, `lp`) set aside — those ride request traces by design, and
+/// the causal assertions pin the request-lifecycle sequence around them.
+fn lifecycle_kinds(evs: &[ndg_obs::events::Event]) -> Vec<&'static str> {
+    evs.iter()
+        .filter(|e| !matches!(e.kind, "recert" | "enum" | "lp"))
+        .map(|e| e.kind)
+        .collect()
 }
 
 /// A `key=value` field of a response header or stats payload.
@@ -735,6 +852,11 @@ fn session_phase(spec: ChaosSpec, report: &mut ChaosReport) -> io::Result<()> {
             panic!("{CHAOS_PANIC_MARKER} (id={})", req.id);
         }
     })));
+    let rec = Arc::new(ndg_obs::events::Recorder::new(
+        1024,
+        Arc::new(ndg_obs::TestClock::new()),
+    ));
+    router.set_recorder(Some(rec.clone()));
     let handle = spawn_tcp_with(
         Arc::new(router),
         "127.0.0.1:0",
@@ -802,6 +924,7 @@ fn session_phase(spec: ChaosSpec, report: &mut ChaosReport) -> io::Result<()> {
     let mut rng = StdRng::seed_from_u64(spec.seed ^ 0x5E55_1045);
     let mut expect_resyncs = 0u64;
     let mut expect_audits = 0u64;
+    let mut boom_traces: Vec<(String, u64)> = Vec::new();
     for k in 0..STEPS {
         let si = rng.random_range(0..sessions.len());
         let boom = boom_steps.contains(&k);
@@ -850,11 +973,22 @@ fn session_phase(spec: ChaosSpec, report: &mut ChaosReport) -> io::Result<()> {
         } else {
             format!("sd{k}")
         };
+        // Boom lines carry a client trace id; the recorder's per-trace
+        // crash-recovery sequence is asserted after the script.
+        let boom_trace = 0x5E55_B000 + k as u64;
+        if boom {
+            boom_traces.push((id.clone(), boom_trace));
+        }
         let (srv_line, ref_line) = {
             let s = &sessions[si];
+            let tr = if boom {
+                format!("trace_id={boom_trace};")
+            } else {
+                String::new()
+            };
             (
                 format!(
-                    "ndg1;id={id};method=delta;session={};epoch={};{delta}",
+                    "ndg1;id={id};method=delta;session={};epoch={};{tr}{delta}",
                     s.sid_srv, s.epoch
                 ),
                 format!(
@@ -960,11 +1094,48 @@ fn session_phase(spec: ChaosSpec, report: &mut ChaosReport) -> io::Result<()> {
         ("resyncs", expect_resyncs as i64),
         ("audits", expect_audits as i64),
         ("audits_failed", 0),
+        // The journal gauge covers *live* sessions only; after the close
+        // it is exactly the surviving session's committed-delta count
+        // (`epoch == journal.len()` is the session invariant).
+        ("sessions_journal_ops", sessions[0].epoch as i64),
     ] {
         if stat(key) != want {
             report.fail(format!(
                 "session counters: {key}={} != expected {want} ({stats})",
                 stat(key)
+            ));
+        }
+    }
+    if stat("uptime_ms") < 0 {
+        report.fail(format!("session stats: uptime_ms missing ({stats})"));
+    }
+    // Flight recorder: every injected mid-delta crash recovered through
+    // the exact causal sequence panic → resync → wide event, linked by
+    // the wire trace id the boom line carried.
+    for (id, trace) in &boom_traces {
+        let evs = rec.snapshot_trace(*trace);
+        let ops: Vec<(&str, &str)> = evs
+            .iter()
+            .filter(|e| !matches!(e.kind, "recert" | "enum" | "lp"))
+            .map(|e| (e.kind, e.field("op").unwrap_or("-")))
+            .collect();
+        if ops
+            != [
+                ("session", "panic"),
+                ("session", "resync"),
+                ("request", "-"),
+            ]
+        {
+            report.fail(format!(
+                "flight recorder: boom trace {trace} ({id}) sequence {ops:?} != \
+                 [panic, resync, request]"
+            ));
+            continue;
+        }
+        let wide = evs.last().expect("sequence checked non-empty");
+        if wide.field("outcome") != Some("ok") || wide.field("session").is_none() {
+            report.fail(format!(
+                "flight recorder: boom trace {trace} ({id}) wide event malformed: {evs:?}"
             ));
         }
     }

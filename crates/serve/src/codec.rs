@@ -11,7 +11,8 @@
 //! request  := "ndg1" ";id=" ID ";method=" METHOD field*
 //! field    := ";" key "=" value
 //! METHOD   := "enforce" | "dynamics" | "pos" | "aon" | "certify" | "stats"
-//!           | "metrics" | "open" | "delta" | "resync" | "close"
+//!           | "metrics" | "events" | "health" | "open" | "delta" | "resync"
+//!           | "close"
 //! game     := "broadcast:" N ":" ROOT ":" edges
 //!           | "general:"   N ":" edges ":" players
 //!           | "weighted:"  N ":" edges ":" players ":" demands
@@ -31,6 +32,13 @@
 //!                                           echo per-stage µs timings as a
 //!                                           `trace=` response-header field,
 //!                                           outside the canonical body)
+//! trace_id := integer                      (volatile; client-chosen flight-
+//!                                           recorder correlation id, echoed
+//!                                           as a `trace_id=` response header
+//!                                           and used to link wide events;
+//!                                           never part of the canonical
+//!                                           body. On `events` it filters
+//!                                           the snapshot to one trace.)
 //! session  := ID                           (server-assigned at `open`;
 //!                                           required by delta/resync/close)
 //! epoch    := integer                      (applied-delta count; a `delta`
@@ -38,10 +46,10 @@
 //!                                           epoch or is rejected as stale)
 //! delta    := "patch" | "fail" | "join"    (with "edge="+"w=", "edge=",
 //!                                           "player=" S "/" T respectively)
-//! response := "ok;id=" ID [";session=" SID ";epoch=" E] [";resynced=1"]
-//!             [";trace=" SPANS] ";cache=" ("hit"|"miss"|"off")
+//! response := "ok;id=" ID [";trace_id=" T] [";session=" SID ";epoch=" E]
+//!             [";resynced=1"] [";trace=" SPANS] ";cache=" ("hit"|"miss"|"off")
 //!             ";hits=" H ";misses=" M ";evictions=" E ";" payload
-//!           | "err;id=" ID [";trace=" SPANS] ";code=" CODE
+//!           | "err;id=" ID [";trace_id=" T] [";trace=" SPANS] ";code=" CODE
 //!             [";retry_ms=" MS] ";msg=" TEXT
 //! SPANS    := stage ":" µs ("," stage ":" µs)*   (stages in pipeline order:
 //!                                                 parse,canon,cache,delta,
@@ -730,6 +738,13 @@ pub enum Method {
     /// Registry exposition: every `ndg-obs` metric as sorted
     /// `name=value` fields (no game; never cached).
     Metrics,
+    /// Flight-recorder snapshot: the retained wide events as seq-numbered
+    /// `e<SEQ>=` fields (no game; never cached — the ring is volatile
+    /// runtime state, like `stats` counters).
+    Events,
+    /// Load-balancer readiness: inflight/capacity, open sessions, cache
+    /// fill, overload state (no game; never cached).
+    Health,
     /// Open a delta session: pin the given instance and answer the
     /// `dynamics` question for it (never cached; stateful).
     Open,
@@ -754,6 +769,8 @@ impl Method {
             Method::Certify => "certify",
             Method::Stats => "stats",
             Method::Metrics => "metrics",
+            Method::Events => "events",
+            Method::Health => "health",
             Method::Open => "open",
             Method::Delta => "delta",
             Method::Resync => "resync",
@@ -770,6 +787,8 @@ impl Method {
             "certify" => Method::Certify,
             "stats" => Method::Stats,
             "metrics" => Method::Metrics,
+            "events" => Method::Events,
+            "health" => Method::Health,
             "open" => Method::Open,
             "delta" => Method::Delta,
             "resync" => Method::Resync,
@@ -969,6 +988,13 @@ pub struct Request {
     /// the echoed `trace=` response field is a volatile header outside
     /// the deterministic payload.
     pub trace: bool,
+    /// Client-chosen flight-recorder trace id (`trace_id=`). Volatile
+    /// like `id`/`trace`: it only correlates this request's wide events
+    /// (and is echoed as a `trace_id=` response header), so it never
+    /// enters [`canonical_body`](Self::canonical_body). When absent, the
+    /// router assigns a process-unique id at parse. On [`Method::Events`]
+    /// it filters the snapshot to one trace.
+    pub trace_id: Option<u64>,
     /// Session id (`session=`): required by `delta`/`resync`/`close`,
     /// forbidden elsewhere (`open` is answered with a server-assigned id).
     pub session: Option<String>,
@@ -1074,6 +1100,7 @@ impl Request {
             canon: true,
             deadline_ms: None,
             trace: false,
+            trace_id: None,
             session: None,
             epoch: None,
             delta: None,
@@ -1105,6 +1132,7 @@ impl Request {
         let mut canon: Option<bool> = None;
         let mut deadline_ms: Option<u64> = None;
         let mut trace: Option<bool> = None;
+        let mut trace_id: Option<u64> = None;
         let mut session: Option<String> = None;
         let mut epoch: Option<u64> = None;
         let mut delta_kind: Option<String> = None;
@@ -1192,6 +1220,12 @@ impl Request {
                         return Err(dup(key));
                     }
                     deadline_ms = Some(parse_u64("deadline_ms", value)?);
+                }
+                "trace_id" => {
+                    if trace_id.is_some() {
+                        return Err(dup(key));
+                    }
+                    trace_id = Some(parse_u64("trace_id", value)?);
                 }
                 "trace" => {
                     if trace.is_some() {
@@ -1286,6 +1320,7 @@ impl Request {
             canon: canon.unwrap_or(true),
             deadline_ms,
             trace: trace.unwrap_or(false),
+            trace_id,
             session,
             epoch,
             delta,
@@ -1314,7 +1349,7 @@ impl Request {
             ));
         }
         match self.method {
-            Method::Stats | Method::Metrics => Ok(()),
+            Method::Stats | Method::Metrics | Method::Events | Method::Health => Ok(()),
             Method::Enforce | Method::Aon | Method::Certify => {
                 if self.game.is_none() {
                     return Err(WireError::MissingField("game"));
@@ -1368,8 +1403,8 @@ impl Request {
     }
 
     /// Canonical request line (fixed field order; present fields only).
-    /// The volatile `deadline_ms` and `trace` ride next to `id`, outside
-    /// the canonical body.
+    /// The volatile `deadline_ms`, `trace`, and `trace_id` ride next to
+    /// `id`, outside the canonical body.
     pub fn serialize(&self) -> String {
         let mut head = format!("ndg1;id={}", self.id);
         if let Some(ms) = self.deadline_ms {
@@ -1377,6 +1412,9 @@ impl Request {
         }
         if self.trace {
             head.push_str(";trace=1");
+        }
+        if let Some(t) = self.trace_id {
+            head.push_str(&format!(";trace_id={t}"));
         }
         format!("{head};{}", self.canonical_body())
     }
@@ -1427,7 +1465,8 @@ impl Request {
                     out.push_str(&d.serialize_fields());
                 }
             }
-            Method::Certify | Method::Stats | Method::Metrics => {}
+            Method::Certify | Method::Stats | Method::Metrics | Method::Events | Method::Health => {
+            }
         }
         if let Some(tree) = &self.tree {
             out.push_str(&format!(";tree={}", fmt_edge_ids(tree)));
@@ -1481,8 +1520,9 @@ impl Request {
 /// of the cached or compared payload bytes. `session`/`epoch`/`resynced`
 /// are session addressing/recovery headers: a delta answer's *payload*
 /// is specified byte-identical to a cold solve of the patched instance,
-/// so everything session-specific stays outside it.
-const VOLATILE_KEYS: [&str; 9] = [
+/// so everything session-specific stays outside it. `trace_id` is the
+/// flight-recorder correlation echo — pure observability, same rule.
+const VOLATILE_KEYS: [&str; 10] = [
     "id",
     "session",
     "epoch",
@@ -1492,6 +1532,7 @@ const VOLATILE_KEYS: [&str; 9] = [
     "misses",
     "evictions",
     "trace",
+    "trace_id",
 ];
 
 /// Names of the router pipeline stages, in execution order — the order
@@ -1672,7 +1713,7 @@ mod tests {
 
     #[test]
     fn structured_errors_never_panic() {
-        let cases: [(&str, &str); 36] = [
+        let cases: [(&str, &str); 39] = [
             ("", "empty"),
             ("ndg0;id=a;method=stats", "bad_tag"),
             ("ndg1;id=a", "missing_field"),
@@ -1705,6 +1746,12 @@ mod tests {
             ("ndg1;id=a;method=stats;trace=2", "bad_int"),
             ("ndg1;id=a;method=stats;trace=", "bad_int"),
             ("ndg1;id=a;method=stats;trace=1;trace=0", "duplicate_field"),
+            ("ndg1;id=a;method=events;trace_id=soon", "bad_int"),
+            ("ndg1;id=a;method=events;trace_id=", "bad_int"),
+            (
+                "ndg1;id=a;method=health;trace_id=1;trace_id=2",
+                "duplicate_field",
+            ),
             // Session grammar: every malformed line is a structured
             // error, never a panic — and none of these can be cached as
             // ok (session requests bypass the result cache entirely).
@@ -1858,6 +1905,55 @@ mod tests {
                 .unwrap();
         assert!(!explicit_off.trace);
         assert!(!explicit_off.serialize().contains("trace"));
+    }
+
+    #[test]
+    fn trace_id_is_volatile_like_id_and_trace() {
+        let with =
+            Request::parse("ndg1;id=a;method=enforce;trace_id=77;tree=0;game=broadcast:2:0:0/1/1")
+                .unwrap();
+        assert_eq!(with.trace_id, Some(77));
+        let without =
+            Request::parse("ndg1;id=b;method=enforce;tree=0;game=broadcast:2:0:0/1/1").unwrap();
+        // trace_id never reaches the canonical body or cache key: a
+        // traced request must hit the exact entry its untraced twin
+        // populated, byte-identically.
+        assert_eq!(with.canonical_body(), without.canonical_body());
+        assert_eq!(with.cache_key(), without.cache_key());
+        assert!(!with.canonical_body().contains("trace_id"));
+        // serialize/parse round-trips the field, outside the body.
+        let line = with.serialize();
+        assert!(line.contains(";trace_id=77;"), "{line}");
+        let back = Request::parse(&line).unwrap();
+        assert_eq!(back.trace_id, Some(77));
+        assert_eq!(back.canonical_body(), without.canonical_body());
+        // The trace_id= response echo is a volatile header, stripped by
+        // payload_of like id/trace/session.
+        let plain = ok_line("x9", "hit", 3, 4, 0, "cost=1.5;b=0,1.5");
+        let echoed = insert_after_id(&plain, "trace_id=77");
+        assert_eq!(
+            echoed,
+            "ok;id=x9;trace_id=77;cache=hit;hits=3;misses=4;evictions=0;cost=1.5;b=0,1.5"
+        );
+        assert_eq!(payload_of(&echoed), payload_of(&plain));
+    }
+
+    #[test]
+    fn events_and_health_parse_like_stats() {
+        for m in ["events", "health"] {
+            let req = Request::parse(&format!("ndg1;id=a;method={m}")).unwrap();
+            assert!(!req.method.is_session());
+            // Round-trip, and a body with no instance payload at all.
+            assert_eq!(Request::parse(&req.serialize()).unwrap(), req);
+            assert_eq!(req.canonical_body(), format!("method={m}"));
+            // Instance fields are simply ignored-if-absent; a game is
+            // not required (validated like stats/metrics).
+            assert!(Request::parse(&format!("ndg1;id=a;method={m};trace_id=3")).is_ok());
+        }
+        // events with a trace_id filter parses and keeps it volatile.
+        let f = Request::parse("ndg1;id=a;method=events;trace_id=9").unwrap();
+        assert_eq!(f.trace_id, Some(9));
+        assert!(!f.canonical_body().contains("trace_id"));
     }
 
     #[test]

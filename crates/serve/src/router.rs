@@ -48,6 +48,42 @@ const STAGE_SOLVE: usize = 4;
 const STAGE_UNMAP: usize = 5;
 const STAGE_WRITE: usize = 6;
 
+/// Wide-event field names for the per-stage laps, in [`STAGE_PARSE`]..
+/// [`STAGE_WRITE`] slot order. Separate fields (not one packed string)
+/// because the recorder sanitizes `,`/`:` out of values.
+const STAGE_FIELD_NAMES: [&str; 7] = [
+    "us_parse", "us_canon", "us_cache", "us_delta", "us_solve", "us_unmap", "us_write",
+];
+
+/// Terminal classification of a finished response line for the wide
+/// event: `ok`, `deadline`, `shed`, `internal`, `session` (any
+/// session-lifecycle refusal), or `error` for the remaining client
+/// errors (parse/validate).
+fn classify_outcome(line: &str) -> &'static str {
+    if line.starts_with("ok;") || line == "ok" {
+        return "ok";
+    }
+    match response_field(line, "code").as_deref() {
+        Some("deadline") => "deadline",
+        Some("overloaded") => "shed",
+        Some("internal") => "internal",
+        Some("unknown_session")
+        | Some("session_expired")
+        | Some("stale_epoch")
+        | Some("session_limit") => "session",
+        _ => "error",
+    }
+}
+
+/// Value of the first `key=` field in a serialized response line, if any.
+fn response_field(line: &str, key: &str) -> Option<String> {
+    line.split(';').find_map(|f| {
+        f.strip_prefix(key)
+            .and_then(|rest| rest.strip_prefix('='))
+            .map(str::to_string)
+    })
+}
+
 /// Slow-request ring capacity: the top-k completed requests by wall
 /// time retained for `method=stats`.
 pub const SLOW_RING_CAP: usize = 8;
@@ -130,6 +166,16 @@ pub struct Router {
     /// Delta-session registry (journals, admission, counters); see
     /// [`crate::session`].
     sessions: crate::session::SessionTable,
+    /// Flight recorder: one wide event per completed request plus engine
+    /// sub-events linked by trace id. `None` keeps the hot path
+    /// recorder-free (no thread-local context, no ring writes).
+    recorder: Option<Arc<ndg_obs::events::Recorder>>,
+    /// Construction (or clock-swap) instant, for the `uptime_ms` field of
+    /// `stats` and `health`.
+    t0_us: u64,
+    /// Admission gate registered by the serving front end so `health` can
+    /// report inflight/capacity; `None` means unbounded admission.
+    gate: Mutex<Option<Arc<crate::server::Gate>>>,
 }
 
 impl std::fmt::Debug for Router {
@@ -156,6 +202,7 @@ impl Router {
     /// pipeline (canonicalize → solve → map back) defines the response
     /// bytes of canon-mode requests, so it cannot depend on cache state.
     pub fn with_canon(ex: Executor, cache_capacity: usize, canon: bool) -> Self {
+        let clock: Arc<dyn Clock> = Arc::new(MonoClock::new());
         Router {
             cache: Cache::new(cache_capacity),
             ex,
@@ -165,10 +212,13 @@ impl Router {
             default_deadline_ms: None,
             fault_hook: None,
             conn_stats: Arc::new(ConnStats::default()),
-            clock: Arc::new(MonoClock::new()),
+            t0_us: clock.now_us(),
+            clock,
             log_slow_us: None,
             slow: Mutex::new(Vec::new()),
             sessions: crate::session::SessionTable::new(crate::session::SessionConfig::default()),
+            recorder: None,
+            gate: Mutex::new(None),
         }
     }
 
@@ -196,9 +246,40 @@ impl Router {
     }
 
     /// Swap the stage/latency clock (deterministic tests drive a
-    /// [`ndg_obs::TestClock`] through this).
+    /// [`ndg_obs::TestClock`] through this). Resets the uptime origin to
+    /// the new clock's current reading.
     pub fn set_clock(&mut self, clock: Arc<dyn Clock>) {
+        self.t0_us = clock.now_us();
         self.clock = clock;
+    }
+
+    /// Install (or clear) the flight recorder: every completed request
+    /// appends one wide event, engine sub-events join it by trace id, and
+    /// `method=events` snapshots the ring.
+    pub fn set_recorder(&mut self, rec: Option<Arc<ndg_obs::events::Recorder>>) {
+        self.recorder = rec;
+    }
+
+    /// The installed flight recorder, if any (the serving front ends
+    /// route shed events through it).
+    pub fn recorder(&self) -> Option<&Arc<ndg_obs::events::Recorder>> {
+        self.recorder.as_ref()
+    }
+
+    /// Register the serving front end's admission gate so `method=health`
+    /// can report inflight/capacity and the overload state. Callable
+    /// through a shared router (the front ends hold `Arc<Router>`).
+    pub fn register_gate(&self, gate: Arc<crate::server::Gate>) {
+        *self
+            .gate
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(gate);
+    }
+
+    /// Milliseconds since construction (or the last clock swap), on the
+    /// router's clock — deterministic under [`ndg_obs::TestClock`].
+    fn uptime_ms(&self) -> u64 {
+        self.clock.now_us().saturating_sub(self.t0_us) / 1000
     }
 
     /// Arm the slow-request ring: requests taking at least `ms`
@@ -295,15 +376,32 @@ impl Router {
             // attribute: plain error, no stage echo.
             Err(e) => return err_line(recovered_id(line), &e),
         };
+        // One trace id per request, assigned here at parse: the client's
+        // wire value wins (and is echoed back as a `trace_id=` header);
+        // otherwise a process-unique id is allocated. The thread-local
+        // context carries (recorder, trace) into the engines — and across
+        // executor workers — so sub-events land on the same trace.
+        let trace_id = match (&self.recorder, req.trace_id) {
+            (_, Some(t)) => t,
+            (Some(_), None) => ndg_obs::events::next_trace_id(),
+            (None, None) => 0,
+        };
+        let _ctx = self
+            .recorder
+            .as_ref()
+            .map(|r| ndg_obs::events::set_current(Arc::clone(r), trace_id));
         let mut laps = Laps {
             clock: &*self.clock,
             last: t0,
             stage_us: [0; 7],
-            on: req.trace || self.log_slow_us.is_some() || ndg_obs::installed(),
+            on: req.trace
+                || self.log_slow_us.is_some()
+                || self.recorder.is_some()
+                || ndg_obs::installed(),
         };
         laps.lap(STAGE_PARSE);
         let (resp, key) = self.respond(&req, ws, &mut laps);
-        self.finish(&req, resp, t0, laps, key)
+        self.finish(&req, resp, t0, laps, key, trace_id)
     }
 
     /// Common post-processing of every parsed request: the `write` lap
@@ -311,7 +409,15 @@ impl Router {
     /// here, then total-latency metrics, the slow-request ring, and —
     /// last, so the echoed timings cover everything but the splice
     /// itself — the volatile `trace=` header echo.
-    fn finish(&self, req: &Request, line: String, t0: u64, mut laps: Laps<'_>, key: u64) -> String {
+    fn finish(
+        &self,
+        req: &Request,
+        line: String,
+        t0: u64,
+        mut laps: Laps<'_>,
+        key: u64,
+        trace_id: u64,
+    ) -> String {
         if !laps.on {
             return line;
         }
@@ -320,21 +426,49 @@ impl Router {
         SERVE_REQUESTS.inc();
         SERVE_REQUEST_US.record(total_us);
         SERVE_SOLVE_US.record(laps.stage_us[STAGE_SOLVE]);
-        if let Some(thresh) = self.log_slow_us {
-            if total_us >= thresh {
-                self.note_slow(SlowRequest {
-                    method: req.method.as_str(),
-                    key_hash: key,
-                    total_us,
-                    stage_us: laps.stage_us,
-                });
-            }
+        let slow = self.log_slow_us.is_some_and(|thresh| total_us >= thresh);
+        if slow {
+            self.note_slow(SlowRequest {
+                method: req.method.as_str(),
+                key_hash: key,
+                total_us,
+                stage_us: laps.stage_us,
+            });
         }
-        if req.trace {
-            return crate::codec::insert_after_id(
-                &line,
-                &crate::codec::trace_field(&laps.stage_us),
-            );
+        if let Some(rec) = &self.recorder {
+            let outcome = classify_outcome(&line);
+            let mut fields = vec![
+                ("method", req.method.as_str().to_string()),
+                ("key", format!("{key:016x}")),
+                ("outcome", outcome.to_string()),
+                ("total_us", total_us.to_string()),
+            ];
+            for (name, us) in STAGE_FIELD_NAMES.iter().zip(laps.stage_us.iter()) {
+                fields.push((name, us.to_string()));
+            }
+            for header in ["cache", "session", "epoch", "code"] {
+                if let Some(v) = response_field(&line, header) {
+                    // `cache`/`code` field names double as wide-event
+                    // names; values are sanitized by the recorder.
+                    match header {
+                        "cache" => fields.push(("cache", v)),
+                        "session" => fields.push(("session", v)),
+                        "epoch" => fields.push(("epoch", v)),
+                        _ => fields.push(("code", v)),
+                    }
+                }
+            }
+            // Errors and slow requests always reach the log sink; the
+            // rest obey the configured sampling.
+            rec.push_wide(trace_id, "request", fields, outcome != "ok" || slow);
+        }
+        let line = if req.trace {
+            crate::codec::insert_after_id(&line, &crate::codec::trace_field(&laps.stage_us))
+        } else {
+            line
+        };
+        if req.trace_id.is_some() {
+            return crate::codec::insert_after_id(&line, &format!("trace_id={trace_id}"));
         }
         line
     }
@@ -366,11 +500,16 @@ impl Router {
         ws: &mut DijkstraWorkspace,
         laps: &mut Laps<'_>,
     ) -> (String, u64) {
-        if matches!(req.method, Method::Stats | Method::Metrics) {
+        if matches!(
+            req.method,
+            Method::Stats | Method::Metrics | Method::Events | Method::Health
+        ) {
             // Introspection methods answer from the instant they are
             // asked: never keyed, never cached, counted as `solve`.
             let payload = match req.method {
                 Method::Metrics => ndg_obs::expose(),
+                Method::Events => self.events_payload(req),
+                Method::Health => self.health_payload(),
                 _ => self.stats_payload(),
             };
             laps.lap(STAGE_SOLVE);
@@ -449,6 +588,8 @@ impl Router {
             Err(_) => {
                 *ws = DijkstraWorkspace::new(0);
                 self.conn_stats.panics.fetch_add(1, Ordering::Relaxed);
+                ndg_obs::events::emit("panic", vec![("method", req.method.as_str().to_string())]);
+                ndg_obs::events::dump_current("engine panicked");
                 Err(WireError::Engine {
                     code: "internal",
                     msg: "engine panicked; request isolated".into(),
@@ -515,7 +656,7 @@ impl Router {
             Method::Pos => self.pos(req, budget),
             Method::Aon => self.aon(req),
             Method::Certify => self.certify(req, ws),
-            Method::Stats | Method::Metrics => {
+            Method::Stats | Method::Metrics | Method::Events | Method::Health => {
                 unreachable!("introspection methods answered before dispatch")
             }
             Method::Open | Method::Delta | Method::Resync | Method::Close => {
@@ -535,8 +676,11 @@ impl Router {
     ///    `conns_reaped`, `conns_drained`
     /// 4. robustness: `shed`, `panics`, `deadlines`
     /// 5. sessions: `sessions_open`, `sessions_opened`, `sessions_expired`,
-    ///    `deltas`, `resyncs`, `audits`, `audits_failed`
-    /// 6. slow ring: `slow_count`, then one
+    ///    `deltas`, `resyncs`, `audits`, `audits_failed`,
+    ///    `sessions_journal_ops` (total journal length across live
+    ///    sessions — the resync-replay cost building up)
+    /// 6. process: `uptime_ms` (since construction or the last clock swap)
+    /// 7. slow ring: `slow_count`, then one
     ///    `slow{i}={method}:{key:016x}:{total_us}:{parse/canon/cache/delta/solve/unmap/write}`
     ///    per retained request, slowest first.
     fn stats_payload(&self) -> String {
@@ -550,7 +694,8 @@ impl Router {
              conns_eof={};conns_reset={};conns_err={};conns_reaped={};conns_drained={};\
              shed={};panics={};deadlines={};\
              sessions_open={};sessions_opened={};sessions_expired={};\
-             deltas={};resyncs={};audits={};audits_failed={};slow_count={}",
+             deltas={};resyncs={};audits={};audits_failed={};sessions_journal_ops={};\
+             uptime_ms={};slow_count={}",
             s.entries,
             s.capacity,
             s.ok_hits,
@@ -574,6 +719,8 @@ impl Router {
             sess.resyncs,
             sess.audits,
             sess.audits_failed,
+            self.sessions.journal_ops(),
+            self.uptime_ms(),
             slow.len(),
         );
         for (i, r) in slow.iter().enumerate() {
@@ -590,6 +737,56 @@ impl Router {
             );
         }
         out
+    }
+
+    /// `method=events` payload: the retained flight-recorder events,
+    /// oldest first, as `recorder={0|1};events={n}` followed by one
+    /// `e{seq}={rendered}` field per event. A request-borne `trace_id=`
+    /// filters the snapshot to that trace's events. Never cached: the
+    /// payload is volatile by construction (see `respond`, key 0).
+    fn events_payload(&self, req: &Request) -> String {
+        let Some(rec) = &self.recorder else {
+            return "recorder=0;events=0".to_string();
+        };
+        let events = match req.trace_id {
+            Some(t) => rec.snapshot_trace(t),
+            None => rec.snapshot(),
+        };
+        let mut out = format!("recorder=1;events={}", events.len());
+        for ev in &events {
+            use std::fmt::Write as _;
+            let _ = write!(out, ";e{}={}", ev.seq, ev.render());
+        }
+        out
+    }
+
+    /// `method=health` payload for load-balancer readiness: overload
+    /// state (`status=ok|overloaded`), admission-gate fill, open
+    /// sessions, result-cache fill, and uptime. `inflight`/`capacity`
+    /// are `0/0` until a front end registers its gate.
+    fn health_payload(&self) -> String {
+        let gate = self
+            .gate
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone();
+        let (inflight, capacity) = match &gate {
+            Some(g) => (g.inflight(), g.capacity()),
+            None => (0, 0),
+        };
+        let overloaded = capacity > 0 && inflight >= capacity;
+        let s = self.cache.stats();
+        format!(
+            "status={};inflight={};capacity={};sessions_open={};\
+             cache_entries={};cache_capacity={};uptime_ms={}",
+            if overloaded { "overloaded" } else { "ok" },
+            inflight,
+            capacity,
+            self.sessions.snapshot().open,
+            s.entries,
+            s.capacity,
+            self.uptime_ms(),
+        )
     }
 
     fn enforce(&self, req: &Request, budget: &Budget) -> Result<String, WireError> {
@@ -831,6 +1028,8 @@ impl Router {
             Ok(res) => res?,
             Err(_) => {
                 self.conn_stats.panics.fetch_add(1, Ordering::Relaxed);
+                ndg_obs::events::emit("panic", vec![("method", "open".to_string())]);
+                ndg_obs::events::dump_current("session open panicked");
                 return Err(engine_panicked());
             }
         };
@@ -846,6 +1045,10 @@ impl Router {
             },
             dirty: false,
         })?;
+        ndg_obs::events::emit(
+            "session",
+            vec![("op", "open".to_string()), ("sid", sid.clone())],
+        );
         Ok((payload, session_header(&sid, 0, false)))
     }
 
@@ -915,6 +1118,14 @@ impl Router {
                                 || cold.converged != s.view.converged;
                             self.sessions.note_audit(failed);
                             if failed {
+                                ndg_obs::events::emit(
+                                    "session",
+                                    vec![
+                                        ("op", "audit_failed".to_string()),
+                                        ("sid", sid.to_string()),
+                                    ],
+                                );
+                                ndg_obs::events::dump_current("divergence audit failed");
                                 // Hard-fail into resync: the cold replay
                                 // is the specification, so it wins.
                                 s.view = cold;
@@ -949,6 +1160,11 @@ impl Router {
                 // incremental attempt and replay the journal from the
                 // pinned base, through the journaled op.
                 self.conn_stats.panics.fetch_add(1, Ordering::Relaxed);
+                ndg_obs::events::emit(
+                    "session",
+                    vec![("op", "panic".to_string()), ("sid", sid.to_string())],
+                );
+                ndg_obs::events::dump_current("session delta panicked");
                 match self.replay_journal(&s.base, &s.journal) {
                     Ok(view) => {
                         s.view = view;
@@ -956,6 +1172,10 @@ impl Router {
                         laps.lap(STAGE_SOLVE);
                         self.sessions.note_delta();
                         self.sessions.note_resync();
+                        ndg_obs::events::emit(
+                            "session",
+                            vec![("op", "resync".to_string()), ("sid", sid.to_string())],
+                        );
                         Ok((s.view.payload.clone(), session_header(sid, s.epoch(), true)))
                     }
                     Err(ReplayError::Step { last: true, err }) => {
@@ -1008,6 +1228,10 @@ impl Router {
                 s.dirty = false;
                 laps.lap(STAGE_SOLVE);
                 self.sessions.note_resync();
+                ndg_obs::events::emit(
+                    "session",
+                    vec![("op", "resync".to_string()), ("sid", sid.to_string())],
+                );
                 Ok((s.view.payload.clone(), session_header(sid, s.epoch(), true)))
             }
             Err(_) => {
@@ -1037,6 +1261,10 @@ impl Router {
         let sess = self.sessions.retire(sid)?;
         let s = lock_session(&sess);
         laps.lap(STAGE_SOLVE);
+        ndg_obs::events::emit(
+            "session",
+            vec![("op", "close".to_string()), ("sid", sid.to_string())],
+        );
         Ok((
             format!("closed=1;deltas={}", s.journal.len()),
             session_header(sid, s.epoch(), false),
@@ -2027,5 +2255,190 @@ mod tests {
         // changes nothing but the id.
         let again = r.handle_line("ndg1;id=m3;method=metrics");
         assert!(again.starts_with("ok;id=m3;cache=off;"), "{again}");
+    }
+
+    /// Router under a frozen [`ndg_obs::TestClock`] with a same-clock
+    /// recorder installed: every lap and event timestamp is 0µs.
+    fn recorded_router() -> (Router, Arc<ndg_obs::events::Recorder>) {
+        let mut r = Router::new(Executor::sequential(), 64);
+        let clock: Arc<ndg_obs::TestClock> = Arc::new(ndg_obs::TestClock::new());
+        r.set_clock(clock.clone());
+        let rec = Arc::new(ndg_obs::events::Recorder::new(64, clock));
+        r.set_recorder(Some(rec.clone()));
+        (r, rec)
+    }
+
+    #[test]
+    fn events_and_health_answer_inline_and_are_never_cached() {
+        let (r, _rec) = recorded_router();
+        // Before any traffic: an empty recorder, a healthy router, no
+        // gate registered (inflight/capacity 0/0).
+        let ev = r.handle_line("ndg1;id=e0;method=events");
+        assert!(ev.starts_with("ok;id=e0;cache=off;"), "{ev}");
+        assert_eq!(payload_of(&ev), "ok;recorder=1;events=0");
+        let h = r.handle_line("ndg1;id=h0;method=health");
+        assert!(h.starts_with("ok;id=h0;cache=off;"), "{h}");
+        assert_eq!(
+            payload_of(&h),
+            "ok;status=ok;inflight=0;capacity=0;sessions_open=0;\
+             cache_entries=0;cache_capacity=64;uptime_ms=0"
+        );
+        // A request lands in the ring; the next snapshot differs — the
+        // first `events` response was answered live, not cached. `stats`
+        // style: cache counters are untouched by introspection.
+        let line = format!(
+            "ndg1;id=q;method=dynamics;tree={};game={}",
+            tree_ids(5),
+            cycle_game_spec(5)
+        );
+        let _ = r.handle_line(&line);
+        let ev2 = r.handle_line("ndg1;id=e1;method=events");
+        assert!(
+            payload_of(&ev2).starts_with("ok;recorder=1;events="),
+            "{ev2}"
+        );
+        assert_ne!(payload_of(&ev), payload_of(&ev2));
+        assert_eq!(r.cache_stats().hits, 0);
+        // Without a recorder, `events` still answers deterministically.
+        let bare = Router::new(Executor::sequential(), 64);
+        let off = bare.handle_line("ndg1;id=e2;method=events");
+        assert_eq!(payload_of(&off), "ok;recorder=0;events=0");
+    }
+
+    #[test]
+    fn wide_events_are_deterministic_and_cache_hits_stay_byte_identical() {
+        let (r, rec) = recorded_router();
+        let lit =
+            "ndg1;id=a;method=certify;tree=0,1;b=0.5,0,0;game=broadcast:3:0:0/1/1,1/2/2,2/0/4";
+        // Relabeled twin carrying a client-chosen trace id: volatile, so
+        // it must still hit the canonical entry byte-identically.
+        let iso = "ndg1;id=b;trace_id=7001;method=certify;tree=0,2;b=0,0,0.5;\
+             game=broadcast:3:2:0/1/2,1/2/4,2/0/1";
+        let first = r.handle_line(lit);
+        assert!(first.contains(";cache=miss;"), "{first}");
+        let second = r.handle_line(iso);
+        assert!(second.contains(";cache=hit;"), "{second}");
+        // The echo rides in the header right after the id and is
+        // stripped with the other volatile fields.
+        assert!(second.starts_with("ok;id=b;trace_id=7001;"), "{second}");
+        assert_eq!(payload_of(&first), payload_of(&second));
+        // Two wide events, causally ordered, with exact deterministic
+        // fields under the frozen clock.
+        let evs = rec.snapshot();
+        assert_eq!(evs.len(), 2, "{evs:?}");
+        assert_eq!((evs[0].seq, evs[0].kind), (0, "request"));
+        assert_eq!(evs[0].field("method"), Some("certify"));
+        assert_eq!(evs[0].field("outcome"), Some("ok"));
+        assert_eq!(evs[0].field("cache"), Some("miss"));
+        assert_eq!(evs[0].field("total_us"), Some("0"));
+        assert_eq!(evs[0].field("us_solve"), Some("0"));
+        assert_eq!((evs[1].seq, evs[1].trace_id), (1, 7001));
+        assert_eq!(evs[1].field("cache"), Some("hit"));
+        // Same canonical key on both sides of the hit.
+        assert_eq!(evs[0].field("key"), evs[1].field("key"));
+        // The `events` snapshot filters by trace id.
+        let filtered = r.handle_line("ndg1;id=e;method=events;trace_id=7001");
+        let p = payload_of(&filtered);
+        assert!(p.starts_with("ok;recorder=1;events=1;e1="), "{p}");
+        assert!(p.contains("trace:7001") && p.contains("cache:hit"), "{p}");
+    }
+
+    #[test]
+    fn session_panic_emits_the_causal_event_sequence() {
+        let (mut r, rec) = recorded_router();
+        r.set_fault_hook(Some(Arc::new(|req: &Request| {
+            if req.id == "boom" {
+                panic!("injected");
+            }
+        })));
+        let open = r.handle_line(&format!(
+            "ndg1;id=o;trace_id=9000;method=open;tree={};game={}",
+            tree_ids(5),
+            cycle_game_spec(5)
+        ));
+        assert!(open.starts_with("ok;id=o;trace_id=9000;"), "{open}");
+        let d1 = r.handle_line(
+            "ndg1;id=boom;trace_id=9001;method=delta;session=s1;epoch=0;delta=patch;edge=4;w=0.5",
+        );
+        // The panic degrades to a journal replay: committed, resynced.
+        assert!(d1.contains(";epoch=1;resynced=1;"), "{d1}");
+        // Engine sub-events (recert adopt/invalidate, …) ride the same
+        // trace as the request that ran them; the lifecycle assertions
+        // below are exact over the lifecycle kinds.
+        let lifecycle = |evs: &[ndg_obs::events::Event]| -> Vec<(&'static str, String)> {
+            evs.iter()
+                .filter(|e| e.kind != "recert" && e.kind != "enum" && e.kind != "lp")
+                .map(|e| (e.kind, e.field("op").unwrap_or("-").to_string()))
+                .collect()
+        };
+        // Open trace: session open sub-event then its wide event, with
+        // the engine's adopt sub-event linked by the same trace id.
+        let t0 = rec.snapshot_trace(9000);
+        assert_eq!(
+            lifecycle(&t0),
+            [
+                ("session", "open".to_string()),
+                ("request", "-".to_string()),
+            ],
+            "{t0:?}"
+        );
+        assert_eq!(t0[0].field("op"), Some("adopt"), "{t0:?}");
+        assert_eq!(t0[0].kind, "recert");
+        // Panicked delta trace: panic → resync → wide event, in order,
+        // all linked by the client's trace id.
+        let t1 = rec.snapshot_trace(9001);
+        assert_eq!(
+            lifecycle(&t1),
+            [
+                ("session", "panic".to_string()),
+                ("session", "resync".to_string()),
+                ("request", "-".to_string()),
+            ],
+            "{t1:?}"
+        );
+        let wide = t1.last().expect("trace retained");
+        assert_eq!(wide.field("outcome"), Some("ok"));
+        assert_eq!(wide.field("session"), Some("s1"));
+        assert_eq!(wide.field("epoch"), Some("1"));
+        // Seqs strictly increase across the whole ring (causal order).
+        let all = rec.snapshot();
+        assert!(all.windows(2).all(|w| w[0].seq < w[1].seq), "{all:?}");
+    }
+
+    #[test]
+    fn stats_reports_uptime_and_journal_ops_exactly() {
+        let mut r = Router::new(Executor::sequential(), 64);
+        let clock = Arc::new(ndg_obs::TestClock::new());
+        r.set_clock(clock.clone());
+        let open = |id: &str| {
+            format!(
+                "ndg1;id={id};method=open;tree={};game={}",
+                tree_ids(5),
+                cycle_game_spec(5)
+            )
+        };
+        assert!(r.handle_line(&open("o1")).starts_with("ok;"), "open");
+        assert!(r.handle_line(&open("o2")).starts_with("ok;"), "open");
+        // Three committed deltas on s1, one on s2 → journal_ops = 4.
+        for epoch in 0..3 {
+            let resp = r.handle_line(&format!(
+                "ndg1;id=d{epoch};method=delta;session=s1;epoch={epoch};\
+                 delta=patch;edge=4;w={}",
+                epoch + 1
+            ));
+            assert!(resp.starts_with("ok;"), "{resp}");
+        }
+        let resp =
+            r.handle_line("ndg1;id=dx;method=delta;session=s2;epoch=0;delta=patch;edge=4;w=2");
+        assert!(resp.starts_with("ok;"), "{resp}");
+        clock.advance_us(12_500);
+        let stats = r.handle_line("ndg1;id=s;method=stats");
+        assert!(stats.contains(";sessions_journal_ops=4;"), "{stats}");
+        assert!(stats.contains(";uptime_ms=12;"), "{stats}");
+        // Closing a session releases its journal from the gauge.
+        let close = r.handle_line("ndg1;id=c;method=close;session=s1");
+        assert!(close.starts_with("ok;"), "{close}");
+        let stats = r.handle_line("ndg1;id=s2;method=stats");
+        assert!(stats.contains(";sessions_journal_ops=1;"), "{stats}");
     }
 }

@@ -158,6 +158,17 @@ impl Gate {
         self.retry_ms
     }
 
+    /// Requests currently holding a permit (clamped to `capacity`: a
+    /// racing acquire may briefly overshoot the load).
+    pub fn inflight(&self) -> usize {
+        self.permits.load(Ordering::Relaxed).min(self.capacity)
+    }
+
+    /// Maximum concurrent admissions.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
     fn try_acquire(&self) -> bool {
         let mut cur = self.permits.load(Ordering::Relaxed);
         loop {
@@ -399,7 +410,27 @@ fn answer_batch(
                         let e = WireError::Overloaded {
                             retry_ms: g.retry_ms(),
                         };
-                        responses[i] = Some(err_line(recovered_id(&l), &e));
+                        // Shed before parse: the flight recorder still gets
+                        // a wide event (always logged), under the wire's
+                        // own trace id when the request carried one.
+                        let tid = wire_trace_id(&l);
+                        if let Some(rec) = router.recorder() {
+                            let t = tid.unwrap_or_else(ndg_obs::events::next_trace_id);
+                            rec.push_wide(
+                                t,
+                                "shed",
+                                vec![
+                                    ("id", recovered_id(&l).to_string()),
+                                    ("retry_ms", g.retry_ms().to_string()),
+                                ],
+                                true,
+                            );
+                        }
+                        let mut line = err_line(recovered_id(&l), &e);
+                        if let Some(t) = tid {
+                            line = crate::codec::insert_after_id(&line, &format!("trace_id={t}"));
+                        }
+                        responses[i] = Some(line);
                         continue;
                     }
                     admitted += 1;
@@ -431,6 +462,15 @@ fn answer_batch(
         writer.write_all(b"\n")?;
     }
     writer.flush()
+}
+
+/// The wire's own `trace_id=` field on a raw (possibly unparseable)
+/// request line, for attributing shed events that never reach the
+/// parser. First occurrence wins; malformed values read as absent.
+fn wire_trace_id(line: &str) -> Option<u64> {
+    line.split(';')
+        .find_map(|f| f.strip_prefix("trace_id="))
+        .and_then(|v| v.parse().ok())
 }
 
 /// Serve a request stream to a response stream under explicit
@@ -603,6 +643,9 @@ pub fn spawn_tcp_with(
     let gate = topts
         .max_inflight
         .map(|cap| Arc::new(Gate::new(cap, topts.retry_ms)));
+    if let Some(g) = &gate {
+        router.register_gate(g.clone());
+    }
     let conn_opts = ServeOptions {
         idle_timeout: topts.idle_timeout,
         gate,

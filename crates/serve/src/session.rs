@@ -288,6 +288,25 @@ impl SessionTable {
         self.lock().sessions.len()
     }
 
+    /// Total journal length across live sessions: the `stats`
+    /// `sessions_journal_ops` gauge — what a full resync replay of every
+    /// open session would cost. Lock order is table → session, the same
+    /// direction as every other path (never reversed).
+    pub fn journal_ops(&self) -> u64 {
+        let inner = self.lock();
+        inner
+            .sessions
+            .values()
+            .map(|slot| {
+                slot.sess
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .journal
+                    .len() as u64
+            })
+            .sum()
+    }
+
     /// Counter snapshot for `method=stats`.
     pub fn snapshot(&self) -> SessionCountersSnapshot {
         let c = &self.counters;
